@@ -1,0 +1,1 @@
+bench/bench_ablations.ml: Array Bench_common Domain Int64 List Plan Printf Volcano Volcano_plan Volcano_sim Volcano_storage Volcano_tuple Volcano_util Volcano_wisconsin

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Printf String Sys Volcano_plan Volcano_tuple Volcano_util

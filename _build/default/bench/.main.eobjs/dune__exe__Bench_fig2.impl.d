@@ -1,0 +1,1 @@
+bench/bench_fig2.ml: Bench_common List Plan Printf Volcano Volcano_sim

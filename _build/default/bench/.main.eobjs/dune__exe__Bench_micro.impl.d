@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Volcano Volcano_storage Volcano_tuple

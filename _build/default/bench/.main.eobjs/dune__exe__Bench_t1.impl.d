@@ -1,0 +1,1 @@
+bench/bench_t1.ml: Bench_common Compile Plan Printf Volcano Volcano_sim Volcano_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablations Bench_fig2 Bench_micro Bench_t1 Domain List Printf String Sys

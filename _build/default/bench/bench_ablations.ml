@@ -1,0 +1,311 @@
+(* Ablation benchmarks A1-A8 (see DESIGN.md): the design choices the paper
+   discusses, each isolated and measured. *)
+
+open Bench_common
+module Exchange = Volcano.Exchange
+module Group = Volcano.Group
+module Iterator = Volcano.Iterator
+module Port = Volcano.Port
+module Packet = Volcano.Packet
+module Support = Volcano_tuple.Support
+module Value = Volcano_tuple.Value
+module Tuple = Volcano_tuple.Tuple
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Sim = Volcano_sim.Sim
+module Calibration = Volcano_sim.Calibration
+module Stats = Volcano_util.Stats
+module Clock = Volcano_util.Clock
+module W = Volcano_wisconsin.Wisconsin
+
+(* A1: flow-control slack.  A fast producer against a slower consumer: the
+   slack semaphore bounds how far producers run ahead (buffer pressure) at
+   a small cost in synchronization. *)
+let a1_flow_slack () =
+  header "A1: flow-control slack (fast producer, slow consumer)";
+  row "%10s %12s %18s\n" "slack" "elapsed (s)" "peak packets queued";
+  hline 44;
+  let n_packets = 5_000 in
+  let run slack =
+    let port = Port.create ~producers:1 ~consumers:1 ?flow_slack:slack () in
+    let producer =
+      Domain.spawn (fun () ->
+          for i = 0 to n_packets - 1 do
+            let packet = Packet.create ~capacity:4 ~producer:0 in
+            Packet.add packet (four_int_tuple i);
+            if i = n_packets - 1 then Packet.tag_end_of_stream packet;
+            Port.send port ~producer:0 ~consumer:0 packet
+          done)
+    in
+    let consumed = ref 0 in
+    let rec drain () =
+      match Port.receive port ~consumer:0 with
+      | None -> ()
+      | Some packet ->
+          (* A consumer that does some work per packet. *)
+          let spin = ref 0 in
+          for _ = 1 to 300 do
+            incr spin
+          done;
+          ignore !spin;
+          incr consumed;
+          if not (Packet.end_of_stream packet) then drain ()
+    in
+    let (), elapsed = Clock.time (fun () -> drain (); Domain.join producer) in
+    (elapsed, Port.max_depth port)
+  in
+  List.iter
+    (fun slack ->
+      let elapsed, depth = run slack in
+      row "%10s %12.3f %18d\n"
+        (match slack with Some n -> string_of_int n | None -> "off")
+        elapsed depth)
+    [ Some 1; Some 2; Some 4; Some 8; None ]
+
+(* A2: centralized vs propagation-tree forking (section 4.2). *)
+let a2_fork_scheme () =
+  header "A2: producer-group forking scheme (open..close of an empty query)";
+  row "%8s %16s %16s\n" "degree" "tree (ms)" "central (ms)";
+  hline 44;
+  let run degree fork_mode =
+    let cfg = Exchange.config ~degree ~fork_mode () in
+    let iterator =
+      Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun _ ->
+          Iterator.generate ~count:1 ~f:four_int_tuple)
+    in
+    Clock.time_unit (fun () -> ignore (Iterator.consume iterator))
+  in
+  List.iter
+    (fun degree ->
+      (* Take the best of three to damp scheduler noise. *)
+      let best f = List.fold_left min infinity (List.init 3 (fun _ -> f ())) in
+      let tree = best (fun () -> run degree Exchange.Fork_tree) in
+      let central = best (fun () -> run degree Exchange.Fork_central) in
+      row "%8d %16.2f %16.2f\n" degree (tree *. 1e3) (central *. 1e3))
+    [ 1; 2; 4; 8 ]
+
+(* A3: partitioning support functions on skewed data (section 4.2 offers
+   round-robin, key-range and hash partitioning). *)
+let a3_partition_balance () =
+  header "A3: partition balance on skewed keys (8 partitions, 100,000 rows)";
+  row "%8s %14s %14s %14s\n" "theta" "round-robin" "hash" "range";
+  row "%8s %14s %14s %14s\n" "" "(cv)" "(cv)" "(cv)";
+  hline 56;
+  let n = 100_000 and key_space = 10_000 and consumers = 8 in
+  List.iter
+    (fun theta ->
+      let gen = W.skewed_generator ~n ~key_space ~theta () in
+      let cv factory =
+        let partition = factory () in
+        let counts = Array.make consumers 0 in
+        for i = 0 to n - 1 do
+          let p = partition (gen i) in
+          counts.(p) <- counts.(p) + 1
+        done;
+        let stats = Stats.of_list (List.map float_of_int (Array.to_list counts)) in
+        Stats.coefficient_of_variation stats
+      in
+      let bounds =
+        Array.init (consumers - 1) (fun i ->
+            Value.Int ((i + 1) * key_space / consumers))
+      in
+      row "%8.1f %14.4f %14.4f %14.4f\n" theta
+        (cv (fun () -> Support.Partition.round_robin ~consumers ()))
+        (cv (fun () -> Support.Partition.hash ~consumers ~on:[ 0 ] ()))
+        (cv (fun () -> Support.Partition.range ~consumers ~on:0 ~bounds ())))
+    [ 0.0; 0.5; 1.0; 1.2 ];
+  row
+    "\n(round-robin balances perfectly but destroys key locality; hash\n\
+    \ degrades gracefully; equal-width ranges collapse under skew)\n"
+
+(* A4: buffer-manager locking — the paper's two-level scheme vs one global
+   lock (section 4.5 rejects the latter for "decreased concurrency"). *)
+let a4_buffer_locking () =
+  header "A4: buffer-pool locking scheme (4 domains x 30,000 fixes)";
+  row "%16s %14s %14s %12s\n" "mode" "elapsed (s)" "M fixes/s" "restarts";
+  hline 60;
+  let run mode =
+    let pool = Bufpool.create ~mode ~frames:32 ~page_size:512 () in
+    let dev = Device.create_virtual ~page_size:512 ~capacity:256 () in
+    let pages = Array.init 64 (fun _ -> Device.allocate dev) in
+    Array.iter
+      (fun p ->
+        let f = Bufpool.fix_new pool dev p in
+        Bufpool.mark_dirty f;
+        Bufpool.unfix pool f)
+      pages;
+    let ops = 30_000 in
+    let worker seed () =
+      let rng = Volcano_util.Rng.create (Int64.of_int seed) in
+      for _ = 1 to ops do
+        let page = pages.(Volcano_util.Rng.int rng 64) in
+        let f = Bufpool.fix pool dev page in
+        Bufpool.unfix pool f
+      done
+    in
+    let (), elapsed =
+      Clock.time (fun () ->
+          let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+          List.iter Domain.join domains)
+    in
+    (elapsed, (Bufpool.stats pool).Bufpool.restarts)
+  in
+  List.iter
+    (fun (name, mode) ->
+      let elapsed, restarts = run mode in
+      row "%16s %14.3f %14.2f %12d\n" name elapsed
+        (4.0 *. 30_000.0 /. elapsed /. 1e6)
+        restarts)
+    [ ("two-level", Bufpool.Two_level); ("single-global", Bufpool.Single_global) ]
+
+(* A5: hash-division parallelization — divisor vs quotient partitioning
+   (section 4.4), on the simulated 12-CPU machine.  Quotient partitioning
+   divides the dividend across processes; divisor partitioning replicates
+   it, so every process probes the full dividend against its divisor
+   fragment. *)
+let a5_division_partitioning () =
+  header "A5: hash-division — quotient vs divisor partitioning (simulated)";
+  row "%8s %18s %18s\n" "degree" "quotient part (s)" "divisor part (s)";
+  hline 48;
+  let dividend = 100_000 in
+  let probe_cost = 150.0e-6 in
+  let sim ~records ~degree =
+    Sim.run
+      {
+        Sim.stages =
+          [|
+            {
+              processes = degree;
+              per_record = probe_cost;
+              per_packet_send = Calibration.packet_send_cost;
+              per_packet_recv = 0.0;
+            };
+            {
+              processes = 1;
+              per_record = 5.0e-6;
+              per_packet_send = 0.0;
+              per_packet_recv = Calibration.packet_recv_cost;
+            };
+          |];
+        records;
+        packet_size = 83;
+        flow_slack = Some 4;
+        cpus = Calibration.sequent_cpus;
+      }
+  in
+  List.iter
+    (fun degree ->
+      (* quotient partitioning: the dividend is split across processes;
+         divisor partitioning: each process probes the whole dividend. *)
+      let quotient = sim ~records:dividend ~degree in
+      let divisor = sim ~records:(dividend * degree) ~degree in
+      row "%8d %18.2f %18.2f\n" degree quotient.Sim.elapsed divisor.Sim.elapsed)
+    [ 1; 2; 4; 8; 12 ];
+  row
+    "\n(quotient partitioning scales; divisor partitioning only reduces each\n\
+    \ process's divisor table, so its probing work is replicated — matching\n\
+    \ Graefe's division study)\n"
+
+(* A6: the two parallel-sort organizations of section 4.4 on the real
+   engine. *)
+let a6_parallel_sort () =
+  header
+    (Printf.sprintf "A6: parallel sort organizations (%d records, 1 CPU)"
+       (records / 2));
+  let n = records / 2 in
+  let key = [ (0, Support.Asc) ] in
+  let env = fresh_env () in
+  Volcano_plan.Env.set_sort_run_capacity env 16_384;
+  let serial = Plan.Sort { key; input = generate n } in
+  let merge_network =
+    Volcano_plan.Parallel.parallel_sort ~degree:3 ~key (generate_slice n)
+  in
+  let bounds = Array.init 2 (fun i -> Value.Int ((i + 1) * n / 3)) in
+  let interchange =
+    Plan.Exchange_merge
+      {
+        cfg = Exchange.config ~degree:3 ();
+        key;
+        input =
+          Plan.Sort
+            {
+              key;
+              input =
+                Plan.Interchange
+                  {
+                    cfg =
+                      Exchange.config ~degree:3
+                        ~partition:(Exchange.Range_on (0, bounds)) ();
+                    input = generate_slice n;
+                  };
+            };
+      }
+  in
+  row "%-44s %12s\n" "organization" "elapsed (s)";
+  hline 58;
+  List.iter
+    (fun (name, plan) ->
+      let count, elapsed = time_count env plan in
+      assert (count = n);
+      row "%-44s %12.3f\n" name elapsed)
+    [
+      ("serial external sort", serial);
+      ("merge network (sort slices, merge streams)", merge_network);
+      ("range interchange (one process per disk)", interchange);
+    ]
+
+(* A7: intra-operator speedup on the simulated 12-CPU machine. *)
+let a7_speedup () =
+  header "A7: intra-operator speedup, simulated 12-CPU Sequent";
+  row "%8s %12s %10s %12s\n" "degree" "elapsed (s)" "speedup" "efficiency";
+  hline 46;
+  let base = (Calibration.intra_op_speedup ~degree:1 ()).Sim.elapsed in
+  List.iter
+    (fun degree ->
+      let elapsed = (Calibration.intra_op_speedup ~degree ()).Sim.elapsed in
+      let speedup = base /. elapsed in
+      row "%8d %12.2f %10.2f %12.2f\n" degree elapsed speedup
+        (speedup /. float_of_int degree))
+    [ 1; 2; 4; 6; 8; 10; 12 ]
+
+(* A8: broadcast vs partitioned exchange.  Broadcasting to k consumers
+   moves k times the records (sharing, not copying, the tuples). *)
+let a8_broadcast () =
+  header "A8: broadcast vs partitioned exchange (degree 2 producers)";
+  let n = records / 4 in
+  let consume partition expected =
+    let inner_id = Exchange.fresh_id () in
+    let outer_cfg = Exchange.config ~degree:3 () in
+    let inner_cfg = Exchange.config ~degree:2 ~partition () in
+    let outer =
+      Exchange.iterator outer_cfg ~group:(Group.solo ()) ~input:(fun group ->
+          Exchange.iterator ~id:inner_id inner_cfg ~group ~input:(fun igroup ->
+              let irank = Group.rank igroup in
+              let share = (n / 2) + (if irank < n mod 2 then 1 else 0) in
+              Iterator.generate ~count:share ~f:four_int_tuple))
+    in
+    let count, elapsed = Clock.time (fun () -> Iterator.consume outer) in
+    assert (count = expected);
+    (count, elapsed)
+  in
+  row "%-24s %14s %14s %14s\n" "mode" "delivered" "elapsed (s)" "us/delivery";
+  hline 70;
+  List.iter
+    (fun (name, partition, expected) ->
+      let count, elapsed = consume partition expected in
+      row "%-24s %14d %14.3f %14.2f\n" name count elapsed
+        (per_record_us elapsed count))
+    [
+      ("round-robin", Exchange.Round_robin, n);
+      ("broadcast (x3)", Exchange.Broadcast, n * 3);
+    ]
+
+let run () =
+  a1_flow_slack ();
+  a2_fork_scheme ();
+  a3_partition_balance ();
+  a4_buffer_locking ();
+  a5_division_partitioning ();
+  a6_parallel_sort ();
+  a7_speedup ();
+  a8_broadcast ()

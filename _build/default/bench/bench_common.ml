@@ -1,0 +1,43 @@
+(* Shared helpers for the benchmark harness. *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Tuple = Volcano_tuple.Tuple
+module Clock = Volcano_util.Clock
+
+(* The paper's experiments use 100,000 records.  The real-engine runs honor
+   VOLCANO_RECORDS (default 100,000); the packet-size sweep uses a smaller
+   default because 1-record packets on one CPU are slow by design. *)
+let records =
+  match Sys.getenv_opt "VOLCANO_RECORDS" with
+  | Some s -> int_of_string s
+  | None -> 100_000
+
+let sweep_records =
+  match Sys.getenv_opt "VOLCANO_SWEEP_RECORDS" with
+  | Some s -> int_of_string s
+  | None -> 30_000
+
+(* "creates records, fills them with 4 integers" (section 5). *)
+let four_int_tuple i = Tuple.of_ints [ i; i + 1; i + 2; i + 3 ]
+
+let generate n = Plan.Generate { arity = 4; count = n; gen = four_int_tuple }
+
+let generate_slice n =
+  Plan.Generate_slice { arity = 4; count = n; gen = four_int_tuple }
+
+let fresh_env () = Env.create ~frames:256 ~page_size:4096 ()
+
+let time_count env plan =
+  let count, elapsed = Clock.time (fun () -> Compile.run_count env plan) in
+  (count, elapsed)
+
+let per_record_us elapsed n = elapsed /. float_of_int n *. 1e6
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row fmt = Printf.printf fmt
+
+let hline width = Printf.printf "%s\n" (String.make width '-')

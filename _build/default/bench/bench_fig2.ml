@@ -1,0 +1,107 @@
+(* Figures 2a and 2b: exchange performance as a function of packet size.
+
+   Topology (paper, section 5): a producer group of 3 processes generates
+   100,000 records which flow through two intermediate 3-process groups to a
+   single consumer; flow control with 3 slack packets.  Packet size sweeps
+   1..83.  The paper measured 171 s at size 1, 94 s at 2, 15.0 s at 50 and
+   13.7 s at 83 — the curve is a straight line on a log-log plot below 10
+   records/packet (per-packet cost dominates) and flattens above (per-record
+   cost dominates). *)
+
+open Bench_common
+module Exchange = Volcano.Exchange
+module Sim = Volcano_sim.Sim
+module Calibration = Volcano_sim.Calibration
+
+let packet_sizes = [ 1; 2; 5; 10; 20; 50; 83 ]
+
+let paper_value = function
+  | 1 -> Some 171.0
+  | 2 -> Some 94.0
+  | 50 -> Some 15.0
+  | 83 -> Some 13.7
+  | _ -> None
+
+(* 3 -> 3 -> 3 -> 1 pipeline as a plan. *)
+let sweep_plan n packet_size =
+  let cfg = Exchange.config ~degree:3 ~packet_size ~flow_slack:(Some 3) () in
+  Plan.Exchange
+    {
+      cfg;
+      input =
+        Plan.Exchange
+          { cfg; input = Plan.Exchange { cfg; input = generate_slice n } };
+    }
+
+let measure_real n packet_size =
+  let env = fresh_env () in
+  let count, elapsed = time_count env (sweep_plan n packet_size) in
+  assert (count = n);
+  elapsed
+
+let series () =
+  List.map
+    (fun packet_size ->
+      let real = measure_real sweep_records packet_size in
+      let sim = (Calibration.fig2a ~packet_size ()).Sim.elapsed in
+      (packet_size, real, sim))
+    packet_sizes
+
+let fig2a () =
+  header
+    (Printf.sprintf
+       "Figure 2a: elapsed time vs packet size (real: %d records on 1 CPU; \
+        sim: 100,000 records on 12 CPUs)"
+       sweep_records);
+  row "%8s %14s %14s %16s %12s\n" "packet" "real (s)" "real us/rec"
+    "sim 12-cpu (s)" "paper (s)";
+  hline 70;
+  let data = series () in
+  List.iter
+    (fun (packet_size, real, sim) ->
+      row "%8d %14.3f %14.2f %16.1f %12s\n" packet_size real
+        (per_record_us real sweep_records)
+        sim
+        (match paper_value packet_size with
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "-"))
+    data;
+  data
+
+let fig2b data =
+  header "Figure 2b: the same data, doubly logarithmic";
+  row "%8s %12s %12s %12s\n" "packet" "log10(ps)" "log10 real" "log10 sim";
+  hline 48;
+  List.iter
+    (fun (packet_size, real, sim) ->
+      row "%8d %12.3f %12.3f %12.3f\n" packet_size
+        (log10 (float_of_int packet_size))
+        (log10 real) (log10 sim))
+    data;
+  (* Fitted slope over the small-packet regime (sizes < 10): the paper's
+     hypothesis is a straight line, i.e. elapsed ~ c / packet_size. *)
+  let slope series =
+    let points =
+      List.filter_map
+        (fun (ps, v) ->
+          if ps < 10 then Some (log10 (float_of_int ps), log10 v) else None)
+        series
+    in
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+  in
+  let real_slope = slope (List.map (fun (p, r, _) -> (p, r)) data) in
+  let sim_slope = slope (List.map (fun (p, _, s) -> (p, s)) data) in
+  row
+    "\nfitted log-log slope for packets < 10: real %.2f, sim %.2f\n\
+     (a slope near -1 affirms the hypothesis that for truly small packets\n\
+    \ most of the elapsed time is spent on data exchange)\n"
+    real_slope sim_slope
+
+let run () =
+  let data = fig2a () in
+  fig2b data

@@ -1,0 +1,99 @@
+(* Bechamel micro-benchmarks: per-call costs underlying the T1 table —
+   record creation/consumption, the procedure-call exchange boundary, the
+   buffer manager's fix/unfix pair, packet filling, and the interpreted vs
+   compiled predicate paths. *)
+
+open Bechamel
+open Toolkit
+module Iterator = Volcano.Iterator
+module Exchange = Volcano.Exchange
+module Group = Volcano.Group
+module Packet = Volcano.Packet
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Expr = Volcano_tuple.Expr
+module Tuple = Volcano_tuple.Tuple
+
+let batch = 1_000
+
+let t1a_create_release () =
+  ignore
+    (Iterator.consume (Iterator.generate ~count:batch ~f:Bench_common.four_int_tuple))
+
+let t1b_interchange () =
+  let group = Group.solo () in
+  let inner = Iterator.generate ~count:batch ~f:Bench_common.four_int_tuple in
+  let wrapped =
+    Exchange.interchange (Exchange.config ~degree:1 ()) ~group ~input:inner
+  in
+  ignore (Iterator.consume wrapped)
+
+let fix_unfix =
+  let pool = Bufpool.create ~frames:8 ~page_size:512 () in
+  let dev = Device.create_virtual ~page_size:512 ~capacity:16 () in
+  let page = Device.allocate dev in
+  let f = Bufpool.fix_new pool dev page in
+  Bufpool.unfix pool f;
+  fun () ->
+    for _ = 1 to batch do
+      let f = Bufpool.fix pool dev page in
+      Bufpool.unfix pool f
+    done
+
+let packet_fill =
+  let tuple = Bench_common.four_int_tuple 7 in
+  fun () ->
+    let packet = Packet.create ~capacity:83 ~producer:0 in
+    for _ = 1 to 83 do
+      Packet.add packet tuple
+    done;
+    for i = 0 to 82 do
+      ignore (Packet.get packet i)
+    done
+
+let predicate_paths =
+  let open Expr.Infix in
+  let pred = Expr.col 0 + Expr.int 3 < Expr.col 1 * Expr.int 2 in
+  let tuple = Tuple.of_ints [ 5; 9; 1; 2 ] in
+  let interpreted () =
+    for _ = 1 to batch do
+      ignore (Expr.Interp.pred pred tuple)
+    done
+  in
+  let compiled = Expr.Compiled.pred pred in
+  let compiled_fn () =
+    for _ = 1 to batch do
+      ignore (compiled tuple)
+    done
+  in
+  (interpreted, compiled_fn)
+
+let tests =
+  let interpreted, compiled = predicate_paths in
+  Test.make_grouped ~name:"volcano"
+    [
+      Test.make ~name:"t1a-create-release-1k" (Staged.stage t1a_create_release);
+      Test.make ~name:"t1b-interchange-1k" (Staged.stage t1b_interchange);
+      Test.make ~name:"buffer-fix-unfix-1k" (Staged.stage fix_unfix);
+      Test.make ~name:"packet-fill-83" (Staged.stage packet_fill);
+      Test.make ~name:"pred-interpreted-1k" (Staged.stage interpreted);
+      Test.make ~name:"pred-compiled-1k" (Staged.stage compiled);
+    ]
+
+let run () =
+  Bench_common.header "Micro-benchmarks (bechamel, ns per call)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  List.iter
+    (fun name ->
+      let result = Hashtbl.find results name in
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "%-36s %14.1f ns\n" name est
+      | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+    (List.sort compare names)

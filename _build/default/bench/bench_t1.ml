@@ -1,0 +1,90 @@
+(* T1: the section 5 in-text measurements.
+
+   The paper: create 100,000 records of 4 integers, pass them over three
+   process boundaries, release them.
+     (a) no exchange operator:                         20.28 s
+     (b) 3 exchanges, procedure-call (no-fork) mode:   28.00 s
+         => 25.7 us/record/exchange overhead
+     (c) pipeline of 4 processes, flow control on/off: 16.21 / 16.16 s
+
+   We run the same three programs on the real engine (OCaml domains, one
+   CPU here) and on the simulated 12-CPU Sequent. *)
+
+open Bench_common
+module Exchange = Volcano.Exchange
+module Group = Volcano.Group
+module Iterator = Volcano.Iterator
+module Sim = Volcano_sim.Sim
+module Calibration = Volcano_sim.Calibration
+
+(* (b) three no-fork interchange boundaries in a solo group: partitioning
+   always selects this process, so each boundary degenerates to procedure
+   calls — precisely the paper's "does not create new processes" mode. *)
+let interchange_chain n boundaries =
+  let group = Group.solo () in
+  let rec wrap depth input =
+    if depth = 0 then input
+    else
+      wrap (depth - 1)
+        (Exchange.interchange
+           (Exchange.config ~degree:1 ())
+           ~group ~input)
+  in
+  wrap boundaries (Iterator.generate ~count:n ~f:four_int_tuple)
+
+let pipeline_plan n ~flow_slack =
+  let cfg = Exchange.config ~degree:1 ~flow_slack () in
+  Plan.Exchange
+    {
+      cfg;
+      input =
+        Plan.Exchange
+          { cfg; input = Plan.Exchange { cfg; input = generate n } };
+    }
+
+let run () =
+  let n = records in
+  let env = fresh_env () in
+  header (Printf.sprintf "T1: exchange overhead (%d records, 4 ints each)" n);
+
+  let _, t_a = Volcano_util.Clock.time (fun () ->
+      ignore (Compile.run_count env (generate n))) in
+  let count_b, t_b =
+    Volcano_util.Clock.time (fun () ->
+        Iterator.consume (interchange_chain n 3))
+  in
+  assert (count_b = n);
+  let _, t_c_flow =
+    time_count env (pipeline_plan n ~flow_slack:(Some 4))
+  in
+  let t_c_flow = t_c_flow in
+  let _, t_c_noflow = time_count env (pipeline_plan n ~flow_slack:None) in
+
+  let overhead_us = (t_b -. t_a) /. 3.0 /. float_of_int n *. 1e6 in
+
+  row "%-44s %12s %14s\n" "configuration" "elapsed (s)" "us/record";
+  hline 72;
+  row "%-44s %12.3f %14.2f\n" "(a) no exchange" t_a (per_record_us t_a n);
+  row "%-44s %12.3f %14.2f\n" "(b) 3 exchanges, procedure-call mode" t_b
+    (per_record_us t_b n);
+  row "%-44s %12.3f %14.2f\n" "(c) 4-process pipeline, flow control on"
+    t_c_flow (per_record_us t_c_flow n);
+  row "%-44s %12.3f %14.2f\n" "(c) 4-process pipeline, flow control off"
+    t_c_noflow (per_record_us t_c_noflow n);
+  hline 72;
+  row "measured overhead per record per exchange: %.2f us (paper: 25.7 us)\n"
+    overhead_us;
+
+  header "T1 on the simulated 12-CPU Sequent Symmetry (100,000 records)";
+  let sim_pipe = Calibration.t1_pipeline ~records:100_000 () in
+  row "%-44s %12s %12s\n" "configuration" "sim (s)" "paper (s)";
+  hline 72;
+  row "%-44s %12.2f %12.2f\n" "(a) no exchange"
+    (Calibration.t1_single_process ~records:100_000)
+    20.28;
+  row "%-44s %12.2f %12.2f\n" "(b) 3 exchanges, procedure-call mode"
+    (Calibration.t1_interchange ~records:100_000 ~exchanges:3)
+    28.00;
+  row "%-44s %12.2f %12.2f\n" "(c) 4-process pipeline" sim_pipe.Sim.elapsed 16.21;
+  row "\nqualitative checks: (b) > (a) (exchange adds per-record cost), and\n";
+  row "on 12 CPUs (c) < (a): pipelined multi-process execution is warranted.\n"

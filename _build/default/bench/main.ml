@@ -1,0 +1,43 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section plus the ablations listed in DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [-- experiment ...]
+   Experiments: t1 fig2 a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
+   Environment: VOLCANO_RECORDS (default 100000),
+                VOLCANO_SWEEP_RECORDS (default 30000). *)
+
+let experiments =
+  [
+    ("t1", Bench_t1.run);
+    ("fig2", Bench_fig2.run);
+    ("a1", Bench_ablations.a1_flow_slack);
+    ("a2", Bench_ablations.a2_fork_scheme);
+    ("a3", Bench_ablations.a3_partition_balance);
+    ("a4", Bench_ablations.a4_buffer_locking);
+    ("a5", Bench_ablations.a5_division_partitioning);
+    ("a6", Bench_ablations.a6_parallel_sort);
+    ("a7", Bench_ablations.a7_speedup);
+    ("a8", Bench_ablations.a8_broadcast);
+    ("micro", Bench_micro.run);
+  ]
+
+let () =
+  let requested =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] | [ "all" ] -> List.map fst experiments
+    | names -> names
+  in
+  Printf.printf
+    "Volcano reproduction benchmarks — paper: Graefe, \"Encapsulation of\n\
+     Parallelism in the Volcano Query Processing System\" (1989/1990)\n\
+     host: %d CPU core(s) available to this process\n"
+    (Domain.recommended_domain_count ());
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s all\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+    requested

@@ -1,0 +1,280 @@
+(* The volcano command-line interface: run and explain demo queries over a
+   generated Wisconsin relation, serially or parallelized with exchange.
+
+   Examples:
+     volcano list
+     volcano explain parallel-join --degree 4
+     volcano run aggregate --rows 50000
+     volcano run parallel-sort --degree 3 --rows 100000
+     volcano sim --packet-size 5 *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Parallel = Volcano_plan.Parallel
+module Exchange = Volcano.Exchange
+module Expr = Volcano_tuple.Expr
+module Tuple = Volcano_tuple.Tuple
+module Support = Volcano_tuple.Support
+module W = Volcano_wisconsin.Wisconsin
+module Clock = Volcano_util.Clock
+
+type query = {
+  name : string;
+  describe : string;
+  build : rows:int -> degree:int -> Plan.t;
+}
+
+let col = W.column
+
+let filter_pred =
+  Expr.Infix.( = ) (Expr.col (col "two")) (Expr.int 0)
+
+let queries =
+  [
+    {
+      name = "selection";
+      describe = "50% selection (two = 0), serial scan";
+      build =
+        (fun ~rows ~degree:_ ->
+          Plan.Filter
+            { pred = filter_pred; mode = `Compiled; input = W.plan ~n:rows () });
+    };
+    {
+      name = "aggregate";
+      describe = "group by ten: count + sum(unique1), hash aggregation";
+      build =
+        (fun ~rows ~degree:_ ->
+          Plan.Aggregate
+            {
+              algo = Plan.Hash_based;
+              group_by = [ col "ten" ];
+              aggs =
+                [
+                  Volcano_ops.Aggregate.Count;
+                  Volcano_ops.Aggregate.Sum (Expr.col (col "unique1"));
+                ];
+              input = W.plan ~n:rows ();
+            });
+    };
+    {
+      name = "parallel-aggregate";
+      describe = "the same aggregation, hash-partitioned across a process group";
+      build =
+        (fun ~rows ~degree ->
+          Parallel.partitioned_aggregate ~degree ~algo:Plan.Hash_based
+            ~group_by:[ col "ten" ]
+            ~aggs:
+              [
+                Volcano_ops.Aggregate.Count;
+                Volcano_ops.Aggregate.Sum (Expr.col (col "unique1"));
+              ]
+            (W.plan_slice ~n:rows ()));
+    };
+    {
+      name = "join";
+      describe = "self-equi-join on unique1 (hash), serial";
+      build =
+        (fun ~rows ~degree:_ ->
+          Plan.Match
+            {
+              algo = Plan.Hash_based;
+              kind = Volcano_ops.Match_op.Join;
+              left_key = [ col "unique1" ];
+              right_key = [ col "unique1" ];
+              left = W.plan ~seed:1L ~n:rows ();
+              right = W.plan ~seed:2L ~n:(rows / 4) ();
+            });
+    };
+    {
+      name = "parallel-join";
+      describe = "GAMMA-style repartitioned parallel hash join";
+      build =
+        (fun ~rows ~degree ->
+          Parallel.partitioned_match ~degree ~algo:Plan.Hash_based
+            ~kind:Volcano_ops.Match_op.Join
+            ~left_key:[ col "unique1" ]
+            ~right_key:[ col "unique1" ]
+            ~left:(W.plan_slice ~seed:1L ~n:rows ())
+            ~right:(W.plan_slice ~seed:2L ~n:(rows / 4) ())
+            ());
+    };
+    {
+      name = "sort";
+      describe = "external sort on unique1, serial";
+      build =
+        (fun ~rows ~degree:_ ->
+          Plan.Sort { key = [ (col "unique1", Support.Asc) ]; input = W.plan ~n:rows () });
+    };
+    {
+      name = "parallel-sort";
+      describe = "merge network: sorted slices merged by producer";
+      build =
+        (fun ~rows ~degree ->
+          Parallel.parallel_sort ~degree
+            ~key:[ (col "unique1", Support.Asc) ]
+            (W.plan_slice ~n:rows ()));
+    };
+    {
+      name = "two-phase-aggregate";
+      describe = "aggregation with local pre-aggregation before repartitioning";
+      build =
+        (fun ~rows ~degree ->
+          Parallel.partitioned_aggregate_two_phase ~degree
+            ~group_by:[ col "ten" ]
+            ~aggs:
+              [
+                Volcano_ops.Aggregate.Count;
+                Volcano_ops.Aggregate.Avg (Expr.col (col "unique1"));
+              ]
+            (W.plan_slice ~n:rows ()));
+    };
+    {
+      name = "division";
+      describe = "hash-division: students enrolled in every required course";
+      build =
+        (fun ~rows ~degree:_ ->
+          let courses = 20 in
+          let gen i = Tuple.of_ints [ i / courses; i mod courses ] in
+          Plan.Division
+            {
+              algo = `Hash;
+              quotient = [ 0 ];
+              divisor_attrs = [ 1 ];
+              divisor_key = [ 0 ];
+              dividend =
+                Plan.Filter
+                  {
+                    pred =
+                      Expr.Infix.( <> )
+                        (Expr.Mod (Expr.Infix.( + ) (Expr.col 0) (Expr.col 1), Expr.int 7))
+                        (Expr.int 0);
+                    mode = `Compiled;
+                    input = Plan.Generate { arity = 2; count = rows; gen };
+                  };
+              divisor =
+                (* the three required courses *)
+                Plan.Generate
+                  { arity = 1; count = 3; gen = (fun i -> Tuple.of_ints [ i + 1 ]) };
+            });
+    };
+    {
+      name = "pipeline";
+      describe = "the section 4.3 eight-process pipeline (exchange x2)";
+      build =
+        (fun ~rows ~degree:_ ->
+          let y =
+            Plan.Exchange
+              { cfg = Exchange.config ~degree:4 (); input = W.plan_slice ~n:rows () }
+          in
+          let c =
+            Plan.Filter
+              {
+                pred = Expr.Infix.( = ) (Expr.col (col "ten_percent")) (Expr.int 0);
+                mode = `Compiled;
+                input = y;
+              }
+          in
+          let b = Plan.Project_cols { cols = [ col "unique1"; col "four" ]; input = c } in
+          Plan.Exchange { cfg = Exchange.config ~degree:3 (); input = b });
+    };
+  ]
+
+let find_query name =
+  match List.find_opt (fun q -> String.equal q.name name) queries with
+  | Some q -> Ok q
+  | None ->
+      Error
+        (Printf.sprintf "unknown query %S; try: %s" name
+           (String.concat ", " (List.map (fun q -> q.name) queries)))
+
+(* --- commands --- *)
+
+let list_cmd () =
+  List.iter (fun q -> Printf.printf "%-20s %s\n" q.name q.describe) queries;
+  0
+
+let explain_cmd name rows degree =
+  match find_query name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok q ->
+      let env = Env.create () in
+      print_string (Plan.explain env (q.build ~rows ~degree));
+      0
+
+let run_cmd name rows degree limit =
+  match find_query name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok q ->
+      let env = Env.create ~frames:2048 () in
+      let plan = q.build ~rows ~degree in
+      let result, elapsed = Clock.time (fun () -> Compile.run env plan) in
+      Printf.printf "%d rows in %.3f s\n" (List.length result) elapsed;
+      List.iteri
+        (fun i t -> if i < limit then print_endline (Tuple.to_string t))
+        result;
+      if List.length result > limit then
+        Printf.printf "... (%d more rows; use --limit)\n"
+          (List.length result - limit);
+      0
+
+let sim_cmd packet_size records =
+  let r = Volcano_sim.Calibration.fig2a ~packet_size ~records () in
+  Printf.printf
+    "simulated 12-CPU Sequent, %d records, packet size %d:\n\
+     elapsed %.2f s, %d packets, peak queue depth %d\n"
+    records packet_size r.Volcano_sim.Sim.elapsed
+    r.Volcano_sim.Sim.packets_total r.Volcano_sim.Sim.max_queue_depth;
+  0
+
+(* --- cmdliner plumbing --- *)
+
+open Cmdliner
+
+let rows_arg =
+  Arg.(value & opt int 20_000 & info [ "rows"; "n" ] ~docv:"N" ~doc:"Relation size.")
+
+let degree_arg =
+  Arg.(value & opt int 4 & info [ "degree"; "d" ] ~docv:"D" ~doc:"Parallel degree.")
+
+let limit_arg =
+  Arg.(value & opt int 10 & info [ "limit" ] ~docv:"K" ~doc:"Rows to print.")
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let list_term = Term.(const list_cmd $ const ())
+
+let explain_term = Term.(const explain_cmd $ name_arg $ rows_arg $ degree_arg)
+
+let run_term = Term.(const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg)
+
+let sim_term =
+  let packet =
+    Arg.(value & opt int 83 & info [ "packet-size" ] ~docv:"P" ~doc:"Records per packet.")
+  in
+  let records =
+    Arg.(value & opt int 100_000 & info [ "records" ] ~docv:"N" ~doc:"Records.")
+  in
+  Term.(const sim_cmd $ packet $ records)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List the demo queries.") list_term;
+    Cmd.v (Cmd.info "explain" ~doc:"Print a query's operator tree.") explain_term;
+    Cmd.v (Cmd.info "run" ~doc:"Execute a demo query.") run_term;
+    Cmd.v
+      (Cmd.info "sim" ~doc:"Run the Figure-2a topology on the simulated Sequent.")
+      sim_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "volcano" ~version:"1.0.0"
+      ~doc:"Volcano query processing system — exchange-operator reproduction"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

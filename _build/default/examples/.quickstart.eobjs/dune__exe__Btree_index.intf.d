@@ -1,0 +1,1 @@
+examples/btree_index.mli:

@@ -1,0 +1,1 @@
+examples/bushy_pipeline.ml: List Printf Volcano Volcano_ops Volcano_plan Volcano_tuple Volcano_util Volcano_wisconsin

@@ -1,0 +1,1 @@
+examples/bushy_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/hash_division.ml: Array Fun List Printf Volcano Volcano_ops Volcano_plan Volcano_tuple Volcano_util

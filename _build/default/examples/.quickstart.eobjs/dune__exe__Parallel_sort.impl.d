@@ -1,0 +1,1 @@
+examples/parallel_sort.ml: Array List Printf Volcano Volcano_plan Volcano_tuple Volcano_util Volcano_wisconsin

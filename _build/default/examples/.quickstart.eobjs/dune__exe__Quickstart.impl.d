@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Volcano_ops Volcano_plan Volcano_tuple Volcano_wisconsin

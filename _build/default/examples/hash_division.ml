@@ -1,0 +1,174 @@
+(* Relational division, serial and parallel.
+
+   The query: which students are enrolled in EVERY required course?
+   dividend = enrollment(student, course), divisor = required(course).
+
+   Section 4.4 reports that once the broadcast variant of exchange existed,
+   "parallelizing our hash-division programs using both divisor
+   partitioning and quotient partitioning took only about three hours" —
+   this example reconstructs both parallelizations as plan rewrites around
+   the unchanged hash-division operator.
+
+   Run with: dune exec examples/hash_division.exe *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Exchange = Volcano.Exchange
+module Expr = Volcano_tuple.Expr
+module Tuple = Volcano_tuple.Tuple
+module Rng = Volcano_util.Rng
+module Clock = Volcano_util.Clock
+
+let students = 2_000
+let courses = 40
+let required = [ 3; 7; 11; 19; 23 ]
+
+(* Student s enrolls in course c with ~70% probability, deterministic. *)
+let enrollment =
+  let rng = Rng.create 2024L in
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun c -> if Rng.int rng 10 < 7 then Some (Tuple.of_ints [ s; c ]) else None)
+        (List.init courses Fun.id))
+    (List.init students Fun.id)
+
+let dividend_tuples = enrollment
+let divisor_tuples = List.map (fun c -> Tuple.of_ints [ c ]) required
+
+let dividend = Plan.Scan_list { arity = 2; tuples = dividend_tuples }
+let divisor = Plan.Scan_list { arity = 1; tuples = divisor_tuples }
+
+(* Slice-aware leaves for the parallel variants. *)
+let dividend_slice =
+  let arr = Array.of_list dividend_tuples in
+  Plan.Generate_slice
+    { arity = 2; count = Array.length arr; gen = (fun i -> arr.(i)) }
+
+let divisor_slice =
+  let arr = Array.of_list divisor_tuples in
+  Plan.Generate_slice
+    { arity = 1; count = Array.length arr; gen = (fun i -> arr.(i)) }
+
+let division ~dividend ~divisor algo =
+  Plan.Division
+    { algo; quotient = [ 0 ]; divisor_attrs = [ 1 ]; divisor_key = [ 0 ];
+      dividend; divisor }
+
+let run_sorted env plan =
+  List.sort Tuple.compare (Compile.run env plan)
+
+let () =
+  let env = Env.create ~frames:1024 () in
+  Printf.printf "enrollment rows: %d; required courses: %d\n\n"
+    (List.length dividend_tuples) (List.length required);
+
+  (* Serial: three algorithms must agree. *)
+  let reference = ref [] in
+  List.iter
+    (fun (name, algo) ->
+      let plan = division ~dividend ~divisor algo in
+      let rows, time = Clock.time (fun () -> run_sorted env plan) in
+      if !reference = [] then reference := rows
+      else assert (List.equal Tuple.equal !reference rows);
+      Printf.printf "%-16s %4d students qualify   %.3f s\n" name
+        (List.length rows) time)
+    [ ("hash-division", `Hash); ("count-division", `Count); ("sort-division", `Sort) ];
+
+  let degree = 4 in
+
+  (* Quotient partitioning: partition the dividend by student; replicate
+     the divisor to every partition (broadcast exchange). *)
+  let quotient_partitioned =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree ();
+        input =
+          division
+            ~dividend:
+              (Plan.Exchange
+                 {
+                   cfg =
+                     Exchange.config ~degree
+                       ~partition:(Exchange.Hash_on [ 0 ]) ();
+                   input = dividend_slice;
+                 })
+            ~divisor:
+              (Plan.Exchange
+                 {
+                   cfg =
+                     Exchange.config ~degree ~partition:Exchange.Broadcast ();
+                   input = divisor_slice;
+                 })
+            `Hash;
+      }
+  in
+  print_string "\n-- quotient partitioning --\n";
+  print_string (Plan.explain env quotient_partitioned);
+  let rows, time = Clock.time (fun () -> run_sorted env quotient_partitioned) in
+  assert (List.equal Tuple.equal !reference rows);
+  Printf.printf "quotient-partitioned: %d students, %.3f s\n" (List.length rows) time;
+
+  (* Divisor partitioning: partition the divisor; replicate the dividend.
+     A student qualifies iff complete against every NON-EMPTY divisor
+     partition (hash partitioning may leave some of the [degree] partitions
+     without any course; those emit nothing), so a count aggregate over the
+     partial results finishes the job. *)
+  let nonempty_partitions =
+    let hash = Volcano_tuple.Support.Partition.hash ~consumers:degree ~on:[ 0 ] () in
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun c -> hash (Tuple.of_ints [ c ])) required))
+  in
+  let count_is_degree =
+    Expr.Infix.( = ) (Expr.col 1) (Expr.int nonempty_partitions)
+  in
+  let divisor_partitioned =
+    Plan.Project_cols
+      {
+        cols = [ 0 ];
+        input =
+          Plan.Filter
+            {
+              pred = count_is_degree;
+              mode = `Compiled;
+              input =
+                Plan.Aggregate
+                  {
+                    algo = Plan.Hash_based;
+                    group_by = [ 0 ];
+                    aggs = [ Volcano_ops.Aggregate.Count ];
+                    input =
+                      Plan.Exchange
+                        {
+                          cfg = Exchange.config ~degree ();
+                          input =
+                            division
+                              ~dividend:
+                                (Plan.Exchange
+                                   {
+                                     cfg =
+                                       Exchange.config ~degree
+                                         ~partition:Exchange.Broadcast ();
+                                     input = dividend_slice;
+                                   })
+                              ~divisor:
+                                (Plan.Interchange
+                                   {
+                                     cfg =
+                                       Exchange.config ~degree
+                                         ~partition:(Exchange.Hash_on [ 0 ]) ();
+                                     input = divisor_slice;
+                                   })
+                              `Hash;
+                        };
+                    };
+            };
+      }
+  in
+  print_string "\n-- divisor partitioning --\n";
+  print_string (Plan.explain env divisor_partitioned);
+  let rows, time = Clock.time (fun () -> run_sorted env divisor_partitioned) in
+  assert (List.equal Tuple.equal !reference rows);
+  Printf.printf "divisor-partitioned: %d students, %.3f s\n" (List.length rows) time

@@ -1,0 +1,60 @@
+(* Intra-operator parallel join, GAMMA style: both inputs hash-partitioned
+   across a group of join processes, results streamed to the consumer.  The
+   join algorithm itself is the unchanged single-process hash match.
+
+   Run with: dune exec examples/parallel_join.exe *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Parallel = Volcano_plan.Parallel
+module W = Volcano_wisconsin.Wisconsin
+module Tuple = Volcano_tuple.Tuple
+module Clock = Volcano_util.Clock
+
+let () =
+  let env = Env.create ~frames:1024 ~page_size:4096 () in
+  let n_left = 40_000 and n_right = 10_000 in
+  let left = W.plan ~seed:1L ~n:n_left () in
+  let right = W.plan ~seed:2L ~n:n_right () in
+  let left_slice = W.plan_slice ~seed:1L ~n:n_left () in
+  let right_slice = W.plan_slice ~seed:2L ~n:n_right () in
+  let key = [ W.column "unique1" ] in
+
+  (* join LEFT and RIGHT on unique1; right is smaller, so it builds. *)
+  let serial =
+    Plan.Match
+      {
+        algo = Plan.Hash_based;
+        kind = Volcano_ops.Match_op.Join;
+        left_key = key;
+        right_key = key;
+        left;
+        right;
+      }
+  in
+  let parallel degree =
+    Parallel.partitioned_match ~degree ~algo:Plan.Hash_based
+      ~kind:Volcano_ops.Match_op.Join ~left_key:key ~right_key:key
+      ~left:left_slice ~right:right_slice ()
+  in
+
+  print_string "-- serial hash join --\n";
+  print_string (Plan.explain env serial);
+  let serial_count, serial_time =
+    Clock.time (fun () -> Compile.run_count env serial)
+  in
+  Printf.printf "result: %d rows in %.3f s\n\n" serial_count serial_time;
+
+  print_string "-- partitioned parallel join (degree 4) --\n";
+  print_string (Plan.explain env (parallel 4));
+  List.iter
+    (fun degree ->
+      let count, time = Clock.time (fun () -> Compile.run_count env (parallel degree)) in
+      assert (count = serial_count);
+      Printf.printf "degree %d: %d rows in %.3f s\n" degree count time)
+    [ 1; 2; 4 ];
+  print_string
+    "\n(wall-clock speedup needs multiple cores; on this machine the point\n\
+    \ is that the partitioned plan returns identical results with the same\n\
+    \ operator code — see bench/main.exe a7 for simulated 12-CPU speedups)\n"

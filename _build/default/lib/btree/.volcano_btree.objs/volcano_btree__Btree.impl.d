@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Bytes Fun Int64 List Mutex Node Printf String Volcano_storage

@@ -1,0 +1,1 @@
+lib/btree/node.ml: Array Bytes Int32 String

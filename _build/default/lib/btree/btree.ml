@@ -1,0 +1,546 @@
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Vtoc = Volcano_storage.Vtoc
+
+type t = {
+  name : string;
+  buffer : Bufpool.t;
+  device : Device.t;
+  cmp : string -> string -> int;
+  lock : Mutex.t;
+  mutable root : int;
+  mutable entries : int;
+  mutable pages : int;
+  mutable seq : int;
+      (* Stored values carry an 8-byte sequence suffix so that every entry's
+         (key, stored-value) composite is unique; duplicate user entries can
+         then never straddle a split separator. *)
+}
+
+(* Entries are ordered by the composite (key, value) so that duplicate keys
+   stay well-ordered and deletes can address one specific entry.  Internal
+   separators are composites, encoded as [u16 klen][key][value]. *)
+
+let encode_composite k v =
+  let buf = Bytes.create (2 + String.length k + String.length v) in
+  Bytes.set_uint16_le buf 0 (String.length k);
+  Bytes.blit_string k 0 buf 2 (String.length k);
+  Bytes.blit_string v 0 buf (2 + String.length k) (String.length v);
+  Bytes.to_string buf
+
+let decode_composite c =
+  let klen = Bytes.get_uint16_le (Bytes.of_string c) 0 in
+  ( String.sub c 2 klen,
+    String.sub c (2 + klen) (String.length c - 2 - klen) )
+
+let compare_composite t a b =
+  let ka, va = decode_composite a and kb, vb = decode_composite b in
+  let c = t.cmp ka kb in
+  if c <> 0 then c else String.compare va vb
+
+(* Sequence suffix handling: user values are stored as value ^ 8-byte
+   big-endian sequence number. *)
+
+let with_seq t value =
+  let buf = Bytes.create (String.length value + 8) in
+  Bytes.blit_string value 0 buf 0 (String.length value);
+  Bytes.set_int64_be buf (String.length value) (Int64.of_int t.seq);
+  t.seq <- t.seq + 1;
+  Bytes.to_string buf
+
+let strip_seq stored = String.sub stored 0 (String.length stored - 8)
+
+(* Node I/O.  Nodes are always fully overwritten, so writes use [fix_new]
+   (fix without read); reads use the normal fix path. *)
+
+let read_node t page_no =
+  let frame = Bufpool.fix t.buffer t.device page_no in
+  let node = Node.decode (Bufpool.bytes frame) in
+  Bufpool.unfix t.buffer frame;
+  node
+
+let write_node t page_no node =
+  let frame = Bufpool.fix_new t.buffer t.device page_no in
+  Node.encode node (Bufpool.bytes frame);
+  Bufpool.mark_dirty frame;
+  Bufpool.unfix t.buffer frame
+
+let alloc_node t node =
+  let page_no = Device.allocate t.device in
+  t.pages <- t.pages + 1;
+  write_node t page_no node;
+  page_no
+
+let free_node t page_no =
+  Device.free t.device page_no;
+  t.pages <- t.pages - 1
+
+let page_size t = Device.page_size t.device
+let underflow t node = Node.encoded_size node < Node.capacity ~page_size:(page_size t) / 4
+
+let sync_vtoc t =
+  match Vtoc.find (Device.vtoc t.device) t.name with
+  | None -> ()
+  | Some e ->
+      e.first_page <- t.root;
+      e.last_page <- t.seq;
+      e.pages <- t.pages;
+      e.records <- t.entries
+
+let create ~buffer ~device ~name ~cmp =
+  let t =
+    {
+      name; buffer; device; cmp; lock = Mutex.create (); root = -1;
+      entries = 0; pages = 0; seq = 0;
+    }
+  in
+  Vtoc.add (Device.vtoc device)
+    { Vtoc.name; first_page = -1; last_page = -1; pages = 0; records = 0 };
+  t.root <- alloc_node t (Node.empty_leaf ());
+  sync_vtoc t;
+  t
+
+let open_existing ~buffer ~device ~name ~cmp =
+  match Vtoc.find (Device.vtoc device) name with
+  | None -> raise Not_found
+  | Some e ->
+      {
+        name;
+        buffer;
+        device;
+        cmp;
+        lock = Mutex.create ();
+        root = e.first_page;
+        entries = e.records;
+        pages = e.pages;
+        seq = e.last_page; (* the sequence counter rides in this field *)
+      }
+
+let name t = t.name
+let entry_count t = t.entries
+
+let rec node_height t page_no =
+  match read_node t page_no with
+  | Node.Leaf _ -> 1
+  | Node.Internal { children; _ } -> 1 + node_height t children.(0)
+
+let height t = node_height t t.root
+
+(* Index of the child to descend into for a composite: the first separator
+   strictly greater than the composite. *)
+let child_index t keys composite =
+  let n = Array.length keys in
+  let rec search i =
+    if i >= n then n
+    else if compare_composite t composite keys.(i) < 0 then i
+    else search (i + 1)
+  in
+  search 0
+
+(* Position of the first entry >= the composite. *)
+let lower_bound t entries composite =
+  let n = Array.length entries in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      let k, v = entries.(mid) in
+      if compare_composite t (encode_composite k v) composite < 0 then
+        search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 n
+
+let insert_at arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+let remove_at arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* Split a leaf entry array near the midpoint by bytes. *)
+let split_entries entries =
+  let total =
+    Array.fold_left (fun acc (k, v) -> acc + 4 + String.length k + String.length v) 0 entries
+  in
+  let acc = ref 0 in
+  let cut = ref 0 in
+  (try
+     Array.iteri
+       (fun i (k, v) ->
+         if !acc >= total / 2 && i > 0 then begin
+           cut := i;
+           raise Exit
+         end;
+         acc := !acc + 4 + String.length k + String.length v)
+       entries
+   with Exit -> ());
+  if !cut = 0 then cut := Array.length entries / 2;
+  if !cut = 0 then cut := 1;
+  ( Array.sub entries 0 !cut,
+    Array.sub entries !cut (Array.length entries - !cut) )
+
+(* Returns [Some (separator, right_page)] when the node split. *)
+let rec insert_rec t page_no key value =
+  match read_node t page_no with
+  | Node.Leaf l ->
+      let composite = encode_composite key value in
+      let pos = lower_bound t l.entries composite in
+      let entries = insert_at l.entries pos (key, value) in
+      let candidate = Node.Leaf { entries; next = l.next } in
+      if Node.fits ~page_size:(page_size t) candidate then begin
+        write_node t page_no candidate;
+        None
+      end
+      else begin
+        let left, right = split_entries entries in
+        let rk, rv = right.(0) in
+        let right_page =
+          alloc_node t (Node.Leaf { entries = right; next = l.next })
+        in
+        write_node t page_no (Node.Leaf { entries = left; next = right_page });
+        Some (encode_composite rk rv, right_page)
+      end
+  | Node.Internal n -> (
+      let idx = child_index t n.keys (encode_composite key value) in
+      match insert_rec t n.children.(idx) key value with
+      | None -> None
+      | Some (separator, right_page) ->
+          let keys = insert_at n.keys idx separator in
+          let children = insert_at n.children (idx + 1) right_page in
+          let candidate = Node.Internal { keys; children } in
+          if Node.fits ~page_size:(page_size t) candidate then begin
+            write_node t page_no candidate;
+            None
+          end
+          else begin
+            let m = Array.length keys in
+            let mid = m / 2 in
+            let promoted = keys.(mid) in
+            let left_keys = Array.sub keys 0 mid in
+            let left_children = Array.sub children 0 (mid + 1) in
+            let right_keys = Array.sub keys (mid + 1) (m - mid - 1) in
+            let right_children = Array.sub children (mid + 1) (m - mid) in
+            let right_page =
+              alloc_node t
+                (Node.Internal { keys = right_keys; children = right_children })
+            in
+            write_node t page_no
+              (Node.Internal { keys = left_keys; children = left_children });
+            Some (promoted, right_page)
+          end)
+
+let insert t ~key ~value =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let value = with_seq t value in
+      (match insert_rec t t.root key value with
+      | None -> ()
+      | Some (separator, right_page) ->
+          let new_root =
+            alloc_node t
+              (Node.Internal
+                 { keys = [| separator |]; children = [| t.root; right_page |] })
+          in
+          t.root <- new_root);
+      t.entries <- t.entries + 1;
+      sync_vtoc t)
+
+(* Descend to the leftmost leaf that may contain the key. *)
+let rec find_leaf t page_no composite =
+  match read_node t page_no with
+  | Node.Leaf { entries; next } -> (page_no, entries, next)
+  | Node.Internal n -> find_leaf t n.children.(child_index t n.keys composite) composite
+
+let lookup t key =
+  if t.root = -1 then []
+  else begin
+    let composite = encode_composite key "" in
+    let _, leaf_entries, leaf_next = find_leaf t t.root composite in
+    let results = ref [] in
+    let rec scan_leaf (l : (string * string) array) next start =
+      let continue = ref true in
+      let i = ref start in
+      while !continue && !i < Array.length l do
+        let k, v = l.(!i) in
+        let c = t.cmp k key in
+        if c = 0 then results := strip_seq v :: !results
+        else if c > 0 then continue := false;
+        incr i
+      done;
+      (* Equal keys may continue on the next leaf. *)
+      if !continue && next <> -1 then
+        match read_node t next with
+        | Node.Leaf l' -> scan_leaf l'.entries l'.next 0
+        | Node.Internal _ -> failwith "Btree: leaf chain reaches internal node"
+    in
+    let start = lower_bound t leaf_entries composite in
+    scan_leaf leaf_entries leaf_next start;
+    List.rev !results
+  end
+
+let mem t key = match lookup t key with [] -> false | _ :: _ -> true
+
+(* Merge or redistribute children [idx] and [idx+1] of an internal node
+   after a deletion caused underflow.  Returns updated (keys, children). *)
+let rebalance_children t keys children idx =
+  let left_page = children.(idx) and right_page = children.(idx + 1) in
+  let left = read_node t left_page and right = read_node t right_page in
+  match (left, right) with
+  | Node.Leaf l, Node.Leaf r ->
+      let combined = Array.append l.entries r.entries in
+      let merged = Node.Leaf { entries = combined; next = r.next } in
+      if Node.fits ~page_size:(page_size t) merged then begin
+        write_node t left_page merged;
+        free_node t right_page;
+        (remove_at keys idx, remove_at children (idx + 1))
+      end
+      else begin
+        let new_left, new_right = split_entries combined in
+        let rk, rv = new_right.(0) in
+        write_node t left_page (Node.Leaf { entries = new_left; next = right_page });
+        write_node t right_page (Node.Leaf { entries = new_right; next = r.next });
+        keys.(idx) <- encode_composite rk rv;
+        (keys, children)
+      end
+  | Node.Internal l, Node.Internal r ->
+      let combined_keys = Array.concat [ l.keys; [| keys.(idx) |]; r.keys ] in
+      let combined_children = Array.append l.children r.children in
+      let merged = Node.Internal { keys = combined_keys; children = combined_children } in
+      if Node.fits ~page_size:(page_size t) merged then begin
+        write_node t left_page merged;
+        free_node t right_page;
+        (remove_at keys idx, remove_at children (idx + 1))
+      end
+      else begin
+        let m = Array.length combined_keys in
+        let mid = m / 2 in
+        write_node t left_page
+          (Node.Internal
+             {
+               keys = Array.sub combined_keys 0 mid;
+               children = Array.sub combined_children 0 (mid + 1);
+             });
+        write_node t right_page
+          (Node.Internal
+             {
+               keys = Array.sub combined_keys (mid + 1) (m - mid - 1);
+               children = Array.sub combined_children (mid + 1) (m - mid);
+             });
+        keys.(idx) <- combined_keys.(mid);
+        (keys, children)
+      end
+  | _ -> failwith "Btree: sibling nodes of different kinds"
+
+let rec delete_rec t page_no composite =
+  match read_node t page_no with
+  | Node.Leaf l ->
+      let pos = lower_bound t l.entries composite in
+      if pos >= Array.length l.entries then false
+      else
+        let k, v = l.entries.(pos) in
+        if compare_composite t (encode_composite k v) composite <> 0 then false
+        else begin
+          write_node t page_no
+            (Node.Leaf { entries = remove_at l.entries pos; next = l.next });
+          true
+        end
+  | Node.Internal n ->
+      let idx = child_index t n.keys composite in
+      let deleted = delete_rec t n.children.(idx) composite in
+      if not deleted then false
+      else begin
+        let child = read_node t n.children.(idx) in
+        if underflow t child && Array.length n.children > 1 then begin
+          let pair_idx = if idx = Array.length n.children - 1 then idx - 1 else idx in
+          let keys, children = rebalance_children t n.keys n.children pair_idx in
+          write_node t page_no (Node.Internal { keys; children })
+        end;
+        true
+      end
+
+(* Find the stored (suffixed) value of the first entry with this key whose
+   stripped value matches [value] (or any entry if [value] is [None]). *)
+let find_stored t key value =
+  if t.root = -1 then None
+  else begin
+    let composite = encode_composite key "" in
+    let _, leaf_entries, leaf_next = find_leaf t t.root composite in
+    let found = ref None in
+    let rec scan_leaf entries next start =
+      let continue = ref true in
+      let i = ref start in
+      while !found = None && !continue && !i < Array.length entries do
+        let k, v = entries.(!i) in
+        let c = t.cmp k key in
+        if c = 0 then begin
+          match value with
+          | None -> found := Some v
+          | Some wanted ->
+              if String.equal (strip_seq v) wanted then found := Some v
+        end
+        else if c > 0 then continue := false;
+        incr i
+      done;
+      if !found = None && !continue && next <> -1 then
+        match read_node t next with
+        | Node.Leaf l -> scan_leaf l.entries l.next 0
+        | Node.Internal _ -> failwith "Btree: leaf chain reaches internal node"
+    in
+    scan_leaf leaf_entries leaf_next (lower_bound t leaf_entries composite);
+    !found
+  end
+
+let delete t ~key ?value () =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match find_stored t key value with
+      | None -> false
+      | Some v ->
+          let deleted = delete_rec t t.root (encode_composite key v) in
+          if deleted then begin
+            t.entries <- t.entries - 1;
+            (* Collapse a root with a single child. *)
+            (match read_node t t.root with
+            | Node.Internal { keys = [||]; children = [| only |] } ->
+                free_node t t.root;
+                t.root <- only
+            | _ -> ());
+            sync_vtoc t
+          end;
+          deleted)
+
+type bound = Unbounded | Inclusive of string | Exclusive of string
+
+type cursor = {
+  tree : t;
+  hi : bound;
+  mutable entries : (string * string) array;
+  mutable pos : int;
+  mutable next_leaf : int;
+  mutable finished : bool;
+}
+
+let range t ~lo ~hi =
+  let start_composite =
+    match lo with
+    | Unbounded -> encode_composite "" ""
+    | Inclusive k | Exclusive k -> encode_composite k ""
+  in
+  let _, leaf_entries, leaf_next = find_leaf t t.root start_composite in
+  let pos =
+    match lo with
+    | Unbounded -> 0
+    | Inclusive k ->
+        lower_bound t leaf_entries (encode_composite k "")
+    | Exclusive k ->
+        (* Skip every entry with key <= k. *)
+        let rec skip i =
+          if i >= Array.length leaf_entries then i
+          else
+            let ek, _ = leaf_entries.(i) in
+            if t.cmp ek k <= 0 then skip (i + 1) else i
+        in
+        skip (lower_bound t leaf_entries (encode_composite k ""))
+  in
+  { tree = t; hi; entries = leaf_entries; pos; next_leaf = leaf_next; finished = false }
+
+let past_hi cursor key =
+  match cursor.hi with
+  | Unbounded -> false
+  | Inclusive k -> cursor.tree.cmp key k > 0
+  | Exclusive k -> cursor.tree.cmp key k >= 0
+
+let rec next cursor =
+  if cursor.finished then None
+  else if cursor.pos >= Array.length cursor.entries then
+    if cursor.next_leaf = -1 then begin
+      cursor.finished <- true;
+      None
+    end
+    else begin
+      (match read_node cursor.tree cursor.next_leaf with
+      | Node.Leaf l ->
+          cursor.entries <- l.entries;
+          cursor.pos <- 0;
+          cursor.next_leaf <- l.next
+      | Node.Internal _ -> failwith "Btree: leaf chain reaches internal node");
+      next cursor
+    end
+  else begin
+    let k, v = cursor.entries.(cursor.pos) in
+    if past_hi cursor k then begin
+      cursor.finished <- true;
+      None
+    end
+    else begin
+      cursor.pos <- cursor.pos + 1;
+      (* Exclusive lower bounds may leave stragglers on later leaves; the
+         [range] construction already skipped them on the first leaf. *)
+      Some (k, strip_seq v)
+    end
+  end
+
+let close_cursor cursor = cursor.finished <- true
+
+let to_list t =
+  let cursor = range t ~lo:Unbounded ~hi:Unbounded in
+  let rec drain acc =
+    match next cursor with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  drain []
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Returns (first composite, last composite, depth, leftmost leaf page,
+     rightmost leaf page), or None for an empty subtree. *)
+  let rec walk page_no lo hi =
+    match read_node t page_no with
+    | Node.Leaf l ->
+        Array.iteri
+          (fun i (k, v) ->
+            let c = encode_composite k v in
+            if i > 0 then begin
+              let pk, pv = l.entries.(i - 1) in
+              if compare_composite t (encode_composite pk pv) c > 0 then
+                fail "leaf %d: entries out of order" page_no
+            end;
+            (match lo with
+            | Some b when compare_composite t c b < 0 ->
+                fail "leaf %d: entry below separator" page_no
+            | _ -> ());
+            match hi with
+            | Some b when compare_composite t c b >= 0 ->
+                fail "leaf %d: entry at or above separator" page_no
+            | _ -> ())
+          l.entries;
+        (1, Array.length l.entries)
+    | Node.Internal n ->
+        if Array.length n.children <> Array.length n.keys + 1 then
+          fail "internal %d: arity mismatch" page_no;
+        Array.iteri
+          (fun i k ->
+            if i > 0 && compare_composite t n.keys.(i - 1) k >= 0 then
+              fail "internal %d: separators out of order" page_no)
+          n.keys;
+        let depth = ref 0 in
+        let count = ref 0 in
+        Array.iteri
+          (fun i child ->
+            let clo = if i = 0 then lo else Some n.keys.(i - 1) in
+            let chi = if i = Array.length n.keys then hi else Some n.keys.(i) in
+            let d, c = walk child clo chi in
+            if !depth = 0 then depth := d
+            else if d <> !depth then fail "internal %d: uneven depth" page_no;
+            count := !count + c)
+          n.children;
+        (!depth + 1, !count)
+  in
+  let _, count = walk t.root None None in
+  if count <> t.entries then
+    fail "entry count mismatch: counted %d, recorded %d" count t.entries

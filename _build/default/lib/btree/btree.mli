@@ -1,0 +1,58 @@
+(** B+-trees over the buffer pool.
+
+    Keys and values are opaque byte strings; ordering comes from a caller-
+    supplied comparator, keeping the support-function discipline.  Duplicate
+    keys are allowed (secondary-index style); entries with equal keys are
+    further ordered by value so that deletes can name a specific entry.
+
+    The tree is single-writer / multi-reader like the rest of Volcano's
+    single-user file system; structural changes take the tree lock. *)
+
+type t
+
+val create :
+  buffer:Volcano_storage.Bufpool.t ->
+  device:Volcano_storage.Device.t ->
+  name:string ->
+  cmp:(string -> string -> int) ->
+  t
+(** Create an empty tree and register it in the device VTOC. *)
+
+val open_existing :
+  buffer:Volcano_storage.Bufpool.t ->
+  device:Volcano_storage.Device.t ->
+  name:string ->
+  cmp:(string -> string -> int) ->
+  t
+(** @raise Not_found if the VTOC has no such tree. *)
+
+val name : t -> string
+val height : t -> int
+val entry_count : t -> int
+
+val insert : t -> key:string -> value:string -> unit
+
+val lookup : t -> string -> string list
+(** All values stored under exactly the given key, in value order. *)
+
+val mem : t -> string -> bool
+
+val delete : t -> key:string -> ?value:string -> unit -> bool
+(** Remove one entry with the given key (and value, if supplied).  Returns
+    whether an entry was removed.  Underflowing nodes are rebalanced by
+    borrowing from or merging with a sibling. *)
+
+type bound = Unbounded | Inclusive of string | Exclusive of string
+
+type cursor
+
+val range : t -> lo:bound -> hi:bound -> cursor
+val next : cursor -> (string * string) option
+val close_cursor : cursor -> unit
+
+val to_list : t -> (string * string) list
+(** Full ascending scan (tests). *)
+
+val check_invariants : t -> unit
+(** Walk the whole tree verifying ordering, separator correctness, and leaf
+    chaining.  @raise Failure on violation.  For tests. *)

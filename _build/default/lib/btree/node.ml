@@ -1,0 +1,93 @@
+type t =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int }
+  | Internal of { mutable keys : string array; mutable children : int array }
+
+let header_size = 16
+let kind_leaf = 0
+let kind_internal = 1
+
+let capacity ~page_size = page_size - header_size
+
+let encoded_size = function
+  | Leaf { entries; _ } ->
+      Array.fold_left
+        (fun acc (k, v) -> acc + 4 + String.length k + String.length v)
+        0 entries
+  | Internal { keys; children } ->
+      Array.fold_left (fun acc k -> acc + 2 + String.length k) 0 keys
+      + (4 * Array.length children)
+
+let fits ~page_size node = encoded_size node <= capacity ~page_size
+
+let empty_leaf () = Leaf { entries = [||]; next = -1 }
+
+let encode node page =
+  let page_size = Bytes.length page in
+  if not (fits ~page_size node) then invalid_arg "Btree node overflows page";
+  Bytes.fill page 0 page_size '\000';
+  let cursor = ref header_size in
+  let put_u16 v =
+    Bytes.set_uint16_le page !cursor v;
+    cursor := !cursor + 2
+  in
+  let put_str s =
+    put_u16 (String.length s);
+    Bytes.blit_string s 0 page !cursor (String.length s);
+    cursor := !cursor + String.length s
+  in
+  let put_i32 v =
+    Bytes.set_int32_le page !cursor (Int32.of_int v);
+    cursor := !cursor + 4
+  in
+  match node with
+  | Leaf { entries; next } ->
+      Bytes.set_uint16_le page 0 (Array.length entries);
+      Bytes.set_uint16_le page 2 kind_leaf;
+      Bytes.set_int32_le page 4 (Int32.of_int next);
+      Array.iter
+        (fun (k, v) ->
+          put_str k;
+          put_str v)
+        entries
+  | Internal { keys; children } ->
+      assert (Array.length children = Array.length keys + 1);
+      Bytes.set_uint16_le page 0 (Array.length keys);
+      Bytes.set_uint16_le page 2 kind_internal;
+      Array.iter (fun c -> put_i32 c) children;
+      Array.iter put_str keys
+
+let decode page =
+  let n = Bytes.get_uint16_le page 0 in
+  let kind = Bytes.get_uint16_le page 2 in
+  let cursor = ref header_size in
+  let get_u16 () =
+    let v = Bytes.get_uint16_le page !cursor in
+    cursor := !cursor + 2;
+    v
+  in
+  let get_str () =
+    let len = get_u16 () in
+    let s = Bytes.sub_string page !cursor len in
+    cursor := !cursor + len;
+    s
+  in
+  let get_i32 () =
+    let v = Int32.to_int (Bytes.get_int32_le page !cursor) in
+    cursor := !cursor + 4;
+    v
+  in
+  if kind = kind_leaf then begin
+    let next = Int32.to_int (Bytes.get_int32_le page 4) in
+    let entries =
+      Array.init n (fun _ ->
+          let k = get_str () in
+          let v = get_str () in
+          (k, v))
+    in
+    Leaf { entries; next }
+  end
+  else begin
+    let children = Array.init (n + 1) (fun _ -> get_i32 ()) in
+    let keys = Array.init n (fun _ -> get_str ()) in
+    Internal { keys; children }
+  end

@@ -1,0 +1,26 @@
+(** On-page layout of B+-tree nodes.
+
+    A node is decoded into a heap value, modified, and re-encoded; all byte
+    fiddling lives here.  Keys and values are opaque byte strings compared
+    by the tree's support function. *)
+
+type t =
+  | Leaf of { mutable entries : (string * string) array; mutable next : int }
+      (** sorted key/value pairs and the next-leaf link (-1 at the end) *)
+  | Internal of { mutable keys : string array; mutable children : int array }
+      (** [children] has one more element than [keys]; subtree [i] holds
+          keys [< keys.(i)] (and [>= keys.(i-1)]) *)
+
+val encoded_size : t -> int
+
+val capacity : page_size:int -> int
+(** Usable bytes in a page. *)
+
+val fits : page_size:int -> t -> bool
+
+val encode : t -> bytes -> unit
+(** Encode into a page-sized buffer.  @raise Invalid_argument if too big. *)
+
+val decode : bytes -> t
+
+val empty_leaf : unit -> t

@@ -1,0 +1,1 @@
+lib/core/exchange.ml: Array Atomic Domain Group Iterator List Mutex Packet Port Volcano_tuple Volcano_util

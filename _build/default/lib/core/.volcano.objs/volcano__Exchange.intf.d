@@ -1,0 +1,1 @@
+lib/core/exchange.mli: Group Iterator Volcano_tuple

@@ -1,0 +1,1 @@
+lib/core/group.ml: Condition Hashtbl Mutex Port Volcano_util

@@ -1,0 +1,1 @@
+lib/core/iterator.ml: Array Fun List Printf Volcano_tuple

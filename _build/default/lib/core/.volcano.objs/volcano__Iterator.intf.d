@@ -1,0 +1,1 @@
+lib/core/iterator.mli: Volcano_tuple

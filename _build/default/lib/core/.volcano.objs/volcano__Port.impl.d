@@ -1,0 +1,1 @@
+lib/core/port.ml: Array Atomic Condition Mutex Option Packet Queue Volcano_util

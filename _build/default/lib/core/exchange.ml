@@ -1,0 +1,460 @@
+module Sema = Volcano_util.Sema
+module Support = Volcano_tuple.Support
+
+type partition_spec =
+  | Round_robin
+  | Hash_on of int list
+  | Range_on of int * Volcano_tuple.Value.t array
+  | Custom of Support.Partition.t
+  | Broadcast
+
+type fork_mode = Fork_tree | Fork_central
+
+type config = {
+  degree : int;
+  packet_size : int;
+  flow_slack : int option;
+  partition : partition_spec;
+  fork_mode : fork_mode;
+}
+
+let config ?(degree = 1) ?(packet_size = Packet.default_capacity)
+    ?(flow_slack = Some 4) ?(partition = Round_robin) ?(fork_mode = Fork_tree)
+    () =
+  if degree < 1 then invalid_arg "Exchange.config: degree must be positive";
+  if packet_size < 1 || packet_size > Packet.max_capacity then
+    invalid_arg "Exchange.config: packet size must be in [1, 255]";
+  { degree; packet_size; flow_slack; partition; fork_mode }
+
+let id_counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add id_counter 1
+
+let spawn_counter = Atomic.make 0
+let domains_spawned () = Atomic.get spawn_counter
+
+let instantiate_partition spec ~consumers =
+  match spec with
+  | Round_robin -> Support.Partition.round_robin ~consumers ()
+  | Hash_on cols -> Support.Partition.hash ~consumers ~on:cols ()
+  | Range_on (col, bounds) ->
+      Support.Partition.range ~consumers ~on:col ~bounds ()
+  | Custom factory ->
+      let f = factory () in
+      fun tuple -> ((f tuple mod consumers) + consumers) mod consumers
+  | Broadcast -> fun _ -> 0 (* not used; producers replicate explicitly *)
+
+(* ------------------------------------------------------------------ *)
+(* Producer side                                                       *)
+
+(* The producer half of exchange: "the driver for the query tree below the
+   exchange operator" (section 4.1).  Runs in a forked domain. *)
+let run_producer_inner cfg port close_allowed group input =
+  let rank = Group.rank group in
+  let iter = input group in
+  Iterator.open_ iter;
+  let consumers = Port.consumers port in
+  let fresh () = Packet.create ~capacity:cfg.packet_size ~producer:rank in
+  let packets = Array.init consumers (fun _ -> fresh ()) in
+  let flush consumer ~eos =
+    let packet = packets.(consumer) in
+    if eos then Packet.tag_end_of_stream packet;
+    if eos || not (Packet.is_empty packet) then
+      Port.send port ~producer:rank ~consumer packet;
+    packets.(consumer) <- fresh ()
+  in
+  let deliver consumer tuple =
+    Packet.add packets.(consumer) tuple;
+    if Packet.is_full packets.(consumer) then flush consumer ~eos:false
+  in
+  let partition = instantiate_partition cfg.partition ~consumers in
+  let rec drive () =
+    if Port.is_shut_down port then ()
+    else
+      match Iterator.next iter with
+      | None -> ()
+      | Some tuple ->
+          (match cfg.partition with
+          | Broadcast ->
+              (* Replicate to all consumers.  Tuples are immutable and
+                 shared by reference — the analogue of pinning the record
+                 once per consumer rather than copying it (section 4.4). *)
+              for consumer = 0 to consumers - 1 do
+                deliver consumer tuple
+              done
+          | Round_robin | Hash_on _ | Range_on _ | Custom _ ->
+              deliver (partition tuple) tuple);
+          drive ()
+  in
+  drive ();
+  (* Flag the last packet to every consumer with the end-of-stream tag. *)
+  if not (Port.is_shut_down port) then
+    for consumer = 0 to consumers - 1 do
+      flush consumer ~eos:true
+    done;
+  (* "waits until the consumer allows closing all open files" — records may
+     still be in flight or pinned by consumers (section 4.1). *)
+  Sema.acquire close_allowed;
+  Iterator.close iter
+
+(* A producer that dies must not hang the query: shut the port down so
+   consumers drain and finish, and let the exception surface when the
+   master joins the producer domains at close. *)
+let run_producer cfg port close_allowed group input =
+  try run_producer_inner cfg port close_allowed group input
+  with exn ->
+    Port.shutdown port;
+    raise exn
+
+(* children_of r: ranks this producer forks in the propagation-tree scheme
+   (section 4.2): in round k the processes with rank < 2^k fork rank + 2^k. *)
+let children_of rank size =
+  let rec collect k acc =
+    let stride = 1 lsl k in
+    if rank + stride >= size then List.rev acc
+    else if stride > rank then collect (k + 1) ((rank + stride) :: acc)
+    else collect (k + 1) acc
+  in
+  collect 0 []
+
+module For_testing = struct
+  let children_of = children_of
+end
+
+(* Fork the producer group; returns a function that joins all of it. *)
+let spawn_producers cfg port close_allowed input =
+  let shared = Group.make_shared ~size:cfg.degree in
+  let run rank =
+    run_producer cfg port close_allowed (Group.attach shared ~rank) input
+  in
+  match cfg.fork_mode with
+  | Fork_central ->
+      let domains =
+        List.init cfg.degree (fun rank ->
+            Atomic.incr spawn_counter;
+            Domain.spawn (fun () -> run rank))
+      in
+      fun () -> List.iter Domain.join domains
+  | Fork_tree ->
+      let rec subtree rank () =
+        let spawned =
+          List.map
+            (fun child ->
+              Atomic.incr spawn_counter;
+              Domain.spawn (subtree child))
+            (children_of rank cfg.degree)
+        in
+        run rank;
+        List.iter Domain.join spawned
+      in
+      Atomic.incr spawn_counter;
+      let root = Domain.spawn (subtree 0) in
+      fun () -> Domain.join root
+
+(* ------------------------------------------------------------------ *)
+(* Consumer side                                                       *)
+
+type consumer_state = {
+  port : Port.t;
+  close_allowed : Sema.t;
+  joiner : (unit -> unit) option; (* master only *)
+  mutable current : Packet.t option;
+  mutable pos : int;
+  mutable eos_tags : int;
+  mutable finished : bool;
+}
+
+let setup_consumer ?(keep_separate = false) cfg ~id ~group ~input =
+  if Group.is_master group then begin
+    let port =
+      Port.create ~producers:cfg.degree ~consumers:(Group.size group)
+        ?flow_slack:cfg.flow_slack ~keep_separate ()
+    in
+    let close_allowed = Sema.create 0 in
+    let joiner = spawn_producers cfg port close_allowed input in
+    Group.publish_port group ~key:id port;
+    (* The semaphore rides along for non-master members (unused by them). *)
+    (port, close_allowed, Some joiner)
+  end
+  else
+    let port = Group.lookup_port group ~key:id in
+    (port, Sema.create 0, None)
+
+let teardown_consumer cfg ~group state =
+  if Group.is_master group then begin
+    if not state.finished then
+      (* Early close: cancel the producers before permitting shutdown. *)
+      Port.shutdown state.port;
+    Sema.release_n state.close_allowed cfg.degree;
+    match state.joiner with Some join -> join () | None -> ()
+  end
+
+let consume_packets state ~receive =
+  let rec step () =
+    match state.current with
+    | Some packet when state.pos < Packet.length packet ->
+        let tuple = Packet.get packet state.pos in
+        state.pos <- state.pos + 1;
+        Some tuple
+    | Some packet ->
+        if Packet.end_of_stream packet then
+          state.eos_tags <- state.eos_tags + 1;
+        state.current <- None;
+        step ()
+    | None ->
+        if state.finished then None
+        else if state.eos_tags >= Port.producers state.port then begin
+          state.finished <- true;
+          None
+        end
+        else (
+          match receive () with
+          | Some packet ->
+              state.current <- Some packet;
+              state.pos <- 0;
+              step ()
+          | None ->
+              (* Port shut down. *)
+              state.finished <- true;
+              None)
+  in
+  step ()
+
+let iterator ?id cfg ~group ~input =
+  let id = match id with Some i -> i | None -> fresh_id () in
+  let state = ref None in
+  let get_state () =
+    match !state with
+    | Some s -> s
+    | None -> invalid_arg "Exchange.iterator: not open"
+  in
+  Iterator.make
+    ~open_:(fun () ->
+      let port, close_allowed, joiner = setup_consumer cfg ~id ~group ~input in
+      state :=
+        Some
+          { port; close_allowed; joiner; current = None; pos = 0; eos_tags = 0; finished = false })
+    ~next:(fun () ->
+      let s = get_state () in
+      consume_packets s ~receive:(fun () ->
+          Port.receive s.port ~consumer:(Group.rank group)))
+    ~close:(fun () ->
+      let s = get_state () in
+      teardown_consumer cfg ~group s;
+      state := None)
+
+(* Keep-separate variant: one stream per producer, so that "the merge
+   iterator [can] distinguish the input records by their producer"
+   (section 4.4).  The streams share setup and teardown via refcounts. *)
+let producer_streams ?id cfg ~group ~input =
+  let id = match id with Some i -> i | None -> fresh_id () in
+  let shared = ref None in
+  let open_count = ref 0 in
+  let close_count = ref 0 in
+  let lock = Mutex.create () in
+  let ensure_open () =
+    Mutex.lock lock;
+    if !open_count = 0 then begin
+      let port, close_allowed, joiner =
+        setup_consumer ~keep_separate:true cfg ~id ~group ~input
+      in
+      shared := Some (port, close_allowed, joiner)
+    end;
+    incr open_count;
+    Mutex.unlock lock
+  in
+  let all_finished = Array.make cfg.degree false in
+  let release () =
+    Mutex.lock lock;
+    incr close_count;
+    let last = !close_count = cfg.degree in
+    Mutex.unlock lock;
+    if last then
+      match !shared with
+      | Some (port, close_allowed, joiner) ->
+          if Array.exists not all_finished then Port.shutdown port;
+          Sema.release_n close_allowed cfg.degree;
+          (match joiner with Some join -> join () | None -> ());
+          shared := None
+      | None -> ()
+  in
+  Array.init cfg.degree (fun producer ->
+      let stream_state = ref None in
+      Iterator.make
+        ~open_:(fun () ->
+          ensure_open ();
+          let port, close_allowed, _ =
+            match !shared with Some s -> s | None -> assert false
+          in
+          stream_state :=
+            Some
+              {
+                port;
+                close_allowed;
+                joiner = None;
+                current = None;
+                pos = 0;
+                eos_tags = 0;
+                finished = false;
+              })
+        ~next:(fun () ->
+          match !stream_state with
+          | None -> invalid_arg "Exchange.producer_streams: not open"
+          | Some s ->
+              (* Exactly one end-of-stream tag arrives on this queue. *)
+              let result =
+                let rec step () =
+                  match s.current with
+                  | Some packet when s.pos < Packet.length packet ->
+                      let tuple = Packet.get packet s.pos in
+                      s.pos <- s.pos + 1;
+                      Some tuple
+                  | Some packet ->
+                      if Packet.end_of_stream packet then s.finished <- true;
+                      s.current <- None;
+                      if s.finished then None else step ()
+                  | None ->
+                      if s.finished then None
+                      else (
+                        match
+                          Port.receive_from s.port ~producer
+                            ~consumer:(Group.rank group)
+                        with
+                        | Some packet ->
+                            s.current <- Some packet;
+                            s.pos <- 0;
+                            step ()
+                        | None ->
+                            s.finished <- true;
+                            None)
+                in
+                step ()
+              in
+              if result = None then all_finished.(producer) <- true;
+              result)
+        ~close:(fun () ->
+          (match !stream_state with
+          | Some s -> if s.finished then all_finished.(producer) <- true
+          | None -> ());
+          stream_state := None;
+          release ()))
+
+(* ------------------------------------------------------------------ *)
+(* No-fork interchange (section 4.4)                                   *)
+
+let interchange ?id cfg ~group ~input =
+  let id = match id with Some i -> i | None -> fresh_id () in
+  let rank = Group.rank group in
+  let size = Group.size group in
+  let state = ref None in
+  let input_done = ref false in
+  let packets = ref [||] in
+  let partition = ref (fun _ -> 0) in
+  Iterator.make
+    ~open_:(fun () ->
+      let port =
+        if Group.is_master group then begin
+          (* Flow control is pointless here: a process produces only when
+             it has nothing to consume. *)
+          let port =
+            Port.create ~producers:size ~consumers:size ~keep_separate:false ()
+          in
+          Group.publish_port group ~key:id port;
+          port
+        end
+        else Group.lookup_port group ~key:id
+      in
+      Iterator.open_ input;
+      input_done := false;
+      packets :=
+        Array.init size (fun _ ->
+            Packet.create ~capacity:cfg.packet_size ~producer:rank);
+      (partition :=
+         match cfg.partition with
+         | Broadcast ->
+             invalid_arg "Exchange.interchange: broadcast not supported"
+         | spec -> instantiate_partition spec ~consumers:size);
+      state :=
+        Some
+          {
+            port;
+            close_allowed = Sema.create 0;
+            joiner = None;
+            current = None;
+            pos = 0;
+            eos_tags = 0;
+            finished = false;
+          })
+    ~next:(fun () ->
+      match !state with
+      | None -> invalid_arg "Exchange.interchange: not open"
+      | Some s ->
+          let flush consumer ~eos =
+            let packet = !packets.(consumer) in
+            if eos then Packet.tag_end_of_stream packet;
+            if eos || not (Packet.is_empty packet) then
+              Port.send s.port ~producer:rank ~consumer packet;
+            !packets.(consumer) <-
+              Packet.create ~capacity:cfg.packet_size ~producer:rank
+          in
+          let rec step () =
+            match s.current with
+            | Some packet when s.pos < Packet.length packet ->
+                let tuple = Packet.get packet s.pos in
+                s.pos <- s.pos + 1;
+                Some tuple
+            | Some packet ->
+                if Packet.end_of_stream packet then
+                  s.eos_tags <- s.eos_tags + 1;
+                s.current <- None;
+                step ()
+            | None ->
+                if s.finished then None
+                else if s.eos_tags >= size then begin
+                  s.finished <- true;
+                  None
+                end
+                else (
+                  (* Prefer packets already queued for this process. *)
+                  match Port.try_receive s.port ~consumer:rank with
+                  | Some packet ->
+                      s.current <- Some packet;
+                      s.pos <- 0;
+                      step ()
+                  | None ->
+                      if not !input_done then (
+                        (* Run the producer: pull own input, route records,
+                           and return as soon as one lands here. *)
+                        match Iterator.next input with
+                        | Some tuple ->
+                            let consumer = !partition tuple in
+                            if consumer = rank then Some tuple
+                            else begin
+                              Packet.add !packets.(consumer) tuple;
+                              if Packet.is_full !packets.(consumer) then
+                                flush consumer ~eos:false;
+                              step ()
+                            end
+                        | None ->
+                            input_done := true;
+                            for consumer = 0 to size - 1 do
+                              flush consumer ~eos:true
+                            done;
+                            step ())
+                      else (
+                        match Port.receive s.port ~consumer:rank with
+                        | Some packet ->
+                            s.current <- Some packet;
+                            s.pos <- 0;
+                            step ()
+                        | None ->
+                            s.finished <- true;
+                            None))
+          in
+          step ())
+    ~close:(fun () ->
+      (match !state with
+      | Some s ->
+          if Group.is_master group && not s.finished then Port.shutdown s.port
+      | None -> ());
+      Iterator.close input;
+      state := None)

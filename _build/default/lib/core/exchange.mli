@@ -1,0 +1,115 @@
+(** The exchange operator — the paper's contribution.
+
+    Exchange is itself an iterator, so "it can be inserted at any one place
+    or at multiple places in a complex query tree" (section 4).  It
+    encapsulates all three forms of parallelism:
+
+    - {e vertical} (pipelining): the consumer side is an ordinary iterator
+      while the producer side, running in freshly forked processes, becomes
+      the data-driven driver of the subtree below;
+    - {e bushy}: two exchanges under a binary operator let both inputs be
+      computed concurrently;
+    - {e intra-operator}: [degree > 1] producers partition their output
+      across the consumer group with a partitioning support function.
+
+    Variants from section 4.4 are all here: {e broadcast} (replicate the
+    stream to every consumer), {e keep-separate} producer streams for merge
+    networks ({!producer_streams}), and the {e no-fork interchange} that
+    lives in the middle of a process's operator tree and turns the process
+    into both producer and consumer ({!interchange}).
+
+    Everything below the exchange runs unchanged single-process code: this
+    module alone performs the translation between demand-driven dataflow
+    within a process and data-driven dataflow between processes.
+
+    "Processes" are OCaml domains (shared memory, like the paper's Sequent
+    processes). *)
+
+type partition_spec =
+  | Round_robin
+  | Hash_on of int list  (** hash-partition on these columns *)
+  | Range_on of int * Volcano_tuple.Value.t array
+      (** range-partition on a column given ascending split bounds *)
+  | Custom of Volcano_tuple.Support.Partition.t
+  | Broadcast  (** replicate every record to every consumer (section 4.4) *)
+
+type fork_mode =
+  | Fork_tree  (** propagation-tree forking (section 4.2, after Gerber) *)
+  | Fork_central  (** master forks every producer itself *)
+
+type config = {
+  degree : int;  (** number of producer processes *)
+  packet_size : int;  (** records per packet, 1..255; default 83 *)
+  flow_slack : int option;
+      (** [Some n] enables flow control with [n] slack packets *)
+  partition : partition_spec;
+  fork_mode : fork_mode;
+}
+
+val config :
+  ?degree:int ->
+  ?packet_size:int ->
+  ?flow_slack:int option ->
+  ?partition:partition_spec ->
+  ?fork_mode:fork_mode ->
+  unit ->
+  config
+(** Defaults: degree 1, packet size 83, flow control with 4 slack packets,
+    round-robin partitioning, tree forking. *)
+
+val fresh_id : unit -> int
+(** Allocate an exchange instance key.  All consumers of one logical
+    exchange (one per member of the consuming group) must share the key so
+    that non-master members find the master's port. *)
+
+val iterator :
+  ?id:int ->
+  config ->
+  group:Group.t ->
+  input:(Group.t -> Iterator.t) ->
+  Iterator.t
+(** The exchange iterator for the calling process (one member of the
+    consuming group).  On [open_], the group master creates the port and
+    forks the producer group; each producer evaluates [input] — in its own
+    domain, with its own group context — and drives it, pushing packets.
+    [next] returns records as they arrive; [close] on the master permits
+    producers to shut down and joins them (closing before end-of-stream
+    cancels the producers).  Other group members attach to the master's
+    port and close locally. *)
+
+val producer_streams :
+  ?id:int ->
+  config ->
+  group:Group.t ->
+  input:(Group.t -> Iterator.t) ->
+  Iterator.t array
+(** The merge-network variant: [degree] iterators, one per producer, whose
+    records are kept separate so a merge iterator can consume sorted runs
+    producer-by-producer.  The streams share one port and one producer
+    group; the first [open_] performs setup, the last [close] tears down. *)
+
+val interchange :
+  ?id:int ->
+  config ->
+  group:Group.t ->
+  input:Iterator.t ->
+  Iterator.t
+(** The no-fork variant (section 4.4): the exchange lives in the middle of
+    this process's operator tree, making every group member both a producer
+    and a consumer.  [next] first serves packets already queued for this
+    process; otherwise it drives its own input, routing records to peer
+    queues until one lands in its own partition.  No processes are forked
+    and flow control is unnecessary: "a process runs a producer only if it
+    does not have input for the consumer". *)
+
+(** {2 Instrumentation} *)
+
+val domains_spawned : unit -> int
+(** Total producer domains forked so far (tests, spawn ablation). *)
+
+(**/**)
+
+module For_testing : sig
+  val children_of : int -> int -> int list
+  (** Ranks a producer forks in the propagation-tree scheme. *)
+end

@@ -1,0 +1,53 @@
+module Latch = Volcano_util.Latch
+
+type shared = {
+  group_size : int;
+  lock : Mutex.t;
+  published : Condition.t;
+  ports : (int, Port.t) Hashtbl.t;
+  sync : Latch.Barrier.t;
+}
+
+type t = { rank : int; shared : shared }
+
+let make_shared ~size =
+  assert (size > 0);
+  {
+    group_size = size;
+    lock = Mutex.create ();
+    published = Condition.create ();
+    ports = Hashtbl.create 8;
+    sync = Latch.Barrier.create size;
+  }
+
+let attach shared ~rank =
+  assert (rank >= 0 && rank < shared.group_size);
+  { rank; shared }
+
+let solo () = attach (make_shared ~size:1) ~rank:0
+
+let rank t = t.rank
+let size t = t.shared.group_size
+let is_master t = t.rank = 0
+
+let publish_port t ~key port =
+  if not (is_master t) then invalid_arg "Group.publish_port: not the master";
+  Mutex.lock t.shared.lock;
+  Hashtbl.replace t.shared.ports key port;
+  Condition.broadcast t.shared.published;
+  Mutex.unlock t.shared.lock
+
+let lookup_port t ~key =
+  Mutex.lock t.shared.lock;
+  let rec wait () =
+    match Hashtbl.find_opt t.shared.ports key with
+    | Some port ->
+        Mutex.unlock t.shared.lock;
+        port
+    | None ->
+        Condition.wait t.shared.published t.shared.lock;
+        wait ()
+  in
+  wait ()
+
+let barrier t = Latch.Barrier.await t.shared.sync

@@ -1,0 +1,36 @@
+(** Process groups.
+
+    "If an operator or an operator subtree is executed in parallel by a
+    group of processes, one of them is designated the master" (paper,
+    section 4.2).  A [Group.t] is one process's view of its group: its rank,
+    the group size, and shared state through which the group master
+    publishes ports for the other members — the paper's "address known only
+    to the BC processes" with its double synchronization around port
+    creation. *)
+
+type t
+
+val solo : unit -> t
+(** The size-1 group of the query root process. *)
+
+type shared
+
+val make_shared : size:int -> shared
+(** Shared state for a new producer group of [size] processes. *)
+
+val attach : shared -> rank:int -> t
+(** The view of member [rank] (0 is the master). *)
+
+val rank : t -> int
+val size : t -> int
+val is_master : t -> bool
+
+val publish_port : t -> key:int -> Port.t -> unit
+(** Master only: make a port visible to the whole group under an exchange
+    instance key. *)
+
+val lookup_port : t -> key:int -> Port.t
+(** Block until the master has published the port for [key]. *)
+
+val barrier : t -> unit
+(** Synchronize all members of the group. *)

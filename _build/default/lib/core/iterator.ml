@@ -1,0 +1,93 @@
+exception Protocol_error of string
+
+type t = {
+  open_ : unit -> unit;
+  next : unit -> Volcano_tuple.Tuple.t option;
+  close : unit -> unit;
+}
+
+let make ~open_ ~next ~close = { open_; next; close }
+
+let open_ t = t.open_ ()
+let next t = t.next ()
+let close t = t.close ()
+
+type protocol_state = Created | Opened | Exhausted | Closed
+
+let checked t =
+  let state = ref Created in
+  let fail what =
+    let name = function
+      | Created -> "created"
+      | Opened -> "opened"
+      | Exhausted -> "exhausted"
+      | Closed -> "closed"
+    in
+    raise (Protocol_error (Printf.sprintf "%s called while %s" what (name !state)))
+  in
+  {
+    open_ =
+      (fun () ->
+        (match !state with Created -> () | _ -> fail "open");
+        t.open_ ();
+        state := Opened);
+    next =
+      (fun () ->
+        (match !state with Opened -> () | _ -> fail "next");
+        match t.next () with
+        | Some _ as result -> result
+        | None ->
+            state := Exhausted;
+            None);
+    close =
+      (fun () ->
+        (match !state with Opened | Exhausted -> () | _ -> fail "close");
+        t.close ();
+        state := Closed);
+  }
+
+let of_array tuples =
+  let pos = ref 0 in
+  {
+    open_ = (fun () -> pos := 0);
+    next =
+      (fun () ->
+        if !pos >= Array.length tuples then None
+        else begin
+          let tuple = tuples.(!pos) in
+          incr pos;
+          Some tuple
+        end);
+    close = (fun () -> ());
+  }
+
+let of_list tuples = of_array (Array.of_list tuples)
+
+let generate ~count ~f =
+  let pos = ref 0 in
+  {
+    open_ = (fun () -> pos := 0);
+    next =
+      (fun () ->
+        if !pos >= count then None
+        else begin
+          let tuple = f !pos in
+          incr pos;
+          Some tuple
+        end);
+    close = (fun () -> ());
+  }
+
+let empty = of_array [||]
+
+let fold f init t =
+  open_ t;
+  let rec drive acc =
+    match next t with None -> acc | Some tuple -> drive (f acc tuple)
+  in
+  let result = Fun.protect ~finally:(fun () -> close t) (fun () -> drive init) in
+  result
+
+let to_list t = List.rev (fold (fun acc tuple -> tuple :: acc) [] t)
+let iter f t = fold (fun () tuple -> f tuple) () t
+let consume t = fold (fun n _ -> n + 1) 0 t

@@ -1,0 +1,56 @@
+(** The iterator (open–next–close) protocol.
+
+    "All algebra operators are implemented as iterators, i.e., they support
+    a simple open-next-close protocol" (paper, section 3).  An iterator's
+    input is anonymous: nothing about this type reveals whether tuples come
+    from a file scan, a complex subtree, or another process via exchange —
+    the {e streams} abstraction.
+
+    Within a process, query evaluation is demand-driven: calling {!next} on
+    the root pulls records up through the tree.  The exchange operator
+    translates this to data-driven flow between processes. *)
+
+exception Protocol_error of string
+(** Raised by {!checked} iterators on protocol violations. *)
+
+type t
+
+val make :
+  open_:(unit -> unit) ->
+  next:(unit -> Volcano_tuple.Tuple.t option) ->
+  close:(unit -> unit) ->
+  t
+(** Package the three entry points of an operator's state record. *)
+
+val open_ : t -> unit
+val next : t -> Volcano_tuple.Tuple.t option
+val close : t -> unit
+
+val checked : t -> t
+(** Wrap with a protocol monitor: [open_] must come first and only once,
+    [next] only between [open_] and [close], [close] at most once.  [next]
+    after end-of-stream is also rejected.  Used by tests and available to
+    applications for debugging new operators. *)
+
+(** {2 Leaf constructors} *)
+
+val of_list : Volcano_tuple.Tuple.t list -> t
+val of_array : Volcano_tuple.Tuple.t array -> t
+
+val generate : count:int -> f:(int -> Volcano_tuple.Tuple.t) -> t
+(** [generate ~count ~f] produces [f 0 .. f (count-1)]; the record-generator
+    used by the section 5 experiments. *)
+
+val empty : t
+
+(** {2 Consumers (drive a query to completion)} *)
+
+val to_list : t -> Volcano_tuple.Tuple.t list
+(** Open, drain, close. *)
+
+val iter : (Volcano_tuple.Tuple.t -> unit) -> t -> unit
+
+val fold : ('a -> Volcano_tuple.Tuple.t -> 'a) -> 'a -> t -> 'a
+
+val consume : t -> int
+(** Open, count every tuple, close — the "top of the query" driver loop. *)

@@ -1,0 +1,32 @@
+type t = {
+  tuples : Volcano_tuple.Tuple.t array;
+  mutable len : int;
+  mutable eos : bool;
+  producer : int;
+}
+
+let default_capacity = 83
+let max_capacity = 255
+
+let create ~capacity ~producer =
+  if capacity < 1 || capacity > max_capacity then
+    invalid_arg "Packet.create: capacity must be in [1, 255]";
+  { tuples = Array.make capacity [||]; len = 0; eos = false; producer }
+
+let producer t = t.producer
+let capacity t = Array.length t.tuples
+let length t = t.len
+let is_full t = t.len = Array.length t.tuples
+let is_empty t = t.len = 0
+
+let add t tuple =
+  if is_full t then invalid_arg "Packet.add: packet full";
+  t.tuples.(t.len) <- tuple;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Packet.get: out of range";
+  t.tuples.(i)
+
+let tag_end_of_stream t = t.eos <- true
+let end_of_stream t = t.eos

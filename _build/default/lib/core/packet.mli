@@ -1,0 +1,32 @@
+(** Exchange packets.
+
+    "The output of next is collected in packets ... which contain 83
+    NEXT_RECORD structures" (paper, section 4.1).  "The actual packet size
+    is an argument in the state record, and can be set between 1 and 255
+    records."  The last packet from a producer carries an end-of-stream
+    tag; it may also carry records. *)
+
+type t
+
+val default_capacity : int
+(** 83, the paper's standard packet size. *)
+
+val max_capacity : int
+(** 255 *)
+
+val create : capacity:int -> producer:int -> t
+(** @raise Invalid_argument unless [1 <= capacity <= max_capacity]. *)
+
+val producer : t -> int
+val capacity : t -> int
+val length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val add : t -> Volcano_tuple.Tuple.t -> unit
+(** @raise Invalid_argument if full. *)
+
+val get : t -> int -> Volcano_tuple.Tuple.t
+
+val tag_end_of_stream : t -> unit
+val end_of_stream : t -> bool

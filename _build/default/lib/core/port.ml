@@ -1,0 +1,143 @@
+module Sema = Volcano_util.Sema
+
+type queue = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : Packet.t Queue.t;
+  flow : Sema.t option; (* acquired by send, released by receive *)
+}
+
+type t = {
+  n_producers : int;
+  n_consumers : int;
+  separate : bool;
+  queues : queue array;
+  shut : bool Atomic.t;
+  sent : int Atomic.t;
+  records : int Atomic.t;
+  depth : int Atomic.t;
+  peak : int Atomic.t;
+}
+
+let make_queue flow_slack =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    flow = Option.map Sema.create flow_slack;
+  }
+
+let create ~producers ~consumers ?flow_slack ?(keep_separate = false) () =
+  assert (producers > 0 && consumers > 0);
+  (match flow_slack with Some n -> assert (n > 0) | None -> ());
+  let n_queues = if keep_separate then producers * consumers else consumers in
+  {
+    n_producers = producers;
+    n_consumers = consumers;
+    separate = keep_separate;
+    queues = Array.init n_queues (fun _ -> make_queue flow_slack);
+    shut = Atomic.make false;
+    sent = Atomic.make 0;
+    records = Atomic.make 0;
+    depth = Atomic.make 0;
+    peak = Atomic.make 0;
+  }
+
+let producers t = t.n_producers
+let consumers t = t.n_consumers
+let keep_separate t = t.separate
+
+let queue_of t ~producer ~consumer =
+  if t.separate then t.queues.((producer * t.n_consumers) + consumer)
+  else t.queues.(consumer)
+
+let note_depth t delta =
+  let d = Atomic.fetch_and_add t.depth delta + delta in
+  let rec bump () =
+    let peak = Atomic.get t.peak in
+    if d > peak && not (Atomic.compare_and_set t.peak peak d) then bump ()
+  in
+  bump ()
+
+let send t ~producer ~consumer packet =
+  let queue = queue_of t ~producer ~consumer in
+  (* Flow control: "after a producer has inserted a new packet into the
+     port, it must request the flow control semaphore" — acquiring before
+     insertion is equivalent and simpler to reason about. *)
+  (match queue.flow with
+  | Some sema when not (Atomic.get t.shut) ->
+      (* Blocks while the consumer is [flow_slack] packets behind; a
+         shutdown floods the semaphore to wake blocked senders. *)
+      Sema.acquire sema
+  | _ -> ());
+  if not (Atomic.get t.shut) then begin
+    Mutex.lock queue.lock;
+    Queue.push packet queue.items;
+    note_depth t 1;
+    Condition.signal queue.nonempty;
+    Mutex.unlock queue.lock;
+    Atomic.incr t.sent;
+    let _ = Atomic.fetch_and_add t.records (Packet.length packet) in
+    ()
+  end
+
+let receive_queue t queue =
+  Mutex.lock queue.lock;
+  let rec wait () =
+    if Atomic.get t.shut && Queue.is_empty queue.items then begin
+      Mutex.unlock queue.lock;
+      None
+    end
+    else
+      match Queue.take_opt queue.items with
+      | Some packet ->
+          note_depth t (-1);
+          Mutex.unlock queue.lock;
+          (match queue.flow with Some sema -> Sema.release sema | None -> ());
+          Some packet
+      | None ->
+          (* Sleep briefly rather than waiting on the condition alone so
+             that shutdown (signalled via the atomic) cannot be missed. *)
+          Condition.wait queue.nonempty queue.lock;
+          wait ()
+  in
+  wait ()
+
+let receive t ~consumer =
+  if t.separate then
+    invalid_arg "Port.receive: keep-separate port requires receive_from";
+  receive_queue t t.queues.(consumer)
+
+let receive_from t ~producer ~consumer =
+  receive_queue t (queue_of t ~producer ~consumer)
+
+let try_receive t ~consumer =
+  if t.separate then
+    invalid_arg "Port.try_receive: keep-separate port requires receive_from";
+  let queue = t.queues.(consumer) in
+  Mutex.lock queue.lock;
+  let packet = Queue.take_opt queue.items in
+  (match packet with Some _ -> note_depth t (-1) | None -> ());
+  Mutex.unlock queue.lock;
+  match packet with
+  | Some p ->
+      (match queue.flow with Some sema -> Sema.release sema | None -> ());
+      Some p
+  | None -> None
+
+let shutdown t =
+  Atomic.set t.shut true;
+  Array.iter
+    (fun queue ->
+      (match queue.flow with
+      | Some sema -> Sema.release_n sema (t.n_producers * t.n_consumers * 1024)
+      | None -> ());
+      Mutex.lock queue.lock;
+      Condition.broadcast queue.nonempty;
+      Mutex.unlock queue.lock)
+    t.queues
+
+let is_shut_down t = Atomic.get t.shut
+let packets_sent t = Atomic.get t.sent
+let records_sent t = Atomic.get t.records
+let max_depth t = Atomic.get t.peak

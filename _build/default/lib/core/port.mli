@@ -1,0 +1,62 @@
+(** Ports: the shared-memory data structures through which producer and
+    consumer process groups exchange packets (paper, section 4.1).
+
+    A port holds one packet queue per consumer — or, in {e keep-separate}
+    mode (the merge-network variant of section 4.4), one queue per
+    (producer, consumer) pair so that a merge iterator can distinguish
+    records by producer.
+
+    Flow control is a counting semaphore per queue: "the initial value of
+    the flow control semaphore, e.g., 4, determines how many packets the
+    producers may get ahead of the consumers".
+
+    Dataflow through a port is data-driven (eager): producers push without
+    request messages; consumers block on arrival. *)
+
+type t
+
+val create :
+  producers:int ->
+  consumers:int ->
+  ?flow_slack:int ->
+  ?keep_separate:bool ->
+  unit ->
+  t
+(** [flow_slack] enables flow control ([None] disables it, the paper's
+    run-time switch).  [keep_separate] gives each producer its own queue per
+    consumer. *)
+
+val producers : t -> int
+val consumers : t -> int
+val keep_separate : t -> bool
+
+val send : t -> producer:int -> consumer:int -> Packet.t -> unit
+(** Insert a packet, blocking on flow control if enabled.  After
+    {!shutdown} this becomes a no-op (the packet is dropped). *)
+
+val receive : t -> consumer:int -> Packet.t option
+(** Next packet for the consumer, blocking until one arrives.  In
+    keep-separate mode use {!receive_from}.  [None] after {!shutdown}. *)
+
+val receive_from : t -> producer:int -> consumer:int -> Packet.t option
+(** Next packet from one specific producer — the "third argument to
+    next-exchange" that merge networks need. *)
+
+val try_receive : t -> consumer:int -> Packet.t option
+(** Non-blocking variant; [None] when the queue is momentarily empty (used
+    by the no-fork interchange variant). *)
+
+val shutdown : t -> unit
+(** Early termination: wake all blocked senders and receivers; subsequent
+    sends are dropped and receives return [None]. *)
+
+val is_shut_down : t -> bool
+
+(** {2 Instrumentation} *)
+
+val packets_sent : t -> int
+val records_sent : t -> int
+
+val max_depth : t -> int
+(** Highest number of packets ever queued at once across the port — the
+    observable effect of flow-control slack (ablation A1). *)

@@ -1,0 +1,1 @@
+lib/ops/aggregate.ml: Array Hashtbl List Queue Volcano Volcano_tuple

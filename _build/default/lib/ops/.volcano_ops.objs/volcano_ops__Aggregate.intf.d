@@ -1,0 +1,1 @@
+lib/ops/aggregate.mli: Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/choose_plan.ml: Array Printf Volcano

@@ -1,0 +1,1 @@
+lib/ops/division.ml: Array Bytes Char Hashtbl List Queue Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/division.mli: Volcano

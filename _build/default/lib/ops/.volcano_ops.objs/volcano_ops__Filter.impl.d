@@ -1,0 +1,1 @@
+lib/ops/filter.ml: Volcano

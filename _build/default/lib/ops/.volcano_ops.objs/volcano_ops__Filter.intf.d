@@ -1,0 +1,1 @@
+lib/ops/filter.mli: Volcano Volcano_tuple

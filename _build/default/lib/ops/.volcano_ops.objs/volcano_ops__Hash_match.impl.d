@@ -1,0 +1,1 @@
+lib/ops/hash_match.ml: Array Atomic Bytes Hashtbl List Match_op Printf Queue Scan Sort Volcano Volcano_storage Volcano_tuple

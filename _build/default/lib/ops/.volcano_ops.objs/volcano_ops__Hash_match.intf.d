@@ -1,0 +1,1 @@
+lib/ops/hash_match.mli: Match_op Sort Volcano

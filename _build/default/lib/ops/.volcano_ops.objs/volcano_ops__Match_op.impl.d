@@ -1,0 +1,1 @@
+lib/ops/match_op.ml: Array List Volcano_tuple

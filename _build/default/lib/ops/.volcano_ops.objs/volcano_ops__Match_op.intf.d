@@ -1,0 +1,1 @@
+lib/ops/match_op.mli: Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/merge.ml: Array Volcano Volcano_tuple Volcano_util

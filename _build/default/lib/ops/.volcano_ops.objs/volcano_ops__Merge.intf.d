@@ -1,0 +1,1 @@
+lib/ops/merge.mli: Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/merge_match.ml: Array List Match_op Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/merge_match.mli: Match_op Volcano

@@ -1,0 +1,1 @@
+lib/ops/nested_loops.ml: Array Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/nested_loops.mli: Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/project.ml: Array List Option Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/project.mli: Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+lib/ops/scan.ml: Bytes Int32 List Volcano Volcano_btree Volcano_storage Volcano_tuple

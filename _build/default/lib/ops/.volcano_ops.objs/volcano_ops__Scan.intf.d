@@ -1,0 +1,1 @@
+lib/ops/scan.mli: Volcano Volcano_btree Volcano_storage Volcano_tuple

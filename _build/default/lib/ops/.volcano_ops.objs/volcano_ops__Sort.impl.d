@@ -1,0 +1,1 @@
+lib/ops/sort.ml: Array Atomic Bytes List Printf Volcano Volcano_storage Volcano_tuple Volcano_util

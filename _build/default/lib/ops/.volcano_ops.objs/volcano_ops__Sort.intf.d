@@ -1,0 +1,1 @@
+lib/ops/sort.mli: Volcano Volcano_storage Volcano_tuple

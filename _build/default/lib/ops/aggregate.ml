@@ -1,0 +1,189 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+
+type agg =
+  | Count
+  | Sum of Expr.num
+  | Min of Expr.num
+  | Max of Expr.num
+  | Avg of Expr.num
+
+(* Accumulator state per aggregate per group. *)
+type acc =
+  | Acc_count of int ref
+  | Acc_sum of Value.t ref * (Tuple.t -> Value.t)
+  | Acc_min of Value.t ref * (Tuple.t -> Value.t)
+  | Acc_max of Value.t ref * (Tuple.t -> Value.t)
+  | Acc_avg of float ref * int ref * (Tuple.t -> Value.t)
+
+let value_add a b =
+  match (a, b) with
+  | Value.Null, x | x, Value.Null -> x
+  | Value.Int x, Value.Int y -> Value.Int (x + y)
+  | x, y -> Value.Float (Value.float_exn x +. Value.float_exn y)
+
+let fresh_acc agg =
+  match agg with
+  | Count -> Acc_count (ref 0)
+  | Sum e -> Acc_sum (ref Value.Null, Expr.Compiled.num e)
+  | Min e -> Acc_min (ref Value.Null, Expr.Compiled.num e)
+  | Max e -> Acc_max (ref Value.Null, Expr.Compiled.num e)
+  | Avg e -> Acc_avg (ref 0.0, ref 0, Expr.Compiled.num e)
+
+let feed acc tuple =
+  match acc with
+  | Acc_count n -> incr n
+  | Acc_sum (v, f) -> v := value_add !v (f tuple)
+  | Acc_min (v, f) ->
+      let x = f tuple in
+      if x <> Value.Null && (!v = Value.Null || Value.compare x !v < 0) then v := x
+  | Acc_max (v, f) ->
+      let x = f tuple in
+      if x <> Value.Null && (!v = Value.Null || Value.compare x !v > 0) then v := x
+  | Acc_avg (sum, n, f) -> (
+      match f tuple with
+      | Value.Null -> ()
+      | x ->
+          sum := !sum +. Value.float_exn x;
+          incr n)
+
+let finish acc =
+  match acc with
+  | Acc_count n -> Value.Int !n
+  | Acc_sum (v, _) -> !v
+  | Acc_min (v, _) -> !v
+  | Acc_max (v, _) -> !v
+  | Acc_avg (sum, n, _) ->
+      if !n = 0 then Value.Null else Value.Float (!sum /. float_of_int !n)
+
+let output_tuple key accs =
+  Tuple.concat key (Array.of_list (List.map finish accs))
+
+module Key_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let hash_iterator ~group_by ~aggs input =
+  let key_of = Support.key_on group_by in
+  let results = Queue.create () in
+  let opened = ref false in
+  Iterator.make
+    ~open_:(fun () ->
+      let table = Key_table.create 1024 in
+      (* Preserve first-seen group order for deterministic output. *)
+      let order = ref [] in
+      Iterator.iter
+        (fun tuple ->
+          let key = key_of tuple in
+          let accs =
+            match Key_table.find_opt table key with
+            | Some accs -> accs
+            | None ->
+                let accs = List.map fresh_acc aggs in
+                Key_table.add table key accs;
+                order := key :: !order;
+                accs
+          in
+          List.iter (fun acc -> feed acc tuple) accs)
+        input;
+      List.iter
+        (fun key ->
+          let accs = Key_table.find table key in
+          Queue.push (output_tuple key accs) results)
+        (List.rev !order);
+      opened := true)
+    ~next:(fun () ->
+      if not !opened then invalid_arg "Aggregate.hash: not open";
+      Queue.take_opt results)
+    ~close:(fun () -> opened := false)
+
+let sorted_iterator ~group_by ~aggs input =
+  let key_of = Support.key_on group_by in
+  let lookahead = ref None in
+  let finished = ref false in
+  Iterator.make
+    ~open_:(fun () ->
+      Iterator.open_ input;
+      lookahead := Iterator.next input;
+      finished := false)
+    ~next:(fun () ->
+      if !finished then None
+      else
+        match !lookahead with
+        | None ->
+            finished := true;
+            None
+        | Some first ->
+            let key = key_of first in
+            let accs = List.map fresh_acc aggs in
+            List.iter (fun acc -> feed acc first) accs;
+            let rec gather () =
+              match Iterator.next input with
+              | None -> lookahead := None
+              | Some tuple ->
+                  if Tuple.equal (key_of tuple) key then begin
+                    List.iter (fun acc -> feed acc tuple) accs;
+                    gather ()
+                  end
+                  else lookahead := Some tuple
+            in
+            gather ();
+            Some (output_tuple key accs))
+    ~close:(fun () -> Iterator.close input)
+
+(* Duplicate elimination keeps the whole first tuple of each group rather
+   than just the key columns. *)
+let distinct_hash ~on input =
+  let key_of = Support.key_on on in
+  let seen = Key_table.create 1024 in
+  Iterator.make
+    ~open_:(fun () ->
+      Key_table.reset seen;
+      Iterator.open_ input)
+    ~next:(fun () ->
+      let rec step () =
+        match Iterator.next input with
+        | None -> None
+        | Some tuple ->
+            let key = key_of tuple in
+            if Key_table.mem seen key then step ()
+            else begin
+              Key_table.add seen key ();
+              Some tuple
+            end
+      in
+      step ())
+    ~close:(fun () -> Iterator.close input)
+
+let distinct_sorted ~on input =
+  let key_of = Support.key_on on in
+  let previous = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      previous := None;
+      Iterator.open_ input)
+    ~next:(fun () ->
+      let rec step () =
+        match Iterator.next input with
+        | None -> None
+        | Some tuple ->
+            let key = key_of tuple in
+            let duplicate =
+              match !previous with
+              | Some prev -> Tuple.equal prev key
+              | None -> false
+            in
+            if duplicate then step ()
+            else begin
+              previous := Some key;
+              Some tuple
+            end
+      in
+      step ())
+    ~close:(fun () -> Iterator.close input)

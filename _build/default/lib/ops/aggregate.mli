@@ -1,0 +1,29 @@
+(** Aggregation and duplicate elimination — "two algorithms each" (section
+    1): sort-based (input arrives grouped) and hash-based.
+
+    Output tuples carry the group-by columns followed by one value per
+    aggregate.  Duplicate elimination is aggregation with an empty aggregate
+    list. *)
+
+type agg =
+  | Count
+  | Sum of Volcano_tuple.Expr.num
+  | Min of Volcano_tuple.Expr.num
+  | Max of Volcano_tuple.Expr.num
+  | Avg of Volcano_tuple.Expr.num
+
+val hash_iterator :
+  group_by:int list -> aggs:agg list -> Volcano.Iterator.t -> Volcano.Iterator.t
+(** Hash aggregation: consumes the whole input on [open_], emits one tuple
+    per group. *)
+
+val sorted_iterator :
+  group_by:int list -> aggs:agg list -> Volcano.Iterator.t -> Volcano.Iterator.t
+(** Streaming aggregation over an input already sorted (or at least
+    grouped) on the group-by columns; fully pipelined. *)
+
+val distinct_hash : on:int list -> Volcano.Iterator.t -> Volcano.Iterator.t
+(** Duplicate elimination keyed on the given columns; emits the first tuple
+    of each group. *)
+
+val distinct_sorted : on:int list -> Volcano.Iterator.t -> Volcano.Iterator.t

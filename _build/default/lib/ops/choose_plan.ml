@@ -1,0 +1,26 @@
+module Iterator = Volcano.Iterator
+
+let iterator ~decide ~alternatives =
+  if Array.length alternatives = 0 then
+    invalid_arg "Choose_plan: no alternatives";
+  let chosen = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      let index = decide () in
+      if index < 0 || index >= Array.length alternatives then
+        invalid_arg
+          (Printf.sprintf "Choose_plan: decision %d out of range [0, %d)" index
+             (Array.length alternatives));
+      let alternative = alternatives.(index) in
+      Iterator.open_ alternative;
+      chosen := Some alternative)
+    ~next:(fun () ->
+      match !chosen with
+      | None -> invalid_arg "Choose_plan: not open"
+      | Some alternative -> Iterator.next alternative)
+    ~close:(fun () ->
+      match !chosen with
+      | None -> ()
+      | Some alternative ->
+          Iterator.close alternative;
+          chosen := None)

@@ -1,0 +1,17 @@
+(** The choose-plan operator for dynamic query evaluation plans (Graefe &
+    Ward, "Dynamic Query Evaluation Plans", SIGMOD 1989 — developed in the
+    same project and cited as reference 1 of the paper).
+
+    A query prepared before run-time constants are known compiles several
+    alternative plans; choose-plan is an ordinary iterator whose [open_]
+    evaluates a decision support function and binds one alternative, which
+    then serves [next]/[close].  Everything above and below is oblivious —
+    the same encapsulation trick as exchange, applied to plan choice. *)
+
+val iterator :
+  decide:(unit -> int) ->
+  alternatives:Volcano.Iterator.t array ->
+  Volcano.Iterator.t
+(** [decide ()] is consulted at [open_] time and must return an index into
+    [alternatives].  Only the chosen alternative is opened.
+    @raise Invalid_argument at open time on an out-of-range choice. *)

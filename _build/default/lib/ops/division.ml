@@ -1,0 +1,171 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Support = Volcano_tuple.Support
+
+module Key_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Load the divisor into a table mapping its key projection to a dense
+   sequence number (duplicates collapse). *)
+let load_divisor ~divisor_key divisor =
+  let key_of = Support.key_on divisor_key in
+  let table = Key_table.create 64 in
+  Iterator.iter
+    (fun tuple ->
+      let key = key_of tuple in
+      if not (Key_table.mem table key) then
+        Key_table.add table key (Key_table.length table))
+    divisor;
+  table
+
+let hash_division ~quotient ~divisor_attrs ~divisor_key ~dividend ~divisor =
+  let quotient_of = Support.key_on quotient in
+  let attrs_of = Support.key_on divisor_attrs in
+  let results = Queue.create () in
+  let opened = ref false in
+  Iterator.make
+    ~open_:(fun () ->
+      let table = load_divisor ~divisor_key divisor in
+      let n = Key_table.length table in
+      (* Per-quotient bitmaps over divisor sequence numbers. *)
+      let maps = Key_table.create 1024 in
+      let order = ref [] in
+      Iterator.iter
+        (fun tuple ->
+          match Key_table.find_opt table (attrs_of tuple) with
+          | None -> () (* dividend row referencing no divisor member *)
+          | Some seq ->
+              let q = quotient_of tuple in
+              let bits, count =
+                match Key_table.find_opt maps q with
+                | Some entry -> entry
+                | None ->
+                    let entry = (Bytes.make ((n + 7) / 8) '\000', ref 0) in
+                    Key_table.add maps q entry;
+                    order := q :: !order;
+                    entry
+              in
+              let byte = Char.code (Bytes.get bits (seq / 8)) in
+              let bit = 1 lsl (seq mod 8) in
+              if byte land bit = 0 then begin
+                Bytes.set bits (seq / 8) (Char.chr (byte lor bit));
+                incr count
+              end)
+        dividend;
+      List.iter
+        (fun q ->
+          let _, count = Key_table.find maps q in
+          if !count = n && n > 0 then Queue.push q results)
+        (List.rev !order);
+      opened := true)
+    ~next:(fun () ->
+      if not !opened then invalid_arg "Division.hash: not open";
+      Queue.take_opt results)
+    ~close:(fun () -> opened := false)
+
+let count_division ~quotient ~divisor_attrs ~divisor_key ~dividend ~divisor =
+  let quotient_of = Support.key_on quotient in
+  let attrs_of = Support.key_on divisor_attrs in
+  let results = Queue.create () in
+  let opened = ref false in
+  Iterator.make
+    ~open_:(fun () ->
+      let table = load_divisor ~divisor_key divisor in
+      let n = Key_table.length table in
+      (* Count distinct matching divisor values per quotient via a set of
+         (quotient, divisor-attrs) pairs. *)
+      let seen = Key_table.create 4096 in
+      let counts = Key_table.create 1024 in
+      let order = ref [] in
+      Iterator.iter
+        (fun tuple ->
+          let attrs = attrs_of tuple in
+          if Key_table.mem table attrs then begin
+            let q = quotient_of tuple in
+            let pair = Tuple.concat q attrs in
+            if not (Key_table.mem seen pair) then begin
+              Key_table.add seen pair 0;
+              match Key_table.find_opt counts q with
+              | Some r -> incr r
+              | None ->
+                  Key_table.add counts q (ref 1);
+                  order := q :: !order
+            end
+          end)
+        dividend;
+      List.iter
+        (fun q ->
+          let count = Key_table.find counts q in
+          if !count = n && n > 0 then Queue.push q results)
+        (List.rev !order);
+      opened := true)
+    ~next:(fun () ->
+      if not !opened then invalid_arg "Division.count: not open";
+      Queue.take_opt results)
+    ~close:(fun () -> opened := false)
+
+let sort_division ~quotient ~divisor_attrs ~divisor_key ~dividend ~divisor =
+  let quotient_of = Support.key_on quotient in
+  let attrs_of = Support.key_on divisor_attrs in
+  let divisor_key_of = Support.key_on divisor_key in
+  let divisor_values = ref [||] in
+  let lookahead = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      (* Materialize the sorted, distinct divisor keys. *)
+      let values = ref [] in
+      Iterator.iter
+        (fun tuple ->
+          let key = divisor_key_of tuple in
+          match !values with
+          | last :: _ when Tuple.equal last key -> ()
+          | _ -> values := key :: !values)
+        divisor;
+      divisor_values := Array.of_list (List.rev !values);
+      Iterator.open_ dividend;
+      lookahead := Iterator.next dividend)
+    ~next:(fun () ->
+      let divisor_values = !divisor_values in
+      let n = Array.length divisor_values in
+      (* Walk one quotient group: dividend is sorted by (quotient, attrs),
+         so matching against the sorted divisor is a merge. *)
+      let rec group_loop () =
+        match !lookahead with
+        | None -> None
+        | Some first ->
+            let q = quotient_of first in
+            let matched = ref 0 in
+            let cursor = ref 0 in
+            let visit tuple =
+              let attrs = attrs_of tuple in
+              (* Advance the divisor cursor past smaller values. *)
+              while
+                !cursor < n && Tuple.compare divisor_values.(!cursor) attrs < 0
+              do
+                incr cursor
+              done;
+              if !cursor < n && Tuple.equal divisor_values.(!cursor) attrs then begin
+                incr matched;
+                incr cursor
+              end
+            in
+            visit first;
+            let rec gather () =
+              match Iterator.next dividend with
+              | None -> lookahead := None
+              | Some tuple ->
+                  if Tuple.equal (quotient_of tuple) q then begin
+                    visit tuple;
+                    gather ()
+                  end
+                  else lookahead := Some tuple
+            in
+            gather ();
+            if !matched = n && n > 0 then Some q else group_loop ()
+      in
+      group_loop ())
+    ~close:(fun () -> Iterator.close dividend)

@@ -1,0 +1,42 @@
+(** Relational division — universal quantification: which quotient values of
+    the dividend are paired with {e every} divisor tuple?
+
+    Graefe studied division algorithms separately ("Relational Division:
+    Four Algorithms and Their Performance", ICDE 1989) and section 4.4 of
+    the paper reports parallelizing hash-division with both divisor and
+    quotient partitioning "in about three hours" thanks to exchange.  Three
+    algorithms are provided here; the two parallel partitionings are built
+    in the examples and benchmarks by wrapping these with exchange
+    operators. *)
+
+val hash_division :
+  quotient:int list ->
+  divisor_attrs:int list ->
+  divisor_key:int list ->
+  dividend:Volcano.Iterator.t ->
+  divisor:Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** Hash-division: the divisor loads into a table assigning sequence
+    numbers; dividend tuples set bits in a per-quotient bitmap; quotients
+    with complete bitmaps are emitted.  [quotient] and [divisor_attrs] index
+    the dividend; [divisor_key] indexes the divisor. *)
+
+val count_division :
+  quotient:int list ->
+  divisor_attrs:int list ->
+  divisor_key:int list ->
+  dividend:Volcano.Iterator.t ->
+  divisor:Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** Aggregation-based division: count distinct matching divisor values per
+    quotient and compare with the divisor cardinality. *)
+
+val sort_division :
+  quotient:int list ->
+  divisor_attrs:int list ->
+  divisor_key:int list ->
+  dividend:Volcano.Iterator.t ->
+  divisor:Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** Merge-based division over sorted inputs: the dividend must be sorted on
+    (quotient, divisor attributes), the divisor on its key. *)

@@ -1,0 +1,13 @@
+module Iterator = Volcano.Iterator
+
+let iterator ~pred input =
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ input)
+    ~next:(fun () ->
+      let rec step () =
+        match Iterator.next input with
+        | None -> None
+        | Some tuple -> if pred tuple then Some tuple else step ()
+      in
+      step ())
+    ~close:(fun () -> Iterator.close input)

@@ -1,0 +1,5 @@
+(** Selection. *)
+
+val iterator :
+  pred:Volcano_tuple.Support.predicate -> Volcano.Iterator.t -> Volcano.Iterator.t
+(** Pass through tuples satisfying the predicate support function. *)

@@ -1,0 +1,275 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Support = Volcano_tuple.Support
+module Serial = Volcano_tuple.Serial
+module Heap_file = Volcano_storage.Heap_file
+
+module Key_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let rec take n xs =
+  if n <= 0 then []
+  else match xs with [] -> [] | x :: rest -> x :: take (n - 1) rest
+
+let match_tag = Atomic.make 0
+
+type entry = {
+  mutable tuples : Tuple.t list; (* build tuples, reversed insertion order *)
+  mutable count : int;
+  mutable probes : int; (* left tuples seen with this key *)
+  mutable matched : bool;
+}
+
+(* The in-memory match core, usable directly or per Grace partition. *)
+let in_memory ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right =
+  let left_of = Support.key_on left_key in
+  let right_of = Support.key_on right_key in
+  let table = Key_table.create 1024 in
+  let drain_queue = Queue.create () in
+  let phase = ref `Build in
+  let build () =
+    Iterator.open_ right;
+    let rec load () =
+      match Iterator.next right with
+      | None -> ()
+      | Some tuple ->
+          let key = right_of tuple in
+          (match Key_table.find_opt table key with
+          | Some entry ->
+              entry.tuples <- tuple :: entry.tuples;
+              entry.count <- entry.count + 1
+          | None ->
+              Key_table.add table key
+                { tuples = [ tuple ]; count = 1; probes = 0; matched = false });
+          load ()
+    in
+    load ();
+    Iterator.close right;
+    Iterator.open_ left;
+    phase := `Probe
+  in
+  let pending = ref [] in
+  let emit_probe tuple =
+    let key = left_of tuple in
+    let entry = Key_table.find_opt table key in
+    (match entry with
+    | Some e ->
+        e.matched <- true;
+        e.probes <- e.probes + 1
+    | None -> ());
+    match kind with
+    | Match_op.Join -> (
+        match entry with
+        | Some e -> List.rev_map (fun b -> Tuple.concat tuple b) e.tuples
+        | None -> [])
+    | Match_op.Left_outer -> (
+        match entry with
+        | Some e -> List.rev_map (fun b -> Tuple.concat tuple b) e.tuples
+        | None ->
+            Match_op.emit_group Match_op.Left_outer ~left_arity ~right_arity
+              ~left:[ tuple ] ~right:[])
+    | Match_op.Right_outer | Match_op.Full_outer -> (
+        match entry with
+        | Some e -> List.rev_map (fun b -> Tuple.concat tuple b) e.tuples
+        | None ->
+            if kind = Match_op.Full_outer then
+              Match_op.emit_group Match_op.Full_outer ~left_arity ~right_arity
+                ~left:[ tuple ] ~right:[]
+            else [])
+    | Match_op.Semi -> ( match entry with Some _ -> [ tuple ] | None -> [])
+    | Match_op.Anti -> ( match entry with Some _ -> [] | None -> [ tuple ])
+    | Match_op.Intersection -> (
+        match entry with
+        | Some e when e.probes <= e.count -> [ tuple ]
+        | _ -> [])
+    | Match_op.Difference -> (
+        match entry with
+        | Some e when e.probes <= e.count -> []
+        | _ -> [ tuple ])
+    | Match_op.Union -> [ tuple ]
+    | Match_op.Anti_difference -> []
+  in
+  let start_drain () =
+    Iterator.close left;
+    phase := `Drain;
+    Key_table.iter
+      (fun _key entry ->
+        let leftovers =
+          match kind with
+          | Match_op.Right_outer | Match_op.Full_outer ->
+              if entry.matched then []
+              else
+                Match_op.emit_group kind ~left_arity ~right_arity ~left:[]
+                  ~right:(List.rev entry.tuples)
+          | Match_op.Union | Match_op.Anti_difference ->
+              let extra = entry.count - entry.probes in
+              if extra > 0 then take extra (List.rev entry.tuples) else []
+          | Match_op.Join | Match_op.Left_outer | Match_op.Semi | Match_op.Anti
+          | Match_op.Intersection | Match_op.Difference ->
+              []
+        in
+        List.iter (fun t -> Queue.push t drain_queue) leftovers)
+      table
+  in
+  Iterator.make
+    ~open_:(fun () -> build ())
+    ~next:(fun () ->
+      let rec step () =
+        match !pending with
+        | tuple :: rest ->
+            pending := rest;
+            Some tuple
+        | [] -> (
+            match !phase with
+            | `Build -> invalid_arg "Hash_match: not open"
+            | `Probe -> (
+                match Iterator.next left with
+                | Some tuple ->
+                    pending := emit_probe tuple;
+                    step ()
+                | None ->
+                    start_drain ();
+                    step ())
+            | `Drain -> Queue.take_opt drain_queue)
+      in
+      step ())
+    ~close:(fun () ->
+      match !phase with
+      | `Probe -> Iterator.close left
+      | `Build | `Drain -> ())
+
+(* Grace partitioning: route both inputs to per-partition files, then match
+   each partition pair in memory. *)
+let partitioned ~partitions ~spill ~kind ~left_key ~right_key ~left_arity
+    ~right_arity ~left ~right =
+  let hash_left = Support.hash_on left_key in
+  let hash_right = Support.hash_on right_key in
+  let tag = Atomic.fetch_and_add match_tag 1 in
+  let make_files side =
+    Array.init partitions (fun p ->
+        Heap_file.create ~buffer:spill.Sort.buffer ~device:spill.Sort.device
+          ~name:(Printf.sprintf "__match_%d_%s_%d" tag side p))
+  in
+  let spill_input files hash input =
+    Iterator.iter
+      (fun tuple ->
+        let p = hash tuple mod partitions in
+        let _ =
+          Heap_file.insert files.(p) (Bytes.to_string (Serial.encode tuple))
+        in
+        ())
+      input
+  in
+  let left_files = ref [||] in
+  let right_files = ref [||] in
+  let current = ref None in
+  let partition_index = ref 0 in
+  let open_partition p =
+    let sub =
+      in_memory ~kind ~left_key ~right_key ~left_arity ~right_arity
+        ~left:(Scan.heap !left_files.(p))
+        ~right:(Scan.heap !right_files.(p))
+    in
+    Iterator.open_ sub;
+    current := Some sub
+  in
+  Iterator.make
+    ~open_:(fun () ->
+      left_files := make_files "probe";
+      right_files := make_files "build";
+      spill_input !right_files hash_right right;
+      spill_input !left_files hash_left left;
+      partition_index := 0;
+      open_partition 0)
+    ~next:(fun () ->
+      let rec step () =
+        match !current with
+        | None -> None
+        | Some sub -> (
+            match Iterator.next sub with
+            | Some tuple -> Some tuple
+            | None ->
+                Iterator.close sub;
+                incr partition_index;
+                if !partition_index >= partitions then begin
+                  current := None;
+                  None
+                end
+                else begin
+                  open_partition !partition_index;
+                  step ()
+                end)
+      in
+      step ())
+    ~close:(fun () ->
+      (match !current with Some sub -> Iterator.close sub | None -> ());
+      current := None;
+      Array.iter Heap_file.drop !left_files;
+      Array.iter Heap_file.drop !right_files)
+
+let iterator ?(build_capacity = max_int) ?(partitions = 16) ?spill ~kind
+    ~left_key ~right_key ~left_arity ~right_arity left right =
+  match spill with
+  | Some sp when build_capacity < max_int ->
+      (* Decide once, up front: peek at the build side size by buffering up
+         to the capacity; beyond it, fall back to Grace partitioning with
+         the buffered prefix replayed. *)
+      let decided = ref None in
+      Iterator.make
+        ~open_:(fun () ->
+          Iterator.open_ right;
+          let buffered = ref [] in
+          let n = ref 0 in
+          let rec peek () =
+            if !n >= build_capacity then `Overflow
+            else
+              match Iterator.next right with
+              | None -> `Fits
+              | Some tuple ->
+                  buffered := tuple :: !buffered;
+                  incr n;
+                  peek ()
+          in
+          let verdict = peek () in
+          let replayed_prefix = Iterator.of_list (List.rev !buffered) in
+          let build_rest =
+            (* Remaining build tuples still inside [right]. *)
+            Iterator.make
+              ~open_:(fun () -> Iterator.open_ replayed_prefix)
+              ~next:(fun () ->
+                match Iterator.next replayed_prefix with
+                | Some t -> Some t
+                | None -> ( match verdict with
+                            | `Fits -> None
+                            | `Overflow -> Iterator.next right))
+              ~close:(fun () ->
+                Iterator.close replayed_prefix;
+                Iterator.close right)
+          in
+          let sub =
+            match verdict with
+            | `Fits ->
+                in_memory ~kind ~left_key ~right_key ~left_arity ~right_arity
+                  ~left ~right:build_rest
+            | `Overflow ->
+                partitioned ~partitions ~spill:sp ~kind ~left_key ~right_key
+                  ~left_arity ~right_arity ~left ~right:build_rest
+          in
+          Iterator.open_ sub;
+          decided := Some sub)
+        ~next:(fun () ->
+          match !decided with
+          | None -> invalid_arg "Hash_match: not open"
+          | Some sub -> Iterator.next sub)
+        ~close:(fun () ->
+          match !decided with
+          | None -> ()
+          | Some sub ->
+              Iterator.close sub;
+              decided := None)
+  | _ ->
+      in_memory ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right

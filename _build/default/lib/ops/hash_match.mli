@@ -1,0 +1,23 @@
+(** Hash-based implementation of the one-to-one match family.
+
+    The right input is the build side, the left input probes.  When the
+    build side exceeds [build_capacity] and a spill target is available,
+    both inputs are hash-partitioned into files on the spill device (Grace
+    style) and each partition pair is matched in memory — keys co-partition,
+    so results concatenate. *)
+
+val iterator :
+  ?build_capacity:int ->
+  ?partitions:int ->
+  ?spill:Sort.spill ->
+  kind:Match_op.kind ->
+  left_key:int list ->
+  right_key:int list ->
+  left_arity:int ->
+  right_arity:int ->
+  Volcano.Iterator.t ->
+  Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** [iterator ... probe build]: the first positional input is the left
+    (probe) side, the second the right (build) side.  Defaults: unlimited
+    build capacity (pure in-memory), 16 partitions. *)

@@ -1,0 +1,68 @@
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+
+type kind =
+  | Join
+  | Left_outer
+  | Right_outer
+  | Full_outer
+  | Semi
+  | Anti
+  | Union
+  | Intersection
+  | Difference
+  | Anti_difference
+
+let nulls n = Array.make n Value.Null
+
+let pad_right tuple ~right_arity = Tuple.concat tuple (nulls right_arity)
+let pad_left tuple ~left_arity = Tuple.concat (nulls left_arity) tuple
+
+let rec take n xs =
+  if n <= 0 then []
+  else match xs with [] -> [] | x :: rest -> x :: take (n - 1) rest
+
+let rec drop n xs =
+  if n <= 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let cross left right =
+  List.concat_map (fun l -> List.map (fun r -> Tuple.concat l r) right) left
+
+let emit_group kind ~left_arity ~right_arity ~left ~right =
+  match kind with
+  | Join -> cross left right
+  | Left_outer ->
+      if right = [] then List.map (pad_right ~right_arity) left
+      else cross left right
+  | Right_outer ->
+      if left = [] then List.map (pad_left ~left_arity) right
+      else cross left right
+  | Full_outer ->
+      if left = [] then List.map (pad_left ~left_arity) right
+      else if right = [] then List.map (pad_right ~right_arity) left
+      else cross left right
+  | Semi -> if right = [] then [] else left
+  | Anti -> if right = [] then left else []
+  | Union -> left @ drop (List.length left) right
+  | Intersection -> take (List.length right) left
+  | Difference -> drop (List.length right) left
+  | Anti_difference -> drop (List.length left) right
+
+let output_arity kind ~left_arity ~right_arity =
+  match kind with
+  | Join | Left_outer | Right_outer | Full_outer -> left_arity + right_arity
+  | Semi | Anti | Intersection | Difference -> left_arity
+  | Anti_difference -> right_arity
+  | Union -> left_arity (* operands must be union-compatible *)
+
+let to_string = function
+  | Join -> "join"
+  | Left_outer -> "left-outer-join"
+  | Right_outer -> "right-outer-join"
+  | Full_outer -> "full-outer-join"
+  | Semi -> "semi-join"
+  | Anti -> "anti-join"
+  | Union -> "union"
+  | Intersection -> "intersection"
+  | Difference -> "difference"
+  | Anti_difference -> "anti-difference"

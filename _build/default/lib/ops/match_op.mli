@@ -1,0 +1,39 @@
+(** The one-to-one match family.
+
+    Volcano implements "two algorithms each for natural join, semi-join,
+    outer join, anti-join, ... union, intersection, difference,
+    anti-difference, and Cartesian product" (section 1) — one sort-based and
+    one hash-based algorithm per operation, all specializations of a single
+    binary {e match} operator.  This module defines the shared semantics:
+    what to emit for a group of left and right tuples agreeing on the key.
+
+    Set operations use {e one-to-one} matching on duplicates: for a key
+    occurring [n] times on the left and [m] times on the right, union emits
+    [max n m] tuples, intersection [min n m], difference [max 0 (n - m)],
+    and anti-difference [max 0 (m - n)] (right-side tuples). *)
+
+type kind =
+  | Join  (** all matching pairs, concatenated *)
+  | Left_outer
+  | Right_outer
+  | Full_outer
+  | Semi  (** left tuples with at least one match *)
+  | Anti  (** left tuples with no match (anti-join) *)
+  | Union
+  | Intersection
+  | Difference  (** left minus right *)
+  | Anti_difference  (** right minus left *)
+
+val emit_group :
+  kind ->
+  left_arity:int ->
+  right_arity:int ->
+  left:Volcano_tuple.Tuple.t list ->
+  right:Volcano_tuple.Tuple.t list ->
+  Volcano_tuple.Tuple.t list
+(** Output for one key group.  Either side may be empty (a key present only
+    on the other side).  Outer-join padding uses [Null]. *)
+
+val output_arity : kind -> left_arity:int -> right_arity:int -> int
+
+val to_string : kind -> string

@@ -1,0 +1,47 @@
+module Iterator = Volcano.Iterator
+module Binheap = Volcano_util.Binheap
+
+type source = {
+  mutable head : Volcano_tuple.Tuple.t option;
+  input : Iterator.t;
+}
+
+let of_iterators ~cmp inputs =
+  let sources = Array.map (fun input -> { head = None; input }) inputs in
+  let heap = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      let h =
+        Binheap.create ~cmp:(fun (a, ia) (b, ib) ->
+            let c = cmp a b in
+            if c <> 0 then c else compare (ia : int) ib)
+      in
+      Array.iteri
+        (fun i source ->
+          Iterator.open_ source.input;
+          source.head <- Iterator.next source.input;
+          match source.head with
+          | Some t -> Binheap.push h (t, i)
+          | None -> ())
+        sources;
+      heap := Some h)
+    ~next:(fun () ->
+      match !heap with
+      | None -> invalid_arg "Merge: not open"
+      | Some h -> (
+          match Binheap.pop h with
+          | None -> None
+          | Some (tuple, i) ->
+              let source = sources.(i) in
+              source.head <- Iterator.next source.input;
+              (match source.head with
+              | Some t -> Binheap.push h (t, i)
+              | None -> ());
+              Some tuple))
+    ~close:(fun () ->
+      Array.iter (fun source -> Iterator.close source.input) sources;
+      heap := None)
+
+let exchange_merge ?id cfg ~cmp ~group ~input =
+  let streams = Volcano.Exchange.producer_streams ?id cfg ~group ~input in
+  of_iterators ~cmp streams

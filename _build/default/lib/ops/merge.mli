@@ -1,0 +1,22 @@
+(** The merge iterator (paper, section 4.4): a single-level merge of
+    pre-sorted inputs, "easily derived from the sort module".  Combined with
+    the keep-separate exchange variant it forms merge networks: some
+    processes produce sorted streams that other processes merge. *)
+
+val of_iterators :
+  cmp:Volcano_tuple.Support.comparator ->
+  Volcano.Iterator.t array ->
+  Volcano.Iterator.t
+(** Merge sorted inputs into one sorted stream.  Opens and closes all
+    inputs. *)
+
+val exchange_merge :
+  ?id:int ->
+  Volcano.Exchange.config ->
+  cmp:Volcano_tuple.Support.comparator ->
+  group:Volcano.Group.t ->
+  input:(Volcano.Group.t -> Volcano.Iterator.t) ->
+  Volcano.Iterator.t
+(** Merge the sorted streams of an exchange's producers, keeping records
+    separated by producer (the "third argument to next-exchange"
+    mechanism). *)

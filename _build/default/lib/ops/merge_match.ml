@@ -1,0 +1,116 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+
+type state = {
+  mutable left_head : Tuple.t option;
+  mutable right_head : Tuple.t option;
+  mutable pending : Tuple.t list;
+  mutable finished : bool;
+}
+
+let iterator ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right =
+  if List.length left_key <> List.length right_key then
+    invalid_arg "Merge_match: key lists must have equal length";
+  let key_cmp l r =
+    List.fold_left2
+      (fun acc li ri -> if acc <> 0 then acc else Value.compare l.(li) r.(ri))
+      0 left_key right_key
+  in
+  (* Compare two left-side tuples on the left key. *)
+  let left_group_cmp a b =
+    List.fold_left
+      (fun acc i -> if acc <> 0 then acc else Value.compare a.(i) b.(i))
+      0 left_key
+  in
+  let right_group_cmp a b =
+    List.fold_left
+      (fun acc i -> if acc <> 0 then acc else Value.compare a.(i) b.(i))
+      0 right_key
+  in
+  let state =
+    { left_head = None; right_head = None; pending = []; finished = false }
+  in
+  (* Collect the full group of consecutive tuples equal to the head. *)
+  let collect_group head advance group_cmp set_head =
+    let rec gather acc current =
+      match current with
+      | None ->
+          set_head None;
+          List.rev acc
+      | Some tuple ->
+          if acc = [] || group_cmp (List.hd acc) tuple = 0 then
+            gather (tuple :: acc) (advance ())
+          else begin
+            set_head (Some tuple);
+            List.rev acc
+          end
+    in
+    gather [] (Some head)
+  in
+  let next_left () = Iterator.next left in
+  let next_right () = Iterator.next right in
+  let emit l r = Match_op.emit_group kind ~left_arity ~right_arity ~left:l ~right:r in
+  let rec fill () =
+    if state.pending = [] && not state.finished then begin
+      (match (state.left_head, state.right_head) with
+      | None, None -> state.finished <- true
+      | Some l, None ->
+          let group =
+            collect_group l next_left left_group_cmp (fun h -> state.left_head <- h)
+          in
+          state.pending <- emit group []
+      | None, Some r ->
+          let group =
+            collect_group r next_right right_group_cmp (fun h ->
+                state.right_head <- h)
+          in
+          state.pending <- emit [] group
+      | Some l, Some r ->
+          let c = key_cmp l r in
+          if c < 0 then begin
+            let group =
+              collect_group l next_left left_group_cmp (fun h ->
+                  state.left_head <- h)
+            in
+            state.pending <- emit group []
+          end
+          else if c > 0 then begin
+            let group =
+              collect_group r next_right right_group_cmp (fun h ->
+                  state.right_head <- h)
+            in
+            state.pending <- emit [] group
+          end
+          else begin
+            let lgroup =
+              collect_group l next_left left_group_cmp (fun h ->
+                  state.left_head <- h)
+            in
+            let rgroup =
+              collect_group r next_right right_group_cmp (fun h ->
+                  state.right_head <- h)
+            in
+            state.pending <- emit lgroup rgroup
+          end);
+      fill ()
+    end
+  in
+  Iterator.make
+    ~open_:(fun () ->
+      Iterator.open_ left;
+      Iterator.open_ right;
+      state.left_head <- Iterator.next left;
+      state.right_head <- Iterator.next right;
+      state.pending <- [];
+      state.finished <- false)
+    ~next:(fun () ->
+      fill ();
+      match state.pending with
+      | [] -> None
+      | tuple :: rest ->
+          state.pending <- rest;
+          Some tuple)
+    ~close:(fun () ->
+      Iterator.close left;
+      Iterator.close right)

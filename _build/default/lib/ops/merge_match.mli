@@ -1,0 +1,15 @@
+(** Sort-based (merge) implementation of the one-to-one match family.  Both
+    inputs must arrive sorted on their key columns; groups of equal keys are
+    buffered and matched with {!Match_op.emit_group}. *)
+
+val iterator :
+  kind:Match_op.kind ->
+  left_key:int list ->
+  right_key:int list ->
+  left_arity:int ->
+  right_arity:int ->
+  left:Volcano.Iterator.t ->
+  right:Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** [left_key] and [right_key] must have equal length; keys are compared
+    column-wise with the value ordering. *)

@@ -1,0 +1,38 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+
+let join ~pred ~left ~right =
+  let inner = ref [||] in
+  let outer_tuple = ref None in
+  let inner_pos = ref 0 in
+  Iterator.make
+    ~open_:(fun () ->
+      inner := Array.of_list (Iterator.to_list right);
+      Iterator.open_ left;
+      outer_tuple := None;
+      inner_pos := 0)
+    ~next:(fun () ->
+      let rec step () =
+        match !outer_tuple with
+        | None -> (
+            match Iterator.next left with
+            | None -> None
+            | Some tuple ->
+                outer_tuple := Some tuple;
+                inner_pos := 0;
+                step ())
+        | Some outer ->
+            if !inner_pos >= Array.length !inner then begin
+              outer_tuple := None;
+              step ()
+            end
+            else begin
+              let candidate = Tuple.concat outer !inner.(!inner_pos) in
+              incr inner_pos;
+              if pred candidate then Some candidate else step ()
+            end
+      in
+      step ())
+    ~close:(fun () -> Iterator.close left)
+
+let cross ~left ~right = join ~pred:(fun _ -> true) ~left ~right

@@ -1,0 +1,13 @@
+(** Nested-loops join and Cartesian product.  The inner (right) input is
+    materialized in memory on [open_]; the outer streams.  Handles arbitrary
+    theta predicates, unlike the key-based match operators. *)
+
+val join :
+  pred:Volcano_tuple.Support.predicate ->
+  left:Volcano.Iterator.t ->
+  right:Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** The predicate sees the concatenated (left ++ right) tuple. *)
+
+val cross :
+  left:Volcano.Iterator.t -> right:Volcano.Iterator.t -> Volcano.Iterator.t

@@ -1,0 +1,15 @@
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Expr = Volcano_tuple.Expr
+
+let map f input =
+  Iterator.make
+    ~open_:(fun () -> Iterator.open_ input)
+    ~next:(fun () -> Option.map f (Iterator.next input))
+    ~close:(fun () -> Iterator.close input)
+
+let columns cols input = map (fun tuple -> Tuple.project tuple cols) input
+
+let exprs es input =
+  let compiled = Array.of_list (List.map Expr.Compiled.num es) in
+  map (fun tuple -> Array.map (fun f -> f tuple) compiled) input

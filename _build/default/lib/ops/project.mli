@@ -1,0 +1,12 @@
+(** Projection: by column positions or by general expressions (computed
+    columns use the compiled expression path). *)
+
+val columns : int list -> Volcano.Iterator.t -> Volcano.Iterator.t
+
+val exprs : Volcano_tuple.Expr.num list -> Volcano.Iterator.t -> Volcano.Iterator.t
+
+val map :
+  (Volcano_tuple.Tuple.t -> Volcano_tuple.Tuple.t) ->
+  Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** Arbitrary per-tuple support function. *)

@@ -1,0 +1,114 @@
+module Heap_file = Volcano_storage.Heap_file
+module Serial = Volcano_tuple.Serial
+module Iterator = Volcano.Iterator
+
+let heap_filtered ~pred file =
+  let cursor = ref None in
+  Iterator.make
+    ~open_:(fun () -> cursor := Some (Heap_file.scan file))
+    ~next:(fun () ->
+      match !cursor with
+      | None -> invalid_arg "Scan.heap: not open"
+      | Some c ->
+          let rec step () =
+            match Heap_file.next c with
+            | None -> None
+            | Some (_rid, record) ->
+                let tuple = Serial.decode_bytes (Bytes.of_string record) in
+                if pred tuple then Some tuple else step ()
+          in
+          step ())
+    ~close:(fun () ->
+      match !cursor with
+      | None -> ()
+      | Some c ->
+          Heap_file.close_cursor c;
+          cursor := None)
+
+let heap file = heap_filtered ~pred:(fun _ -> true) file
+
+let heap_prefetched ~daemon file =
+  let inner = heap file in
+  Iterator.make
+    ~open_:(fun () ->
+      List.iter
+        (fun page ->
+          Volcano_storage.Daemon.submit daemon
+            (Volcano_storage.Daemon.Read_ahead (Heap_file.device file, page)))
+        (Heap_file.page_chain file);
+      Iterator.open_ inner)
+    ~next:(fun () -> Iterator.next inner)
+    ~close:(fun () -> Iterator.close inner)
+
+let btree tree ~lo ~hi =
+  let cursor = ref None in
+  Iterator.make
+    ~open_:(fun () -> cursor := Some (Volcano_btree.Btree.range tree ~lo ~hi))
+    ~next:(fun () ->
+      match !cursor with
+      | None -> invalid_arg "Scan.btree: not open"
+      | Some c -> (
+          match Volcano_btree.Btree.next c with
+          | None -> None
+          | Some (_key, value) ->
+              Some (Serial.decode_bytes (Bytes.of_string value))))
+    ~close:(fun () ->
+      match !cursor with
+      | None -> ()
+      | Some c ->
+          Volcano_btree.Btree.close_cursor c;
+          cursor := None)
+
+let encode_rid rid =
+  let buf = Bytes.create 12 in
+  Bytes.set_int32_le buf 0 (Int32.of_int rid.Volcano_storage.Rid.device);
+  Bytes.set_int32_le buf 4 (Int32.of_int rid.Volcano_storage.Rid.page);
+  Bytes.set_int32_le buf 8 (Int32.of_int rid.Volcano_storage.Rid.slot);
+  Bytes.to_string buf
+
+let decode_rid s =
+  let buf = Bytes.of_string s in
+  Volcano_storage.Rid.make
+    ~device:(Int32.to_int (Bytes.get_int32_le buf 0))
+    ~page:(Int32.to_int (Bytes.get_int32_le buf 4))
+    ~slot:(Int32.to_int (Bytes.get_int32_le buf 8))
+
+let build_index ~tree ~key_of file =
+  let count = ref 0 in
+  Heap_file.iter file (fun rid record ->
+      let tuple = Serial.decode_bytes (Bytes.of_string record) in
+      Volcano_btree.Btree.insert tree ~key:(key_of tuple)
+        ~value:(encode_rid rid);
+      incr count);
+  !count
+
+let index_fetch ~tree ~file ~lo ~hi =
+  let cursor = ref None in
+  Iterator.make
+    ~open_:(fun () -> cursor := Some (Volcano_btree.Btree.range tree ~lo ~hi))
+    ~next:(fun () ->
+      match !cursor with
+      | None -> invalid_arg "Scan.index_fetch: not open"
+      | Some c ->
+          let rec step () =
+            match Volcano_btree.Btree.next c with
+            | None -> None
+            | Some (_key, value) -> (
+                match Heap_file.get file (decode_rid value) with
+                | Some record -> Some (Serial.decode_bytes (Bytes.of_string record))
+                | None -> step () (* deleted since indexing *))
+          in
+          step ())
+    ~close:(fun () ->
+      match !cursor with
+      | None -> ()
+      | Some c ->
+          Volcano_btree.Btree.close_cursor c;
+          cursor := None)
+
+let materialize iterator ~into =
+  Iterator.fold
+    (fun count tuple ->
+      let _ = Heap_file.insert into (Bytes.to_string (Serial.encode tuple)) in
+      count + 1)
+    0 iterator

@@ -1,0 +1,173 @@
+module Iterator = Volcano.Iterator
+module Heap_file = Volcano_storage.Heap_file
+module Serial = Volcano_tuple.Serial
+module Binheap = Volcano_util.Binheap
+
+type spill = {
+  device : Volcano_storage.Device.t;
+  buffer : Volcano_storage.Bufpool.t;
+}
+
+let run_counter = Atomic.make 0
+let runs_spilled () = Atomic.get run_counter
+
+(* A sorted run: either resident or a spilled heap file. *)
+type run = In_memory of Volcano_tuple.Tuple.t array | Spilled of Heap_file.t
+
+let spill_run spill tuples =
+  let id = Atomic.fetch_and_add run_counter 1 in
+  let file =
+    Heap_file.create ~buffer:spill.buffer ~device:spill.device
+      ~name:(Printf.sprintf "__sort_run_%d" id)
+  in
+  Array.iter
+    (fun tuple ->
+      let _ = Heap_file.insert file (Bytes.to_string (Serial.encode tuple)) in
+      ())
+    tuples;
+  Spilled file
+
+type run_cursor = {
+  mutable head : Volcano_tuple.Tuple.t option;
+  advance : unit -> Volcano_tuple.Tuple.t option;
+  cleanup : unit -> unit;
+}
+
+let cursor_of_run run =
+  match run with
+  | In_memory tuples ->
+      let pos = ref 0 in
+      let advance () =
+        if !pos >= Array.length tuples then None
+        else begin
+          let t = tuples.(!pos) in
+          incr pos;
+          Some t
+        end
+      in
+      let c = { head = None; advance; cleanup = (fun () -> ()) } in
+      c.head <- advance ();
+      c
+  | Spilled file ->
+      let scan = Heap_file.scan file in
+      let advance () =
+        match Heap_file.next scan with
+        | None -> None
+        | Some (_rid, record) -> Some (Serial.decode_bytes (Bytes.of_string record))
+      in
+      let cleanup () =
+        Heap_file.close_cursor scan;
+        Heap_file.drop file
+      in
+      let c = { head = None; advance; cleanup } in
+      c.head <- advance ();
+      c
+
+(* Merge a batch of runs into one stream.  The heap orders cursors by their
+   head tuple; ties broken by an index to keep the comparison total. *)
+let merge_cursors ~cmp cursors =
+  let heap =
+    Binheap.create ~cmp:(fun (a, ia) (b, ib) ->
+        let c = cmp a b in
+        if c <> 0 then c else compare (ia : int) ib)
+  in
+  Array.iteri
+    (fun i c -> match c.head with Some t -> Binheap.push heap (t, i) | None -> ())
+    cursors;
+  fun () ->
+    match Binheap.pop heap with
+    | None -> None
+    | Some (tuple, i) ->
+        let cursor = cursors.(i) in
+        cursor.head <- cursor.advance ();
+        (match cursor.head with
+        | Some t -> Binheap.push heap (t, i)
+        | None -> ());
+        Some tuple
+
+(* Cascaded merge: reduce the run list to at most [fan_in] runs, then give
+   back the final single-level merge. *)
+let rec reduce_runs ~cmp ~fan_in ~spill runs =
+  if List.length runs <= fan_in then runs
+  else
+    match spill with
+    | None ->
+        (* Cannot spill intermediate merges; merge everything at once. *)
+        runs
+    | Some sp ->
+        let rec take n xs =
+          if n = 0 then ([], xs)
+          else
+            match xs with
+            | [] -> ([], [])
+            | x :: rest ->
+                let batch, remainder = take (n - 1) rest in
+                (x :: batch, remainder)
+        in
+        let batch, rest = take fan_in runs in
+        let cursors = Array.of_list (List.map cursor_of_run batch) in
+        let pull = merge_cursors ~cmp cursors in
+        let collected = ref [] in
+        let rec drain () =
+          match pull () with
+          | None -> ()
+          | Some t ->
+              collected := t :: !collected;
+              drain ()
+        in
+        drain ();
+        Array.iter (fun c -> c.cleanup ()) cursors;
+        let merged = spill_run sp (Array.of_list (List.rev !collected)) in
+        reduce_runs ~cmp ~fan_in ~spill (rest @ [ merged ])
+
+let iterator ?(run_capacity = 65536) ?(fan_in = 8) ?spill ~cmp input =
+  if run_capacity < 1 then invalid_arg "Sort: run_capacity must be positive";
+  if fan_in < 2 then invalid_arg "Sort: fan_in must be at least 2";
+  let state = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      Iterator.open_ input;
+      let runs = ref [] in
+      let pending = ref [] in
+      let pending_len = ref 0 in
+      let flush_pending () =
+        if !pending_len > 0 then begin
+          let tuples = Array.of_list (List.rev !pending) in
+          Array.sort cmp tuples;
+          let run =
+            match spill with
+            | Some sp when !runs <> [] || !pending_len >= run_capacity ->
+                spill_run sp tuples
+            | _ -> In_memory tuples
+          in
+          runs := !runs @ [ run ];
+          pending := [];
+          pending_len := 0
+        end
+      in
+      let rec consume () =
+        match Iterator.next input with
+        | None -> ()
+        | Some tuple ->
+            pending := tuple :: !pending;
+            incr pending_len;
+            if !pending_len >= run_capacity then flush_pending ();
+            consume ()
+      in
+      consume ();
+      flush_pending ();
+      Iterator.close input;
+      let runs = reduce_runs ~cmp ~fan_in ~spill !runs in
+      let cursors = Array.of_list (List.map cursor_of_run runs) in
+      let pull = merge_cursors ~cmp cursors in
+      state := Some (pull, cursors))
+    ~next:(fun () ->
+      match !state with
+      | None -> invalid_arg "Sort: not open"
+      | Some (pull, _) -> pull ())
+    ~close:(fun () ->
+      match !state with
+      | None -> ()
+      | Some (_, cursors) ->
+          Array.iter (fun c -> c.cleanup ()) cursors;
+          state := None)

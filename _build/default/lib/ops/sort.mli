@@ -1,0 +1,27 @@
+(** External sort.
+
+    [open_] consumes the whole input (sort is a stop-and-go operator):
+    tuples accumulate in memory up to [run_capacity]; overflowing runs are
+    sorted and spilled as heap files on a (typically virtual) device, then
+    merged with a cascaded merge of fan-in [fan_in], exactly the structure
+    of Volcano's sort module.  [next] delivers from the final merge.
+
+    Without a [spill] target the operator sorts purely in memory regardless
+    of size. *)
+
+type spill = {
+  device : Volcano_storage.Device.t;
+  buffer : Volcano_storage.Bufpool.t;
+}
+
+val iterator :
+  ?run_capacity:int ->
+  ?fan_in:int ->
+  ?spill:spill ->
+  cmp:Volcano_tuple.Support.comparator ->
+  Volcano.Iterator.t ->
+  Volcano.Iterator.t
+(** Defaults: [run_capacity] 65536 tuples, [fan_in] 8. *)
+
+val runs_spilled : unit -> int
+(** Total sorted runs written to spill devices (instrumentation). *)

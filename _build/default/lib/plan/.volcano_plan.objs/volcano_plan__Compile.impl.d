@@ -1,0 +1,1 @@
+lib/plan/compile.ml: Array Bytes Env List Plan Printf Volcano Volcano_btree Volcano_ops Volcano_tuple

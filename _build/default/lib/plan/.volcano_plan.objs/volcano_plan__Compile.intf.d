@@ -1,0 +1,1 @@
+lib/plan/compile.mli: Env Plan Volcano Volcano_tuple

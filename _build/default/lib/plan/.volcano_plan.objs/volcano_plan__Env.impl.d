@@ -1,0 +1,1 @@
+lib/plan/env.ml: Bytes Fun Hashtbl Mutex Volcano_btree Volcano_ops Volcano_storage Volcano_tuple

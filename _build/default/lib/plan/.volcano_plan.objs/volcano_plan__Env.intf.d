@@ -1,0 +1,1 @@
+lib/plan/env.mli: Volcano_btree Volcano_ops Volcano_storage Volcano_tuple

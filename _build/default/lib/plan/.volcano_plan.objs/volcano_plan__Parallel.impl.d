@@ -1,0 +1,1 @@
+lib/plan/parallel.ml: Fun List Plan Volcano Volcano_ops Volcano_tuple

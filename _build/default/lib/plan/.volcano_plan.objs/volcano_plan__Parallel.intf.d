@@ -1,0 +1,1 @@
+lib/plan/parallel.mli: Plan Volcano_ops Volcano_tuple

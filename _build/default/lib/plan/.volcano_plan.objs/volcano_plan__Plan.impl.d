@@ -1,0 +1,1 @@
+lib/plan/plan.ml: Env Format List Printf String Volcano Volcano_ops Volcano_storage Volcano_tuple

@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Env Format Volcano Volcano_ops Volcano_tuple

@@ -1,0 +1,195 @@
+module Iterator = Volcano.Iterator
+module Exchange = Volcano.Exchange
+module Group = Volcano.Group
+module Support = Volcano_tuple.Support
+module Tuple = Volcano_tuple.Tuple
+module Ops = Volcano_ops
+
+(* Pre-assign port keys to exchange nodes, keyed by physical identity: the
+   one compiled thunk shared by a group captures this table, so every
+   member resolves the same node to the same key. *)
+let assign_ids plan =
+  let table = ref [] in
+  let note node =
+    if not (List.exists (fun (n, _) -> n == node) !table) then
+      table := (node, Exchange.fresh_id ()) :: !table
+  in
+  let rec walk plan =
+    (match plan with
+    | Plan.Exchange _ | Plan.Exchange_merge _ | Plan.Interchange _ -> note plan
+    | _ -> ());
+    match plan with
+    | Plan.Scan_table _ | Plan.Scan_table_slice _ | Plan.Scan_index _
+    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _ ->
+        ()
+    | Plan.Filter { input; _ }
+    | Plan.Project_cols { input; _ }
+    | Plan.Project_exprs { input; _ }
+    | Plan.Sort { input; _ }
+    | Plan.Aggregate { input; _ }
+    | Plan.Distinct { input; _ }
+    | Plan.Limit { input; _ }
+    | Plan.Exchange { input; _ }
+    | Plan.Exchange_merge { input; _ }
+    | Plan.Interchange { input; _ } ->
+        walk input
+    | Plan.Match { left; right; _ }
+    | Plan.Cross { left; right }
+    | Plan.Theta_join { left; right; _ } ->
+        walk left;
+        walk right
+    | Plan.Choose { alternatives; _ } -> List.iter walk alternatives
+    | Plan.Division { dividend; divisor; _ } ->
+        walk dividend;
+        walk divisor
+  in
+  walk plan;
+  let ids = !table in
+  fun node ->
+    match List.find_opt (fun (n, _) -> n == node) ids with
+    | Some (_, id) -> id
+    | None -> invalid_arg "Compile: exchange node without id"
+
+(* Every Nth tuple, offset by the group rank — used by the slice leaves. *)
+let slice_iterator group inner =
+  let rank = Group.rank group and size = Group.size group in
+  if size = 1 then inner
+  else begin
+    let index = ref 0 in
+    Iterator.make
+      ~open_:(fun () ->
+        index := 0;
+        Iterator.open_ inner)
+      ~next:(fun () ->
+        let rec step () =
+          match Iterator.next inner with
+          | None -> None
+          | Some tuple ->
+              let i = !index in
+              incr index;
+              if i mod size = rank then Some tuple else step ()
+        in
+        step ())
+      ~close:(fun () -> Iterator.close inner)
+  end
+
+let limit_iterator count inner =
+  let remaining = ref count in
+  Iterator.make
+    ~open_:(fun () ->
+      remaining := count;
+      Iterator.open_ inner)
+    ~next:(fun () ->
+      if !remaining <= 0 then None
+      else
+        match Iterator.next inner with
+        | None -> None
+        | Some tuple ->
+            decr remaining;
+            Some tuple)
+    ~close:(fun () -> Iterator.close inner)
+
+let sort_cmp key = Support.compare_on key
+let cols_cmp cols = Support.compare_cols cols
+
+let rec compile_in env ids group plan =
+  let recur = compile_in env ids group in
+  let sorted ~cmp input =
+    Ops.Sort.iterator ~run_capacity:(Env.sort_run_capacity env)
+      ~spill:(Env.spill env) ~cmp input
+  in
+  match plan with
+  | Plan.Scan_table name -> Ops.Scan.heap (fst (Env.table env name))
+  | Plan.Scan_table_slice name -> (
+      let rank = Group.rank group in
+      let partition_name = Printf.sprintf "%s#%d" name rank in
+      match Env.table env partition_name with
+      | file, _ -> Ops.Scan.heap file
+      | exception Not_found ->
+          slice_iterator group (Ops.Scan.heap (fst (Env.table env name))))
+  | Plan.Scan_index { index; lo; hi } ->
+      let tree, file, _key = Env.index env index in
+      let encode t = Bytes.to_string (Volcano_tuple.Serial.encode t) in
+      let bound = function
+        | Plan.Ix_unbounded -> Volcano_btree.Btree.Unbounded
+        | Plan.Ix_inclusive t -> Volcano_btree.Btree.Inclusive (encode t)
+        | Plan.Ix_exclusive t -> Volcano_btree.Btree.Exclusive (encode t)
+      in
+      Ops.Scan.index_fetch ~tree ~file ~lo:(bound lo) ~hi:(bound hi)
+  | Plan.Scan_list { tuples; _ } -> Iterator.of_list tuples
+  | Plan.Generate { count; gen; _ } -> Iterator.generate ~count ~f:gen
+  | Plan.Generate_slice { count; gen; _ } ->
+      let rank = Group.rank group and size = Group.size group in
+      let mine = (count - rank + size - 1) / size in
+      Iterator.generate ~count:mine ~f:(fun i -> gen ((i * size) + rank))
+  | Plan.Filter { pred; mode; input } ->
+      let pred =
+        match mode with
+        | `Compiled -> Support.of_pred pred
+        | `Interpreted -> Support.of_pred_interpreted pred
+      in
+      Ops.Filter.iterator ~pred (recur input)
+  | Plan.Project_cols { cols; input } -> Ops.Project.columns cols (recur input)
+  | Plan.Project_exprs { exprs; input } -> Ops.Project.exprs exprs (recur input)
+  | Plan.Sort { key; input } -> sorted ~cmp:(sort_cmp key) (recur input)
+  | Plan.Match { algo; kind; left_key; right_key; left; right } -> (
+      let left_arity = Plan.arity env left in
+      let right_arity = Plan.arity env right in
+      match algo with
+      | Plan.Sort_based ->
+          Ops.Merge_match.iterator ~kind ~left_key ~right_key ~left_arity
+            ~right_arity
+            ~left:(sorted ~cmp:(cols_cmp left_key) (recur left))
+            ~right:(sorted ~cmp:(cols_cmp right_key) (recur right))
+      | Plan.Hash_based ->
+          Ops.Hash_match.iterator
+            ~build_capacity:(Env.sort_run_capacity env)
+            ~spill:(Env.spill env) ~kind ~left_key ~right_key ~left_arity
+            ~right_arity (recur left) (recur right))
+  | Plan.Cross { left; right } ->
+      Ops.Nested_loops.cross ~left:(recur left) ~right:(recur right)
+  | Plan.Theta_join { pred; left; right } ->
+      Ops.Nested_loops.join ~pred:(Support.of_pred pred) ~left:(recur left)
+        ~right:(recur right)
+  | Plan.Aggregate { algo; group_by; aggs; input } -> (
+      match algo with
+      | Plan.Hash_based -> Ops.Aggregate.hash_iterator ~group_by ~aggs (recur input)
+      | Plan.Sort_based ->
+          Ops.Aggregate.sorted_iterator ~group_by ~aggs
+            (sorted ~cmp:(cols_cmp group_by) (recur input)))
+  | Plan.Distinct { algo; on; input } -> (
+      match algo with
+      | Plan.Hash_based -> Ops.Aggregate.distinct_hash ~on (recur input)
+      | Plan.Sort_based ->
+          Ops.Aggregate.distinct_sorted ~on (sorted ~cmp:(cols_cmp on) (recur input)))
+  | Plan.Division { algo; quotient; divisor_attrs; divisor_key; dividend; divisor }
+    -> (
+      match algo with
+      | `Hash ->
+          Ops.Division.hash_division ~quotient ~divisor_attrs ~divisor_key
+            ~dividend:(recur dividend) ~divisor:(recur divisor)
+      | `Count ->
+          Ops.Division.count_division ~quotient ~divisor_attrs ~divisor_key
+            ~dividend:(recur dividend) ~divisor:(recur divisor)
+      | `Sort ->
+          let dividend_key = quotient @ divisor_attrs in
+          Ops.Division.sort_division ~quotient ~divisor_attrs ~divisor_key
+            ~dividend:(sorted ~cmp:(cols_cmp dividend_key) (recur dividend))
+            ~divisor:(sorted ~cmp:(cols_cmp divisor_key) (recur divisor)))
+  | Plan.Limit { count; input } -> limit_iterator count (recur input)
+  | Plan.Choose { decide; alternatives } ->
+      Ops.Choose_plan.iterator ~decide
+        ~alternatives:(Array.of_list (List.map recur alternatives))
+  | Plan.Exchange { cfg; input } ->
+      Exchange.iterator ~id:(ids plan) cfg ~group ~input:(fun producer_group ->
+          compile_in env ids producer_group input)
+  | Plan.Exchange_merge { cfg; key; input } ->
+      Ops.Merge.exchange_merge ~id:(ids plan) cfg ~cmp:(sort_cmp key) ~group
+        ~input:(fun producer_group -> compile_in env ids producer_group input)
+  | Plan.Interchange { cfg; input } ->
+      Exchange.interchange ~id:(ids plan) cfg ~group ~input:(recur input)
+
+let compile env plan = compile_in env (assign_ids plan) (Group.solo ()) plan
+
+let run env plan = Iterator.to_list (compile env plan)
+let run_count env plan = Iterator.consume (compile env plan)

@@ -1,0 +1,15 @@
+(** Plan compilation: from algebra trees to iterator trees.
+
+    Exchange nodes need one port key shared by every member of the
+    consuming process group.  [compile] pre-assigns a key to each exchange
+    node of the plan; the closures capturing that assignment are shared by
+    all group members (they all run the same compiled thunk), so members
+    agree on keys without further coordination. *)
+
+val compile : Env.t -> Plan.t -> Volcano.Iterator.t
+(** Compile for the query root process (a fresh solo group). *)
+
+val run : Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
+(** Compile, open, drain, close. *)
+
+val run_count : Env.t -> Plan.t -> int

@@ -1,0 +1,100 @@
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Heap_file = Volcano_storage.Heap_file
+module Schema = Volcano_tuple.Schema
+
+type t = {
+  buffer : Bufpool.t;
+  workspace : Device.t;
+  tables : (string, Heap_file.t * Schema.t) Hashtbl.t;
+  indexes : (string, Volcano_btree.Btree.t * Heap_file.t * int list) Hashtbl.t;
+  lock : Mutex.t;
+  mutable run_capacity : int;
+}
+
+let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536) () =
+  {
+    buffer = Bufpool.create ~frames ~page_size ();
+    workspace =
+      Device.create_virtual ~name:"<workspace>" ~page_size
+        ~capacity:workspace_capacity ();
+    tables = Hashtbl.create 16;
+    indexes = Hashtbl.create 16;
+    lock = Mutex.create ();
+    run_capacity = 65536;
+  }
+
+let buffer t = t.buffer
+let workspace t = t.workspace
+
+let spill t =
+  { Volcano_ops.Sort.device = t.workspace; buffer = t.buffer }
+
+let register_table t ~name ~file ~schema =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if Hashtbl.mem t.tables name then
+        invalid_arg ("Env.register_table: duplicate table " ^ name);
+      Hashtbl.add t.tables name (file, schema))
+
+let create_table t ~name ~schema =
+  let file = Heap_file.create ~buffer:t.buffer ~device:t.workspace ~name in
+  register_table t ~name ~file ~schema;
+  file
+
+let table t name =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.tables name with
+      | Some entry -> entry
+      | None -> raise Not_found)
+
+let table_names t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [])
+
+(* Index keys are serialized key projections compared by value order. *)
+let index_cmp a b =
+  Volcano_tuple.Tuple.compare
+    (Volcano_tuple.Serial.decode_bytes (Bytes.of_string a))
+    (Volcano_tuple.Serial.decode_bytes (Bytes.of_string b))
+
+let create_index t ~table:table_name ~name ~key =
+  let file, _schema = table t table_name in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if Hashtbl.mem t.indexes name then
+        invalid_arg ("Env.create_index: duplicate index " ^ name));
+  let tree =
+    Volcano_btree.Btree.create ~buffer:t.buffer ~device:t.workspace ~name
+      ~cmp:index_cmp
+  in
+  let key_of tuple =
+    Bytes.to_string
+      (Volcano_tuple.Serial.encode (Volcano_tuple.Tuple.project tuple key))
+  in
+  let entries = Volcano_ops.Scan.build_index ~tree ~key_of file in
+  Mutex.lock t.lock;
+  Hashtbl.add t.indexes name (tree, file, key);
+  Mutex.unlock t.lock;
+  entries
+
+let index t name =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match Hashtbl.find_opt t.indexes name with
+      | Some entry -> entry
+      | None -> raise Not_found)
+
+let sort_run_capacity t = t.run_capacity
+let set_sort_run_capacity t n = t.run_capacity <- n

@@ -1,0 +1,45 @@
+(** Execution environment: the buffer pool, a workspace device for
+    intermediate results (virtual — pages live in the buffer), and the table
+    catalog.  One [Env.t] is shared by every process evaluating a query, as
+    the Sequent's shared memory was. *)
+
+type t
+
+val create :
+  ?frames:int -> ?page_size:int -> ?workspace_capacity:int -> unit -> t
+(** Defaults: 256 frames of 4096 bytes, a 65536-page virtual workspace. *)
+
+val buffer : t -> Volcano_storage.Bufpool.t
+val workspace : t -> Volcano_storage.Device.t
+val spill : t -> Volcano_ops.Sort.spill
+
+val register_table :
+  t ->
+  name:string ->
+  file:Volcano_storage.Heap_file.t ->
+  schema:Volcano_tuple.Schema.t ->
+  unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val create_table :
+  t -> name:string -> schema:Volcano_tuple.Schema.t -> Volcano_storage.Heap_file.t
+(** Create a fresh table on the workspace device and register it. *)
+
+val table : t -> string -> Volcano_storage.Heap_file.t * Volcano_tuple.Schema.t
+(** @raise Not_found for unknown tables. *)
+
+val create_index : t -> table:string -> name:string -> key:int list -> int
+(** Build a secondary B+-tree index over the named table's key columns on
+    the workspace device and register it; returns the entry count.  Index
+    keys order by the value ordering of the key columns. *)
+
+val index :
+  t -> string -> Volcano_btree.Btree.t * Volcano_storage.Heap_file.t * int list
+(** The index, its base table file, and its key columns.
+    @raise Not_found for unknown indexes. *)
+
+val table_names : t -> string list
+
+val sort_run_capacity : t -> int
+val set_sort_run_capacity : t -> int -> unit
+(** Tuples per in-memory sort run (spill threshold); default 65536. *)

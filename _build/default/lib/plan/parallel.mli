@@ -1,0 +1,82 @@
+(** Parallelization combinators: the standard exchange placements of
+    section 4, packaged as plan rewrites.
+
+    These are mechanical insertions of exchange nodes — "new query
+    processing algorithms [are] coded for single-process execution but run
+    in a highly parallel environment without modifications" (section 6). *)
+
+val pipeline :
+  ?packet_size:int -> ?flow_slack:int option -> Plan.t -> Plan.t
+(** Vertical parallelism: run the subtree in its own process. *)
+
+val partitioned_scan :
+  degree:int -> ?packet_size:int -> table:string -> unit -> Plan.t
+(** [degree] processes each scan a slice of the table and stream to the
+    consumer. *)
+
+val partitioned_match :
+  degree:int ->
+  ?packet_size:int ->
+  algo:Plan.algo ->
+  kind:Volcano_ops.Match_op.kind ->
+  left_key:int list ->
+  right_key:int list ->
+  left:Plan.t ->
+  right:Plan.t ->
+  unit ->
+  Plan.t
+(** Intra-operator parallel match: both inputs are hash-partitioned on their
+    keys across [degree] match processes (GAMMA-style repartitioning); the
+    match processes stream results to the consumer.  [left] and [right]
+    should be slice-aware (e.g. {!Plan.Scan_table_slice}) so the producer
+    groups divide the base data. *)
+
+val partitioned_aggregate :
+  degree:int ->
+  ?packet_size:int ->
+  algo:Plan.algo ->
+  group_by:int list ->
+  aggs:Volcano_ops.Aggregate.agg list ->
+  Plan.t ->
+  Plan.t
+(** Intra-operator parallel aggregation: input partitioned by hash on the
+    grouping columns, one aggregation process per partition. *)
+
+val partitioned_aggregate_two_phase :
+  degree:int ->
+  ?packet_size:int ->
+  group_by:int list ->
+  aggs:Volcano_ops.Aggregate.agg list ->
+  Plan.t ->
+  Plan.t
+(** Two-phase parallel aggregation: every producer pre-aggregates its slice
+    locally (no data movement), the partial results are hash-partitioned on
+    the grouping columns, and a second aggregation combines them.  Count
+    becomes a sum of partial counts, Sum/Min/Max combine with themselves,
+    and Avg decomposes into sum and count with a final projection.  Far
+    less data crosses the exchange than with {!partitioned_aggregate} when
+    groups are few. *)
+
+val parallel_sort :
+  degree:int ->
+  ?packet_size:int ->
+  key:Volcano_tuple.Support.sort_key ->
+  Plan.t ->
+  Plan.t
+(** Merge network: [degree] processes sort slices of the input; the
+    consumer merges the sorted streams with the keep-separate exchange
+    variant (section 4.4). *)
+
+val broadcast_join :
+  degree:int ->
+  ?packet_size:int ->
+  kind:Volcano_ops.Match_op.kind ->
+  left_key:int list ->
+  right_key:int list ->
+  left:Plan.t ->
+  right:Plan.t ->
+  unit ->
+  Plan.t
+(** Fragment-and-replicate: the left input is sliced across [degree] join
+    processes while the right (build) input is broadcast to all of them —
+    Baru's join strategy enabled by the broadcast exchange (section 4.4). *)

@@ -1,0 +1,215 @@
+module Schema = Volcano_tuple.Schema
+module Expr = Volcano_tuple.Expr
+module Match_op = Volcano_ops.Match_op
+module Exchange = Volcano.Exchange
+
+type algo = Sort_based | Hash_based
+
+type index_bound =
+  | Ix_unbounded
+  | Ix_inclusive of Volcano_tuple.Tuple.t
+  | Ix_exclusive of Volcano_tuple.Tuple.t
+
+type t =
+  | Scan_table of string
+  | Scan_table_slice of string
+  | Scan_index of { index : string; lo : index_bound; hi : index_bound }
+  | Scan_list of { arity : int; tuples : Volcano_tuple.Tuple.t list }
+  | Generate of { arity : int; count : int; gen : int -> Volcano_tuple.Tuple.t }
+  | Generate_slice of {
+      arity : int;
+      count : int;
+      gen : int -> Volcano_tuple.Tuple.t;
+    }
+  | Filter of {
+      pred : Expr.pred;
+      mode : [ `Compiled | `Interpreted ];
+      input : t;
+    }
+  | Project_cols of { cols : int list; input : t }
+  | Project_exprs of { exprs : Expr.num list; input : t }
+  | Sort of { key : Volcano_tuple.Support.sort_key; input : t }
+  | Match of {
+      algo : algo;
+      kind : Match_op.kind;
+      left_key : int list;
+      right_key : int list;
+      left : t;
+      right : t;
+    }
+  | Cross of { left : t; right : t }
+  | Theta_join of { pred : Expr.pred; left : t; right : t }
+  | Aggregate of {
+      algo : algo;
+      group_by : int list;
+      aggs : Volcano_ops.Aggregate.agg list;
+      input : t;
+    }
+  | Distinct of { algo : algo; on : int list; input : t }
+  | Division of {
+      algo : [ `Hash | `Count | `Sort ];
+      quotient : int list;
+      divisor_attrs : int list;
+      divisor_key : int list;
+      dividend : t;
+      divisor : t;
+    }
+  | Limit of { count : int; input : t }
+  | Choose of { decide : unit -> int; alternatives : t list }
+  | Exchange of { cfg : Exchange.config; input : t }
+  | Exchange_merge of {
+      cfg : Exchange.config;
+      key : Volcano_tuple.Support.sort_key;
+      input : t;
+    }
+  | Interchange of { cfg : Exchange.config; input : t }
+
+let rec arity env plan =
+  match plan with
+  | Scan_table name | Scan_table_slice name ->
+      let _, schema = Env.table env name in
+      Schema.arity schema
+  | Scan_index { index; _ } ->
+      let _, file, _ = Env.index env index in
+      let _ = file in
+      (* the fetch returns base-table records; find its schema via the
+         catalog *)
+      let rec width = function
+        | [] -> invalid_arg "Plan.arity: index over unregistered table"
+        | name :: rest -> (
+            match Env.table env name with
+            | f, schema
+              when Volcano_storage.Heap_file.name f
+                   = Volcano_storage.Heap_file.name file ->
+                let _ = f in
+                Schema.arity schema
+            | _ -> width rest
+            | exception Not_found -> width rest)
+      in
+      width (Env.table_names env)
+  | Scan_list { arity; _ } -> arity
+  | Generate { arity; _ } | Generate_slice { arity; _ } -> arity
+  | Filter { input; _ } -> arity env input
+  | Project_cols { cols; _ } -> List.length cols
+  | Project_exprs { exprs; _ } -> List.length exprs
+  | Sort { input; _ } -> arity env input
+  | Match { algo = _; kind; left; right; _ } ->
+      Match_op.output_arity kind ~left_arity:(arity env left)
+        ~right_arity:(arity env right)
+  | Cross { left; right } | Theta_join { left; right; _ } ->
+      arity env left + arity env right
+  | Aggregate { group_by; aggs; _ } -> List.length group_by + List.length aggs
+  | Distinct { input; _ } -> arity env input
+  | Division { quotient; _ } -> List.length quotient
+  | Limit { input; _ } -> arity env input
+  | Choose { alternatives; _ } -> (
+      match alternatives with
+      | [] -> invalid_arg "Plan.arity: Choose with no alternatives"
+      | first :: _ -> arity env first)
+  | Exchange { input; _ } | Exchange_merge { input; _ } | Interchange { input; _ }
+    ->
+      arity env input
+
+let algo_to_string = function Sort_based -> "sort" | Hash_based -> "hash"
+
+let cols_to_string cols =
+  "[" ^ String.concat "," (List.map string_of_int cols) ^ "]"
+
+let key_to_string key =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (c, dir) ->
+           string_of_int c
+           ^ match dir with Volcano_tuple.Support.Asc -> "" | Desc -> " desc")
+         key)
+  ^ "]"
+
+let cfg_to_string (cfg : Exchange.config) =
+  let partition =
+    match cfg.partition with
+    | Exchange.Round_robin -> "round-robin"
+    | Exchange.Hash_on cols -> "hash" ^ cols_to_string cols
+    | Exchange.Range_on (c, _) -> Printf.sprintf "range[%d]" c
+    | Exchange.Custom _ -> "custom"
+    | Exchange.Broadcast -> "broadcast"
+  in
+  Printf.sprintf "degree=%d packet=%d flow=%s partition=%s" cfg.degree
+    cfg.packet_size
+    (match cfg.flow_slack with Some n -> string_of_int n | None -> "off")
+    partition
+
+let rec pp_indented ppf indent plan =
+  let line fmt =
+    Format.fprintf ppf "%s" (String.make (indent * 2) ' ');
+    Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
+  in
+  let child = pp_indented ppf (indent + 1) in
+  match plan with
+  | Scan_table name -> line "scan %s" name
+  | Scan_index { index; _ } -> line "index-scan %s" index
+  | Scan_table_slice name -> line "scan-slice %s" name
+  | Scan_list { tuples; _ } -> line "scan-list (%d tuples)" (List.length tuples)
+  | Generate { count; _ } -> line "generate (%d tuples)" count
+  | Generate_slice { count; _ } -> line "generate-slice (%d tuples)" count
+  | Filter { pred; mode; input } ->
+      line "filter (%s) %a"
+        (match mode with `Compiled -> "compiled" | `Interpreted -> "interpreted")
+        Expr.pp_pred pred;
+      child input
+  | Project_cols { cols; input } ->
+      line "project %s" (cols_to_string cols);
+      child input
+  | Project_exprs { exprs; input } ->
+      line "project (%d exprs)" (List.length exprs);
+      child input
+  | Sort { key; input } ->
+      line "sort %s" (key_to_string key);
+      child input
+  | Match { algo; kind; left_key; right_key; left; right } ->
+      line "%s-%s on %s=%s" (algo_to_string algo) (Match_op.to_string kind)
+        (cols_to_string left_key) (cols_to_string right_key);
+      child left;
+      child right
+  | Cross { left; right } ->
+      line "cartesian-product";
+      child left;
+      child right
+  | Theta_join { pred; left; right } ->
+      line "nested-loops-join %a" Expr.pp_pred pred;
+      child left;
+      child right
+  | Aggregate { algo; group_by; aggs; input } ->
+      line "%s-aggregate by %s (%d aggs)" (algo_to_string algo)
+        (cols_to_string group_by) (List.length aggs);
+      child input
+  | Distinct { algo; on; input } ->
+      line "%s-distinct on %s" (algo_to_string algo) (cols_to_string on);
+      child input
+  | Division { algo; quotient; divisor_attrs; dividend; divisor; _ } ->
+      line "%s-division quotient=%s attrs=%s"
+        (match algo with `Hash -> "hash" | `Count -> "count" | `Sort -> "sort")
+        (cols_to_string quotient)
+        (cols_to_string divisor_attrs);
+      child dividend;
+      child divisor
+  | Limit { count; input } ->
+      line "limit %d" count;
+      child input
+  | Choose { alternatives; _ } ->
+      line "choose-plan (%d alternatives)" (List.length alternatives);
+      List.iter child alternatives
+  | Exchange { cfg; input } ->
+      line "exchange (%s)" (cfg_to_string cfg);
+      child input
+  | Exchange_merge { cfg; key; input } ->
+      line "exchange-merge %s (%s)" (key_to_string key) (cfg_to_string cfg);
+      child input
+  | Interchange { cfg; input } ->
+      line "interchange (%s)" (cfg_to_string cfg);
+      child input
+
+let pp ppf plan = pp_indented ppf 0 plan
+
+let explain env plan =
+  Format.asprintf "%a-- output arity: %d@." pp plan (arity env plan)

@@ -1,0 +1,90 @@
+(** Query evaluation plans: "complex algebra expressions; the operators of
+    this algebra are query processing algorithms" (paper, section 3).
+
+    A plan is a tree of logical operator applications with explicit
+    algorithm choices (sort- vs hash-based) and explicit exchange
+    placements.  {!Compile} turns a plan into an iterator tree; exchange
+    nodes fork process groups at open time. *)
+
+type algo = Sort_based | Hash_based
+
+(** Key-range bounds for index scans, over the index's key columns. *)
+type index_bound =
+  | Ix_unbounded
+  | Ix_inclusive of Volcano_tuple.Tuple.t
+  | Ix_exclusive of Volcano_tuple.Tuple.t
+
+type t =
+  | Scan_table of string  (** by catalog name *)
+  | Scan_table_slice of string
+      (** intra-operator parallel scan: in a group of size N, member r scans
+          the registered partition file ["name#r"] if present, otherwise
+          every Nth record of ["name"] — the plan-level analogue of
+          "partitioning of stored datasets is achieved by using multiple
+          files" (section 4.2) *)
+  | Scan_index of { index : string; lo : index_bound; hi : index_bound }
+      (** secondary-index range scan + fetch from the base table *)
+  | Scan_list of { arity : int; tuples : Volcano_tuple.Tuple.t list }
+  | Generate of { arity : int; count : int; gen : int -> Volcano_tuple.Tuple.t }
+  | Generate_slice of {
+      arity : int;
+      count : int;
+      gen : int -> Volcano_tuple.Tuple.t;
+    }  (** group member r generates indices r, r+N, ... of [0, count) *)
+  | Filter of {
+      pred : Volcano_tuple.Expr.pred;
+      mode : [ `Compiled | `Interpreted ];
+      input : t;
+    }
+  | Project_cols of { cols : int list; input : t }
+  | Project_exprs of { exprs : Volcano_tuple.Expr.num list; input : t }
+  | Sort of { key : Volcano_tuple.Support.sort_key; input : t }
+  | Match of {
+      algo : algo;
+      kind : Volcano_ops.Match_op.kind;
+      left_key : int list;
+      right_key : int list;
+      left : t;
+      right : t;
+    }  (** sort-based match sorts its own inputs on the keys *)
+  | Cross of { left : t; right : t }
+  | Theta_join of { pred : Volcano_tuple.Expr.pred; left : t; right : t }
+  | Aggregate of {
+      algo : algo;
+      group_by : int list;
+      aggs : Volcano_ops.Aggregate.agg list;
+      input : t;
+    }
+  | Distinct of { algo : algo; on : int list; input : t }
+  | Division of {
+      algo : [ `Hash | `Count | `Sort ];
+      quotient : int list;
+      divisor_attrs : int list;
+      divisor_key : int list;
+      dividend : t;
+      divisor : t;
+    }
+  | Limit of { count : int; input : t }
+  | Choose of { decide : unit -> int; alternatives : t list }
+      (** dynamic query evaluation plans (Graefe & Ward 1989): at open time
+          the decision support function picks one alternative; all
+          alternatives must produce the same schema *)
+  | Exchange of { cfg : Volcano.Exchange.config; input : t }
+      (** vertical / intra-operator parallelism boundary *)
+  | Exchange_merge of {
+      cfg : Volcano.Exchange.config;
+      key : Volcano_tuple.Support.sort_key;
+      input : t;
+    }  (** keep-separate exchange feeding a merge (producers must emit
+          sorted streams) *)
+  | Interchange of { cfg : Volcano.Exchange.config; input : t }
+      (** the no-fork variant inside an already-parallel group *)
+
+val arity : Env.t -> t -> int
+(** Output tuple width. *)
+
+val pp : Format.formatter -> t -> unit
+(** Operator-tree rendering with one node per line ("explain"). *)
+
+val explain : Env.t -> t -> string
+(** Rendering plus per-node output arities. *)

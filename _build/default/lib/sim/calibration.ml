@@ -1,0 +1,114 @@
+let sequent_cpus = 12
+
+let create_cost = 97.8e-6
+let unfix_cost = 105.0e-6
+let xfer_send_cost = 12.85e-6
+let xfer_recv_cost = 12.85e-6
+let packet_send_cost = 0.45e-3
+let packet_recv_cost = 1.60e-3
+
+let t1_pipeline ?(flow_slack = Some 4) ~records () =
+  Sim.run
+    {
+      Sim.stages =
+        [|
+          {
+            processes = 1;
+            per_record = create_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = 0.0;
+          };
+          {
+            processes = 1;
+            per_record = xfer_recv_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = packet_recv_cost;
+          };
+          {
+            processes = 1;
+            per_record = xfer_recv_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = packet_recv_cost;
+          };
+          {
+            processes = 1;
+            per_record = xfer_recv_cost +. unfix_cost;
+            per_packet_send = 0.0;
+            per_packet_recv = packet_recv_cost;
+          };
+        |];
+      records;
+      packet_size = 83 (* the paper's standard packet size *);
+      flow_slack;
+      cpus = sequent_cpus;
+    }
+
+let fig2a ~packet_size ?(records = 100_000) ?(flow_slack = Some 3) () =
+  Sim.run
+    {
+      Sim.stages =
+        [|
+          {
+            processes = 3;
+            per_record = create_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = 0.0;
+          };
+          {
+            processes = 3;
+            per_record = xfer_recv_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = packet_recv_cost;
+          };
+          {
+            processes = 3;
+            per_record = xfer_recv_cost +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = packet_recv_cost;
+          };
+          {
+            processes = 1;
+            per_record = xfer_recv_cost +. unfix_cost;
+            per_packet_send = 0.0;
+            per_packet_recv = packet_recv_cost;
+          };
+        |];
+      records;
+      packet_size;
+      flow_slack;
+      cpus = sequent_cpus;
+    }
+
+let t1_single_process ~records =
+  float_of_int records *. (create_cost +. unfix_cost)
+
+let t1_interchange ~records ~exchanges =
+  t1_single_process ~records
+  +. (float_of_int records
+     *. float_of_int exchanges
+     *. (xfer_send_cost +. xfer_recv_cost))
+
+let intra_op_speedup ~degree ?(records = 100_000) ?(per_record = 1.0e-3)
+    ?(cpus = sequent_cpus) () =
+  Sim.run
+    {
+      Sim.stages =
+        [|
+          {
+            processes = degree;
+            per_record = per_record +. xfer_send_cost;
+            per_packet_send = packet_send_cost;
+            per_packet_recv = 0.0;
+          };
+          {
+            processes = 1;
+            per_record = xfer_recv_cost +. unfix_cost;
+            per_packet_send = 0.0;
+            per_packet_recv = packet_recv_cost;
+          };
+        |];
+      records;
+      packet_size = 83 (* the paper's standard packet size *);
+      flow_slack = Some 4;
+      cpus;
+    }

@@ -1,0 +1,275 @@
+module Binheap = Volcano_util.Binheap
+
+type stage = {
+  processes : int;
+  per_record : float;
+  per_packet_send : float;
+  per_packet_recv : float;
+}
+
+type params = {
+  stages : stage array;
+  records : int;
+  packet_size : int;
+  flow_slack : int option;
+  cpus : int;
+}
+
+type result = {
+  elapsed : float;
+  stage_busy : float array;
+  packets_total : int;
+  max_queue_depth : int;
+}
+
+(* Process states.  A burst is a span of CPU time; deliveries and state
+   transitions happen instantaneously at burst completion. *)
+type proc_state =
+  | Ready
+  | Running
+  | Blocked_flow of int (* queue index the pending packet is destined for *)
+  | Waiting_input
+  | Finished
+
+type proc = {
+  stage : int;
+  index : int;
+  mutable state : proc_state;
+  mutable remaining : int; (* producer stages: records still to produce *)
+  mutable pending_len : int; (* packet built/held, waiting or in flight *)
+  mutable rr : int; (* round-robin cursor over next-stage consumers *)
+}
+
+type queue = {
+  packets : int Queue.t; (* packet lengths *)
+  mutable open_producers : int;
+  flow_waiters : (int * int) Queue.t; (* (proc id, packet length) *)
+  consumer : int; (* proc id served by this queue *)
+}
+
+let run params =
+  let n_stages = Array.length params.stages in
+  if n_stages < 2 then invalid_arg "Sim.run: need at least two stages";
+  if params.records < 0 || params.packet_size < 1 || params.cpus < 1 then
+    invalid_arg "Sim.run: bad parameters";
+  Array.iter
+    (fun s -> if s.processes < 1 then invalid_arg "Sim.run: empty stage")
+    params.stages;
+
+  (* Flatten processes: proc id = offset of stage + index. *)
+  let stage_offset = Array.make n_stages 0 in
+  for s = 1 to n_stages - 1 do
+    stage_offset.(s) <- stage_offset.(s - 1) + params.stages.(s - 1).processes
+  done;
+  let n_procs = stage_offset.(n_stages - 1) + params.stages.(n_stages - 1).processes in
+  let procs =
+    Array.init n_procs (fun id ->
+        let rec find s = if id < stage_offset.(s) + params.stages.(s).processes then s else find (s + 1) in
+        let stage = find 0 in
+        { stage; index = id - stage_offset.(stage); state = Ready; remaining = 0; pending_len = 0; rr = 0 })
+  in
+  (* Producer shares of the record count. *)
+  let first = params.stages.(0).processes in
+  for i = 0 to first - 1 do
+    let share = (params.records / first) + (if i < params.records mod first then 1 else 0) in
+    procs.(stage_offset.(0) + i).remaining <- share;
+    procs.(stage_offset.(0) + i).rr <- i
+  done;
+  Array.iteri
+    (fun id p -> if p.stage > 0 then procs.(id).state <- Waiting_input)
+    procs;
+
+  (* One input queue per non-stage-0 process. *)
+  let queue_of_proc = Array.make n_procs (-1) in
+  let queues = ref [] in
+  let n_queues = ref 0 in
+  for id = 0 to n_procs - 1 do
+    let p = procs.(id) in
+    if p.stage > 0 then begin
+      queue_of_proc.(id) <- !n_queues;
+      incr n_queues;
+      queues :=
+        {
+          packets = Queue.create ();
+          open_producers = params.stages.(p.stage - 1).processes;
+          flow_waiters = Queue.create ();
+          consumer = id;
+        }
+        :: !queues
+    end
+  done;
+  let queues = Array.of_list (List.rev !queues) in
+
+  (* Engine state. *)
+  let clock = ref 0.0 in
+  let seq = ref 0 in
+  let events =
+    Binheap.create ~cmp:(fun (ta, sa, _) (tb, sb, _) ->
+        let c = compare (ta : float) tb in
+        if c <> 0 then c else compare (sa : int) sb)
+  in
+  let ready = Queue.create () in
+  let running = ref 0 in
+  let stage_busy = Array.make n_stages 0.0 in
+  let packets_total = ref 0 in
+  let max_depth = ref 0 in
+
+  let next_stage_consumers stage =
+    let s = stage + 1 in
+    List.init params.stages.(s).processes (fun i -> stage_offset.(s) + i)
+  in
+
+  let make_ready id =
+    let p = procs.(id) in
+    if p.state <> Finished then begin
+      p.state <- Ready;
+      Queue.push id ready
+    end
+  in
+
+  (* Burst duration for the next unit of work of process [id]; None if the
+     process has nothing to run right now. *)
+  let burst_duration id =
+    let p = procs.(id) in
+    let stage = params.stages.(p.stage) in
+    if p.stage = 0 then begin
+      let len = min params.packet_size p.remaining in
+      if len = 0 then None
+      else begin
+        p.pending_len <- len;
+        Some ((float_of_int len *. stage.per_record) +. stage.per_packet_send)
+      end
+    end
+    else begin
+      let q = queues.(queue_of_proc.(id)) in
+      match Queue.take_opt q.packets with
+      | None -> None
+      | Some len ->
+          (* Free a flow slot: admit one blocked producer's packet. *)
+          (match Queue.take_opt q.flow_waiters with
+          | Some (waiter, wlen) ->
+              Queue.push wlen q.packets;
+              make_ready waiter
+          | None -> ());
+          p.pending_len <- len;
+          let send =
+            if p.stage = n_stages - 1 then 0.0 else stage.per_packet_send
+          in
+          Some
+            (stage.per_packet_recv
+            +. (float_of_int len *. stage.per_record)
+            +. send)
+    end
+  in
+
+  (* The engine: dispatch ready processes onto CPUs; at burst completion,
+     deliver packets, propagate end-of-stream, finish processes. *)
+  let rec dispatch () =
+    if !running < params.cpus && not (Queue.is_empty ready) then begin
+      let id = Queue.pop ready in
+      let p = procs.(id) in
+      (if p.state = Ready then
+         match burst_duration id with
+         | Some duration ->
+             p.state <- Running;
+             running := !running + 1;
+             stage_busy.(p.stage) <- stage_busy.(p.stage) +. duration;
+             incr seq;
+             Binheap.push events (!clock +. duration, !seq, id)
+         | None -> starve id);
+      dispatch ()
+    end
+
+  (* A process with nothing to run: producers are done; consumers either
+     wait for input or, if all their producers finished, finish too. *)
+  and starve id =
+    let p = procs.(id) in
+    if p.stage = 0 then finish id
+    else begin
+      let q = queues.(queue_of_proc.(id)) in
+      if q.open_producers = 0 && Queue.is_empty q.packets then finish id
+      else p.state <- Waiting_input
+    end
+
+  and finish id =
+    let p = procs.(id) in
+    if p.state <> Finished then begin
+      p.state <- Finished;
+      if p.stage < n_stages - 1 then
+        List.iter
+          (fun consumer ->
+            let q = queues.(queue_of_proc.(consumer)) in
+            q.open_producers <- q.open_producers - 1;
+            if q.open_producers = 0 && Queue.is_empty q.packets then begin
+              let c = procs.(consumer) in
+              if c.state = Waiting_input then finish consumer
+            end)
+          (next_stage_consumers p.stage)
+    end
+
+  (* Deliver a packet of length [len] from [id] to the next stage, blocking
+     on flow control if the target queue is full. *)
+  and deliver id len =
+    let p = procs.(id) in
+    let consumers = next_stage_consumers p.stage in
+    let n = List.length consumers in
+    let target = List.nth consumers (p.rr mod n) in
+    p.rr <- p.rr + 1;
+    let q = queues.(queue_of_proc.(target)) in
+    let full =
+      match params.flow_slack with
+      | Some slack -> Queue.length q.packets >= slack
+      | None -> false
+    in
+    incr packets_total;
+    if full then begin
+      Queue.push (id, len) q.flow_waiters;
+      p.state <- Blocked_flow queue_of_proc.(target)
+    end
+    else begin
+      Queue.push len q.packets;
+      let depth = Queue.length q.packets in
+      if depth > !max_depth then max_depth := depth;
+      make_ready id;
+      let c = procs.(target) in
+      if c.state = Waiting_input then make_ready target
+    end
+
+  (* Completion of a burst. *)
+  and complete id =
+    let p = procs.(id) in
+    running := !running - 1;
+    let len = p.pending_len in
+    p.pending_len <- 0;
+    if p.stage = 0 then begin
+      p.remaining <- p.remaining - len;
+      deliver id len
+      (* A producer with no records left finishes when it next starves in
+         dispatch (or after its blocked packet is admitted). *)
+    end
+    else if p.stage = n_stages - 1 then make_ready id
+    else deliver id len
+  in
+
+  for id = 0 to n_procs - 1 do
+    if procs.(id).stage = 0 then Queue.push id ready
+  done;
+  dispatch ();
+  let rec loop () =
+    match Binheap.pop events with
+    | None -> ()
+    | Some (t, _, id) ->
+        clock := t;
+        complete id;
+        dispatch ();
+        loop ()
+  in
+  loop ();
+  {
+    elapsed = !clock;
+    stage_busy;
+    packets_total = !packets_total;
+    max_queue_depth = !max_depth;
+  }
+
+let speedup ~base result = base.elapsed /. result.elapsed

@@ -1,0 +1,42 @@
+(** A discrete-event simulator of exchange pipelines on a [P]-CPU
+    shared-memory multiprocessor.
+
+    This container has one CPU, so the paper's wall-clock results — measured
+    on a 12-CPU Sequent Symmetry — cannot be observed directly.  The
+    simulator models the same structure the real engine executes: process
+    groups per pipeline stage, packets of configurable size, per-queue flow
+    control with bounded slack, and CPU contention (at most [cpus] processes
+    run at once; a process runs burst-to-block without preemption).
+
+    Costs are supplied per stage (seconds of CPU per record and per packet);
+    {!Calibration} derives them from the paper's own measurements so that
+    simulated results land near the published numbers. *)
+
+type stage = {
+  processes : int;
+  per_record : float;  (** CPU seconds of real work per record *)
+  per_packet_send : float;  (** CPU seconds per packet inserted into a port *)
+  per_packet_recv : float;  (** CPU seconds per packet removed from a port *)
+}
+
+type params = {
+  stages : stage array;
+      (** stage 0 produces records; the last stage only consumes *)
+  records : int;  (** records produced in total by stage 0 *)
+  packet_size : int;
+  flow_slack : int option;  (** per-queue slack in packets; [None] = unbounded *)
+  cpus : int;
+}
+
+type result = {
+  elapsed : float;  (** simulated wall time, seconds *)
+  stage_busy : float array;  (** summed CPU time per stage *)
+  packets_total : int;
+  max_queue_depth : int;
+}
+
+val run : params -> result
+(** @raise Invalid_argument on nonsensical parameters. *)
+
+val speedup : base:result -> result -> float
+(** base.elapsed / this.elapsed *)

@@ -1,0 +1,1 @@
+lib/storage/bufpool.ml: Array Atomic Bytes Device Domain Fun Hashtbl Mutex

@@ -1,0 +1,1 @@
+lib/storage/daemon.ml: Atomic Bufpool Condition Device Domain List Mutex Queue

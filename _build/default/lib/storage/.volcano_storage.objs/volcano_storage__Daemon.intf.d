@@ -1,0 +1,1 @@
+lib/storage/daemon.mli: Bufpool Device

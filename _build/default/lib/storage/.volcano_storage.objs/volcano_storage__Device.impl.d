@@ -1,0 +1,1 @@
+lib/storage/device.ml: Atomic Bitmap Buffer Bytes Fun Hashtbl Int32 Mutex Printf Unix Vtoc

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Bufpool Device Fun List Mutex Page Printf Rid String Vtoc

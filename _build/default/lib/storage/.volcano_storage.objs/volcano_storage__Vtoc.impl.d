@@ -1,0 +1,1 @@
+lib/storage/vtoc.ml: Buffer Bytes Fun Hashtbl Int32 List Mutex String

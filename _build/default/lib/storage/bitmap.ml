@@ -1,0 +1,63 @@
+type t = {
+  bits : Bytes.t;
+  n : int;
+  mutable hint : int; (* first index that might be free *)
+  mutable used : int;
+}
+
+let create n =
+  assert (n >= 0);
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n; hint = 0; used = 0 }
+
+let size t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitmap: index out of range"
+
+let is_set t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  check t i;
+  if not (is_set t i) then begin
+    let b = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))));
+    t.used <- t.used + 1
+  end
+
+let clear t i =
+  check t i;
+  if is_set t i then begin
+    let b = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8)) land 0xff));
+    t.used <- t.used - 1;
+    if i < t.hint then t.hint <- i
+  end
+
+let find_free t =
+  let rec search i =
+    if i >= t.n then None else if not (is_set t i) then Some i else search (i + 1)
+  in
+  search t.hint
+
+let allocate t =
+  match find_free t with
+  | None -> None
+  | Some i ->
+      set t i;
+      t.hint <- i + 1;
+      Some i
+
+let used t = t.used
+
+let to_bytes t = Bytes.copy t.bits
+
+let of_bytes bytes ~n =
+  let t = create n in
+  Bytes.blit bytes 0 t.bits 0 (min (Bytes.length bytes) (Bytes.length t.bits));
+  let used = ref 0 in
+  for i = 0 to n - 1 do
+    if is_set t i then incr used
+  done;
+  t.used <- !used;
+  t

@@ -1,0 +1,24 @@
+(** Free-space bitmaps for page allocation within a device.  The paper
+    protects the map with a dedicated "map busy" lock (section 4.5); the
+    device module holds that lock around calls into this module. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a map over [n] pages, all free. *)
+
+val size : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val is_set : t -> int -> bool
+
+val find_free : t -> int option
+(** Lowest clear bit, if any.  Does not modify the map. *)
+
+val allocate : t -> int option
+(** Find and set the lowest clear bit. *)
+
+val used : t -> int
+
+val to_bytes : t -> bytes
+val of_bytes : bytes -> n:int -> t

@@ -1,0 +1,327 @@
+type mode = Two_level | Single_global
+
+exception Buffer_exhausted
+
+type frame = {
+  index : int;
+  mutable device : Device.t option;
+  mutable page : int;
+  data : Bytes.t;
+  mutable fixes : int;
+  mutable dirty : bool;
+  lock : Mutex.t; (* descriptor lock: held during I/O on this frame *)
+  mutable lru_prev : int; (* -1 = none; links valid only when fixes = 0 *)
+  mutable lru_next : int;
+  mutable on_lru : bool;
+}
+
+type t = {
+  pool_lock : Mutex.t;
+  frames : frame array;
+  table : (int * int, int) Hashtbl.t; (* (device id, page) -> frame index *)
+  mutable lru_head : int; (* least recently used *)
+  mutable lru_tail : int; (* most recently used *)
+  md : mode;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_evictions : int Atomic.t;
+  n_writebacks : int Atomic.t;
+  n_restarts : int Atomic.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  restarts : int;
+}
+
+let create ?(mode = Two_level) ~frames ~page_size () =
+  assert (frames > 0);
+  let make_frame index =
+    {
+      index;
+      device = None;
+      page = -1;
+      data = Bytes.make page_size '\000';
+      fixes = 0;
+      dirty = false;
+      lock = Mutex.create ();
+      lru_prev = index - 1;
+      lru_next = (if index = frames - 1 then -1 else index + 1);
+      on_lru = true;
+    }
+  in
+  {
+    pool_lock = Mutex.create ();
+    frames = Array.init frames make_frame;
+    table = Hashtbl.create (frames * 2);
+    lru_head = 0;
+    lru_tail = frames - 1;
+    md = mode;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_evictions = Atomic.make 0;
+    n_writebacks = Atomic.make 0;
+    n_restarts = Atomic.make 0;
+  }
+
+(* LRU chain manipulation; caller holds the pool lock. *)
+
+let lru_remove t f =
+  if f.on_lru then begin
+    if f.lru_prev >= 0 then t.frames.(f.lru_prev).lru_next <- f.lru_next
+    else t.lru_head <- f.lru_next;
+    if f.lru_next >= 0 then t.frames.(f.lru_next).lru_prev <- f.lru_prev
+    else t.lru_tail <- f.lru_prev;
+    f.lru_prev <- -1;
+    f.lru_next <- -1;
+    f.on_lru <- false
+  end
+
+let lru_append t f =
+  assert (not f.on_lru);
+  f.lru_prev <- t.lru_tail;
+  f.lru_next <- -1;
+  if t.lru_tail >= 0 then t.frames.(t.lru_tail).lru_next <- f.index
+  else t.lru_head <- f.index;
+  t.lru_tail <- f.index;
+  f.on_lru <- true
+
+let key dev page = (Device.id dev, page)
+
+(* Pick the least recently used unfixed frame whose descriptor lock is free.
+   Caller holds the pool lock; on success the victim's descriptor lock is
+   held and the frame is off the LRU chain, but it REMAINS in the hash
+   table: a concurrent fix of the old page must find the descriptor and
+   fail its test-and-lock (then restart) rather than re-read a page whose
+   write-back is still in flight. *)
+let claim_victim t =
+  let rec walk idx =
+    if idx < 0 then None
+    else
+      let f = t.frames.(idx) in
+      if Mutex.try_lock f.lock then begin
+        lru_remove t f;
+        Some f
+      end
+      else walk f.lru_next
+  in
+  walk t.lru_head
+
+let write_back t f =
+  match f.device with
+  | Some dev when f.dirty ->
+      Device.write dev ~page:f.page f.data;
+      f.dirty <- false;
+      Atomic.incr t.n_writebacks
+  | _ -> ()
+
+(* The core fix path.  [load] fills the frame after a miss. *)
+let rec fix_loop t dev page ~load ~attempts =
+  Mutex.lock t.pool_lock;
+  match Hashtbl.find_opt t.table (key dev page) with
+  | Some idx ->
+      let f = t.frames.(idx) in
+      if Mutex.try_lock f.lock then begin
+        (* Atomic test-and-lock succeeded: the descriptor is quiescent. *)
+        Mutex.unlock f.lock;
+        if f.fixes = 0 then lru_remove t f;
+        f.fixes <- f.fixes + 1;
+        Atomic.incr t.n_hits;
+        Mutex.unlock t.pool_lock;
+        f
+      end
+      else begin
+        (* Someone is reading or replacing this cluster: release, delay,
+           restart — including the hash-table lookup (section 4.5). *)
+        Atomic.incr t.n_restarts;
+        Mutex.unlock t.pool_lock;
+        Domain.cpu_relax ();
+        fix_loop t dev page ~load ~attempts
+      end
+  | None -> (
+      match claim_victim t with
+      | None ->
+          Mutex.unlock t.pool_lock;
+          if attempts > 10_000 then raise Buffer_exhausted;
+          Domain.cpu_relax ();
+          fix_loop t dev page ~load ~attempts:(attempts + 1)
+      | Some f ->
+          Mutex.unlock t.pool_lock;
+          (* Clean the victim under its descriptor lock, with no pool lock
+             held and its old mapping still visible. *)
+          (match f.device with
+          | Some odev when f.dirty ->
+              Device.write odev ~page:f.page f.data;
+              f.dirty <- false;
+              Atomic.incr t.n_writebacks
+          | _ -> ());
+          Mutex.lock t.pool_lock;
+          if Hashtbl.mem t.table (key dev page) then begin
+            (* Someone else loaded the wanted page while we were cleaning:
+               return the (now clean) victim and restart from the lookup. *)
+            lru_append t f;
+            Mutex.unlock t.pool_lock;
+            Mutex.unlock f.lock;
+            Domain.cpu_relax ();
+            fix_loop t dev page ~load ~attempts
+          end
+          else begin
+            (match f.device with
+            | Some odev ->
+                Hashtbl.remove t.table (key odev f.page);
+                Atomic.incr t.n_evictions
+            | None -> ());
+            Hashtbl.replace t.table (key dev page) f.index;
+            f.device <- Some dev;
+            f.page <- page;
+            f.fixes <- 1;
+            Atomic.incr t.n_misses;
+            Mutex.unlock t.pool_lock;
+            (* I/O happens under the descriptor lock only. *)
+            f.dirty <- false;
+            load f;
+            Mutex.unlock f.lock;
+            f
+          end)
+
+let fix_general t dev page ~load =
+  match t.md with
+  | Two_level -> fix_loop t dev page ~load ~attempts:0
+  | Single_global ->
+      Mutex.lock t.pool_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.pool_lock)
+        (fun () ->
+          match Hashtbl.find_opt t.table (key dev page) with
+          | Some idx ->
+              let f = t.frames.(idx) in
+              if f.fixes = 0 then lru_remove t f;
+              f.fixes <- f.fixes + 1;
+              Atomic.incr t.n_hits;
+              f
+          | None -> (
+              let rec victim idx =
+                if idx < 0 then raise Buffer_exhausted
+                else
+                  let f = t.frames.(idx) in
+                  if f.fixes = 0 then f else victim f.lru_next
+              in
+              let f = victim t.lru_head in
+              lru_remove t f;
+              (match f.device with
+              | Some odev ->
+                  Hashtbl.remove t.table (key odev f.page);
+                  Atomic.incr t.n_evictions;
+                  if f.dirty then begin
+                    Device.write odev ~page:f.page f.data;
+                    Atomic.incr t.n_writebacks
+                  end
+              | None -> ());
+              Hashtbl.replace t.table (key dev page) f.index;
+              f.device <- Some dev;
+              f.page <- page;
+              f.fixes <- 1;
+              f.dirty <- false;
+              Atomic.incr t.n_misses;
+              load f;
+              f))
+
+let fix t dev page =
+  fix_general t dev page ~load:(fun f -> Device.read dev ~page f.data)
+
+let fix_new t dev page =
+  let f =
+    fix_general t dev page ~load:(fun f ->
+        Bytes.fill f.data 0 (Bytes.length f.data) '\000')
+  in
+  f.dirty <- true;
+  f
+
+let unfix t f =
+  Mutex.lock t.pool_lock;
+  if f.fixes <= 0 then begin
+    Mutex.unlock t.pool_lock;
+    invalid_arg "Bufpool.unfix: frame is not fixed"
+  end;
+  f.fixes <- f.fixes - 1;
+  if f.fixes = 0 then lru_append t f;
+  Mutex.unlock t.pool_lock
+
+let mark_dirty f = f.dirty <- true
+let bytes f = f.data
+
+let frame_device f =
+  match f.device with
+  | Some d -> d
+  | None -> invalid_arg "Bufpool.frame_device: empty frame"
+
+let frame_page f = f.page
+let fix_count f = f.fixes
+
+let contains t dev page =
+  Mutex.lock t.pool_lock;
+  let resident = Hashtbl.mem t.table (key dev page) in
+  Mutex.unlock t.pool_lock;
+  resident
+
+let flush_page t dev page =
+  Mutex.lock t.pool_lock;
+  let frame =
+    match Hashtbl.find_opt t.table (key dev page) with
+    | Some idx ->
+        let f = t.frames.(idx) in
+        if f.dirty && Mutex.try_lock f.lock then Some f else None
+    | None -> None
+  in
+  Mutex.unlock t.pool_lock;
+  match frame with
+  | Some f ->
+      write_back t f;
+      Mutex.unlock f.lock;
+      true
+  | None -> false
+
+let prefetch t dev page =
+  let f = fix t dev page in
+  unfix t f
+
+let flush_all t =
+  Array.iter
+    (fun f ->
+      Mutex.lock f.lock;
+      write_back t f;
+      Mutex.unlock f.lock)
+    t.frames
+
+let purge_device t dev =
+  Mutex.lock t.pool_lock;
+  Array.iter
+    (fun f ->
+      match f.device with
+      | Some d when Device.id d = Device.id dev ->
+          if f.fixes > 0 then begin
+            Mutex.unlock t.pool_lock;
+            invalid_arg "Bufpool.purge_device: page still fixed"
+          end;
+          Hashtbl.remove t.table (key d f.page);
+          f.device <- None;
+          f.page <- -1;
+          f.dirty <- false
+      | _ -> ())
+    t.frames;
+  Mutex.unlock t.pool_lock
+
+let stats t =
+  {
+    hits = Atomic.get t.n_hits;
+    misses = Atomic.get t.n_misses;
+    evictions = Atomic.get t.n_evictions;
+    writebacks = Atomic.get t.n_writebacks;
+    restarts = Atomic.get t.n_restarts;
+  }
+
+let frames_total t = Array.length t.frames
+let mode t = t.md

@@ -1,0 +1,76 @@
+(** The buffer manager.
+
+    Pages are {e fixed} (pinned) in the pool and later {e unfixed}; each
+    fixed frame is owned by the fixing code until it unfixes or hands the
+    frame on — the paper's record-ownership protocol (section 3).
+
+    Concurrency follows section 4.5's two-level scheme: one {e pool} lock
+    protects the hash table and the LRU chain and "is never held while doing
+    I/O"; each descriptor has its own lock, taken with an atomic
+    test-and-lock.  If the test fails the whole operation — including the
+    hash-table lookup — is released, delayed, and restarted, because the
+    lock holder may be reading or replacing the very cluster requested.
+    This restart scheme has no hold-and-wait and therefore cannot deadlock.
+
+    For the locking ablation (DESIGN.md A4) a [`Single_global] mode
+    serializes every operation, I/O included, under one lock — the
+    alternative the paper rejected for "decreased concurrency". *)
+
+type t
+type frame
+
+type mode = Two_level | Single_global
+
+exception Buffer_exhausted
+(** Raised when every frame is fixed and a new page is requested. *)
+
+val create : ?mode:mode -> frames:int -> page_size:int -> unit -> t
+
+val fix : t -> Device.t -> int -> frame
+(** Pin a page, reading it from the device on a miss. *)
+
+val fix_new : t -> Device.t -> int -> frame
+(** Pin a freshly-allocated page without reading; the frame arrives zeroed
+    and dirty. *)
+
+val unfix : t -> frame -> unit
+(** Release one pin.  @raise Invalid_argument if the frame is not fixed. *)
+
+val mark_dirty : frame -> unit
+
+val bytes : frame -> bytes
+(** The page contents.  Valid only while the frame is fixed. *)
+
+val frame_device : frame -> Device.t
+val frame_page : frame -> int
+val fix_count : frame -> int
+
+val contains : t -> Device.t -> int -> bool
+(** Whether the page is currently resident (instrumentation). *)
+
+val flush_page : t -> Device.t -> int -> bool
+(** Write the page back if resident and dirty; returns whether a write
+    happened.  Used by the write-behind daemon. *)
+
+val prefetch : t -> Device.t -> int -> unit
+(** Read a page into the pool and leave it unfixed on the LRU chain — the
+    read-ahead daemon's operation. *)
+
+val flush_all : t -> unit
+(** Write back every dirty frame. *)
+
+val purge_device : t -> Device.t -> unit
+(** Drop all resident pages of a device without write-back (used when
+    dropping virtual devices).  Pages must be unfixed. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  restarts : int;  (** descriptor-lock restarts (contention metric) *)
+}
+
+val stats : t -> stats
+val frames_total : t -> int
+val mode : t -> mode

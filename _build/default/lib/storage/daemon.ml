@@ -1,0 +1,100 @@
+type request =
+  | Flush of Device.t * int
+  | Read_ahead of Device.t * int
+
+type job = Work of request | Quit
+
+type t = {
+  buffer : Bufpool.t;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  mutable busy : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+  flushes : int Atomic.t;
+  reads : int Atomic.t;
+}
+
+let serve t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.lock
+    done;
+    let job = Queue.pop t.queue in
+    (match job with Work _ -> t.busy <- t.busy + 1 | Quit -> ());
+    Mutex.unlock t.lock;
+    match job with
+    | Quit -> ()
+    | Work request ->
+        (match request with
+        | Flush (dev, page) ->
+            if Bufpool.flush_page t.buffer dev page then Atomic.incr t.flushes
+        | Read_ahead (dev, page) ->
+            Bufpool.prefetch t.buffer dev page;
+            Atomic.incr t.reads);
+        Mutex.lock t.lock;
+        t.busy <- t.busy - 1;
+        if t.busy = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+let start ~buffer ~workers =
+  assert (workers > 0);
+  let t =
+    {
+      buffer;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      busy = 0;
+      stopped = false;
+      workers = [];
+      flushes = Atomic.make 0;
+      reads = Atomic.make 0;
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (serve t));
+  t
+
+let submit t request =
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Daemon.submit: daemon stopped"
+  end;
+  Queue.push (Work request) t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let drain t =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue && t.busy = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let stop t =
+  Mutex.lock t.lock;
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers
+  end
+  else Mutex.unlock t.lock
+
+let flushes_done t = Atomic.get t.flushes
+let reads_done t = Atomic.get t.reads

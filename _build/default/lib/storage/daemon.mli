@@ -1,0 +1,30 @@
+(** Read-ahead / write-behind daemons (paper, section 4.5).
+
+    "One or more copies of this daemon process are forked when the buffer
+    manager is initialized, and accept work requests on a queue and
+    semaphore."  Requests are FLUSH (write a cluster if resident and dirty),
+    READAHEAD (read a cluster onto the LRU chain), and QUIT. *)
+
+type request =
+  | Flush of Device.t * int
+  | Read_ahead of Device.t * int
+
+type t
+
+val start : buffer:Bufpool.t -> workers:int -> t
+(** Fork [workers] daemon domains serving a shared request queue. *)
+
+val submit : t -> request -> unit
+(** Enqueue a request; returns immediately.
+    @raise Invalid_argument after {!stop}. *)
+
+val pending : t -> int
+
+val drain : t -> unit
+(** Block until the queue is empty and all workers are idle. *)
+
+val stop : t -> unit
+(** Send QUIT to every worker and join them.  Idempotent. *)
+
+val flushes_done : t -> int
+val reads_done : t -> int

@@ -1,0 +1,60 @@
+(** Devices.
+
+    A {e real} device is a file of fixed-size pages accessed with seek/read/
+    write under the paper's two exclusive locks: the {e device busy} lock
+    around the seek-and-transfer pair (two processes must not race between
+    seek and transfer) and the {e map busy} lock around the free-space
+    bitmap (section 4.5).
+
+    A {e virtual} device has no backing store: its pages "exist only in the
+    buffer, and are discarded when unfixed" (section 3).  Virtual devices
+    give intermediate results real RIDs.  Ours additionally accept spilled
+    pages (evicted while dirty) into an in-memory side table so that
+    operators such as external sort can overflow the buffer pool. *)
+
+type t
+
+val create_real : path:string -> page_size:int -> capacity:int -> t
+(** Create (truncating) a file-backed device of [capacity] pages.  Page 0 is
+    reserved for the superblock. *)
+
+val open_real : path:string -> t
+(** Open an existing real device, restoring its bitmap and VTOC from the
+    superblock written by {!close}. *)
+
+val create_virtual : ?name:string -> page_size:int -> capacity:int -> unit -> t
+
+val id : t -> int
+(** Process-unique device number (the RID device component). *)
+
+val name : t -> string
+val page_size : t -> int
+val capacity : t -> int
+val is_virtual : t -> bool
+val vtoc : t -> Vtoc.t
+
+val read : t -> page:int -> bytes -> unit
+(** Read a page into a frame.  Unwritten real pages read as zeros; reading a
+    virtual page that was never spilled raises [Invalid_argument] (it can
+    only live in the buffer pool). *)
+
+val write : t -> page:int -> bytes -> unit
+
+val allocate : t -> int
+(** Allocate a free page.  @raise Failure when the device is full. *)
+
+val free : t -> int -> unit
+(** Return a page to the free map.  On a virtual device the spilled copy, if
+    any, is discarded — this is the "discard on unfix" behaviour. *)
+
+val allocated_pages : t -> int
+
+val reads : t -> int
+val writes : t -> int
+(** I/O counters (tests and benchmarks). *)
+
+val sync : t -> unit
+(** Persist superblock (bitmap + VTOC) of a real device; no-op on virtual. *)
+
+val close : t -> unit
+(** Sync and release the backing file descriptor. *)

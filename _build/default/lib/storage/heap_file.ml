@@ -1,0 +1,253 @@
+type t = {
+  name : string;
+  device : Device.t;
+  buffer : Bufpool.t;
+  lock : Mutex.t; (* serializes structural changes (append, delete) *)
+  mutable first_page : int;
+  mutable last_page : int;
+  mutable pages : int;
+  mutable records : int;
+}
+
+let page_kind_heap = 1
+
+let create ~buffer ~device ~name =
+  let entry =
+    { Vtoc.name; first_page = -1; last_page = -1; pages = 0; records = 0 }
+  in
+  Vtoc.add (Device.vtoc device) entry;
+  {
+    name;
+    device;
+    buffer;
+    lock = Mutex.create ();
+    first_page = -1;
+    last_page = -1;
+    pages = 0;
+    records = 0;
+  }
+
+let open_existing ~buffer ~device ~name =
+  match Vtoc.find (Device.vtoc device) name with
+  | None -> raise Not_found
+  | Some e ->
+      {
+        name;
+        device;
+        buffer;
+        lock = Mutex.create ();
+        first_page = e.first_page;
+        last_page = e.last_page;
+        pages = e.pages;
+        records = e.records;
+      }
+
+let name t = t.name
+let device t = t.device
+let record_count t = t.records
+let page_count t = t.pages
+
+let sync_vtoc t =
+  match Vtoc.find (Device.vtoc t.device) t.name with
+  | None -> ()
+  | Some e ->
+      e.first_page <- t.first_page;
+      e.last_page <- t.last_page;
+      e.pages <- t.pages;
+      e.records <- t.records
+
+let add_page t =
+  let page_no = Device.allocate t.device in
+  let frame = Bufpool.fix_new t.buffer t.device page_no in
+  Page.init (Bufpool.bytes frame) ~kind:page_kind_heap;
+  Bufpool.mark_dirty frame;
+  if t.first_page = -1 then t.first_page <- page_no
+  else begin
+    (* Link the previous tail to the new page. *)
+    let prev = Bufpool.fix t.buffer t.device t.last_page in
+    Page.set_next_page (Bufpool.bytes prev) page_no;
+    Bufpool.mark_dirty prev;
+    Bufpool.unfix t.buffer prev
+  end;
+  t.last_page <- page_no;
+  t.pages <- t.pages + 1;
+  (page_no, frame)
+
+let insert t record =
+  if String.length record = 0 then invalid_arg "Heap_file.insert: empty record";
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let page_no, frame =
+        if t.last_page = -1 then add_page t
+        else (t.last_page, Bufpool.fix t.buffer t.device t.last_page)
+      in
+      match Page.insert (Bufpool.bytes frame) record with
+      | Some slot ->
+          Bufpool.mark_dirty frame;
+          Bufpool.unfix t.buffer frame;
+          t.records <- t.records + 1;
+          Rid.make ~device:(Device.id t.device) ~page:page_no ~slot
+      | None ->
+          Bufpool.unfix t.buffer frame;
+          let page_no, frame = add_page t in
+          (match Page.insert (Bufpool.bytes frame) record with
+          | Some slot ->
+              Bufpool.mark_dirty frame;
+              Bufpool.unfix t.buffer frame;
+              t.records <- t.records + 1;
+              Rid.make ~device:(Device.id t.device) ~page:page_no ~slot
+          | None ->
+              Bufpool.unfix t.buffer frame;
+              invalid_arg
+                (Printf.sprintf "Heap_file.insert: record of %d bytes exceeds page capacity"
+                   (String.length record))))
+
+let get t rid =
+  if rid.Rid.device <> Device.id t.device then None
+  else begin
+    let frame = Bufpool.fix t.buffer t.device rid.Rid.page in
+    let result = Page.read (Bufpool.bytes frame) rid.Rid.slot in
+    Bufpool.unfix t.buffer frame;
+    result
+  end
+
+let delete t rid =
+  if rid.Rid.device <> Device.id t.device then false
+  else begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let frame = Bufpool.fix t.buffer t.device rid.Rid.page in
+        let deleted = Page.delete (Bufpool.bytes frame) rid.Rid.slot in
+        if deleted then begin
+          Bufpool.mark_dirty frame;
+          t.records <- t.records - 1
+        end;
+        Bufpool.unfix t.buffer frame;
+        deleted)
+  end
+
+let update t rid record =
+  if rid.Rid.device <> Device.id t.device then false
+  else begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let frame = Bufpool.fix t.buffer t.device rid.Rid.page in
+        let updated = Page.replace (Bufpool.bytes frame) rid.Rid.slot record in
+        if updated then Bufpool.mark_dirty frame;
+        Bufpool.unfix t.buffer frame;
+        updated)
+  end
+
+let page_chain t =
+  let rec walk page acc =
+    if page = -1 then List.rev acc
+    else begin
+      let frame = Bufpool.fix t.buffer t.device page in
+      let next = Page.next_page (Bufpool.bytes frame) in
+      Bufpool.unfix t.buffer frame;
+      walk next (page :: acc)
+    end
+  in
+  walk t.first_page []
+
+type cursor = {
+  file : t;
+  mutable frame : Bufpool.frame option; (* currently pinned page *)
+  mutable page_no : int;
+  mutable slot : int;
+  mutable finished : bool;
+}
+
+let scan t = { file = t; frame = None; page_no = t.first_page; slot = 0; finished = t.first_page = -1 }
+
+let release cursor =
+  match cursor.frame with
+  | Some f ->
+      Bufpool.unfix cursor.file.buffer f;
+      cursor.frame <- None
+  | None -> ()
+
+let close_cursor cursor =
+  release cursor;
+  cursor.finished <- true
+
+let rec next cursor =
+  if cursor.finished then None
+  else
+    match cursor.frame with
+    | None ->
+        if cursor.page_no = -1 then begin
+          cursor.finished <- true;
+          None
+        end
+        else begin
+          cursor.frame <-
+            Some (Bufpool.fix cursor.file.buffer cursor.file.device cursor.page_no);
+          cursor.slot <- 0;
+          next cursor
+        end
+    | Some frame ->
+        let data = Bufpool.bytes frame in
+        if cursor.slot >= Page.n_slots data then begin
+          let next_page = Page.next_page data in
+          release cursor;
+          cursor.page_no <- next_page;
+          next cursor
+        end
+        else begin
+          let slot = cursor.slot in
+          cursor.slot <- slot + 1;
+          match Page.read data slot with
+          | None -> next cursor
+          | Some record ->
+              let rid =
+                Rid.make ~device:(Device.id cursor.file.device)
+                  ~page:cursor.page_no ~slot
+              in
+              Some (rid, record)
+        end
+
+let iter t f =
+  let cursor = scan t in
+  let rec step () =
+    match next cursor with
+    | None -> ()
+    | Some (rid, record) ->
+        f rid record;
+        step ()
+  in
+  Fun.protect ~finally:(fun () -> close_cursor cursor) step
+
+let drop t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (* Walk the chain collecting page numbers before purging frames. *)
+      let rec chain page acc =
+        if page = -1 then List.rev acc
+        else begin
+          let frame = Bufpool.fix t.buffer t.device page in
+          let next = Page.next_page (Bufpool.bytes frame) in
+          Bufpool.unfix t.buffer frame;
+          chain next (page :: acc)
+        end
+      in
+      let pages = chain t.first_page [] in
+      List.iter
+        (fun p ->
+          let _ = Bufpool.flush_page t.buffer t.device p in
+          Device.free t.device p)
+        pages;
+      t.first_page <- -1;
+      t.last_page <- -1;
+      t.pages <- 0;
+      t.records <- 0;
+      let _ = Vtoc.remove (Device.vtoc t.device) t.name in
+      ())

@@ -1,0 +1,54 @@
+(** Heap files: unordered record files stored as a chain of slotted pages on
+    a device, reached through the buffer pool.  Every record has a RID;
+    scans return records in page order.  Files on virtual devices hold
+    intermediate results (sort runs, hash partitions) and behave exactly
+    like disk files, as the paper requires (section 3). *)
+
+type t
+
+val create : buffer:Bufpool.t -> device:Device.t -> name:string -> t
+(** Create an empty file and register it in the device's VTOC.
+    @raise Invalid_argument if the name is taken. *)
+
+val open_existing : buffer:Bufpool.t -> device:Device.t -> name:string -> t
+(** @raise Not_found if no such file. *)
+
+val name : t -> string
+val device : t -> Device.t
+
+val insert : t -> string -> Rid.t
+(** Append a record, allocating pages as needed. *)
+
+val get : t -> Rid.t -> string option
+(** Fetch by RID ([None] if deleted or never existed). *)
+
+val delete : t -> Rid.t -> bool
+
+val update : t -> Rid.t -> string -> bool
+(** Replace the record in place, keeping its RID.  Returns [false] — with
+    the original record untouched — if the RID is dead or the new record
+    does not fit in the page (callers then delete + reinsert). *)
+
+val page_chain : t -> int list
+(** The file's pages in scan order (used by read-ahead). *)
+
+val record_count : t -> int
+val page_count : t -> int
+
+type cursor
+
+val scan : t -> cursor
+val next : cursor -> (Rid.t * string) option
+(** Records in page order; [None] at end of file. *)
+
+val close_cursor : cursor -> unit
+(** Release the cursor's pinned page, if any.  Safe to call twice. *)
+
+val iter : t -> (Rid.t -> string -> unit) -> unit
+
+val drop : t -> unit
+(** Free every page of the file and remove its VTOC entry.  Resident pages
+    are purged from the pool without write-back on virtual devices. *)
+
+val sync_vtoc : t -> unit
+(** Push the in-memory file header (page chain, counts) into the VTOC. *)

@@ -1,0 +1,160 @@
+let header_size = 16
+let slot_size = 4
+
+let n_slots page = Bytes.get_uint16_le page 0
+let set_n_slots page n = Bytes.set_uint16_le page 0 n
+let free_off page = Bytes.get_uint16_le page 2
+let set_free_off page off = Bytes.set_uint16_le page 2 off
+let next_page page = Int32.to_int (Bytes.get_int32_le page 4)
+let set_next_page page p = Bytes.set_int32_le page 4 (Int32.of_int p)
+let aux page = Int32.to_int (Bytes.get_int32_le page 8)
+let set_aux page p = Bytes.set_int32_le page 8 (Int32.of_int p)
+let kind page = Int32.to_int (Bytes.get_int32_le page 12)
+let set_kind page k = Bytes.set_int32_le page 12 (Int32.of_int k)
+
+let init page ~kind =
+  Bytes.fill page 0 (Bytes.length page) '\000';
+  set_n_slots page 0;
+  set_free_off page header_size;
+  set_next_page page (-1);
+  set_aux page (-1);
+  set_kind page kind
+
+let slot_pos page i = Bytes.length page - (slot_size * (i + 1))
+
+let slot page i =
+  let pos = slot_pos page i in
+  (Bytes.get_uint16_le page pos, Bytes.get_uint16_le page (pos + 2))
+
+let set_slot page i ~off ~len =
+  let pos = slot_pos page i in
+  Bytes.set_uint16_le page pos off;
+  Bytes.set_uint16_le page (pos + 2) len
+
+let dir_start page = Bytes.length page - (slot_size * n_slots page)
+
+let free_space page =
+  let v = dir_start page - free_off page in
+  if v < 0 then 0 else v
+
+let dead_space page =
+  let total = ref 0 in
+  for i = 0 to n_slots page - 1 do
+    let off, len = slot page i in
+    if len = 0 && off > 0 then total := !total + off
+    (* A dead slot stores the reclaimable length in its offset field. *)
+  done;
+  !total
+
+let total_free_space page = free_space page + dead_space page
+
+let read page i =
+  if i < 0 || i >= n_slots page then None
+  else
+    let off, len = slot page i in
+    if len = 0 then None else Some (Bytes.sub_string page off len)
+
+let live_records page =
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      match read page i with
+      | None -> collect (i - 1) acc
+      | Some r -> collect (i - 1) ((i, r) :: acc)
+  in
+  collect (n_slots page - 1) []
+
+let delete page i =
+  if i < 0 || i >= n_slots page then false
+  else
+    let _, len = slot page i in
+    if len = 0 then false
+    else begin
+      (* Remember the reclaimable length in the offset field. *)
+      set_slot page i ~off:len ~len:0;
+      true
+    end
+
+let compact page =
+  let records = live_records page in
+  let cursor = ref header_size in
+  let staged =
+    List.map
+      (fun (i, r) ->
+        let off = !cursor in
+        cursor := !cursor + String.length r;
+        (i, r, off))
+      records
+  in
+  List.iter
+    (fun (i, r, off) ->
+      Bytes.blit_string r 0 page off (String.length r);
+      set_slot page i ~off ~len:(String.length r))
+    staged;
+  (* Dead slots no longer hold reclaimable space. *)
+  for i = 0 to n_slots page - 1 do
+    let _, len = slot page i in
+    if len = 0 then set_slot page i ~off:0 ~len:0
+  done;
+  set_free_off page !cursor
+
+let replace page slot_no record =
+  let len = String.length record in
+  if len = 0 || len > 0xffff then false
+  else
+    match read page slot_no with
+    | None -> false
+    | Some old ->
+        let old_off, old_len = slot page slot_no in
+        (* Release the old space for accounting... *)
+        set_slot page slot_no ~off:old_len ~len:0;
+        if free_space page < len && total_free_space page >= len then
+          (* ...compaction drops the old bytes, but success is now assured. *)
+          compact page;
+        if free_space page >= len then begin
+          let off = free_off page in
+          Bytes.blit_string record 0 page off len;
+          set_free_off page (off + len);
+          set_slot page slot_no ~off ~len;
+          true
+        end
+        else begin
+          (* No compaction ran (total free was insufficient), so the old
+             bytes are untouched: restore the slot. *)
+          ignore old;
+          set_slot page slot_no ~off:old_off ~len:old_len;
+          false
+        end
+
+let find_dead_slot page =
+  let n = n_slots page in
+  let rec search i = if i >= n then None else
+    let _, len = slot page i in
+    if len = 0 then Some i else search (i + 1)
+  in
+  search 0
+
+let insert page record =
+  let len = String.length record in
+  if len = 0 || len > 0xffff then None
+  else begin
+    let reuse = find_dead_slot page in
+    let slot_cost = match reuse with Some _ -> 0 | None -> slot_size in
+    let need = len + slot_cost in
+    if free_space page < need && total_free_space page >= need then compact page;
+    if free_space page < need then None
+    else begin
+      let off = free_off page in
+      Bytes.blit_string record 0 page off len;
+      set_free_off page (off + len);
+      match reuse with
+      | Some i ->
+          set_slot page i ~off ~len;
+          Some i
+      | None ->
+          let i = n_slots page in
+          set_n_slots page (i + 1);
+          set_slot page i ~off ~len;
+          Some i
+    end
+  end

@@ -1,0 +1,62 @@
+(** Slotted pages.
+
+    Layout of a page of [size] bytes:
+
+    {v
+    0..1    number of slots (including dead slots)
+    2..3    free-space offset (records grow upward from byte 16)
+    4..7    next-page link (-1 if none)
+    8..11   auxiliary link (module-specific)
+    12..15  page kind / flags (module-specific)
+    16..    record area, growing up
+    ...     slot directory, growing down from the end;
+            slot i occupies the 4 bytes at size - 4*(i+1):
+            record offset (2 bytes) and length (2 bytes);
+            length 0 marks a dead slot
+    v}
+
+    All functions operate on a caller-supplied [Bytes.t] (a buffer-pool
+    frame); the module holds no state. *)
+
+val header_size : int
+val slot_size : int
+
+val init : bytes -> kind:int -> unit
+(** Format a fresh page in place. *)
+
+val n_slots : bytes -> int
+val kind : bytes -> int
+val set_kind : bytes -> int -> unit
+val next_page : bytes -> int
+val set_next_page : bytes -> int -> unit
+val aux : bytes -> int
+val set_aux : bytes -> int -> unit
+
+val free_space : bytes -> int
+(** Contiguous free bytes available for one more record plus its slot. *)
+
+val total_free_space : bytes -> int
+(** Free bytes counting dead-record space reclaimable by {!compact}. *)
+
+val insert : bytes -> string -> int option
+(** [insert page record] places [record] and returns its slot, compacting
+    the page first if fragmentation demands it; [None] if it cannot fit. *)
+
+val read : bytes -> int -> string option
+(** [read page slot] is the record at [slot], or [None] if the slot is dead
+    or out of range. *)
+
+val delete : bytes -> int -> bool
+(** Mark a slot dead.  Returns [false] if it was already dead or invalid. *)
+
+val replace : bytes -> int -> string -> bool
+(** [replace page slot record] swaps the record stored at a live slot,
+    keeping the slot number (and therefore the RID) stable; compacts if
+    needed.  Returns [false] — leaving the original intact — when the slot
+    is dead or the new record cannot fit. *)
+
+val live_records : bytes -> (int * string) list
+(** All live [(slot, record)] pairs in slot order. *)
+
+val compact : bytes -> unit
+(** Squeeze out dead-record space.  Slot numbers are preserved. *)

@@ -1,0 +1,14 @@
+type t = { device : int; page : int; slot : int }
+
+let make ~device ~page ~slot = { device; page; slot }
+
+let compare a b =
+  let c = Int.compare a.device b.device in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.page b.page in
+    if c <> 0 then c else Int.compare a.slot b.slot
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.fprintf ppf "%d.%d.%d" t.device t.page t.slot
+let to_string t = Format.asprintf "%a" pp t

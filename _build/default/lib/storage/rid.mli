@@ -1,0 +1,11 @@
+(** Record identifiers.  A RID names a record by device, page, and slot;
+    intermediate results on virtual devices get RIDs exactly like disk
+    records (paper, section 3). *)
+
+type t = { device : int; page : int; slot : int }
+
+val make : device:int -> page:int -> slot:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,74 @@
+type entry = {
+  name : string;
+  mutable first_page : int;
+  mutable last_page : int;
+  mutable pages : int;
+  mutable records : int;
+}
+
+type t = {
+  lock : Mutex.t; (* the paper's exclusive VTOC lock *)
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); entries = Hashtbl.create 16 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t entry =
+  locked t (fun () ->
+      if Hashtbl.mem t.entries entry.name then
+        invalid_arg ("Vtoc.add: duplicate file " ^ entry.name);
+      Hashtbl.add t.entries entry.name entry)
+
+let find t name = locked t (fun () -> Hashtbl.find_opt t.entries name)
+
+let remove t name =
+  locked t (fun () ->
+      let existed = Hashtbl.mem t.entries name in
+      Hashtbl.remove t.entries name;
+      existed)
+
+let names t =
+  locked t (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [])
+
+let entry_count t = locked t (fun () -> Hashtbl.length t.entries)
+
+let encode t =
+  locked t (fun () ->
+      let buffer = Buffer.create 256 in
+      Buffer.add_uint16_le buffer (Hashtbl.length t.entries);
+      Hashtbl.iter
+        (fun _ e ->
+          Buffer.add_uint16_le buffer (String.length e.name);
+          Buffer.add_string buffer e.name;
+          List.iter
+            (fun v -> Buffer.add_int32_le buffer (Int32.of_int v))
+            [ e.first_page; e.last_page; e.pages; e.records ])
+        t.entries;
+      Buffer.to_bytes buffer)
+
+let decode buf ~pos =
+  let t = create () in
+  let count = Bytes.get_uint16_le buf pos in
+  let cursor = ref (pos + 2) in
+  for _ = 1 to count do
+    let name_len = Bytes.get_uint16_le buf !cursor in
+    let name = Bytes.sub_string buf (!cursor + 2) name_len in
+    cursor := !cursor + 2 + name_len;
+    let int32_at off = Int32.to_int (Bytes.get_int32_le buf (!cursor + (off * 4))) in
+    let entry =
+      {
+        name;
+        first_page = int32_at 0;
+        last_page = int32_at 1;
+        pages = int32_at 2;
+        records = int32_at 3;
+      }
+    in
+    cursor := !cursor + 16;
+    Hashtbl.add t.entries name entry
+  done;
+  (t, !cursor - pos)

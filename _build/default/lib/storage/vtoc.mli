@@ -1,0 +1,30 @@
+(** Volume table of contents: the per-device catalog mapping file names to
+    their page chains.  The paper protects the VTOC with an exclusive lock
+    held "while an entry is inserted or deleted or while the VTOC is scanned"
+    (section 4.5); this module does the same. *)
+
+type entry = {
+  name : string;
+  mutable first_page : int;
+  mutable last_page : int;
+  mutable pages : int;
+  mutable records : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> entry -> unit
+(** @raise Invalid_argument if an entry with the same name exists. *)
+
+val find : t -> string -> entry option
+val remove : t -> string -> bool
+val names : t -> string list
+val entry_count : t -> int
+
+val encode : t -> bytes
+(** Serialize for the device superblock. *)
+
+val decode : bytes -> pos:int -> t * int
+(** [decode buf ~pos] returns the table and the bytes consumed. *)

@@ -1,0 +1,1 @@
+lib/tuple/expr.ml: Array Float Format Stdlib String Value

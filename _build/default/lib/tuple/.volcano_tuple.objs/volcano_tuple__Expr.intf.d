@@ -1,0 +1,1 @@
+lib/tuple/expr.mli: Format Tuple Value

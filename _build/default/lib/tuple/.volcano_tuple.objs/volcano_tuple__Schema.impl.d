@@ -1,0 +1,1 @@
+lib/tuple/schema.ml: Array Format Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/tuple/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/tuple/serial.ml: Array Bytes Int64 String Value

@@ -1,0 +1,1 @@
+lib/tuple/serial.mli: Tuple

@@ -1,0 +1,1 @@
+lib/tuple/support.ml: Array Expr List Tuple Value

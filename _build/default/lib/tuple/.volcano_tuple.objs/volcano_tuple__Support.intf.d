@@ -1,0 +1,1 @@
+lib/tuple/support.mli: Expr Tuple Value

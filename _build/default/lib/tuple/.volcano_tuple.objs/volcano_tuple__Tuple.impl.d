@@ -1,0 +1,1 @@
+lib/tuple/tuple.ml: Array Format List Value

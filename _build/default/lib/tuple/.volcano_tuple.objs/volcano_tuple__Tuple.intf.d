@@ -1,0 +1,1 @@
+lib/tuple/tuple.mli: Format Value

@@ -1,0 +1,1 @@
+lib/tuple/value.ml: Char Format Int64 Stdlib String

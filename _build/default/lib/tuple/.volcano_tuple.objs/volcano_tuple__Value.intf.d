@@ -1,0 +1,1 @@
+lib/tuple/value.mli: Format

@@ -1,0 +1,190 @@
+type num =
+  | Col of int
+  | Const of Value.t
+  | Add of num * num
+  | Sub of num * num
+  | Mul of num * num
+  | Div of num * num
+  | Neg of num
+  | Mod of num * num
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type pred =
+  | True
+  | False
+  | Cmp of cmp_op * num * num
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Is_null of num
+  | Str_prefix of string * num
+
+let col i = Col i
+let int x = Const (Value.Int x)
+let str s = Const (Value.Str s)
+let not_ p = Not p
+
+module Infix = struct
+  let ( + ) a b = Add (a, b)
+  let ( - ) a b = Sub (a, b)
+  let ( * ) a b = Mul (a, b)
+  let ( = ) a b = Cmp (Eq, a, b)
+  let ( <> ) a b = Cmp (Ne, a, b)
+  let ( < ) a b = Cmp (Lt, a, b)
+  let ( <= ) a b = Cmp (Le, a, b)
+  let ( > ) a b = Cmp (Gt, a, b)
+  let ( >= ) a b = Cmp (Ge, a, b)
+  let ( && ) a b = And (a, b)
+  let ( || ) a b = Or (a, b)
+end
+
+(* Arithmetic with numeric promotion: int op int stays int (division by zero
+   yields Null rather than raising, so that malformed data cannot abort a
+   query pipeline); anything involving a float is float; Null propagates. *)
+let arith int_op float_op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> int_op x y
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+      Value.Float (float_op (Value.float_exn a) (Value.float_exn b))
+  | _ -> Value.Null
+
+let add = arith (fun x y -> Value.Int (Stdlib.( + ) x y)) Stdlib.( +. )
+let sub = arith (fun x y -> Value.Int (Stdlib.( - ) x y)) Stdlib.( -. )
+let mul = arith (fun x y -> Value.Int (Stdlib.( * ) x y)) Stdlib.( *. )
+
+let div =
+  arith
+    (fun x y -> if Stdlib.( = ) y 0 then Value.Null else Value.Int (Stdlib.( / ) x y))
+    (fun x y -> Stdlib.( /. ) x y)
+
+let rem =
+  arith
+    (fun x y -> if Stdlib.( = ) y 0 then Value.Null else Value.Int (Stdlib.(mod) x y))
+    Float.rem
+
+let neg = function
+  | Value.Int x -> Value.Int (Stdlib.( - ) 0 x)
+  | Value.Float x -> Value.Float (Stdlib.( -. ) 0.0 x)
+  | _ -> Value.Null
+
+let cmp_holds op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> false
+  | _ ->
+      let c = Value.compare a b in
+      (match op with
+      | Eq -> Stdlib.( = ) c 0
+      | Ne -> Stdlib.( <> ) c 0
+      | Lt -> Stdlib.( < ) c 0
+      | Le -> Stdlib.( <= ) c 0
+      | Gt -> Stdlib.( > ) c 0
+      | Ge -> Stdlib.( >= ) c 0)
+
+module Interp = struct
+  let rec num e tuple =
+    match e with
+    | Col i -> tuple.(i)
+    | Const v -> v
+    | Add (a, b) -> add (num a tuple) (num b tuple)
+    | Sub (a, b) -> sub (num a tuple) (num b tuple)
+    | Mul (a, b) -> mul (num a tuple) (num b tuple)
+    | Div (a, b) -> div (num a tuple) (num b tuple)
+    | Mod (a, b) -> rem (num a tuple) (num b tuple)
+    | Neg a -> neg (num a tuple)
+
+  let rec pred p tuple =
+    match p with
+    | True -> true
+    | False -> false
+    | Cmp (op, a, b) -> cmp_holds op (num a tuple) (num b tuple)
+    | And (a, b) -> pred a tuple && pred b tuple
+    | Or (a, b) -> pred a tuple || pred b tuple
+    | Not a -> not (pred a tuple)
+    | Is_null a -> (match num a tuple with Value.Null -> true | _ -> false)
+    | Str_prefix (prefix, a) -> (
+        match num a tuple with
+        | Value.Str s ->
+            String.length s >= String.length prefix
+            && String.equal (String.sub s 0 (String.length prefix)) prefix
+        | _ -> false)
+end
+
+module Compiled = struct
+  (* Translate the AST into closures once; the result never revisits it. *)
+  let rec num e =
+    match e with
+    | Col i -> fun tuple -> tuple.(i)
+    | Const v -> fun _ -> v
+    | Add (a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> add (fa tuple) (fb tuple)
+    | Sub (a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> sub (fa tuple) (fb tuple)
+    | Mul (a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> mul (fa tuple) (fb tuple)
+    | Div (a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> div (fa tuple) (fb tuple)
+    | Mod (a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> rem (fa tuple) (fb tuple)
+    | Neg a ->
+        let fa = num a in
+        fun tuple -> neg (fa tuple)
+
+  let rec pred p =
+    match p with
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Cmp (op, a, b) ->
+        let fa = num a and fb = num b in
+        fun tuple -> cmp_holds op (fa tuple) (fb tuple)
+    | And (a, b) ->
+        let fa = pred a and fb = pred b in
+        fun tuple -> fa tuple && fb tuple
+    | Or (a, b) ->
+        let fa = pred a and fb = pred b in
+        fun tuple -> fa tuple || fb tuple
+    | Not a ->
+        let fa = pred a in
+        fun tuple -> not (fa tuple)
+    | Is_null a ->
+        let fa = num a in
+        fun tuple -> (match fa tuple with Value.Null -> true | _ -> false)
+    | Str_prefix (prefix, a) ->
+        let fa = num a in
+        let plen = String.length prefix in
+        fun tuple ->
+          (match fa tuple with
+          | Value.Str s ->
+              String.length s >= plen && String.equal (String.sub s 0 plen) prefix
+          | _ -> false)
+end
+
+let cmp_op_to_string = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_num ppf = function
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Const v -> Value.pp ppf v
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_num a pp_num b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_num a pp_num b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_num a pp_num b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp_num a pp_num b
+  | Mod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp_num a pp_num b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp_num a
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_num a (cmp_op_to_string op) pp_num b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "(not %a)" pp_pred a
+  | Is_null a -> Format.fprintf ppf "%a is null" pp_num a
+  | Str_prefix (p, a) -> Format.fprintf ppf "%a like %S%%" pp_num a p

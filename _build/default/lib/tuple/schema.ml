@@ -1,0 +1,54 @@
+type field = { name : string; ty : Value.ty }
+type t = field array
+
+let make fields =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.name then
+        invalid_arg ("Schema.make: duplicate field " ^ f.name);
+      Hashtbl.add seen f.name ())
+    fields;
+  Array.of_list fields
+
+let of_names pairs = make (List.map (fun (name, ty) -> { name; ty }) pairs)
+
+let fields t = t
+let arity t = Array.length t
+
+let find_index t name =
+  let rec search i =
+    if i >= Array.length t then None
+    else if String.equal t.(i).name name then Some i
+    else search (i + 1)
+  in
+  search 0
+
+let index t name =
+  match find_index t name with Some i -> i | None -> raise Not_found
+
+let field_name t i = t.(i).name
+let field_ty t i = t.(i).ty
+
+let concat a b =
+  let taken = Hashtbl.create 16 in
+  Array.iter (fun f -> Hashtbl.add taken f.name ()) a;
+  let rename f =
+    if Hashtbl.mem taken f.name then { f with name = f.name ^ "'" } else f
+  in
+  Array.append a (Array.map rename b)
+
+let project t indices = Array.of_list (List.map (fun i -> t.(i)) indices)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> String.equal x.name y.name && x.ty = y.ty) a b
+
+let pp ppf t =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s:%s" f.name (Value.ty_to_string f.ty))
+    t;
+  Format.fprintf ppf ")"

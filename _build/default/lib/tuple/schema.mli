@@ -1,0 +1,26 @@
+(** Relation schemas: ordered, named, typed fields. *)
+
+type field = { name : string; ty : Value.ty }
+type t
+
+val make : field list -> t
+(** @raise Invalid_argument on duplicate field names. *)
+
+val of_names : (string * Value.ty) list -> t
+val fields : t -> field array
+val arity : t -> int
+
+val index : t -> string -> int
+(** Position of a named field.  @raise Not_found if absent. *)
+
+val find_index : t -> string -> int option
+val field_name : t -> int -> string
+val field_ty : t -> int -> Value.ty
+
+val concat : t -> t -> t
+(** Schema of the concatenation of two tuples (join output).  Name clashes
+    are resolved by suffixing the right-hand field with ["'"]. *)
+
+val project : t -> int list -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

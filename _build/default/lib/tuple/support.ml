@@ -1,0 +1,63 @@
+type predicate = Tuple.t -> bool
+type comparator = Tuple.t -> Tuple.t -> int
+type hash_fn = Tuple.t -> int
+type key_fn = Tuple.t -> Tuple.t
+
+type direction = Asc | Desc
+type sort_key = (int * direction) list
+
+let compare_on key a b =
+  let rec columns = function
+    | [] -> 0
+    | (i, dir) :: rest ->
+        let c = Value.compare a.(i) b.(i) in
+        let c = match dir with Asc -> c | Desc -> -c in
+        if c <> 0 then c else columns rest
+  in
+  columns key
+
+let compare_cols cols = compare_on (List.map (fun i -> (i, Asc)) cols)
+
+let equal_on cols a b =
+  List.for_all (fun i -> Value.equal a.(i) b.(i)) cols
+
+let hash_on cols tuple =
+  (* The 31x mixing step can overflow into the sign bit; partitioning needs
+     a non-negative result. *)
+  List.fold_left (fun acc i -> (acc * 31) + Value.hash tuple.(i)) 17 cols
+  land max_int
+
+let key_on cols tuple = Tuple.project tuple cols
+
+let of_pred p = Expr.Compiled.pred p
+let of_pred_interpreted p tuple = Expr.Interp.pred p tuple
+
+module Partition = struct
+  type t = unit -> Tuple.t -> int
+
+  let round_robin ~consumers () =
+    assert (consumers > 0);
+    let next = ref 0 in
+    fun _tuple ->
+      let c = !next in
+      next := (c + 1) mod consumers;
+      c
+
+  let hash ~consumers ~on () =
+    assert (consumers > 0);
+    let h = hash_on on in
+    fun tuple -> h tuple mod consumers
+
+  let range ~consumers ~on ~bounds () =
+    assert (Array.length bounds = consumers - 1);
+    fun tuple ->
+      let key = tuple.(on) in
+      let rec search i =
+        if i >= Array.length bounds then consumers - 1
+        else if Value.compare key bounds.(i) <= 0 then i
+        else search (i + 1)
+      in
+      search 0
+
+  let constant c () _tuple = c
+end

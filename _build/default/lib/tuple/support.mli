@@ -1,0 +1,49 @@
+(** Support functions.
+
+    In Volcano "all functions on data records, e.g., comparisons and hashing
+    ... are compiled prior to execution and passed to the processing
+    algorithms by means of pointers to the function entry points" (section
+    3).  In OCaml the function pointers are closures.  Operators only ever
+    see these opaque function values, never tuple structure. *)
+
+type predicate = Tuple.t -> bool
+type comparator = Tuple.t -> Tuple.t -> int
+type hash_fn = Tuple.t -> int
+type key_fn = Tuple.t -> Tuple.t
+
+type direction = Asc | Desc
+type sort_key = (int * direction) list
+
+val compare_on : sort_key -> comparator
+(** Lexicographic comparison on the given columns and directions. *)
+
+val compare_cols : int list -> comparator
+(** [compare_on] with every column ascending. *)
+
+val equal_on : int list -> Tuple.t -> Tuple.t -> bool
+val hash_on : int list -> hash_fn
+val key_on : int list -> key_fn
+
+val of_pred : Expr.pred -> predicate
+(** Compiled-mode predicate (closure translation of the AST). *)
+
+val of_pred_interpreted : Expr.pred -> predicate
+(** Interpreted-mode predicate (AST walked per tuple). *)
+
+(** Partitioning support functions for the exchange operator (section 4.2:
+    "round-robin-, key-range-, or hash-partitioning"). *)
+module Partition : sig
+  type t = unit -> Tuple.t -> int
+  (** A partitioning-function factory: each producer process instantiates its
+      own (possibly stateful, as for round-robin) partitioner mapping a tuple
+      to a consumer index in [\[0, consumers)]. *)
+
+  val round_robin : consumers:int -> t
+  val hash : consumers:int -> on:int list -> t
+
+  val range : consumers:int -> on:int -> bounds:Value.t array -> t
+  (** [bounds] are [consumers - 1] ascending split points; a tuple goes to
+      the first partition whose bound its key does not exceed. *)
+
+  val constant : int -> t
+end

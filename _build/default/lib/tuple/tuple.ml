@@ -1,0 +1,38 @@
+type t = Value.t array
+
+let make values = Array.of_list values
+let arity = Array.length
+let get t i = t.(i)
+let int_exn t i = Value.int_exn t.(i)
+let float_exn t i = Value.float_exn t.(i)
+let str_exn t i = Value.str_exn t.(i)
+let of_ints xs = Array.of_list (List.map (fun x -> Value.Int x) xs)
+let concat = Array.append
+let project t indices = Array.of_list (List.map (fun i -> t.(i)) indices)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec fields i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else fields (i + 1)
+  in
+  fields 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let pp ppf t =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Value.pp ppf v)
+    t;
+  Format.fprintf ppf "]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,29 @@
+(** Tuples (records).
+
+    A tuple is an immutable-by-convention array of field values.  Operators
+    receive support functions (comparators, hash functions, predicates) and
+    never interpret tuple structure themselves, mirroring Volcano's untyped
+    records plus support-function discipline. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val int_exn : t -> int -> int
+val float_exn : t -> int -> float
+val str_exn : t -> int -> string
+
+val of_ints : int list -> t
+(** Convenience constructor for tests and benchmarks. *)
+
+val concat : t -> t -> t
+val project : t -> int list -> t
+
+val compare : t -> t -> int
+(** Lexicographic over all fields. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

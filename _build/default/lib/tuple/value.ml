@@ -1,0 +1,74 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = Tint | Tfloat | Tstr
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstr
+
+let tag_rank = function Null -> 0 | Int _ -> 1 | Float _ -> 2 | Str _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare (x : int) y
+  | Float x, Float y -> Stdlib.compare (x : float) y
+  | Str x, Str y -> Stdlib.compare (x : string) y
+  | _, _ -> Stdlib.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+(* FNV-1a over a canonical byte rendering; stable across runs and domains,
+   which hash partitioning requires for deterministic tests. *)
+let fnv_offset = Int64.to_int 0xcbf29ce484222325L land max_int
+let fnv_prime = 0x100000001b3
+
+let hash_bytes h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime land max_int)
+    s;
+  !h
+
+let hash_int h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    let byte = (x lsr (shift * 8)) land 0xff in
+    h := (!h lxor byte) * fnv_prime land max_int
+  done;
+  !h
+
+let hash = function
+  | Null -> hash_int fnv_offset 0x6e756c6c
+  | Int x -> hash_int (hash_int fnv_offset 1) x
+  | Float x -> hash_int (hash_int fnv_offset 2) (Int64.to_int (Int64.bits_of_float x))
+  | Str s -> hash_bytes (hash_int fnv_offset 3) s
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int x -> Format.pp_print_int ppf x
+  | Float x -> Format.fprintf ppf "%g" x
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int_exn = function
+  | Int x -> x
+  | v -> invalid_arg ("Value.int_exn: " ^ to_string v)
+
+let float_exn = function
+  | Float x -> x
+  | Int x -> float_of_int x
+  | v -> invalid_arg ("Value.float_exn: " ^ to_string v)
+
+let str_exn = function
+  | Str s -> s
+  | v -> invalid_arg ("Value.str_exn: " ^ to_string v)
+
+let ty_to_string = function Tint -> "int" | Tfloat -> "float" | Tstr -> "string"

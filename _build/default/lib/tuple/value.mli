@@ -1,0 +1,36 @@
+(** Field values.
+
+    Volcano's operators never inspect record contents directly; all access
+    goes through support functions (paper, section 3).  This module provides
+    the value representation those support functions are built from. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = Tint | Tfloat | Tstr
+
+val type_of : t -> ty option
+(** [None] for [Null]. *)
+
+val compare : t -> t -> int
+(** Total order: [Null] sorts first; values of distinct types are ordered by
+    type tag ([Int < Float < Str]); within a type the natural order. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Deterministic (seed-free) hash, identical across domains and runs. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Coercions raising [Invalid_argument] on a type mismatch. *)
+
+val int_exn : t -> int
+val float_exn : t -> float
+val str_exn : t -> string
+
+val ty_to_string : ty -> string

@@ -1,0 +1,1 @@
+lib/util/sema.ml: Condition Mutex

@@ -1,0 +1,11 @@
+(* Wall time.  All measured effects are in the millisecond-to-second range,
+   far above gettimeofday resolution. *)
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  let t1 = now () in
+  (result, t1 -. t0)
+
+let time_unit f = snd (time f)

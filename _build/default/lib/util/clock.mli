@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers for the benchmark harness.  The paper used the
+    Sequent's hardware microsecond clock; we use the OS monotonic clock. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary epoch, monotonic. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns the elapsed wall time in seconds. *)
+
+val time_unit : (unit -> unit) -> float

@@ -1,0 +1,66 @@
+type t = {
+  mutex : Mutex.t;
+  opened : Condition.t;
+  mutable remaining : int;
+}
+
+let create n =
+  assert (n >= 0);
+  { mutex = Mutex.create (); opened = Condition.create (); remaining = n }
+
+let count_down t =
+  Mutex.lock t.mutex;
+  if t.remaining > 0 then begin
+    t.remaining <- t.remaining - 1;
+    if t.remaining = 0 then Condition.broadcast t.opened
+  end;
+  Mutex.unlock t.mutex
+
+let await t =
+  Mutex.lock t.mutex;
+  while t.remaining > 0 do
+    Condition.wait t.opened t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let is_open t =
+  Mutex.lock t.mutex;
+  let v = t.remaining = 0 in
+  Mutex.unlock t.mutex;
+  v
+
+module Barrier = struct
+  type t = {
+    mutex : Mutex.t;
+    released : Condition.t;
+    size : int;
+    mutable arrived : int;
+    mutable generation : int;
+  }
+
+  let create n =
+    assert (n > 0);
+    {
+      mutex = Mutex.create ();
+      released = Condition.create ();
+      size = n;
+      arrived = 0;
+      generation = 0;
+    }
+
+  let await t =
+    Mutex.lock t.mutex;
+    let gen = t.generation in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.size then begin
+      (* Last arrival releases the group and resets for the next round. *)
+      t.arrived <- 0;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.released
+    end
+    else
+      while t.generation = gen do
+        Condition.wait t.released t.mutex
+      done;
+    Mutex.unlock t.mutex
+end

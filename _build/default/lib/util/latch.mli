@@ -1,0 +1,31 @@
+(** Countdown latches and cyclic barriers.
+
+    The exchange operator's process groups synchronize twice around port
+    creation (paper, section 4.2): the group master creates the port, then
+    the whole group proceeds.  A countdown latch expresses "wait until the
+    master is done"; a barrier expresses the double synchronization. *)
+
+type t
+(** A one-shot countdown latch. *)
+
+val create : int -> t
+(** [create n] is a latch that opens after [n] calls to {!count_down}. *)
+
+val count_down : t -> unit
+(** Decrement the latch; opens it (waking all waiters) when it reaches 0. *)
+
+val await : t -> unit
+(** Block until the latch has opened.  Returns immediately afterwards. *)
+
+val is_open : t -> bool
+
+module Barrier : sig
+  type t
+  (** A cyclic barrier for a fixed-size group. *)
+
+  val create : int -> t
+
+  val await : t -> unit
+  (** Block until all [n] members have arrived, then release everyone.  The
+      barrier resets and can be reused for the next synchronization round. *)
+end

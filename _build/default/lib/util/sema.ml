@@ -1,0 +1,43 @@
+type t = {
+  mutex : Mutex.t;
+  nonzero : Condition.t;
+  mutable count : int;
+}
+
+let create n =
+  assert (n >= 0);
+  { mutex = Mutex.create (); nonzero = Condition.create (); count = n }
+
+let acquire t =
+  Mutex.lock t.mutex;
+  while t.count = 0 do
+    Condition.wait t.nonzero t.mutex
+  done;
+  t.count <- t.count - 1;
+  Mutex.unlock t.mutex
+
+let try_acquire t =
+  Mutex.lock t.mutex;
+  let ok = t.count > 0 in
+  if ok then t.count <- t.count - 1;
+  Mutex.unlock t.mutex;
+  ok
+
+let release t =
+  Mutex.lock t.mutex;
+  t.count <- t.count + 1;
+  Condition.signal t.nonzero;
+  Mutex.unlock t.mutex
+
+let release_n t n =
+  assert (n >= 0);
+  Mutex.lock t.mutex;
+  t.count <- t.count + n;
+  Condition.broadcast t.nonzero;
+  Mutex.unlock t.mutex
+
+let value t =
+  Mutex.lock t.mutex;
+  let v = t.count in
+  Mutex.unlock t.mutex;
+  v

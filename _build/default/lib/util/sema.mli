@@ -1,0 +1,29 @@
+(** Counting semaphores built on [Mutex] and [Condition].
+
+    Volcano's exchange operator uses semaphores for three purposes: to signal
+    packet arrival, to implement flow control ("back pressure"), and to
+    sequence the orderly shutdown of producer process groups.  OCaml domains
+    share memory, so a mutex/condition pair gives the same semantics as the
+    Sequent Symmetry semaphores in the paper. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a semaphore with initial value [n].  [n] must be [>= 0]. *)
+
+val acquire : t -> unit
+(** [acquire s] blocks until the value of [s] is positive, then decrements. *)
+
+val try_acquire : t -> bool
+(** [try_acquire s] decrements and returns [true] if the value is positive,
+    otherwise returns [false] without blocking. *)
+
+val release : t -> unit
+(** [release s] increments the value of [s] and wakes one waiter. *)
+
+val release_n : t -> int -> unit
+(** [release_n s n] increments the value of [s] by [n] and wakes waiters. *)
+
+val value : t -> int
+(** [value s] is the current value (for tests and instrumentation only; the
+    value may change concurrently). *)

@@ -1,0 +1,20 @@
+(** Streaming descriptive statistics (Welford's algorithm), used by the
+    benchmark harness and the partition-balance ablation. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val coefficient_of_variation : t -> float
+(** stddev / mean; 0 for an empty or constant series.  Used as the imbalance
+    metric in the partitioning ablation. *)
+
+val of_list : float list -> t
+val pp : Format.formatter -> t -> unit

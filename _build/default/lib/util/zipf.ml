@@ -1,0 +1,31 @@
+type t = {
+  n : int;
+  cumulative : float array; (* cumulative.(i) = P(X <= i) *)
+}
+
+let create ~n ~theta =
+  assert (n > 0);
+  assert (theta >= 0.);
+  let weights = Array.init n (fun i -> 1.0 /. ((float_of_int (i + 1)) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { n; cumulative }
+
+(* Binary search for the first index whose cumulative weight covers [u]. *)
+let draw t rng =
+  let u = Rng.float rng 1.0 in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (t.n - 1)
+
+let n t = t.n

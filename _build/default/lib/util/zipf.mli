@@ -1,0 +1,14 @@
+(** Zipf-distributed sampling, used to generate skewed partitioning keys for
+    the load-balance ablation (DESIGN.md, A3). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over [\[0, n)] with skew parameter
+    [theta].  [theta = 0.] degenerates to the uniform distribution; common
+    skewed settings use [theta] near 1. *)
+
+val draw : t -> Rng.t -> int
+(** Sample a value in [\[0, n)]. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/wisconsin/wisconsin.ml: Array Bytes Char List Printf String Volcano_plan Volcano_storage Volcano_tuple Volcano_util

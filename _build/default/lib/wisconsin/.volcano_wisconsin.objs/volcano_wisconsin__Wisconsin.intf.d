@@ -1,0 +1,1 @@
+lib/wisconsin/wisconsin.mli: Volcano_plan Volcano_tuple

@@ -1,0 +1,114 @@
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Schema = Volcano_tuple.Schema
+module Rng = Volcano_util.Rng
+module Zipf = Volcano_util.Zipf
+
+let columns =
+  [
+    "unique1"; "unique2"; "two"; "four"; "ten"; "twenty"; "one_percent";
+    "ten_percent"; "twenty_pct"; "fifty_pct"; "unique3"; "even_one_pct";
+    "odd_one_pct"; "stringu1"; "stringu2"; "string4";
+  ]
+
+let schema =
+  Schema.of_names
+    (List.map
+       (fun name ->
+         let ty =
+           match name with
+           | "stringu1" | "stringu2" | "string4" -> Value.Tstr
+           | _ -> Value.Tint
+         in
+         (name, ty))
+       columns)
+
+let column name =
+  let rec search i = function
+    | [] -> raise Not_found
+    | c :: rest -> if String.equal c name then i else search (i + 1) rest
+  in
+  search 0 columns
+
+(* The classic 7-letter string image of a number in base 26, padded. *)
+let string_image x =
+  let buf = Bytes.make 7 'A' in
+  let rec fill pos v =
+    if pos >= 0 && v > 0 then begin
+      Bytes.set buf pos (Char.chr (Char.code 'A' + (v mod 26)));
+      fill (pos - 1) (v / 26)
+    end
+  in
+  fill 6 x;
+  Bytes.to_string buf
+
+let string4 i =
+  match i mod 4 with
+  | 0 -> "AAAA"
+  | 1 -> "HHHH"
+  | 2 -> "OOOO"
+  | _ -> "VVVV"
+
+let generator ?(seed = 42L) ~n () =
+  let rng = Rng.create seed in
+  let permutation = Rng.permutation rng n in
+  fun i ->
+    if i < 0 || i >= n then invalid_arg "Wisconsin.generator: index out of range";
+    let u1 = permutation.(i) in
+    [|
+      Value.Int u1;
+      Value.Int i;
+      Value.Int (u1 mod 2);
+      Value.Int (u1 mod 4);
+      Value.Int (u1 mod 10);
+      Value.Int (u1 mod 20);
+      Value.Int (u1 mod 100);
+      Value.Int (u1 mod 10);
+      Value.Int (u1 mod 5);
+      Value.Int (u1 mod 2);
+      Value.Int u1;
+      Value.Int (u1 mod 100 * 2);
+      Value.Int ((u1 mod 100 * 2) + 1);
+      Value.Str (string_image u1);
+      Value.Str (string_image i);
+      Value.Str (string4 i);
+    |]
+
+let arity = List.length columns
+
+let plan ?seed ~n () =
+  Volcano_plan.Plan.Generate { arity; count = n; gen = generator ?seed ~n () }
+
+let plan_slice ?seed ~n () =
+  Volcano_plan.Plan.Generate_slice
+    { arity; count = n; gen = generator ?seed ~n () }
+
+let load ?seed ?(partitions = 0) ~env ~name ~n () =
+  let gen = generator ?seed ~n () in
+  let file = Volcano_plan.Env.create_table env ~name ~schema in
+  let part_files =
+    Array.init partitions (fun p ->
+        Volcano_plan.Env.create_table env
+          ~name:(Printf.sprintf "%s#%d" name p)
+          ~schema)
+  in
+  for i = 0 to n - 1 do
+    let record =
+      Bytes.to_string (Volcano_tuple.Serial.encode (gen i))
+    in
+    let _ = Volcano_storage.Heap_file.insert file record in
+    if partitions > 0 then begin
+      let _ =
+        Volcano_storage.Heap_file.insert part_files.(i mod partitions) record
+      in
+      ()
+    end
+  done
+
+let skewed_generator ?(seed = 7L) ~n ~key_space ~theta () =
+  let rng = Rng.create seed in
+  let zipf = Zipf.create ~n:key_space ~theta in
+  let keys = Array.init n (fun _ -> Zipf.draw zipf rng) in
+  fun i ->
+    if i < 0 || i >= n then invalid_arg "Wisconsin.skewed_generator: out of range";
+    Tuple.of_ints [ keys.(i); i ]

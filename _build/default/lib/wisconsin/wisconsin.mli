@@ -1,0 +1,63 @@
+(** The Wisconsin benchmark relation — the standard synthetic workload of
+    GAMMA-era parallel database studies, used here for examples, tests and
+    benchmarks.
+
+    Columns (all derived from a random permutation [unique1] and the
+    sequence number [unique2]):
+
+    {v
+    0  unique1      random permutation of 0..n-1
+    1  unique2      sequence number 0..n-1
+    2  two          unique1 mod 2
+    3  four         unique1 mod 4
+    4  ten          unique1 mod 10
+    5  twenty       unique1 mod 20
+    6  one_percent  unique1 mod 100
+    7  ten_percent  unique1 mod 10 (selectivity 10%)
+    8  twenty_pct   unique1 mod 5
+    9  fifty_pct    unique1 mod 2
+    10 unique3      copy of unique1
+    11 even_one_pct (unique1 mod 100) * 2
+    12 odd_one_pct  (unique1 mod 100) * 2 + 1
+    13 stringu1     string image of unique1
+    14 stringu2     string image of unique2
+    15 string4      cyclic AAAA/HHHH/OOOO/VVVV
+    v} *)
+
+val schema : Volcano_tuple.Schema.t
+
+val column : string -> int
+(** Column index by name.  @raise Not_found for unknown names. *)
+
+val generator : ?seed:int64 -> n:int -> unit -> int -> Volcano_tuple.Tuple.t
+(** [generator ~n ()] is a deterministic function from row index to tuple
+    (the permutation is precomputed). *)
+
+val plan : ?seed:int64 -> n:int -> unit -> Volcano_plan.Plan.t
+(** A [Generate] leaf producing the relation. *)
+
+val plan_slice : ?seed:int64 -> n:int -> unit -> Volcano_plan.Plan.t
+(** A [Generate_slice] leaf for intra-operator parallel plans. *)
+
+val load :
+  ?seed:int64 ->
+  ?partitions:int ->
+  env:Volcano_plan.Env.t ->
+  name:string ->
+  n:int ->
+  unit ->
+  unit
+(** Materialize the relation as table [name]; with [partitions = k] also as
+    partition files ["name#0" .. "name#k-1"] (round-robin), the stored-data
+    layout for partitioned scans. *)
+
+val skewed_generator :
+  ?seed:int64 ->
+  n:int ->
+  key_space:int ->
+  theta:float ->
+  unit ->
+  int ->
+  Volcano_tuple.Tuple.t
+(** Two-column tuples (zipf-skewed key, row index) for the partition-balance
+    ablation. *)

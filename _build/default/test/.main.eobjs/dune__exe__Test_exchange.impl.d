@@ -1,0 +1,1 @@
+test/test_exchange.ml: Alcotest Array Domain Hashtbl List Option Printf Volcano Volcano_tuple

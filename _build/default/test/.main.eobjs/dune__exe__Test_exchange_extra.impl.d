@@ -1,0 +1,1 @@
+test/test_exchange_extra.ml: Alcotest Array Fun List Option Printf Volcano Volcano_ops Volcano_tuple

@@ -1,0 +1,1 @@
+test/test_extra_edges.ml: Alcotest Array Bytes Format QCheck QCheck_alcotest String Volcano Volcano_sim Volcano_tuple

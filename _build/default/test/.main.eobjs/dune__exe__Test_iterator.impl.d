@@ -1,0 +1,1 @@
+test/test_iterator.ml: Alcotest List Volcano Volcano_tuple

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array Bytes Fmt Fun List Printf QCheck QCheck_alcotest String Volcano Volcano_btree Volcano_ops Volcano_storage Volcano_tuple Volcano_util

@@ -1,0 +1,1 @@
+test/test_ops_extra.ml: Alcotest Array Bytes Fun List Printf String Volcano Volcano_btree Volcano_ops Volcano_storage Volcano_tuple

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Bytes Fun List String Volcano Volcano_ops Volcano_plan Volcano_storage Volcano_tuple

@@ -1,0 +1,1 @@
+test/test_plan_extra.ml: Alcotest Fun List String Volcano Volcano_ops Volcano_plan Volcano_tuple Volcano_wisconsin

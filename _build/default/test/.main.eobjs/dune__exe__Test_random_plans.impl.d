@@ -1,0 +1,1 @@
+test/test_random_plans.ml: Fun Int64 List QCheck QCheck_alcotest Volcano Volcano_ops Volcano_plan Volcano_tuple Volcano_util

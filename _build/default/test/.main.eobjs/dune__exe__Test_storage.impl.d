@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Atomic Bytes Char Domain Filename Fun Hashtbl Int64 List Printf QCheck QCheck_alcotest String Sys Volcano_storage Volcano_util

@@ -1,0 +1,1 @@
+test/test_storage_extra.ml: Alcotest Bytes Fun Gen Hashtbl List Printf QCheck QCheck_alcotest String Volcano Volcano_ops Volcano_storage Volcano_tuple

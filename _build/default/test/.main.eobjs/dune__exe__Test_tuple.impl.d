@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Array Bytes List QCheck QCheck_alcotest Volcano_tuple

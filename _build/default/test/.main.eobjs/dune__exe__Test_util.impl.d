@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atomic Domain List QCheck QCheck_alcotest Unix Volcano_util

@@ -1,0 +1,1 @@
+test/test_wisconsin.ml: Alcotest Array Hashtbl List Option Printf Volcano_plan Volcano_tuple Volcano_wisconsin

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "volcano"
+    [
+      ("util", Test_util.suite);
+      ("tuple", Test_tuple.suite);
+      ("storage", Test_storage.suite);
+      ("storage-extra", Test_storage_extra.suite);
+      ("btree", Test_btree.suite);
+      ("iterator", Test_iterator.suite);
+      ("exchange", Test_exchange.suite);
+      ("exchange-extra", Test_exchange_extra.suite);
+      ("ops", Test_ops.suite);
+      ("ops-extra", Test_ops_extra.suite);
+      ("plan", Test_plan.suite);
+      ("plan-extra", Test_plan_extra.suite);
+      ("random-plans", Test_random_plans.suite);
+      ("sim", Test_sim.suite);
+      ("wisconsin", Test_wisconsin.suite);
+      ("edges", Test_extra_edges.suite);
+    ]

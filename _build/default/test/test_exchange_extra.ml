@@ -1,0 +1,308 @@
+(* Additional exchange tests: stress across packet sizes, empty streams,
+   range partitioning through interchange, nested merge networks, broadcast
+   to multiple consumers, and port error handling. *)
+
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Support = Volcano_tuple.Support
+module Iterator = Volcano.Iterator
+module Exchange = Volcano.Exchange
+module Group = Volcano.Group
+module Port = Volcano.Port
+module Packet = Volcano.Packet
+
+let check = Alcotest.check
+let range n = List.init n (fun i -> i)
+
+let sorted_ints iterator =
+  List.sort compare
+    (List.map (fun t -> Tuple.int_exn t 0) (Iterator.to_list iterator))
+
+(* Sweep packet size x flow slack x degree: the multiset never changes. *)
+let test_parameter_sweep () =
+  List.iter
+    (fun (packet_size, flow_slack, degree) ->
+      let cfg = Exchange.config ~degree ~packet_size ~flow_slack () in
+      let per = 120 in
+      let iterator =
+        Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun group ->
+            let rank = Group.rank group in
+            Iterator.generate ~count:per ~f:(fun i ->
+                Tuple.of_ints [ (rank * per) + i ]))
+      in
+      check
+        (Alcotest.list Alcotest.int)
+        (Printf.sprintf "ps=%d slack=%s d=%d" packet_size
+           (match flow_slack with Some n -> string_of_int n | None -> "-")
+           degree)
+        (range (degree * per))
+        (sorted_ints iterator))
+    [
+      (1, Some 1, 1); (1, Some 1, 4); (2, None, 3); (13, Some 2, 2);
+      (83, Some 4, 5); (255, None, 2); (7, Some 8, 7);
+    ]
+
+let test_empty_producers () =
+  let cfg = Exchange.config ~degree:3 () in
+  let iterator =
+    Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun _ -> Iterator.empty)
+  in
+  check Alcotest.int "empty stream" 0 (Iterator.consume iterator)
+
+let test_single_record () =
+  let cfg = Exchange.config ~degree:2 ~packet_size:83 () in
+  let iterator =
+    Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun group ->
+        if Group.rank group = 0 then Iterator.of_list [ Tuple.of_ints [ 7 ] ]
+        else Iterator.empty)
+  in
+  check (Alcotest.list Alcotest.int) "one record" [ 7 ] (sorted_ints iterator)
+
+(* Reusing one exchange iterator value for two full open/consume/close
+   cycles (the state record is reinitialized by open). *)
+let test_reopen_after_close () =
+  let cfg = Exchange.config ~degree:2 () in
+  let make () =
+    Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun group ->
+        let rank = Group.rank group in
+        Iterator.generate ~count:10 ~f:(fun i -> Tuple.of_ints [ (rank * 10) + i ]))
+  in
+  let it = make () in
+  check (Alcotest.list Alcotest.int) "first run" (range 20) (sorted_ints it);
+  let it2 = make () in
+  check (Alcotest.list Alcotest.int) "second run" (range 20) (sorted_ints it2)
+
+(* Range partitioning through the no-fork interchange: each member ends up
+   with exactly its key range. *)
+let test_interchange_range_partition () =
+  let inner_id = Exchange.fresh_id () in
+  let n = 300 in
+  let bounds = [| Value.Int 99; Value.Int 199 |] in
+  let outer_cfg = Exchange.config ~degree:3 () in
+  let inner_cfg =
+    Exchange.config ~degree:3 ~partition:(Exchange.Range_on (0, bounds)) ()
+  in
+  let outer =
+    Exchange.iterator outer_cfg ~group:(Group.solo ()) ~input:(fun group ->
+        let rank = Group.rank group in
+        let scan =
+          Iterator.generate
+            ~count:(n / 3)
+            ~f:(fun i -> Tuple.of_ints [ (i * 3) + rank ])
+        in
+        let exchanged =
+          Exchange.interchange ~id:inner_id inner_cfg ~group ~input:scan
+        in
+        Iterator.make
+          ~open_:(fun () -> Iterator.open_ exchanged)
+          ~next:(fun () ->
+            Option.map
+              (fun t -> Array.append t [| Value.Int rank |])
+              (Iterator.next exchanged))
+          ~close:(fun () -> Iterator.close exchanged))
+  in
+  let tuples = Iterator.to_list outer in
+  check Alcotest.int "total" n (List.length tuples);
+  List.iter
+    (fun t ->
+      let key = Tuple.int_exn t 0 and owner = Tuple.int_exn t 1 in
+      let expected = if key <= 99 then 0 else if key <= 199 then 1 else 2 in
+      check Alcotest.int (Printf.sprintf "key %d range owner" key) expected owner)
+    tuples
+
+(* Two parallel merge networks feeding a binary merge — nested use of the
+   keep-separate variant. *)
+let test_two_merge_networks () =
+  let cfg = Exchange.config ~degree:2 ~packet_size:11 () in
+  let network parity =
+    Volcano_ops.Merge.exchange_merge cfg
+      ~cmp:(Support.compare_cols [ 0 ])
+      ~group:(Group.solo ())
+      ~input:(fun group ->
+        let rank = Group.rank group in
+        (* producer emits sorted values congruent to parity+2*rank mod 4 *)
+        Iterator.generate ~count:50 ~f:(fun i ->
+            Tuple.of_ints [ (i * 4) + parity + (2 * rank) ]))
+  in
+  let merged =
+    Volcano_ops.Merge.of_iterators
+      ~cmp:(Support.compare_cols [ 0 ])
+      [| network 0; network 1 |]
+  in
+  let values = List.map (fun t -> Tuple.int_exn t 0) (Iterator.to_list merged) in
+  check (Alcotest.list Alcotest.int) "globally sorted" (range 200) values
+
+(* Broadcast with a 2-member consumer group: every consumer sees every
+   record of every producer. *)
+let test_broadcast_multi_consumer () =
+  let inner_id = Exchange.fresh_id () in
+  let outer_cfg = Exchange.config ~degree:2 () in
+  let inner_cfg = Exchange.config ~degree:3 ~partition:Exchange.Broadcast () in
+  let outer =
+    Exchange.iterator outer_cfg ~group:(Group.solo ()) ~input:(fun group ->
+        let inner =
+          Exchange.iterator ~id:inner_id inner_cfg ~group ~input:(fun igroup ->
+              let irank = Group.rank igroup in
+              Iterator.generate ~count:20 ~f:(fun i ->
+                  Tuple.of_ints [ (irank * 20) + i ]))
+        in
+        inner)
+  in
+  (* 3 producers x 20 records, broadcast to 2 consumers = 120 deliveries. *)
+  let values = sorted_ints outer in
+  check Alcotest.int "deliveries" 120 (List.length values);
+  List.iter
+    (fun v ->
+      check Alcotest.int
+        (Printf.sprintf "record %d delivered twice" v)
+        2
+        (List.length (List.filter (fun x -> x = v) values)))
+    (range 60)
+
+let test_producer_streams_early_close () =
+  let cfg = Exchange.config ~degree:2 ~flow_slack:(Some 1) ~packet_size:2 () in
+  let streams =
+    Exchange.producer_streams cfg ~group:(Group.solo ()) ~input:(fun _ ->
+        Iterator.generate ~count:1_000_000 ~f:(fun i -> Tuple.of_ints [ i ]))
+  in
+  Array.iter Iterator.open_ streams;
+  (* Take a couple of records from stream 0 only, then close everything;
+     producers must be cancelled. *)
+  ignore (Iterator.next streams.(0));
+  ignore (Iterator.next streams.(0));
+  Array.iter Iterator.close streams;
+  check Alcotest.bool "returned" true true
+
+let test_port_separate_mode_errors () =
+  let port = Port.create ~producers:2 ~consumers:1 ~keep_separate:true () in
+  Alcotest.check_raises "receive requires receive_from"
+    (Invalid_argument "Port.receive: keep-separate port requires receive_from")
+    (fun () -> ignore (Port.receive port ~consumer:0));
+  Alcotest.check_raises "try_receive too"
+    (Invalid_argument "Port.try_receive: keep-separate port requires receive_from")
+    (fun () -> ignore (Port.try_receive port ~consumer:0))
+
+let test_port_shutdown_drains () =
+  let port = Port.create ~producers:1 ~consumers:1 () in
+  let packet = Packet.create ~capacity:4 ~producer:0 in
+  Packet.add packet (Tuple.of_ints [ 1 ]);
+  Port.send port ~producer:0 ~consumer:0 packet;
+  Port.shutdown port;
+  (* Queued packets remain readable after shutdown... *)
+  (match Port.receive port ~consumer:0 with
+  | Some p -> check Alcotest.int "queued packet survives" 1 (Packet.length p)
+  | None -> Alcotest.fail "lost queued packet");
+  (* ...then receive reports the shutdown. *)
+  check Alcotest.bool "then None" true (Port.receive port ~consumer:0 = None);
+  (* Sends after shutdown are dropped. *)
+  Port.send port ~producer:0 ~consumer:0 packet;
+  check Alcotest.bool "send dropped" true (Port.receive port ~consumer:0 = None)
+
+let test_packet_bounds () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Packet.create: capacity must be in [1, 255]") (fun () ->
+      ignore (Packet.create ~capacity:0 ~producer:0));
+  Alcotest.check_raises "over max"
+    (Invalid_argument "Packet.create: capacity must be in [1, 255]") (fun () ->
+      ignore (Packet.create ~capacity:256 ~producer:0));
+  let p = Packet.create ~capacity:1 ~producer:3 in
+  check Alcotest.int "producer" 3 (Packet.producer p);
+  Packet.add p (Tuple.of_ints [ 1 ]);
+  Alcotest.check_raises "add to full" (Invalid_argument "Packet.add: packet full")
+    (fun () -> Packet.add p (Tuple.of_ints [ 2 ]));
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Packet.get: out of range") (fun () ->
+      ignore (Packet.get p 1))
+
+let test_custom_partition_clamped () =
+  (* A custom partition function returning out-of-range values is reduced
+     modulo the consumer count. *)
+  let cfg =
+    Exchange.config ~degree:1
+      ~partition:(Exchange.Custom (fun () tuple -> Tuple.int_exn tuple 0 - 50))
+      ()
+  in
+  let iterator =
+    Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun _ ->
+        Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ i ]))
+  in
+  check (Alcotest.list Alcotest.int) "all delivered" (range 100)
+    (sorted_ints iterator)
+
+(* Regression: multi-column hash keys used to overflow to negative
+   partition numbers, killing producers and hanging the query. *)
+let test_multicolumn_hash_partition () =
+  let inner_id = Exchange.fresh_id () in
+  let outer_cfg = Exchange.config ~degree:3 () in
+  let inner_cfg =
+    Exchange.config ~degree:3 ~partition:(Exchange.Hash_on [ 0; 1; 2 ]) ()
+  in
+  let n = 500 in
+  let outer =
+    Exchange.iterator outer_cfg ~group:(Group.solo ()) ~input:(fun group ->
+        Exchange.iterator ~id:inner_id inner_cfg ~group ~input:(fun igroup ->
+            let irank = Group.rank igroup in
+            Iterator.generate
+              ~count:(n / 3 + if irank < n mod 3 then 1 else 0)
+              ~f:(fun i ->
+                let v = (i * 3) + irank in
+                Tuple.of_ints [ v; v mod 5; v mod 7 ])))
+  in
+  check Alcotest.int "all records survive repartitioning" n
+    (List.length (sorted_ints outer))
+
+(* A producer that raises must fail the query at close, not hang it. *)
+exception Boom
+
+let test_producer_exception_propagates () =
+  let cfg = Exchange.config ~degree:2 () in
+  let iterator =
+    Exchange.iterator cfg ~group:(Group.solo ()) ~input:(fun group ->
+        let rank = Group.rank group in
+        Iterator.make
+          ~open_:(fun () -> ())
+          ~next:(fun () -> if rank = 1 then raise Boom else Some (Tuple.of_ints [ 0 ]))
+          ~close:(fun () -> ()))
+  in
+  match Iterator.consume iterator with
+  | _ -> Alcotest.fail "expected the producer's exception"
+  | exception Boom -> ()
+  | exception Fun.Finally_raised Boom ->
+      (* the exception surfaces from close, inside the driver's cleanup *)
+      ()
+
+let test_deep_vertical_chain () =
+  (* Seven chained process boundaries. *)
+  let cfg = Exchange.config ~degree:1 ~packet_size:5 () in
+  let rec build depth group =
+    if depth = 0 then Iterator.generate ~count:200 ~f:(fun i -> Tuple.of_ints [ i ])
+    else Exchange.iterator cfg ~group ~input:(fun g -> build (depth - 1) g)
+  in
+  check (Alcotest.list Alcotest.int) "depth 7" (range 200)
+    (sorted_ints (build 7 (Group.solo ())))
+
+let suite =
+  [
+    Alcotest.test_case "parameter sweep" `Quick test_parameter_sweep;
+    Alcotest.test_case "empty producers" `Quick test_empty_producers;
+    Alcotest.test_case "single record" `Quick test_single_record;
+    Alcotest.test_case "fresh iterator per run" `Quick test_reopen_after_close;
+    Alcotest.test_case "interchange range partition" `Quick
+      test_interchange_range_partition;
+    Alcotest.test_case "two merge networks" `Quick test_two_merge_networks;
+    Alcotest.test_case "broadcast to consumer group" `Quick
+      test_broadcast_multi_consumer;
+    Alcotest.test_case "producer streams early close" `Quick
+      test_producer_streams_early_close;
+    Alcotest.test_case "keep-separate port API errors" `Quick
+      test_port_separate_mode_errors;
+    Alcotest.test_case "port shutdown semantics" `Quick test_port_shutdown_drains;
+    Alcotest.test_case "packet bounds" `Quick test_packet_bounds;
+    Alcotest.test_case "custom partition clamped" `Quick
+      test_custom_partition_clamped;
+    Alcotest.test_case "multi-column hash partition (regression)" `Quick
+      test_multicolumn_hash_partition;
+    Alcotest.test_case "producer exception propagates" `Quick
+      test_producer_exception_propagates;
+    Alcotest.test_case "deep vertical chain" `Quick test_deep_vertical_chain;
+  ]

@@ -1,0 +1,80 @@
+(* Iterator protocol tests. *)
+
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+
+let check = Alcotest.check
+
+let test_of_list_roundtrip () =
+  let tuples = List.init 10 (fun i -> Tuple.of_ints [ i ]) in
+  let result = Iterator.to_list (Iterator.of_list tuples) in
+  check Alcotest.int "length" 10 (List.length result);
+  List.iter2
+    (fun a b -> check Alcotest.bool "tuples equal" true (Tuple.equal a b))
+    tuples result
+
+let test_generate () =
+  let it = Iterator.generate ~count:5 ~f:(fun i -> Tuple.of_ints [ i * i ]) in
+  check (Alcotest.list Alcotest.int) "squares" [ 0; 1; 4; 9; 16 ]
+    (List.map (fun t -> Tuple.int_exn t 0) (Iterator.to_list it))
+
+let test_consume_and_fold () =
+  let it = Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ i ]) in
+  check Alcotest.int "consume" 100 (Iterator.consume it);
+  let it = Iterator.generate ~count:10 ~f:(fun i -> Tuple.of_ints [ i ]) in
+  let total = Iterator.fold (fun acc t -> acc + Tuple.int_exn t 0) 0 it in
+  check Alcotest.int "fold" 45 total
+
+let test_empty () =
+  check Alcotest.int "empty" 0 (Iterator.consume Iterator.empty)
+
+let protocol_error_msg = function
+  | Iterator.Protocol_error m -> m
+  | _ -> "?"
+
+let expect_protocol_error f =
+  match f () with
+  | exception Iterator.Protocol_error _ -> ()
+  | _ -> Alcotest.fail "expected Protocol_error"
+
+let test_checked_protocol () =
+  ignore protocol_error_msg;
+  (* next before open *)
+  let it = Iterator.checked (Iterator.of_list []) in
+  expect_protocol_error (fun () -> Iterator.next it);
+  (* double open *)
+  let it = Iterator.checked (Iterator.of_list []) in
+  Iterator.open_ it;
+  expect_protocol_error (fun () -> Iterator.open_ it);
+  (* next after exhaustion *)
+  let it = Iterator.checked (Iterator.of_list [ Tuple.of_ints [ 1 ] ]) in
+  Iterator.open_ it;
+  ignore (Iterator.next it);
+  ignore (Iterator.next it);
+  expect_protocol_error (fun () -> Iterator.next it);
+  (* close then next *)
+  let it = Iterator.checked (Iterator.of_list []) in
+  Iterator.open_ it;
+  Iterator.close it;
+  expect_protocol_error (fun () -> Iterator.next it);
+  (* double close *)
+  let it = Iterator.checked (Iterator.of_list []) in
+  Iterator.open_ it;
+  Iterator.close it;
+  expect_protocol_error (fun () -> Iterator.close it)
+
+let test_checked_happy_path () =
+  let it =
+    Iterator.checked (Iterator.generate ~count:3 ~f:(fun i -> Tuple.of_ints [ i ]))
+  in
+  check Alcotest.int "checked works" 3 (Iterator.consume it)
+
+let suite =
+  [
+    Alcotest.test_case "of_list roundtrip" `Quick test_of_list_roundtrip;
+    Alcotest.test_case "generate" `Quick test_generate;
+    Alcotest.test_case "consume and fold" `Quick test_consume_and_fold;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "checked protocol violations" `Quick test_checked_protocol;
+    Alcotest.test_case "checked happy path" `Quick test_checked_happy_path;
+  ]

@@ -1,0 +1,455 @@
+(* Operator tests: each algorithm is checked against a straightforward
+   list-based model, including qcheck property tests that run both the
+   sort-based and the hash-based implementation of the match family against
+   the model on random multisets. *)
+
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Support = Volcano_tuple.Support
+module Ops = Volcano_ops
+module Device = Volcano_storage.Device
+module Bufpool = Volcano_storage.Bufpool
+module Heap_file = Volcano_storage.Heap_file
+
+let check = Alcotest.check
+
+let make_spill () =
+  {
+    Ops.Sort.device = Device.create_virtual ~page_size:256 ~capacity:4096 ();
+    buffer = Bufpool.create ~frames:32 ~page_size:256 ();
+  }
+
+let ints_of it = List.map (fun t -> Tuple.int_exn t 0) (Iterator.to_list it)
+
+let tuple_list = Alcotest.testable (Fmt.Dump.list (Fmt.of_to_string Tuple.to_string))
+    (List.equal Tuple.equal)
+
+(* --- scan --- *)
+
+let test_heap_scan_roundtrip () =
+  let spill = make_spill () in
+  let file =
+    Heap_file.create ~buffer:spill.Ops.Sort.buffer ~device:spill.Ops.Sort.device
+      ~name:"t"
+  in
+  let tuples = List.init 50 (fun i -> Tuple.of_ints [ i; i * i ]) in
+  let n = Ops.Scan.materialize (Iterator.of_list tuples) ~into:file in
+  check Alcotest.int "materialized" 50 n;
+  check tuple_list "scan" tuples (Iterator.to_list (Ops.Scan.heap file))
+
+let test_heap_scan_filtered () =
+  let spill = make_spill () in
+  let file =
+    Heap_file.create ~buffer:spill.Ops.Sort.buffer ~device:spill.Ops.Sort.device
+      ~name:"t"
+  in
+  let tuples = List.init 50 (fun i -> Tuple.of_ints [ i ]) in
+  let _ = Ops.Scan.materialize (Iterator.of_list tuples) ~into:file in
+  let even t = Tuple.int_exn t 0 mod 2 = 0 in
+  check Alcotest.int "filtered in scan" 25
+    (Iterator.consume (Ops.Scan.heap_filtered ~pred:even file))
+
+let test_btree_scan () =
+  let spill = make_spill () in
+  let tree =
+    Volcano_btree.Btree.create ~buffer:spill.Ops.Sort.buffer
+      ~device:spill.Ops.Sort.device ~name:"idx" ~cmp:String.compare
+  in
+  for i = 0 to 49 do
+    let t = Tuple.of_ints [ i ] in
+    Volcano_btree.Btree.insert tree
+      ~key:(Printf.sprintf "%04d" i)
+      ~value:(Bytes.to_string (Volcano_tuple.Serial.encode t))
+  done;
+  let it =
+    Ops.Scan.btree tree
+      ~lo:(Volcano_btree.Btree.Inclusive "0010")
+      ~hi:(Volcano_btree.Btree.Exclusive "0015")
+  in
+  check (Alcotest.list Alcotest.int) "index range" [ 10; 11; 12; 13; 14 ]
+    (ints_of it)
+
+(* --- filter / project --- *)
+
+let test_filter () =
+  let input = Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ i ]) in
+  let it = Ops.Filter.iterator ~pred:(fun t -> Tuple.int_exn t 0 < 10) input in
+  check (Alcotest.list Alcotest.int) "filter" (List.init 10 Fun.id) (ints_of it)
+
+let test_project () =
+  let input = Iterator.of_list [ Tuple.of_ints [ 1; 2; 3 ] ] in
+  let it = Ops.Project.columns [ 2; 0 ] input in
+  check tuple_list "columns" [ Tuple.of_ints [ 3; 1 ] ] (Iterator.to_list it);
+  let open Volcano_tuple.Expr.Infix in
+  let input = Iterator.of_list [ Tuple.of_ints [ 5; 7 ] ] in
+  let it =
+    Ops.Project.exprs
+      [ Volcano_tuple.Expr.col 0 + Volcano_tuple.Expr.col 1 ]
+      input
+  in
+  check tuple_list "exprs" [ Tuple.of_ints [ 12 ] ] (Iterator.to_list it)
+
+(* --- sort --- *)
+
+let cmp0 = Support.compare_cols [ 0 ]
+
+let test_sort_in_memory () =
+  let input =
+    Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 5; 2; 9; 1; 7 ])
+  in
+  let it = Ops.Sort.iterator ~cmp:cmp0 input in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 5; 7; 9 ] (ints_of it)
+
+let test_sort_with_spill () =
+  let spill = make_spill () in
+  let rng = Volcano_util.Rng.create 99L in
+  let values = Array.init 2000 (fun _ -> Volcano_util.Rng.int rng 10_000) in
+  let input =
+    Iterator.generate ~count:2000 ~f:(fun i -> Tuple.of_ints [ values.(i) ])
+  in
+  (* Tiny runs and fan-in force spilling and a cascaded merge. *)
+  let before = Ops.Sort.runs_spilled () in
+  let it = Ops.Sort.iterator ~run_capacity:100 ~fan_in:3 ~spill ~cmp:cmp0 input in
+  let got = ints_of it in
+  check Alcotest.bool "spilled runs" true (Ops.Sort.runs_spilled () > before);
+  check
+    (Alcotest.list Alcotest.int)
+    "external sort"
+    (List.sort compare (Array.to_list values))
+    got;
+  (* All run files are dropped after the sort closes. *)
+  check Alcotest.int "spill space reclaimed" 1
+    (Device.allocated_pages spill.Ops.Sort.device)
+
+let test_sort_desc () =
+  let input =
+    Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 3; 1; 2 ])
+  in
+  let it =
+    Ops.Sort.iterator ~cmp:(Support.compare_on [ (0, Support.Desc) ]) input
+  in
+  check (Alcotest.list Alcotest.int) "descending" [ 3; 2; 1 ] (ints_of it)
+
+let prop_sort_random =
+  QCheck.Test.make ~name:"external sort equals list sort" ~count:50
+    QCheck.(pair (list small_int) (int_range 1 50))
+    (fun (xs, run_capacity) ->
+      let spill = make_spill () in
+      let input = Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) xs) in
+      let it = Ops.Sort.iterator ~run_capacity ~fan_in:2 ~spill ~cmp:cmp0 input in
+      ints_of it = List.sort compare xs)
+
+(* --- merge --- *)
+
+let test_merge_sorted_streams () =
+  let a = Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 1; 4; 7 ]) in
+  let b = Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 2; 5; 8 ]) in
+  let c = Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 3; 6; 9 ]) in
+  let it = Ops.Merge.of_iterators ~cmp:cmp0 [| a; b; c |] in
+  check (Alcotest.list Alcotest.int) "merged" [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (ints_of it)
+
+let test_merge_network () =
+  (* producers emit sorted slices; exchange_merge must deliver a globally
+     sorted stream. *)
+  let cfg = Volcano.Exchange.config ~degree:3 ~packet_size:7 () in
+  let it =
+    Ops.Merge.exchange_merge cfg ~cmp:cmp0 ~group:(Volcano.Group.solo ())
+      ~input:(fun group ->
+        let rank = Volcano.Group.rank group in
+        Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ (i * 3) + rank ]))
+  in
+  check (Alcotest.list Alcotest.int) "merge network" (List.init 300 Fun.id)
+    (ints_of it)
+
+(* --- the match family --- *)
+
+let kinds =
+  [
+    Ops.Match_op.Join; Ops.Match_op.Left_outer; Ops.Match_op.Right_outer;
+    Ops.Match_op.Full_outer; Ops.Match_op.Semi; Ops.Match_op.Anti;
+    Ops.Match_op.Union; Ops.Match_op.Intersection; Ops.Match_op.Difference;
+    Ops.Match_op.Anti_difference;
+  ]
+
+(* List model: group by key value, apply the shared group semantics. *)
+let model_match kind left right =
+  let keys =
+    List.sort_uniq compare (List.map (fun t -> Tuple.int_exn t 0) (left @ right))
+  in
+  List.concat_map
+    (fun k ->
+      let lgroup = List.filter (fun t -> Tuple.int_exn t 0 = k) left in
+      let rgroup = List.filter (fun t -> Tuple.int_exn t 0 = k) right in
+      Ops.Match_op.emit_group kind ~left_arity:2 ~right_arity:2 ~left:lgroup
+        ~right:rgroup)
+    keys
+
+let sorted_tuples ts = List.sort Tuple.compare ts
+
+(* One-to-one set operations choose WHICH duplicate survives arbitrarily
+   (the choice among tuples agreeing on the key is implementation-defined),
+   so their outputs are compared on the key column only. *)
+let canonical kind ts =
+  match kind with
+  | Ops.Match_op.Union | Ops.Match_op.Intersection | Ops.Match_op.Difference
+  | Ops.Match_op.Anti_difference ->
+      List.sort Tuple.compare (List.map (fun t -> Tuple.project t [ 0 ]) ts)
+  | Ops.Match_op.Join | Ops.Match_op.Left_outer | Ops.Match_op.Right_outer
+  | Ops.Match_op.Full_outer | Ops.Match_op.Semi | Ops.Match_op.Anti ->
+      sorted_tuples ts
+
+let run_match algo kind left right =
+  let left_it = Iterator.of_list left and right_it = Iterator.of_list right in
+  let it =
+    match algo with
+    | `Merge ->
+        Ops.Merge_match.iterator ~kind ~left_key:[ 0 ] ~right_key:[ 0 ]
+          ~left_arity:2 ~right_arity:2
+          ~left:(Ops.Sort.iterator ~cmp:cmp0 left_it)
+          ~right:(Ops.Sort.iterator ~cmp:cmp0 right_it)
+    | `Hash ->
+        Ops.Hash_match.iterator ~kind ~left_key:[ 0 ] ~right_key:[ 0 ]
+          ~left_arity:2 ~right_arity:2 left_it right_it
+  in
+  Iterator.to_list it
+
+let input_of_ints side xs =
+  List.mapi (fun i k -> Tuple.of_ints [ k; (side * 1000) + i ]) xs
+
+let test_match_fixed () =
+  let left = input_of_ints 1 [ 1; 2; 2; 3; 5 ] in
+  let right = input_of_ints 2 [ 2; 3; 3; 4 ] in
+  List.iter
+    (fun kind ->
+      let expected = canonical kind (model_match kind left right) in
+      List.iter
+        (fun algo ->
+          let got = canonical kind (run_match algo kind left right) in
+          let name =
+            Printf.sprintf "%s (%s)"
+              (Ops.Match_op.to_string kind)
+              (match algo with `Merge -> "merge" | `Hash -> "hash")
+          in
+          check tuple_list name expected got)
+        [ `Merge; `Hash ])
+    kinds
+
+let prop_match_all_kinds =
+  QCheck.Test.make ~name:"merge and hash match agree with the model" ~count:100
+    QCheck.(pair (list (int_bound 8)) (list (int_bound 8)))
+    (fun (ls, rs) ->
+      let left = input_of_ints 1 ls and right = input_of_ints 2 rs in
+      List.for_all
+        (fun kind ->
+          let expected = canonical kind (model_match kind left right) in
+          canonical kind (run_match `Merge kind left right) = expected
+          && canonical kind (run_match `Hash kind left right) = expected)
+        kinds)
+
+let test_hash_match_grace_partitioning () =
+  (* Force the Grace path with a small build capacity and verify the result
+     matches the in-memory path. *)
+  let spill = make_spill () in
+  let left = input_of_ints 1 (List.init 300 (fun i -> i mod 40)) in
+  let right = input_of_ints 2 (List.init 200 (fun i -> i mod 50)) in
+  let in_memory =
+    sorted_tuples (run_match `Hash Ops.Match_op.Join left right)
+  in
+  let partitioned =
+    Ops.Hash_match.iterator ~build_capacity:32 ~partitions:4 ~spill
+      ~kind:Ops.Match_op.Join ~left_key:[ 0 ] ~right_key:[ 0 ] ~left_arity:2
+      ~right_arity:2 (Iterator.of_list left) (Iterator.of_list right)
+  in
+  check tuple_list "grace = in-memory" in_memory
+    (sorted_tuples (Iterator.to_list partitioned))
+
+let test_cartesian_product () =
+  let left = input_of_ints 1 [ 1; 2 ] in
+  let right = input_of_ints 2 [ 7; 8; 9 ] in
+  let it =
+    Ops.Nested_loops.cross ~left:(Iterator.of_list left)
+      ~right:(Iterator.of_list right)
+  in
+  let got = Iterator.to_list it in
+  check Alcotest.int "cardinality" 6 (List.length got);
+  check Alcotest.int "arity" 4 (Tuple.arity (List.hd got))
+
+let test_theta_join () =
+  let left = List.init 10 (fun i -> Tuple.of_ints [ i ]) in
+  let right = List.init 10 (fun i -> Tuple.of_ints [ i ]) in
+  let pred t = Tuple.int_exn t 0 < Tuple.int_exn t 1 in
+  let it =
+    Ops.Nested_loops.join ~pred ~left:(Iterator.of_list left)
+      ~right:(Iterator.of_list right)
+  in
+  check Alcotest.int "i<j pairs" 45 (Iterator.consume it)
+
+(* --- aggregation --- *)
+
+let agg_input =
+  (* (group, value) pairs *)
+  List.map
+    (fun (g, v) -> Tuple.of_ints [ g; v ])
+    [ (1, 10); (2, 20); (1, 30); (3, 5); (2, 2); (1, 2) ]
+
+let expected_aggregates =
+  (* group, count, sum, min, max *)
+  [ (1, 3, 42, 2, 30); (2, 2, 22, 2, 20); (3, 1, 5, 5, 5) ]
+
+let check_aggregate name it =
+  let rows =
+    List.map
+      (fun t ->
+        ( Tuple.int_exn t 0, Tuple.int_exn t 1, Tuple.int_exn t 2,
+          Tuple.int_exn t 3, Tuple.int_exn t 4 ))
+      (Iterator.to_list it)
+  in
+  check
+    (Alcotest.list (Alcotest.testable (fun ppf _ -> Fmt.string ppf "<row>") ( = )))
+    name expected_aggregates
+    (List.sort compare rows)
+
+let aggs =
+  [
+    Ops.Aggregate.Count;
+    Ops.Aggregate.Sum (Volcano_tuple.Expr.col 1);
+    Ops.Aggregate.Min (Volcano_tuple.Expr.col 1);
+    Ops.Aggregate.Max (Volcano_tuple.Expr.col 1);
+  ]
+
+let test_hash_aggregate () =
+  check_aggregate "hash agg"
+    (Ops.Aggregate.hash_iterator ~group_by:[ 0 ] ~aggs
+       (Iterator.of_list agg_input))
+
+let test_sorted_aggregate () =
+  check_aggregate "sort agg"
+    (Ops.Aggregate.sorted_iterator ~group_by:[ 0 ] ~aggs
+       (Ops.Sort.iterator ~cmp:cmp0 (Iterator.of_list agg_input)))
+
+let test_avg () =
+  let it =
+    Ops.Aggregate.hash_iterator ~group_by:[]
+      ~aggs:[ Ops.Aggregate.Avg (Volcano_tuple.Expr.col 0) ]
+      (Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 1; 2; 3; 4 ]))
+  in
+  match Iterator.to_list it with
+  | [ t ] -> check (Alcotest.float 1e-9) "avg" 2.5 (Value.float_exn (Tuple.get t 0))
+  | _ -> Alcotest.fail "expected one row"
+
+let prop_distinct =
+  QCheck.Test.make ~name:"distinct (both algorithms) = sort_uniq" ~count:200
+    QCheck.(list (int_bound 20))
+    (fun xs ->
+      let tuples = List.map (fun i -> Tuple.of_ints [ i ]) xs in
+      let expected = List.sort_uniq compare xs in
+      let hash =
+        ints_of (Ops.Aggregate.distinct_hash ~on:[ 0 ] (Iterator.of_list tuples))
+      in
+      let sorted =
+        ints_of
+          (Ops.Aggregate.distinct_sorted ~on:[ 0 ]
+             (Ops.Sort.iterator ~cmp:cmp0 (Iterator.of_list tuples)))
+      in
+      List.sort compare hash = expected && sorted = expected)
+
+(* --- division --- *)
+
+(* dividend: (student, course); divisor: (course).  Result: students
+   enrolled in every course. *)
+let division_algorithms =
+  [
+    ("hash", fun ~dividend ~divisor ->
+        Ops.Division.hash_division ~quotient:[ 0 ] ~divisor_attrs:[ 1 ]
+          ~divisor_key:[ 0 ] ~dividend ~divisor);
+    ("count", fun ~dividend ~divisor ->
+        Ops.Division.count_division ~quotient:[ 0 ] ~divisor_attrs:[ 1 ]
+          ~divisor_key:[ 0 ] ~dividend ~divisor);
+    ("sort", fun ~dividend ~divisor ->
+        Ops.Division.sort_division ~quotient:[ 0 ] ~divisor_attrs:[ 1 ]
+          ~divisor_key:[ 0 ]
+          ~dividend:(Ops.Sort.iterator ~cmp:(Support.compare_cols [ 0; 1 ]) dividend)
+          ~divisor:(Ops.Sort.iterator ~cmp:cmp0 divisor));
+  ]
+
+let model_division pairs courses =
+  let courses = List.sort_uniq compare courses in
+  let students = List.sort_uniq compare (List.map fst pairs) in
+  List.filter
+    (fun s ->
+      List.for_all (fun c -> List.mem (s, c) pairs) courses)
+    students
+
+let test_division_fixed () =
+  let pairs =
+    [ (1, 10); (1, 11); (1, 12); (2, 10); (2, 12); (3, 10); (3, 11); (3, 12); (3, 13) ]
+  in
+  let courses = [ 10; 11; 12 ] in
+  let expected = model_division pairs courses in
+  List.iter
+    (fun (name, alg) ->
+      let dividend =
+        Iterator.of_list (List.map (fun (s, c) -> Tuple.of_ints [ s; c ]) pairs)
+      in
+      let divisor = Iterator.of_list (List.map (fun c -> Tuple.of_ints [ c ]) courses) in
+      let got = List.sort compare (ints_of (alg ~dividend ~divisor)) in
+      check (Alcotest.list Alcotest.int) name expected got)
+    division_algorithms
+
+let prop_division =
+  QCheck.Test.make ~name:"three division algorithms match the model" ~count:100
+    QCheck.(pair (list (pair (int_bound 6) (int_bound 6))) (list (int_bound 6)))
+    (fun (pairs, courses) ->
+      QCheck.assume (courses <> []);
+      let pairs = List.sort_uniq compare pairs in
+      let expected = model_division pairs courses in
+      List.for_all
+        (fun (_, alg) ->
+          let dividend =
+            Iterator.of_list (List.map (fun (s, c) -> Tuple.of_ints [ s; c ]) pairs)
+          in
+          let divisor =
+            Iterator.of_list (List.map (fun c -> Tuple.of_ints [ c ]) courses)
+          in
+          List.sort compare (ints_of (alg ~dividend ~divisor)) = expected)
+        division_algorithms)
+
+let test_division_empty_divisor () =
+  (* x / {} is conventionally everything, but all three of our algorithms
+     define it as empty (n = 0 guard); they must agree. *)
+  List.iter
+    (fun (name, alg) ->
+      let dividend = Iterator.of_list [ Tuple.of_ints [ 1; 2 ] ] in
+      let divisor = Iterator.of_list [] in
+      check (Alcotest.list Alcotest.int) name [] (ints_of (alg ~dividend ~divisor)))
+    division_algorithms
+
+let suite =
+  [
+    Alcotest.test_case "heap scan roundtrip" `Quick test_heap_scan_roundtrip;
+    Alcotest.test_case "heap scan with predicate" `Quick test_heap_scan_filtered;
+    Alcotest.test_case "btree scan" `Quick test_btree_scan;
+    Alcotest.test_case "filter" `Quick test_filter;
+    Alcotest.test_case "project" `Quick test_project;
+    Alcotest.test_case "sort in memory" `Quick test_sort_in_memory;
+    Alcotest.test_case "sort with spill" `Quick test_sort_with_spill;
+    Alcotest.test_case "sort descending" `Quick test_sort_desc;
+    QCheck_alcotest.to_alcotest prop_sort_random;
+    Alcotest.test_case "merge sorted streams" `Quick test_merge_sorted_streams;
+    Alcotest.test_case "merge network via exchange" `Quick test_merge_network;
+    Alcotest.test_case "match family fixed case" `Quick test_match_fixed;
+    QCheck_alcotest.to_alcotest prop_match_all_kinds;
+    Alcotest.test_case "hash match grace partitioning" `Quick
+      test_hash_match_grace_partitioning;
+    Alcotest.test_case "cartesian product" `Quick test_cartesian_product;
+    Alcotest.test_case "theta join" `Quick test_theta_join;
+    Alcotest.test_case "hash aggregate" `Quick test_hash_aggregate;
+    Alcotest.test_case "sorted aggregate" `Quick test_sorted_aggregate;
+    Alcotest.test_case "average" `Quick test_avg;
+    QCheck_alcotest.to_alcotest prop_distinct;
+    Alcotest.test_case "division fixed case" `Quick test_division_fixed;
+    QCheck_alcotest.to_alcotest prop_division;
+    Alcotest.test_case "division empty divisor" `Quick test_division_empty_divisor;
+  ]

@@ -1,0 +1,286 @@
+(* Additional operator tests: choose-plan, secondary indexes, and edge
+   cases across the operator library. *)
+
+module Iterator = Volcano.Iterator
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Support = Volcano_tuple.Support
+module Ops = Volcano_ops
+module Device = Volcano_storage.Device
+module Bufpool = Volcano_storage.Bufpool
+module Heap_file = Volcano_storage.Heap_file
+module Rid = Volcano_storage.Rid
+module Btree = Volcano_btree.Btree
+
+let check = Alcotest.check
+
+let make_store () =
+  let buffer = Bufpool.create ~frames:64 ~page_size:512 () in
+  let device = Device.create_virtual ~page_size:512 ~capacity:2048 () in
+  (buffer, device)
+
+let ints_of it = List.map (fun t -> Tuple.int_exn t 0) (Iterator.to_list it)
+
+(* --- choose-plan --- *)
+
+let test_choose_picks_alternative () =
+  let decisions = ref [] in
+  let alt i = Iterator.generate ~count:3 ~f:(fun j -> Tuple.of_ints [ (i * 10) + j ]) in
+  let make choice =
+    Ops.Choose_plan.iterator
+      ~decide:(fun () ->
+        decisions := choice :: !decisions;
+        choice)
+      ~alternatives:[| alt 0; alt 1; alt 2 |]
+  in
+  check (Alcotest.list Alcotest.int) "alternative 0" [ 0; 1; 2 ] (ints_of (make 0));
+  check (Alcotest.list Alcotest.int) "alternative 2" [ 20; 21; 22 ]
+    (ints_of (make 2));
+  check Alcotest.int "decided once per open" 2 (List.length !decisions)
+
+let test_choose_only_opens_chosen () =
+  let opened = Array.make 2 false in
+  let alt i =
+    Iterator.make
+      ~open_:(fun () -> opened.(i) <- true)
+      ~next:(fun () -> None)
+      ~close:(fun () -> ())
+  in
+  let it =
+    Ops.Choose_plan.iterator ~decide:(fun () -> 1)
+      ~alternatives:[| alt 0; alt 1 |]
+  in
+  ignore (Iterator.consume it);
+  check Alcotest.bool "unchosen untouched" false opened.(0);
+  check Alcotest.bool "chosen opened" true opened.(1)
+
+let test_choose_out_of_range () =
+  let it =
+    Ops.Choose_plan.iterator ~decide:(fun () -> 5)
+      ~alternatives:[| Iterator.empty |]
+  in
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Choose_plan: decision 5 out of range [0, 1)") (fun () ->
+      Iterator.open_ it)
+
+(* --- secondary index / fetch --- *)
+
+let test_rid_roundtrip () =
+  let rid = Rid.make ~device:3 ~page:1234 ~slot:17 in
+  check Alcotest.bool "roundtrip" true
+    (Rid.equal rid (Ops.Scan.decode_rid (Ops.Scan.encode_rid rid)))
+
+let setup_indexed_table () =
+  let buffer, device = make_store () in
+  let file = Heap_file.create ~buffer ~device ~name:"t" in
+  let tuples = List.init 200 (fun i -> Tuple.of_ints [ (i * 7) mod 200; i ]) in
+  let _ = Ops.Scan.materialize (Iterator.of_list tuples) ~into:file in
+  let tree = Btree.create ~buffer ~device ~name:"idx" ~cmp:String.compare in
+  let key_of t = Printf.sprintf "%06d" (Tuple.int_exn t 0) in
+  let entries = Ops.Scan.build_index ~tree ~key_of file in
+  check Alcotest.int "indexed all" 200 entries;
+  (file, tree)
+
+let test_index_fetch_range () =
+  let file, tree = setup_indexed_table () in
+  let it =
+    Ops.Scan.index_fetch ~tree ~file ~lo:(Btree.Inclusive "000010")
+      ~hi:(Btree.Inclusive "000019")
+  in
+  let keys = ints_of it in
+  check (Alcotest.list Alcotest.int) "keys in order" (List.init 10 (fun i -> 10 + i))
+    keys
+
+let test_index_fetch_skips_deleted () =
+  let file, tree = setup_indexed_table () in
+  (* Delete the record with key 12 from the heap but not from the index. *)
+  let victim = ref None in
+  Heap_file.iter file (fun rid record ->
+      let t = Volcano_tuple.Serial.decode_bytes (Bytes.of_string record) in
+      if Tuple.int_exn t 0 = 12 then victim := Some rid);
+  (match !victim with
+  | Some rid -> ignore (Heap_file.delete file rid)
+  | None -> Alcotest.fail "victim not found");
+  let it =
+    Ops.Scan.index_fetch ~tree ~file ~lo:(Btree.Inclusive "000010")
+      ~hi:(Btree.Inclusive "000014")
+  in
+  check (Alcotest.list Alcotest.int) "dangling entry skipped" [ 10; 11; 13; 14 ]
+    (ints_of it)
+
+(* --- operator edge cases --- *)
+
+let test_sort_empty_and_single () =
+  check (Alcotest.list Alcotest.int) "empty" []
+    (ints_of (Ops.Sort.iterator ~cmp:(Support.compare_cols [ 0 ]) Iterator.empty));
+  check (Alcotest.list Alcotest.int) "single" [ 42 ]
+    (ints_of
+       (Ops.Sort.iterator ~cmp:(Support.compare_cols [ 0 ])
+          (Iterator.of_list [ Tuple.of_ints [ 42 ] ])))
+
+let test_sort_duplicates_preserved () =
+  let input = List.map (fun i -> Tuple.of_ints [ i mod 3; i ]) (List.init 30 Fun.id) in
+  let out =
+    Iterator.to_list
+      (Ops.Sort.iterator ~cmp:(Support.compare_cols [ 0 ]) (Iterator.of_list input))
+  in
+  check Alcotest.int "multiset size" 30 (List.length out);
+  (* 10 of each key *)
+  List.iter
+    (fun k ->
+      check Alcotest.int
+        (Printf.sprintf "key %d count" k)
+        10
+        (List.length (List.filter (fun t -> Tuple.int_exn t 0 = k) out)))
+    [ 0; 1; 2 ]
+
+let test_global_aggregate () =
+  (* Empty group_by = one global group. *)
+  let input = Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ i ]) in
+  let it =
+    Ops.Aggregate.hash_iterator ~group_by:[]
+      ~aggs:
+        [
+          Ops.Aggregate.Count;
+          Ops.Aggregate.Sum (Volcano_tuple.Expr.col 0);
+          Ops.Aggregate.Min (Volcano_tuple.Expr.col 0);
+          Ops.Aggregate.Max (Volcano_tuple.Expr.col 0);
+        ]
+      input
+  in
+  match Iterator.to_list it with
+  | [ t ] ->
+      check Alcotest.int "count" 100 (Tuple.int_exn t 0);
+      check Alcotest.int "sum" 4950 (Tuple.int_exn t 1);
+      check Alcotest.int "min" 0 (Tuple.int_exn t 2);
+      check Alcotest.int "max" 99 (Tuple.int_exn t 3)
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_aggregate_empty_input () =
+  let it =
+    Ops.Aggregate.hash_iterator ~group_by:[ 0 ] ~aggs:[ Ops.Aggregate.Count ]
+      Iterator.empty
+  in
+  check Alcotest.int "no groups" 0 (Iterator.consume it);
+  let it =
+    Ops.Aggregate.sorted_iterator ~group_by:[ 0 ] ~aggs:[ Ops.Aggregate.Count ]
+      Iterator.empty
+  in
+  check Alcotest.int "no groups (sorted)" 0 (Iterator.consume it)
+
+let test_aggregate_nulls_ignored () =
+  let input =
+    Iterator.of_list
+      [ [| Value.Int 1; Value.Null |]; [| Value.Int 1; Value.Int 10 |] ]
+  in
+  let it =
+    Ops.Aggregate.hash_iterator ~group_by:[ 0 ]
+      ~aggs:
+        [
+          Ops.Aggregate.Sum (Volcano_tuple.Expr.col 1);
+          Ops.Aggregate.Min (Volcano_tuple.Expr.col 1);
+          Ops.Aggregate.Avg (Volcano_tuple.Expr.col 1);
+        ]
+      input
+  in
+  match Iterator.to_list it with
+  | [ t ] ->
+      check Alcotest.int "sum skips null" 10 (Tuple.int_exn t 1);
+      check Alcotest.int "min skips null" 10 (Tuple.int_exn t 2);
+      check (Alcotest.float 1e-9) "avg over non-null" 10.0
+        (Value.float_exn (Tuple.get t 3))
+  | _ -> Alcotest.fail "expected one group"
+
+let test_match_empty_sides () =
+  let some = List.init 5 (fun i -> Tuple.of_ints [ i; i ]) in
+  let run kind ~left ~right =
+    Iterator.to_list
+      (Ops.Hash_match.iterator ~kind ~left_key:[ 0 ] ~right_key:[ 0 ]
+         ~left_arity:2 ~right_arity:2 (Iterator.of_list left)
+         (Iterator.of_list right))
+  in
+  check Alcotest.int "join empty right" 0
+    (List.length (run Ops.Match_op.Join ~left:some ~right:[]));
+  check Alcotest.int "join empty left" 0
+    (List.length (run Ops.Match_op.Join ~left:[] ~right:some));
+  check Alcotest.int "anti empty right keeps all" 5
+    (List.length (run Ops.Match_op.Anti ~left:some ~right:[]));
+  check Alcotest.int "full outer empty left pads" 5
+    (List.length (run Ops.Match_op.Full_outer ~left:[] ~right:some));
+  (* padding produced nulls on the left side *)
+  List.iter
+    (fun t -> check Alcotest.bool "left side null" true (Tuple.get t 0 = Value.Null))
+    (run Ops.Match_op.Full_outer ~left:[] ~right:some)
+
+let test_merge_of_empty_inputs () =
+  let it =
+    Ops.Merge.of_iterators ~cmp:(Support.compare_cols [ 0 ])
+      [| Iterator.empty; Iterator.empty; Iterator.of_list [ Tuple.of_ints [ 1 ] ] |]
+  in
+  check (Alcotest.list Alcotest.int) "merge with empties" [ 1 ] (ints_of it)
+
+let test_division_divisor_duplicates () =
+  (* Duplicates in the divisor must not change the quotient. *)
+  let pairs = [ (1, 10); (1, 11); (2, 10) ] in
+  let dividend () =
+    Iterator.of_list (List.map (fun (s, c) -> Tuple.of_ints [ s; c ]) pairs)
+  in
+  let divisor () =
+    Iterator.of_list (List.map (fun c -> Tuple.of_ints [ c ]) [ 10; 10; 11; 11 ])
+  in
+  check (Alcotest.list Alcotest.int) "hash" [ 1 ]
+    (ints_of
+       (Ops.Division.hash_division ~quotient:[ 0 ] ~divisor_attrs:[ 1 ]
+          ~divisor_key:[ 0 ] ~dividend:(dividend ()) ~divisor:(divisor ())));
+  check (Alcotest.list Alcotest.int) "count" [ 1 ]
+    (ints_of
+       (Ops.Division.count_division ~quotient:[ 0 ] ~divisor_attrs:[ 1 ]
+          ~divisor_key:[ 0 ] ~dividend:(dividend ()) ~divisor:(divisor ())))
+
+let test_filter_inside_scan_equals_outside () =
+  let buffer, device = make_store () in
+  let file = Heap_file.create ~buffer ~device ~name:"t" in
+  let _ =
+    Ops.Scan.materialize
+      (Iterator.generate ~count:100 ~f:(fun i -> Tuple.of_ints [ i ]))
+      ~into:file
+  in
+  let pred t = Tuple.int_exn t 0 mod 7 = 0 in
+  let inside = ints_of (Ops.Scan.heap_filtered ~pred file) in
+  let outside = ints_of (Ops.Filter.iterator ~pred (Ops.Scan.heap file)) in
+  check (Alcotest.list Alcotest.int) "same rows" inside outside
+
+let test_nested_loops_empty_inner () =
+  let it =
+    Ops.Nested_loops.cross
+      ~left:(Iterator.generate ~count:10 ~f:(fun i -> Tuple.of_ints [ i ]))
+      ~right:Iterator.empty
+  in
+  check Alcotest.int "empty product" 0 (Iterator.consume it)
+
+let suite =
+  [
+    Alcotest.test_case "choose-plan picks alternative" `Quick
+      test_choose_picks_alternative;
+    Alcotest.test_case "choose-plan opens only chosen" `Quick
+      test_choose_only_opens_chosen;
+    Alcotest.test_case "choose-plan range check" `Quick test_choose_out_of_range;
+    Alcotest.test_case "rid encode/decode" `Quick test_rid_roundtrip;
+    Alcotest.test_case "index fetch range" `Quick test_index_fetch_range;
+    Alcotest.test_case "index fetch skips deleted" `Quick
+      test_index_fetch_skips_deleted;
+    Alcotest.test_case "sort empty and single" `Quick test_sort_empty_and_single;
+    Alcotest.test_case "sort preserves duplicates" `Quick
+      test_sort_duplicates_preserved;
+    Alcotest.test_case "global aggregate" `Quick test_global_aggregate;
+    Alcotest.test_case "aggregate empty input" `Quick test_aggregate_empty_input;
+    Alcotest.test_case "aggregates ignore nulls" `Quick test_aggregate_nulls_ignored;
+    Alcotest.test_case "match with empty sides" `Quick test_match_empty_sides;
+    Alcotest.test_case "merge of empty inputs" `Quick test_merge_of_empty_inputs;
+    Alcotest.test_case "division with divisor duplicates" `Quick
+      test_division_divisor_duplicates;
+    Alcotest.test_case "filter inside scan = outside" `Quick
+      test_filter_inside_scan_equals_outside;
+    Alcotest.test_case "nested loops empty inner" `Quick
+      test_nested_loops_empty_inner;
+  ]

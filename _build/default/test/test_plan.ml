@@ -1,0 +1,293 @@
+(* Plan-level tests.  The central property: inserting exchange operators —
+   any variety, anywhere — never changes a query's result multiset.  That is
+   precisely the paper's encapsulation claim. *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Parallel = Volcano_plan.Parallel
+module Exchange = Volcano.Exchange
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+
+let check = Alcotest.check
+
+let env () = Env.create ~frames:128 ~page_size:512 ()
+
+let sorted_result env plan = List.sort Tuple.compare (Compile.run env plan)
+
+let check_same_result name env serial parallelized =
+  let a = sorted_result env serial and b = sorted_result env parallelized in
+  check Alcotest.int (name ^ " cardinality") (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> check Alcotest.bool (name ^ " tuple") true (Tuple.equal x y))
+    a b
+
+let gen_tuple i = Tuple.of_ints [ i; i mod 10; i mod 7 ]
+let base n = Plan.Generate { arity = 3; count = n; gen = gen_tuple }
+let base_slice n = Plan.Generate_slice { arity = 3; count = n; gen = gen_tuple }
+
+let test_scan_table () =
+  let e = env () in
+  let file =
+    Env.create_table e ~name:"t"
+      ~schema:(Volcano_tuple.Schema.of_names [ ("a", Value.Tint) ])
+  in
+  for i = 0 to 19 do
+    ignore
+      (Volcano_storage.Heap_file.insert file
+         (Bytes.to_string (Volcano_tuple.Serial.encode (Tuple.of_ints [ i ]))))
+  done;
+  check Alcotest.int "scan" 20 (Compile.run_count e (Plan.Scan_table "t"));
+  check Alcotest.int "arity" 1 (Plan.arity e (Plan.Scan_table "t"))
+
+let test_filter_modes_agree () =
+  let e = env () in
+  let open Expr.Infix in
+  let pred = Expr.col 1 = Expr.int 3 in
+  let compiled =
+    Plan.Filter { pred; mode = `Compiled; input = base 1000 }
+  in
+  let interpreted =
+    Plan.Filter { pred; mode = `Interpreted; input = base 1000 }
+  in
+  check_same_result "compiled = interpreted" e compiled interpreted;
+  check Alcotest.int "selectivity" 100 (Compile.run_count e compiled)
+
+let test_sort_plan () =
+  let e = env () in
+  let plan =
+    Plan.Sort { key = [ (0, Support.Desc) ]; input = base 100 }
+  in
+  let result = Compile.run e plan in
+  check Alcotest.int "first is max" 99 (Tuple.int_exn (List.hd result) 0)
+
+let test_limit_early_close () =
+  let e = env () in
+  (* Limit above an exchange exercises early close through a plan. *)
+  let plan =
+    Plan.Limit
+      {
+        count = 5;
+        input =
+          Plan.Exchange
+            { cfg = Exchange.config ~degree:2 (); input = base_slice 1_000_000 };
+      }
+  in
+  check Alcotest.int "limit" 5 (Compile.run_count e plan)
+
+(* The encapsulation property, exercised over a zoo of plans. *)
+let test_exchange_transparency () =
+  let e = env () in
+  let join_serial =
+    Plan.Match
+      {
+        algo = Plan.Hash_based;
+        kind = Volcano_ops.Match_op.Join;
+        left_key = [ 1 ];
+        right_key = [ 1 ];
+        left = base 300;
+        right = base 200;
+      }
+  in
+  (* 1: vertical parallelism above the join *)
+  check_same_result "pipeline above join" e join_serial
+    (Parallel.pipeline join_serial);
+  (* 2: bushy parallelism — both join inputs in their own processes *)
+  let bushy =
+    Plan.Match
+      {
+        algo = Plan.Hash_based;
+        kind = Volcano_ops.Match_op.Join;
+        left_key = [ 1 ];
+        right_key = [ 1 ];
+        left = Parallel.pipeline (base 300);
+        right = Parallel.pipeline (base 200);
+      }
+  in
+  check_same_result "bushy join" e join_serial bushy;
+  (* 3: intra-operator parallelism with repartitioning *)
+  let partitioned =
+    Parallel.partitioned_match ~degree:3 ~algo:Plan.Hash_based
+      ~kind:Volcano_ops.Match_op.Join ~left_key:[ 1 ] ~right_key:[ 1 ]
+      ~left:(base_slice 300) ~right:(base_slice 200) ()
+  in
+  check_same_result "partitioned join" e join_serial partitioned
+
+let test_sort_based_partitioned_match () =
+  let e = env () in
+  let serial =
+    Plan.Match
+      {
+        algo = Plan.Sort_based;
+        kind = Volcano_ops.Match_op.Semi;
+        left_key = [ 2 ];
+        right_key = [ 2 ];
+        left = base 150;
+        right = base 50;
+      }
+  in
+  let parallel =
+    Parallel.partitioned_match ~degree:2 ~algo:Plan.Sort_based
+      ~kind:Volcano_ops.Match_op.Semi ~left_key:[ 2 ] ~right_key:[ 2 ]
+      ~left:(base_slice 150) ~right:(base_slice 50) ()
+  in
+  check_same_result "sort-based semi" e serial parallel
+
+let test_partitioned_aggregate () =
+  let e = env () in
+  let aggs = [ Volcano_ops.Aggregate.Count; Volcano_ops.Aggregate.Sum (Expr.col 0) ] in
+  let serial =
+    Plan.Aggregate { algo = Plan.Hash_based; group_by = [ 1 ]; aggs; input = base 1000 }
+  in
+  let parallel =
+    Parallel.partitioned_aggregate ~degree:4 ~algo:Plan.Hash_based
+      ~group_by:[ 1 ] ~aggs (base_slice 1000)
+  in
+  check_same_result "partitioned aggregate" e serial parallel
+
+let test_parallel_sort_plan () =
+  let e = env () in
+  let key = [ (0, Support.Asc) ] in
+  let serial = Plan.Sort { key; input = base 500 } in
+  let parallel = Parallel.parallel_sort ~degree:3 ~key (base_slice 500) in
+  (* Parallel sort must preserve global order, not just the multiset. *)
+  let a = Compile.run e serial and b = Compile.run e parallel in
+  check Alcotest.int "cardinality" (List.length a) (List.length b);
+  List.iter2
+    (fun x y -> check Alcotest.bool "ordered equal" true (Tuple.equal x y))
+    a b
+
+let test_broadcast_join_plan () =
+  let e = env () in
+  let serial =
+    Plan.Match
+      {
+        algo = Plan.Hash_based;
+        kind = Volcano_ops.Match_op.Join;
+        left_key = [ 1 ];
+        right_key = [ 1 ];
+        left = base 200;
+        right = base 40;
+      }
+  in
+  let parallel =
+    Parallel.broadcast_join ~degree:3 ~kind:Volcano_ops.Match_op.Join
+      ~left_key:[ 1 ] ~right_key:[ 1 ]
+      ~left:(base_slice 200)
+      ~right:(base_slice 40) ()
+  in
+  check_same_result "broadcast join" e serial parallel
+
+let test_interchange_plan () =
+  let e = env () in
+  (* Distinct keeps an arbitrary representative per group, so compare the
+     group keys only. *)
+  let keys_only input = Plan.Project_cols { cols = [ 1 ]; input } in
+  let serial =
+    keys_only (Plan.Distinct { algo = Plan.Hash_based; on = [ 1 ]; input = base 400 })
+  in
+  (* Inside a 3-wide group: slices repartitioned by hash on column 1 via the
+     no-fork interchange, then locally deduplicated. *)
+  let parallel =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:3 ();
+        input =
+          keys_only
+            (Plan.Distinct
+               {
+                 algo = Plan.Hash_based;
+                 on = [ 1 ];
+                 input =
+                   Plan.Interchange
+                     {
+                       cfg =
+                         Exchange.config ~degree:3
+                           ~partition:(Exchange.Hash_on [ 1 ]) ();
+                       input = base_slice 400;
+                     };
+               });
+      }
+  in
+  check_same_result "interchange distinct" e serial parallel
+
+let test_division_plan () =
+  let e = env () in
+  let pairs =
+    List.concat_map
+      (fun s -> List.filter_map (fun c -> if (s + c) mod 4 <> 0 then Some (s, c) else None)
+          [ 0; 1; 2 ])
+      (List.init 20 Fun.id)
+  in
+  let dividend =
+    Plan.Scan_list
+      { arity = 2; tuples = List.map (fun (s, c) -> Tuple.of_ints [ s; c ]) pairs }
+  in
+  let divisor =
+    Plan.Scan_list { arity = 1; tuples = List.map (fun c -> Tuple.of_ints [ c ]) [ 0; 1; 2 ] }
+  in
+  let results =
+    List.map
+      (fun algo ->
+        sorted_result e
+          (Plan.Division
+             { algo; quotient = [ 0 ]; divisor_attrs = [ 1 ]; divisor_key = [ 0 ];
+               dividend; divisor }))
+      [ `Hash; `Count; `Sort ]
+  in
+  match results with
+  | [ a; b; c ] ->
+      check Alcotest.int "hash=count" (List.length a) (List.length b);
+      check Alcotest.int "hash=sort" (List.length a) (List.length c);
+      List.iter2 (fun x y -> check Alcotest.bool "tuple" true (Tuple.equal x y)) a b;
+      List.iter2 (fun x y -> check Alcotest.bool "tuple" true (Tuple.equal x y)) a c
+  | _ -> assert false
+
+let test_explain () =
+  let e = env () in
+  let plan =
+    Parallel.partitioned_match ~degree:2 ~algo:Plan.Hash_based
+      ~kind:Volcano_ops.Match_op.Join ~left_key:[ 0 ] ~right_key:[ 0 ]
+      ~left:(base_slice 10) ~right:(base_slice 10) ()
+  in
+  let text = Plan.explain e plan in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec at i = i + n <= h && (String.sub text i n = needle || at (i + 1)) in
+    at 0
+  in
+  check Alcotest.bool "mentions exchange" true (contains "exchange");
+  check Alcotest.bool "mentions join" true (contains "hash-join");
+  check Alcotest.bool "mentions partitioning" true (contains "hash[0]")
+
+let test_deep_pipeline () =
+  let e = env () in
+  (* Five chained exchange boundaries — a 6-process vertical pipeline. *)
+  let rec chain n plan =
+    if n = 0 then plan else chain (n - 1) (Parallel.pipeline plan)
+  in
+  let plan = chain 5 (base 500) in
+  check Alcotest.int "deep pipeline" 500 (Compile.run_count e plan)
+
+let suite =
+  [
+    Alcotest.test_case "scan table" `Quick test_scan_table;
+    Alcotest.test_case "filter modes agree" `Quick test_filter_modes_agree;
+    Alcotest.test_case "sort plan" `Quick test_sort_plan;
+    Alcotest.test_case "limit closes exchange early" `Quick test_limit_early_close;
+    Alcotest.test_case "exchange transparency (join)" `Quick
+      test_exchange_transparency;
+    Alcotest.test_case "sort-based partitioned match" `Quick
+      test_sort_based_partitioned_match;
+    Alcotest.test_case "partitioned aggregate" `Quick test_partitioned_aggregate;
+    Alcotest.test_case "parallel sort preserves order" `Quick
+      test_parallel_sort_plan;
+    Alcotest.test_case "broadcast join" `Quick test_broadcast_join_plan;
+    Alcotest.test_case "interchange plan" `Quick test_interchange_plan;
+    Alcotest.test_case "division plans agree" `Quick test_division_plan;
+    Alcotest.test_case "explain renders" `Quick test_explain;
+    Alcotest.test_case "deep pipeline" `Quick test_deep_pipeline;
+  ]

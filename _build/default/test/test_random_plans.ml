@@ -1,0 +1,259 @@
+(* The encapsulation property as a randomized test: generate random plan
+   trees, then decorate them with random, structure-respecting exchange
+   insertions (vertical pipelines anywhere; GAMMA-style repartitioning
+   around matches and aggregations; merge networks around sorts) and check
+   that the result multiset never changes.  This is the paper's central
+   claim run as a property. *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Exchange = Volcano.Exchange
+module Tuple = Volcano_tuple.Tuple
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+module Match_op = Volcano_ops.Match_op
+module Rng = Volcano_util.Rng
+
+(* --- random serial plans ------------------------------------------- *)
+
+(* All leaves are [Generate_slice]: in a solo group that is an ordinary
+   generator, and under a degree-d exchange each producer generates its
+   share — the invariant decoration relies on. *)
+let leaf rng =
+  let n = 1 + Rng.int rng 60 in
+  let seed = Rng.int64 rng in
+  let gen i =
+    let r = Rng.create (Int64.add seed (Int64.of_int i)) in
+    Tuple.of_ints [ Rng.int r 8; Rng.int r 5; Rng.int r 1000 ]
+  in
+  Plan.Generate_slice { arity = 3; count = n; gen }
+
+(* Output width of a generated plan (no catalog needed: no Scan_table). *)
+let rec plan_arity = function
+  | Plan.Generate_slice { arity; _ } -> arity
+  | Plan.Filter { input; _ } | Plan.Sort { input; _ } -> plan_arity input
+  | Plan.Project_cols { cols; _ } -> List.length cols
+  | Plan.Distinct { input; _ } -> plan_arity input
+  | Plan.Aggregate { group_by; aggs; _ } ->
+      List.length group_by + List.length aggs
+  | Plan.Match { kind; left; right; _ } ->
+      Volcano_ops.Match_op.output_arity kind ~left_arity:(plan_arity left)
+        ~right_arity:(plan_arity right)
+  | _ -> assert false
+
+let all_cols plan = List.init (plan_arity plan) Fun.id
+
+(* Deterministic-multiset operators only (no Limit; Distinct only over ALL
+   columns — on a proper subset it keeps an arbitrary representative). *)
+let rec random_plan rng depth =
+  if depth = 0 then leaf rng
+  else
+    match Rng.int rng 8 with
+    | 0 ->
+        Plan.Filter
+          {
+            pred = Expr.Cmp (Expr.Le, Expr.Col 0, Expr.Const (Volcano_tuple.Value.Int (Rng.int rng 8)));
+            mode = (if Rng.bool rng then `Compiled else `Interpreted);
+            input = random_plan rng (depth - 1);
+          }
+    | 1 ->
+        Plan.Project_cols
+          { cols = [ 1; 0; 2 ]; input = random_plan rng (depth - 1) }
+    | 2 ->
+        Plan.Sort
+          { key = [ (0, Support.Asc); (2, Support.Desc) ];
+            input = random_plan rng (depth - 1) }
+    | 3 ->
+        let input = random_plan rng (depth - 1) in
+        Plan.Distinct
+          {
+            algo = (if Rng.bool rng then Plan.Hash_based else Plan.Sort_based);
+            on = all_cols input;
+            input;
+          }
+    | 4 ->
+        Plan.Aggregate
+          {
+            algo = (if Rng.bool rng then Plan.Hash_based else Plan.Sort_based);
+            group_by = [ 0 ];
+            aggs = [ Volcano_ops.Aggregate.Count; Volcano_ops.Aggregate.Sum (Expr.Col 2) ];
+            input = random_plan rng (depth - 1);
+          }
+    | 5 | 6 ->
+        let kind =
+          match Rng.int rng 5 with
+          | 0 -> Match_op.Join
+          | 1 -> Match_op.Semi
+          | 2 -> Match_op.Anti
+          | 3 -> Match_op.Left_outer
+          | _ -> Match_op.Full_outer
+        in
+        Plan.Match
+          {
+            algo = (if Rng.bool rng then Plan.Hash_based else Plan.Sort_based);
+            kind;
+            left_key = [ 0 ];
+            right_key = [ 0 ];
+            left = random_plan rng (depth - 1);
+            right = random_plan rng (depth - 1);
+          }
+    | _ -> leaf rng
+
+(* --- random exchange decoration ------------------------------------ *)
+
+let random_cfg ?partition ?degree rng =
+  Exchange.config
+    ~degree:(match degree with Some d -> d | None -> 1 + Rng.int rng 3)
+    ~packet_size:(1 + Rng.int rng 17)
+    ~flow_slack:(if Rng.bool rng then Some (1 + Rng.int rng 4) else None)
+    ?partition ()
+
+let maybe rng p = Rng.int rng 100 < p
+
+(* A subtree is slice-safe when running one copy per member of a degree-d
+   group partitions the data instead of replicating or splitting matches:
+   slice leaves and unary operators qualify; exchanges are boundaries (they
+   gather their producers' full output); binary operators and grouping
+   operators are not slice-safe — placing them in a parallel group without
+   repartitioning would split their key groups, which is exactly the
+   placement mistake a real optimizer must avoid. *)
+let rec slice_safe = function
+  | Plan.Generate_slice _ | Plan.Scan_table_slice _ -> true
+  | Plan.Filter { input; _ }
+  | Plan.Project_cols { input; _ }
+  | Plan.Project_exprs { input; _ }
+  | Plan.Sort { input; _ } ->
+      slice_safe input
+  | Plan.Exchange _ | Plan.Exchange_merge _ -> true
+  | _ -> false
+
+(* Repartitioning exchanges may only put their producers in a degree > 1
+   group when the subtree below is slice-safe. *)
+let inner_degree rng input = if slice_safe input then 1 + Rng.int rng 3 else 1
+
+let rec decorate rng plan =
+  let decorated =
+    match plan with
+    | Plan.Filter f -> Plan.Filter { f with input = decorate rng f.input }
+    | Plan.Project_cols p ->
+        Plan.Project_cols { p with input = decorate rng p.input }
+    | Plan.Sort s ->
+        let input = decorate rng s.input in
+        if maybe rng 35 && slice_safe input then
+          (* merge network: producers sort, consumer merges by producer *)
+          Plan.Exchange_merge { cfg = random_cfg rng; key = s.key; input = Plan.Sort { s with input } }
+        else Plan.Sort { s with input }
+    | Plan.Distinct d ->
+        (* safe to partition on the distinct columns *)
+        let input = decorate rng d.input in
+        if maybe rng 35 then
+          Plan.Exchange
+            {
+              cfg = random_cfg rng;
+              input =
+                Plan.Distinct
+                  {
+                    d with
+                    input =
+                      Plan.Exchange
+                        {
+                          cfg =
+                            random_cfg ~degree:(inner_degree rng input)
+                              ~partition:(Exchange.Hash_on d.on) rng;
+                          input;
+                        };
+                  };
+            }
+        else Plan.Distinct { d with input }
+    | Plan.Aggregate a ->
+        let input = decorate rng a.input in
+        if maybe rng 35 then
+          Plan.Exchange
+            {
+              cfg = random_cfg rng;
+              input =
+                Plan.Aggregate
+                  {
+                    a with
+                    input =
+                      Plan.Exchange
+                        {
+                          cfg =
+                            random_cfg ~degree:(inner_degree rng input)
+                              ~partition:(Exchange.Hash_on a.group_by) rng;
+                          input;
+                        };
+                  };
+            }
+        else Plan.Aggregate { a with input }
+    | Plan.Match m ->
+        let left = decorate rng m.left and right = decorate rng m.right in
+        if maybe rng 35 then
+          (* GAMMA repartitioning: both inputs hash-partitioned on the key
+             across the match group *)
+          Plan.Exchange
+            {
+              cfg = random_cfg rng;
+              input =
+                Plan.Match
+                  {
+                    m with
+                    left =
+                      Plan.Exchange
+                        {
+                          cfg =
+                            random_cfg ~degree:(inner_degree rng left)
+                              ~partition:(Exchange.Hash_on m.left_key) rng;
+                          input = left;
+                        };
+                    right =
+                      Plan.Exchange
+                        {
+                          cfg =
+                            random_cfg ~degree:(inner_degree rng right)
+                              ~partition:(Exchange.Hash_on m.right_key) rng;
+                          input = right;
+                        };
+                  };
+            }
+        else Plan.Match { m with left; right }
+    | other -> other
+  in
+  (* Vertical parallelism (degree 1) is safe anywhere; wrapping with
+     degree > 1 is only sound when the subtree is repartitioned, which the
+     structured decorations above handle. *)
+  if maybe rng 25 then
+    Plan.Exchange
+      {
+        cfg =
+          Exchange.config ~degree:1
+            ~packet_size:(1 + Rng.int rng 17)
+            ~flow_slack:(if Rng.bool rng then Some (1 + Rng.int rng 4) else None)
+            ();
+        input = decorated;
+      }
+  else decorated
+
+(* --- the property ---------------------------------------------------- *)
+
+let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
+
+let prop_exchange_invariance =
+  QCheck.Test.make ~name:"random exchange decoration preserves results"
+    ~count:60
+    QCheck.(pair int64 (int_range 1 3))
+    (fun (seed, depth) ->
+      let env = Env.create ~frames:128 ~page_size:512 () in
+      let rng = Rng.create seed in
+      let serial = random_plan rng depth in
+      let expected = sorted_run env serial in
+      (* Several independent decorations of the same plan. *)
+      List.for_all
+        (fun salt ->
+          let rng = Rng.create (Int64.add seed (Int64.of_int salt)) in
+          let decorated = decorate rng serial in
+          sorted_run env decorated = expected)
+        [ 1; 2 ])
+
+let suite = [ QCheck_alcotest.to_alcotest ~long:false prop_exchange_invariance ]

@@ -1,0 +1,169 @@
+(* Simulator tests: conservation, CPU contention, flow control, and
+   agreement with the paper's published measurements. *)
+
+module Sim = Volcano_sim.Sim
+module Calibration = Volcano_sim.Calibration
+
+let check = Alcotest.check
+
+let stage ?(processes = 1) ?(per_record = 1e-4) ?(send = 0.0) ?(recv = 0.0) () =
+  { Sim.processes; per_record; per_packet_send = send; per_packet_recv = recv }
+
+let test_two_stage_basic () =
+  let r =
+    Sim.run
+      {
+        Sim.stages = [| stage (); stage () |];
+        records = 1000;
+        packet_size = 10;
+        flow_slack = None;
+        cpus = 4;
+      }
+  in
+  (* 100 packets flow. *)
+  check Alcotest.int "packets" 100 r.Sim.packets_total;
+  (* Two stages of equal cost pipelined on plenty of CPUs: elapsed close to
+     one stage's work (0.1 s) plus pipeline fill. *)
+  check Alcotest.bool "pipelined" true (r.Sim.elapsed < 0.15);
+  check Alcotest.bool "busy accounted" true
+    (abs_float (r.Sim.stage_busy.(0) -. 0.1) < 0.01)
+
+let test_single_cpu_serializes () =
+  let r_parallel =
+    Sim.run
+      {
+        Sim.stages = [| stage (); stage () |];
+        records = 1000;
+        packet_size = 10;
+        flow_slack = None;
+        cpus = 2;
+      }
+  in
+  let r_serial =
+    Sim.run
+      {
+        Sim.stages = [| stage (); stage () |];
+        records = 1000;
+        packet_size = 10;
+        flow_slack = None;
+        cpus = 1;
+      }
+  in
+  (* One CPU must run both stages' work back to back. *)
+  check Alcotest.bool "serialized is ~2x" true
+    (r_serial.Sim.elapsed > 1.8 *. r_parallel.Sim.elapsed)
+
+let test_flow_control_bounds_queue () =
+  (* Fast producer, slow consumer. *)
+  let stages slack =
+    Sim.run
+      {
+        Sim.stages =
+          [| stage ~per_record:1e-5 (); stage ~per_record:1e-3 () |];
+        records = 500;
+        packet_size = 5;
+        flow_slack = slack;
+        cpus = 4;
+      }
+  in
+  let bounded = stages (Some 4) in
+  let unbounded = stages None in
+  check Alcotest.bool "bounded depth" true (bounded.Sim.max_queue_depth <= 4);
+  check Alcotest.bool "unbounded grows" true (unbounded.Sim.max_queue_depth > 10);
+  (* The consumer is the bottleneck either way; elapsed barely changes. *)
+  check Alcotest.bool "same bottleneck" true
+    (abs_float (bounded.Sim.elapsed -. unbounded.Sim.elapsed)
+    < 0.2 *. unbounded.Sim.elapsed)
+
+let test_intra_op_scaling () =
+  let elapsed degree =
+    (Calibration.intra_op_speedup ~degree ()).Sim.elapsed
+  in
+  let base = elapsed 1 in
+  check Alcotest.bool "2-way halves" true
+    (abs_float ((base /. elapsed 2) -. 2.0) < 0.2);
+  check Alcotest.bool "8-way scales" true (base /. elapsed 8 > 6.0)
+
+(* The paper's own numbers. *)
+
+let within pct expected actual =
+  abs_float (actual -. expected) <= expected *. pct
+
+let test_paper_t1 () =
+  check Alcotest.bool "single process 20.28s" true
+    (within 0.01 20.28 (Calibration.t1_single_process ~records:100_000));
+  check Alcotest.bool "interchange 28.00s" true
+    (within 0.01 28.00 (Calibration.t1_interchange ~records:100_000 ~exchanges:3));
+  let pipeline = Calibration.t1_pipeline ~records:100_000 () in
+  (* The paper measured 16.21 s; the simulated pipeline must beat the
+     single-process time, which is the headline qualitative claim. *)
+  check Alcotest.bool "pipeline beats single process" true
+    (pipeline.Sim.elapsed < 20.28);
+  check Alcotest.bool "pipeline within 20% of 16.21s" true
+    (within 0.2 16.21 pipeline.Sim.elapsed)
+
+let test_paper_fig2a () =
+  let measurements = [ (1, 171.0); (2, 94.0); (50, 15.0); (83, 13.7) ] in
+  List.iter
+    (fun (packet_size, expected) ->
+      let r = Calibration.fig2a ~packet_size () in
+      check Alcotest.bool
+        (Printf.sprintf "packet %d ~ %.1fs (got %.1fs)" packet_size expected
+           r.Sim.elapsed)
+        true
+        (within 0.05 expected r.Sim.elapsed))
+    measurements;
+  (* Monotone decrease with packet size. *)
+  let times =
+    List.map
+      (fun ps -> (Calibration.fig2a ~packet_size:ps ()).Sim.elapsed)
+      [ 1; 2; 5; 10; 20; 50; 83 ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a > b && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotone" true (monotone times)
+
+let test_paper_fig2b_loglog_slope () =
+  (* For packets < 10 records the log-log curve is a straight line of slope
+     about -1 (per-packet cost dominates). *)
+  let t1 = (Calibration.fig2a ~packet_size:1 ()).Sim.elapsed in
+  let t2 = (Calibration.fig2a ~packet_size:2 ()).Sim.elapsed in
+  let t5 = (Calibration.fig2a ~packet_size:5 ()).Sim.elapsed in
+  let slope a b pa pb = (log b -. log a) /. (log (float_of_int pb) -. log (float_of_int pa)) in
+  let s12 = slope t1 t2 1 2 and s25 = slope t2 t5 2 5 in
+  check Alcotest.bool "slope near -1" true (s12 < -0.8 && s12 > -1.1);
+  check Alcotest.bool "still straight" true (abs_float (s12 -. s25) < 0.2);
+  (* Beyond 10 records the curve flattens: slope much shallower. *)
+  let t20 = (Calibration.fig2a ~packet_size:20 ()).Sim.elapsed in
+  let t83 = (Calibration.fig2a ~packet_size:83 ()).Sim.elapsed in
+  let s_tail = slope t20 t83 20 83 in
+  check Alcotest.bool "flattens" true (s_tail > -0.5)
+
+let test_invalid_params () =
+  Alcotest.check_raises "one stage" (Invalid_argument "Sim.run: need at least two stages")
+    (fun () ->
+      ignore
+        (Sim.run
+           {
+             Sim.stages = [| stage () |];
+             records = 1;
+             packet_size = 1;
+             flow_slack = None;
+             cpus = 1;
+           }))
+
+let suite =
+  [
+    Alcotest.test_case "two-stage conservation" `Quick test_two_stage_basic;
+    Alcotest.test_case "single cpu serializes" `Quick test_single_cpu_serializes;
+    Alcotest.test_case "flow control bounds queue" `Quick
+      test_flow_control_bounds_queue;
+    Alcotest.test_case "intra-op scaling" `Quick test_intra_op_scaling;
+    Alcotest.test_case "paper T1 numbers" `Quick test_paper_t1;
+    Alcotest.test_case "paper figure 2a" `Quick test_paper_fig2a;
+    Alcotest.test_case "paper figure 2b log-log slope" `Quick
+      test_paper_fig2b_loglog_slope;
+    Alcotest.test_case "invalid parameters" `Quick test_invalid_params;
+  ]

@@ -1,0 +1,473 @@
+(* Tests for the file system: pages, bitmaps, devices, VTOC, buffer pool,
+   heap files, and the read-ahead/write-behind daemon. *)
+
+module Page = Volcano_storage.Page
+module Bitmap = Volcano_storage.Bitmap
+module Device = Volcano_storage.Device
+module Vtoc = Volcano_storage.Vtoc
+module Bufpool = Volcano_storage.Bufpool
+module Heap_file = Volcano_storage.Heap_file
+module Daemon = Volcano_storage.Daemon
+module Rid = Volcano_storage.Rid
+
+let check = Alcotest.check
+
+let with_temp_path f =
+  let path = Filename.temp_file "volcano" ".dev" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* --- slotted pages --- *)
+
+let fresh_page ?(size = 512) () =
+  let page = Bytes.create size in
+  Page.init page ~kind:7;
+  page
+
+let test_page_init () =
+  let page = fresh_page () in
+  check Alcotest.int "no slots" 0 (Page.n_slots page);
+  check Alcotest.int "kind" 7 (Page.kind page);
+  check Alcotest.int "next" (-1) (Page.next_page page);
+  Page.set_next_page page 42;
+  check Alcotest.int "next set" 42 (Page.next_page page)
+
+let test_page_insert_read () =
+  let page = fresh_page () in
+  let s1 = Page.insert page "hello" in
+  let s2 = Page.insert page "world!" in
+  check (Alcotest.option Alcotest.int) "slot 0" (Some 0) s1;
+  check (Alcotest.option Alcotest.int) "slot 1" (Some 1) s2;
+  check (Alcotest.option Alcotest.string) "read 0" (Some "hello") (Page.read page 0);
+  check (Alcotest.option Alcotest.string) "read 1" (Some "world!") (Page.read page 1);
+  check (Alcotest.option Alcotest.string) "read bad" None (Page.read page 2)
+
+let test_page_delete_reuse () =
+  let page = fresh_page () in
+  let _ = Page.insert page "aaaa" in
+  let _ = Page.insert page "bbbb" in
+  check Alcotest.bool "delete" true (Page.delete page 0);
+  check Alcotest.bool "double delete" false (Page.delete page 0);
+  check (Alcotest.option Alcotest.string) "dead slot" None (Page.read page 0);
+  (* The dead slot is reused. *)
+  check (Alcotest.option Alcotest.int) "reuse" (Some 0) (Page.insert page "cccc");
+  check (Alcotest.option Alcotest.string) "new value" (Some "cccc")
+    (Page.read page 0)
+
+let test_page_fill_and_compact () =
+  let page = fresh_page ~size:256 () in
+  (* Fill the page with records, then delete every other one and verify the
+     reclaimed space is usable after compaction. *)
+  let rec fill n =
+    match Page.insert page (Printf.sprintf "record-%04d" n) with
+    | Some _ -> fill (n + 1)
+    | None -> n
+  in
+  let inserted = fill 0 in
+  check Alcotest.bool "filled some" true (inserted > 5);
+  for i = 0 to inserted - 1 do
+    if i mod 2 = 0 then ignore (Page.delete page i)
+  done;
+  (* This insert is bigger than any single free gap before compaction. *)
+  let big = String.make 20 'x' in
+  check Alcotest.bool "compaction made room" true
+    (Page.insert page big <> None);
+  (* Survivors are intact. *)
+  for i = 0 to inserted - 1 do
+    if i mod 2 = 1 then
+      check (Alcotest.option Alcotest.string)
+        (Printf.sprintf "survivor %d" i)
+        (Some (Printf.sprintf "record-%04d" i))
+        (Page.read page i)
+  done
+
+let prop_page_model =
+  (* Random insert/delete sequence against a list model. *)
+  QCheck.Test.make ~name:"slotted page behaves like a model" ~count:100
+    QCheck.(
+      list
+        (pair bool
+           (make ~print:Fun.id
+              QCheck.Gen.(string_size ~gen:printable (int_range 1 30)))))
+    (fun ops ->
+      let page = fresh_page ~size:1024 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (do_insert, payload) ->
+          if do_insert || Hashtbl.length model = 0 then (
+            match Page.insert page payload with
+            | Some slot ->
+                Hashtbl.replace model slot payload;
+                true
+            | None -> true (* full is fine *))
+          else begin
+            let slot = Hashtbl.fold (fun k _ acc -> max k acc) model (-1) in
+            let ok = Page.delete page slot in
+            Hashtbl.remove model slot;
+            ok
+          end
+          && Hashtbl.fold
+               (fun slot payload ok ->
+                 ok && Page.read page slot = Some payload)
+               model true)
+        ops)
+
+(* --- bitmap --- *)
+
+let test_bitmap () =
+  let b = Bitmap.create 100 in
+  check Alcotest.int "empty" 0 (Bitmap.used b);
+  check (Alcotest.option Alcotest.int) "first" (Some 0) (Bitmap.allocate b);
+  check (Alcotest.option Alcotest.int) "second" (Some 1) (Bitmap.allocate b);
+  Bitmap.clear b 0;
+  check (Alcotest.option Alcotest.int) "reuse lowest" (Some 0) (Bitmap.allocate b);
+  let rec exhaust n =
+    match Bitmap.allocate b with Some _ -> exhaust (n + 1) | None -> n
+  in
+  check Alcotest.int "capacity" 98 (exhaust 0);
+  check Alcotest.int "all used" 100 (Bitmap.used b)
+
+let test_bitmap_roundtrip () =
+  let b = Bitmap.create 50 in
+  List.iter (fun i -> Bitmap.set b i) [ 1; 7; 13; 49 ];
+  let b' = Bitmap.of_bytes (Bitmap.to_bytes b) ~n:50 in
+  for i = 0 to 49 do
+    check Alcotest.bool
+      (Printf.sprintf "bit %d" i)
+      (Bitmap.is_set b i) (Bitmap.is_set b' i)
+  done
+
+(* --- devices --- *)
+
+let test_real_device_io () =
+  with_temp_path (fun path ->
+      let dev = Device.create_real ~path ~page_size:256 ~capacity:16 in
+      let page = Device.allocate dev in
+      let buf = Bytes.make 256 'z' in
+      Device.write dev ~page buf;
+      let out = Bytes.make 256 '\000' in
+      Device.read dev ~page out;
+      check Alcotest.bool "roundtrip" true (Bytes.equal buf out);
+      (* Unwritten pages read as zeros. *)
+      let p2 = Device.allocate dev in
+      Device.read dev ~page:p2 out;
+      check Alcotest.bool "zeros" true
+        (Bytes.for_all (fun c -> c = '\000') out);
+      Device.close dev)
+
+let test_device_persistence () =
+  with_temp_path (fun path ->
+      let dev = Device.create_real ~path ~page_size:256 ~capacity:16 in
+      let page = Device.allocate dev in
+      Vtoc.add (Device.vtoc dev)
+        { Vtoc.name = "t"; first_page = page; last_page = page; pages = 1; records = 5 };
+      Device.close dev;
+      let dev2 = Device.open_real ~path in
+      check Alcotest.int "page size" 256 (Device.page_size dev2);
+      check Alcotest.int "capacity" 16 (Device.capacity dev2);
+      check Alcotest.bool "page still allocated" true
+        (Device.allocate dev2 <> page);
+      (match Vtoc.find (Device.vtoc dev2) "t" with
+      | Some e ->
+          check Alcotest.int "vtoc first page" page e.first_page;
+          check Alcotest.int "vtoc records" 5 e.records
+      | None -> Alcotest.fail "vtoc entry lost");
+      Device.close dev2)
+
+let test_virtual_device () =
+  let dev = Device.create_virtual ~page_size:128 ~capacity:8 () in
+  let page = Device.allocate dev in
+  (* Reading a never-written virtual page is an error: it only exists in
+     the buffer. *)
+  Alcotest.check_raises "not resident"
+    (Invalid_argument
+       (Printf.sprintf "Device %s: virtual page %d is not resident" "<virtual>"
+          page))
+    (fun () -> Device.read dev ~page (Bytes.make 128 '\000'));
+  (* A spilled (written) page can be read back. *)
+  let buf = Bytes.make 128 'v' in
+  Device.write dev ~page buf;
+  let out = Bytes.make 128 '\000' in
+  Device.read dev ~page out;
+  check Alcotest.bool "spill roundtrip" true (Bytes.equal buf out);
+  (* Freeing discards the page. *)
+  Device.free dev page;
+  Alcotest.check_raises "discarded"
+    (Invalid_argument
+       (Printf.sprintf "Device %s: virtual page %d is not resident" "<virtual>"
+          page))
+    (fun () -> Device.read dev ~page out)
+
+let test_vtoc_ops () =
+  let v = Vtoc.create () in
+  Vtoc.add v { Vtoc.name = "a"; first_page = 1; last_page = 2; pages = 2; records = 9 };
+  Vtoc.add v { Vtoc.name = "b"; first_page = 3; last_page = 3; pages = 1; records = 1 };
+  check Alcotest.int "count" 2 (Vtoc.entry_count v);
+  check Alcotest.bool "find" true (Vtoc.find v "a" <> None);
+  check Alcotest.bool "remove" true (Vtoc.remove v "a");
+  check Alcotest.bool "gone" true (Vtoc.find v "a" = None);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Vtoc.add: duplicate file b")
+    (fun () ->
+      Vtoc.add v { Vtoc.name = "b"; first_page = 0; last_page = 0; pages = 0; records = 0 })
+
+(* --- buffer pool --- *)
+
+let make_pool ?(mode = Bufpool.Two_level) ?(frames = 4) () =
+  let pool = Bufpool.create ~mode ~frames ~page_size:128 () in
+  let dev = Device.create_virtual ~page_size:128 ~capacity:64 () in
+  (pool, dev)
+
+let test_buffer_fix_unfix () =
+  let pool, dev = make_pool () in
+  let page = Device.allocate dev in
+  let f = Bufpool.fix_new pool dev page in
+  check Alcotest.int "fixed once" 1 (Bufpool.fix_count f);
+  Bytes.set (Bufpool.bytes f) 0 'A';
+  Bufpool.mark_dirty f;
+  let f2 = Bufpool.fix pool dev page in
+  check Alcotest.int "fixed twice" 2 (Bufpool.fix_count f2);
+  Bufpool.unfix pool f;
+  Bufpool.unfix pool f2;
+  check Alcotest.int "unfixed" 0 (Bufpool.fix_count f);
+  Alcotest.check_raises "over-unfix"
+    (Invalid_argument "Bufpool.unfix: frame is not fixed") (fun () ->
+      Bufpool.unfix pool f)
+
+let test_buffer_eviction_writeback () =
+  let pool, dev = make_pool ~frames:2 () in
+  let pages = Array.init 4 (fun _ -> Device.allocate dev) in
+  Array.iteri
+    (fun i page ->
+      let f = Bufpool.fix_new pool dev page in
+      Bytes.set (Bufpool.bytes f) 0 (Char.chr (Char.code 'a' + i));
+      Bufpool.mark_dirty f;
+      Bufpool.unfix pool f)
+    pages;
+  (* Only 2 frames: earlier pages were evicted and written back; re-fixing
+     them must reload the stored contents. *)
+  Array.iteri
+    (fun i page ->
+      let f = Bufpool.fix pool dev page in
+      check Alcotest.char
+        (Printf.sprintf "page %d content" i)
+        (Char.chr (Char.code 'a' + i))
+        (Bytes.get (Bufpool.bytes f) 0);
+      Bufpool.unfix pool f)
+    pages;
+  let stats = Bufpool.stats pool in
+  check Alcotest.bool "evictions happened" true (stats.Bufpool.evictions >= 2);
+  check Alcotest.bool "writebacks happened" true (stats.Bufpool.writebacks >= 2)
+
+let test_buffer_exhausted () =
+  let pool, dev = make_pool ~frames:2 () in
+  let p1 = Device.allocate dev and p2 = Device.allocate dev and p3 = Device.allocate dev in
+  let f1 = Bufpool.fix_new pool dev p1 in
+  let f2 = Bufpool.fix_new pool dev p2 in
+  Alcotest.check_raises "exhausted" Bufpool.Buffer_exhausted (fun () ->
+      ignore (Bufpool.fix_new pool dev p3));
+  Bufpool.unfix pool f1;
+  Bufpool.unfix pool f2
+
+let test_buffer_lru_order () =
+  let pool, dev = make_pool ~frames:2 () in
+  let a = Device.allocate dev and b = Device.allocate dev and c = Device.allocate dev in
+  List.iter
+    (fun p ->
+      let f = Bufpool.fix_new pool dev p in
+      Bufpool.unfix pool f)
+    [ a; b ];
+  (* Touch [a] so that [b] is the LRU victim. *)
+  let f = Bufpool.fix pool dev a in
+  Bufpool.unfix pool f;
+  let f = Bufpool.fix_new pool dev c in
+  Bufpool.unfix pool f;
+  check Alcotest.bool "a stays" true (Bufpool.contains pool dev a);
+  check Alcotest.bool "b evicted" false (Bufpool.contains pool dev b);
+  check Alcotest.bool "c resident" true (Bufpool.contains pool dev c)
+
+let concurrent_hammer mode =
+  let pool = Bufpool.create ~mode ~frames:8 ~page_size:128 () in
+  let dev = Device.create_virtual ~page_size:128 ~capacity:64 () in
+  let pages = Array.init 24 (fun _ -> Device.allocate dev) in
+  (* Initialize all pages through the pool. *)
+  Array.iter
+    (fun p ->
+      let f = Bufpool.fix_new pool dev p in
+      Bufpool.mark_dirty f;
+      Bufpool.unfix pool f)
+    pages;
+  let errors = Atomic.make 0 in
+  let worker seed () =
+    let rng = Volcano_util.Rng.create (Int64.of_int seed) in
+    for _ = 1 to 2_000 do
+      let page = pages.(Volcano_util.Rng.int rng (Array.length pages)) in
+      match Bufpool.fix pool dev page with
+      | f ->
+          if Bufpool.fix_count f < 1 then Atomic.incr errors;
+          Bufpool.unfix pool f
+      | exception _ -> Atomic.incr errors
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  check Alcotest.int "no errors" 0 (Atomic.get errors);
+  (* All fix counts must return to zero. *)
+  Array.iter
+    (fun p ->
+      let f = Bufpool.fix pool dev p in
+      check Alcotest.int "quiescent" 1 (Bufpool.fix_count f);
+      Bufpool.unfix pool f)
+    pages
+
+let test_buffer_concurrent_two_level () = concurrent_hammer Bufpool.Two_level
+let test_buffer_concurrent_global () = concurrent_hammer Bufpool.Single_global
+
+(* --- heap files --- *)
+
+let make_env () =
+  let pool = Bufpool.create ~frames:16 ~page_size:256 () in
+  let dev = Device.create_virtual ~page_size:256 ~capacity:512 () in
+  (pool, dev)
+
+let test_heap_insert_scan () =
+  let pool, dev = make_env () in
+  let file = Heap_file.create ~buffer:pool ~device:dev ~name:"t" in
+  let records = List.init 100 (fun i -> Printf.sprintf "record-%03d" i) in
+  let rids = List.map (Heap_file.insert file) records in
+  check Alcotest.int "count" 100 (Heap_file.record_count file);
+  check Alcotest.bool "multi page" true (Heap_file.page_count file > 1);
+  (* Scan returns all records in insertion order (page order). *)
+  let scanned = ref [] in
+  Heap_file.iter file (fun _rid r -> scanned := r :: !scanned);
+  check (Alcotest.list Alcotest.string) "scan" records (List.rev !scanned);
+  (* Point lookups by RID. *)
+  List.iteri
+    (fun i rid ->
+      check (Alcotest.option Alcotest.string)
+        (Printf.sprintf "get %d" i)
+        (Some (List.nth records i))
+        (Heap_file.get file rid))
+    rids
+
+let test_heap_delete () =
+  let pool, dev = make_env () in
+  let file = Heap_file.create ~buffer:pool ~device:dev ~name:"t" in
+  let rids = List.init 20 (fun i -> Heap_file.insert file (Printf.sprintf "%05d" i)) in
+  List.iteri (fun i rid -> if i mod 2 = 0 then ignore (Heap_file.delete file rid)) rids;
+  check Alcotest.int "count after delete" 10 (Heap_file.record_count file);
+  let seen = ref 0 in
+  Heap_file.iter file (fun _ _ -> incr seen);
+  check Alcotest.int "scan skips deleted" 10 !seen;
+  check (Alcotest.option Alcotest.string) "deleted gone" None
+    (Heap_file.get file (List.nth rids 0));
+  check Alcotest.bool "delete twice" false (Heap_file.delete file (List.nth rids 0))
+
+let test_heap_drop_frees_pages () =
+  let pool, dev = make_env () in
+  let before = Device.allocated_pages dev in
+  let file = Heap_file.create ~buffer:pool ~device:dev ~name:"t" in
+  for i = 0 to 199 do
+    ignore (Heap_file.insert file (Printf.sprintf "row %d padded out..." i))
+  done;
+  check Alcotest.bool "allocated" true (Device.allocated_pages dev > before);
+  Heap_file.drop file;
+  check Alcotest.int "freed" before (Device.allocated_pages dev);
+  check Alcotest.bool "vtoc removed" true (Vtoc.find (Device.vtoc dev) "t" = None)
+
+let test_heap_open_existing () =
+  let pool, dev = make_env () in
+  let file = Heap_file.create ~buffer:pool ~device:dev ~name:"t" in
+  for i = 0 to 9 do
+    ignore (Heap_file.insert file (string_of_int i))
+  done;
+  Heap_file.sync_vtoc file;
+  let reopened = Heap_file.open_existing ~buffer:pool ~device:dev ~name:"t" in
+  check Alcotest.int "count" 10 (Heap_file.record_count reopened);
+  let seen = ref 0 in
+  Heap_file.iter reopened (fun _ _ -> incr seen);
+  check Alcotest.int "scannable" 10 !seen
+
+let test_heap_concurrent_inserts () =
+  let pool = Bufpool.create ~frames:64 ~page_size:256 () in
+  let dev = Device.create_virtual ~page_size:256 ~capacity:2048 () in
+  let file = Heap_file.create ~buffer:pool ~device:dev ~name:"t" in
+  let per_domain = 500 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              ignore (Heap_file.insert file (Printf.sprintf "%d-%06d" d i))
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "all inserted" (4 * per_domain) (Heap_file.record_count file);
+  let seen = ref 0 in
+  Heap_file.iter file (fun _ _ -> incr seen);
+  check Alcotest.int "all scanned" (4 * per_domain) !seen
+
+(* --- daemon --- *)
+
+let test_daemon_flush_and_readahead () =
+  let pool = Bufpool.create ~frames:8 ~page_size:128 () in
+  let dev = Device.create_virtual ~page_size:128 ~capacity:64 () in
+  let pages = Array.init 4 (fun _ -> Device.allocate dev) in
+  Array.iter
+    (fun p ->
+      let f = Bufpool.fix_new pool dev p in
+      Bufpool.mark_dirty f;
+      Bufpool.unfix pool f)
+    pages;
+  let daemon = Daemon.start ~buffer:pool ~workers:2 in
+  Array.iter (fun p -> Daemon.submit daemon (Daemon.Flush (dev, p))) pages;
+  Daemon.drain daemon;
+  check Alcotest.int "flushed" 4 (Daemon.flushes_done daemon);
+  (* After purging, read-ahead loads pages back into the pool. *)
+  Bufpool.purge_device pool dev;
+  Array.iter (fun p -> Daemon.submit daemon (Daemon.Read_ahead (dev, p))) pages;
+  Daemon.drain daemon;
+  check Alcotest.int "read ahead" 4 (Daemon.reads_done daemon);
+  Array.iter
+    (fun p -> check Alcotest.bool "resident" true (Bufpool.contains pool dev p))
+    pages;
+  Daemon.stop daemon;
+  Alcotest.check_raises "submit after stop"
+    (Invalid_argument "Daemon.submit: daemon stopped") (fun () ->
+      Daemon.submit daemon (Daemon.Flush (dev, pages.(0))))
+
+let test_rid () =
+  let a = Rid.make ~device:1 ~page:2 ~slot:3 in
+  let b = Rid.make ~device:1 ~page:2 ~slot:4 in
+  check Alcotest.bool "order" true (Rid.compare a b < 0);
+  check Alcotest.string "print" "1.2.3" (Rid.to_string a)
+
+let suite =
+  [
+    Alcotest.test_case "page init" `Quick test_page_init;
+    Alcotest.test_case "page insert/read" `Quick test_page_insert_read;
+    Alcotest.test_case "page delete and slot reuse" `Quick test_page_delete_reuse;
+    Alcotest.test_case "page fill and compact" `Quick test_page_fill_and_compact;
+    QCheck_alcotest.to_alcotest prop_page_model;
+    Alcotest.test_case "bitmap allocate/free" `Quick test_bitmap;
+    Alcotest.test_case "bitmap roundtrip" `Quick test_bitmap_roundtrip;
+    Alcotest.test_case "real device io" `Quick test_real_device_io;
+    Alcotest.test_case "device persistence" `Quick test_device_persistence;
+    Alcotest.test_case "virtual device" `Quick test_virtual_device;
+    Alcotest.test_case "vtoc" `Quick test_vtoc_ops;
+    Alcotest.test_case "buffer fix/unfix" `Quick test_buffer_fix_unfix;
+    Alcotest.test_case "buffer eviction + writeback" `Quick
+      test_buffer_eviction_writeback;
+    Alcotest.test_case "buffer exhausted" `Quick test_buffer_exhausted;
+    Alcotest.test_case "buffer lru order" `Quick test_buffer_lru_order;
+    Alcotest.test_case "buffer concurrent (two-level)" `Quick
+      test_buffer_concurrent_two_level;
+    Alcotest.test_case "buffer concurrent (global)" `Quick
+      test_buffer_concurrent_global;
+    Alcotest.test_case "heap insert + scan + get" `Quick test_heap_insert_scan;
+    Alcotest.test_case "heap delete" `Quick test_heap_delete;
+    Alcotest.test_case "heap drop frees pages" `Quick test_heap_drop_frees_pages;
+    Alcotest.test_case "heap open existing" `Quick test_heap_open_existing;
+    Alcotest.test_case "heap concurrent inserts" `Quick
+      test_heap_concurrent_inserts;
+    Alcotest.test_case "daemon flush + readahead" `Quick
+      test_daemon_flush_and_readahead;
+    Alcotest.test_case "rid" `Quick test_rid;
+  ]

@@ -1,0 +1,212 @@
+(* Tests for values, schemas, tuples, expressions and serialization. *)
+
+module Value = Volcano_tuple.Value
+module Schema = Volcano_tuple.Schema
+module Tuple = Volcano_tuple.Tuple
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+module Serial = Volcano_tuple.Serial
+
+let check = Alcotest.check
+
+(* QCheck generators. *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun x -> Value.Int x) int;
+        map (fun x -> Value.Float x) (float_bound_inclusive 1e6);
+        map (fun s -> Value.Str s) (string_size (int_bound 20));
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+let tuple_gen = QCheck.Gen.(map Array.of_list (list_size (int_range 0 8) value_gen))
+let tuple_arb = QCheck.make ~print:Tuple.to_string tuple_gen
+
+let test_value_order () =
+  check Alcotest.bool "null first" true (Value.compare Value.Null (Value.Int 0) < 0);
+  check Alcotest.bool "int order" true
+    (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  check Alcotest.bool "str order" true
+    (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  check Alcotest.bool "cross type" true
+    (Value.compare (Value.Int 999) (Value.Str "") < 0)
+
+let prop_value_total_order =
+  QCheck.Test.make ~name:"value compare is antisymmetric" ~count:500
+    (QCheck.pair value_arb value_arb)
+    (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_value_hash_consistent =
+  QCheck.Test.make ~name:"equal values hash equally" ~count:500 value_arb
+    (fun v -> Value.hash v = Value.hash v)
+
+let test_schema () =
+  let s = Schema.of_names [ ("a", Value.Tint); ("b", Value.Tstr) ] in
+  check Alcotest.int "arity" 2 (Schema.arity s);
+  check Alcotest.int "index" 1 (Schema.index s "b");
+  check Alcotest.string "name" "a" (Schema.field_name s 0);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate field a") (fun () ->
+      ignore (Schema.of_names [ ("a", Value.Tint); ("a", Value.Tstr) ]))
+
+let test_schema_concat_renames () =
+  let a = Schema.of_names [ ("x", Value.Tint); ("y", Value.Tint) ] in
+  let b = Schema.of_names [ ("y", Value.Tint); ("z", Value.Tint) ] in
+  let c = Schema.concat a b in
+  check Alcotest.int "arity" 4 (Schema.arity c);
+  check Alcotest.string "renamed" "y'" (Schema.field_name c 2)
+
+let test_tuple_ops () =
+  let t = Tuple.of_ints [ 10; 20; 30 ] in
+  check Alcotest.int "get" 20 (Tuple.int_exn t 1);
+  check Alcotest.int "project" 30 (Tuple.int_exn (Tuple.project t [ 2; 0 ]) 0);
+  let u = Tuple.concat t (Tuple.of_ints [ 40 ]) in
+  check Alcotest.int "concat arity" 4 (Tuple.arity u);
+  check Alcotest.bool "lexicographic" true
+    (Tuple.compare (Tuple.of_ints [ 1; 2 ]) (Tuple.of_ints [ 1; 3 ]) < 0);
+  check Alcotest.bool "prefix smaller" true
+    (Tuple.compare (Tuple.of_ints [ 1 ]) (Tuple.of_ints [ 1; 0 ]) < 0)
+
+(* The paper's dual predicate mechanism: interpreted and compiled paths
+   must agree on every expression and tuple. *)
+let pred_gen =
+  let open QCheck.Gen in
+  let num_gen =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then
+              oneof [ map Expr.col (int_bound 3); map Expr.int (int_range (-50) 50) ]
+            else
+              frequency
+                [
+                  (2, map Expr.col (int_bound 3));
+                  (2, map Expr.int (int_range (-50) 50));
+                  ( 1,
+                    map2
+                      (fun a b -> Expr.Add (a, b))
+                      (self (n / 2)) (self (n / 2)) );
+                  ( 1,
+                    map2
+                      (fun a b -> Expr.Sub (a, b))
+                      (self (n / 2)) (self (n / 2)) );
+                  ( 1,
+                    map2
+                      (fun a b -> Expr.Mul (a, b))
+                      (self (n / 2)) (self (n / 2)) );
+                  ( 1,
+                    map2
+                      (fun a b -> Expr.Div (a, b))
+                      (self (n / 2)) (self (n / 2)) );
+                ])
+          (min n 6))
+  in
+  let cmp_gen =
+    oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            map3 (fun op a b -> Expr.Cmp (op, a, b)) cmp_gen num_gen num_gen
+          else
+            frequency
+              [
+                (3, map3 (fun op a b -> Expr.Cmp (op, a, b)) cmp_gen num_gen num_gen);
+                ( 1,
+                  map2 (fun a b -> Expr.And (a, b)) (self (n / 2)) (self (n / 2)) );
+                (1, map2 (fun a b -> Expr.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> Expr.Not a) (self (n - 1)));
+                (1, map (fun e -> Expr.Is_null e) num_gen);
+              ])
+        (min n 5))
+
+let int_tuple_gen =
+  QCheck.Gen.(map (fun xs -> Tuple.of_ints xs) (list_repeat 4 (int_range (-50) 50)))
+
+let prop_interpreted_equals_compiled =
+  QCheck.Test.make ~name:"interpreted = compiled predicates" ~count:1000
+    (QCheck.make
+       QCheck.Gen.(pair pred_gen int_tuple_gen))
+    (fun (pred, tuple) ->
+      Expr.Interp.pred pred tuple = Expr.Compiled.pred pred tuple)
+
+let test_expr_eval () =
+  let open Expr.Infix in
+  let t = Tuple.of_ints [ 3; 7 ] in
+  let p = Expr.col 0 + Expr.int 4 = Expr.col 1 in
+  check Alcotest.bool "3+4=7" true (Expr.Interp.pred p t);
+  let q = Expr.col 0 * Expr.col 1 > Expr.int 20 in
+  check Alcotest.bool "21>20" true (Expr.Compiled.pred q t);
+  let div_zero = Expr.Div (Expr.col 0, Expr.int 0) in
+  check Alcotest.bool "x/0 is null" true
+    (Expr.Interp.pred (Expr.Is_null div_zero) t)
+
+let test_str_prefix () =
+  let t = [| Value.Str "hello world" |] in
+  check Alcotest.bool "prefix" true
+    (Expr.Compiled.pred (Expr.Str_prefix ("hello", Expr.col 0)) t);
+  check Alcotest.bool "not prefix" false
+    (Expr.Interp.pred (Expr.Str_prefix ("world", Expr.col 0)) t)
+
+let prop_serial_roundtrip =
+  QCheck.Test.make ~name:"serialize/deserialize roundtrip" ~count:1000 tuple_arb
+    (fun t -> Tuple.equal t (Serial.decode_bytes (Serial.encode t)))
+
+let test_serial_offset () =
+  let t1 = Tuple.of_ints [ 1; 2 ] and t2 = Tuple.of_ints [ 3 ] in
+  let buf = Bytes.create 100 in
+  let n1 = Serial.encode_into t1 buf ~pos:0 in
+  let _ = Serial.encode_into t2 buf ~pos:n1 in
+  check Alcotest.bool "first" true (Tuple.equal t1 (Serial.decode buf ~pos:0));
+  check Alcotest.bool "second" true (Tuple.equal t2 (Serial.decode buf ~pos:n1))
+
+let test_support_comparators () =
+  let cmp = Support.compare_on [ (0, Support.Asc); (1, Support.Desc) ] in
+  let a = Tuple.of_ints [ 1; 5 ] and b = Tuple.of_ints [ 1; 9 ] in
+  check Alcotest.bool "desc second key" true (cmp a b > 0);
+  check Alcotest.bool "equal" true (cmp a a = 0);
+  check Alcotest.bool "hash consistent" true
+    (Support.hash_on [ 0; 1 ] a = Support.hash_on [ 0; 1 ] a)
+
+let test_partition_fns () =
+  let rr = Support.Partition.round_robin ~consumers:3 () in
+  let got = List.init 7 (fun _ -> rr (Tuple.of_ints [ 0 ])) in
+  check (Alcotest.list Alcotest.int) "round robin" [ 0; 1; 2; 0; 1; 2; 0 ] got;
+  let h = Support.Partition.hash ~consumers:4 ~on:[ 0 ] () in
+  for i = 0 to 100 do
+    let p = h (Tuple.of_ints [ i ]) in
+    check Alcotest.bool "hash in range" true (p >= 0 && p < 4)
+  done;
+  let r =
+    Support.Partition.range ~consumers:3 ~on:0
+      ~bounds:[| Value.Int 10; Value.Int 20 |]
+      ()
+  in
+  check Alcotest.int "low" 0 (r (Tuple.of_ints [ 5 ]));
+  check Alcotest.int "boundary" 0 (r (Tuple.of_ints [ 10 ]));
+  check Alcotest.int "mid" 1 (r (Tuple.of_ints [ 15 ]));
+  check Alcotest.int "high" 2 (r (Tuple.of_ints [ 99 ]))
+
+let suite =
+  [
+    Alcotest.test_case "value ordering" `Quick test_value_order;
+    QCheck_alcotest.to_alcotest prop_value_total_order;
+    QCheck_alcotest.to_alcotest prop_value_hash_consistent;
+    Alcotest.test_case "schema basics" `Quick test_schema;
+    Alcotest.test_case "schema concat renames" `Quick test_schema_concat_renames;
+    Alcotest.test_case "tuple operations" `Quick test_tuple_ops;
+    QCheck_alcotest.to_alcotest prop_interpreted_equals_compiled;
+    Alcotest.test_case "expression evaluation" `Quick test_expr_eval;
+    Alcotest.test_case "string prefix predicate" `Quick test_str_prefix;
+    QCheck_alcotest.to_alcotest prop_serial_roundtrip;
+    Alcotest.test_case "serialization at offsets" `Quick test_serial_offset;
+    Alcotest.test_case "support comparators" `Quick test_support_comparators;
+    Alcotest.test_case "partition functions" `Quick test_partition_fns;
+  ]

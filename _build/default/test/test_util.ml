@@ -1,0 +1,159 @@
+(* Unit and property tests for the utility modules. *)
+
+module Sema = Volcano_util.Sema
+module Latch = Volcano_util.Latch
+module Rng = Volcano_util.Rng
+module Zipf = Volcano_util.Zipf
+module Binheap = Volcano_util.Binheap
+module Stats = Volcano_util.Stats
+
+let check = Alcotest.check
+
+let test_sema_counting () =
+  let s = Sema.create 2 in
+  check Alcotest.int "initial" 2 (Sema.value s);
+  Sema.acquire s;
+  Sema.acquire s;
+  check Alcotest.bool "exhausted" false (Sema.try_acquire s);
+  Sema.release s;
+  check Alcotest.bool "recovered" true (Sema.try_acquire s);
+  Sema.release_n s 5;
+  check Alcotest.int "bulk release" 5 (Sema.value s)
+
+let test_sema_blocking () =
+  let s = Sema.create 0 in
+  let woke = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Sema.acquire s;
+        Atomic.set woke true)
+  in
+  Unix.sleepf 0.02;
+  check Alcotest.bool "still blocked" false (Atomic.get woke);
+  Sema.release s;
+  Domain.join d;
+  check Alcotest.bool "woken" true (Atomic.get woke)
+
+let test_latch () =
+  let l = Latch.create 3 in
+  check Alcotest.bool "closed" false (Latch.is_open l);
+  Latch.count_down l;
+  Latch.count_down l;
+  check Alcotest.bool "still closed" false (Latch.is_open l);
+  Latch.count_down l;
+  Latch.await l;
+  check Alcotest.bool "open" true (Latch.is_open l);
+  (* Extra count_downs are harmless. *)
+  Latch.count_down l;
+  check Alcotest.bool "still open" true (Latch.is_open l)
+
+let test_barrier () =
+  let b = Latch.Barrier.create 4 in
+  let counter = Atomic.make 0 in
+  let domains =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr counter;
+            Latch.Barrier.await b;
+            (* Second round: reuse the same barrier. *)
+            Atomic.incr counter;
+            Latch.Barrier.await b))
+  in
+  Atomic.incr counter;
+  Latch.Barrier.await b;
+  (* After the first barrier everyone must have done round one. *)
+  check Alcotest.bool "first round complete" true (Atomic.get counter >= 4);
+  Atomic.incr counter;
+  Latch.Barrier.await b;
+  List.iter Domain.join domains;
+  check Alcotest.int "both rounds" 8 (Atomic.get counter)
+
+let test_rng_determinism () =
+  let a = Rng.create 17L and b = Rng.create 17L in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check Alcotest.bool "in range" true (x >= 0 && x < 7)
+  done
+
+let test_permutation () =
+  let rng = Rng.create 5L in
+  let p = Rng.permutation rng 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  check
+    (Alcotest.array Alcotest.int)
+    "is a permutation"
+    (Array.init 100 (fun i -> i))
+    sorted
+
+let test_zipf_skew () =
+  let rng = Rng.create 11L in
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let x = Zipf.draw z rng in
+    counts.(x) <- counts.(x) + 1
+  done;
+  (* Rank 0 must dominate rank 50 heavily under theta = 1. *)
+  check Alcotest.bool "skewed" true (counts.(0) > counts.(50) * 5)
+
+let test_zipf_uniform () =
+  let rng = Rng.create 11L in
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let x = Zipf.draw z rng in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c -> check Alcotest.bool "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_binheap_sorts () =
+  let heap = Binheap.of_list ~cmp:compare [ 5; 3; 8; 1; 9; 2; 7 ] in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ]
+    (Binheap.to_sorted_list heap)
+
+let test_binheap_empty () =
+  let heap = Binheap.create ~cmp:compare in
+  check Alcotest.bool "empty" true (Binheap.is_empty heap);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Binheap.pop heap);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Binheap.pop_exn: empty heap")
+    (fun () -> ignore (Binheap.pop_exn heap))
+
+let prop_binheap =
+  QCheck.Test.make ~name:"binheap drains in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let heap = Binheap.of_list ~cmp:compare xs in
+      Binheap.to_sorted_list heap = List.sort compare xs)
+
+let test_stats () =
+  let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-6) "stddev" 2.13808993 (Stats.stddev s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.max s)
+
+let suite =
+  [
+    Alcotest.test_case "semaphore counting" `Quick test_sema_counting;
+    Alcotest.test_case "semaphore blocking" `Quick test_sema_blocking;
+    Alcotest.test_case "latch" `Quick test_latch;
+    Alcotest.test_case "barrier reusable" `Quick test_barrier;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "binheap sorts" `Quick test_binheap_sorts;
+    Alcotest.test_case "binheap empty" `Quick test_binheap_empty;
+    QCheck_alcotest.to_alcotest prop_binheap;
+    Alcotest.test_case "stats welford" `Quick test_stats;
+  ]

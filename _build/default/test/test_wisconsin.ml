@@ -1,0 +1,90 @@
+(* Wisconsin workload generator tests. *)
+
+module W = Volcano_wisconsin.Wisconsin
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+
+let check = Alcotest.check
+
+let test_determinism () =
+  let g1 = W.generator ~seed:9L ~n:100 () in
+  let g2 = W.generator ~seed:9L ~n:100 () in
+  for i = 0 to 99 do
+    check Alcotest.bool "same tuple" true (Tuple.equal (g1 i) (g2 i))
+  done
+
+let test_unique1_is_permutation () =
+  let n = 1000 in
+  let g = W.generator ~n () in
+  let u1 = W.column "unique1" in
+  let seen = Array.make n false in
+  for i = 0 to n - 1 do
+    let v = Tuple.int_exn (g i) u1 in
+    check Alcotest.bool "range" true (v >= 0 && v < n);
+    check Alcotest.bool "unseen" false seen.(v);
+    seen.(v) <- true
+  done
+
+let test_derived_columns () =
+  let g = W.generator ~n:100 () in
+  let u1 = W.column "unique1" in
+  for i = 0 to 99 do
+    let t = g i in
+    let v = Tuple.int_exn t u1 in
+    check Alcotest.int "two" (v mod 2) (Tuple.int_exn t (W.column "two"));
+    check Alcotest.int "ten" (v mod 10) (Tuple.int_exn t (W.column "ten"));
+    check Alcotest.int "unique2" i (Tuple.int_exn t (W.column "unique2"));
+    check Alcotest.int "one_percent" (v mod 100)
+      (Tuple.int_exn t (W.column "one_percent"))
+  done
+
+let test_selectivity () =
+  (* "two = 0" selects exactly half. *)
+  let e = Env.create () in
+  let open Volcano_tuple.Expr.Infix in
+  let pred =
+    Volcano_tuple.Expr.col (W.column "two") = Volcano_tuple.Expr.int 0
+  in
+  let plan = Plan.Filter { pred; mode = `Compiled; input = W.plan ~n:2000 () } in
+  check Alcotest.int "50% selectivity" 1000 (Compile.run_count e plan)
+
+let test_load_and_partitions () =
+  let e = Env.create ~frames:512 () in
+  W.load ~env:e ~name:"wisc" ~n:300 ~partitions:3 ();
+  check Alcotest.int "full table" 300 (Compile.run_count e (Plan.Scan_table "wisc"));
+  List.iter
+    (fun p ->
+      check Alcotest.int
+        (Printf.sprintf "partition %d" p)
+        100
+        (Compile.run_count e (Plan.Scan_table (Printf.sprintf "wisc#%d" p))))
+    [ 0; 1; 2 ];
+  (* A partitioned parallel scan sees every record exactly once. *)
+  let parallel =
+    Volcano_plan.Parallel.partitioned_scan ~degree:3 ~table:"wisc" ()
+  in
+  check Alcotest.int "partitioned scan" 300 (Compile.run_count e parallel)
+
+let test_skewed_generator () =
+  let g = W.skewed_generator ~n:5000 ~key_space:100 ~theta:1.2 () in
+  let counts = Hashtbl.create 100 in
+  for i = 0 to 4999 do
+    let k = Tuple.int_exn (g i) 0 in
+    Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  done;
+  let hottest = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  check Alcotest.bool "skew visible" true (hottest > 5000 / 20)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "unique1 is a permutation" `Quick
+      test_unique1_is_permutation;
+    Alcotest.test_case "derived columns" `Quick test_derived_columns;
+    Alcotest.test_case "selectivity" `Quick test_selectivity;
+    Alcotest.test_case "load with partitions" `Quick test_load_and_partitions;
+    Alcotest.test_case "skewed generator" `Quick test_skewed_generator;
+  ]
