@@ -6,6 +6,7 @@
      volcano explain parallel-join --degree 4
      volcano run aggregate --rows 50000
      volcano run parallel-sort --degree 3 --rows 100000
+     volcano analyze bad-plan --degree 3
      volcano sim --packet-size 5 *)
 
 module Plan = Volcano_plan.Plan
@@ -159,6 +160,36 @@ let queries =
             });
     };
     {
+      name = "bad-plan";
+      describe =
+        "deliberately malformed: bad partition column, unsorted merge, \
+         flow-controlled merge network (demo for `analyze`)";
+      build =
+        (fun ~rows ~degree ->
+          (* Three planted defects: the partition column 99 is out of range,
+             the merge producers are not sorted on the merge key, and the
+             flow-controlled merge network sits inside a parallel consumer
+             group (the section 4.4 deadlock hazard). *)
+          Plan.Exchange
+            {
+              cfg = Exchange.config ~degree ();
+              input =
+                Plan.Exchange_merge
+                  {
+                    cfg = Exchange.config ~degree ~flow_slack:(Some 2) ();
+                    key = [ (col "unique1", Support.Asc) ];
+                    input =
+                      Plan.Exchange
+                        {
+                          cfg =
+                            Exchange.config ~degree
+                              ~partition:(Exchange.Hash_on [ 99 ]) ();
+                          input = W.plan_slice ~n:rows ();
+                        };
+                  };
+            });
+    };
+    {
       name = "pipeline";
       describe = "the section 4.3 eight-process pipeline (exchange x2)";
       build =
@@ -204,7 +235,7 @@ let explain_cmd name rows degree =
       print_string (Plan.explain env (q.build ~rows ~degree));
       0
 
-let run_cmd name rows degree limit =
+let analyze_cmd name rows degree =
   match find_query name with
   | Error e ->
       prerr_endline e;
@@ -212,15 +243,35 @@ let run_cmd name rows degree limit =
   | Ok q ->
       let env = Env.create ~frames:2048 () in
       let plan = q.build ~rows ~degree in
-      let result, elapsed = Clock.time (fun () -> Compile.run env plan) in
-      Printf.printf "%d rows in %.3f s\n" (List.length result) elapsed;
-      List.iteri
-        (fun i t -> if i < limit then print_endline (Tuple.to_string t))
-        result;
-      if List.length result > limit then
-        Printf.printf "... (%d more rows; use --limit)\n"
-          (List.length result - limit);
-      0
+      print_string (Plan.explain env plan);
+      let diags = Compile.analyze env plan in
+      Format.printf "%a" Volcano_analysis.Diag.pp_report diags;
+      if List.exists Volcano_analysis.Diag.is_error diags then 1 else 0
+
+let run_cmd name rows degree limit =
+  match find_query name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok q -> (
+      let env = Env.create ~frames:2048 () in
+      let plan = q.build ~rows ~degree in
+      match Clock.time (fun () -> Compile.run env plan) with
+      | exception Compile.Rejected errors ->
+          prerr_endline "plan rejected by the static analyzer:";
+          List.iter
+            (fun d -> prerr_endline ("  " ^ Volcano_analysis.Diag.to_string d))
+            errors;
+          1
+      | result, elapsed ->
+          Printf.printf "%d rows in %.3f s\n" (List.length result) elapsed;
+          List.iteri
+            (fun i t -> if i < limit then print_endline (Tuple.to_string t))
+            result;
+          if List.length result > limit then
+            Printf.printf "... (%d more rows; use --limit)\n"
+              (List.length result - limit);
+          0)
 
 let sim_cmd packet_size records =
   let r = Volcano_sim.Calibration.fig2a ~packet_size ~records () in
@@ -251,6 +302,8 @@ let list_term = Term.(const list_cmd $ const ())
 
 let explain_term = Term.(const explain_cmd $ name_arg $ rows_arg $ degree_arg)
 
+let analyze_term = Term.(const analyze_cmd $ name_arg $ rows_arg $ degree_arg)
+
 let run_term = Term.(const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg)
 
 let sim_term =
@@ -266,6 +319,12 @@ let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List the demo queries.") list_term;
     Cmd.v (Cmd.info "explain" ~doc:"Print a query's operator tree.") explain_term;
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Static analysis: print the analyzer's diagnostics for a query's \
+            plan (exit 1 if it would be rejected).")
+      analyze_term;
     Cmd.v (Cmd.info "run" ~doc:"Execute a demo query.") run_term;
     Cmd.v
       (Cmd.info "sim" ~doc:"Run the Figure-2a topology on the simulated Sequent.")

@@ -1,0 +1,489 @@
+module Match_op = Volcano_ops.Match_op
+
+let child_path path seg = if path = "" then seg else path ^ "/" ^ seg
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: schema / arity inference                                    *)
+
+let schema_pass root =
+  let diags = ref [] in
+  let err path code msg = diags := Diag.error ~code ~path msg :: !diags in
+  let warn path code msg = diags := Diag.warning ~code ~path msg :: !diags in
+  (* Column checks are skipped when the input arity is unknown (an
+     [Unresolved] leaf below already carries its own error). *)
+  let check_cols path what arity cols =
+    match arity with
+    | None -> ()
+    | Some a ->
+        List.iter
+          (fun c ->
+            if c < 0 || c >= a then
+              err path "schema-col"
+                (Printf.sprintf
+                   "%s references column %d, but the input has %d column(s)"
+                   what c a))
+          cols
+  in
+  let rec infer prefix node =
+    let path = child_path prefix (Ir.label node) in
+    match node with
+    | Ir.Leaf { arity; bad_rows; _ } ->
+        if bad_rows > 0 then
+          err path "schema-row-width"
+            (Printf.sprintf
+               "%d literal tuple(s) do not match the declared arity %d"
+               bad_rows arity);
+        Some arity
+    | Ir.Unresolved { label } ->
+        err path "schema-unknown-source" (label ^ " is not in the catalog");
+        None
+    | Ir.Filter { cols; input } ->
+        let a = infer path input in
+        check_cols path "filter predicate" a cols;
+        a
+    | Ir.Project_cols { cols; input } ->
+        let a = infer path input in
+        check_cols path "projection" a cols;
+        Some (List.length cols)
+    | Ir.Project_exprs { arity; cols; input } ->
+        let a = infer path input in
+        check_cols path "projection expression" a cols;
+        Some arity
+    | Ir.Sort { key; input } ->
+        let a = infer path input in
+        check_cols path "sort key" a (List.map fst key);
+        a
+    | Ir.Match { kind; left_key; right_key; left; right; _ } ->
+        let la = infer (child_path path "left") left in
+        let ra = infer (child_path path "right") right in
+        if List.length left_key <> List.length right_key then
+          err path "schema-match-keys"
+            (Printf.sprintf
+               "left key has %d column(s) but right key has %d; keys are \
+                matched pairwise"
+               (List.length left_key)
+               (List.length right_key));
+        check_cols path "match left key" la left_key;
+        check_cols path "match right key" ra right_key;
+        (match kind with
+        | Match_op.Union | Match_op.Intersection | Match_op.Difference
+        | Match_op.Anti_difference -> (
+            match (la, ra) with
+            | Some l, Some r when l <> r ->
+                err path "schema-union-arity"
+                  (Printf.sprintf
+                     "%s requires union-compatible inputs; left has %d \
+                      column(s), right has %d"
+                     (Match_op.to_string kind) l r)
+            | _ -> ())
+        | _ -> ());
+        (match (la, ra) with
+        | Some l, Some r ->
+            Some (Match_op.output_arity kind ~left_arity:l ~right_arity:r)
+        | _ -> None)
+    | Ir.Cross { left; right } -> (
+        let la = infer (child_path path "left") left in
+        let ra = infer (child_path path "right") right in
+        match (la, ra) with Some l, Some r -> Some (l + r) | _ -> None)
+    | Ir.Theta_join { cols; left; right } ->
+        let la = infer (child_path path "left") left in
+        let ra = infer (child_path path "right") right in
+        let combined =
+          match (la, ra) with Some l, Some r -> Some (l + r) | _ -> None
+        in
+        check_cols path "join predicate" combined cols;
+        combined
+    | Ir.Aggregate { group_by; agg_cols; input; _ } ->
+        let a = infer path input in
+        check_cols path "group-by key" a group_by;
+        List.iter (fun cols -> check_cols path "aggregate expression" a cols)
+          agg_cols;
+        Some (List.length group_by + List.length agg_cols)
+    | Ir.Distinct { on; input; _ } ->
+        let a = infer path input in
+        check_cols path "distinct key" a on;
+        a
+    | Ir.Division { quotient; divisor_attrs; divisor_key; dividend; divisor; _ }
+      ->
+        let da = infer (child_path path "dividend") dividend in
+        let va = infer (child_path path "divisor") divisor in
+        check_cols path "division quotient" da quotient;
+        check_cols path "division divisor attributes" da divisor_attrs;
+        check_cols path "division divisor key" va divisor_key;
+        if List.length divisor_attrs <> List.length divisor_key then
+          err path "schema-division-keys"
+            (Printf.sprintf
+               "%d divisor attribute(s) in the dividend but %d divisor key \
+                column(s); they are matched pairwise"
+               (List.length divisor_attrs)
+               (List.length divisor_key));
+        Some (List.length quotient)
+    | Ir.Limit { count; input } ->
+        if count < 0 then
+          err path "schema-limit"
+            (Printf.sprintf "limit count %d is negative" count);
+        infer path input
+    | Ir.Choose { alternatives } -> (
+        match alternatives with
+        | [] ->
+            err path "schema-choose-empty" "choose-plan with no alternatives";
+            None
+        | alts ->
+            let arities =
+              List.mapi
+                (fun i alt ->
+                  infer (child_path path (Printf.sprintf "alt%d" i)) alt)
+                alts
+            in
+            let known = List.filter_map Fun.id arities in
+            (match List.sort_uniq compare known with
+            | _ :: _ :: _ ->
+                err path "schema-choose-arity"
+                  (Printf.sprintf
+                     "alternatives disagree on output arity (%s); the \
+                      decision function would change the result width"
+                     (String.concat ", " (List.map string_of_int known)))
+            | _ -> ());
+            List.nth_opt known 0)
+    | Ir.Exchange { cfg; input } | Ir.Interchange { cfg; input } ->
+        let a = infer path input in
+        (match cfg.Ir.partition with
+        | Ir.Hash_on [] ->
+            warn path "schema-hash-empty"
+              "hash partitioning on no columns sends every record to one \
+               consumer"
+        | Ir.Hash_on cols -> check_cols path "hash partition" a cols
+        | Ir.Range_on (c, _) -> check_cols path "range partition" a [ c ]
+        | Ir.Round_robin | Ir.Custom | Ir.Broadcast -> ());
+        a
+    | Ir.Exchange_merge { cfg; key; input } ->
+        let a = infer path input in
+        check_cols path "merge key" a (List.map fst key);
+        (match cfg.Ir.partition with
+        | Ir.Hash_on cols -> check_cols path "hash partition" a cols
+        | Ir.Range_on (c, _) -> check_cols path "range partition" a [ c ]
+        | _ -> ());
+        a
+  in
+  ignore (infer "" root);
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: exchange configuration and placement                        *)
+
+(* The sort key (if any) that a subtree's output is guaranteed to obey.
+   Filter and limit preserve order; everything else is conservative. *)
+let rec sorted_key_of = function
+  | Ir.Sort { key; _ } -> Some key
+  | Ir.Exchange_merge { key; _ } -> Some key
+  | Ir.Filter { input; _ } | Ir.Limit { input; _ } -> sorted_key_of input
+  | _ -> None
+
+let rec is_key_prefix shorter longer =
+  match (shorter, longer) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: s, b :: l -> a = b && is_key_prefix s l
+
+let key_to_string key =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (c, dir) ->
+           string_of_int c ^ match dir with Ir.Asc -> "" | Ir.Desc -> " desc")
+         key)
+  ^ "]"
+
+let exchange_pass root =
+  let diags = ref [] in
+  let err path code msg = diags := Diag.error ~code ~path msg :: !diags in
+  let warn path code msg = diags := Diag.warning ~code ~path msg :: !diags in
+  (* [consumers] is the size of the group the node executes in — the
+     consumer count of any exchange sitting at this position. *)
+  let check_cfg path ~consumers (cfg : Ir.cfg) =
+    if cfg.degree < 1 then
+      err path "exchange-degree"
+        (Printf.sprintf "degree %d: must fork at least one producer"
+           cfg.degree);
+    if cfg.packet_size < 1 || cfg.packet_size > 255 then
+      err path "exchange-packet-size"
+        (Printf.sprintf
+           "packet size %d outside [1, 255] (the record count is a one-byte \
+            packet field)"
+           cfg.packet_size);
+    (match cfg.flow_slack with
+    | Some n when n < 1 ->
+        err path "exchange-flow-slack"
+          (Printf.sprintf
+             "flow-control slack %d: producers could never send a packet" n)
+    | _ -> ());
+    match cfg.partition with
+    | Ir.Range_on (_, bounds) when bounds <> consumers - 1 ->
+        err path "exchange-range-bounds"
+          (Printf.sprintf
+             "range partitioning has %d split bound(s) for %d consumer(s); \
+              exactly %d are required"
+             bounds consumers (consumers - 1))
+    | _ -> ()
+  in
+  let rec walk prefix consumers node =
+    let path = child_path prefix (Ir.label node) in
+    match node with
+    | Ir.Leaf _ | Ir.Unresolved _ -> ()
+    | Ir.Filter { input; _ }
+    | Ir.Project_cols { input; _ }
+    | Ir.Project_exprs { input; _ }
+    | Ir.Sort { input; _ }
+    | Ir.Aggregate { input; _ }
+    | Ir.Distinct { input; _ }
+    | Ir.Limit { input; _ } ->
+        walk path consumers input
+    | Ir.Match { left; right; _ } | Ir.Cross { left; right }
+    | Ir.Theta_join { left; right; _ } ->
+        walk (child_path path "left") consumers left;
+        walk (child_path path "right") consumers right
+    | Ir.Division { dividend; divisor; _ } ->
+        walk (child_path path "dividend") consumers dividend;
+        walk (child_path path "divisor") consumers divisor
+    | Ir.Choose { alternatives } ->
+        List.iteri
+          (fun i alt ->
+            walk (child_path path (Printf.sprintf "alt%d" i)) consumers alt)
+          alternatives
+    | Ir.Exchange { cfg; input } ->
+        check_cfg path ~consumers cfg;
+        walk path cfg.degree input
+    | Ir.Exchange_merge { cfg; key; input } ->
+        check_cfg path ~consumers cfg;
+        (match sorted_key_of input with
+        | Some produced when is_key_prefix key produced -> ()
+        | Some produced ->
+            err path "merge-unsorted"
+              (Printf.sprintf
+                 "merge key %s is not a prefix of the producers' sort key \
+                  %s; the merged stream would not be ordered"
+                 (key_to_string key) (key_to_string produced))
+        | None ->
+            err path "merge-unsorted"
+              (Printf.sprintf
+                 "producers of an exchange-merge must emit streams sorted \
+                  on the merge key %s, but the input does not establish an \
+                  order"
+                 (key_to_string key)));
+        walk path cfg.degree input
+    | Ir.Interchange { cfg; input } ->
+        check_cfg path ~consumers cfg;
+        (match cfg.partition with
+        | Ir.Broadcast ->
+            err path "interchange-broadcast"
+              "the no-fork interchange cannot broadcast (every process is \
+               both producer and consumer of the same stream)"
+        | _ -> ());
+        if consumers = 1 then
+          warn path "interchange-solo"
+            "interchange in a solo group repartitions to itself; it is a \
+             no-op costing a packet copy per record"
+        else if cfg.degree <> consumers then
+          warn path "interchange-degree"
+            (Printf.sprintf
+               "config degree %d is ignored by interchange; the enclosing \
+                group size %d governs"
+               cfg.degree consumers);
+        walk path consumers input
+  in
+  walk "" 1 root;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: dataflow deadlock hazards (section 4.4)                     *)
+
+(* Exchanges whose consumer side is the current process: reachable from
+   [node] without crossing another exchange boundary.  The no-fork
+   interchange stays inside the process, so the search continues below
+   it. *)
+let rec frontier acc = function
+  | Ir.Exchange { cfg; _ } | Ir.Exchange_merge { cfg; _ } -> cfg :: acc
+  | Ir.Interchange { input; _ } -> frontier acc input
+  | Ir.Leaf _ | Ir.Unresolved _ -> acc
+  | Ir.Filter { input; _ }
+  | Ir.Project_cols { input; _ }
+  | Ir.Project_exprs { input; _ }
+  | Ir.Sort { input; _ }
+  | Ir.Aggregate { input; _ }
+  | Ir.Distinct { input; _ }
+  | Ir.Limit { input; _ } ->
+      frontier acc input
+  | Ir.Match { left; right; _ }
+  | Ir.Cross { left; right }
+  | Ir.Theta_join { left; right; _ } ->
+      frontier (frontier acc left) right
+  | Ir.Division { dividend; divisor; _ } ->
+      frontier (frontier acc dividend) divisor
+  | Ir.Choose { alternatives } -> List.fold_left frontier acc alternatives
+
+let flow_controlled (cfg : Ir.cfg) = cfg.flow_slack <> None
+
+let broadcast_flow cfg =
+  cfg.Ir.partition = Ir.Broadcast && flow_controlled cfg
+
+let deadlock_pass root =
+  let diags = ref [] in
+  let warn path code msg = diags := Diag.warning ~code ~path msg :: !diags in
+  (* A binary operator with data-dependent input interleaving can block on
+     either input depending on record values; fixed-order operators (hash
+     match, hash/count division) fully drain one side first and cannot
+     close a wait cycle. *)
+  let interleaved_binary path consumers left right =
+    if consumers >= 2 then begin
+      let lf = frontier [] left and rf = frontier [] right in
+      let hazard a b =
+        List.exists broadcast_flow a && List.exists flow_controlled b
+      in
+      if hazard lf rf || hazard rf lf then
+        warn path "deadlock-broadcast-flow"
+          (Printf.sprintf
+             "flow-controlled broadcast feeding one side of an operator \
+              that interleaves its inputs, with a flow-controlled exchange \
+              on the other side and %d consumers: a broadcast producer \
+              blocked on one consumer's slack semaphore while that consumer \
+              waits on the other input closes a wait cycle (section 4.4); \
+              disable flow control on one of the exchanges"
+             consumers)
+    end
+  in
+  let rec walk prefix consumers node =
+    let path = child_path prefix (Ir.label node) in
+    match node with
+    | Ir.Leaf _ | Ir.Unresolved _ -> ()
+    | Ir.Filter { input; _ }
+    | Ir.Project_cols { input; _ }
+    | Ir.Project_exprs { input; _ }
+    | Ir.Sort { input; _ }
+    | Ir.Aggregate { input; _ }
+    | Ir.Distinct { input; _ }
+    | Ir.Limit { input; _ } ->
+        walk path consumers input
+    | Ir.Match { algo; left; right; _ } ->
+        if algo = Ir.Sort_based then
+          interleaved_binary path consumers left right;
+        walk (child_path path "left") consumers left;
+        walk (child_path path "right") consumers right
+    | Ir.Cross { left; right } | Ir.Theta_join { left; right; _ } ->
+        interleaved_binary path consumers left right;
+        walk (child_path path "left") consumers left;
+        walk (child_path path "right") consumers right
+    | Ir.Division { algo; dividend; divisor; _ } ->
+        if algo = `Sort then interleaved_binary path consumers dividend divisor;
+        walk (child_path path "dividend") consumers dividend;
+        walk (child_path path "divisor") consumers divisor
+    | Ir.Choose { alternatives } ->
+        List.iteri
+          (fun i alt ->
+            walk (child_path path (Printf.sprintf "alt%d" i)) consumers alt)
+          alternatives
+    | Ir.Exchange { cfg; input } -> walk path cfg.degree input
+    | Ir.Exchange_merge { cfg; input; _ } ->
+        if flow_controlled cfg && cfg.degree >= 2 && consumers >= 2 then
+          warn path "deadlock-merge-flow"
+            (Printf.sprintf
+               "keep-separate merge network with flow control, %d producers \
+                and %d consumers: a producer blocked on one consumer's \
+                slack semaphore while another consumer waits on that \
+                producer's stream closes a wait cycle (section 4.4); \
+                disable flow control or merge in a solo group"
+               cfg.degree consumers);
+        walk path cfg.degree input
+    | Ir.Interchange { input; _ } -> walk path consumers input
+  in
+  walk "" 1 root;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: resource estimation                                         *)
+
+let rec domains = function
+  | Ir.Leaf _ | Ir.Unresolved _ -> 0
+  | Ir.Filter { input; _ }
+  | Ir.Project_cols { input; _ }
+  | Ir.Project_exprs { input; _ }
+  | Ir.Sort { input; _ }
+  | Ir.Aggregate { input; _ }
+  | Ir.Distinct { input; _ }
+  | Ir.Limit { input; _ }
+  | Ir.Interchange { input; _ } ->
+      domains input
+  | Ir.Match { left; right; _ }
+  | Ir.Cross { left; right }
+  | Ir.Theta_join { left; right; _ } ->
+      domains left + domains right
+  | Ir.Division { dividend; divisor; _ } -> domains dividend + domains divisor
+  | Ir.Choose { alternatives } ->
+      List.fold_left (fun acc alt -> max acc (domains alt)) 0 alternatives
+  | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
+      cfg.degree + domains input
+
+(* Concurrently fixed buffer pages, coarsely: a heap scan pins one page at
+   a time, an index scan a root-to-leaf path (~3), an external sort or
+   spilling hash table ~8 (runs being written plus the merge fan-in) —
+   each per group member.  Sort-based binary operators sort both inputs
+   themselves. *)
+let rec pages members = function
+  | Ir.Leaf { label; _ } ->
+      let per_member =
+        if String.length label >= 5 && String.sub label 0 5 = "index" then 3
+        else if String.length label >= 4 && String.sub label 0 4 = "scan" then 1
+        else 0
+      in
+      members * per_member
+  | Ir.Unresolved _ -> 0
+  | Ir.Filter { input; _ }
+  | Ir.Project_cols { input; _ }
+  | Ir.Project_exprs { input; _ }
+  | Ir.Limit { input; _ }
+  | Ir.Interchange { input; _ } ->
+      pages members input
+  | Ir.Sort { input; _ } -> (8 * members) + pages members input
+  | Ir.Aggregate { algo; input; _ } | Ir.Distinct { algo; on = _; input } ->
+      (match algo with Ir.Sort_based -> 8 * members | Ir.Hash_based -> 0)
+      + pages members input
+  | Ir.Match { algo; left; right; _ } ->
+      (match algo with
+      | Ir.Sort_based -> 16 * members (* sorts both inputs itself *)
+      | Ir.Hash_based -> 8 * members (* spill partitions *))
+      + pages members left + pages members right
+  | Ir.Cross { left; right } | Ir.Theta_join { left; right; _ } ->
+      pages members left + pages members right
+  | Ir.Division { algo; dividend; divisor; _ } ->
+      (match algo with `Sort -> 16 * members | `Hash | `Count -> 0)
+      + pages members dividend + pages members divisor
+  | Ir.Choose { alternatives } ->
+      List.fold_left (fun acc alt -> max acc (pages members alt)) 0 alternatives
+  | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
+      pages cfg.degree input
+
+let resource_pass ?(max_domains = 512) ?frames root =
+  let diags = ref [] in
+  let warn code msg = diags := Diag.warning ~code ~path:"root" msg :: !diags in
+  let d = domains root in
+  if d > max_domains then
+    warn "resource-domains"
+      (Printf.sprintf
+         "plan forks %d producer domains, over the limit of %d; consider \
+          lower degrees or the no-fork interchange"
+         d max_domains);
+  (match frames with
+  | Some frames ->
+      let p = pages 1 root in
+      if p > frames then
+        warn "resource-bufpool"
+          (Printf.sprintf
+             "estimated %d concurrently fixed buffer pages against a pool \
+              of %d frames; expect thrashing or fix failures under load"
+             p frames)
+  | None -> ());
+  List.rev !diags
+
+let analyze ?max_domains ?frames root =
+  Diag.sort
+    (schema_pass root @ exchange_pass root @ deadlock_pass root
+    @ resource_pass ?max_domains ?frames root)

@@ -1,0 +1,44 @@
+(** Planlint: the multi-pass static analyzer over plan IR.
+
+    Exchange's whole point is that single-process operators parallelize
+    "without modifications" — which also means a mis-placed exchange, an
+    out-of-range partition column, or a flow-controlled merge network
+    fails only at runtime, deep inside a forked domain.  Dataflow-transfer
+    mistakes are plan-structure properties; these passes check them before
+    execution.  [Volcano_plan.Compile.compile ~check:true] (the default)
+    rejects plans whose diagnostics include an [Error].
+
+    The four passes:
+
+    - {!schema_pass}: infers output arity bottom-up and checks every
+      column reference — projections, predicate columns, match /
+      aggregate / division / sort keys, partition columns — against the
+      inferred input arity; match key lists must pair up; union-family
+      matches and choose-plan alternatives must be width-compatible.
+    - {!exchange_pass}: exchange configuration sanity ([degree >= 1],
+      [packet_size] in 1..255 — the paper's one-byte field — positive
+      flow slack, range-partition bound counts), exchange-merge
+      sortedness (producers must emit streams sorted on the merge key),
+      and interchange placement rules.
+    - {!deadlock_pass}: the section 4.4 hazard class.  Keep-separate
+      merge networks combined with flow control and several consumers,
+      and broadcast-plus-flow-control wait cycles under operators with
+      data-dependent input interleaving.  These are scheduling-dependent
+      races, so they are reported as [Warning]s: the plan is hazardous,
+      not provably wrong.
+    - {!resource_pass}: estimates forked domains and concurrently fixed
+      buffer pages against pool capacity and reports over-commit. *)
+
+val schema_pass : Ir.t -> Diag.t list
+
+val exchange_pass : Ir.t -> Diag.t list
+
+val deadlock_pass : Ir.t -> Diag.t list
+
+val resource_pass : ?max_domains:int -> ?frames:int -> Ir.t -> Diag.t list
+(** [max_domains] bounds total producer domains the plan may fork
+    (default 512).  [frames] is the buffer pool size; when given, the
+    estimated concurrently-fixed page count is checked against it. *)
+
+val analyze : ?max_domains:int -> ?frames:int -> Ir.t -> Diag.t list
+(** All four passes, sorted errors-first (see {!Diag.sort}). *)

@@ -1,0 +1,43 @@
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;
+  path : string;
+  message : string;
+}
+
+let error ~code ~path message = { severity = Error; code; path; message }
+let warning ~code ~path message = { severity = Warning; code; path; message }
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let sort ds =
+  let rank d = match d.severity with Error -> 0 | Warning -> 1 in
+  List.stable_sort
+    (fun a b ->
+      match compare (rank a) (rank b) with
+      | 0 -> (
+          match String.compare a.path b.path with
+          | 0 -> String.compare a.code b.code
+          | c -> c)
+      | c -> c)
+    ds
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  Printf.sprintf "%s[%s] at %s: %s"
+    (severity_to_string d.severity)
+    d.code d.path d.message
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)
+
+let pp_report ppf = function
+  | [] -> Format.fprintf ppf "no diagnostics@."
+  | ds ->
+      let ds = sort ds in
+      List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds;
+      let n_err = List.length (errors ds) in
+      Format.fprintf ppf "%d error(s), %d warning(s)@." n_err
+        (List.length ds - n_err)

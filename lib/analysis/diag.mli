@@ -1,0 +1,40 @@
+(** Structured diagnostics for the static plan analyzer.
+
+    Every finding carries a severity, a stable machine-readable code (one
+    per defect class, e.g. ["schema-col"] or ["deadlock-merge-flow"]), the
+    path of the offending node in the plan tree (e.g.
+    ["root/match/left/exchange"]), and a human-readable message.
+
+    {!Analyze} produces these; [Compile.compile ~check:true] rejects plans
+    whose diagnostics include an [Error]. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** stable defect-class identifier *)
+  path : string;  (** plan-tree location, [/]-separated from the root *)
+  message : string;
+}
+
+val error : code:string -> path:string -> string -> t
+val warning : code:string -> path:string -> string -> t
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** The [Error]-severity subset, order preserved. *)
+
+val sort : t list -> t list
+(** Errors first, then by path, then by code — a stable presentation
+    order. *)
+
+val to_string : t -> string
+(** One line: ["error[schema-col] at root/project: ..."]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics, one per line, followed by an [N error(s), M
+    warning(s)] summary line.  Prints [no diagnostics] for an empty
+    list. *)

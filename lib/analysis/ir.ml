@@ -1,0 +1,94 @@
+module Expr = Volcano_tuple.Expr
+
+type partition =
+  | Round_robin
+  | Hash_on of int list
+  | Range_on of int * int
+  | Custom
+  | Broadcast
+
+type cfg = {
+  degree : int;
+  packet_size : int;
+  flow_slack : int option;
+  partition : partition;
+}
+
+type direction = Asc | Desc
+
+type sort_key = (int * direction) list
+
+type algo = Sort_based | Hash_based
+
+type t =
+  | Leaf of { label : string; arity : int; rows : int option; bad_rows : int }
+  | Unresolved of { label : string }
+  | Filter of { cols : int list; input : t }
+  | Project_cols of { cols : int list; input : t }
+  | Project_exprs of { arity : int; cols : int list; input : t }
+  | Sort of { key : sort_key; input : t }
+  | Match of {
+      algo : algo;
+      kind : Volcano_ops.Match_op.kind;
+      left_key : int list;
+      right_key : int list;
+      left : t;
+      right : t;
+    }
+  | Cross of { left : t; right : t }
+  | Theta_join of { cols : int list; left : t; right : t }
+  | Aggregate of {
+      algo : algo;
+      group_by : int list;
+      agg_cols : int list list;
+      input : t;
+    }
+  | Distinct of { algo : algo; on : int list; input : t }
+  | Division of {
+      algo : [ `Hash | `Count | `Sort ];
+      quotient : int list;
+      divisor_attrs : int list;
+      divisor_key : int list;
+      dividend : t;
+      divisor : t;
+    }
+  | Limit of { count : int; input : t }
+  | Choose of { alternatives : t list }
+  | Exchange of { cfg : cfg; input : t }
+  | Exchange_merge of { cfg : cfg; key : sort_key; input : t }
+  | Interchange of { cfg : cfg; input : t }
+
+let label = function
+  | Leaf { label; _ } | Unresolved { label; _ } -> label
+  | Filter _ -> "filter"
+  | Project_cols _ | Project_exprs _ -> "project"
+  | Sort _ -> "sort"
+  | Match _ -> "match"
+  | Cross _ -> "cross"
+  | Theta_join _ -> "theta-join"
+  | Aggregate _ -> "aggregate"
+  | Distinct _ -> "distinct"
+  | Division _ -> "division"
+  | Limit _ -> "limit"
+  | Choose _ -> "choose"
+  | Exchange _ -> "exchange"
+  | Exchange_merge _ -> "exchange-merge"
+  | Interchange _ -> "interchange"
+
+let rec num_cols acc = function
+  | Expr.Col c -> c :: acc
+  | Expr.Const _ -> acc
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b)
+  | Expr.Mod (a, b) ->
+      num_cols (num_cols acc a) b
+  | Expr.Neg a -> num_cols acc a
+
+let rec pred_cols acc = function
+  | Expr.True | Expr.False -> acc
+  | Expr.Cmp (_, a, b) -> num_cols (num_cols acc a) b
+  | Expr.And (p, q) | Expr.Or (p, q) -> pred_cols (pred_cols acc p) q
+  | Expr.Not p -> pred_cols acc p
+  | Expr.Is_null n | Expr.Str_prefix (_, n) -> num_cols acc n
+
+let cols_of_num e = List.sort_uniq compare (num_cols [] e)
+let cols_of_pred p = List.sort_uniq compare (pred_cols [] p)

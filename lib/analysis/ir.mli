@@ -1,0 +1,88 @@
+(** A closure-free mirror of the plan algebra, for static analysis.
+
+    [Volcano_plan.Plan.t] carries closures (predicates, generators,
+    decision functions) that an analyzer cannot inspect, and the plan
+    library must be able to {e call} the analyzer before compiling — so
+    the analyzer cannot depend on the plan library.  This IR breaks the
+    cycle: [Volcano_plan.Lower] projects a plan onto this type, keeping
+    exactly the structure static analysis needs — arities, column
+    references extracted from expressions, sort keys, exchange
+    configurations — and dropping the closures. *)
+
+type partition =
+  | Round_robin
+  | Hash_on of int list
+  | Range_on of int * int  (** partition column, number of split bounds *)
+  | Custom  (** opaque user partitioner — nothing to check *)
+  | Broadcast
+
+(** Mirror of [Volcano.Exchange.config], minus the fork mode (irrelevant
+    to analysis).  Mirrored rather than reused so that analysis also
+    applies to configs built as record literals, bypassing the
+    [Exchange.config] smart constructor's checks. *)
+type cfg = {
+  degree : int;
+  packet_size : int;
+  flow_slack : int option;
+  partition : partition;
+}
+
+type direction = Asc | Desc
+
+type sort_key = (int * direction) list
+
+type algo = Sort_based | Hash_based
+
+type t =
+  | Leaf of {
+      label : string;
+      arity : int;
+      rows : int option;  (** row count when statically known *)
+      bad_rows : int;  (** literal tuples whose width contradicts [arity] *)
+    }
+  | Unresolved of { label : string }
+      (** a scan of a table or index missing from the catalog *)
+  | Filter of { cols : int list; input : t }
+      (** [cols]: columns the predicate references *)
+  | Project_cols of { cols : int list; input : t }
+  | Project_exprs of { arity : int; cols : int list; input : t }
+  | Sort of { key : sort_key; input : t }
+  | Match of {
+      algo : algo;
+      kind : Volcano_ops.Match_op.kind;
+      left_key : int list;
+      right_key : int list;
+      left : t;
+      right : t;
+    }
+  | Cross of { left : t; right : t }
+  | Theta_join of { cols : int list; left : t; right : t }
+  | Aggregate of {
+      algo : algo;
+      group_by : int list;
+      agg_cols : int list list;
+      input : t;
+    }  (** [agg_cols]: per aggregate, the columns its expression references *)
+  | Distinct of { algo : algo; on : int list; input : t }
+  | Division of {
+      algo : [ `Hash | `Count | `Sort ];
+      quotient : int list;
+      divisor_attrs : int list;
+      divisor_key : int list;
+      dividend : t;
+      divisor : t;
+    }
+  | Limit of { count : int; input : t }
+  | Choose of { alternatives : t list }
+  | Exchange of { cfg : cfg; input : t }
+  | Exchange_merge of { cfg : cfg; key : sort_key; input : t }
+  | Interchange of { cfg : cfg; input : t }
+
+val label : t -> string
+(** Short node name used in diagnostic paths ([filter], [match],
+    [exchange-merge], a leaf's own label, ...). *)
+
+val cols_of_num : Volcano_tuple.Expr.num -> int list
+(** Columns referenced by a scalar expression, ascending, deduplicated. *)
+
+val cols_of_pred : Volcano_tuple.Expr.pred -> int list

@@ -24,6 +24,10 @@ let config ?(degree = 1) ?(packet_size = Packet.default_capacity)
   if degree < 1 then invalid_arg "Exchange.config: degree must be positive";
   if packet_size < 1 || packet_size > Packet.max_capacity then
     invalid_arg "Exchange.config: packet size must be in [1, 255]";
+  (match flow_slack with
+  | Some slack when slack < 1 ->
+      invalid_arg "Exchange.config: flow-control slack must be positive"
+  | Some _ | None -> ());
   { degree; packet_size; flow_slack; partition; fork_mode }
 
 let id_counter = Atomic.make 0

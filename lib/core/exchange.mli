@@ -55,7 +55,12 @@ val config :
   unit ->
   config
 (** Defaults: degree 1, packet size 83, flow control with 4 slack packets,
-    round-robin partitioning, tree forking. *)
+    round-robin partitioning, tree forking.
+
+    Raises [Invalid_argument] on a config that could only fail at fork
+    time, deep inside a producer domain: [degree < 1], [packet_size]
+    outside [1, 255] (the paper's one-byte field), or a non-positive
+    flow-control slack. *)
 
 val fresh_id : unit -> int
 (** Allocate an exchange instance key.  All consumers of one logical

@@ -2,7 +2,6 @@ module Iterator = Volcano.Iterator
 module Exchange = Volcano.Exchange
 module Group = Volcano.Group
 module Support = Volcano_tuple.Support
-module Tuple = Volcano_tuple.Tuple
 module Ops = Volcano_ops
 
 (* Pre-assign port keys to exchange nodes, keyed by physical identity: the
@@ -189,7 +188,29 @@ let rec compile_in env ids group plan =
   | Plan.Interchange { cfg; input } ->
       Exchange.interchange ~id:(ids plan) cfg ~group ~input:(recur input)
 
-let compile env plan = compile_in env (assign_ids plan) (Group.solo ()) plan
+exception Rejected of Volcano_analysis.Diag.t list
 
-let run env plan = Iterator.to_list (compile env plan)
-let run_count env plan = Iterator.consume (compile env plan)
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          ("Compile.Rejected:\n"
+          ^ String.concat "\n"
+              (List.map Volcano_analysis.Diag.to_string diags))
+    | _ -> None)
+
+let analyze env plan =
+  let frames =
+    Volcano_storage.Bufpool.frames_total (Env.buffer env)
+  in
+  Volcano_analysis.Analyze.analyze ~frames (Lower.ir env plan)
+
+let compile ?(check = true) env plan =
+  (if check then
+     match Volcano_analysis.Diag.errors (analyze env plan) with
+     | [] -> ()
+     | errors -> raise (Rejected errors));
+  compile_in env (assign_ids plan) (Group.solo ()) plan
+
+let run ?check env plan = Iterator.to_list (compile ?check env plan)
+let run_count ?check env plan = Iterator.consume (compile ?check env plan)

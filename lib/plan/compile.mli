@@ -4,12 +4,31 @@
     consuming process group.  [compile] pre-assigns a key to each exchange
     node of the plan; the closures capturing that assignment are shared by
     all group members (they all run the same compiled thunk), so members
-    agree on keys without further coordination. *)
+    agree on keys without further coordination.
 
-val compile : Env.t -> Plan.t -> Volcano.Iterator.t
-(** Compile for the query root process (a fresh solo group). *)
+    Before compiling, the static analyzer ({!Volcano_analysis.Analyze})
+    runs over the plan: structural mistakes that would otherwise fail at
+    runtime deep inside a forked domain — out-of-range column or
+    partition-column references, malformed exchange configurations,
+    unsorted merge inputs — are rejected at submit time instead. *)
 
-val run : Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
+exception Rejected of Volcano_analysis.Diag.t list
+(** Raised by [compile ~check:true] when the analyzer reports errors.
+    Carries the [Error]-severity diagnostics. *)
+
+val analyze : Env.t -> Plan.t -> Volcano_analysis.Diag.t list
+(** Run all analyzer passes on the plan (sorted errors-first), resolving
+    leaves against the environment's catalog and sizing the resource pass
+    from its buffer pool.  Warnings do not block compilation. *)
+
+val compile : ?check:bool -> Env.t -> Plan.t -> Volcano.Iterator.t
+(** Compile for the query root process (a fresh solo group).  [check]
+    defaults to [true]: the plan is analyzed first and {!Rejected} is
+    raised if any [Error]-severity diagnostic is found.  Pass
+    [~check:false] to compile a plan the analyzer would reject — it then
+    fails (or silently misbehaves) at runtime, as before. *)
+
+val run : ?check:bool -> Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
 (** Compile, open, drain, close. *)
 
-val run_count : Env.t -> Plan.t -> int
+val run_count : ?check:bool -> Env.t -> Plan.t -> int

@@ -1,0 +1,125 @@
+module Ir = Volcano_analysis.Ir
+module Exchange = Volcano.Exchange
+module Support = Volcano_tuple.Support
+module Agg = Volcano_ops.Aggregate
+
+let cfg (c : Exchange.config) : Ir.cfg =
+  {
+    Ir.degree = c.degree;
+    packet_size = c.packet_size;
+    flow_slack = c.flow_slack;
+    partition =
+      (match c.partition with
+      | Exchange.Round_robin -> Ir.Round_robin
+      | Exchange.Hash_on cols -> Ir.Hash_on cols
+      | Exchange.Range_on (col, bounds) ->
+          Ir.Range_on (col, Array.length bounds)
+      | Exchange.Custom _ -> Ir.Custom
+      | Exchange.Broadcast -> Ir.Broadcast);
+  }
+
+let key k =
+  List.map
+    (fun (c, dir) ->
+      (c, match dir with Support.Asc -> Ir.Asc | Support.Desc -> Ir.Desc))
+    k
+
+let algo = function
+  | Plan.Sort_based -> Ir.Sort_based
+  | Plan.Hash_based -> Ir.Hash_based
+
+let agg_cols aggs =
+  List.map
+    (function
+      | Agg.Count -> []
+      | Agg.Sum e | Agg.Min e | Agg.Max e | Agg.Avg e -> Ir.cols_of_num e)
+    aggs
+
+(* Leaves resolve against the catalog; a missing table or index becomes
+   [Unresolved] and the analyzer reports it in place. *)
+let leaf env plan label =
+  match Plan.arity env plan with
+  | arity -> Ir.Leaf { label; arity; rows = None; bad_rows = 0 }
+  | exception (Not_found | Invalid_argument _) -> Ir.Unresolved { label }
+
+let rec ir env plan =
+  match plan with
+  | Plan.Scan_table name -> leaf env plan ("scan:" ^ name)
+  | Plan.Scan_table_slice name -> leaf env plan ("scan-slice:" ^ name)
+  | Plan.Scan_index { index; _ } -> leaf env plan ("index:" ^ index)
+  | Plan.Scan_list { arity; tuples } ->
+      Ir.Leaf
+        {
+          label = "list";
+          arity;
+          rows = Some (List.length tuples);
+          bad_rows =
+            List.length
+              (List.filter (fun t -> Array.length t <> arity) tuples);
+        }
+  | Plan.Generate { arity; count; _ } ->
+      Ir.Leaf { label = "generate"; arity; rows = Some count; bad_rows = 0 }
+  | Plan.Generate_slice { arity; count; _ } ->
+      Ir.Leaf
+        { label = "generate-slice"; arity; rows = Some count; bad_rows = 0 }
+  | Plan.Filter { pred; input; _ } ->
+      Ir.Filter { cols = Ir.cols_of_pred pred; input = ir env input }
+  | Plan.Project_cols { cols; input } ->
+      Ir.Project_cols { cols; input = ir env input }
+  | Plan.Project_exprs { exprs; input } ->
+      Ir.Project_exprs
+        {
+          arity = List.length exprs;
+          cols = List.sort_uniq compare (List.concat_map Ir.cols_of_num exprs);
+          input = ir env input;
+        }
+  | Plan.Sort { key = k; input } -> Ir.Sort { key = key k; input = ir env input }
+  | Plan.Match { algo = a; kind; left_key; right_key; left; right } ->
+      Ir.Match
+        {
+          algo = algo a;
+          kind;
+          left_key;
+          right_key;
+          left = ir env left;
+          right = ir env right;
+        }
+  | Plan.Cross { left; right } ->
+      Ir.Cross { left = ir env left; right = ir env right }
+  | Plan.Theta_join { pred; left; right } ->
+      Ir.Theta_join
+        {
+          cols = Ir.cols_of_pred pred;
+          left = ir env left;
+          right = ir env right;
+        }
+  | Plan.Aggregate { algo = a; group_by; aggs; input } ->
+      Ir.Aggregate
+        {
+          algo = algo a;
+          group_by;
+          agg_cols = agg_cols aggs;
+          input = ir env input;
+        }
+  | Plan.Distinct { algo = a; on; input } ->
+      Ir.Distinct { algo = algo a; on; input = ir env input }
+  | Plan.Division { algo = a; quotient; divisor_attrs; divisor_key; dividend; divisor }
+    ->
+      Ir.Division
+        {
+          algo = a;
+          quotient;
+          divisor_attrs;
+          divisor_key;
+          dividend = ir env dividend;
+          divisor = ir env divisor;
+        }
+  | Plan.Limit { count; input } -> Ir.Limit { count; input = ir env input }
+  | Plan.Choose { alternatives; _ } ->
+      Ir.Choose { alternatives = List.map (ir env) alternatives }
+  | Plan.Exchange { cfg = c; input } ->
+      Ir.Exchange { cfg = cfg c; input = ir env input }
+  | Plan.Exchange_merge { cfg = c; key = k; input } ->
+      Ir.Exchange_merge { cfg = cfg c; key = key k; input = ir env input }
+  | Plan.Interchange { cfg = c; input } ->
+      Ir.Interchange { cfg = cfg c; input = ir env input }

@@ -1,0 +1,11 @@
+(** Lowering plans onto the analyzer's closure-free IR.
+
+    The projection keeps everything static analysis can use — arities
+    resolved against the catalog, column references extracted from
+    expression ASTs, sort keys, exchange configurations — and drops the
+    closures (generators, custom partitioners, choose-plan decision
+    functions).  Scans of unregistered tables or indexes lower to
+    [Ir.Unresolved] rather than raising, so the analyzer can report them
+    as diagnostics with a plan location. *)
+
+val ir : Env.t -> Plan.t -> Volcano_analysis.Ir.t

@@ -12,6 +12,7 @@ let () =
       ("ops", Test_ops.suite);
       ("ops-extra", Test_ops_extra.suite);
       ("plan", Test_plan.suite);
+      ("analysis", Test_analysis.suite);
       ("plan-extra", Test_plan_extra.suite);
       ("random-plans", Test_random_plans.suite);
       ("sim", Test_sim.suite);

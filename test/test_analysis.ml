@@ -1,0 +1,377 @@
+(* Planlint: one malformed plan per diagnostic class, plus the wiring
+   tests — Compile.compile (default ~check:true) must reject at submit
+   time exactly the mistakes that previously failed only at runtime,
+   deep inside a forked domain. *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Exchange = Volcano.Exchange
+module Diag = Volcano_analysis.Diag
+module Tuple = Volcano_tuple.Tuple
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+
+let check = Alcotest.check
+let env () = Env.create ~frames:64 ~page_size:512 ()
+
+let gen n = Plan.Generate { arity = 3; count = n; gen = (fun i -> Tuple.of_ints [ i; i mod 5; i mod 7 ]) }
+
+let has ?severity code diags =
+  List.exists
+    (fun (d : Diag.t) ->
+      String.equal d.code code
+      && match severity with None -> true | Some s -> d.severity = s)
+    diags
+
+let codes diags =
+  String.concat ", " (List.map (fun (d : Diag.t) -> d.code) diags)
+
+let assert_flags ?severity name code plan =
+  let diags = Compile.analyze (env ()) plan in
+  if not (has ?severity code diags) then
+    Alcotest.failf "%s: expected %s among [%s]" name code (codes diags)
+
+let assert_clean name plan =
+  let errors = Diag.errors (Compile.analyze (env ()) plan) in
+  if errors <> [] then
+    Alcotest.failf "%s: expected no errors, got [%s]" name (codes errors)
+
+let assert_rejected name code plan =
+  match Compile.compile (env ()) plan with
+  | _ -> Alcotest.failf "%s: expected Compile.Rejected" name
+  | exception Compile.Rejected errors ->
+      if not (has ~severity:Diag.Error code errors) then
+        Alcotest.failf "%s: expected error %s among [%s]" name code
+          (codes errors)
+
+(* --- pass 1: schema / arity ----------------------------------------- *)
+
+let test_schema_columns () =
+  assert_rejected "project out of range" "schema-col"
+    (Plan.Project_cols { cols = [ 0; 3 ]; input = gen 10 });
+  assert_rejected "filter column out of range" "schema-col"
+    (Plan.Filter
+       {
+         pred = Expr.Infix.( = ) (Expr.col 7) (Expr.int 0);
+         mode = `Compiled;
+         input = gen 10;
+       });
+  assert_rejected "sort key out of range" "schema-col"
+    (Plan.Sort { key = [ (3, Support.Asc) ]; input = gen 10 });
+  (* Arity inference must flow through projections: col 2 is valid below
+     the projection, invalid above it. *)
+  assert_rejected "stale column above projection" "schema-col"
+    (Plan.Filter
+       {
+         pred = Expr.Infix.( = ) (Expr.col 2) (Expr.int 0);
+         mode = `Compiled;
+         input = Plan.Project_cols { cols = [ 0; 1 ]; input = gen 10 };
+       });
+  assert_clean "valid columns"
+    (Plan.Filter
+       {
+         pred = Expr.Infix.( = ) (Expr.col 2) (Expr.int 0);
+         mode = `Compiled;
+         input = gen 10;
+       })
+
+let test_schema_match_keys () =
+  assert_rejected "mismatched key lists" "schema-match-keys"
+    (Plan.Match
+       {
+         algo = Plan.Hash_based;
+         kind = Volcano_ops.Match_op.Join;
+         left_key = [ 0 ];
+         right_key = [ 0; 1 ];
+         left = gen 10;
+         right = gen 10;
+       });
+  assert_rejected "union of different widths" "schema-union-arity"
+    (Plan.Match
+       {
+         algo = Plan.Sort_based;
+         kind = Volcano_ops.Match_op.Union;
+         left_key = [ 0 ];
+         right_key = [ 0 ];
+         left = gen 10;
+         right = Plan.Project_cols { cols = [ 0 ]; input = gen 10 };
+       })
+
+let test_schema_leaves () =
+  assert_rejected "unknown table" "schema-unknown-source"
+    (Plan.Scan_table "nonexistent");
+  assert_rejected "literal width mismatch" "schema-row-width"
+    (Plan.Scan_list { arity = 2; tuples = [ Tuple.of_ints [ 1; 2; 3 ] ] });
+  assert_rejected "choose-plan width disagreement" "schema-choose-arity"
+    (Plan.Choose
+       {
+         decide = (fun () -> 0);
+         alternatives =
+           [ gen 10; Plan.Project_cols { cols = [ 0 ]; input = gen 10 } ];
+       })
+
+(* The acceptance-criterion case: an out-of-bounds partition column used
+   to blow up at fork time, inside a producer domain; now it is rejected
+   at submit time. *)
+let test_schema_partition_column () =
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ~partition:(Exchange.Hash_on [ 5 ]) ();
+        input = gen 40;
+      }
+  in
+  assert_rejected "partition column out of range" "schema-col" plan;
+  (* Unchecked, the same plan still fails — but only at runtime. *)
+  match Compile.run ~check:false (env ()) plan with
+  | _ -> Alcotest.fail "expected a runtime failure with ~check:false"
+  | exception Compile.Rejected _ -> Alcotest.fail "~check:false must not analyze"
+  | exception _ -> ()
+
+(* --- pass 2: exchange configuration --------------------------------- *)
+
+let test_exchange_config_literals () =
+  (* Record literals bypass the smart constructor; the analyzer still
+     catches them. *)
+  let base = Exchange.config () in
+  assert_rejected "packet size zero" "exchange-packet-size"
+    (Plan.Exchange { cfg = { base with packet_size = 0 }; input = gen 10 });
+  assert_rejected "packet size over one byte" "exchange-packet-size"
+    (Plan.Exchange { cfg = { base with packet_size = 1000 }; input = gen 10 });
+  assert_rejected "degree zero" "exchange-degree"
+    (Plan.Exchange { cfg = { base with degree = 0 }; input = gen 10 });
+  assert_rejected "non-positive flow slack" "exchange-flow-slack"
+    (Plan.Exchange { cfg = { base with flow_slack = Some 0 }; input = gen 10 })
+
+let test_exchange_config_constructor () =
+  List.iter
+    (fun (name, f) ->
+      match f () with
+      | (_ : Exchange.config) ->
+          Alcotest.failf "%s: expected Invalid_argument" name
+      | exception Invalid_argument _ -> ())
+    [
+      ("degree 0", fun () -> Exchange.config ~degree:0 ());
+      ("degree -3", fun () -> Exchange.config ~degree:(-3) ());
+      ("packet 0", fun () -> Exchange.config ~packet_size:0 ());
+      ("packet 256", fun () -> Exchange.config ~packet_size:256 ());
+      ("slack 0", fun () -> Exchange.config ~flow_slack:(Some 0) ());
+    ];
+  (* Boundary values are accepted. *)
+  ignore (Exchange.config ~degree:1 ~packet_size:1 ~flow_slack:(Some 1) ());
+  ignore (Exchange.config ~packet_size:255 ~flow_slack:None ())
+
+let test_merge_sortedness () =
+  let key = [ (0, Support.Asc) ] in
+  assert_rejected "merge over unsorted producers" "merge-unsorted"
+    (Plan.Exchange_merge
+       { cfg = Exchange.config ~degree:2 (); key; input = gen 40 });
+  assert_rejected "merge key not a sort-key prefix" "merge-unsorted"
+    (Plan.Exchange_merge
+       {
+         cfg = Exchange.config ~degree:2 ();
+         key = [ (1, Support.Asc) ];
+         input = Plan.Sort { key; input = gen 40 };
+       });
+  (* Sorting on a refinement of the merge key is fine. *)
+  assert_clean "merge key is a prefix"
+    (Plan.Exchange_merge
+       {
+         cfg = Exchange.config ~degree:2 ();
+         key;
+         input =
+           Plan.Sort { key = [ (0, Support.Asc); (2, Support.Desc) ]; input = gen 40 };
+       })
+
+let test_interchange_placement () =
+  assert_rejected "interchange cannot broadcast" "interchange-broadcast"
+    (Plan.Interchange
+       {
+         cfg = Exchange.config ~degree:2 ~partition:Exchange.Broadcast ();
+         input = gen 10;
+       });
+  assert_flags ~severity:Diag.Warning "interchange outside a group"
+    "interchange-solo"
+    (Plan.Interchange { cfg = Exchange.config ~degree:2 (); input = gen 10 });
+  assert_rejected "range bounds vs consumers" "exchange-range-bounds"
+    (Plan.Exchange
+       {
+         cfg =
+           Exchange.config ~degree:2
+             ~partition:
+               (Exchange.Range_on
+                  (0, [| Volcano_tuple.Value.Int 3; Volcano_tuple.Value.Int 6 |]))
+             ();
+         input = gen 10;
+       })
+
+(* --- pass 3: dataflow deadlock hazards ------------------------------ *)
+
+let test_deadlock_merge_flow () =
+  let key = [ (0, Support.Asc) ] in
+  let merge ~flow_slack ~consumers =
+    let network =
+      Plan.Exchange_merge
+        {
+          cfg = Exchange.config ~degree:3 ~flow_slack ();
+          key;
+          input = Plan.Sort { key; input = gen 40 };
+        }
+    in
+    if consumers = 1 then network
+    else
+      Plan.Exchange
+        { cfg = Exchange.config ~degree:consumers (); input = network }
+  in
+  (* Hazardous: flow control + several producers + several consumers. *)
+  assert_flags ~severity:Diag.Warning "merge network under flow control"
+    "deadlock-merge-flow"
+    (merge ~flow_slack:(Some 2) ~consumers:2);
+  (* Either a solo consumer group or no flow control defuses it. *)
+  assert_clean "solo consumer merge" (merge ~flow_slack:(Some 2) ~consumers:1);
+  let diags =
+    Compile.analyze (env ()) (merge ~flow_slack:None ~consumers:2)
+  in
+  if has "deadlock-merge-flow" diags then
+    Alcotest.fail "flow control off: no merge-flow hazard expected"
+
+let test_deadlock_broadcast_flow () =
+  let mk algo =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ();
+        input =
+          Plan.Match
+            {
+              algo;
+              kind = Volcano_ops.Match_op.Join;
+              left_key = [ 0 ];
+              right_key = [ 0 ];
+              left =
+                Plan.Exchange
+                  {
+                    cfg =
+                      Exchange.config ~degree:2 ~partition:Exchange.Broadcast ();
+                    input = gen 40;
+                  };
+              right =
+                Plan.Exchange
+                  {
+                    cfg =
+                      Exchange.config ~degree:2
+                        ~partition:(Exchange.Hash_on [ 0 ]) ();
+                    input = gen 40;
+                  };
+            };
+      }
+  in
+  assert_flags ~severity:Diag.Warning "broadcast + flow under sort-match"
+    "deadlock-broadcast-flow" (mk Plan.Sort_based);
+  (* A hash match drains one side completely before the other: no cycle. *)
+  let diags = Compile.analyze (env ()) (mk Plan.Hash_based) in
+  if has "deadlock-broadcast-flow" diags then
+    Alcotest.fail "hash match: no broadcast-flow hazard expected"
+
+(* --- pass 4: resource estimation ------------------------------------ *)
+
+let test_resource_domains () =
+  assert_flags ~severity:Diag.Warning "domain over-commit" "resource-domains"
+    (Plan.Exchange { cfg = Exchange.config ~degree:600 (); input = gen 10 })
+
+let test_resource_bufpool () =
+  (* Two sorts, one inside a degree-4 group: ~40 estimated pages against
+     the 64-frame pool of [env ()]?  Use a tighter pool. *)
+  let tight = Env.create ~frames:16 ~page_size:512 () in
+  let plan =
+    Plan.Sort
+      {
+        key = [ (0, Support.Asc) ];
+        input =
+          Plan.Exchange
+            {
+              cfg = Exchange.config ~degree:4 ();
+              input = Plan.Sort { key = [ (0, Support.Asc) ]; input = gen 40 };
+            };
+      }
+  in
+  let diags = Compile.analyze tight plan in
+  if not (has ~severity:Diag.Warning "resource-bufpool" diags) then
+    Alcotest.failf "expected resource-bufpool among [%s]" (codes diags)
+
+(* --- wiring ----------------------------------------------------------- *)
+
+let test_warnings_do_not_reject () =
+  (* A hazardous-but-runnable plan (the merge-flow hazard over tiny data)
+     compiles and runs under the default check; only errors reject. *)
+  let key = [ (0, Support.Asc) ] in
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ();
+        input =
+          Plan.Exchange_merge
+            {
+              cfg = Exchange.config ~degree:3 ~flow_slack:(Some 2) ();
+              key;
+              input =
+                Plan.Sort
+                  {
+                    key;
+                    input =
+                      Plan.Generate_slice
+                        {
+                          arity = 3;
+                          count = 40;
+                          gen = (fun i -> Tuple.of_ints [ i; i mod 5; i mod 7 ]);
+                        };
+                  };
+            };
+      }
+  in
+  let diags = Compile.analyze (env ()) plan in
+  check Alcotest.bool "has the hazard warning" true
+    (has ~severity:Diag.Warning "deadlock-merge-flow" diags);
+  check Alcotest.bool "but no errors" true (Diag.errors diags = []);
+  check Alcotest.int "still runs" 40 (Compile.run_count (env ()) plan)
+
+let test_report_rendering () =
+  let d =
+    Diag.error ~code:"schema-col" ~path:"exchange/project" "column 9 of 3"
+  in
+  check Alcotest.string "to_string" "error[schema-col] at exchange/project: column 9 of 3"
+    (Diag.to_string d);
+  let report =
+    Format.asprintf "%a" Diag.pp_report
+      [ Diag.warning ~code:"w" ~path:"root" "warn"; d ]
+  in
+  check Alcotest.bool "errors sorted first" true
+    (String.length report > 0
+    && String.sub report 0 5 = "error");
+  check Alcotest.string "empty report" "no diagnostics\n"
+    (Format.asprintf "%a" Diag.pp_report [])
+
+let suite =
+  [
+    Alcotest.test_case "schema: column references" `Quick test_schema_columns;
+    Alcotest.test_case "schema: match keys" `Quick test_schema_match_keys;
+    Alcotest.test_case "schema: leaves and choose" `Quick test_schema_leaves;
+    Alcotest.test_case "schema: partition column rejected at submit" `Quick
+      test_schema_partition_column;
+    Alcotest.test_case "exchange: config literals" `Quick
+      test_exchange_config_literals;
+    Alcotest.test_case "exchange: config constructor" `Quick
+      test_exchange_config_constructor;
+    Alcotest.test_case "exchange: merge sortedness" `Quick test_merge_sortedness;
+    Alcotest.test_case "exchange: interchange placement" `Quick
+      test_interchange_placement;
+    Alcotest.test_case "deadlock: merge + flow control" `Quick
+      test_deadlock_merge_flow;
+    Alcotest.test_case "deadlock: broadcast + flow control" `Quick
+      test_deadlock_broadcast_flow;
+    Alcotest.test_case "resource: domains" `Quick test_resource_domains;
+    Alcotest.test_case "resource: buffer pool" `Quick test_resource_bufpool;
+    Alcotest.test_case "warnings do not reject" `Quick
+      test_warnings_do_not_reject;
+    Alcotest.test_case "diagnostic rendering" `Quick test_report_rendering;
+  ]

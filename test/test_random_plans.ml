@@ -239,6 +239,9 @@ let rec decorate rng plan =
 
 let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
 
+let accepted env plan =
+  Volcano_analysis.Diag.errors (Compile.analyze env plan) = []
+
 let prop_exchange_invariance =
   QCheck.Test.make ~name:"random exchange decoration preserves results"
     ~count:60
@@ -248,12 +251,72 @@ let prop_exchange_invariance =
       let rng = Rng.create seed in
       let serial = random_plan rng depth in
       let expected = sorted_run env serial in
-      (* Several independent decorations of the same plan. *)
+      (* Several independent decorations of the same plan.  The analyzer
+         must accept every decoration (structure-respecting exchange
+         insertion never introduces an error-severity diagnostic), and
+         [sorted_run] uses the default [~check:true], so acceptance is
+         also exercised end to end. *)
       List.for_all
         (fun salt ->
           let rng = Rng.create (Int64.add seed (Int64.of_int salt)) in
           let decorated = decorate rng serial in
-          sorted_run env decorated = expected)
+          accepted env decorated && sorted_run env decorated = expected)
         [ 1; 2 ])
 
-let suite = [ QCheck_alcotest.to_alcotest ~long:false prop_exchange_invariance ]
+(* --- the converse: rejected plans really are broken ------------------- *)
+
+(* Plant one deterministic defect in an otherwise-sound plan.  Each
+   mutation must (a) draw an error-severity diagnostic from the analyzer
+   and (b) observably misbehave when forced past the check: raise at
+   runtime, or — for the width mutation, which corrupts data rather than
+   crashing — change the output arity. *)
+let mutate rng arity plan =
+  match Rng.int rng 4 with
+  | 0 -> Plan.Project_cols { cols = [ arity ]; input = plan }
+  | 1 ->
+      Plan.Filter
+        {
+          pred = Expr.Cmp (Expr.Eq, Expr.Col arity, Expr.Const (Volcano_tuple.Value.Int 0));
+          mode = `Compiled;
+          input = plan;
+        }
+  | 2 ->
+      (* record literal: bypasses the Exchange.config validation *)
+      Plan.Exchange
+        { cfg = { (Exchange.config ()) with packet_size = 0 }; input = plan }
+  | _ ->
+      Plan.Exchange
+        {
+          cfg =
+            Exchange.config ~degree:2
+              ~partition:(Exchange.Hash_on [ arity ]) ();
+          input = plan;
+        }
+
+let prop_rejected_plans_misbehave =
+  QCheck.Test.make ~name:"analyzer-rejected plans fail without the check"
+    ~count:40
+    QCheck.(pair int64 (int_range 1 3))
+    (fun (seed, depth) ->
+      let env = Env.create ~frames:128 ~page_size:512 () in
+      let rng = Rng.create seed in
+      let serial = random_plan rng depth in
+      let expected = sorted_run env serial in
+      let bad = mutate rng (plan_arity serial) serial in
+      let rejected = not (accepted env bad) in
+      let misbehaves =
+        match Compile.run ~check:false env bad with
+        | exception _ -> true
+        | rows ->
+            (* The column-reference mutations only dereference the bad
+               column when a tuple actually flows; an empty stream is a
+               vacuous pass.  Otherwise the output must differ. *)
+            expected = [] || List.sort Tuple.compare rows <> expected
+      in
+      rejected && misbehaves)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~long:false prop_exchange_invariance;
+    QCheck_alcotest.to_alcotest ~long:false prop_rejected_plans_misbehave;
+  ]
