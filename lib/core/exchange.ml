@@ -1,5 +1,67 @@
 module Sema = Volcano_util.Sema
 module Support = Volcano_tuple.Support
+module Injector = Volcano_fault.Injector
+
+exception Query_failed of { site : string; origin : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Query_failed { site; origin } ->
+        Some
+          (Printf.sprintf "Exchange.Query_failed(site %s: %s)" site
+             (Printexc.to_string origin))
+    | _ -> None)
+
+(* Normalize an exception into the single well-typed failure the consumer
+   sees; never wrap twice when the failure crosses nested exchanges. *)
+let as_query_failed ~fallback origin =
+  match origin with
+  | Query_failed _ -> origin
+  | Volcano_fault.Injected { site; _ } ->
+      Query_failed { site = Volcano_fault.site_name site; origin }
+  | origin -> Query_failed { site = fallback; origin }
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation scopes                                                  *)
+
+(* A scope collects the ports created below one exchange.  The exchange's
+   own port cancels its scope on shutdown, so cancellation (early close or
+   a poisoned port) propagates down the whole subtree: without this, a
+   producer blocked in a descendant port's receive or flow-control
+   semaphore would never observe that its output port was shut. *)
+module Scope = struct
+  type t = {
+    lock : Mutex.t;
+    mutable fired : bool;
+    mutable ports : Port.t list;
+  }
+
+  let create () = { lock = Mutex.create (); fired = false; ports = [] }
+
+  let register t port =
+    Mutex.lock t.lock;
+    let already = t.fired in
+    if not already then t.ports <- port :: t.ports;
+    Mutex.unlock t.lock;
+    (* Born cancelled: the subtree is already being torn down. *)
+    if already then Port.shutdown port
+
+  let cancel t =
+    Mutex.lock t.lock;
+    let ports = if t.fired then [] else t.ports in
+    t.fired <- true;
+    t.ports <- [];
+    Mutex.unlock t.lock;
+    (* Each shutdown chains into that port's own scope via its
+       [on_shutdown] hook, cancelling the tree recursively. *)
+    List.iter Port.shutdown ports
+
+  let cancelled t =
+    Mutex.lock t.lock;
+    let fired = t.fired in
+    Mutex.unlock t.lock;
+    fired
+end
 
 type partition_spec =
   | Round_robin
@@ -32,9 +94,26 @@ let config ?(degree = 1) ?(packet_size = Packet.default_capacity)
 
 let id_counter = Atomic.make 0
 let fresh_id () = Atomic.fetch_and_add id_counter 1
-
 let spawn_counter = Atomic.make 0
+let join_counter = Atomic.make 0
+let live_counter = Atomic.make 0
 let domains_spawned () = Atomic.get spawn_counter
+let domains_joined () = Atomic.get join_counter
+let live_domains () = Atomic.get live_counter
+let unjoined_domains () = domains_spawned () - domains_joined ()
+
+let spawn_domain body =
+  Atomic.incr spawn_counter;
+  Atomic.incr live_counter;
+  Domain.spawn (fun () ->
+      Fun.protect ~finally:(fun () -> Atomic.decr live_counter) body)
+
+(* Join, absorbing the domain's exception: producer failures reach the
+   consumer through port poisoning, never through join — a raising join
+   would abort teardown half-way and leak the remaining domains. *)
+let join_quiet d =
+  (try Domain.join d with _ -> ());
+  Atomic.incr join_counter
 
 let instantiate_partition spec ~consumers =
   match spec with
@@ -51,10 +130,13 @@ let instantiate_partition spec ~consumers =
 (* Producer side                                                       *)
 
 (* The producer half of exchange: "the driver for the query tree below the
-   exchange operator" (section 4.1).  Runs in a forked domain. *)
-let run_producer_inner cfg port close_allowed group input =
+   exchange operator" (section 4.1).  Runs in a forked domain.  [iter_slot]
+   exposes the subtree to the failure handler so it can be closed (and its
+   buffer fixes released) when the producer dies mid-stream. *)
+let run_producer_inner cfg faults port close_allowed group iter_slot input =
   let rank = Group.rank group in
   let iter = input group in
+  iter_slot := Some iter;
   Iterator.open_ iter;
   let consumers = Port.consumers port in
   let fresh () = Packet.create ~capacity:cfg.packet_size ~producer:rank in
@@ -77,6 +159,7 @@ let run_producer_inner cfg port close_allowed group input =
       match Iterator.next iter with
       | None -> ()
       | Some tuple ->
+          Injector.hit faults (Volcano_fault.Producer rank);
           (match cfg.partition with
           | Broadcast ->
               (* Replicate to all consumers.  Tuples are immutable and
@@ -98,15 +181,27 @@ let run_producer_inner cfg port close_allowed group input =
   (* "waits until the consumer allows closing all open files" — records may
      still be in flight or pinned by consumers (section 4.1). *)
   Sema.acquire close_allowed;
+  iter_slot := None;
   Iterator.close iter
 
-(* A producer that dies must not hang the query: shut the port down so
-   consumers drain and finish, and let the exception surface when the
-   master joins the producer domains at close. *)
-let run_producer cfg port close_allowed group input =
-  try run_producer_inner cfg port close_allowed group input
+(* A producer that dies must not hang or silently truncate the query:
+   poison the port — recording the cause, waking blocked consumers
+   immediately and cancelling sibling producers and descendant ports via
+   the shutdown chain — then close the subtree to release its resources.
+   The consumer re-raises the cause from its [next] as [Query_failed]. *)
+let run_producer cfg faults port close_allowed group input =
+  let iter_slot = ref None in
+  try run_producer_inner cfg faults port close_allowed group iter_slot input
   with exn ->
-    Port.shutdown port;
+    Port.poison port exn;
+    (* Siblings may be blocked in [Group.lookup_port] for a nested port
+       this rank was about to publish (its open died first); nothing else
+       would ever wake them.  Poison first so the consumer reports the
+       original failure, not the siblings' [Group.Cancelled]. *)
+    Group.cancel group;
+    (match !iter_slot with
+    | Some iter -> ( try Iterator.close iter with _ -> ())
+    | None -> ());
     raise exn
 
 (* children_of r: ranks this producer forks in the propagation-tree scheme
@@ -124,35 +219,35 @@ module For_testing = struct
   let children_of = children_of
 end
 
-(* Fork the producer group; returns a function that joins all of it. *)
-let spawn_producers cfg port close_allowed input =
+(* Fork the producer group; returns a function that joins all of it.  The
+   joiner joins every domain and never raises: a failed producer already
+   reported through the poisoned port. *)
+let spawn_producers cfg faults port close_allowed input =
   let shared = Group.make_shared ~size:cfg.degree in
   let run rank =
-    run_producer cfg port close_allowed (Group.attach shared ~rank) input
+    run_producer cfg faults port close_allowed (Group.attach shared ~rank) input
   in
   match cfg.fork_mode with
   | Fork_central ->
       let domains =
-        List.init cfg.degree (fun rank ->
-            Atomic.incr spawn_counter;
-            Domain.spawn (fun () -> run rank))
+        List.init cfg.degree (fun rank -> spawn_domain (fun () -> run rank))
       in
-      fun () -> List.iter Domain.join domains
+      fun () -> List.iter join_quiet domains
   | Fork_tree ->
       let rec subtree rank () =
         let spawned =
           List.map
-            (fun child ->
-              Atomic.incr spawn_counter;
-              Domain.spawn (subtree child))
+            (fun child -> spawn_domain (subtree child))
             (children_of rank cfg.degree)
         in
-        run rank;
-        List.iter Domain.join spawned
+        (* Join the forked children even when this rank dies, or their
+           domains would leak on a mid-tree failure. *)
+        Fun.protect
+          ~finally:(fun () -> List.iter join_quiet spawned)
+          (fun () -> run rank)
       in
-      Atomic.incr spawn_counter;
-      let root = Domain.spawn (subtree 0) in
-      fun () -> Domain.join root
+      let root = spawn_domain (subtree 0) in
+      fun () -> join_quiet root
 
 (* ------------------------------------------------------------------ *)
 (* Consumer side                                                       *)
@@ -167,14 +262,19 @@ type consumer_state = {
   mutable finished : bool;
 }
 
-let setup_consumer ?(keep_separate = false) cfg ~id ~group ~input =
+let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
+    ?parent_scope ?scope cfg ~id ~group ~input =
   if Group.is_master group then begin
+    let on_shutdown =
+      match scope with Some s -> fun () -> Scope.cancel s | None -> fun () -> ()
+    in
     let port =
       Port.create ~producers:cfg.degree ~consumers:(Group.size group)
-        ?flow_slack:cfg.flow_slack ~keep_separate ()
+        ?flow_slack:cfg.flow_slack ~keep_separate ~faults ~on_shutdown ()
     in
+    (match parent_scope with Some s -> Scope.register s port | None -> ());
     let close_allowed = Sema.create 0 in
-    let joiner = spawn_producers cfg port close_allowed input in
+    let joiner = spawn_producers cfg faults port close_allowed input in
     Group.publish_port group ~key:id port;
     (* The semaphore rides along for non-master members (unused by them). *)
     (port, close_allowed, Some joiner)
@@ -185,9 +285,14 @@ let setup_consumer ?(keep_separate = false) cfg ~id ~group ~input =
 
 let teardown_consumer cfg ~group state =
   if Group.is_master group then begin
-    if not state.finished then
-      (* Early close: cancel the producers before permitting shutdown. *)
-      Port.shutdown state.port;
+    (* Early close: cancel the producers.  The shutdown releases any
+       flow-control slack they are blocked on and (via the shutdown chain)
+       cancels every descendant port — a producer stuck in a deeper
+       receive must observe the cancellation too.  After a normal
+       end-of-stream the port must NOT be shut: sibling consumers may
+       still be draining their queues, and producers stop sending the
+       moment they see the port down. *)
+    if not state.finished then Port.shutdown state.port;
     Sema.release_n state.close_allowed cfg.degree;
     match state.joiner with Some join -> join () | None -> ()
   end
@@ -217,13 +322,19 @@ let consume_packets state ~receive =
               state.pos <- 0;
               step ()
           | None ->
-              (* Port shut down. *)
+              (* Port shut down: either cancellation (stream just ends) or
+                 a poisoned port — then the producer's failure surfaces
+                 here, as a single well-typed exception. *)
               state.finished <- true;
-              None)
+              (match Port.failure state.port with
+              | Some origin ->
+                  raise (as_query_failed ~fallback:"producer" origin)
+              | None -> None))
   in
   step ()
 
-let iterator ?id cfg ~group ~input =
+let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
+    ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let state = ref None in
   let get_state () =
@@ -233,23 +344,40 @@ let iterator ?id cfg ~group ~input =
   in
   Iterator.make
     ~open_:(fun () ->
-      let port, close_allowed, joiner = setup_consumer cfg ~id ~group ~input in
+      let port, close_allowed, joiner =
+        setup_consumer ~faults ?parent_scope ?scope cfg ~id ~group ~input
+      in
       state :=
         Some
           { port; close_allowed; joiner; current = None; pos = 0; eos_tags = 0; finished = false })
     ~next:(fun () ->
       let s = get_state () in
-      consume_packets s ~receive:(fun () ->
-          Port.receive s.port ~consumer:(Group.rank group)))
+      match
+        consume_packets s ~receive:(fun () ->
+            Port.receive s.port ~consumer:(Group.rank group))
+      with
+      | result -> result
+      | exception exn ->
+          (* A consumer-side failure (e.g. an injected receive fault) must
+             also cancel the producers, not leave them pumping. *)
+          s.finished <- true;
+          Port.poison s.port exn;
+          raise (as_query_failed ~fallback:"consumer" exn))
     ~close:(fun () ->
-      let s = get_state () in
-      teardown_consumer cfg ~group s;
-      state := None)
+      (* Tolerate a close without a successful open: failing operators
+         close their inputs best-effort while unwinding, and an exchange
+         that never opened has nothing to tear down. *)
+      match !state with
+      | None -> ()
+      | Some s ->
+          teardown_consumer cfg ~group s;
+          state := None)
 
 (* Keep-separate variant: one stream per producer, so that "the merge
    iterator [can] distinguish the input records by their producer"
    (section 4.4).  The streams share setup and teardown via refcounts. *)
-let producer_streams ?id cfg ~group ~input =
+let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope cfg
+    ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let shared = ref None in
   let open_count = ref 0 in
@@ -259,7 +387,8 @@ let producer_streams ?id cfg ~group ~input =
     Mutex.lock lock;
     if !open_count = 0 then begin
       let port, close_allowed, joiner =
-        setup_consumer ~keep_separate:true cfg ~id ~group ~input
+        setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope cfg ~id
+          ~group ~input
       in
       shared := Some (port, close_allowed, joiner)
     end;
@@ -329,7 +458,11 @@ let producer_streams ?id cfg ~group ~input =
                             step ()
                         | None ->
                             s.finished <- true;
-                            None)
+                            (match Port.failure s.port with
+                            | Some origin ->
+                                raise
+                                  (as_query_failed ~fallback:"producer" origin)
+                            | None -> None))
                 in
                 step ()
               in
@@ -345,7 +478,8 @@ let producer_streams ?id cfg ~group ~input =
 (* ------------------------------------------------------------------ *)
 (* No-fork interchange (section 4.4)                                   *)
 
-let interchange ?id cfg ~group ~input =
+let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
+    ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let rank = Group.rank group in
   let size = Group.size group in
@@ -359,9 +493,18 @@ let interchange ?id cfg ~group ~input =
         if Group.is_master group then begin
           (* Flow control is pointless here: a process produces only when
              it has nothing to consume. *)
-          let port =
-            Port.create ~producers:size ~consumers:size ~keep_separate:false ()
+          let on_shutdown =
+            match scope with
+            | Some s -> fun () -> Scope.cancel s
+            | None -> fun () -> ()
           in
+          let port =
+            Port.create ~producers:size ~consumers:size ~keep_separate:false
+              ~faults ~on_shutdown ()
+          in
+          (match parent_scope with
+          | Some s -> Scope.register s port
+          | None -> ());
           Group.publish_port group ~key:id port;
           port
         end
@@ -391,7 +534,7 @@ let interchange ?id cfg ~group ~input =
     ~next:(fun () ->
       match !state with
       | None -> invalid_arg "Exchange.interchange: not open"
-      | Some s ->
+      | Some s -> (
           let flush consumer ~eos =
             let packet = !packets.(consumer) in
             if eos then Packet.tag_end_of_stream packet;
@@ -413,6 +556,16 @@ let interchange ?id cfg ~group ~input =
                 step ()
             | None ->
                 if s.finished then None
+                else if Port.is_shut_down s.port then begin
+                  (* Cancellation or a peer's failure: stop driving the
+                     input — routed sends are dropped anyway, so an
+                     unbounded input would spin here forever. *)
+                  s.finished <- true;
+                  match Port.failure s.port with
+                  | Some origin ->
+                      raise (as_query_failed ~fallback:"interchange" origin)
+                  | None -> None
+                end
                 else if s.eos_tags >= size then begin
                   s.finished <- true;
                   None
@@ -452,13 +605,29 @@ let interchange ?id cfg ~group ~input =
                             step ()
                         | None ->
                             s.finished <- true;
-                            None))
+                            (match Port.failure s.port with
+                            | Some origin ->
+                                raise
+                                  (as_query_failed ~fallback:"interchange"
+                                     origin)
+                            | None -> None)))
           in
-          step ())
+          match step () with
+          | result -> result
+          | exception exn ->
+              (* Every member is a producer here: a member whose input dies
+                 must poison the shared port or its peers would block
+                 forever waiting for this member's packets. *)
+              s.finished <- true;
+              Port.poison s.port exn;
+              raise (as_query_failed ~fallback:"interchange" exn)))
     ~close:(fun () ->
       (match !state with
       | Some s ->
-          if Group.is_master group && not s.finished then Port.shutdown s.port
+          (* Any member closing an unfinished interchange cancels the whole
+             group: peers block on each other's packets, so a silent
+             departure — master or not — would strand them. *)
+          if not s.finished then Port.shutdown s.port
       | None -> ());
       Iterator.close input;
       state := None)

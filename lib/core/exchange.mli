@@ -23,7 +23,50 @@
     within a process and data-driven dataflow between processes.
 
     "Processes" are OCaml domains (shared memory, like the paper's Sequent
-    processes). *)
+    processes).
+
+    {2 Failure semantics}
+
+    A failure anywhere in a parallel plan — a producer domain dying, a
+    consumer-side fault, an injected error from {!Volcano_fault} —
+    surfaces at the consuming [next] as a single {!Query_failed} carrying
+    the original exception and the site that raised it.  The failing
+    process poisons its port, which wakes every blocked peer, cancels
+    sibling producers, and (through cancellation {!Scope}s chained across
+    nested exchanges) shuts every descendant port so processes blocked
+    deep inside the pipeline observe the cancellation.  Teardown then
+    joins every producer domain and closes every subtree iterator, so no
+    domain and no buffer fix outlives the failed query. *)
+
+exception Query_failed of { site : string; origin : exn }
+(** The one exception a consumer sees when a parallel query dies: [site]
+    names where the failure originated (a {!Volcano_fault.site} name, or
+    ["producer"] / ["consumer"] / ["interchange"]), [origin] is the
+    undisturbed original exception.  Never nested: a failure crossing
+    several exchanges keeps its innermost site. *)
+
+val as_query_failed : fallback:string -> exn -> exn
+(** Normalize an exception to {!Query_failed} — idempotent, and maps
+    {!Volcano_fault.Injected} to its site name. *)
+
+(** Cancellation scopes: a scope collects the ports created below one
+    exchange; shutting that exchange's port cancels the scope, which
+    shuts the registered descendant ports, recursively.  Compiled plans
+    thread a child scope into each exchange node. *)
+module Scope : sig
+  type t
+
+  val create : unit -> t
+
+  val register : t -> Port.t -> unit
+  (** Registering on an already-cancelled scope shuts the port at once. *)
+
+  val cancel : t -> unit
+  (** Shut every registered port (each chains into its own scope).  Runs
+      the shutdowns at most once. *)
+
+  val cancelled : t -> bool
+end
 
 type partition_spec =
   | Round_robin
@@ -69,6 +112,9 @@ val fresh_id : unit -> int
 
 val iterator :
   ?id:int ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?parent_scope:Scope.t ->
+  ?scope:Scope.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
@@ -84,6 +130,9 @@ val iterator :
 
 val producer_streams :
   ?id:int ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?parent_scope:Scope.t ->
+  ?scope:Scope.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
@@ -95,6 +144,9 @@ val producer_streams :
 
 val interchange :
   ?id:int ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?parent_scope:Scope.t ->
+  ?scope:Scope.t ->
   config ->
   group:Group.t ->
   input:Iterator.t ->
@@ -111,6 +163,17 @@ val interchange :
 
 val domains_spawned : unit -> int
 (** Total producer domains forked so far (tests, spawn ablation). *)
+
+val domains_joined : unit -> int
+(** Total producer domains joined so far.  Equal to {!domains_spawned}
+    whenever no query is running — the chaos harness asserts the
+    difference is zero after every run, failed or not. *)
+
+val live_domains : unit -> int
+(** Producer domains whose body is still executing. *)
+
+val unjoined_domains : unit -> int
+(** [domains_spawned () - domains_joined ()]. *)
 
 (**/**)
 

@@ -1,10 +1,13 @@
 module Latch = Volcano_util.Latch
 
+exception Cancelled
+
 type shared = {
   group_size : int;
   lock : Mutex.t;
   published : Condition.t;
   ports : (int, Port.t) Hashtbl.t;
+  mutable dead : bool;
   sync : Latch.Barrier.t;
 }
 
@@ -17,6 +20,7 @@ let make_shared ~size =
     lock = Mutex.create ();
     published = Condition.create ();
     ports = Hashtbl.create 8;
+    dead = false;
     sync = Latch.Barrier.create size;
   }
 
@@ -37,6 +41,17 @@ let publish_port t ~key port =
   Condition.broadcast t.shared.published;
   Mutex.unlock t.shared.lock
 
+(* A member that dies may do so before publishing a port its siblings are
+   waiting for — nothing would ever signal [published] again, and the
+   waiters (and the joiner behind them) would hang forever.  The failure
+   handler marks the whole group dead and wakes every waiter; a woken
+   lookup that still finds no port gives up. *)
+let cancel t =
+  Mutex.lock t.shared.lock;
+  t.shared.dead <- true;
+  Condition.broadcast t.shared.published;
+  Mutex.unlock t.shared.lock
+
 let lookup_port t ~key =
   Mutex.lock t.shared.lock;
   let rec wait () =
@@ -45,6 +60,10 @@ let lookup_port t ~key =
         Mutex.unlock t.shared.lock;
         port
     | None ->
+        if t.shared.dead then begin
+          Mutex.unlock t.shared.lock;
+          raise Cancelled
+        end;
         Condition.wait t.shared.published t.shared.lock;
         wait ()
   in

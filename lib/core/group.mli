@@ -10,6 +10,10 @@
 
 type t
 
+exception Cancelled
+(** Raised by {!lookup_port} when the group was cancelled before the
+    awaited port was published. *)
+
 val solo : unit -> t
 (** The size-1 group of the query root process. *)
 
@@ -30,7 +34,14 @@ val publish_port : t -> key:int -> Port.t -> unit
     instance key. *)
 
 val lookup_port : t -> key:int -> Port.t
-(** Block until the master has published the port for [key]. *)
+(** Block until the master has published the port for [key].  Raises
+    {!Cancelled} if the group is cancelled while waiting — a member that
+    dies may never publish, so waiting on would deadlock the joiner. *)
+
+val cancel : t -> unit
+(** Mark the group dead and wake every blocked {!lookup_port}.  Called by
+    the failure path when a member dies: a sibling waiting for a port the
+    dead member would have published must not wait forever. *)
 
 val barrier : t -> unit
 (** Synchronize all members of the group. *)

@@ -1,4 +1,5 @@
 module Sema = Volcano_util.Sema
+module Injector = Volcano_fault.Injector
 
 type queue = {
   lock : Mutex.t;
@@ -13,6 +14,10 @@ type t = {
   separate : bool;
   queues : queue array;
   shut : bool Atomic.t;
+  poisoned : exn option Atomic.t; (* first producer/consumer failure *)
+  on_shutdown : unit -> unit; (* cancellation chaining (runs once) *)
+  hook_ran : bool Atomic.t;
+  faults : Injector.t;
   sent : int Atomic.t;
   records : int Atomic.t;
   depth : int Atomic.t;
@@ -27,7 +32,8 @@ let make_queue flow_slack =
     flow = Option.map Sema.create flow_slack;
   }
 
-let create ~producers ~consumers ?flow_slack ?(keep_separate = false) () =
+let create ~producers ~consumers ?flow_slack ?(keep_separate = false)
+    ?(faults = Injector.none) ?(on_shutdown = fun () -> ()) () =
   assert (producers > 0 && consumers > 0);
   (match flow_slack with Some n -> assert (n > 0) | None -> ());
   let n_queues = if keep_separate then producers * consumers else consumers in
@@ -37,6 +43,10 @@ let create ~producers ~consumers ?flow_slack ?(keep_separate = false) () =
     separate = keep_separate;
     queues = Array.init n_queues (fun _ -> make_queue flow_slack);
     shut = Atomic.make false;
+    poisoned = Atomic.make None;
+    on_shutdown;
+    hook_ran = Atomic.make false;
+    faults;
     sent = Atomic.make 0;
     records = Atomic.make 0;
     depth = Atomic.make 0;
@@ -60,6 +70,7 @@ let note_depth t delta =
   bump ()
 
 let send t ~producer ~consumer packet =
+  Injector.hit t.faults Volcano_fault.Port_send;
   let queue = queue_of t ~producer ~consumer in
   (* Flow control: "after a producer has inserted a new packet into the
      port, it must request the flow control semaphore" — acquiring before
@@ -82,6 +93,7 @@ let send t ~producer ~consumer packet =
   end
 
 let receive_queue t queue =
+  Injector.hit t.faults Volcano_fault.Port_receive;
   Mutex.lock queue.lock;
   let rec wait () =
     if Atomic.get t.shut && Queue.is_empty queue.items then begin
@@ -135,8 +147,19 @@ let shutdown t =
       Mutex.lock queue.lock;
       Condition.broadcast queue.nonempty;
       Mutex.unlock queue.lock)
-    t.queues
+    t.queues;
+  (* Chain the cancellation downwards exactly once: ports created below
+     this exchange must also wake their blocked producers and consumers,
+     or a producer stuck in a descendant's receive would never observe
+     this shutdown (satellite: early close of a deep pipeline). *)
+  if not (Atomic.exchange t.hook_ran true) then t.on_shutdown ()
 
+let poison t exn =
+  (* First failure wins; [None] is immediate so compare-and-set is exact. *)
+  ignore (Atomic.compare_and_set t.poisoned None (Some exn));
+  shutdown t
+
+let failure t = Atomic.get t.poisoned
 let is_shut_down t = Atomic.get t.shut
 let packets_sent t = Atomic.get t.sent
 let records_sent t = Atomic.get t.records

@@ -20,11 +20,16 @@ val create :
   consumers:int ->
   ?flow_slack:int ->
   ?keep_separate:bool ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?on_shutdown:(unit -> unit) ->
   unit ->
   t
 (** [flow_slack] enables flow control ([None] disables it, the paper's
     run-time switch).  [keep_separate] gives each producer its own queue per
-    consumer. *)
+    consumer.  [faults] is consulted at the [Port_send] and [Port_receive]
+    sites.  [on_shutdown] runs exactly once, on the first {!shutdown} (or
+    {!poison}) — exchange uses it to cancel descendant ports so that
+    processes blocked deep inside a pipeline observe the cancellation. *)
 
 val producers : t -> int
 val consumers : t -> int
@@ -49,6 +54,15 @@ val try_receive : t -> consumer:int -> Packet.t option
 val shutdown : t -> unit
 (** Early termination: wake all blocked senders and receivers; subsequent
     sends are dropped and receives return [None]. *)
+
+val poison : t -> exn -> unit
+(** {!shutdown}, additionally recording the exception that killed the
+    stream.  The first poisoning wins; consumers that drain the port learn
+    the cause from {!failure} and re-raise it as
+    {!Exchange.Query_failed}. *)
+
+val failure : t -> exn option
+(** The recorded failure, if the port was poisoned. *)
 
 val is_shut_down : t -> bool
 

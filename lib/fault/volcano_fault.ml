@@ -1,0 +1,138 @@
+module Rng = Volcano_util.Rng
+
+type site =
+  | Device_read
+  | Device_write
+  | Bufpool_fix
+  | Port_send
+  | Port_receive
+  | Producer of int
+  | Operator
+
+let site_name = function
+  | Device_read -> "device-read"
+  | Device_write -> "device-write"
+  | Bufpool_fix -> "bufpool-fix"
+  | Port_send -> "port-send"
+  | Port_receive -> "port-receive"
+  | Producer rank -> Printf.sprintf "producer-%d" rank
+  | Operator -> "operator"
+
+type action = Fail | Delay of float
+type trigger = At_hit of int | With_prob of float
+type rule = { site : site; trigger : trigger; action : action }
+type plan = { seed : int64; rules : rule list }
+
+exception Injected of { site : site; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; hit } ->
+        Some
+          (Printf.sprintf "Volcano_fault.Injected(site %s, hit %d)"
+             (site_name site) hit)
+    | _ -> None)
+
+let no_plan = { seed = 0L; rules = [] }
+
+let rule_to_string { site; trigger; action } =
+  let trigger =
+    match trigger with
+    | At_hit n -> Printf.sprintf "at hit %d" n
+    | With_prob p -> Printf.sprintf "with prob %.4f" p
+  in
+  let action =
+    match action with
+    | Fail -> "fail"
+    | Delay d -> Printf.sprintf "delay %.4fs" d
+  in
+  Printf.sprintf "%s %s %s" action (site_name site) trigger
+
+let plan_to_string { seed; rules } =
+  Printf.sprintf "{seed=%Ld; %s}" seed
+    (String.concat "; " (List.map rule_to_string rules))
+
+(* A rule's decision at hit [k] is a pure function of (seed, rule index, k):
+   reproducible regardless of how domains interleave their hits. *)
+let decide ~seed ~rule_index ~hit p =
+  let mixed =
+    Int64.add seed
+      (Int64.add
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (rule_index + 1)))
+         (Int64.mul 0xBF58476D1CE4E5B9L (Int64.of_int hit)))
+  in
+  Rng.float (Rng.create mixed) 1.0 < p
+
+let random_plan ~seed =
+  let rng = Rng.create seed in
+  let site () =
+    match Rng.int rng 8 with
+    | 0 -> Device_read
+    | 1 -> Device_write
+    | 2 -> Bufpool_fix
+    | 3 -> Port_send
+    | 4 -> Port_receive
+    | 5 | 6 -> Producer (Rng.int rng 3)
+    | _ -> Operator
+  in
+  let rule () =
+    let site = site () in
+    let trigger =
+      if Rng.bool rng then At_hit (1 + Rng.int rng 400)
+      else With_prob (0.0005 +. Rng.float rng 0.01)
+    in
+    let action =
+      (* Mostly failures; delays shake out timing-dependent hangs. *)
+      if Rng.int rng 4 = 0 then Delay (0.0001 +. Rng.float rng 0.002) else Fail
+    in
+    { site; trigger; action }
+  in
+  { seed; rules = List.init (1 + Rng.int rng 4) (fun _ -> rule ()) }
+
+module Injector = struct
+  type compiled = { rule : rule; index : int; count : int Atomic.t }
+
+  type t = {
+    seed : int64;
+    rules : compiled list;
+    n_hits : int Atomic.t;
+    n_fired : int Atomic.t;
+  }
+
+  let make (plan : plan) =
+    {
+      seed = plan.seed;
+      rules =
+        List.mapi
+          (fun index rule -> { rule; index; count = Atomic.make 0 })
+          plan.rules;
+      n_hits = Atomic.make 0;
+      n_fired = Atomic.make 0;
+    }
+
+  let none = make no_plan
+  let is_none t = t.rules = []
+  let fired t = Atomic.get t.n_fired
+  let hits t = Atomic.get t.n_hits
+
+  let hit t site =
+    if t.rules <> [] then
+      List.iter
+        (fun c ->
+          if c.rule.site = site then begin
+            Atomic.incr t.n_hits;
+            let k = 1 + Atomic.fetch_and_add c.count 1 in
+            let fires =
+              match c.rule.trigger with
+              | At_hit n -> k = n
+              | With_prob p -> decide ~seed:t.seed ~rule_index:c.index ~hit:k p
+            in
+            if fires then
+              match c.rule.action with
+              | Delay d -> Unix.sleepf d
+              | Fail ->
+                  Atomic.incr t.n_fired;
+                  raise (Injected { site; hit = k })
+          end)
+        t.rules
+end

@@ -110,7 +110,13 @@ let sorted_iterator ~group_by ~aggs input =
   Iterator.make
     ~open_:(fun () ->
       Iterator.open_ input;
-      lookahead := Iterator.next input;
+      (* Self-clean on failure: a dying first [next] (e.g. a sorted input
+         hitting an injected fault) must not leave the input open — the
+         caller never sees a state to close. *)
+      (try lookahead := Iterator.next input
+       with exn ->
+         (try Iterator.close input with _ -> ());
+         raise exn);
       finished := false)
     ~next:(fun () ->
       if !finished then None

@@ -47,7 +47,12 @@ let in_memory ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right =
                 { tuples = [ tuple ]; count = 1; probes = 0; matched = false });
           load ()
     in
-    load ();
+    (* A failing build input must not stay open: close it here, because the
+       consumer's close is a no-op while the phase is still [`Build]. *)
+    (try load () with
+    | exn ->
+        (try Iterator.close right with _ -> ());
+        raise exn);
     Iterator.close right;
     Iterator.open_ left;
     phase := `Probe
@@ -181,10 +186,17 @@ let partitioned ~partitions ~spill ~kind ~left_key ~right_key ~left_arity
     ~open_:(fun () ->
       left_files := make_files "probe";
       right_files := make_files "build";
-      spill_input !right_files hash_right right;
-      spill_input !left_files hash_left left;
-      partition_index := 0;
-      open_partition 0)
+      try
+        spill_input !right_files hash_right right;
+        spill_input !left_files hash_left left;
+        partition_index := 0;
+        open_partition 0
+      with exn ->
+        (* Drop the partition files on a failed open — the caller has no
+           state to close yet.  (Dropping again from close is safe.) *)
+        Array.iter (fun f -> try Heap_file.drop f with _ -> ()) !left_files;
+        Array.iter (fun f -> try Heap_file.drop f with _ -> ()) !right_files;
+        raise exn)
     ~next:(fun () ->
       let rec step () =
         match !current with
@@ -208,8 +220,9 @@ let partitioned ~partitions ~spill ~kind ~left_key ~right_key ~left_arity
     ~close:(fun () ->
       (match !current with Some sub -> Iterator.close sub | None -> ());
       current := None;
-      Array.iter Heap_file.drop !left_files;
-      Array.iter Heap_file.drop !right_files)
+      (* Best-effort: a failing drop must not leave later files undropped. *)
+      Array.iter (fun f -> try Heap_file.drop f with _ -> ()) !left_files;
+      Array.iter (fun f -> try Heap_file.drop f with _ -> ()) !right_files)
 
 let iterator ?(build_capacity = max_int) ?(partitions = 16) ?spill ~kind
     ~left_key ~right_key ~left_arity ~right_arity left right =
@@ -234,7 +247,12 @@ let iterator ?(build_capacity = max_int) ?(partitions = 16) ?spill ~kind
                   incr n;
                   peek ()
           in
-          let verdict = peek () in
+          let verdict =
+            try peek ()
+            with exn ->
+              (try Iterator.close right with _ -> ());
+              raise exn
+          in
           let replayed_prefix = Iterator.of_list (List.rev !buffered) in
           let build_rest =
             (* Remaining build tuples still inside [right]. *)

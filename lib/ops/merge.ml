@@ -16,14 +16,25 @@ let of_iterators ~cmp inputs =
             let c = cmp a b in
             if c <> 0 then c else compare (ia : int) ib)
       in
-      Array.iteri
-        (fun i source ->
-          Iterator.open_ source.input;
-          source.head <- Iterator.next source.input;
-          match source.head with
-          | Some t -> Binheap.push h (t, i)
-          | None -> ())
-        sources;
+      (* If a later source fails to open (or its first [next] dies), close
+         EVERY source, opened or not: producer streams refcount their
+         closes, and only the last one shuts the shared port and joins the
+         producer group — closing just the opened subset would leak the
+         producer domains. *)
+      (try
+         Array.iteri
+           (fun i source ->
+             Iterator.open_ source.input;
+             source.head <- Iterator.next source.input;
+             match source.head with
+             | Some t -> Binheap.push h (t, i)
+             | None -> ())
+           sources
+       with exn ->
+         Array.iter
+           (fun s -> try Iterator.close s.input with _ -> ())
+           sources;
+         raise exn);
       heap := Some h)
     ~next:(fun () ->
       match !heap with
@@ -39,9 +50,21 @@ let of_iterators ~cmp inputs =
               | None -> ());
               Some tuple))
     ~close:(fun () ->
-      Array.iter (fun source -> Iterator.close source.input) sources;
-      heap := None)
+      (* Close every source even if one close fails: for producer streams
+         the last close releases the shared port and joins the producer
+         group, which must happen regardless.  First failure re-raised. *)
+      let first = ref None in
+      Array.iter
+        (fun source ->
+          try Iterator.close source.input
+          with exn -> if !first = None then first := Some exn)
+        sources;
+      heap := None;
+      match !first with Some exn -> raise exn | None -> ())
 
-let exchange_merge ?id cfg ~cmp ~group ~input =
-  let streams = Volcano.Exchange.producer_streams ?id cfg ~group ~input in
+let exchange_merge ?id ?faults ?parent_scope ?scope cfg ~cmp ~group ~input =
+  let streams =
+    Volcano.Exchange.producer_streams ?id ?faults ?parent_scope ?scope cfg
+      ~group ~input
+  in
   of_iterators ~cmp streams

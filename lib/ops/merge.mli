@@ -12,6 +12,9 @@ val of_iterators :
 
 val exchange_merge :
   ?id:int ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?parent_scope:Volcano.Exchange.Scope.t ->
+  ?scope:Volcano.Exchange.Scope.t ->
   Volcano.Exchange.config ->
   cmp:Volcano_tuple.Support.comparator ->
   group:Volcano.Group.t ->

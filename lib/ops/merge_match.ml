@@ -98,10 +98,23 @@ let iterator ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right =
   in
   Iterator.make
     ~open_:(fun () ->
+      (* Self-clean on failure: if the right side fails to open (or either
+         first [next] dies — e.g. an injected fix denial while a sorted
+         input reopens its spilled runs), close whatever opened so its
+         pinned pages are released; the caller never sees a state to
+         close. *)
       Iterator.open_ left;
-      Iterator.open_ right;
-      state.left_head <- Iterator.next left;
-      state.right_head <- Iterator.next right;
+      (try
+         Iterator.open_ right;
+         try
+           state.left_head <- Iterator.next left;
+           state.right_head <- Iterator.next right
+         with exn ->
+           (try Iterator.close right with _ -> ());
+           raise exn
+       with exn ->
+         (try Iterator.close left with _ -> ());
+         raise exn);
       state.pending <- [];
       state.finished <- false)
     ~next:(fun () ->
@@ -112,5 +125,8 @@ let iterator ~kind ~left_key ~right_key ~left_arity ~right_arity ~left ~right =
           state.pending <- rest;
           Some tuple)
     ~close:(fun () ->
-      Iterator.close left;
-      Iterator.close right)
+      (* Close both sides even if one close fails; first failure re-raised. *)
+      let first = ref None in
+      (try Iterator.close left with exn -> first := Some exn);
+      (try Iterator.close right with exn -> if !first = None then first := Some exn);
+      match !first with Some exn -> raise exn | None -> ())

@@ -63,6 +63,29 @@ let cursor_of_run run =
       c.head <- advance ();
       c
 
+(* Failure-path cleanup.  Dropping twice is safe (an emptied file's chain
+   walk is a no-op), so best-effort cleanup may overlap. *)
+let drop_run = function
+  | Spilled file -> ( try Heap_file.drop file with _ -> ())
+  | In_memory _ -> ()
+
+(* Build cursors for every run; if a later one fails to open (e.g. an
+   injected fix denial while pinning the run's first page), release the
+   already-built cursors so their pinned pages do not leak. *)
+let cursors_of_runs runs =
+  let built = ref [] in
+  try
+    Array.of_list
+      (List.map
+         (fun r ->
+           let c = cursor_of_run r in
+           built := c :: !built;
+           c)
+         runs)
+  with exn ->
+    List.iter (fun c -> try c.cleanup () with _ -> ()) !built;
+    raise exn
+
 (* Merge a batch of runs into one stream.  The heap orders cursors by their
    head tuple; ties broken by an index to keep the comparison total. *)
 let merge_cursors ~cmp cursors =
@@ -85,9 +108,20 @@ let merge_cursors ~cmp cursors =
         | None -> ());
         Some tuple
 
+let rec take n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> ([], [])
+    | x :: rest ->
+        let batch, remainder = take (n - 1) rest in
+        (x :: batch, remainder)
+
 (* Cascaded merge: reduce the run list to at most [fan_in] runs, then give
-   back the final single-level merge. *)
-let rec reduce_runs ~cmp ~fan_in ~spill runs =
+   back the final single-level merge.  A failure mid-merge (a device fault
+   while reading or spilling) drops every remaining run so that no pinned
+   page survives the wreck. *)
+let reduce_runs ~cmp ~fan_in ~spill runs =
   if List.length runs <= fan_in then runs
   else
     match spill with
@@ -95,30 +129,35 @@ let rec reduce_runs ~cmp ~fan_in ~spill runs =
         (* Cannot spill intermediate merges; merge everything at once. *)
         runs
     | Some sp ->
-        let rec take n xs =
-          if n = 0 then ([], xs)
-          else
-            match xs with
-            | [] -> ([], [])
-            | x :: rest ->
-                let batch, remainder = take (n - 1) rest in
-                (x :: batch, remainder)
-        in
-        let batch, rest = take fan_in runs in
-        let cursors = Array.of_list (List.map cursor_of_run batch) in
-        let pull = merge_cursors ~cmp cursors in
-        let collected = ref [] in
-        let rec drain () =
-          match pull () with
-          | None -> ()
-          | Some t ->
-              collected := t :: !collected;
-              drain ()
-        in
-        drain ();
-        Array.iter (fun c -> c.cleanup ()) cursors;
-        let merged = spill_run sp (Array.of_list (List.rev !collected)) in
-        reduce_runs ~cmp ~fan_in ~spill (rest @ [ merged ])
+        let current = ref runs in
+        (try
+           while List.length !current > fan_in do
+             let batch, rest = take fan_in !current in
+             let cursors = cursors_of_runs batch in
+             let merged =
+               try
+                 let pull = merge_cursors ~cmp cursors in
+                 let collected = ref [] in
+                 let rec drain () =
+                   match pull () with
+                   | None -> ()
+                   | Some t ->
+                       collected := t :: !collected;
+                       drain ()
+                 in
+                 drain ();
+                 Array.iter (fun c -> c.cleanup ()) cursors;
+                 spill_run sp (Array.of_list (List.rev !collected))
+               with exn ->
+                 Array.iter (fun c -> try c.cleanup () with _ -> ()) cursors;
+                 raise exn
+             in
+             current := rest @ [ merged ]
+           done
+         with exn ->
+           List.iter drop_run !current;
+           raise exn);
+        !current
 
 let iterator ?(run_capacity = 65536) ?(fan_in = 8) ?spill ~cmp input =
   if run_capacity < 1 then invalid_arg "Sort: run_capacity must be positive";
@@ -154,13 +193,25 @@ let iterator ?(run_capacity = 65536) ?(fan_in = 8) ?spill ~cmp input =
             if !pending_len >= run_capacity then flush_pending ();
             consume ()
       in
-      consume ();
-      flush_pending ();
-      Iterator.close input;
-      let runs = reduce_runs ~cmp ~fan_in ~spill !runs in
-      let cursors = Array.of_list (List.map cursor_of_run runs) in
-      let pull = merge_cursors ~cmp cursors in
-      state := Some (pull, cursors))
+      (* [open_] drains the whole input, so a failure anywhere in it — the
+         input stream dying, a device fault while spilling, a fix denial
+         while reopening a run — must close the input and drop the spilled
+         runs here: the caller will never see a state to close. *)
+      let input_open = ref true in
+      try
+        consume ();
+        flush_pending ();
+        input_open := false;
+        Iterator.close input;
+        let reduced = reduce_runs ~cmp ~fan_in ~spill !runs in
+        runs := reduced;
+        let cursors = cursors_of_runs reduced in
+        let pull = merge_cursors ~cmp cursors in
+        state := Some (pull, cursors)
+      with exn ->
+        if !input_open then (try Iterator.close input with _ -> ());
+        List.iter drop_run !runs;
+        raise exn)
     ~next:(fun () ->
       match !state with
       | None -> invalid_arg "Sort: not open"
@@ -169,5 +220,8 @@ let iterator ?(run_capacity = 65536) ?(fan_in = 8) ?spill ~cmp input =
       match !state with
       | None -> ()
       | Some (_, cursors) ->
-          Array.iter (fun c -> c.cleanup ()) cursors;
+          (* Best-effort: one cursor failing to drop its run (e.g. an
+             injected fault on the chain walk) must not strand the other
+             cursors' pinned pages. *)
+          Array.iter (fun c -> try c.cleanup () with _ -> ()) cursors;
           state := None)

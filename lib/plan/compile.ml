@@ -3,6 +3,7 @@ module Exchange = Volcano.Exchange
 module Group = Volcano.Group
 module Support = Volcano_tuple.Support
 module Ops = Volcano_ops
+module Injector = Volcano_fault.Injector
 
 (* Pre-assign port keys to exchange nodes, keyed by physical identity: the
    one compiled thunk shared by a group captures this table, so every
@@ -91,8 +92,31 @@ let limit_iterator count inner =
 let sort_cmp key = Support.compare_on key
 let cols_cmp cols = Support.compare_cols cols
 
-let rec compile_in env ids group plan =
-  let recur = compile_in env ids group in
+(* With faults installed, every compiled node also checks the generic
+   [Operator] site once per record — a failure "anywhere in the operator
+   tree", not tied to a specific subsystem. *)
+let guard faults inner =
+  if Injector.is_none faults then inner
+  else
+    Iterator.make
+      ~open_:(fun () -> Iterator.open_ inner)
+      ~next:(fun () ->
+        Injector.hit faults Volcano_fault.Operator;
+        Iterator.next inner)
+      ~close:(fun () -> Iterator.close inner)
+
+(* [scope] is the cancellation scope enclosing this node: exchange nodes
+   register their port in it and open a child scope over their producer
+   subtrees, so that shutting any exchange cancels everything below it.
+   The producer thunk re-enters [compile_in], so nested exchanges get a
+   fresh subtree (and fresh inner scopes) per producer, per open. *)
+let rec compile_in env ids group scope plan =
+  let faults = Env.faults env in
+  guard faults (compile_node env ids group scope plan)
+
+and compile_node env ids group scope plan =
+  let faults = Env.faults env in
+  let recur = compile_in env ids group scope in
   let sorted ~cmp input =
     Ops.Sort.iterator ~run_capacity:(Env.sort_run_capacity env)
       ~spill:(Env.spill env) ~cmp input
@@ -180,13 +204,22 @@ let rec compile_in env ids group plan =
       Ops.Choose_plan.iterator ~decide
         ~alternatives:(Array.of_list (List.map recur alternatives))
   | Plan.Exchange { cfg; input } ->
-      Exchange.iterator ~id:(ids plan) cfg ~group ~input:(fun producer_group ->
-          compile_in env ids producer_group input)
+      let child = Exchange.Scope.create () in
+      Exchange.iterator ~id:(ids plan) ~faults ?parent_scope:scope ~scope:child
+        cfg ~group
+        ~input:(fun producer_group ->
+          compile_in env ids producer_group (Some child) input)
   | Plan.Exchange_merge { cfg; key; input } ->
-      Ops.Merge.exchange_merge ~id:(ids plan) cfg ~cmp:(sort_cmp key) ~group
-        ~input:(fun producer_group -> compile_in env ids producer_group input)
+      let child = Exchange.Scope.create () in
+      Ops.Merge.exchange_merge ~id:(ids plan) ~faults ?parent_scope:scope
+        ~scope:child cfg ~cmp:(sort_cmp key) ~group
+        ~input:(fun producer_group ->
+          compile_in env ids producer_group (Some child) input)
   | Plan.Interchange { cfg; input } ->
-      Exchange.interchange ~id:(ids plan) cfg ~group ~input:(recur input)
+      let child = Exchange.Scope.create () in
+      Exchange.interchange ~id:(ids plan) ~faults ?parent_scope:scope
+        ~scope:child cfg ~group
+        ~input:(compile_in env ids group (Some child) input)
 
 exception Rejected of Volcano_analysis.Diag.t list
 
@@ -210,7 +243,7 @@ let compile ?(check = true) env plan =
      match Volcano_analysis.Diag.errors (analyze env plan) with
      | [] -> ()
      | errors -> raise (Rejected errors));
-  compile_in env (assign_ids plan) (Group.solo ()) plan
+  compile_in env (assign_ids plan) (Group.solo ()) None plan
 
 let run ?check env plan = Iterator.to_list (compile ?check env plan)
 let run_count ?check env plan = Iterator.consume (compile ?check env plan)

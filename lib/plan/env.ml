@@ -2,6 +2,7 @@ module Bufpool = Volcano_storage.Bufpool
 module Device = Volcano_storage.Device
 module Heap_file = Volcano_storage.Heap_file
 module Schema = Volcano_tuple.Schema
+module Injector = Volcano_fault.Injector
 
 type t = {
   buffer : Bufpool.t;
@@ -10,6 +11,7 @@ type t = {
   indexes : (string, Volcano_btree.Btree.t * Heap_file.t * int list) Hashtbl.t;
   lock : Mutex.t;
   mutable run_capacity : int;
+  mutable faults : Injector.t;
 }
 
 let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536) () =
@@ -22,6 +24,7 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536) () 
     indexes = Hashtbl.create 16;
     lock = Mutex.create ();
     run_capacity = 65536;
+    faults = Injector.none;
   }
 
 let buffer t = t.buffer
@@ -98,3 +101,11 @@ let index t name =
 
 let sort_run_capacity t = t.run_capacity
 let set_sort_run_capacity t n = t.run_capacity <- n
+let faults t = t.faults
+
+let set_faults t faults =
+  t.faults <- faults;
+  Bufpool.set_faults t.buffer faults;
+  Device.set_faults t.workspace faults
+
+let clear_faults t = set_faults t Injector.none

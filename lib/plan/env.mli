@@ -43,3 +43,15 @@ val table_names : t -> string list
 val sort_run_capacity : t -> int
 val set_sort_run_capacity : t -> int -> unit
 (** Tuples per in-memory sort run (spill threshold); default 65536. *)
+
+val faults : t -> Volcano_fault.Injector.t
+(** The installed fault injector ({!Volcano_fault.Injector.none} by
+    default).  Plans compiled from this environment consult it at every
+    site: the buffer pool, the workspace device, the exchange ports,
+    producers, and operators. *)
+
+val set_faults : t -> Volcano_fault.Injector.t -> unit
+(** Install the injector on the environment, its buffer pool, and its
+    workspace device.  Queries compiled afterwards run under it. *)
+
+val clear_faults : t -> unit

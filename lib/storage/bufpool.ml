@@ -1,3 +1,5 @@
+module Injector = Volcano_fault.Injector
+
 type mode = Two_level | Single_global
 
 exception Buffer_exhausted
@@ -27,6 +29,7 @@ type t = {
   n_evictions : int Atomic.t;
   n_writebacks : int Atomic.t;
   n_restarts : int Atomic.t;
+  mutable faults : Injector.t; (* chaos harness: fix-denial injection *)
 }
 
 type stats = {
@@ -65,7 +68,10 @@ let create ?(mode = Two_level) ~frames ~page_size () =
     n_evictions = Atomic.make 0;
     n_writebacks = Atomic.make 0;
     n_restarts = Atomic.make 0;
+    faults = Injector.none;
   }
+
+let set_faults t faults = t.faults <- faults
 
 (* LRU chain manipulation; caller holds the pool lock. *)
 
@@ -151,13 +157,24 @@ let rec fix_loop t dev page ~load ~attempts =
       | Some f ->
           Mutex.unlock t.pool_lock;
           (* Clean the victim under its descriptor lock, with no pool lock
-             held and its old mapping still visible. *)
-          (match f.device with
-          | Some odev when f.dirty ->
-              Device.write odev ~page:f.page f.data;
-              f.dirty <- false;
-              Atomic.incr t.n_writebacks
-          | _ -> ());
+             held and its old mapping still visible.  If the write-back
+             dies (a real I/O error or an injected one), the victim must
+             go back on the LRU with its descriptor lock released — a
+             locked descriptor makes every later fix of its page spin in
+             the restart loop forever. *)
+          (try
+             match f.device with
+             | Some odev when f.dirty ->
+                 Device.write odev ~page:f.page f.data;
+                 f.dirty <- false;
+                 Atomic.incr t.n_writebacks
+             | _ -> ()
+           with exn ->
+             Mutex.lock t.pool_lock;
+             lru_append t f;
+             Mutex.unlock t.pool_lock;
+             Mutex.unlock f.lock;
+             raise exn);
           Mutex.lock t.pool_lock;
           if Hashtbl.mem t.table (key dev page) then begin
             (* Someone else loaded the wanted page while we were cleaning:
@@ -180,14 +197,30 @@ let rec fix_loop t dev page ~load ~attempts =
             f.fixes <- 1;
             Atomic.incr t.n_misses;
             Mutex.unlock t.pool_lock;
-            (* I/O happens under the descriptor lock only. *)
+            (* I/O happens under the descriptor lock only.  A failed load
+               (injected or real read error) must undo the mapping and
+               free the frame, or the page becomes permanently unfixable:
+               its descriptor lock would never be released. *)
             f.dirty <- false;
-            load f;
+            (try load f
+             with exn ->
+               Mutex.lock t.pool_lock;
+               Hashtbl.remove t.table (key dev page);
+               f.device <- None;
+               f.page <- -1;
+               f.fixes <- 0;
+               lru_append t f;
+               Mutex.unlock t.pool_lock;
+               Mutex.unlock f.lock;
+               raise exn);
             Mutex.unlock f.lock;
             f
           end)
 
 let fix_general t dev page ~load =
+  (* Consulted before any pool state changes: an injected denial models a
+     transient out-of-buffer condition and leaks nothing. *)
+  Injector.hit t.faults Volcano_fault.Bufpool_fix;
   match t.md with
   | Two_level -> fix_loop t dev page ~load ~attempts:0
   | Single_global ->
@@ -213,12 +246,18 @@ let fix_general t dev page ~load =
               lru_remove t f;
               (match f.device with
               | Some odev ->
+                  (* Write back before unmapping, restoring the frame on
+                     failure so the pool stays consistent. *)
+                  (if f.dirty then
+                     try
+                       Device.write odev ~page:f.page f.data;
+                       f.dirty <- false;
+                       Atomic.incr t.n_writebacks
+                     with exn ->
+                       lru_append t f;
+                       raise exn);
                   Hashtbl.remove t.table (key odev f.page);
-                  Atomic.incr t.n_evictions;
-                  if f.dirty then begin
-                    Device.write odev ~page:f.page f.data;
-                    Atomic.incr t.n_writebacks
-                  end
+                  Atomic.incr t.n_evictions
               | None -> ());
               Hashtbl.replace t.table (key dev page) f.index;
               f.device <- Some dev;
@@ -226,7 +265,14 @@ let fix_general t dev page ~load =
               f.fixes <- 1;
               f.dirty <- false;
               Atomic.incr t.n_misses;
-              load f;
+              (try load f
+               with exn ->
+                 Hashtbl.remove t.table (key dev page);
+                 f.device <- None;
+                 f.page <- -1;
+                 f.fixes <- 0;
+                 lru_append t f;
+                 raise exn);
               f))
 
 let fix t dev page =
@@ -279,8 +325,8 @@ let flush_page t dev page =
   Mutex.unlock t.pool_lock;
   match frame with
   | Some f ->
-      write_back t f;
-      Mutex.unlock f.lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock f.lock) (fun () ->
+          write_back t f);
       true
   | None -> false
 
@@ -292,8 +338,8 @@ let flush_all t =
   Array.iter
     (fun f ->
       Mutex.lock f.lock;
-      write_back t f;
-      Mutex.unlock f.lock)
+      Fun.protect ~finally:(fun () -> Mutex.unlock f.lock) (fun () ->
+          write_back t f))
     t.frames
 
 let purge_device t dev =
@@ -325,3 +371,31 @@ let stats t =
 
 let frames_total t = Array.length t.frames
 let mode t = t.md
+
+let leaked_fixes t =
+  Mutex.lock t.pool_lock;
+  let n = Array.fold_left (fun acc f -> acc + f.fixes) 0 t.frames in
+  Mutex.unlock t.pool_lock;
+  n
+
+let leak_report t =
+  Mutex.lock t.pool_lock;
+  let leaks =
+    Array.fold_left
+      (fun acc f ->
+        if f.fixes > 0 then
+          Printf.sprintf "frame %d: %s page %d fixed %d times" f.index
+            (match f.device with Some d -> Device.name d | None -> "<none>")
+            f.page f.fixes
+          :: acc
+        else acc)
+      [] t.frames
+  in
+  Mutex.unlock t.pool_lock;
+  String.concat "\n" (List.rev leaks)
+
+let assert_quiescent ?(what = "buffer pool") t =
+  let n = leaked_fixes t in
+  if n > 0 then
+    failwith
+      (Printf.sprintf "%s: %d leaked buffer fix(es)\n%s" what n (leak_report t))

@@ -74,3 +74,23 @@ type stats = {
 val stats : t -> stats
 val frames_total : t -> int
 val mode : t -> mode
+
+val set_faults : t -> Volcano_fault.Injector.t -> unit
+(** Install a fault injector consulted at the [Bufpool_fix] site, before
+    any pool state changes — an injected failure is a clean fix denial.
+    Pass {!Volcano_fault.Injector.none} to clear. *)
+
+(** {2 Leak detection} *)
+
+val leaked_fixes : t -> int
+(** Total outstanding fix counts across all frames.  Zero whenever no
+    query is running: every operator must balance its fixes even when it
+    fails or is cancelled. *)
+
+val leak_report : t -> string
+(** Human-readable listing of still-fixed frames (empty when quiescent). *)
+
+val assert_quiescent : ?what:string -> t -> unit
+(** @raise Failure with {!leak_report} if any frame is still fixed.
+    Called from test teardowns: a failed or cancelled query must leave
+    the pool quiescent. *)

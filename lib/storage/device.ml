@@ -1,3 +1,5 @@
+module Injector = Volcano_fault.Injector
+
 type backing =
   | Real of Unix.file_descr
   | Virtual of (int, Bytes.t) Hashtbl.t (* spilled pages *)
@@ -14,6 +16,7 @@ type t = {
   mutable table : Vtoc.t;
   reads : int Atomic.t;
   writes : int Atomic.t;
+  mutable faults : Injector.t; (* chaos harness: I/O fault injection *)
 }
 
 let next_id = Atomic.make 0
@@ -43,7 +46,10 @@ let make ~name ~page_size ~capacity backing =
     table = Vtoc.create ();
     reads = Atomic.make 0;
     writes = Atomic.make 0;
+    faults = Injector.none;
   }
+
+let set_faults t faults = t.faults <- faults
 
 let create_real ~path ~page_size ~capacity =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -84,6 +90,7 @@ let write_exact fd buf =
 let read t ~page buf =
   check_page t page;
   if Bytes.length buf <> t.page_size then invalid_arg "Device.read: bad frame size";
+  Injector.hit t.faults Volcano_fault.Device_read;
   Atomic.incr t.reads;
   match t.backing with
   | Real fd ->
@@ -106,6 +113,7 @@ let read t ~page buf =
 let write t ~page buf =
   check_page t page;
   if Bytes.length buf <> t.page_size then invalid_arg "Device.write: bad frame size";
+  Injector.hit t.faults Volcano_fault.Device_write;
   Atomic.incr t.writes;
   match t.backing with
   | Real fd ->

@@ -53,6 +53,12 @@ val reads : t -> int
 val writes : t -> int
 (** I/O counters (tests and benchmarks). *)
 
+val set_faults : t -> Volcano_fault.Injector.t -> unit
+(** Install a fault injector consulted at the [Device_read] and
+    [Device_write] sites (before each transfer).  Injected failures model
+    media errors; injected delays model slow I/O.  Pass
+    {!Volcano_fault.Injector.none} to clear. *)
+
 val sync : t -> unit
 (** Persist superblock (bitmap + VTOC) of a real device; no-op on virtual. *)
 

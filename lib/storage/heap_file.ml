@@ -58,17 +58,30 @@ let sync_vtoc t =
 
 let add_page t =
   let page_no = Device.allocate t.device in
-  let frame = Bufpool.fix_new t.buffer t.device page_no in
-  Page.init (Bufpool.bytes frame) ~kind:page_kind_heap;
-  Bufpool.mark_dirty frame;
-  if t.first_page = -1 then t.first_page <- page_no
-  else begin
-    (* Link the previous tail to the new page. *)
-    let prev = Bufpool.fix t.buffer t.device t.last_page in
-    Page.set_next_page (Bufpool.bytes prev) page_no;
-    Bufpool.mark_dirty prev;
-    Bufpool.unfix t.buffer prev
-  end;
+  let frame =
+    try Bufpool.fix_new t.buffer t.device page_no
+    with exn ->
+      Device.free t.device page_no;
+      raise exn
+  in
+  (* Self-clean on failure: if linking the previous tail fails (e.g. an
+     injected fix denial), the new frame must not stay fixed and the file
+     must be left unchanged. *)
+  (try
+     Page.init (Bufpool.bytes frame) ~kind:page_kind_heap;
+     Bufpool.mark_dirty frame;
+     if t.first_page <> -1 then begin
+       (* Link the previous tail to the new page. *)
+       let prev = Bufpool.fix t.buffer t.device t.last_page in
+       Page.set_next_page (Bufpool.bytes prev) page_no;
+       Bufpool.mark_dirty prev;
+       Bufpool.unfix t.buffer prev
+     end
+   with exn ->
+     Bufpool.unfix t.buffer frame;
+     Device.free t.device page_no;
+     raise exn);
+  if t.first_page = -1 then t.first_page <- page_no;
   t.last_page <- page_no;
   t.pages <- t.pages + 1;
   (page_no, frame)

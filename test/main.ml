@@ -9,12 +9,14 @@ let () =
       ("iterator", Test_iterator.suite);
       ("exchange", Test_exchange.suite);
       ("exchange-extra", Test_exchange_extra.suite);
+      ("fault", Test_fault.suite);
       ("ops", Test_ops.suite);
       ("ops-extra", Test_ops_extra.suite);
       ("plan", Test_plan.suite);
       ("analysis", Test_analysis.suite);
       ("plan-extra", Test_plan_extra.suite);
       ("random-plans", Test_random_plans.suite);
+      ("chaos", Test_chaos.suite);
       ("sim", Test_sim.suite);
       ("wisconsin", Test_wisconsin.suite);
       ("edges", Test_extra_edges.suite);

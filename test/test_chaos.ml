@@ -1,0 +1,253 @@
+(* The chaos harness: random plans (reusing the generators from
+   [Test_random_plans]) run under random fault plans.
+
+   For every seeded (plan, fault-plan) pair:
+   - the decorated plan run fault-free must match the single-process
+     oracle (the encapsulation property);
+   - the run under injection must either produce exactly the oracle rows
+     (no Fail rule fired, or it fired on a swallowed cleanup path) or
+     raise a single well-typed failure — within a timeout;
+   - afterwards the buffer pool holds zero fixes and every producer
+     domain has been joined.
+
+   Any violation prints the (plan_seed, fault_seed) pair and the fault
+   plan, so the case replays exactly:
+
+     CHAOS_SEEDS=500 dune build @chaos   # sweep a larger matrix
+
+   The default matrix (100 pairs) runs in the tier-1 [dune runtest]. *)
+
+module Iterator = Volcano.Iterator
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Exchange = Volcano.Exchange
+module Bufpool = Volcano_storage.Bufpool
+module Tuple = Volcano_tuple.Tuple
+module Rng = Volcano_util.Rng
+module Fault = Volcano_fault
+module Injector = Volcano_fault.Injector
+
+let default_cases = 100
+
+let cases () =
+  match Sys.getenv_opt "CHAOS_SEEDS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> default_cases)
+  | None -> default_cases
+
+(* Generous bound: a healthy faulty run finishes in milliseconds; only a
+   genuine hang (a blocked domain that never observed cancellation) gets
+   anywhere near it. *)
+let timeout_seconds = 20.0
+
+type outcome = Rows of Tuple.t list | Raised of exn | Timeout
+
+(* Run [f] in its own domain and poll for its result.  On timeout the
+   worker domain is abandoned — the case has already failed, and the
+   printed seed pair is what matters. *)
+let run_with_timeout ~seconds f =
+  let slot = Atomic.make None in
+  let worker =
+    Domain.spawn (fun () ->
+        let r = try Rows (f ()) with exn -> Raised exn in
+        Atomic.set slot (Some r))
+  in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some r ->
+        Domain.join worker;
+        r
+    | None ->
+        if Unix.gettimeofday () > deadline then Timeout
+        else begin
+          Unix.sleepf 0.001;
+          wait ()
+        end
+  in
+  wait ()
+
+(* The failures a faulty run is allowed to surface: the exchange's single
+   well-typed error, a raw injection (fired on a serial path with no
+   exchange above it), or either of those wrapped once by a protecting
+   close on the unwind path. *)
+let rec acceptable_failure = function
+  | Exchange.Query_failed _ | Fault.Injected _ -> true
+  | Fun.Finally_raised e -> acceptable_failure e
+  | _ -> false
+
+let run_case ~plan_seed ~fault_seed =
+  let rng = Rng.create plan_seed in
+  let depth = 1 + Rng.int rng 3 in
+  let env = Env.create ~frames:128 ~page_size:512 () in
+  (* Small runs force external sorts to spill, exercising the storage
+     injection sites (device read/write, buffer fix) under parallelism. *)
+  Env.set_sort_run_capacity env (8 + Rng.int rng 56);
+  let serial = Test_random_plans.random_plan rng depth in
+  let decorated = Test_random_plans.decorate rng serial in
+  let fault_plan = Fault.random_plan ~seed:fault_seed in
+  let repro () =
+    Printf.sprintf
+      "repro: CHAOS_REPRO=%Ld:%Ld (plan_seed:fault_seed), depth=%d\n\
+       faults=%s\nplan:\n%s" plan_seed fault_seed depth
+      (Fault.plan_to_string fault_plan)
+      (Format.asprintf "%a" Plan.pp decorated)
+  in
+  let failf fmt =
+    Printf.ksprintf (fun msg -> Alcotest.failf "%s\n%s" msg (repro ())) fmt
+  in
+  let unjoined0 = Exchange.unjoined_domains () in
+  let live0 = Exchange.live_domains () in
+  let oracle = Test_random_plans.sorted_run env serial in
+  if not (Test_random_plans.accepted env decorated) then
+    failf "decorated plan rejected by the analyzer";
+  (* Fault-free: the decoration must be invisible. *)
+  let clean = Test_random_plans.sorted_run env decorated in
+  if clean <> oracle then failf "fault-free decorated run diverges from oracle";
+  (* Under injection. *)
+  Env.set_faults env (Injector.make fault_plan);
+  let outcome =
+    run_with_timeout ~seconds:timeout_seconds (fun () ->
+        List.sort Tuple.compare (Compile.run env decorated))
+  in
+  (match outcome with
+  | Rows rows ->
+      (* Nothing fired on a live path: the result must be untouched. *)
+      if rows <> oracle then failf "faulty run completed with wrong rows"
+  | Raised exn ->
+      if not (acceptable_failure exn) then
+        failf "unexpected failure type: %s" (Printexc.to_string exn)
+  | Timeout -> failf "faulty run hung (> %.0fs)" timeout_seconds);
+  Env.clear_faults env;
+  (try Bufpool.assert_quiescent ~what:"chaos case" (Env.buffer env)
+   with Failure msg -> failf "%s" msg);
+  if Exchange.unjoined_domains () <> unjoined0 then
+    failf "leaked %d unjoined domain(s)"
+      (Exchange.unjoined_domains () - unjoined0);
+  if Exchange.live_domains () <> live0 then
+    failf "leaked %d live domain(s)" (Exchange.live_domains () - live0)
+
+let test_matrix () =
+  (* CHAOS_REPRO=<plan_seed>:<fault_seed> replays a single failing pair
+     exactly as printed by a failure report. *)
+  match Sys.getenv_opt "CHAOS_REPRO" with
+  | Some spec -> (
+      match String.split_on_char ':' (String.trim spec) with
+      | [ p; f ] ->
+          run_case ~plan_seed:(Int64.of_string p)
+            ~fault_seed:(Int64.of_string f)
+      | _ -> Alcotest.fail "CHAOS_REPRO must be <plan_seed>:<fault_seed>")
+  | None ->
+      let n = cases () in
+      for i = 0 to n - 1 do
+        run_case
+          ~plan_seed:(Int64.of_int ((1000003 * i) + 17))
+          ~fault_seed:(Int64.of_int ((7919 * i) + 23))
+      done
+
+(* Satellite: analyzer-accepted plans under pure-delay chaos never hang
+   AND never lose a record — delays perturb every interleaving the flow
+   control and shutdown paths can reach, but fail nothing. *)
+let delay_plan seed =
+  {
+    Fault.seed;
+    rules =
+      [
+        {
+          Fault.site = Fault.Port_send;
+          trigger = Fault.With_prob 0.05;
+          action = Fault.Delay 0.0005;
+        };
+        {
+          Fault.site = Fault.Port_receive;
+          trigger = Fault.With_prob 0.05;
+          action = Fault.Delay 0.0005;
+        };
+        {
+          Fault.site = Fault.Operator;
+          trigger = Fault.With_prob 0.01;
+          action = Fault.Delay 0.001;
+        };
+      ];
+  }
+
+let test_delays_preserve_results () =
+  for i = 0 to 9 do
+    let plan_seed = Int64.of_int ((104729 * i) + 5) in
+    let rng = Rng.create plan_seed in
+    let depth = 1 + Rng.int rng 3 in
+    let env = Env.create ~frames:128 ~page_size:512 () in
+    Env.set_sort_run_capacity env (8 + Rng.int rng 56);
+    let serial = Test_random_plans.random_plan rng depth in
+    let decorated = Test_random_plans.decorate rng serial in
+    let oracle = Test_random_plans.sorted_run env serial in
+    Env.set_faults env (Injector.make (delay_plan plan_seed));
+    (match
+       run_with_timeout ~seconds:timeout_seconds (fun () ->
+           List.sort Tuple.compare (Compile.run env decorated))
+     with
+    | Rows rows ->
+        if rows <> oracle then
+          Alcotest.failf "delays changed the result (plan_seed=%Ld)" plan_seed
+    | Raised exn ->
+        Alcotest.failf "delay-only run failed (plan_seed=%Ld): %s" plan_seed
+          (Printexc.to_string exn)
+    | Timeout ->
+        Alcotest.failf "delay-only run hung (plan_seed=%Ld)" plan_seed);
+    Env.clear_faults env;
+    Bufpool.assert_quiescent ~what:"delay case" (Env.buffer env)
+  done
+
+(* Satellite: early close under injected delays.  Open a decorated plan
+   with port delays active, pull a few records, and walk away — the
+   cancellation must still chain through every port, join every domain,
+   and unfix every page. *)
+let test_early_close_under_delays () =
+  for i = 0 to 9 do
+    let plan_seed = Int64.of_int ((15485863 * i) + 11) in
+    let rng = Rng.create plan_seed in
+    let depth = 1 + Rng.int rng 3 in
+    let env = Env.create ~frames:128 ~page_size:512 () in
+    Env.set_sort_run_capacity env (8 + Rng.int rng 56);
+    let serial = Test_random_plans.random_plan rng depth in
+    let decorated = Test_random_plans.decorate rng serial in
+    let unjoined0 = Exchange.unjoined_domains () in
+    let live0 = Exchange.live_domains () in
+    Env.set_faults env (Injector.make (delay_plan plan_seed));
+    (match
+       run_with_timeout ~seconds:timeout_seconds (fun () ->
+           let iterator = Compile.compile env decorated in
+           Iterator.open_ iterator;
+           (try
+              for _ = 1 to 3 do
+                match Iterator.next iterator with
+                | Some _ -> ()
+                | None -> raise Exit
+              done
+            with Exit -> ());
+           Iterator.close iterator;
+           [])
+     with
+    | Rows _ -> ()
+    | Raised exn ->
+        Alcotest.failf "early close under delays failed (plan_seed=%Ld): %s"
+          plan_seed (Printexc.to_string exn)
+    | Timeout ->
+        Alcotest.failf "early close under delays hung (plan_seed=%Ld)"
+          plan_seed);
+    Env.clear_faults env;
+    Bufpool.assert_quiescent ~what:"early close under delays" (Env.buffer env);
+    Alcotest.(check int)
+      "no unjoined domains" unjoined0
+      (Exchange.unjoined_domains ());
+    Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ())
+  done
+
+let suite =
+  [
+    Alcotest.test_case "seeded (plan, fault-plan) matrix" `Slow test_matrix;
+    Alcotest.test_case "delay-only chaos preserves results" `Slow
+      test_delays_preserve_results;
+    Alcotest.test_case "early close under injected delays" `Slow
+      test_early_close_under_delays;
+  ]

@@ -266,10 +266,10 @@ let test_producer_exception_propagates () =
   in
   match Iterator.consume iterator with
   | _ -> Alcotest.fail "expected the producer's exception"
-  | exception Boom -> ()
-  | exception Fun.Finally_raised Boom ->
-      (* the exception surfaces from close, inside the driver's cleanup *)
-      ()
+  | exception Exchange.Query_failed { origin = Boom; site } ->
+      (* the failure surfaces at the consumer's next, wrapped once, with
+         the original exception and the failing site preserved *)
+      Alcotest.(check string) "failure site" "producer" site
 
 let test_deep_vertical_chain () =
   (* Seven chained process boundaries. *)

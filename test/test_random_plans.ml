@@ -9,6 +9,7 @@ module Plan = Volcano_plan.Plan
 module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
 module Exchange = Volcano.Exchange
+module Bufpool = Volcano_storage.Bufpool
 module Tuple = Volcano_tuple.Tuple
 module Expr = Volcano_tuple.Expr
 module Support = Volcano_tuple.Support
@@ -256,12 +257,16 @@ let prop_exchange_invariance =
          insertion never introduces an error-severity diagnostic), and
          [sorted_run] uses the default [~check:true], so acceptance is
          also exercised end to end. *)
-      List.for_all
-        (fun salt ->
-          let rng = Rng.create (Int64.add seed (Int64.of_int salt)) in
-          let decorated = decorate rng serial in
-          accepted env decorated && sorted_run env decorated = expected)
-        [ 1; 2 ])
+      let ok =
+        List.for_all
+          (fun salt ->
+            let rng = Rng.create (Int64.add seed (Int64.of_int salt)) in
+            let decorated = decorate rng serial in
+            accepted env decorated && sorted_run env decorated = expected)
+          [ 1; 2 ]
+      in
+      Bufpool.assert_quiescent ~what:"exchange invariance" (Env.buffer env);
+      ok)
 
 (* --- the converse: rejected plans really are broken ------------------- *)
 

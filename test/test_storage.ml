@@ -230,7 +230,8 @@ let test_buffer_fix_unfix () =
   check Alcotest.int "unfixed" 0 (Bufpool.fix_count f);
   Alcotest.check_raises "over-unfix"
     (Invalid_argument "Bufpool.unfix: frame is not fixed") (fun () ->
-      Bufpool.unfix pool f)
+      Bufpool.unfix pool f);
+  Bufpool.assert_quiescent ~what:"fix/unfix" pool
 
 let test_buffer_eviction_writeback () =
   let pool, dev = make_pool ~frames:2 () in
@@ -255,7 +256,8 @@ let test_buffer_eviction_writeback () =
     pages;
   let stats = Bufpool.stats pool in
   check Alcotest.bool "evictions happened" true (stats.Bufpool.evictions >= 2);
-  check Alcotest.bool "writebacks happened" true (stats.Bufpool.writebacks >= 2)
+  check Alcotest.bool "writebacks happened" true (stats.Bufpool.writebacks >= 2);
+  Bufpool.assert_quiescent ~what:"eviction" pool
 
 let test_buffer_exhausted () =
   let pool, dev = make_pool ~frames:2 () in
@@ -265,7 +267,8 @@ let test_buffer_exhausted () =
   Alcotest.check_raises "exhausted" Bufpool.Buffer_exhausted (fun () ->
       ignore (Bufpool.fix_new pool dev p3));
   Bufpool.unfix pool f1;
-  Bufpool.unfix pool f2
+  Bufpool.unfix pool f2;
+  Bufpool.assert_quiescent ~what:"exhausted" pool
 
 let test_buffer_lru_order () =
   let pool, dev = make_pool ~frames:2 () in
@@ -282,7 +285,8 @@ let test_buffer_lru_order () =
   Bufpool.unfix pool f;
   check Alcotest.bool "a stays" true (Bufpool.contains pool dev a);
   check Alcotest.bool "b evicted" false (Bufpool.contains pool dev b);
-  check Alcotest.bool "c resident" true (Bufpool.contains pool dev c)
+  check Alcotest.bool "c resident" true (Bufpool.contains pool dev c);
+  Bufpool.assert_quiescent ~what:"lru order" pool
 
 let concurrent_hammer mode =
   let pool = Bufpool.create ~mode ~frames:8 ~page_size:128 () in
@@ -316,7 +320,8 @@ let concurrent_hammer mode =
       let f = Bufpool.fix pool dev p in
       check Alcotest.int "quiescent" 1 (Bufpool.fix_count f);
       Bufpool.unfix pool f)
-    pages
+    pages;
+  Bufpool.assert_quiescent ~what:"concurrent hammer" pool
 
 let test_buffer_concurrent_two_level () = concurrent_hammer Bufpool.Two_level
 let test_buffer_concurrent_global () = concurrent_hammer Bufpool.Single_global
@@ -346,7 +351,8 @@ let test_heap_insert_scan () =
         (Printf.sprintf "get %d" i)
         (Some (List.nth records i))
         (Heap_file.get file rid))
-    rids
+    rids;
+  Bufpool.assert_quiescent ~what:"heap insert/scan" pool
 
 let test_heap_delete () =
   let pool, dev = make_env () in
@@ -359,7 +365,9 @@ let test_heap_delete () =
   check Alcotest.int "scan skips deleted" 10 !seen;
   check (Alcotest.option Alcotest.string) "deleted gone" None
     (Heap_file.get file (List.nth rids 0));
-  check Alcotest.bool "delete twice" false (Heap_file.delete file (List.nth rids 0))
+  check Alcotest.bool "delete twice" false
+    (Heap_file.delete file (List.nth rids 0));
+  Bufpool.assert_quiescent ~what:"heap delete" pool
 
 let test_heap_drop_frees_pages () =
   let pool, dev = make_env () in
@@ -371,7 +379,8 @@ let test_heap_drop_frees_pages () =
   check Alcotest.bool "allocated" true (Device.allocated_pages dev > before);
   Heap_file.drop file;
   check Alcotest.int "freed" before (Device.allocated_pages dev);
-  check Alcotest.bool "vtoc removed" true (Vtoc.find (Device.vtoc dev) "t" = None)
+  check Alcotest.bool "vtoc removed" true (Vtoc.find (Device.vtoc dev) "t" = None);
+  Bufpool.assert_quiescent ~what:"heap drop" pool
 
 let test_heap_open_existing () =
   let pool, dev = make_env () in
@@ -384,7 +393,8 @@ let test_heap_open_existing () =
   check Alcotest.int "count" 10 (Heap_file.record_count reopened);
   let seen = ref 0 in
   Heap_file.iter reopened (fun _ _ -> incr seen);
-  check Alcotest.int "scannable" 10 !seen
+  check Alcotest.int "scannable" 10 !seen;
+  Bufpool.assert_quiescent ~what:"heap reopen" pool
 
 let test_heap_concurrent_inserts () =
   let pool = Bufpool.create ~frames:64 ~page_size:256 () in
@@ -402,7 +412,8 @@ let test_heap_concurrent_inserts () =
   check Alcotest.int "all inserted" (4 * per_domain) (Heap_file.record_count file);
   let seen = ref 0 in
   Heap_file.iter file (fun _ _ -> incr seen);
-  check Alcotest.int "all scanned" (4 * per_domain) !seen
+  check Alcotest.int "all scanned" (4 * per_domain) !seen;
+  Bufpool.assert_quiescent ~what:"heap concurrent" pool
 
 (* --- daemon --- *)
 
@@ -431,7 +442,8 @@ let test_daemon_flush_and_readahead () =
   Daemon.stop daemon;
   Alcotest.check_raises "submit after stop"
     (Invalid_argument "Daemon.submit: daemon stopped") (fun () ->
-      Daemon.submit daemon (Daemon.Flush (dev, pages.(0))))
+      Daemon.submit daemon (Daemon.Flush (dev, pages.(0))));
+  Bufpool.assert_quiescent ~what:"daemon" pool
 
 let test_rid () =
   let a = Rid.make ~device:1 ~page:2 ~slot:3 in

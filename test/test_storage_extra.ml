@@ -33,7 +33,8 @@ let test_update_in_place () =
   check Alcotest.bool "smaller fits" true (Heap_file.update file rid "tiny");
   check (Alcotest.option Alcotest.string) "shrunk" (Some "tiny")
     (Heap_file.get file rid);
-  check Alcotest.int "count unchanged" 1 (Heap_file.record_count file)
+  check Alcotest.int "count unchanged" 1 (Heap_file.record_count file);
+  Bufpool.assert_quiescent ~what:"update in place" buffer
 
 let test_update_grows_within_page () =
   let buffer, device = make_store () in
@@ -43,7 +44,8 @@ let test_update_grows_within_page () =
     (Heap_file.update file rid (String.make 60 'x'));
   check (Alcotest.option Alcotest.string) "grown"
     (Some (String.make 60 'x'))
-    (Heap_file.get file rid)
+    (Heap_file.get file rid);
+  Bufpool.assert_quiescent ~what:"update grows" buffer
 
 let test_update_too_big_fails_cleanly () =
   let buffer, device = make_store ~page_size:128 () in
@@ -53,14 +55,16 @@ let test_update_too_big_fails_cleanly () =
   check Alcotest.bool "does not fit" false
     (Heap_file.update file rid (String.make 120 'y'));
   check (Alcotest.option Alcotest.string) "original survives" (Some "x")
-    (Heap_file.get file rid)
+    (Heap_file.get file rid);
+  Bufpool.assert_quiescent ~what:"update too big" buffer
 
 let test_update_dead_rid () =
   let buffer, device = make_store () in
   let file = Heap_file.create ~buffer ~device ~name:"t" in
   let rid = Heap_file.insert file "gone" in
   let _ = Heap_file.delete file rid in
-  check Alcotest.bool "dead rid" false (Heap_file.update file rid "new")
+  check Alcotest.bool "dead rid" false (Heap_file.update file rid "new");
+  Bufpool.assert_quiescent ~what:"update dead rid" buffer
 
 (* --- page chain + prefetched scan --- *)
 
@@ -75,7 +79,8 @@ let test_page_chain () =
     (List.length chain);
   (* Chain pages are distinct. *)
   check Alcotest.int "distinct" (List.length chain)
-    (List.length (List.sort_uniq compare chain))
+    (List.length (List.sort_uniq compare chain));
+  Bufpool.assert_quiescent ~what:"page chain" buffer
 
 let test_prefetched_scan () =
   let buffer, device = make_store ~frames:64 () in
@@ -108,7 +113,8 @@ let test_prefetched_scan () =
   drain ();
   Iterator.close it;
   Daemon.stop daemon;
-  check Alcotest.int "all rows" 200 !count
+  check Alcotest.int "all rows" 200 !count;
+  Bufpool.assert_quiescent ~what:"prefetched scan" buffer
 
 (* --- buffer statistics sanity --- *)
 
@@ -123,7 +129,8 @@ let test_buffer_hit_ratio () =
   done;
   let stats = Bufpool.stats buffer in
   check Alcotest.bool "hits >= 100" true (stats.Bufpool.hits >= 100);
-  check Alcotest.int "no evictions" 0 stats.Bufpool.evictions
+  check Alcotest.int "no evictions" 0 stats.Bufpool.evictions;
+  Bufpool.assert_quiescent ~what:"hit ratio" buffer
 
 let test_flush_all_persists () =
   let buffer, device = make_store () in
@@ -139,7 +146,8 @@ let test_flush_all_persists () =
   Bufpool.purge_device buffer device;
   let f = Bufpool.fix buffer device page in
   check Alcotest.char "content persisted" 'Q' (Bytes.get (Bufpool.bytes f) 0);
-  Bufpool.unfix buffer f
+  Bufpool.unfix buffer f;
+  Bufpool.assert_quiescent ~what:"flush all" buffer
 
 (* --- vtoc encode/decode property --- *)
 
