@@ -5,6 +5,7 @@ module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
 module Tuple = Volcano_tuple.Tuple
 module Clock = Volcano_util.Clock
+module Jsonx = Volcano_obs.Jsonx
 
 (* The paper's experiments use 100,000 records.  The real-engine runs honor
    VOLCANO_RECORDS (default 100,000); the packet-size sweep uses a smaller
@@ -34,6 +35,21 @@ let time_count env plan =
   (count, elapsed)
 
 let per_record_us elapsed n = elapsed /. float_of_int n *. 1e6
+
+(* Machine-readable results (--json FILE): experiments append entries here
+   as they run; [write_json] wraps them with the run parameters. *)
+let json_entries : (string * Jsonx.t) list ref = ref []
+let json_add name json = json_entries := (name, json) :: !json_entries
+
+let write_json path =
+  Jsonx.write_file path
+    (Jsonx.Obj
+       [
+         ("records", Jsonx.Int records);
+         ("sweep_records", Jsonx.Int sweep_records);
+         ("host_cores", Jsonx.Int (Domain.recommended_domain_count ()));
+         ("experiments", Jsonx.Obj (List.rev !json_entries));
+       ])
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

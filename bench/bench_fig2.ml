@@ -102,6 +102,39 @@ let fig2b data =
     \ most of the elapsed time is spent on data exchange)\n"
     real_slope sim_slope
 
+let json_of_series data =
+  Jsonx.List
+    (List.map
+       (fun (packet_size, real, sim) ->
+         Jsonx.Obj
+           [
+             ("packet_size", Jsonx.Int packet_size);
+             ("real_s", Jsonx.Float real);
+             ("real_us_per_record", Jsonx.Float (per_record_us real sweep_records));
+             ("sim_12cpu_s", Jsonx.Float sim);
+             ( "paper_s",
+               match paper_value packet_size with
+               | Some v -> Jsonx.Float v
+               | None -> Jsonx.Null );
+           ])
+       data)
+
+(* One fully-instrumented run of the sweep topology at the paper's largest
+   packet size: per-node rows/time plus packet, flow-control, and group
+   spawn/join statistics for each of the three exchanges. *)
+let profile_packet83 () =
+  let env = fresh_env () in
+  let report =
+    Volcano_plan.Profile.run env (sweep_plan sweep_records 83)
+  in
+  Volcano_plan.Profile.to_json report
+
 let run () =
   let data = fig2a () in
-  fig2b data
+  fig2b data;
+  json_add "fig2"
+    (Jsonx.Obj
+       [
+         ("series", json_of_series data);
+         ("profile_packet83", profile_packet83 ());
+       ])

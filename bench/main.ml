@@ -1,8 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation section plus the ablations listed in DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [-- experiment ...]
+   Usage:  dune exec bench/main.exe [-- experiment ...] [--json FILE]
    Experiments: t1 fig2 a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
+   --json FILE writes the machine-readable results the experiments
+   accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000). *)
 
@@ -21,9 +23,20 @@ let experiments =
     ("micro", Bench_micro.run);
   ]
 
+let rec split_args names json = function
+  | [] -> (List.rev names, json)
+  | "--json" :: path :: rest -> split_args names (Some path) rest
+  | "--json" :: [] ->
+      prerr_endline "--json requires a FILE argument";
+      exit 2
+  | name :: rest -> split_args (name :: names) json rest
+
 let () =
+  let names, json_path =
+    split_args [] None (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match List.tl (Array.to_list Sys.argv) with
+    match names with
     | [] | [ "all" ] -> List.map fst experiments
     | names -> names
   in
@@ -40,4 +53,9 @@ let () =
           Printf.eprintf "unknown experiment %S; known: %s all\n" name
             (String.concat " " (List.map fst experiments));
           exit 2)
-    requested
+    requested;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Bench_common.write_json path;
+      Printf.printf "\nresults written to %s\n" path

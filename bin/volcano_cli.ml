@@ -273,6 +273,37 @@ let run_cmd name rows degree limit =
               (List.length result - limit);
           0)
 
+let profile_cmd name rows degree trace json =
+  match find_query name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok q -> (
+      let env = Env.create ~frames:2048 () in
+      let plan = q.build ~rows ~degree in
+      match Volcano_plan.Profile.run env plan with
+      | exception Compile.Rejected errors ->
+          prerr_endline "plan rejected by the static analyzer:";
+          List.iter
+            (fun d -> prerr_endline ("  " ^ Volcano_analysis.Diag.to_string d))
+            errors;
+          1
+      | report ->
+          print_string (Volcano_plan.Profile.render report);
+          Option.iter
+            (fun path ->
+              Volcano_plan.Profile.write_trace report ~path;
+              Printf.printf "\ntrace written to %s (load in chrome://tracing \
+                             or Perfetto)\n"
+                path)
+            trace;
+          Option.iter
+            (fun path ->
+              Volcano_plan.Profile.write_json report ~path;
+              Printf.printf "report written to %s\n" path)
+            json;
+          0)
+
 let sim_cmd packet_size records =
   let r = Volcano_sim.Calibration.fig2a ~packet_size ~records () in
   Printf.printf
@@ -306,6 +337,24 @@ let analyze_term = Term.(const analyze_cmd $ name_arg $ rows_arg $ degree_arg)
 
 let run_term = Term.(const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg)
 
+let profile_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON of the operator spans.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable profile report.")
+  in
+  Term.(
+    const profile_cmd $ name_arg $ rows_arg $ degree_arg $ trace $ json)
+
 let sim_term =
   let packet =
     Arg.(value & opt int 83 & info [ "packet-size" ] ~docv:"P" ~doc:"Records per packet.")
@@ -326,6 +375,13 @@ let cmds =
             plan (exit 1 if it would be rejected).")
       analyze_term;
     Cmd.v (Cmd.info "run" ~doc:"Execute a demo query.") run_term;
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "Execute a demo query with observability on and print the plan \
+            tree annotated with per-node rows, calls, time, and exchange \
+            packet/flow statistics (EXPLAIN ANALYZE).")
+      profile_term;
     Cmd.v
       (Cmd.info "sim" ~doc:"Run the Figure-2a topology on the simulated Sequent.")
       sim_term;

@@ -1,6 +1,7 @@
 module Sema = Volcano_util.Sema
 module Support = Volcano_tuple.Support
 module Injector = Volcano_fault.Injector
+module Obs = Volcano_obs.Obs
 
 exception Query_failed of { site : string; origin : exn }
 
@@ -263,18 +264,44 @@ type consumer_state = {
 }
 
 let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
-    ?parent_scope ?scope cfg ~id ~group ~input =
+    ?parent_scope ?scope ?obs cfg ~id ~group ~input =
   if Group.is_master group then begin
     let on_shutdown =
       match scope with Some s -> fun () -> Scope.cancel s | None -> fun () -> ()
     in
     let port =
       Port.create ~producers:cfg.degree ~consumers:(Group.size group)
-        ?flow_slack:cfg.flow_slack ~keep_separate ~faults ~on_shutdown ()
+        ?flow_slack:cfg.flow_slack ~keep_separate ~faults ~on_shutdown
+        ~timed:(Option.is_some obs) ()
     in
     (match parent_scope with Some s -> Scope.register s port | None -> ());
     let close_allowed = Sema.create 0 in
+    let spawn_t0 = if Option.is_some obs then Obs.now () else 0.0 in
     let joiner = spawn_producers cfg faults port close_allowed input in
+    let joiner =
+      match obs with
+      | None -> joiner
+      | Some (sink, node) ->
+          let spawn_s = Obs.now () -. spawn_t0 in
+          let join_s = ref 0.0 in
+          Obs.register_exchange sink ~node ~sample:(fun () ->
+              {
+                Obs.packets_sent = Port.packets_sent port;
+                packets_received = Port.packets_received port;
+                records = Port.records_sent port;
+                max_queue_depth = Port.max_depth port;
+                flow_waits = Port.flow_stalls port;
+                flow_wait_s = Port.flow_stall_s port;
+                per_producer = Port.packets_sent_by port;
+                spawn_s;
+                join_s = !join_s;
+                domains = cfg.degree;
+              });
+          fun () ->
+            let t0 = Obs.now () in
+            joiner ();
+            join_s := !join_s +. (Obs.now () -. t0)
+    in
     Group.publish_port group ~key:id port;
     (* The semaphore rides along for non-master members (unused by them). *)
     (port, close_allowed, Some joiner)
@@ -333,8 +360,8 @@ let consume_packets state ~receive =
   in
   step ()
 
-let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
-    ~input =
+let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
+    ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let state = ref None in
   let get_state () =
@@ -345,7 +372,7 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
   Iterator.make
     ~open_:(fun () ->
       let port, close_allowed, joiner =
-        setup_consumer ~faults ?parent_scope ?scope cfg ~id ~group ~input
+        setup_consumer ~faults ?parent_scope ?scope ?obs cfg ~id ~group ~input
       in
       state :=
         Some
@@ -376,8 +403,8 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
 (* Keep-separate variant: one stream per producer, so that "the merge
    iterator [can] distinguish the input records by their producer"
    (section 4.4).  The streams share setup and teardown via refcounts. *)
-let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope cfg
-    ~group ~input =
+let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
+    cfg ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let shared = ref None in
   let open_count = ref 0 in
@@ -387,8 +414,8 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope cfg
     Mutex.lock lock;
     if !open_count = 0 then begin
       let port, close_allowed, joiner =
-        setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope cfg ~id
-          ~group ~input
+        setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope ?obs
+          cfg ~id ~group ~input
       in
       shared := Some (port, close_allowed, joiner)
     end;
@@ -478,8 +505,8 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope cfg
 (* ------------------------------------------------------------------ *)
 (* No-fork interchange (section 4.4)                                   *)
 
-let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
-    ~input =
+let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
+    ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let rank = Group.rank group in
   let size = Group.size group in
@@ -500,11 +527,29 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope cfg ~group
           in
           let port =
             Port.create ~producers:size ~consumers:size ~keep_separate:false
-              ~faults ~on_shutdown ()
+              ~faults ~on_shutdown ~timed:(Option.is_some obs) ()
           in
           (match parent_scope with
           | Some s -> Scope.register s port
           | None -> ());
+          (match obs with
+          | None -> ()
+          | Some (sink, node) ->
+              (* No processes are forked here: spawn/join are zero and
+                 [domains] reports 0 by construction. *)
+              Obs.register_exchange sink ~node ~sample:(fun () ->
+                  {
+                    Obs.packets_sent = Port.packets_sent port;
+                    packets_received = Port.packets_received port;
+                    records = Port.records_sent port;
+                    max_queue_depth = Port.max_depth port;
+                    flow_waits = Port.flow_stalls port;
+                    flow_wait_s = Port.flow_stall_s port;
+                    per_producer = Port.packets_sent_by port;
+                    spawn_s = 0.0;
+                    join_s = 0.0;
+                    domains = 0;
+                  }));
           Group.publish_port group ~key:id port;
           port
         end

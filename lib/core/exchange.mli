@@ -115,6 +115,7 @@ val iterator :
   ?faults:Volcano_fault.Injector.t ->
   ?parent_scope:Scope.t ->
   ?scope:Scope.t ->
+  ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
@@ -126,13 +127,19 @@ val iterator :
     [next] returns records as they arrive; [close] on the master permits
     producers to shut down and joins them (closing before end-of-stream
     cancels the producers).  Other group members attach to the master's
-    port and close locally. *)
+    port and close locally.
+
+    [obs] (a sink and this exchange's plan node) turns on deep
+    instrumentation: the port is created timed (flow-control stalls are
+    clocked), and a sample of its packet/stall/spawn/join counters is
+    registered with the sink for the profile report. *)
 
 val producer_streams :
   ?id:int ->
   ?faults:Volcano_fault.Injector.t ->
   ?parent_scope:Scope.t ->
   ?scope:Scope.t ->
+  ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
@@ -147,6 +154,7 @@ val interchange :
   ?faults:Volcano_fault.Injector.t ->
   ?parent_scope:Scope.t ->
   ?scope:Scope.t ->
+  ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
   config ->
   group:Group.t ->
   input:Iterator.t ->

@@ -46,6 +46,48 @@ let checked t =
         state := Closed);
   }
 
+(* The observability wrapper: times the three entry points and counts
+   rows, leaving the wrapped operator's algorithm untouched — the
+   observability analogue of exchange's encapsulation of parallelism.
+   One wrapper instance serves one rank; the shared [node] aggregates
+   across ranks via atomics, while the open-to-close span is recorded
+   per instance (it becomes one Chrome trace event on this domain). *)
+let instrumented ~node t =
+  let module Obs = Volcano_obs.Obs in
+  let span_start = ref nan in
+  let span_rows = ref 0 in
+  make
+    ~open_:(fun () ->
+      Obs.Node.count_open node;
+      let t0 = Obs.now () in
+      span_start := t0;
+      span_rows := 0;
+      t.open_ ();
+      Obs.Node.on_open node ~elapsed:(Obs.now () -. t0))
+    ~next:(fun () ->
+      let t0 = Obs.now () in
+      match t.next () with
+      | Some _ as result ->
+          incr span_rows;
+          Obs.Node.on_next node ~produced:true ~elapsed:(Obs.now () -. t0);
+          result
+      | None ->
+          Obs.Node.on_next node ~produced:false ~elapsed:(Obs.now () -. t0);
+          None
+      | exception exn ->
+          Obs.Node.on_next node ~produced:false ~elapsed:(Obs.now () -. t0);
+          raise exn)
+    ~close:(fun () ->
+      Obs.Node.count_close node;
+      let t0 = Obs.now () in
+      t.close ();
+      let stop = Obs.now () in
+      Obs.Node.on_close node ~elapsed:(stop -. t0);
+      if not (Float.is_nan !span_start) then begin
+        Obs.Node.on_span node ~start:!span_start ~stop ~rows:!span_rows;
+        span_start := nan
+      end)
+
 let of_array tuples =
   let pos = ref 0 in
   {

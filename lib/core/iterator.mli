@@ -32,6 +32,13 @@ val checked : t -> t
     after end-of-stream is also rejected.  Used by tests and available to
     applications for debugging new operators. *)
 
+val instrumented : node:Volcano_obs.Obs.Node.t -> t -> t
+(** Wrap with the observability recorder: open/next/close wall time and
+    rows produced accumulate into [node] (shared by all ranks evaluating
+    the same plan node), and each open-to-close lifetime is recorded as a
+    span on the calling domain.  Applied by the plan compiler only when a
+    profiling sink is supplied, so un-profiled queries pay nothing. *)
+
 (** {2 Leaf constructors} *)
 
 val of_list : Volcano_tuple.Tuple.t list -> t

@@ -1,4 +1,5 @@
 module Sema = Volcano_util.Sema
+module Clock = Volcano_util.Clock
 module Injector = Volcano_fault.Injector
 
 type queue = {
@@ -19,9 +20,14 @@ type t = {
   hook_ran : bool Atomic.t;
   faults : Injector.t;
   sent : int Atomic.t;
+  received : int Atomic.t;
   records : int Atomic.t;
   depth : int Atomic.t;
   peak : int Atomic.t;
+  sent_by : int Atomic.t array; (* packets per producer rank *)
+  stalls : int Atomic.t; (* sends that blocked on flow control *)
+  stall_ns : int Atomic.t; (* time blocked there; updated when [timed] *)
+  timed : bool; (* profiling on: clock the flow-control waits *)
 }
 
 let make_queue flow_slack =
@@ -33,7 +39,7 @@ let make_queue flow_slack =
   }
 
 let create ~producers ~consumers ?flow_slack ?(keep_separate = false)
-    ?(faults = Injector.none) ?(on_shutdown = fun () -> ()) () =
+    ?(faults = Injector.none) ?(on_shutdown = fun () -> ()) ?(timed = false) () =
   assert (producers > 0 && consumers > 0);
   (match flow_slack with Some n -> assert (n > 0) | None -> ());
   let n_queues = if keep_separate then producers * consumers else consumers in
@@ -48,9 +54,14 @@ let create ~producers ~consumers ?flow_slack ?(keep_separate = false)
     hook_ran = Atomic.make false;
     faults;
     sent = Atomic.make 0;
+    received = Atomic.make 0;
     records = Atomic.make 0;
     depth = Atomic.make 0;
     peak = Atomic.make 0;
+    sent_by = Array.init producers (fun _ -> Atomic.make 0);
+    stalls = Atomic.make 0;
+    stall_ns = Atomic.make 0;
+    timed;
   }
 
 let producers t = t.n_producers
@@ -78,8 +89,20 @@ let send t ~producer ~consumer packet =
   (match queue.flow with
   | Some sema when not (Atomic.get t.shut) ->
       (* Blocks while the consumer is [flow_slack] packets behind; a
-         shutdown floods the semaphore to wake blocked senders. *)
-      Sema.acquire sema
+         shutdown floods the semaphore to wake blocked senders.  A stall
+         (the fast-path try fails) is counted always and clocked only on
+         timed ports, so un-profiled queries never read the clock here. *)
+      if not (Sema.try_acquire sema) then begin
+        Atomic.incr t.stalls;
+        if t.timed then begin
+          let t0 = Clock.now () in
+          Sema.acquire sema;
+          let waited = Clock.now () -. t0 in
+          let _ = Atomic.fetch_and_add t.stall_ns (int_of_float (waited *. 1e9)) in
+          ()
+        end
+        else Sema.acquire sema
+      end
   | _ -> ());
   if not (Atomic.get t.shut) then begin
     Mutex.lock queue.lock;
@@ -88,6 +111,7 @@ let send t ~producer ~consumer packet =
     Condition.signal queue.nonempty;
     Mutex.unlock queue.lock;
     Atomic.incr t.sent;
+    Atomic.incr t.sent_by.(producer);
     let _ = Atomic.fetch_and_add t.records (Packet.length packet) in
     ()
   end
@@ -106,6 +130,7 @@ let receive_queue t queue =
           note_depth t (-1);
           Mutex.unlock queue.lock;
           (match queue.flow with Some sema -> Sema.release sema | None -> ());
+          Atomic.incr t.received;
           Some packet
       | None ->
           (* Sleep briefly rather than waiting on the condition alone so
@@ -134,6 +159,7 @@ let try_receive t ~consumer =
   match packet with
   | Some p ->
       (match queue.flow with Some sema -> Sema.release sema | None -> ());
+      Atomic.incr t.received;
       Some p
   | None -> None
 
@@ -162,5 +188,9 @@ let poison t exn =
 let failure t = Atomic.get t.poisoned
 let is_shut_down t = Atomic.get t.shut
 let packets_sent t = Atomic.get t.sent
+let packets_received t = Atomic.get t.received
 let records_sent t = Atomic.get t.records
 let max_depth t = Atomic.get t.peak
+let packets_sent_by t = Array.map Atomic.get t.sent_by
+let flow_stalls t = Atomic.get t.stalls
+let flow_stall_s t = float_of_int (Atomic.get t.stall_ns) *. 1e-9

@@ -22,6 +22,7 @@ val create :
   ?keep_separate:bool ->
   ?faults:Volcano_fault.Injector.t ->
   ?on_shutdown:(unit -> unit) ->
+  ?timed:bool ->
   unit ->
   t
 (** [flow_slack] enables flow control ([None] disables it, the paper's
@@ -29,7 +30,9 @@ val create :
     consumer.  [faults] is consulted at the [Port_send] and [Port_receive]
     sites.  [on_shutdown] runs exactly once, on the first {!shutdown} (or
     {!poison}) — exchange uses it to cancel descendant ports so that
-    processes blocked deep inside a pipeline observe the cancellation. *)
+    processes blocked deep inside a pipeline observe the cancellation.
+    [timed] (profiling) additionally clocks the time senders spend blocked
+    on flow control; untimed ports never read the clock. *)
 
 val producers : t -> int
 val consumers : t -> int
@@ -69,8 +72,24 @@ val is_shut_down : t -> bool
 (** {2 Instrumentation} *)
 
 val packets_sent : t -> int
+
+val packets_received : t -> int
+(** Packets delivered to consumers.  After a full drain of a healthy
+    stream this equals {!packets_sent}; the difference is packets still
+    queued (or dropped by a shutdown). *)
+
 val records_sent : t -> int
 
 val max_depth : t -> int
 (** Highest number of packets ever queued at once across the port — the
     observable effect of flow-control slack (ablation A1). *)
+
+val packets_sent_by : t -> int array
+(** Packets sent per producer rank — the skew view of {!packets_sent}. *)
+
+val flow_stalls : t -> int
+(** Sends that found the flow-control semaphore empty and blocked. *)
+
+val flow_stall_s : t -> float
+(** Total sender time spent blocked on flow control.  Only accumulated on
+    [timed] ports; 0 otherwise. *)

@@ -1,0 +1,20 @@
+(** A minimal JSON value type and serializer.
+
+    The repository bakes in no JSON library; the observability exporters
+    (Chrome trace files, machine-readable benchmark reports) need only
+    emission, never parsing, so this module provides exactly that.
+    Non-finite floats serialize as [null] — JSON has no NaN literal. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit
+(** [write_file path json] writes [json] followed by a newline. *)

@@ -15,6 +15,7 @@ val exchange_merge :
   ?faults:Volcano_fault.Injector.t ->
   ?parent_scope:Volcano.Exchange.Scope.t ->
   ?scope:Volcano.Exchange.Scope.t ->
+  ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
   Volcano.Exchange.config ->
   cmp:Volcano_tuple.Support.comparator ->
   group:Volcano.Group.t ->

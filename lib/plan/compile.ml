@@ -4,6 +4,7 @@ module Group = Volcano.Group
 module Support = Volcano_tuple.Support
 module Ops = Volcano_ops
 module Injector = Volcano_fault.Injector
+module Obs = Volcano_obs.Obs
 
 (* Pre-assign port keys to exchange nodes, keyed by physical identity: the
    one compiled thunk shared by a group captures this table, so every
@@ -49,6 +50,40 @@ let assign_ids plan =
     match List.find_opt (fun (n, _) -> n == node) ids with
     | Some (_, id) -> id
     | None -> invalid_arg "Compile: exchange node without id"
+
+(* Observability: one obs node per plan node, keyed (like port ids) by
+   physical identity so that every rank evaluating the same node — and
+   every producer re-compiling a subtree per open — aggregates into the
+   same counters. *)
+type obs = { sink : Obs.t; node_of : Plan.t -> Obs.Node.t option }
+
+let observe sink plan =
+  if not (Obs.enabled sink) then { sink; node_of = (fun _ -> None) }
+  else begin
+    let table = ref [] in
+    (* Pre-order walk: node ids follow the display order of [Plan.pp]. *)
+    let rec walk plan =
+      if not (List.exists (fun (n, _) -> n == plan) !table) then begin
+        table := (plan, Obs.node sink ~label:(Plan.label plan)) :: !table;
+        List.iter walk (Plan.children plan)
+      end
+    in
+    walk plan;
+    let entries = !table in
+    {
+      sink;
+      node_of =
+        (fun node ->
+          Option.map snd (List.find_opt (fun (n, _) -> n == node) entries));
+    }
+  end
+
+(* The (sink, node) pair handed to an exchange node for its port/group
+   instrumentation. *)
+let exchange_obs obs plan =
+  match obs with
+  | None -> None
+  | Some o -> Option.map (fun node -> (o.sink, node)) (o.node_of plan)
 
 (* Every Nth tuple, offset by the group rank — used by the slice leaves. *)
 let slice_iterator group inner =
@@ -110,13 +145,19 @@ let guard faults inner =
    subtrees, so that shutting any exchange cancels everything below it.
    The producer thunk re-enters [compile_in], so nested exchanges get a
    fresh subtree (and fresh inner scopes) per producer, per open. *)
-let rec compile_in env ids group scope plan =
+let rec compile_in env ids obs group scope plan =
   let faults = Env.faults env in
-  guard faults (compile_node env ids group scope plan)
+  let inner = guard faults (compile_node env ids obs group scope plan) in
+  match obs with
+  | None -> inner
+  | Some o -> (
+      match o.node_of plan with
+      | None -> inner
+      | Some node -> Iterator.instrumented ~node inner)
 
-and compile_node env ids group scope plan =
+and compile_node env ids obs group scope plan =
   let faults = Env.faults env in
-  let recur = compile_in env ids group scope in
+  let recur = compile_in env ids obs group scope in
   let sorted ~cmp input =
     Ops.Sort.iterator ~run_capacity:(Env.sort_run_capacity env)
       ~spill:(Env.spill env) ~cmp input
@@ -206,20 +247,24 @@ and compile_node env ids group scope plan =
   | Plan.Exchange { cfg; input } ->
       let child = Exchange.Scope.create () in
       Exchange.iterator ~id:(ids plan) ~faults ?parent_scope:scope ~scope:child
-        cfg ~group
+        ?obs:(exchange_obs obs plan) cfg ~group
         ~input:(fun producer_group ->
-          compile_in env ids producer_group (Some child) input)
+          compile_in env ids obs producer_group (Some child) input)
   | Plan.Exchange_merge { cfg; key; input } ->
       let child = Exchange.Scope.create () in
       Ops.Merge.exchange_merge ~id:(ids plan) ~faults ?parent_scope:scope
-        ~scope:child cfg ~cmp:(sort_cmp key) ~group
+        ~scope:child
+        ?obs:(exchange_obs obs plan)
+        cfg ~cmp:(sort_cmp key) ~group
         ~input:(fun producer_group ->
-          compile_in env ids producer_group (Some child) input)
+          compile_in env ids obs producer_group (Some child) input)
   | Plan.Interchange { cfg; input } ->
       let child = Exchange.Scope.create () in
       Exchange.interchange ~id:(ids plan) ~faults ?parent_scope:scope
-        ~scope:child cfg ~group
-        ~input:(compile_in env ids group (Some child) input)
+        ~scope:child
+        ?obs:(exchange_obs obs plan)
+        cfg ~group
+        ~input:(compile_in env ids obs group (Some child) input)
 
 exception Rejected of Volcano_analysis.Diag.t list
 
@@ -238,12 +283,12 @@ let analyze env plan =
   in
   Volcano_analysis.Analyze.analyze ~frames (Lower.ir env plan)
 
-let compile ?(check = true) env plan =
+let compile ?(check = true) ?obs env plan =
   (if check then
      match Volcano_analysis.Diag.errors (analyze env plan) with
      | [] -> ()
      | errors -> raise (Rejected errors));
-  compile_in env (assign_ids plan) (Group.solo ()) None plan
+  compile_in env (assign_ids plan) obs (Group.solo ()) None plan
 
 let run ?check env plan = Iterator.to_list (compile ?check env plan)
 let run_count ?check env plan = Iterator.consume (compile ?check env plan)

@@ -16,17 +16,39 @@ exception Rejected of Volcano_analysis.Diag.t list
 (** Raised by [compile ~check:true] when the analyzer reports errors.
     Carries the [Error]-severity diagnostics. *)
 
+type obs = {
+  sink : Volcano_obs.Obs.t;
+  node_of : Plan.t -> Volcano_obs.Obs.Node.t option;
+}
+(** An observability assignment for one plan: a sink plus the obs node
+    registered for each plan node (keyed by physical identity, like port
+    keys).  Built by {!observe}; pass it to {!compile} to instrument the
+    iterator tree. *)
+
+val observe : Volcano_obs.Obs.t -> Plan.t -> obs
+(** Register one obs node per plan node (pre-order, so node ids follow the
+    {!Plan.pp} display order) and return the assignment.  With a null sink
+    this registers nothing and [node_of] is constantly [None], so
+    [compile ?obs] adds no wrappers — the disabled path stays on the
+    uninstrumented code. *)
+
 val analyze : Env.t -> Plan.t -> Volcano_analysis.Diag.t list
 (** Run all analyzer passes on the plan (sorted errors-first), resolving
     leaves against the environment's catalog and sizing the resource pass
     from its buffer pool.  Warnings do not block compilation. *)
 
-val compile : ?check:bool -> Env.t -> Plan.t -> Volcano.Iterator.t
+val compile : ?check:bool -> ?obs:obs -> Env.t -> Plan.t -> Volcano.Iterator.t
 (** Compile for the query root process (a fresh solo group).  [check]
     defaults to [true]: the plan is analyzed first and {!Rejected} is
     raised if any [Error]-severity diagnostic is found.  Pass
     [~check:false] to compile a plan the analyzer would reject — it then
-    fails (or silently misbehaves) at runtime, as before. *)
+    fails (or silently misbehaves) at runtime, as before.
+
+    With [~obs] (from {!observe}), every compiled node is wrapped in
+    {!Volcano.Iterator.instrumented} against its assigned obs node, and
+    exchange nodes additionally report port/group samples to the sink.
+    Producer subtrees recompiled per rank share the plan node, hence the
+    obs node: counters aggregate across the whole process group. *)
 
 val run : ?check:bool -> Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
 (** Compile, open, drain, close. *)

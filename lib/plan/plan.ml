@@ -139,75 +139,80 @@ let cfg_to_string (cfg : Exchange.config) =
     (match cfg.flow_slack with Some n -> string_of_int n | None -> "off")
     partition
 
-let rec pp_indented ppf indent plan =
-  let line fmt =
-    Format.fprintf ppf "%s" (String.make (indent * 2) ' ');
-    Format.kfprintf (fun ppf -> Format.pp_print_newline ppf ()) ppf fmt
-  in
-  let child = pp_indented ppf (indent + 1) in
+(* One-line description of a node, without its children — the text of a
+   tree line, shared by [pp], the analyzer, and the profiler's annotated
+   tree (EXPLAIN ANALYZE). *)
+let label plan =
   match plan with
-  | Scan_table name -> line "scan %s" name
-  | Scan_index { index; _ } -> line "index-scan %s" index
-  | Scan_table_slice name -> line "scan-slice %s" name
-  | Scan_list { tuples; _ } -> line "scan-list (%d tuples)" (List.length tuples)
-  | Generate { count; _ } -> line "generate (%d tuples)" count
-  | Generate_slice { count; _ } -> line "generate-slice (%d tuples)" count
-  | Filter { pred; mode; input } ->
-      line "filter (%s) %a"
+  | Scan_table name -> Printf.sprintf "scan %s" name
+  | Scan_index { index; _ } -> Printf.sprintf "index-scan %s" index
+  | Scan_table_slice name -> Printf.sprintf "scan-slice %s" name
+  | Scan_list { tuples; _ } ->
+      Printf.sprintf "scan-list (%d tuples)" (List.length tuples)
+  | Generate { count; _ } -> Printf.sprintf "generate (%d tuples)" count
+  | Generate_slice { count; _ } ->
+      Printf.sprintf "generate-slice (%d tuples)" count
+  | Filter { pred; mode; _ } ->
+      Format.asprintf "filter (%s) %a"
         (match mode with `Compiled -> "compiled" | `Interpreted -> "interpreted")
-        Expr.pp_pred pred;
-      child input
-  | Project_cols { cols; input } ->
-      line "project %s" (cols_to_string cols);
-      child input
-  | Project_exprs { exprs; input } ->
-      line "project (%d exprs)" (List.length exprs);
-      child input
-  | Sort { key; input } ->
-      line "sort %s" (key_to_string key);
-      child input
-  | Match { algo; kind; left_key; right_key; left; right } ->
-      line "%s-%s on %s=%s" (algo_to_string algo) (Match_op.to_string kind)
-        (cols_to_string left_key) (cols_to_string right_key);
-      child left;
-      child right
-  | Cross { left; right } ->
-      line "cartesian-product";
-      child left;
-      child right
-  | Theta_join { pred; left; right } ->
-      line "nested-loops-join %a" Expr.pp_pred pred;
-      child left;
-      child right
-  | Aggregate { algo; group_by; aggs; input } ->
-      line "%s-aggregate by %s (%d aggs)" (algo_to_string algo)
-        (cols_to_string group_by) (List.length aggs);
-      child input
-  | Distinct { algo; on; input } ->
-      line "%s-distinct on %s" (algo_to_string algo) (cols_to_string on);
-      child input
-  | Division { algo; quotient; divisor_attrs; dividend; divisor; _ } ->
-      line "%s-division quotient=%s attrs=%s"
+        Expr.pp_pred pred
+  | Project_cols { cols; _ } -> Printf.sprintf "project %s" (cols_to_string cols)
+  | Project_exprs { exprs; _ } ->
+      Printf.sprintf "project (%d exprs)" (List.length exprs)
+  | Sort { key; _ } -> Printf.sprintf "sort %s" (key_to_string key)
+  | Match { algo; kind; left_key; right_key; _ } ->
+      Printf.sprintf "%s-%s on %s=%s" (algo_to_string algo)
+        (Match_op.to_string kind) (cols_to_string left_key)
+        (cols_to_string right_key)
+  | Cross _ -> "cartesian-product"
+  | Theta_join { pred; _ } ->
+      Format.asprintf "nested-loops-join %a" Expr.pp_pred pred
+  | Aggregate { algo; group_by; aggs; _ } ->
+      Printf.sprintf "%s-aggregate by %s (%d aggs)" (algo_to_string algo)
+        (cols_to_string group_by) (List.length aggs)
+  | Distinct { algo; on; _ } ->
+      Printf.sprintf "%s-distinct on %s" (algo_to_string algo)
+        (cols_to_string on)
+  | Division { algo; quotient; divisor_attrs; _ } ->
+      Printf.sprintf "%s-division quotient=%s attrs=%s"
         (match algo with `Hash -> "hash" | `Count -> "count" | `Sort -> "sort")
         (cols_to_string quotient)
-        (cols_to_string divisor_attrs);
-      child dividend;
-      child divisor
-  | Limit { count; input } ->
-      line "limit %d" count;
-      child input
+        (cols_to_string divisor_attrs)
+  | Limit { count; _ } -> Printf.sprintf "limit %d" count
   | Choose { alternatives; _ } ->
-      line "choose-plan (%d alternatives)" (List.length alternatives);
-      List.iter child alternatives
-  | Exchange { cfg; input } ->
-      line "exchange (%s)" (cfg_to_string cfg);
-      child input
-  | Exchange_merge { cfg; key; input } ->
-      line "exchange-merge %s (%s)" (key_to_string key) (cfg_to_string cfg);
-      child input
-  | Interchange { cfg; input } ->
-      line "interchange (%s)" (cfg_to_string cfg);
-      child input
+      Printf.sprintf "choose-plan (%d alternatives)" (List.length alternatives)
+  | Exchange { cfg; _ } -> Printf.sprintf "exchange (%s)" (cfg_to_string cfg)
+  | Exchange_merge { cfg; key; _ } ->
+      Printf.sprintf "exchange-merge %s (%s)" (key_to_string key)
+        (cfg_to_string cfg)
+  | Interchange { cfg; _ } ->
+      Printf.sprintf "interchange (%s)" (cfg_to_string cfg)
+
+let children = function
+  | Scan_table _ | Scan_table_slice _ | Scan_index _ | Scan_list _ | Generate _
+  | Generate_slice _ ->
+      []
+  | Filter { input; _ }
+  | Project_cols { input; _ }
+  | Project_exprs { input; _ }
+  | Sort { input; _ }
+  | Aggregate { input; _ }
+  | Distinct { input; _ }
+  | Limit { input; _ }
+  | Exchange { input; _ }
+  | Exchange_merge { input; _ }
+  | Interchange { input; _ } ->
+      [ input ]
+  | Match { left; right; _ } | Cross { left; right } | Theta_join { left; right; _ }
+    ->
+      [ left; right ]
+  | Division { dividend; divisor; _ } -> [ dividend; divisor ]
+  | Choose { alternatives; _ } -> alternatives
+
+let rec pp_indented ppf indent plan =
+  Format.fprintf ppf "%s%s" (String.make (indent * 2) ' ') (label plan);
+  Format.pp_print_newline ppf ();
+  List.iter (pp_indented ppf (indent + 1)) (children plan)
 
 let pp ppf plan = pp_indented ppf 0 plan
 

@@ -83,6 +83,14 @@ type t =
 val arity : Env.t -> t -> int
 (** Output tuple width. *)
 
+val label : t -> string
+(** One-line description of the node alone (no children): a tree line of
+    {!pp}, and the span label of the node's profile instrumentation. *)
+
+val children : t -> t list
+(** Direct inputs in display order (left before right, dividend before
+    divisor, alternatives in listed order). *)
+
 val pp : Format.formatter -> t -> unit
 (** Operator-tree rendering with one node per line ("explain"). *)
 

@@ -1,0 +1,130 @@
+module Obs = Volcano_obs.Obs
+module Jsonx = Volcano_obs.Jsonx
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Iterator = Volcano.Iterator
+module Exchange = Volcano.Exchange
+
+type report = {
+  sink : Obs.t;
+  obs : Compile.obs;
+  plan : Plan.t;
+  rows : int;
+  elapsed_s : float;
+  buffer : Bufpool.stats;  (** delta over the run *)
+  device_reads : int;  (** workspace device, delta *)
+  device_writes : int;
+  domains : int;  (** domains spawned during the run *)
+}
+
+let run ?check env plan =
+  let sink = Obs.create () in
+  let obs = Compile.observe sink plan in
+  let iterator = Compile.compile ?check ~obs env plan in
+  let pool = Env.buffer env in
+  let workspace = Env.workspace env in
+  let b0 = Bufpool.stats pool in
+  let r0 = Device.reads workspace and w0 = Device.writes workspace in
+  let d0 = Exchange.domains_spawned () in
+  let t0 = Obs.now () in
+  let rows = Iterator.consume iterator in
+  let elapsed_s = Obs.now () -. t0 in
+  let b1 = Bufpool.stats pool in
+  {
+    sink;
+    obs;
+    plan;
+    rows;
+    elapsed_s;
+    buffer =
+      {
+        Bufpool.hits = b1.Bufpool.hits - b0.Bufpool.hits;
+        misses = b1.Bufpool.misses - b0.Bufpool.misses;
+        evictions = b1.Bufpool.evictions - b0.Bufpool.evictions;
+        writebacks = b1.Bufpool.writebacks - b0.Bufpool.writebacks;
+        restarts = b1.Bufpool.restarts - b0.Bufpool.restarts;
+      };
+    device_reads = Device.reads workspace - r0;
+    device_writes = Device.writes workspace - w0;
+    domains = Exchange.domains_spawned () - d0;
+  }
+
+let fmt_s s =
+  if s < 0.0009995 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 0.9995 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let render r =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  add "%d rows in %s  (%d domains spawned)" r.rows (fmt_s r.elapsed_s)
+    r.domains;
+  add "buffer: %d hits, %d misses, %d evictions, %d writebacks, %d restarts"
+    r.buffer.Bufpool.hits r.buffer.Bufpool.misses r.buffer.Bufpool.evictions
+    r.buffer.Bufpool.writebacks r.buffer.Bufpool.restarts;
+  add "workspace: %d reads, %d writes" r.device_reads r.device_writes;
+  add "";
+  (* Pre-order with depth; shared subtrees print at every occurrence, as
+     in [Plan.pp], but resolve to the same obs node. *)
+  let rec flat depth plan =
+    (depth, plan) :: List.concat_map (flat (depth + 1)) (Plan.children plan)
+  in
+  let entries = flat 0 r.plan in
+  let width =
+    List.fold_left
+      (fun w (d, p) -> max w ((2 * d) + String.length (Plan.label p)))
+      0 entries
+  in
+  List.iter
+    (fun (d, p) ->
+      let line = String.make (2 * d) ' ' ^ Plan.label p in
+      match r.obs.Compile.node_of p with
+      | None -> add "%s" line
+      | Some n ->
+          add "%s%s  rows=%-8d next=%-8d busy=%s" line
+            (String.make (width - String.length line) ' ')
+            (Obs.Node.rows n) (Obs.Node.next_calls n)
+            (fmt_s (Obs.Node.busy_s n));
+          (match Obs.exchange_sample r.sink ~node:n with
+          | None -> ()
+          | Some s ->
+              let pad = String.make ((2 * d) + 4) ' ' in
+              add "%spackets: %d sent, %d received, %d records, peak queue %d"
+                pad s.Obs.packets_sent s.Obs.packets_received s.Obs.records
+                s.Obs.max_queue_depth;
+              add "%sflow: %d stalls, %s blocked; per-producer [%s]" pad
+                s.Obs.flow_waits (fmt_s s.Obs.flow_wait_s)
+                (String.concat ";"
+                   (Array.to_list (Array.map string_of_int s.Obs.per_producer)));
+              if s.Obs.domains > 0 then
+                add "%sgroup: %d domains, spawn %s, join %s" pad s.Obs.domains
+                  (fmt_s s.Obs.spawn_s) (fmt_s s.Obs.join_s)))
+    entries;
+  String.concat "\n" (List.rev !lines) ^ "\n"
+
+let to_json r =
+  Jsonx.Obj
+    [
+      ("rows", Jsonx.Int r.rows);
+      ("elapsed_s", Jsonx.Float r.elapsed_s);
+      ("domains_spawned", Jsonx.Int r.domains);
+      ( "buffer",
+        Jsonx.Obj
+          [
+            ("hits", Jsonx.Int r.buffer.Bufpool.hits);
+            ("misses", Jsonx.Int r.buffer.Bufpool.misses);
+            ("evictions", Jsonx.Int r.buffer.Bufpool.evictions);
+            ("writebacks", Jsonx.Int r.buffer.Bufpool.writebacks);
+            ("restarts", Jsonx.Int r.buffer.Bufpool.restarts);
+          ] );
+      ( "workspace",
+        Jsonx.Obj
+          [
+            ("reads", Jsonx.Int r.device_reads);
+            ("writes", Jsonx.Int r.device_writes);
+          ] );
+      ("obs", Obs.report_json r.sink);
+    ]
+
+let write_json r ~path = Jsonx.write_file path (to_json r)
+let write_trace r ~path = Obs.write_trace r.sink ~path

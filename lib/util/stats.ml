@@ -4,9 +4,30 @@ type t = {
   mutable m2 : float;
   mutable min : float;
   mutable max : float;
+  (* Bounded reservoir (Vitter's algorithm R) for percentile queries; the
+     Welford accumulators above are exact, the reservoir is a uniform
+     sample once [n] exceeds its capacity. *)
+  reservoir : float array;
+  mutable filled : int;
+  rng : Rng.t;
 }
 
-let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+let default_reservoir = 512
+
+let create ?(reservoir = default_reservoir) () =
+  if reservoir < 0 then invalid_arg "Stats.create: negative reservoir";
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    reservoir = Array.make reservoir 0.0;
+    filled = 0;
+    (* Seeded deterministically: percentile estimates are reproducible
+       run-to-run, like every other sampled quantity in the repository. *)
+    rng = Rng.create 0x5eedL;
+  }
 
 let add t x =
   t.n <- t.n + 1;
@@ -14,7 +35,16 @@ let add t x =
   t.mean <- t.mean +. (delta /. float_of_int t.n);
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.min then t.min <- x;
-  if x > t.max then t.max <- x
+  if x > t.max then t.max <- x;
+  let capacity = Array.length t.reservoir in
+  if capacity > 0 then
+    if t.filled < capacity then begin
+      t.reservoir.(t.filled) <- x;
+      t.filled <- t.filled + 1
+    end
+    else
+      let j = Rng.int t.rng t.n in
+      if j < capacity then t.reservoir.(j) <- x
 
 let count t = t.n
 let mean t = if t.n = 0 then 0.0 else t.mean
@@ -23,12 +53,30 @@ let stddev t = sqrt (variance t)
 let min t = if t.n = 0 then 0.0 else t.min
 let max t = if t.n = 0 then 0.0 else t.max
 
+(* stddev / |mean|.  A zero mean (empty series, or values cancelling out)
+   would divide by zero; the conventional report value is 0, not nan/inf —
+   downstream JSON reports must stay parseable. *)
 let coefficient_of_variation t =
-  let m = mean t in
+  let m = Float.abs (mean t) in
   if m = 0.0 then 0.0 else stddev t /. m
 
-let of_list xs =
-  let t = create () in
+let percentile t p =
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Stats.percentile: p must be in [0, 1]";
+  if t.filled = 0 then 0.0
+  else begin
+    let sorted = Array.sub t.reservoir 0 t.filled in
+    Array.sort Float.compare sorted;
+    (* Linear interpolation between closest ranks. *)
+    let position = p *. float_of_int (t.filled - 1) in
+    let lo = int_of_float (Float.floor position) in
+    let hi = Stdlib.min (lo + 1) (t.filled - 1) in
+    let fraction = position -. float_of_int lo in
+    sorted.(lo) +. (fraction *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let of_list ?reservoir xs =
+  let t = create ?reservoir () in
   List.iter (add t) xs;
   t
 

@@ -1,9 +1,16 @@
-(** Streaming descriptive statistics (Welford's algorithm), used by the
-    benchmark harness and the partition-balance ablation. *)
+(** Streaming descriptive statistics (Welford's algorithm) plus a bounded
+    reservoir sample for percentile queries.  Used by the benchmark
+    harness, the partition-balance ablation, and the observability
+    subsystem's histograms. *)
 
 type t
 
-val create : unit -> t
+val create : ?reservoir:int -> unit -> t
+(** [reservoir] bounds the memory used for percentile estimation (default
+    512 samples; 0 disables percentiles).  The reservoir is a uniform
+    sample of the series (Vitter's algorithm R) drawn with a fixed seed,
+    so estimates are deterministic for a given insertion order. *)
+
 val add : t -> float -> unit
 val count : t -> int
 val mean : t -> float
@@ -13,8 +20,16 @@ val min : t -> float
 val max : t -> float
 
 val coefficient_of_variation : t -> float
-(** stddev / mean; 0 for an empty or constant series.  Used as the imbalance
-    metric in the partitioning ablation. *)
+(** stddev / |mean|; 0 (by convention, documented) when the mean is 0 —
+    including the empty series — so reports never contain nan or inf.
+    Used as the imbalance metric in the partitioning ablation. *)
 
-val of_list : float list -> t
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 1] (e.g. [0.5] for p50, [0.99] for
+    p99): the interpolated closest-rank percentile of the reservoir
+    sample.  Exact when the series fits the reservoir; an estimate
+    otherwise.  0 for an empty series.  Raises [Invalid_argument] if [p]
+    is outside [0, 1]. *)
+
+val of_list : ?reservoir:int -> float list -> t
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,7 @@ let () =
       ("exchange", Test_exchange.suite);
       ("exchange-extra", Test_exchange_extra.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
       ("ops", Test_ops.suite);
       ("ops-extra", Test_ops_extra.suite);
       ("plan", Test_plan.suite);

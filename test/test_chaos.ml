@@ -27,6 +27,7 @@ module Tuple = Volcano_tuple.Tuple
 module Rng = Volcano_util.Rng
 module Fault = Volcano_fault
 module Injector = Volcano_fault.Injector
+module Obs = Volcano_obs.Obs
 
 let default_cases = 100
 
@@ -243,9 +244,82 @@ let test_early_close_under_delays () =
     Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ())
   done
 
+(* Satellite: a slice of the chaos matrix with observability on.  The
+   instrumented run must behave exactly like the bare one: fault-free it
+   matches the oracle with balanced spans; under injection it completes
+   with the oracle rows or raises one acceptable failure, and leaks
+   nothing.  Span balance is NOT asserted under injection — cancellation
+   legitimately runs self-cleaning closes whose open never happened. *)
+let test_obs_matrix () =
+  for i = 0 to 24 do
+    let plan_seed = Int64.of_int ((1000003 * i) + 17) in
+    let fault_seed = Int64.of_int ((7919 * i) + 23) in
+    let rng = Rng.create plan_seed in
+    let depth = 1 + Rng.int rng 3 in
+    let env = Env.create ~frames:128 ~page_size:512 () in
+    Env.set_sort_run_capacity env (8 + Rng.int rng 56);
+    let serial = Test_random_plans.random_plan rng depth in
+    let decorated = Test_random_plans.decorate rng serial in
+    if Test_random_plans.accepted env decorated then begin
+      let unjoined0 = Exchange.unjoined_domains () in
+      let live0 = Exchange.live_domains () in
+      let oracle = Test_random_plans.sorted_run env serial in
+      (* Fault-free, instrumented: observability must be invisible. *)
+      let sink = Obs.create () in
+      let obs = Compile.observe sink decorated in
+      let clean =
+        List.sort Tuple.compare
+          (Iterator.to_list (Compile.compile ~obs env decorated))
+      in
+      if clean <> oracle then
+        Alcotest.failf "instrumented run diverges from oracle (plan_seed=%Ld)"
+          plan_seed;
+      List.iter
+        (fun n ->
+          if Obs.Node.opens n <> Obs.Node.closes n then
+            Alcotest.failf
+              "unbalanced spans on %S: %d opens, %d closes (plan_seed=%Ld)"
+              (Obs.Node.label n) (Obs.Node.opens n) (Obs.Node.closes n)
+              plan_seed)
+        (Obs.nodes sink);
+      (* Under injection, instrumented. *)
+      Env.set_faults env (Injector.make (Fault.random_plan ~seed:fault_seed));
+      let sink = Obs.create () in
+      let obs = Compile.observe sink decorated in
+      (match
+         run_with_timeout ~seconds:timeout_seconds (fun () ->
+             List.sort Tuple.compare
+               (Iterator.to_list (Compile.compile ~obs env decorated)))
+       with
+      | Rows rows ->
+          if rows <> oracle then
+            Alcotest.failf
+              "instrumented faulty run completed with wrong rows \
+               (plan_seed=%Ld, fault_seed=%Ld)"
+              plan_seed fault_seed
+      | Raised exn ->
+          if not (acceptable_failure exn) then
+            Alcotest.failf
+              "unexpected failure type under obs (plan_seed=%Ld, \
+               fault_seed=%Ld): %s"
+              plan_seed fault_seed (Printexc.to_string exn)
+      | Timeout ->
+          Alcotest.failf "instrumented faulty run hung (plan_seed=%Ld)"
+            plan_seed);
+      Env.clear_faults env;
+      Bufpool.assert_quiescent ~what:"obs chaos case" (Env.buffer env);
+      Alcotest.(check int)
+        "no unjoined domains" unjoined0
+        (Exchange.unjoined_domains ());
+      Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ())
+    end
+  done
+
 let suite =
   [
     Alcotest.test_case "seeded (plan, fault-plan) matrix" `Slow test_matrix;
+    Alcotest.test_case "chaos matrix with observability on" `Slow
+      test_obs_matrix;
     Alcotest.test_case "delay-only chaos preserves results" `Slow
       test_delays_preserve_results;
     Alcotest.test_case "early close under injected delays" `Slow

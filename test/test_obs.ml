@@ -1,0 +1,203 @@
+(* Observability subsystem tests: registry semantics, the instrumented
+   iterator wrapper, counter-consistency invariants over real parallel
+   runs, disabled-path transparency, and exporter well-formedness. *)
+
+module Obs = Volcano_obs.Obs
+module Jsonx = Volcano_obs.Jsonx
+module Iterator = Volcano.Iterator
+module Exchange = Volcano.Exchange
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Profile = Volcano_plan.Profile
+module Tuple = Volcano_tuple.Tuple
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_registry () =
+  let sink = Obs.create () in
+  check Alcotest.bool "enabled" true (Obs.enabled sink);
+  let c = Obs.counter sink "packets" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  check Alcotest.int "counter" 5 (Obs.Counter.value c);
+  let c' = Obs.counter sink "packets" in
+  Obs.Counter.incr c';
+  check Alcotest.int "find-or-create shares state" 6 (Obs.Counter.value c);
+  let g = Obs.gauge sink "depth" in
+  Obs.Gauge.set g 3.5;
+  check (Alcotest.float 1e-9) "gauge" 3.5 (Obs.Gauge.value g);
+  let h = Obs.histogram sink "latency" in
+  List.iter (fun x -> Obs.Histogram.observe h x) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "histogram count" 4 (Obs.Histogram.count h);
+  check (Alcotest.float 1e-9) "histogram mean" 2.5 (Obs.Histogram.mean h);
+  check (Alcotest.float 1e-9) "histogram median" 2.5
+    (Obs.Histogram.percentile h 0.5)
+
+let test_null_sink () =
+  check Alcotest.bool "disabled" false (Obs.enabled Obs.null);
+  let n = Obs.node Obs.null ~label:"x" in
+  (* Recording through a null node is harmless and registers nothing. *)
+  Obs.Node.count_open n;
+  Obs.Node.on_next n ~produced:true ~elapsed:0.001;
+  check Alcotest.int "no nodes" 0 (List.length (Obs.nodes Obs.null));
+  let c = Obs.counter Obs.null "x" in
+  Obs.Counter.incr c;
+  check Alcotest.int "unregistered metric" 0
+    (Obs.Counter.value (Obs.counter Obs.null "x"))
+
+let test_instrumented_iterator () =
+  let sink = Obs.create () in
+  let node = Obs.node sink ~label:"scan" in
+  let inner = Iterator.of_list (List.map (fun i -> Tuple.of_ints [ i ]) [ 1; 2; 3 ]) in
+  let it = Iterator.instrumented ~node inner in
+  Iterator.open_ it;
+  let rec drain n =
+    match Iterator.next it with Some _ -> drain (n + 1) | None -> n
+  in
+  let rows = drain 0 in
+  Iterator.close it;
+  check Alcotest.int "rows drained" 3 rows;
+  check Alcotest.int "node rows" 3 (Obs.Node.rows node);
+  check Alcotest.int "opens" 1 (Obs.Node.opens node);
+  check Alcotest.int "closes" 1 (Obs.Node.closes node);
+  check Alcotest.int "next calls" 4 (Obs.Node.next_calls node);
+  check Alcotest.bool "busy time accumulates" true (Obs.Node.busy_s node >= 0.0);
+  match Obs.spans sink with
+  | [ span ] ->
+      check Alcotest.int "span rows" 3 span.Obs.span_rows;
+      check Alcotest.bool "span ordered" true (span.Obs.stop >= span.Obs.start);
+      check Alcotest.string "span label" "scan" span.Obs.span_label
+  | spans -> Alcotest.failf "expected one span, got %d" (List.length spans)
+
+(* A two-exchange topology: 3 producers hash-partition into 2 middle
+   processes that forward round-robin to the root. *)
+let parallel_plan n =
+  let inner =
+    Plan.Exchange
+      {
+        cfg =
+          Exchange.config ~degree:3 ~packet_size:5 ~flow_slack:(Some 2)
+            ~partition:(Exchange.Hash_on [ 1 ]) ();
+        input =
+          Plan.Generate_slice
+            {
+              arity = 2;
+              count = n;
+              gen = (fun i -> Tuple.of_ints [ i; i mod 10 ]);
+            };
+      }
+  in
+  Plan.Exchange
+    {
+      cfg = Exchange.config ~degree:2 ~packet_size:7 ~flow_slack:(Some 2) ();
+      input = inner;
+    }
+
+let test_exchange_invariants () =
+  let n = 2000 in
+  let env = Env.create () in
+  let plan = parallel_plan n in
+  let sink = Obs.create () in
+  let obs = Compile.observe sink plan in
+  let rows = Iterator.consume (Compile.compile ~obs env plan) in
+  check Alcotest.int "all rows arrive" n rows;
+  (* Spans balanced: every open of every rank got its close. *)
+  List.iter
+    (fun node ->
+      check Alcotest.int
+        (Obs.Node.label node ^ ": opens = closes")
+        (Obs.Node.opens node) (Obs.Node.closes node))
+    (Obs.nodes sink);
+  (* Packet conservation per port, and per-producer counts sum to the
+     total. *)
+  let samples =
+    List.filter_map
+      (fun node ->
+        Option.map (fun s -> (node, s)) (Obs.exchange_sample sink ~node))
+      (Obs.nodes sink)
+  in
+  check Alcotest.int "both exchanges sampled" 2 (List.length samples);
+  List.iter
+    (fun (node, s) ->
+      let label = Obs.Node.label node in
+      check Alcotest.int (label ^ ": sent = received") s.Obs.packets_sent
+        s.Obs.packets_received;
+      check Alcotest.int
+        (label ^ ": per-producer sums to total")
+        s.Obs.packets_sent
+        (Array.fold_left ( + ) 0 s.Obs.per_producer);
+      check Alcotest.int (label ^ ": every record crossed") n s.Obs.records;
+      check Alcotest.bool (label ^ ": some packets flowed") true
+        (s.Obs.packets_sent > 0);
+      check Alcotest.bool (label ^ ": queue depth seen") true
+        (s.Obs.max_queue_depth >= 1))
+    samples
+
+let test_disabled_identical () =
+  let n = 500 in
+  let run instrument =
+    let env = Env.create () in
+    let plan = parallel_plan n in
+    let it =
+      if instrument then
+        Compile.compile ~obs:(Compile.observe (Obs.create ()) plan) env plan
+      else Compile.compile env plan
+    in
+    List.sort Tuple.compare (Iterator.to_list it)
+  in
+  check Alcotest.bool "results identical with obs on/off" true
+    (run true = run false)
+
+let test_null_observe_adds_nothing () =
+  let plan = parallel_plan 10 in
+  let o = Compile.observe Obs.null plan in
+  check Alcotest.bool "no node assigned" true (o.Compile.node_of plan = None);
+  check Alcotest.int "nothing registered" 0 (List.length (Obs.nodes Obs.null))
+
+let test_exporters () =
+  let env = Env.create () in
+  let report = Profile.run env (parallel_plan 300) in
+  check Alcotest.int "report rows" 300 report.Profile.rows;
+  let balanced s =
+    let depth = ref 0 in
+    String.iter
+      (fun c ->
+        if c = '{' || c = '[' then incr depth
+        else if c = '}' || c = ']' then decr depth)
+      s;
+    !depth = 0
+  in
+  let trace = Jsonx.to_string (Obs.trace_json report.Profile.sink) in
+  check Alcotest.bool "trace has traceEvents" true
+    (contains trace "\"traceEvents\"");
+  check Alcotest.bool "trace has complete events" true
+    (contains trace "\"ph\":\"X\"");
+  check Alcotest.bool "trace brackets balanced" true (balanced trace);
+  let json = Jsonx.to_string (Profile.to_json report) in
+  check Alcotest.bool "report has obs section" true (contains json "\"obs\"");
+  check Alcotest.bool "report brackets balanced" true (balanced json);
+  let rendered = Profile.render report in
+  check Alcotest.bool "render shows packets" true (contains rendered "packets:");
+  check Alcotest.bool "render shows rows" true (contains rendered "rows=")
+
+let suite =
+  [
+    Alcotest.test_case "metrics registry" `Quick test_registry;
+    Alcotest.test_case "null sink" `Quick test_null_sink;
+    Alcotest.test_case "instrumented iterator" `Quick test_instrumented_iterator;
+    Alcotest.test_case "exchange counter invariants" `Quick
+      test_exchange_invariants;
+    Alcotest.test_case "obs-disabled results identical" `Quick
+      test_disabled_identical;
+    Alcotest.test_case "null observe adds nothing" `Quick
+      test_null_observe_adds_nothing;
+    Alcotest.test_case "exporters well-formed" `Quick test_exporters;
+  ]

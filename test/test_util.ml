@@ -141,6 +141,59 @@ let test_stats () =
   check (Alcotest.float 1e-9) "min" 2.0 (Stats.min s);
   check (Alcotest.float 1e-9) "max" 9.0 (Stats.max s)
 
+let test_percentile_exact () =
+  (* 1..100 fits the default reservoir, so percentiles are exact (linear
+     interpolation between closest ranks). *)
+  let s = Stats.of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+  check (Alcotest.float 1e-9) "p0 = min" 1.0 (Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "p100 = max" 100.0 (Stats.percentile s 1.0);
+  check (Alcotest.float 1e-9) "median" 50.5 (Stats.percentile s 0.5);
+  check (Alcotest.float 1e-6) "p90" 90.1 (Stats.percentile s 0.9);
+  let single = Stats.of_list [ 42.0 ] in
+  check (Alcotest.float 1e-9) "singleton" 42.0 (Stats.percentile single 0.7)
+
+let test_percentile_edge () =
+  let empty = Stats.create () in
+  check (Alcotest.float 1e-9) "empty" 0.0 (Stats.percentile empty 0.5);
+  let s = Stats.of_list [ 1.0; 2.0 ] in
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Stats.percentile: p must be in [0, 1]") (fun () ->
+      ignore (Stats.percentile s 1.5));
+  Alcotest.check_raises "p < 0"
+    (Invalid_argument "Stats.percentile: p must be in [0, 1]") (fun () ->
+      ignore (Stats.percentile s (-0.1)))
+
+let test_percentile_reservoir () =
+  (* 10,000 values through a 64-slot reservoir: estimates are approximate
+     but deterministic (fixed rng seed) and order-correct. *)
+  let mk () =
+    Stats.of_list ~reservoir:64 (List.init 10_000 (fun i -> float_of_int i))
+  in
+  let a = mk () and b = mk () in
+  check (Alcotest.float 1e-9) "deterministic" (Stats.percentile a 0.5)
+    (Stats.percentile b 0.5);
+  let p10 = Stats.percentile a 0.1
+  and p50 = Stats.percentile a 0.5
+  and p90 = Stats.percentile a 0.9 in
+  check Alcotest.bool "ordered" true (p10 <= p50 && p50 <= p90);
+  check Alcotest.bool "median in the middle" true
+    (p50 > 2000.0 && p50 < 8000.0)
+
+let test_cov () =
+  let s = Stats.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  check (Alcotest.float 1e-6) "cov" (2.13808993 /. 5.0)
+    (Stats.coefficient_of_variation s);
+  (* Zero mean (cancelling values or empty series) reports 0, not nan. *)
+  let zero = Stats.of_list [ -1.0; 1.0 ] in
+  check (Alcotest.float 1e-9) "zero mean" 0.0
+    (Stats.coefficient_of_variation zero);
+  check (Alcotest.float 1e-9) "empty" 0.0
+    (Stats.coefficient_of_variation (Stats.create ()));
+  (* Negative mean uses the magnitude. *)
+  let neg = Stats.of_list [ -2.0; -4.0; -6.0 ] in
+  check Alcotest.bool "negative mean positive cov" true
+    (Stats.coefficient_of_variation neg > 0.0)
+
 let suite =
   [
     Alcotest.test_case "semaphore counting" `Quick test_sema_counting;
@@ -156,4 +209,9 @@ let suite =
     Alcotest.test_case "binheap empty" `Quick test_binheap_empty;
     QCheck_alcotest.to_alcotest prop_binheap;
     Alcotest.test_case "stats welford" `Quick test_stats;
+    Alcotest.test_case "stats percentile exact" `Quick test_percentile_exact;
+    Alcotest.test_case "stats percentile edges" `Quick test_percentile_edge;
+    Alcotest.test_case "stats percentile reservoir" `Quick
+      test_percentile_reservoir;
+    Alcotest.test_case "stats cov" `Quick test_cov;
   ]
