@@ -34,18 +34,31 @@ let sweep_plan n packet_size =
     }
 
 let measure_real n packet_size =
-  let env = fresh_env () in
-  let count, elapsed = time_count env (sweep_plan n packet_size) in
-  assert (count = n);
-  elapsed
+  min_of_reps (fun () ->
+      let env = fresh_env () in
+      let count, elapsed = time_count env (sweep_plan n packet_size) in
+      assert (count = n);
+      elapsed)
+
+(* A size's reps run consecutively (that is the min-of-N statistic the
+   gate is defined over; back-to-back identical runs also recycle
+   identically-shaped major-heap blocks, so the min reflects the steady
+   state rather than allocator churn), but sizes are measured from the
+   largest down: the small-packet runs churn out tens of thousands of
+   short-lived packet shells, and the marking debt they leave behind
+   would otherwise tax whichever point is measured next.  Results still
+   read in ascending order. *)
+let measure_sweep sizes =
+  List.rev_map
+    (fun packet_size -> (packet_size, measure_real sweep_records packet_size))
+    (List.rev sizes)
 
 let series () =
   List.map
-    (fun packet_size ->
-      let real = measure_real sweep_records packet_size in
+    (fun (packet_size, real) ->
       let sim = (Calibration.fig2a ~packet_size ()).Sim.elapsed in
       (packet_size, real, sim))
-    packet_sizes
+    (measure_sweep packet_sizes)
 
 let fig2a () =
   header
@@ -129,12 +142,112 @@ let profile_packet83 () =
   in
   Volcano_plan.Profile.to_json report
 
+(* The committed baseline's fig2 series, if one is present in the working
+   directory: regenerated result files carry it as [previous_series] so
+   every BENCH_fig2.json shows its own before/after pair. *)
+let baseline_series path =
+  if Sys.file_exists path then
+    match
+      Option.bind (Jsonx.member "experiments" (Jsonx.read_file path))
+        (fun e -> Option.bind (Jsonx.member "fig2" e) (Jsonx.member "series"))
+    with
+    | some_series -> some_series
+    | exception _ -> None
+  else None
+
 let run () =
   let data = fig2a () in
   fig2b data;
   json_add "fig2"
     (Jsonx.Obj
        [
+         ("reps", Jsonx.Int bench_reps);
          ("series", json_of_series data);
+         ( "previous_series",
+           Option.value ~default:Jsonx.Null (baseline_series "BENCH_fig2.json")
+         );
          ("profile_packet83", profile_packet83 ());
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --check BASELINE [--tolerance T]                   *)
+
+(* Re-measure the sweep and compare each packet size's min-of-N wall time
+   against the committed baseline.  Exceeding baseline * (1 + tolerance)
+   at any point is a regression.  Baselines from a different record count
+   are incomparable and rejected outright. *)
+let check ~baseline ~tolerance =
+  let doc =
+    try Jsonx.read_file baseline
+    with
+    | Sys_error msg ->
+        Printf.eprintf "cannot read baseline: %s\n" msg;
+        exit 2
+    | Jsonx.Parse_error msg ->
+        Printf.eprintf "cannot parse baseline %s: %s\n" baseline msg;
+        exit 2
+  in
+  let ( let* ) o f =
+    match o with
+    | Some v -> f v
+    | None ->
+        Printf.eprintf "baseline %s has no fig2 series\n" baseline;
+        exit 2
+  in
+  let* base_sweep =
+    Option.bind (Jsonx.member "sweep_records" doc) Jsonx.to_int_opt
+  in
+  if base_sweep <> sweep_records then begin
+    Printf.eprintf
+      "baseline used %d sweep records but this run uses %d; set \
+       VOLCANO_SWEEP_RECORDS=%d to compare\n"
+      base_sweep sweep_records base_sweep;
+    exit 2
+  end;
+  let* series =
+    Option.bind (Jsonx.member "experiments" doc) (fun e ->
+        Option.bind (Jsonx.member "fig2" e) (fun f ->
+            Option.bind (Jsonx.member "series" f) Jsonx.to_list_opt))
+  in
+  header
+    (Printf.sprintf
+       "Regression check vs %s (min of %d runs, tolerance %+.0f%%)" baseline
+       bench_reps (tolerance *. 100.0));
+  row "%8s %14s %14s %9s  %s\n" "packet" "baseline (s)" "now (s)" "ratio"
+    "verdict";
+  hline 58;
+  let targets =
+    List.map
+      (fun entry ->
+        let* packet_size =
+          Option.bind (Jsonx.member "packet_size" entry) Jsonx.to_int_opt
+        in
+        let* base =
+          Option.bind (Jsonx.member "real_s" entry) Jsonx.to_float_opt
+        in
+        (packet_size, base))
+      series
+  in
+  let now_by_size = measure_sweep (List.map fst targets) in
+  let regressions =
+    List.filter_map
+      (fun (packet_size, base) ->
+        let now = List.assoc packet_size now_by_size in
+        let ratio = now /. base in
+        let regressed = now > base *. (1.0 +. tolerance) in
+        row "%8d %14.4f %14.4f %9.2f  %s\n" packet_size base now ratio
+          (if regressed then "REGRESSED"
+           else if ratio < 1.0 then "improved"
+           else "ok");
+        if regressed then Some (packet_size, base, now) else None)
+      targets
+  in
+  match regressions with
+  | [] ->
+      row "\nno regressions: all %d points within tolerance\n"
+        (List.length series);
+      true
+  | _ ->
+      row "\n%d of %d points regressed beyond %+.0f%%\n"
+        (List.length regressions) (List.length series) (tolerance *. 100.0);
+      false

@@ -2,11 +2,17 @@
    evaluation section plus the ablations listed in DESIGN.md.
 
    Usage:  dune exec bench/main.exe [-- experiment ...] [--json FILE]
+           dune exec bench/main.exe -- --check BASELINE [--tolerance T]
    Experiments: t1 fig2 a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
+   --check re-measures the fig2 sweep against a committed baseline JSON
+   and exits nonzero when any packet size regresses beyond the tolerance
+   (default 0.15); `dune build @bench-smoke` runs exactly this.
    Environment: VOLCANO_RECORDS (default 100000),
-                VOLCANO_SWEEP_RECORDS (default 30000). *)
+                VOLCANO_SWEEP_RECORDS (default 30000),
+                VOLCANO_BENCH_REPS (default 6; gated timings are
+                min-of-reps). *)
 
 let experiments =
   [
@@ -23,18 +29,46 @@ let experiments =
     ("micro", Bench_micro.run);
   ]
 
-let rec split_args names json = function
-  | [] -> (List.rev names, json)
-  | "--json" :: path :: rest -> split_args names (Some path) rest
+type opts = {
+  names : string list;
+  json : string option;
+  check : string option;
+  tolerance : float;
+}
+
+let rec split_args opts = function
+  | [] -> { opts with names = List.rev opts.names }
+  | "--json" :: path :: rest -> split_args { opts with json = Some path } rest
   | "--json" :: [] ->
       prerr_endline "--json requires a FILE argument";
       exit 2
-  | name :: rest -> split_args (name :: names) json rest
+  | "--check" :: path :: rest -> split_args { opts with check = Some path } rest
+  | "--check" :: [] ->
+      prerr_endline "--check requires a BASELINE argument";
+      exit 2
+  | "--tolerance" :: t :: rest -> (
+      match float_of_string_opt t with
+      | Some tolerance when tolerance >= 0.0 ->
+          split_args { opts with tolerance } rest
+      | Some _ | None ->
+          prerr_endline "--tolerance requires a non-negative number";
+          exit 2)
+  | "--tolerance" :: [] ->
+      prerr_endline "--tolerance requires a number argument";
+      exit 2
+  | name :: rest -> split_args { opts with names = name :: opts.names } rest
 
 let () =
-  let names, json_path =
-    split_args [] None (List.tl (Array.to_list Sys.argv))
+  let opts =
+    split_args
+      { names = []; json = None; check = None; tolerance = 0.15 }
+      (List.tl (Array.to_list Sys.argv))
   in
+  (match opts.check with
+  | Some baseline ->
+      exit (if Bench_fig2.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
+  | None -> ());
+  let names, json_path = (opts.names, opts.json) in
   let requested =
     match names with
     | [] | [ "all" ] -> List.map fst experiments

@@ -140,27 +140,39 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
   iter_slot := Some iter;
   Iterator.open_ iter;
   let consumers = Port.consumers port in
-  let fresh () = Packet.create ~capacity:cfg.packet_size ~producer:rank in
-  let packets = Array.init consumers (fun _ -> fresh ()) in
+  (* Packets come from the lane pool: in steady state each refill reuses
+     an array the consumer drained and recycled moments ago. *)
+  let fresh consumer =
+    Port.alloc port ~producer:rank ~consumer ~capacity:cfg.packet_size
+  in
+  let packets = Array.init consumers fresh in
   let flush consumer ~eos =
     let packet = packets.(consumer) in
     if eos then Packet.tag_end_of_stream packet;
     if eos || not (Packet.is_empty packet) then
       Port.send port ~producer:rank ~consumer packet;
-    packets.(consumer) <- fresh ()
+    (* The end-of-stream flush is the last touch of this slot; skipping
+       its refill keeps the pool ledger exact (allocations + reuses =
+       packets sent on a full drain). *)
+    if not eos then packets.(consumer) <- fresh consumer
   in
   let deliver consumer tuple =
-    Packet.add packets.(consumer) tuple;
-    if Packet.is_full packets.(consumer) then flush consumer ~eos:false
+    let packet = packets.(consumer) in
+    Packet.add packet tuple;
+    if Packet.is_full packet then flush consumer ~eos:false
   in
   let partition = instantiate_partition cfg.partition ~consumers in
+  (* Hoisted: the injector does nothing without rules, and this check
+     runs once per record. *)
+  let faults_live = not (Injector.is_none faults) in
   let rec drive () =
     if Port.is_shut_down port then ()
     else
       match Iterator.next iter with
       | None -> ()
       | Some tuple ->
-          Injector.hit faults (Volcano_fault.Producer rank);
+          if faults_live then
+            Injector.hit faults (Volcano_fault.Producer rank);
           (match cfg.partition with
           | Broadcast ->
               (* Replicate to all consumers.  Tuples are immutable and
@@ -257,6 +269,10 @@ type consumer_state = {
   port : Port.t;
   close_allowed : Sema.t;
   joiner : (unit -> unit) option; (* master only *)
+  recv : unit -> Packet.t option;
+  (* receive and recycle are built once at open: [next] runs per record
+     and must not allocate fresh closures on every call *)
+  recy : Packet.t -> unit;
   mutable current : Packet.t option;
   mutable pos : int;
   mutable eos_tags : int;
@@ -293,6 +309,9 @@ let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
                 flow_waits = Port.flow_stalls port;
                 flow_wait_s = Port.flow_stall_s port;
                 per_producer = Port.packets_sent_by port;
+                pool_allocated = Port.pool_allocated port;
+                pool_reused = Port.pool_reused port;
+                pool_recycled = Port.pool_recycled port;
                 spawn_s;
                 join_s = !join_s;
                 domains = cfg.degree;
@@ -324,7 +343,7 @@ let teardown_consumer cfg ~group state =
     match state.joiner with Some join -> join () | None -> ()
   end
 
-let consume_packets state ~receive =
+let consume_packets state =
   let rec step () =
     match state.current with
     | Some packet when state.pos < Packet.length packet ->
@@ -335,6 +354,10 @@ let consume_packets state ~receive =
         if Packet.end_of_stream packet then
           state.eos_tags <- state.eos_tags + 1;
         state.current <- None;
+        (* Drained: hand the packet back to its lane's pool.  All tuples
+           were already yielded by reference, so only the array shell is
+           reused. *)
+        state.recy packet;
         step ()
     | None ->
         if state.finished then None
@@ -343,7 +366,7 @@ let consume_packets state ~receive =
           None
         end
         else (
-          match receive () with
+          match state.recv () with
           | Some packet ->
               state.current <- Some packet;
               state.pos <- 0;
@@ -374,15 +397,23 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
       let port, close_allowed, joiner =
         setup_consumer ~faults ?parent_scope ?scope ?obs cfg ~id ~group ~input
       in
+      let consumer = Group.rank group in
       state :=
         Some
-          { port; close_allowed; joiner; current = None; pos = 0; eos_tags = 0; finished = false })
+          {
+            port;
+            close_allowed;
+            joiner;
+            recv = (fun () -> Port.receive port ~consumer);
+            recy = Port.recycle port ~consumer;
+            current = None;
+            pos = 0;
+            eos_tags = 0;
+            finished = false;
+          })
     ~next:(fun () ->
       let s = get_state () in
-      match
-        consume_packets s ~receive:(fun () ->
-            Port.receive s.port ~consumer:(Group.rank group))
-      with
+      match consume_packets s with
       | result -> result
       | exception exn ->
           (* A consumer-side failure (e.g. an injected receive fault) must
@@ -445,12 +476,16 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
           let port, close_allowed, _ =
             match !shared with Some s -> s | None -> assert false
           in
+          let consumer = Group.rank group in
           stream_state :=
             Some
               {
                 port;
                 close_allowed;
                 joiner = None;
+                recv =
+                  (fun () -> Port.receive_from port ~producer ~consumer);
+                recy = Port.recycle port ~consumer;
                 current = None;
                 pos = 0;
                 eos_tags = 0;
@@ -471,14 +506,12 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
                   | Some packet ->
                       if Packet.end_of_stream packet then s.finished <- true;
                       s.current <- None;
+                      s.recy packet;
                       if s.finished then None else step ()
                   | None ->
                       if s.finished then None
                       else (
-                        match
-                          Port.receive_from s.port ~producer
-                            ~consumer:(Group.rank group)
-                        with
+                        match s.recv () with
                         | Some packet ->
                             s.current <- Some packet;
                             s.pos <- 0;
@@ -493,7 +526,9 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
                 in
                 step ()
               in
-              if result = None then all_finished.(producer) <- true;
+              (match result with
+              | None -> all_finished.(producer) <- true
+              | Some _ -> ());
               result)
         ~close:(fun () ->
           (match !stream_state with
@@ -546,6 +581,9 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
                     flow_waits = Port.flow_stalls port;
                     flow_wait_s = Port.flow_stall_s port;
                     per_producer = Port.packets_sent_by port;
+                    pool_allocated = Port.pool_allocated port;
+                    pool_reused = Port.pool_reused port;
+                    pool_recycled = Port.pool_recycled port;
                     spawn_s = 0.0;
                     join_s = 0.0;
                     domains = 0;
@@ -558,8 +596,9 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
       Iterator.open_ input;
       input_done := false;
       packets :=
-        Array.init size (fun _ ->
-            Packet.create ~capacity:cfg.packet_size ~producer:rank);
+        Array.init size (fun consumer ->
+            Port.alloc port ~producer:rank ~consumer
+              ~capacity:cfg.packet_size);
       (partition :=
          match cfg.partition with
          | Broadcast ->
@@ -571,6 +610,8 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
             port;
             close_allowed = Sema.create 0;
             joiner = None;
+            recv = (fun () -> Port.receive port ~consumer:rank);
+            recy = Port.recycle port ~consumer:rank;
             current = None;
             pos = 0;
             eos_tags = 0;
@@ -585,8 +626,10 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
             if eos then Packet.tag_end_of_stream packet;
             if eos || not (Packet.is_empty packet) then
               Port.send s.port ~producer:rank ~consumer packet;
-            !packets.(consumer) <-
-              Packet.create ~capacity:cfg.packet_size ~producer:rank
+            if not eos then
+              !packets.(consumer) <-
+                Port.alloc s.port ~producer:rank ~consumer
+                  ~capacity:cfg.packet_size
           in
           let rec step () =
             match s.current with
@@ -598,6 +641,7 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
                 if Packet.end_of_stream packet then
                   s.eos_tags <- s.eos_tags + 1;
                 s.current <- None;
+                s.recy packet;
                 step ()
             | None ->
                 if s.finished then None

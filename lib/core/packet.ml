@@ -19,14 +19,71 @@ let length t = t.len
 let is_full t = t.len = Array.length t.tuples
 let is_empty t = t.len = 0
 
+(* Per-record operations: the explicit range checks make the subsequent
+   unsafe array accesses safe, without paying the bounds check twice. *)
 let add t tuple =
   if is_full t then invalid_arg "Packet.add: packet full";
-  t.tuples.(t.len) <- tuple;
+  Array.unsafe_set t.tuples t.len tuple;
   t.len <- t.len + 1
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Packet.get: out of range";
-  t.tuples.(i)
+  Array.unsafe_get t.tuples i
 
 let tag_end_of_stream t = t.eos <- true
 let end_of_stream t = t.eos
+
+let reset t =
+  t.len <- 0;
+  t.eos <- false
+
+(* Recycling: the consumer hands drained packets back through a bounded
+   SPSC ring (it is the free ring's producer; the allocating producer is
+   its consumer), so steady-state transfer reuses the same few
+   [capacity]-slot arrays instead of allocating one per packet.  Stale
+   tuple references in a pooled packet are overwritten on refill, never
+   read: [reset] truncates [len], and consumers only read below [len]. *)
+module Pool = struct
+  module Spsc = Volcano_util.Spsc
+
+  type packet = t
+
+  let fresh = create
+
+  type t = {
+    free : packet Spsc.t;
+    allocated : int Atomic.t; (* fresh arrays created *)
+    reused : int Atomic.t; (* allocs served from the free ring *)
+    recycled : int Atomic.t; (* returns accepted into the free ring *)
+  }
+
+  let create ~slots =
+    {
+      free =
+        Spsc.create ~capacity:(max 1 slots)
+          ~dummy:(fresh ~capacity:1 ~producer:0);
+      allocated = Atomic.make 0;
+      reused = Atomic.make 0;
+      recycled = Atomic.make 0;
+    }
+
+  let alloc t ~capacity ~producer =
+    match Spsc.try_pop t.free with
+    | Some p when Array.length p.tuples = capacity && p.producer = producer ->
+        Atomic.incr t.reused;
+        reset p;
+        p
+    | Some _ | None ->
+        (* Empty ring, or a foreign packet slipped in (capacity or
+           producer mismatch): drop it and pay one allocation. *)
+        Atomic.incr t.allocated;
+        fresh ~capacity ~producer
+
+  let recycle t p =
+    if Spsc.try_push t.free p then Atomic.incr t.recycled
+  (* A full free ring just lets the packet go to the GC. *)
+
+  let allocated t = Atomic.get t.allocated
+  let reused t = Atomic.get t.reused
+  let recycled t = Atomic.get t.recycled
+end

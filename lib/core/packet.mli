@@ -30,3 +30,34 @@ val get : t -> int -> Volcano_tuple.Tuple.t
 
 val tag_end_of_stream : t -> unit
 val end_of_stream : t -> bool
+
+val reset : t -> unit
+(** Empty the packet and clear its end-of-stream tag, keeping the record
+    array for reuse.  Only the pool calls this, on packets the consumer
+    has explicitly released. *)
+
+(** A per-lane packet recycler: the consumer returns drained packets
+    through a bounded SPSC free ring and the producer's next allocation
+    reuses them, eliminating per-packet allocation in steady state.
+    Single recycler, single allocator — exactly a port lane's consumer
+    and producer. *)
+module Pool : sig
+  type packet := t
+  type t
+
+  val create : slots:int -> t
+  (** [slots] bounds the free ring; overflow recycles fall through to
+      the GC. *)
+
+  val alloc : t -> capacity:int -> producer:int -> packet
+  (** A reset pooled packet when one with matching capacity and producer
+      is available, otherwise a fresh one. *)
+
+  val recycle : t -> packet -> unit
+  (** Hand a packet back for reuse.  The caller must not touch the
+      packet afterwards: the producer may refill it immediately. *)
+
+  val allocated : t -> int
+  val reused : t -> int
+  val recycled : t -> int
+end

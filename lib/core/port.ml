@@ -1,19 +1,55 @@
-module Sema = Volcano_util.Sema
 module Clock = Volcano_util.Clock
+module Spsc = Volcano_util.Spsc
 module Injector = Volcano_fault.Injector
 
-type queue = {
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  items : Packet.t Queue.t;
-  flow : Sema.t option; (* acquired by send, released by receive *)
+(* Every (producer, consumer) pair owns a dedicated lane, so each lane
+   has exactly one writing domain and one reading domain — single
+   producer, single consumer — whatever the port's mode:
+
+   - flow control on: the lane is a bounded SPSC ring whose capacity IS
+     the flow-control slack.  The uncontended send is one try_push (two
+     atomics), with no semaphore and no mutex; a full ring makes the
+     sender spin briefly, then park on the lane's condition until the
+     consumer frees a slot or the port shuts down.
+
+   - flow control off: producers must be able to run unboundedly ahead
+     (the no-fork interchange relies on this: each process is both
+     producer and consumer, so any bound can cycle into a deadlock), so
+     the lane falls back to a striped mutex+queue — still per pair, so
+     producers never contend with each other, only pairwise with their
+     consumer.
+
+   Consumers park on one per-consumer sink (a waiting flag plus
+   mutex/condition) covering all of that consumer's lanes; producers
+   signal it only when the flag is up, so the uncontended receive path
+   takes no lock either.  The flag is set before the final empty
+   re-check and read after the push (both seq_cst), the classic Dekker
+   handshake that makes a lost wakeup impossible. *)
+
+type lane = {
+  ring : Packet.t Spsc.t option; (* Some = bounded (flow-controlled) *)
+  q_lock : Mutex.t; (* unbounded queue; doubles as the producer's park *)
+  items : Packet.t Queue.t; (* unbounded fallback, empty in ring mode *)
+  q_count : int Atomic.t; (* occupancy of [items], for lock-free polls *)
+  nonfull : Condition.t; (* ring producer parks here when full *)
+  producer_waiting : bool Atomic.t;
+  pool : Packet.Pool.t; (* recycled packets, consumer back to producer *)
+  peak : int Atomic.t; (* producer-side high-water occupancy *)
+}
+
+type sink = {
+  s_lock : Mutex.t;
+  arrived : Condition.t;
+  consumer_waiting : bool Atomic.t;
+  mutable rr : int; (* next producer lane to poll; consumer-local *)
 }
 
 type t = {
   n_producers : int;
   n_consumers : int;
   separate : bool;
-  queues : queue array;
+  lanes : lane array; (* producer-major: index p * n_consumers + c *)
+  sinks : sink array; (* one per consumer *)
   shut : bool Atomic.t;
   poisoned : exn option Atomic.t; (* first producer/consumer failure *)
   on_shutdown : unit -> unit; (* cancellation chaining (runs once) *)
@@ -22,32 +58,65 @@ type t = {
   sent : int Atomic.t;
   received : int Atomic.t;
   records : int Atomic.t;
-  depth : int Atomic.t;
-  peak : int Atomic.t;
   sent_by : int Atomic.t array; (* packets per producer rank *)
-  stalls : int Atomic.t; (* sends that blocked on flow control *)
+  stalls : int Atomic.t; (* sends that found their ring full *)
   stall_ns : int Atomic.t; (* time blocked there; updated when [timed] *)
-  timed : bool; (* profiling on: clock the flow-control waits *)
+  timed : bool; (* profiling on: clock the full-ring waits *)
 }
 
-let make_queue flow_slack =
+(* Parking is the slow path; before taking it, a blocked side burns a
+   short bounded spin in case the peer is actively draining/filling on
+   another core.  On a single-core host the peer cannot run while we
+   spin, so spinning is pure waste — park immediately. *)
+let spin_budget = if Domain.recommended_domain_count () > 1 then 150 else 0
+
+(* With real parallelism a parked producer is woken the moment a slot
+   frees, keeping the pipeline as full as the ring allows.  On a single
+   core the woken producer cannot run until the consumer yields anyway,
+   so per-slot wakeups cost a futex round trip per packet for nothing:
+   wake only when the lane drains, and the producer refills a whole ring
+   per wakeup.  (Deadlock-free either way: the consumer never parks
+   while any of its lanes holds a packet, so a full lane is always
+   drained to empty eventually.) *)
+let eager_wake = Domain.recommended_domain_count () > 1
+
+let make_lane flow_slack =
   {
-    lock = Mutex.create ();
-    nonempty = Condition.create ();
+    ring =
+      Option.map
+        (fun slack ->
+          Spsc.create ~capacity:slack
+            ~dummy:(Packet.create ~capacity:1 ~producer:0))
+        flow_slack;
+    q_lock = Mutex.create ();
     items = Queue.create ();
-    flow = Option.map Sema.create flow_slack;
+    q_count = Atomic.make 0;
+    nonfull = Condition.create ();
+    producer_waiting = Atomic.make false;
+    pool =
+      Packet.Pool.create
+        ~slots:(match flow_slack with Some slack -> slack + 2 | None -> 8);
+    peak = Atomic.make 0;
+  }
+
+let make_sink () =
+  {
+    s_lock = Mutex.create ();
+    arrived = Condition.create ();
+    consumer_waiting = Atomic.make false;
+    rr = 0;
   }
 
 let create ~producers ~consumers ?flow_slack ?(keep_separate = false)
     ?(faults = Injector.none) ?(on_shutdown = fun () -> ()) ?(timed = false) () =
   assert (producers > 0 && consumers > 0);
   (match flow_slack with Some n -> assert (n > 0) | None -> ());
-  let n_queues = if keep_separate then producers * consumers else consumers in
   {
     n_producers = producers;
     n_consumers = consumers;
     separate = keep_separate;
-    queues = Array.init n_queues (fun _ -> make_queue flow_slack);
+    lanes = Array.init (producers * consumers) (fun _ -> make_lane flow_slack);
+    sinks = Array.init consumers (fun _ -> make_sink ());
     shut = Atomic.make false;
     poisoned = Atomic.make None;
     on_shutdown;
@@ -56,8 +125,6 @@ let create ~producers ~consumers ?flow_slack ?(keep_separate = false)
     sent = Atomic.make 0;
     received = Atomic.make 0;
     records = Atomic.make 0;
-    depth = Atomic.make 0;
-    peak = Atomic.make 0;
     sent_by = Array.init producers (fun _ -> Atomic.make 0);
     stalls = Atomic.make 0;
     stall_ns = Atomic.make 0;
@@ -68,112 +135,285 @@ let producers t = t.n_producers
 let consumers t = t.n_consumers
 let keep_separate t = t.separate
 
-let queue_of t ~producer ~consumer =
-  if t.separate then t.queues.((producer * t.n_consumers) + consumer)
-  else t.queues.(consumer)
+let lane_of t ~producer ~consumer =
+  t.lanes.((producer * t.n_consumers) + consumer)
 
-let note_depth t delta =
-  let d = Atomic.fetch_and_add t.depth delta + delta in
-  let rec bump () =
-    let peak = Atomic.get t.peak in
-    if d > peak && not (Atomic.compare_and_set t.peak peak d) then bump ()
+let bump_peak lane occupancy =
+  if occupancy > Atomic.get lane.peak then Atomic.set lane.peak occupancy
+
+(* ------------------------------------------------------------------ *)
+(* Producer side                                                       *)
+
+let wake_consumer t ~consumer =
+  let sink = t.sinks.(consumer) in
+  if Atomic.get sink.consumer_waiting then begin
+    Atomic.set sink.consumer_waiting false;
+    Mutex.lock sink.s_lock;
+    Condition.broadcast sink.arrived;
+    Mutex.unlock sink.s_lock
+  end
+
+(* Full ring: spin briefly, then park on the lane condition.  The waiting
+   flag is re-published before every wait and re-checked against the ring
+   (and shutdown) after, so the consumer's pop-then-signal cannot slip
+   between our check and our sleep.  Returns false iff the port shut down
+   before a slot freed (the packet is dropped, as post-shutdown sends
+   are). *)
+let push_parking t lane ring packet =
+  let rec spin budget =
+    if Spsc.try_push ring packet then true
+    else if Atomic.get t.shut then false
+    else if budget = 0 then park ()
+    else begin
+      Domain.cpu_relax ();
+      spin (budget - 1)
+    end
+  and park () =
+    Mutex.lock lane.q_lock;
+    let rec wait () =
+      if Spsc.try_push ring packet then begin
+        Mutex.unlock lane.q_lock;
+        true
+      end
+      else if Atomic.get t.shut then begin
+        Mutex.unlock lane.q_lock;
+        false
+      end
+      else begin
+        Atomic.set lane.producer_waiting true;
+        if Spsc.try_push ring packet then begin
+          Atomic.set lane.producer_waiting false;
+          Mutex.unlock lane.q_lock;
+          true
+        end
+        else if Atomic.get t.shut then begin
+          Atomic.set lane.producer_waiting false;
+          Mutex.unlock lane.q_lock;
+          false
+        end
+        else begin
+          Condition.wait lane.nonfull lane.q_lock;
+          wait ()
+        end
+      end
+    in
+    wait ()
   in
-  bump ()
+  spin spin_budget
 
 let send t ~producer ~consumer packet =
   Injector.hit t.faults Volcano_fault.Port_send;
-  let queue = queue_of t ~producer ~consumer in
-  (* Flow control: "after a producer has inserted a new packet into the
-     port, it must request the flow control semaphore" — acquiring before
-     insertion is equivalent and simpler to reason about. *)
-  (match queue.flow with
-  | Some sema when not (Atomic.get t.shut) ->
-      (* Blocks while the consumer is [flow_slack] packets behind; a
-         shutdown floods the semaphore to wake blocked senders.  A stall
-         (the fast-path try fails) is counted always and clocked only on
-         timed ports, so un-profiled queries never read the clock here. *)
-      if not (Sema.try_acquire sema) then begin
-        Atomic.incr t.stalls;
-        if t.timed then begin
-          let t0 = Clock.now () in
-          Sema.acquire sema;
-          let waited = Clock.now () -. t0 in
-          let _ = Atomic.fetch_and_add t.stall_ns (int_of_float (waited *. 1e9)) in
-          ()
-        end
-        else Sema.acquire sema
-      end
-  | _ -> ());
   if not (Atomic.get t.shut) then begin
-    Mutex.lock queue.lock;
-    Queue.push packet queue.items;
-    note_depth t 1;
-    Condition.signal queue.nonempty;
-    Mutex.unlock queue.lock;
-    Atomic.incr t.sent;
-    Atomic.incr t.sent_by.(producer);
-    let _ = Atomic.fetch_and_add t.records (Packet.length packet) in
-    ()
+    let lane = lane_of t ~producer ~consumer in
+    let delivered =
+      match lane.ring with
+      | Some ring ->
+          if Spsc.try_push ring packet then true
+          else begin
+            (* A stall (the fast-path push fails) is counted always and
+               clocked only on timed ports, so un-profiled queries never
+               read the clock here. *)
+            Atomic.incr t.stalls;
+            if t.timed then begin
+              let t0 = Clock.now () in
+              let ok = push_parking t lane ring packet in
+              let waited = Clock.now () -. t0 in
+              let _ =
+                Atomic.fetch_and_add t.stall_ns
+                  (int_of_float (waited *. 1e9))
+              in
+              ok
+            end
+            else push_parking t lane ring packet
+          end
+      | None ->
+          Mutex.lock lane.q_lock;
+          Queue.push packet lane.items;
+          Mutex.unlock lane.q_lock;
+          let occupancy = Atomic.fetch_and_add lane.q_count 1 + 1 in
+          bump_peak lane occupancy;
+          true
+    in
+    if delivered then begin
+      (match lane.ring with
+      | Some ring -> bump_peak lane (Spsc.length ring)
+      | None -> ());
+      Atomic.incr t.sent;
+      Atomic.incr t.sent_by.(producer);
+      let _ = Atomic.fetch_and_add t.records (Packet.length packet) in
+      wake_consumer t ~consumer
+    end
   end
 
-let receive_queue t queue =
-  Injector.hit t.faults Volcano_fault.Port_receive;
-  Mutex.lock queue.lock;
-  let rec wait () =
-    if Atomic.get t.shut && Queue.is_empty queue.items then begin
-      Mutex.unlock queue.lock;
-      None
-    end
+(* ------------------------------------------------------------------ *)
+(* Consumer side                                                       *)
+
+(* Non-blocking take from one lane; on success, a parked producer of a
+   ring lane is woken to refill the slot we just freed. *)
+let take_lane lane =
+  match lane.ring with
+  | Some ring -> (
+      match Spsc.try_pop ring with
+      | Some _ as packet ->
+          if
+            Atomic.get lane.producer_waiting
+            && (eager_wake || Spsc.is_empty ring)
+          then begin
+            Atomic.set lane.producer_waiting false;
+            Mutex.lock lane.q_lock;
+            Condition.broadcast lane.nonfull;
+            Mutex.unlock lane.q_lock
+          end;
+          packet
+      | None -> None)
+  | None ->
+      if Atomic.get lane.q_count = 0 then None
+      else begin
+        Mutex.lock lane.q_lock;
+        let packet = Queue.take_opt lane.items in
+        Mutex.unlock lane.q_lock;
+        (match packet with
+        | Some _ -> Atomic.decr lane.q_count
+        | None -> ());
+        packet
+      end
+
+(* Poll the consumer's lanes round-robin from where the last receive left
+   off, so no producer is starved behind rank 0's stream. *)
+let poll_any t ~consumer =
+  let sink = t.sinks.(consumer) in
+  let n = t.n_producers in
+  let rec go i =
+    if i = n then None
     else
-      match Queue.take_opt queue.items with
-      | Some packet ->
-          note_depth t (-1);
-          Mutex.unlock queue.lock;
-          (match queue.flow with Some sema -> Sema.release sema | None -> ());
-          Atomic.incr t.received;
-          Some packet
-      | None ->
-          (* Sleep briefly rather than waiting on the condition alone so
-             that shutdown (signalled via the atomic) cannot be missed. *)
-          Condition.wait queue.nonempty queue.lock;
-          wait ()
+      let producer = (sink.rr + i) mod n in
+      match take_lane (lane_of t ~producer ~consumer) with
+      | Some _ as packet ->
+          sink.rr <- (producer + 1) mod n;
+          packet
+      | None -> go (i + 1)
   in
-  wait ()
+  go 0
+
+(* Blocking receive around an arbitrary non-blocking [poll]: spin, then
+   park on the consumer's sink.  Shutdown is checked only after a failed
+   poll, so packets already queued survive a shutdown (drain-then-None
+   semantics). *)
+let receive_with t ~consumer poll =
+  Injector.hit t.faults Volcano_fault.Port_receive;
+  match poll () with
+  | Some _ as packet ->
+      Atomic.incr t.received;
+      packet
+  | None ->
+      let sink = t.sinks.(consumer) in
+      let rec spin budget =
+        match poll () with
+        | Some _ as packet -> packet
+        | None ->
+            if Atomic.get t.shut then None
+            else if budget = 0 then park ()
+            else begin
+              Domain.cpu_relax ();
+              spin (budget - 1)
+            end
+      and park () =
+        Mutex.lock sink.s_lock;
+        let rec wait () =
+          match poll () with
+          | Some _ as packet ->
+              Mutex.unlock sink.s_lock;
+              packet
+          | None ->
+              if Atomic.get t.shut then begin
+                Mutex.unlock sink.s_lock;
+                None
+              end
+              else begin
+                Atomic.set sink.consumer_waiting true;
+                match poll () with
+                | Some _ as packet ->
+                    Atomic.set sink.consumer_waiting false;
+                    Mutex.unlock sink.s_lock;
+                    packet
+                | None ->
+                    if Atomic.get t.shut then begin
+                      Atomic.set sink.consumer_waiting false;
+                      Mutex.unlock sink.s_lock;
+                      None
+                    end
+                    else begin
+                      Condition.wait sink.arrived sink.s_lock;
+                      wait ()
+                    end
+              end
+        in
+        wait ()
+      in
+      let packet = spin spin_budget in
+      (match packet with Some _ -> Atomic.incr t.received | None -> ());
+      packet
 
 let receive t ~consumer =
   if t.separate then
     invalid_arg "Port.receive: keep-separate port requires receive_from";
-  receive_queue t t.queues.(consumer)
+  receive_with t ~consumer (fun () -> poll_any t ~consumer)
 
 let receive_from t ~producer ~consumer =
-  receive_queue t (queue_of t ~producer ~consumer)
+  let lane = lane_of t ~producer ~consumer in
+  receive_with t ~consumer (fun () -> take_lane lane)
 
 let try_receive t ~consumer =
   if t.separate then
     invalid_arg "Port.try_receive: keep-separate port requires receive_from";
-  let queue = t.queues.(consumer) in
-  Mutex.lock queue.lock;
-  let packet = Queue.take_opt queue.items in
-  (match packet with Some _ -> note_depth t (-1) | None -> ());
-  Mutex.unlock queue.lock;
-  match packet with
-  | Some p ->
-      (match queue.flow with Some sema -> Sema.release sema | None -> ());
+  match poll_any t ~consumer with
+  | Some _ as packet ->
       Atomic.incr t.received;
-      Some p
+      packet
   | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Packet recycling                                                    *)
+
+let alloc t ~producer ~consumer ~capacity =
+  Packet.Pool.alloc (lane_of t ~producer ~consumer).pool ~capacity ~producer
+
+let recycle t ~consumer packet =
+  let producer = Packet.producer packet in
+  if producer >= 0 && producer < t.n_producers then
+    Packet.Pool.recycle (lane_of t ~producer ~consumer).pool packet
+
+let pool_allocated t =
+  Array.fold_left (fun acc l -> acc + Packet.Pool.allocated l.pool) 0 t.lanes
+
+let pool_reused t =
+  Array.fold_left (fun acc l -> acc + Packet.Pool.reused l.pool) 0 t.lanes
+
+let pool_recycled t =
+  Array.fold_left (fun acc l -> acc + Packet.Pool.recycled l.pool) 0 t.lanes
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown                                                            *)
 
 let shutdown t =
   Atomic.set t.shut true;
+  (* Exact wakeups: every parked consumer sits on its sink and every
+     parked producer on its lane's [nonfull]; one broadcast under each
+     lock reaches precisely the waiters (no semaphore flooding).  The
+     woken side re-checks [shut] before sleeping again, so the
+     flag-then-broadcast order cannot strand a late sleeper. *)
   Array.iter
-    (fun queue ->
-      (match queue.flow with
-      | Some sema -> Sema.release_n sema (t.n_producers * t.n_consumers * 1024)
-      | None -> ());
-      Mutex.lock queue.lock;
-      Condition.broadcast queue.nonempty;
-      Mutex.unlock queue.lock)
-    t.queues;
+    (fun sink ->
+      Mutex.lock sink.s_lock;
+      Condition.broadcast sink.arrived;
+      Mutex.unlock sink.s_lock)
+    t.sinks;
+  Array.iter
+    (fun lane ->
+      Mutex.lock lane.q_lock;
+      Condition.broadcast lane.nonfull;
+      Mutex.unlock lane.q_lock)
+    t.lanes;
   (* Chain the cancellation downwards exactly once: ports created below
      this exchange must also wake their blocked producers and consumers,
      or a producer stuck in a descendant's receive would never observe
@@ -190,7 +430,10 @@ let is_shut_down t = Atomic.get t.shut
 let packets_sent t = Atomic.get t.sent
 let packets_received t = Atomic.get t.received
 let records_sent t = Atomic.get t.records
-let max_depth t = Atomic.get t.peak
+
+let max_depth t =
+  Array.fold_left (fun acc lane -> max acc (Atomic.get lane.peak)) 0 t.lanes
+
 let packets_sent_by t = Array.map Atomic.get t.sent_by
 let flow_stalls t = Atomic.get t.stalls
 let flow_stall_s t = float_of_int (Atomic.get t.stall_ns) *. 1e-9

@@ -111,28 +111,33 @@ module Injector = struct
     }
 
   let none = make no_plan
-  let is_none t = t.rules = []
+  let is_none t = match t.rules with [] -> true | _ :: _ -> false
   let fired t = Atomic.get t.n_fired
   let hits t = Atomic.get t.n_hits
 
+  (* [hit] sits on per-record paths; the no-rules case must cost one
+     branch, not a polymorphic comparison. *)
   let hit t site =
-    if t.rules <> [] then
-      List.iter
-        (fun c ->
-          if c.rule.site = site then begin
-            Atomic.incr t.n_hits;
-            let k = 1 + Atomic.fetch_and_add c.count 1 in
-            let fires =
-              match c.rule.trigger with
-              | At_hit n -> k = n
-              | With_prob p -> decide ~seed:t.seed ~rule_index:c.index ~hit:k p
-            in
-            if fires then
-              match c.rule.action with
-              | Delay d -> Unix.sleepf d
-              | Fail ->
-                  Atomic.incr t.n_fired;
-                  raise (Injected { site; hit = k })
-          end)
-        t.rules
+    match t.rules with
+    | [] -> ()
+    | rules ->
+        List.iter
+          (fun c ->
+            if c.rule.site = site then begin
+              Atomic.incr t.n_hits;
+              let k = 1 + Atomic.fetch_and_add c.count 1 in
+              let fires =
+                match c.rule.trigger with
+                | At_hit n -> k = n
+                | With_prob p ->
+                    decide ~seed:t.seed ~rule_index:c.index ~hit:k p
+              in
+              if fires then
+                match c.rule.action with
+                | Delay d -> Unix.sleepf d
+                | Fail ->
+                    Atomic.incr t.n_fired;
+                    raise (Injected { site; hit = k })
+            end)
+          rules
 end

@@ -70,3 +70,187 @@ let write_file path json =
     (fun () ->
       output_string oc (to_string json);
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — a recursive-descent reader for the subset this module
+   emits, so the bench regression gate can read back its own committed
+   baselines without a JSON dependency. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text
+    && match c.text.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch -> c.pos <- c.pos + 1
+  | Some got -> parse_error "expected '%c' at offset %d, got '%c'" ch c.pos got
+  | None -> parse_error "expected '%c' at offset %d, got end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string c =
+  expect c '"';
+  let buffer = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+        c.pos <- c.pos + 1;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buffer '"'
+        | Some '\\' -> Buffer.add_char buffer '\\'
+        | Some '/' -> Buffer.add_char buffer '/'
+        | Some 'n' -> Buffer.add_char buffer '\n'
+        | Some 'r' -> Buffer.add_char buffer '\r'
+        | Some 't' -> Buffer.add_char buffer '\t'
+        | Some 'b' -> Buffer.add_char buffer '\b'
+        | Some 'f' -> Buffer.add_char buffer '\012'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.text then
+              parse_error "truncated \\u escape";
+            let code =
+              int_of_string ("0x" ^ String.sub c.text (c.pos + 1) 4)
+            in
+            (* The emitter only writes \u for control characters; decode
+               the Latin-1 range and reject the rest. *)
+            if code > 0xff then parse_error "unsupported \\u escape %04x" code;
+            Buffer.add_char buffer (Char.chr code);
+            c.pos <- c.pos + 4
+        | _ -> parse_error "invalid escape at offset %d" c.pos);
+        c.pos <- c.pos + 1;
+        go ()
+    | Some ch ->
+        Buffer.add_char buffer ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buffer
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+        c.pos <- c.pos + 1;
+        go ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        c.pos <- c.pos + 1;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  if !is_float then Float (float_of_string s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> Float (float_of_string s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else
+        let rec items acc =
+          let item = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              items (item :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (item :: acc)
+          | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+        in
+        List (items [])
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let key = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let value = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              fields ((key, value) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((key, value) :: acc)
+          | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+        in
+        Obj (fields [])
+  | Some ('0' .. '9' | '-') -> parse_number c
+  | Some ch -> parse_error "unexpected '%c' at offset %d" ch c.pos
+
+let parse text =
+  let c = { text; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  (match peek c with
+  | Some ch -> parse_error "trailing '%c' at offset %d" ch c.pos
+  | None -> ());
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* Accessors for picking benchmark fields out of parsed baselines. *)
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float x -> Some x
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_list_opt = function List items -> Some items | _ -> None

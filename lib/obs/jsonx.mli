@@ -1,9 +1,10 @@
-(** A minimal JSON value type and serializer.
+(** A minimal JSON value type, serializer, and parser.
 
     The repository bakes in no JSON library; the observability exporters
-    (Chrome trace files, machine-readable benchmark reports) need only
-    emission, never parsing, so this module provides exactly that.
-    Non-finite floats serialize as [null] — JSON has no NaN literal. *)
+    (Chrome trace files, machine-readable benchmark reports) emit through
+    this module, and the benchmark regression gate reads its committed
+    baselines back through {!read_file}.  Non-finite floats serialize as
+    [null] — JSON has no NaN literal. *)
 
 type t =
   | Null
@@ -18,3 +19,23 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** [write_file path json] writes [json] followed by a newline. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one JSON document.  Covers the subset this module emits (plus
+    insignificant whitespace); @raise Parse_error otherwise. *)
+
+val read_file : string -> t
+(** {!parse} the entire contents of a file. *)
+
+(** {2 Accessors} — total functions for walking parsed documents. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing fields and non-objects. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float. *)
+
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option

@@ -108,6 +108,9 @@ type exchange_sample = {
   flow_waits : int;
   flow_wait_s : float;
   per_producer : int array; (* packets sent by each producer rank *)
+  pool_allocated : int; (* fresh packets created by the lane pools *)
+  pool_reused : int; (* allocations served from a pool's free ring *)
+  pool_recycled : int; (* packets accepted back for reuse *)
   spawn_s : float;
   join_s : float;
   domains : int;
@@ -304,6 +307,9 @@ let exchange_sample_json sample =
         Jsonx.List
           (Array.to_list (Array.map (fun n -> Jsonx.Int n) sample.per_producer))
       );
+      ("pool_allocated", Jsonx.Int sample.pool_allocated);
+      ("pool_reused", Jsonx.Int sample.pool_reused);
+      ("pool_recycled", Jsonx.Int sample.pool_recycled);
       ("spawn_s", Jsonx.Float sample.spawn_s);
       ("join_s", Jsonx.Float sample.join_s);
       ("domains", Jsonx.Int sample.domains);

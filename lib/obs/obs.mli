@@ -67,9 +67,12 @@ type exchange_sample = {
   packets_received : int;
   records : int;
   max_queue_depth : int;
-  flow_waits : int;  (** sends that blocked on the flow-control semaphore *)
+  flow_waits : int;  (** sends that found their lane ring full *)
   flow_wait_s : float;  (** total time spent blocked there *)
   per_producer : int array;  (** packets sent by each producer rank *)
+  pool_allocated : int;  (** fresh packets created by the lane pools *)
+  pool_reused : int;  (** allocations served from a pool's free ring *)
+  pool_recycled : int;  (** packets accepted back for reuse *)
   spawn_s : float;  (** time to fork the producer group *)
   join_s : float;  (** time to join it at teardown *)
   domains : int;

@@ -96,6 +96,8 @@ let render r =
                 s.Obs.flow_waits (fmt_s s.Obs.flow_wait_s)
                 (String.concat ";"
                    (Array.to_list (Array.map string_of_int s.Obs.per_producer)));
+              add "%spool: %d allocated, %d reused, %d recycled" pad
+                s.Obs.pool_allocated s.Obs.pool_reused s.Obs.pool_recycled;
               if s.Obs.domains > 0 then
                 add "%sgroup: %d domains, spawn %s, join %s" pad s.Obs.domains
                   (fmt_s s.Obs.spawn_s) (fmt_s s.Obs.join_s)))

@@ -40,7 +40,8 @@ module Partition = struct
     let next = ref 0 in
     fun _tuple ->
       let c = !next in
-      next := (c + 1) mod consumers;
+      (* wrap by compare, not [mod]: this runs once per record *)
+      next := (if c + 1 = consumers then 0 else c + 1);
       c
 
   let hash ~consumers ~on () =

@@ -6,9 +6,24 @@ let get t i = t.(i)
 let int_exn t i = Value.int_exn t.(i)
 let float_exn t i = Value.float_exn t.(i)
 let str_exn t i = Value.str_exn t.(i)
-let of_ints xs = Array.of_list (List.map (fun x -> Value.Int x) xs)
+(* Both sit on per-record paths (generators, key extraction); building
+   the array directly skips the intermediate mapped list. *)
+let of_ints = function
+  | [] -> [||]
+  | x :: _ as xs ->
+      let a = Array.make (List.length xs) (Value.Int x) in
+      List.iteri (fun i x -> a.(i) <- Value.Int x) xs;
+      a
+
 let concat = Array.append
-let project t indices = Array.of_list (List.map (fun i -> t.(i)) indices)
+
+let project t indices =
+  match indices with
+  | [] -> [||]
+  | i :: _ as indices ->
+      let a = Array.make (List.length indices) t.(i) in
+      List.iteri (fun k i -> a.(k) <- t.(i)) indices;
+      a
 
 let compare a b =
   let la = Array.length a and lb = Array.length b in

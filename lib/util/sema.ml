@@ -2,16 +2,24 @@ type t = {
   mutex : Mutex.t;
   nonzero : Condition.t;
   mutable count : int;
+  mutable waiting : int; (* blocked acquirers, maintained under [mutex] *)
 }
 
 let create n =
   assert (n >= 0);
-  { mutex = Mutex.create (); nonzero = Condition.create (); count = n }
+  {
+    mutex = Mutex.create ();
+    nonzero = Condition.create ();
+    count = n;
+    waiting = 0;
+  }
 
 let acquire t =
   Mutex.lock t.mutex;
   while t.count = 0 do
-    Condition.wait t.nonzero t.mutex
+    t.waiting <- t.waiting + 1;
+    Condition.wait t.nonzero t.mutex;
+    t.waiting <- t.waiting - 1
   done;
   t.count <- t.count - 1;
   Mutex.unlock t.mutex
@@ -41,3 +49,9 @@ let value t =
   let v = t.count in
   Mutex.unlock t.mutex;
   v
+
+let waiters t =
+  Mutex.lock t.mutex;
+  let w = t.waiting in
+  Mutex.unlock t.mutex;
+  w

@@ -27,3 +27,8 @@ val release_n : t -> int -> unit
 val value : t -> int
 (** [value s] is the current value (for tests and instrumentation only; the
     value may change concurrently). *)
+
+val waiters : t -> int
+(** Number of acquirers currently blocked in {!acquire} — exact waiter
+    accounting, so a teardown path can release precisely what is needed
+    instead of flooding the count with a magic surplus. *)

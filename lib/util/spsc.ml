@@ -1,0 +1,66 @@
+(* Bounded single-producer/single-consumer ring.
+
+   The array size is the next power of two above [capacity] so slot
+   indexing is a mask, but occupancy is bounded by [capacity] itself —
+   callers that fold flow-control slack into the ring (Port) need the
+   bound to be exactly the configured slack, not its power-of-two
+   round-up.
+
+   Memory model: the producer publishes a slot with a plain write
+   followed by an atomic store of [tail]; the consumer's atomic load of
+   [tail] then makes the slot write visible (release/acquire
+   publication).  Symmetrically the consumer clears a slot before
+   advancing [head], so the producer never overwrites a slot the
+   consumer still reads.  Head and tail only ever move forward and only
+   by their owner, so neither side needs a retry loop. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  cap : int;
+  dummy : 'a; (* parked in empty slots so popped values are not retained *)
+  head : int Atomic.t; (* next index to pop; advanced only by the consumer *)
+  tail : int Atomic.t; (* next index to push; advanced only by the producer *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be positive";
+  let size = next_pow2 capacity in
+  {
+    slots = Array.make size dummy;
+    mask = size - 1;
+    cap = capacity;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.cap
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.cap then false
+  else begin
+    t.slots.(tail land t.mask) <- x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "volcano"
     [
       ("util", Test_util.suite);
+      ("spsc", Test_spsc.suite);
       ("tuple", Test_tuple.suite);
       ("storage", Test_storage.suite);
       ("storage-extra", Test_storage_extra.suite);

@@ -281,6 +281,77 @@ let test_deep_vertical_chain () =
   check (Alcotest.list Alcotest.int) "depth 7" (range 200)
     (sorted_ints (build 7 (Group.solo ())))
 
+(* The pool must never alias a live packet: an allocation may only return
+   a packet the consumer has explicitly recycled, and recycling must
+   reset it before the producer sees it again. *)
+let test_pool_no_premature_aliasing () =
+  let port = Port.create ~producers:1 ~consumers:1 ~flow_slack:4 () in
+  let p1 = Port.alloc port ~producer:0 ~consumer:0 ~capacity:5 in
+  Packet.add p1 (Tuple.of_ints [ 42 ]);
+  Port.send port ~producer:0 ~consumer:0 p1;
+  (* p1 is in flight (sent, not yet recycled): a fresh allocation must not
+     hand it out again. *)
+  let p2 = Port.alloc port ~producer:0 ~consumer:0 ~capacity:5 in
+  check Alcotest.bool "in-flight packet not re-allocated" false (p1 == p2);
+  (match Port.receive port ~consumer:0 with
+  | Some q ->
+      check Alcotest.bool "received the sent packet" true (q == p1);
+      check Alcotest.int "contents intact" 42 (Tuple.int_exn (Packet.get q 0) 0);
+      Port.recycle port ~consumer:0 q
+  | None -> Alcotest.fail "packet lost");
+  (* Only now may the pool serve p1 again — reset. *)
+  let p3 = Port.alloc port ~producer:0 ~consumer:0 ~capacity:5 in
+  check Alcotest.bool "recycled packet reused" true (p3 == p1);
+  check Alcotest.int "reused packet reset" 0 (Packet.length p3);
+  check Alcotest.bool "eos cleared" false (Packet.end_of_stream p3);
+  (* A recycled packet of the wrong shape must not leak across allocation
+     sites: ask for a different capacity and get a fresh packet. *)
+  Port.recycle port ~consumer:0 p2;
+  let p4 = Port.alloc port ~producer:0 ~consumer:0 ~capacity:7 in
+  check Alcotest.bool "capacity mismatch not reused" false (p4 == p2);
+  check Alcotest.int "ledger: allocated" 3 (Port.pool_allocated port);
+  check Alcotest.int "ledger: reused" 1 (Port.pool_reused port);
+  check Alcotest.int "ledger: recycled" 2 (Port.pool_recycled port)
+
+(* Pool ledger against port counters on a real parallel query, observed
+   through an Obs sample: every packet sent was either freshly allocated
+   or reused, and nothing is recycled that was never received. *)
+let test_pool_ledger_reconciles () =
+  let module Obs = Volcano_obs.Obs in
+  let module Plan = Volcano_plan.Plan in
+  let module Env = Volcano_plan.Env in
+  let module Compile = Volcano_plan.Compile in
+  let n = 1200 in
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:3 ~packet_size:5 ~flow_slack:(Some 2) ();
+        input =
+          Plan.Generate_slice
+            { arity = 1; count = n; gen = (fun i -> Tuple.of_ints [ i ]) };
+      }
+  in
+  let env = Env.create () in
+  let sink = Obs.create () in
+  let obs = Compile.observe sink plan in
+  check Alcotest.int "all rows arrive" n
+    (Iterator.consume (Compile.compile ~obs env plan));
+  let samples =
+    List.filter_map (fun node -> Obs.exchange_sample sink ~node) (Obs.nodes sink)
+  in
+  check Alcotest.int "one exchange sampled" 1 (List.length samples);
+  List.iter
+    (fun s ->
+      check Alcotest.int "allocated + reused = sent" s.Obs.packets_sent
+        (s.Obs.pool_allocated + s.Obs.pool_reused);
+      check Alcotest.bool "recycled <= received" true
+        (s.Obs.pool_recycled <= s.Obs.packets_received);
+      check Alcotest.bool "reused <= recycled" true
+        (s.Obs.pool_reused <= s.Obs.pool_recycled);
+      check Alcotest.bool "pool actually reused packets" true
+        (s.Obs.pool_reused > 0))
+    samples
+
 let suite =
   [
     Alcotest.test_case "parameter sweep" `Quick test_parameter_sweep;
@@ -305,4 +376,8 @@ let suite =
     Alcotest.test_case "producer exception propagates" `Quick
       test_producer_exception_propagates;
     Alcotest.test_case "deep vertical chain" `Quick test_deep_vertical_chain;
+    Alcotest.test_case "pool never aliases a live packet" `Quick
+      test_pool_no_premature_aliasing;
+    Alcotest.test_case "pool ledger reconciles with port counters" `Quick
+      test_pool_ledger_reconciles;
   ]

@@ -156,6 +156,65 @@ let test_disabled_identical () =
   check Alcotest.bool "results identical with obs on/off" true
     (run true = run false)
 
+(* The ring-path variants the plan above does not reach: a merge network
+   (keep-separate lanes drained with receive_from) and an unbounded port
+   (flow control off, the striped mutex-queue lanes).  Observation must
+   not perturb either — the [timed] flag only changes whether stall waits
+   read the clock, never what flows. *)
+let test_disabled_identical_ring_paths () =
+  let n = 600 in
+  let merge_plan =
+    Plan.Exchange_merge
+      {
+        cfg =
+          Exchange.config ~degree:3 ~packet_size:4 ~flow_slack:(Some 2) ();
+        key = [ (0, Volcano_tuple.Support.Asc) ];
+        input =
+          Plan.Sort
+            {
+              key = [ (0, Volcano_tuple.Support.Asc) ];
+              input =
+                Plan.Generate_slice
+                  {
+                    arity = 2;
+                    count = n;
+                    gen = (fun i -> Tuple.of_ints [ (7 * i) mod n; i ]);
+                  };
+            };
+      }
+  in
+  let unbounded_plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:3 ~packet_size:4 ~flow_slack:None ();
+        input =
+          Plan.Generate_slice
+            { arity = 2; count = n; gen = (fun i -> Tuple.of_ints [ i; i ]) };
+      }
+  in
+  List.iter
+    (fun (label, ordered, plan) ->
+      let run instrument =
+        let env = Env.create () in
+        let it =
+          if instrument then
+            Compile.compile ~obs:(Compile.observe (Obs.create ()) plan) env plan
+          else Compile.compile env plan
+        in
+        let rows = Iterator.to_list it in
+        (* A merge network's output order is deterministic (unique sort
+           keys here) and must not depend on being observed; a plain
+           multi-producer exchange interleaves nondeterministically either
+           way, so only its multiset is comparable. *)
+        if ordered then rows else List.sort Tuple.compare rows
+      in
+      check Alcotest.bool (label ^ " identical with obs on/off") true
+        (List.equal Tuple.equal (run true) (run false)))
+    [
+      ("merge network", true, merge_plan);
+      ("unbounded exchange", false, unbounded_plan);
+    ]
+
 let test_null_observe_adds_nothing () =
   let plan = parallel_plan 10 in
   let o = Compile.observe Obs.null plan in
@@ -197,6 +256,8 @@ let suite =
       test_exchange_invariants;
     Alcotest.test_case "obs-disabled results identical" `Quick
       test_disabled_identical;
+    Alcotest.test_case "obs-disabled identical on ring paths" `Quick
+      test_disabled_identical_ring_paths;
     Alcotest.test_case "null observe adds nothing" `Quick
       test_null_observe_adds_nothing;
     Alcotest.test_case "exporters well-formed" `Quick test_exporters;

@@ -236,6 +236,43 @@ let rec decorate rng plan =
       }
   else decorated
 
+(* --- stripping: the serial twin of a parallelized plan ---------------- *)
+
+(* Remove every exchange wrapper, yielding the serial plan the decorated
+   one encapsulates.  The paper's claim in one function: parallelism lives
+   entirely in the exchange operators, so deleting them must change the
+   process placement and nothing else.  Multiset-preserving by
+   construction — a [Generate_slice] under a degree-d group generates the
+   same total either way, and stripping an [Exchange_merge] keeps its
+   producers' sorts, losing only the merge order (the comparison below is
+   order-insensitive). *)
+let rec strip = function
+  | ( Plan.Scan_table _ | Plan.Scan_table_slice _ | Plan.Scan_index _
+    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _ ) as leaf ->
+      leaf
+  | Plan.Filter f -> Plan.Filter { f with input = strip f.input }
+  | Plan.Project_cols p -> Plan.Project_cols { p with input = strip p.input }
+  | Plan.Project_exprs p -> Plan.Project_exprs { p with input = strip p.input }
+  | Plan.Sort s -> Plan.Sort { s with input = strip s.input }
+  | Plan.Match m ->
+      Plan.Match { m with left = strip m.left; right = strip m.right }
+  | Plan.Cross { left; right } ->
+      Plan.Cross { left = strip left; right = strip right }
+  | Plan.Theta_join t ->
+      Plan.Theta_join { t with left = strip t.left; right = strip t.right }
+  | Plan.Aggregate a -> Plan.Aggregate { a with input = strip a.input }
+  | Plan.Distinct d -> Plan.Distinct { d with input = strip d.input }
+  | Plan.Division d ->
+      Plan.Division
+        { d with dividend = strip d.dividend; divisor = strip d.divisor }
+  | Plan.Limit l -> Plan.Limit { l with input = strip l.input }
+  | Plan.Choose c ->
+      Plan.Choose { c with alternatives = List.map strip c.alternatives }
+  | Plan.Exchange { input; _ }
+  | Plan.Exchange_merge { input; _ }
+  | Plan.Interchange { input; _ } ->
+      strip input
+
 (* --- the property ---------------------------------------------------- *)
 
 let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
@@ -266,6 +303,27 @@ let prop_exchange_invariance =
           [ 1; 2 ]
       in
       Bufpool.assert_quiescent ~what:"exchange invariance" (Env.buffer env);
+      ok)
+
+(* Differential lock on the exchange hot path: the decorated (parallel)
+   plan against its own stripped (serial) twin, across 1000 seeds.  The
+   invariance property above checks fewer, deeper plans against an
+   independently built serial original; this one floods the ring/pool/
+   wait machinery with many small parallel plans, where the packet counts
+   are low enough that end-of-stream, shutdown, and pool-recycling edges
+   dominate. *)
+let prop_serial_parallel_differential =
+  QCheck.Test.make ~name:"stripped serial twin matches across 1000 seeds"
+    ~count:1000
+    QCheck.(pair int64 (int_range 1 2))
+    (fun (seed, depth) ->
+      let env = Env.create ~frames:128 ~page_size:512 () in
+      let rng = Rng.create seed in
+      let parallel = decorate rng (random_plan rng depth) in
+      let serial = strip parallel in
+      let ok = sorted_run env parallel = sorted_run env serial in
+      Bufpool.assert_quiescent ~what:"serial/parallel differential"
+        (Env.buffer env);
       ok)
 
 (* --- the converse: rejected plans really are broken ------------------- *)
@@ -323,5 +381,6 @@ let prop_rejected_plans_misbehave =
 let suite =
   [
     QCheck_alcotest.to_alcotest ~long:false prop_exchange_invariance;
+    QCheck_alcotest.to_alcotest ~long:false prop_serial_parallel_differential;
     QCheck_alcotest.to_alcotest ~long:false prop_rejected_plans_misbehave;
   ]

@@ -34,6 +34,31 @@ let test_sema_blocking () =
   Domain.join d;
   check Alcotest.bool "woken" true (Atomic.get woke)
 
+let test_sema_waiters () =
+  let s = Sema.create 0 in
+  check Alcotest.int "no waiters" 0 (Sema.waiters s);
+  let d =
+    Domain.spawn (fun () ->
+        Sema.acquire s;
+        Sema.acquire s)
+  in
+  (* Wait for the domain to park (exact waiter accounting is the point:
+     a teardown can release precisely the number of blocked acquirers). *)
+  let rec await tries =
+    if Sema.waiters s = 1 then ()
+    else if tries = 0 then Alcotest.fail "waiter never parked"
+    else begin
+      Unix.sleepf 0.005;
+      await (tries - 1)
+    end
+  in
+  await 1000;
+  Sema.release_n s (Sema.waiters s);
+  await 1000;
+  Sema.release_n s (Sema.waiters s);
+  Domain.join d;
+  check Alcotest.int "all released" 0 (Sema.waiters s)
+
 let test_latch () =
   let l = Latch.create 3 in
   check Alcotest.bool "closed" false (Latch.is_open l);
@@ -198,6 +223,7 @@ let suite =
   [
     Alcotest.test_case "semaphore counting" `Quick test_sema_counting;
     Alcotest.test_case "semaphore blocking" `Quick test_sema_blocking;
+    Alcotest.test_case "semaphore waiter accounting" `Quick test_sema_waiters;
     Alcotest.test_case "latch" `Quick test_latch;
     Alcotest.test_case "barrier reusable" `Quick test_barrier;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;

@@ -68,6 +68,41 @@ let test_load_and_partitions () =
   in
   check Alcotest.int "partitioned scan" 300 (Compile.run_count e parallel)
 
+(* One realistic query run both ways: a selection and grouped aggregate
+   over the Wisconsin relation, parallelized GAMMA-style (partitioned
+   producers, hash repartitioning on the grouping key), against its
+   serial twin obtained by stripping every exchange out of the very same
+   plan tree. *)
+let test_serial_parallel_differential () =
+  let e = Env.create ~frames:256 () in
+  let open Volcano_tuple.Expr.Infix in
+  let pred =
+    Volcano_tuple.Expr.col (W.column "two") = Volcano_tuple.Expr.int 0
+  in
+  let filtered =
+    Plan.Filter { pred; mode = `Compiled; input = W.plan_slice ~n:3000 () }
+  in
+  let parallel =
+    Volcano_plan.Parallel.partitioned_aggregate ~degree:3 ~packet_size:7
+      ~algo:Plan.Hash_based
+      ~group_by:[ W.column "ten" ]
+      ~aggs:
+        [
+          Volcano_ops.Aggregate.Count;
+          Volcano_ops.Aggregate.Sum
+            (Volcano_tuple.Expr.Col (W.column "unique1"));
+        ]
+      filtered
+  in
+  let serial = Test_random_plans.strip parallel in
+  let sorted plan = List.sort Tuple.compare (Compile.run e plan) in
+  let serial_rows = sorted serial in
+  (* "two = 0" keeps even unique1 values; they hit only the even "ten"
+     groups. *)
+  check Alcotest.int "five groups" 5 (List.length serial_rows);
+  check Alcotest.bool "serial = parallel" true
+    (List.equal Tuple.equal serial_rows (sorted parallel))
+
 let test_skewed_generator () =
   let g = W.skewed_generator ~n:5000 ~key_space:100 ~theta:1.2 () in
   let counts = Hashtbl.create 100 in
@@ -86,5 +121,7 @@ let suite =
     Alcotest.test_case "derived columns" `Quick test_derived_columns;
     Alcotest.test_case "selectivity" `Quick test_selectivity;
     Alcotest.test_case "load with partitions" `Quick test_load_and_partitions;
+    Alcotest.test_case "serial = parallel differential" `Quick
+      test_serial_parallel_differential;
     Alcotest.test_case "skewed generator" `Quick test_skewed_generator;
   ]
