@@ -173,9 +173,15 @@ let run () =
 (* Regression gate: --check BASELINE [--tolerance T]                   *)
 
 (* Re-measure the sweep and compare each packet size's min-of-N wall time
-   against the committed baseline.  Exceeding baseline * (1 + tolerance)
-   at any point is a regression.  Baselines from a different record count
-   are incomparable and rejected outright. *)
+   against the committed baseline.  Exceeding
+   baseline * (1 + tolerance) + noise_floor at any point is a
+   regression: the absolute floor matters now that the fast end of the
+   sweep is single-digit milliseconds, where scheduler jitter alone
+   exceeds any sane relative tolerance (it is invisible on the slow
+   points).  Baselines from a different record count are incomparable
+   and rejected outright. *)
+let noise_floor_s = 0.003
+
 let check ~baseline ~tolerance =
   let doc =
     try Jsonx.read_file baseline
@@ -211,8 +217,8 @@ let check ~baseline ~tolerance =
   in
   header
     (Printf.sprintf
-       "Regression check vs %s (min of %d runs, tolerance %+.0f%%)" baseline
-       bench_reps (tolerance *. 100.0));
+       "Regression check vs %s (min of %d runs, tolerance %+.0f%% + %.0f ms)"
+       baseline bench_reps (tolerance *. 100.0) (noise_floor_s *. 1e3));
   row "%8s %14s %14s %9s  %s\n" "packet" "baseline (s)" "now (s)" "ratio"
     "verdict";
   hline 58;
@@ -234,7 +240,7 @@ let check ~baseline ~tolerance =
       (fun (packet_size, base) ->
         let now = List.assoc packet_size now_by_size in
         let ratio = now /. base in
-        let regressed = now > base *. (1.0 +. tolerance) in
+        let regressed = now > (base *. (1.0 +. tolerance)) +. noise_floor_s in
         row "%8d %14.4f %14.4f %9.2f  %s\n" packet_size base now ratio
           (if regressed then "REGRESSED"
            else if ratio < 1.0 then "improved"

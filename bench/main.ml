@@ -3,12 +3,16 @@
 
    Usage:  dune exec bench/main.exe [-- experiment ...] [--json FILE]
            dune exec bench/main.exe -- --check BASELINE [--tolerance T]
-   Experiments: t1 fig2 a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
+           dune exec bench/main.exe -- --check-mq BASELINE [--tolerance T]
+   Experiments: t1 fig2 mq a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
    --check re-measures the fig2 sweep against a committed baseline JSON
    and exits nonzero when any packet size regresses beyond the tolerance
-   (default 0.15); `dune build @bench-smoke` runs exactly this.
+   (default 0.15); --check-mq does the same for the concurrent-query
+   bench against BENCH_mq.json and additionally enforces the pooled
+   scheduler's 2x-over-dedicated throughput floor; `dune build
+   @bench-smoke` runs both.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000),
                 VOLCANO_BENCH_REPS (default 6; gated timings are
@@ -18,6 +22,7 @@ let experiments =
   [
     ("t1", Bench_t1.run);
     ("fig2", Bench_fig2.run);
+    ("mq", Bench_mq.run);
     ("a1", Bench_ablations.a1_flow_slack);
     ("a2", Bench_ablations.a2_fork_scheme);
     ("a3", Bench_ablations.a3_partition_balance);
@@ -33,6 +38,7 @@ type opts = {
   names : string list;
   json : string option;
   check : string option;
+  check_mq : string option;
   tolerance : float;
 }
 
@@ -45,6 +51,11 @@ let rec split_args opts = function
   | "--check" :: path :: rest -> split_args { opts with check = Some path } rest
   | "--check" :: [] ->
       prerr_endline "--check requires a BASELINE argument";
+      exit 2
+  | "--check-mq" :: path :: rest ->
+      split_args { opts with check_mq = Some path } rest
+  | "--check-mq" :: [] ->
+      prerr_endline "--check-mq requires a BASELINE argument";
       exit 2
   | "--tolerance" :: t :: rest -> (
       match float_of_string_opt t with
@@ -61,12 +72,16 @@ let rec split_args opts = function
 let () =
   let opts =
     split_args
-      { names = []; json = None; check = None; tolerance = 0.15 }
+      { names = []; json = None; check = None; check_mq = None; tolerance = 0.15 }
       (List.tl (Array.to_list Sys.argv))
   in
   (match opts.check with
   | Some baseline ->
       exit (if Bench_fig2.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
+  | None -> ());
+  (match opts.check_mq with
+  | Some baseline ->
+      exit (if Bench_mq.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
   | None -> ());
   let names, json_path = (opts.names, opts.json) in
   let requested =

@@ -1,17 +1,22 @@
 (* The volcano command-line interface: run and explain demo queries over a
    generated Wisconsin relation, serially or parallelized with exchange.
 
+   Queries execute through the [Session] facade: a session owns the
+   environment, the worker-pool scheduler, and the multi-query runtime;
+   [--workers] sizes a private pool for the invocation.
+
    Examples:
      volcano list
      volcano explain parallel-join --degree 4
      volcano run aggregate --rows 50000
-     volcano run parallel-sort --degree 3 --rows 100000
+     volcano run parallel-sort --degree 3 --rows 100000 --workers 8
      volcano analyze bad-plan --degree 3
      volcano sim --packet-size 5 *)
 
 module Plan = Volcano_plan.Plan
 module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
 module Exchange = Volcano.Exchange
 module Expr = Volcano_tuple.Expr
@@ -225,6 +230,8 @@ let list_cmd () =
   List.iter (fun q -> Printf.printf "%-20s %s\n" q.name q.describe) queries;
   0
 
+(* Catalog-only commands need no scheduler; the lazy [Env] never spins
+   up the pool when all we do is pretty-print the plan. *)
 let explain_cmd name rows degree =
   match find_query name with
   | Error e ->
@@ -234,6 +241,8 @@ let explain_cmd name rows degree =
       let env = Env.create () in
       print_string (Plan.explain env (q.build ~rows ~degree));
       0
+
+let with_sess workers f = Session.with_session ?workers ~frames:2048 f
 
 let analyze_cmd name rows degree =
   match find_query name with
@@ -248,15 +257,15 @@ let analyze_cmd name rows degree =
       Format.printf "%a" Volcano_analysis.Diag.pp_report diags;
       if List.exists Volcano_analysis.Diag.is_error diags then 1 else 0
 
-let run_cmd name rows degree limit =
+let run_cmd name rows degree limit workers =
   match find_query name with
   | Error e ->
       prerr_endline e;
       2
   | Ok q -> (
-      let env = Env.create ~frames:2048 () in
+      with_sess workers @@ fun s ->
       let plan = q.build ~rows ~degree in
-      match Clock.time (fun () -> Compile.run env plan) with
+      match Clock.time (fun () -> Session.exec s plan) with
       | exception Compile.Rejected errors ->
           prerr_endline "plan rejected by the static analyzer:";
           List.iter
@@ -273,15 +282,15 @@ let run_cmd name rows degree limit =
               (List.length result - limit);
           0)
 
-let profile_cmd name rows degree trace json =
+let profile_cmd name rows degree trace json workers =
   match find_query name with
   | Error e ->
       prerr_endline e;
       2
   | Ok q -> (
-      let env = Env.create ~frames:2048 () in
+      with_sess workers @@ fun s ->
       let plan = q.build ~rows ~degree in
-      match Volcano_plan.Profile.run env plan with
+      match Session.profile s plan with
       | exception Compile.Rejected errors ->
           prerr_endline "plan rejected by the static analyzer:";
           List.iter
@@ -326,6 +335,15 @@ let degree_arg =
 let limit_arg =
   Arg.(value & opt int 10 & info [ "limit" ] ~docv:"K" ~doc:"Rows to print.")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"W"
+        ~doc:
+          "Size of the session's private worker pool (default: the shared \
+           process-wide pool, sized to the machine).")
+
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
 
@@ -335,7 +353,9 @@ let explain_term = Term.(const explain_cmd $ name_arg $ rows_arg $ degree_arg)
 
 let analyze_term = Term.(const analyze_cmd $ name_arg $ rows_arg $ degree_arg)
 
-let run_term = Term.(const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg)
+let run_term =
+  Term.(
+    const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg $ workers_arg)
 
 let profile_term =
   let trace =
@@ -353,7 +373,8 @@ let profile_term =
           ~doc:"Write the machine-readable profile report.")
   in
   Term.(
-    const profile_cmd $ name_arg $ rows_arg $ degree_arg $ trace $ json)
+    const profile_cmd $ name_arg $ rows_arg $ degree_arg $ trace $ json
+    $ workers_arg)
 
 let sim_term =
   let packet =

@@ -22,6 +22,8 @@ let n = 50_000
 let key_of tuple = Printf.sprintf "%010d" (Tuple.int_exn tuple (W.column "unique1"))
 
 let () =
+  (* This example works at the iterator level, below plans and sessions:
+     a bare environment (buffer pool + workspace) is all it needs. *)
   let env = Env.create ~frames:4096 () in
   W.load ~env ~name:"wisc" ~n ();
   let file, _ = Env.table env "wisc" in

@@ -17,8 +17,7 @@
    Run with: dune exec examples/bushy_pipeline.exe *)
 
 module Plan = Volcano_plan.Plan
-module Env = Volcano_plan.Env
-module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Exchange = Volcano.Exchange
 module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
@@ -28,7 +27,8 @@ module Clock = Volcano_util.Clock
 let n = 100_000
 
 let () =
-  let env = Env.create ~frames:512 () in
+  Session.with_session ~frames:512 @@ fun s ->
+  let env = Session.env s in
   (* D: partitioned generation of the stored data.
      C: a selection; B: a projection; A: the root aggregation. *)
   let d = W.plan_slice ~n () in
@@ -56,7 +56,7 @@ let () =
   in
   print_string "-- the eight-process plan --\n";
   print_string (Plan.explain env a);
-  let rows, time = Clock.time (fun () -> Compile.run env a) in
+  let rows, time = Clock.time (fun () -> Session.exec s a) in
   Printf.printf "\n%d records flowed D -> C -> B -> A across 8 processes in %.3f s\n\n"
     (n / 10) time;
   List.iter

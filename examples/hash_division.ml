@@ -12,8 +12,7 @@
    Run with: dune exec examples/hash_division.exe *)
 
 module Plan = Volcano_plan.Plan
-module Env = Volcano_plan.Env
-module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Exchange = Volcano.Exchange
 module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
@@ -56,11 +55,11 @@ let division ~dividend ~divisor algo =
     { algo; quotient = [ 0 ]; divisor_attrs = [ 1 ]; divisor_key = [ 0 ];
       dividend; divisor }
 
-let run_sorted env plan =
-  List.sort Tuple.compare (Compile.run env plan)
+let run_sorted s plan = List.sort Tuple.compare (Session.exec s plan)
 
 let () =
-  let env = Env.create ~frames:1024 () in
+  Session.with_session ~frames:1024 @@ fun s ->
+  let env = Session.env s in
   Printf.printf "enrollment rows: %d; required courses: %d\n\n"
     (List.length dividend_tuples) (List.length required);
 
@@ -69,7 +68,7 @@ let () =
   List.iter
     (fun (name, algo) ->
       let plan = division ~dividend ~divisor algo in
-      let rows, time = Clock.time (fun () -> run_sorted env plan) in
+      let rows, time = Clock.time (fun () -> run_sorted s plan) in
       if !reference = [] then reference := rows
       else assert (List.equal Tuple.equal !reference rows);
       Printf.printf "%-16s %4d students qualify   %.3f s\n" name
@@ -106,7 +105,7 @@ let () =
   in
   print_string "\n-- quotient partitioning --\n";
   print_string (Plan.explain env quotient_partitioned);
-  let rows, time = Clock.time (fun () -> run_sorted env quotient_partitioned) in
+  let rows, time = Clock.time (fun () -> run_sorted s quotient_partitioned) in
   assert (List.equal Tuple.equal !reference rows);
   Printf.printf "quotient-partitioned: %d students, %.3f s\n" (List.length rows) time;
 
@@ -169,6 +168,6 @@ let () =
   in
   print_string "\n-- divisor partitioning --\n";
   print_string (Plan.explain env divisor_partitioned);
-  let rows, time = Clock.time (fun () -> run_sorted env divisor_partitioned) in
+  let rows, time = Clock.time (fun () -> run_sorted s divisor_partitioned) in
   assert (List.equal Tuple.equal !reference rows);
   Printf.printf "divisor-partitioned: %d students, %.3f s\n" (List.length rows) time

@@ -5,15 +5,15 @@
    Run with: dune exec examples/parallel_join.exe *)
 
 module Plan = Volcano_plan.Plan
-module Env = Volcano_plan.Env
-module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
 module W = Volcano_wisconsin.Wisconsin
 module Tuple = Volcano_tuple.Tuple
 module Clock = Volcano_util.Clock
 
 let () =
-  let env = Env.create ~frames:1024 ~page_size:4096 () in
+  Session.with_session ~frames:1024 ~page_size:4096 @@ fun s ->
+  let env = Session.env s in
   let n_left = 40_000 and n_right = 10_000 in
   let left = W.plan ~seed:1L ~n:n_left () in
   let right = W.plan ~seed:2L ~n:n_right () in
@@ -42,7 +42,7 @@ let () =
   print_string "-- serial hash join --\n";
   print_string (Plan.explain env serial);
   let serial_count, serial_time =
-    Clock.time (fun () -> Compile.run_count env serial)
+    Clock.time (fun () -> Session.exec_count s serial)
   in
   Printf.printf "result: %d rows in %.3f s\n\n" serial_count serial_time;
 
@@ -50,7 +50,7 @@ let () =
   print_string (Plan.explain env (parallel 4));
   List.iter
     (fun degree ->
-      let count, time = Clock.time (fun () -> Compile.run_count env (parallel degree)) in
+      let count, time = Clock.time (fun () -> Session.exec_count s (parallel degree)) in
       assert (count = serial_count);
       Printf.printf "degree %d: %d rows in %.3f s\n" degree count time)
     [ 1; 2; 4 ];

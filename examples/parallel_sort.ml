@@ -12,7 +12,7 @@
 
 module Plan = Volcano_plan.Plan
 module Env = Volcano_plan.Env
-module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
 module Exchange = Volcano.Exchange
 module Support = Volcano_tuple.Support
@@ -33,11 +33,12 @@ let is_sorted rows =
   walk rows
 
 let () =
-  let env = Env.create ~frames:2048 ~page_size:4096 () in
+  Session.with_session ~frames:2048 ~page_size:4096 @@ fun s ->
+  let env = Session.env s in
   Env.set_sort_run_capacity env 8_192 (* force external runs *);
 
   let serial = Plan.Sort { key; input = W.plan ~n () } in
-  let rows, time = Clock.time (fun () -> Compile.run env serial) in
+  let rows, time = Clock.time (fun () -> Session.exec s serial) in
   assert (is_sorted rows);
   Printf.printf "serial external sort:        %d rows in %.3f s\n%!"
     (List.length rows) time;
@@ -48,7 +49,7 @@ let () =
   in
   print_string "\n-- merge network (degree 3) --\n";
   print_string (Plan.explain env (merge_network 3));
-  let rows2, time2 = Clock.time (fun () -> Compile.run env (merge_network 3)) in
+  let rows2, time2 = Clock.time (fun () -> Session.exec s (merge_network 3)) in
   assert (is_sorted rows2);
   assert (List.length rows2 = n);
   Printf.printf "merge network sort:           %d rows in %.3f s\n%!"
@@ -84,7 +85,7 @@ let () =
   in
   print_string "\n-- range-partitioned sort, no-fork interchange --\n";
   print_string (Plan.explain env range_partitioned);
-  let rows3, time3 = Clock.time (fun () -> Compile.run env range_partitioned) in
+  let rows3, time3 = Clock.time (fun () -> Session.exec s range_partitioned) in
   assert (is_sorted rows3);
   assert (List.length rows3 = n);
   Printf.printf "range-partitioned sort:       %d rows in %.3f s\n"

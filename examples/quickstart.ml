@@ -2,19 +2,22 @@
    then run the same query with the subtree in its own process — the
    smallest possible use of the exchange operator.
 
+   A [Session] bundles the environment (buffer pool + workspace device),
+   the worker-pool scheduler, and the multi-query runtime behind one
+   handle; [Session.exec] compiles and drains a plan.
+
    Run with: dune exec examples/quickstart.exe *)
 
 module Plan = Volcano_plan.Plan
-module Env = Volcano_plan.Env
-module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
 module W = Volcano_wisconsin.Wisconsin
 module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
 
 let () =
-  (* An environment is a buffer pool plus a virtual workspace device. *)
-  let env = Env.create ~frames:512 ~page_size:4096 () in
+  Session.with_session ~frames:512 ~page_size:4096 @@ fun s ->
+  let env = Session.env s in
 
   (* Materialize 10,000 Wisconsin rows as a stored table. *)
   W.load ~env ~name:"wisc" ~n:10_000 ();
@@ -43,7 +46,7 @@ let () =
   in
   print_string "\n-- serial plan --\n";
   print_string (Plan.explain env query);
-  let rows = Compile.run env query in
+  let rows = Session.exec s query in
   List.iter
     (fun t ->
       Printf.printf "ten=%d  count=%d  sum=%d\n" (Tuple.int_exn t 0)
@@ -55,7 +58,7 @@ let () =
   let parallel_query = Parallel.pipeline query in
   print_string "\n-- with one exchange on top --\n";
   print_string (Plan.explain env parallel_query);
-  let rows_parallel = Compile.run env parallel_query in
+  let rows_parallel = Session.exec s parallel_query in
   assert (
     List.sort Tuple.compare rows = List.sort Tuple.compare rows_parallel);
   Printf.printf "parallel run returned the same %d groups\n"

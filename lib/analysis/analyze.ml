@@ -201,22 +201,13 @@ let exchange_pass root =
   (* [consumers] is the size of the group the node executes in — the
      consumer count of any exchange sitting at this position. *)
   let check_cfg path ~consumers (cfg : Ir.cfg) =
-    if cfg.degree < 1 then
-      err path "exchange-degree"
-        (Printf.sprintf "degree %d: must fork at least one producer"
-           cfg.degree);
-    if cfg.packet_size < 1 || cfg.packet_size > 255 then
-      err path "exchange-packet-size"
-        (Printf.sprintf
-           "packet size %d outside [1, 255] (the record count is a one-byte \
-            packet field)"
-           cfg.packet_size);
-    (match cfg.flow_slack with
-    | Some n when n < 1 ->
-        err path "exchange-flow-slack"
-          (Printf.sprintf
-             "flow-control slack %d: producers could never send a packet" n)
-    | _ -> ());
+    (* The scalar-field checks are the runtime's own: one validation path
+       shared with the [Exchange.config] smart constructor, so planlint
+       can never drift from what the constructor accepts. *)
+    List.iter
+      (fun (code, msg) -> err path code msg)
+      (Volcano.Exchange.validate ~degree:cfg.degree
+         ~packet_size:cfg.packet_size ~flow_slack:cfg.flow_slack);
     match cfg.partition with
     | Ir.Range_on (_, bounds) when bounds <> consumers - 1 ->
         err path "exchange-range-bounds"

@@ -1,7 +1,7 @@
-module Sema = Volcano_util.Sema
 module Support = Volcano_tuple.Support
 module Injector = Volcano_fault.Injector
 module Obs = Volcano_obs.Obs
+module Sched = Volcano_sched.Sched
 
 exception Query_failed of { site : string; origin : exn }
 
@@ -34,28 +34,44 @@ module Scope = struct
   type t = {
     lock : Mutex.t;
     mutable fired : bool;
+    mutable reason : exn option; (* Some: poisoned, not merely cancelled *)
     mutable ports : Port.t list;
   }
 
-  let create () = { lock = Mutex.create (); fired = false; ports = [] }
+  let create () =
+    { lock = Mutex.create (); fired = false; reason = None; ports = [] }
 
   let register t port =
     Mutex.lock t.lock;
-    let already = t.fired in
-    if not already then t.ports <- port :: t.ports;
+    let already = if t.fired then Some t.reason else None in
+    (match already with None -> t.ports <- port :: t.ports | Some _ -> ());
     Mutex.unlock t.lock;
     (* Born cancelled: the subtree is already being torn down. *)
-    if already then Port.shutdown port
+    match already with
+    | Some (Some exn) -> Port.poison port exn
+    | Some None -> Port.shutdown port
+    | None -> ()
 
-  let cancel t =
+  let fire t reason =
     Mutex.lock t.lock;
     let ports = if t.fired then [] else t.ports in
     t.fired <- true;
+    if Option.is_none t.reason then t.reason <- reason;
     t.ports <- [];
     Mutex.unlock t.lock;
     (* Each shutdown chains into that port's own scope via its
        [on_shutdown] hook, cancelling the tree recursively. *)
-    List.iter Port.shutdown ports
+    match reason with
+    | None -> List.iter Port.shutdown ports
+    | Some exn -> List.iter (fun port -> Port.poison port exn) ports
+
+  let cancel t = fire t None
+
+  (* Poison, not shutdown: a plain shutdown ends the streams quietly
+     (drain-then-None), which for a runtime-initiated cancellation would
+     let the query "succeed" truncated.  Poisoning records the reason so
+     the consumer's next raises [Query_failed] instead. *)
+  let poison t exn = fire t (Some exn)
 
   let cancelled t =
     Mutex.lock t.lock;
@@ -81,17 +97,28 @@ type config = {
   fork_mode : fork_mode;
 }
 
+(* The one validation path, shared by the smart constructor below and by
+   planlint's exchange pass: a diagnosis is a (code, message) pair whose
+   code matches the analyzer's diagnostic codes. *)
+let validate ~degree ~packet_size ~flow_slack =
+  let problems = ref [] in
+  let problem code msg = problems := (code, msg) :: !problems in
+  if degree < 1 then problem "exchange-degree" "degree must be positive";
+  if packet_size < 1 || packet_size > Packet.max_capacity then
+    problem "exchange-packet-size"
+      (Printf.sprintf "packet size must be in [1, %d]" Packet.max_capacity);
+  (match flow_slack with
+  | Some slack when slack < 1 ->
+      problem "exchange-flow-slack" "flow-control slack must be positive"
+  | Some _ | None -> ());
+  List.rev !problems
+
 let config ?(degree = 1) ?(packet_size = Packet.default_capacity)
     ?(flow_slack = Some 4) ?(partition = Round_robin) ?(fork_mode = Fork_tree)
     () =
-  if degree < 1 then invalid_arg "Exchange.config: degree must be positive";
-  if packet_size < 1 || packet_size > Packet.max_capacity then
-    invalid_arg "Exchange.config: packet size must be in [1, 255]";
-  (match flow_slack with
-  | Some slack when slack < 1 ->
-      invalid_arg "Exchange.config: flow-control slack must be positive"
-  | Some _ | None -> ());
-  { degree; packet_size; flow_slack; partition; fork_mode }
+  match validate ~degree ~packet_size ~flow_slack with
+  | [] -> { degree; packet_size; flow_slack; partition; fork_mode }
+  | (_, msg) :: _ -> invalid_arg ("Exchange.config: " ^ msg)
 
 let id_counter = Atomic.make 0
 let fresh_id () = Atomic.fetch_and_add id_counter 1
@@ -103,17 +130,21 @@ let domains_joined () = Atomic.get join_counter
 let live_domains () = Atomic.get live_counter
 let unjoined_domains () = domains_spawned () - domains_joined ()
 
-let spawn_domain body =
+(* Producers are scheduler tasks, not dedicated domains: the counters keep
+   their historical names but count tasks submitted to [sched].  Under a
+   pool scheduler many tasks share a few worker domains; under
+   [Sched.dedicated] each task still gets its own domain. *)
+let spawn_task sched body =
   Atomic.incr spawn_counter;
   Atomic.incr live_counter;
-  Domain.spawn (fun () ->
+  Sched.fork sched (fun () ->
       Fun.protect ~finally:(fun () -> Atomic.decr live_counter) body)
 
-(* Join, absorbing the domain's exception: producer failures reach the
+(* Await, absorbing the task's exception: producer failures reach the
    consumer through port poisoning, never through join — a raising join
-   would abort teardown half-way and leak the remaining domains. *)
-let join_quiet d =
-  (try Domain.join d with _ -> ());
+   would abort teardown half-way and leak the remaining tasks. *)
+let join_quiet task =
+  ignore (Sched.await task : (unit, exn) result);
   Atomic.incr join_counter
 
 let instantiate_partition spec ~consumers =
@@ -192,8 +223,10 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
       flush consumer ~eos:true
     done;
   (* "waits until the consumer allows closing all open files" — records may
-     still be in flight or pinned by consumers (section 4.1). *)
-  Sema.acquire close_allowed;
+     still be in flight or pinned by consumers (section 4.1).  The gate is
+     a broadcast event: waiting suspends a pooled producer instead of
+     occupying its worker domain. *)
+  Sched.Event.wait close_allowed;
   iter_slot := None;
   Iterator.close iter
 
@@ -204,7 +237,11 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
    The consumer re-raises the cause from its [next] as [Query_failed]. *)
 let run_producer cfg faults port close_allowed group input =
   let iter_slot = ref None in
-  try run_producer_inner cfg faults port close_allowed group iter_slot input
+  try
+    (* Fires at the very start of the scheduled task, before the subtree
+       even opens — a failure here must still poison the port. *)
+    Injector.hit faults Volcano_fault.Sched_task;
+    run_producer_inner cfg faults port close_allowed group iter_slot input
   with exn ->
     Port.poison port exn;
     (* Siblings may be blocked in [Group.lookup_port] for a nested port
@@ -232,34 +269,35 @@ module For_testing = struct
   let children_of = children_of
 end
 
-(* Fork the producer group; returns a function that joins all of it.  The
-   joiner joins every domain and never raises: a failed producer already
-   reported through the poisoned port. *)
-let spawn_producers cfg faults port close_allowed input =
+(* Fork the producer group as scheduler tasks; returns a function that
+   joins all of it.  The joiner awaits every task and never raises: a
+   failed producer already reported through the poisoned port. *)
+let spawn_producers sched cfg faults port close_allowed input =
   let shared = Group.make_shared ~size:cfg.degree in
   let run rank =
     run_producer cfg faults port close_allowed (Group.attach shared ~rank) input
   in
   match cfg.fork_mode with
   | Fork_central ->
-      let domains =
-        List.init cfg.degree (fun rank -> spawn_domain (fun () -> run rank))
+      let tasks =
+        List.init cfg.degree (fun rank ->
+            spawn_task sched (fun () -> run rank))
       in
-      fun () -> List.iter join_quiet domains
+      fun () -> List.iter join_quiet tasks
   | Fork_tree ->
       let rec subtree rank () =
         let spawned =
           List.map
-            (fun child -> spawn_domain (subtree child))
+            (fun child -> spawn_task sched (subtree child))
             (children_of rank cfg.degree)
         in
         (* Join the forked children even when this rank dies, or their
-           domains would leak on a mid-tree failure. *)
+           tasks would leak on a mid-tree failure. *)
         Fun.protect
           ~finally:(fun () -> List.iter join_quiet spawned)
           (fun () -> run rank)
       in
-      let root = spawn_domain (subtree 0) in
+      let root = spawn_task sched (subtree 0) in
       fun () -> join_quiet root
 
 (* ------------------------------------------------------------------ *)
@@ -267,7 +305,7 @@ let spawn_producers cfg faults port close_allowed input =
 
 type consumer_state = {
   port : Port.t;
-  close_allowed : Sema.t;
+  close_allowed : Sched.Event.t;
   joiner : (unit -> unit) option; (* master only *)
   recv : unit -> Packet.t option;
   (* receive and recycle are built once at open: [next] runs per record
@@ -280,7 +318,7 @@ type consumer_state = {
 }
 
 let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
-    ?parent_scope ?scope ?obs cfg ~id ~group ~input =
+    ?parent_scope ?scope ?obs ~sched cfg ~id ~group ~input =
   if Group.is_master group then begin
     let on_shutdown =
       match scope with Some s -> fun () -> Scope.cancel s | None -> fun () -> ()
@@ -291,9 +329,9 @@ let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
         ~timed:(Option.is_some obs) ()
     in
     (match parent_scope with Some s -> Scope.register s port | None -> ());
-    let close_allowed = Sema.create 0 in
+    let close_allowed = Sched.Event.create () in
     let spawn_t0 = if Option.is_some obs then Obs.now () else 0.0 in
-    let joiner = spawn_producers cfg faults port close_allowed input in
+    let joiner = spawn_producers sched cfg faults port close_allowed input in
     let joiner =
       match obs with
       | None -> joiner
@@ -322,14 +360,14 @@ let setup_consumer ?(keep_separate = false) ?(faults = Injector.none)
             join_s := !join_s +. (Obs.now () -. t0)
     in
     Group.publish_port group ~key:id port;
-    (* The semaphore rides along for non-master members (unused by them). *)
+    (* The event rides along for non-master members (unused by them). *)
     (port, close_allowed, Some joiner)
   end
   else
     let port = Group.lookup_port group ~key:id in
-    (port, Sema.create 0, None)
+    (port, Sched.Event.create (), None)
 
-let teardown_consumer cfg ~group state =
+let teardown_consumer ~group state =
   if Group.is_master group then begin
     (* Early close: cancel the producers.  The shutdown releases any
        flow-control slack they are blocked on and (via the shutdown chain)
@@ -339,7 +377,7 @@ let teardown_consumer cfg ~group state =
        still be draining their queues, and producers stop sending the
        moment they see the port down. *)
     if not state.finished then Port.shutdown state.port;
-    Sema.release_n state.close_allowed cfg.degree;
+    Sched.Event.fire state.close_allowed;
     match state.joiner with Some join -> join () | None -> ()
   end
 
@@ -383,9 +421,10 @@ let consume_packets state =
   in
   step ()
 
-let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
-    ~group ~input =
+let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs ?sched
+    cfg ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
+  let sched = match sched with Some s -> s | None -> Sched.default () in
   let state = ref None in
   let get_state () =
     match !state with
@@ -395,7 +434,8 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
   Iterator.make
     ~open_:(fun () ->
       let port, close_allowed, joiner =
-        setup_consumer ~faults ?parent_scope ?scope ?obs cfg ~id ~group ~input
+        setup_consumer ~faults ?parent_scope ?scope ?obs ~sched cfg ~id ~group
+          ~input
       in
       let consumer = Group.rank group in
       state :=
@@ -428,30 +468,49 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
       match !state with
       | None -> ()
       | Some s ->
-          teardown_consumer cfg ~group s;
+          teardown_consumer ~group s;
           state := None)
 
 (* Keep-separate variant: one stream per producer, so that "the merge
    iterator [can] distinguish the input records by their producer"
    (section 4.4).  The streams share setup and teardown via refcounts. *)
 let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
-    cfg ~group ~input =
+    ?sched cfg ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
+  let sched = match sched with Some s -> s | None -> Sched.default () in
   let shared = ref None in
   let open_count = ref 0 in
   let close_count = ref 0 in
   let lock = Mutex.create () in
+  let ready = Sched.Event.create () in
+  (* [setup_consumer] can suspend the calling fiber (a non-master rank
+     waits for the master's port publication), so it must run OUTSIDE
+     [lock]: a suspension would unwind the fiber off its worker with the
+     pthread mutex still owned by that worker thread — later lockers
+     would deadlock against an idle worker, and the resumed fiber would
+     unlock from the wrong thread.  The counter mutex therefore only
+     elects the first opener; racers park on [ready] instead.  (In
+     practice all [degree] streams are opened by the one consumer fiber
+     that merges them, so the wait is never exercised — this is
+     belt-and-braces for exotic callers.) *)
   let ensure_open () =
     Mutex.lock lock;
-    if !open_count = 0 then begin
-      let port, close_allowed, joiner =
-        setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope ?obs
-          cfg ~id ~group ~input
-      in
-      shared := Some (port, close_allowed, joiner)
-    end;
+    let first = !open_count = 0 in
     incr open_count;
-    Mutex.unlock lock
+    Mutex.unlock lock;
+    if first then
+      Fun.protect
+        ~finally:(fun () -> Sched.Event.fire ready)
+        (fun () ->
+          shared :=
+            Some
+              (setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope
+                 ?obs ~sched cfg ~id ~group ~input))
+    else begin
+      Sched.Event.wait ready;
+      if !shared = None then
+        failwith "Exchange.producer_streams: shared setup failed"
+    end
   in
   let all_finished = Array.make cfg.degree false in
   let release () =
@@ -463,7 +522,7 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
       match !shared with
       | Some (port, close_allowed, joiner) ->
           if Array.exists not all_finished then Port.shutdown port;
-          Sema.release_n close_allowed cfg.degree;
+          Sched.Event.fire close_allowed;
           (match joiner with Some join -> join () | None -> ());
           shared := None
       | None -> ()
@@ -608,7 +667,7 @@ let interchange ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
         Some
           {
             port;
-            close_allowed = Sema.create 0;
+            close_allowed = Sched.Event.create ();
             joiner = None;
             recv = (fun () -> Port.receive port ~consumer:rank);
             recy = Port.recycle port ~consumer:rank;

@@ -22,8 +22,12 @@
     module alone performs the translation between demand-driven dataflow
     within a process and data-driven dataflow between processes.
 
-    "Processes" are OCaml domains (shared memory, like the paper's Sequent
-    processes).
+    "Processes" are tasks on a {!Volcano_sched.Sched} scheduler (shared
+    memory, like the paper's Sequent processes).  Under the default pool
+    scheduler producers are closures submitted to a fixed set of worker
+    domains and blocked producers suspend, yielding their worker; under
+    {!Volcano_sched.Sched.dedicated} each producer still gets a fresh
+    domain, reproducing the original fork-per-producer behaviour.
 
     {2 Failure semantics}
 
@@ -65,6 +69,12 @@ module Scope : sig
   (** Shut every registered port (each chains into its own scope).  Runs
       the shutdowns at most once. *)
 
+  val poison : t -> exn -> unit
+  (** Like {!cancel}, but poison the registered ports so consumers report
+      [exn] (as {!Query_failed}) instead of ending their streams quietly —
+      the entry point for runtime-initiated cancellation of a whole query.
+      Ports registered after the poisoning are poisoned on arrival. *)
+
   val cancelled : t -> bool
 end
 
@@ -80,7 +90,7 @@ type fork_mode =
   | Fork_tree  (** propagation-tree forking (section 4.2, after Gerber) *)
   | Fork_central  (** master forks every producer itself *)
 
-type config = {
+type config = private {
   degree : int;  (** number of producer processes *)
   packet_size : int;  (** records per packet, 1..255; default 83 *)
   flow_slack : int option;
@@ -88,6 +98,9 @@ type config = {
   partition : partition_spec;
   fork_mode : fork_mode;
 }
+(** Private: a [config] can only come from the validating {!config}
+    constructor, so every value in circulation has already passed
+    {!validate} — planlint and the runtime share one validation path. *)
 
 val config :
   ?degree:int ->
@@ -101,9 +114,20 @@ val config :
     round-robin partitioning, tree forking.
 
     Raises [Invalid_argument] on a config that could only fail at fork
-    time, deep inside a producer domain: [degree < 1], [packet_size]
+    time, deep inside a producer task: [degree < 1], [packet_size]
     outside [1, 255] (the paper's one-byte field), or a non-positive
-    flow-control slack. *)
+    flow-control slack — the first problem {!validate} reports. *)
+
+val validate :
+  degree:int ->
+  packet_size:int ->
+  flow_slack:int option ->
+  (string * string) list
+(** The single validation path behind {!config}, exposed for static
+    analysis over not-yet-constructed configurations.  Returns
+    [(code, message)] diagnoses — codes ["exchange-degree"],
+    ["exchange-packet-size"], ["exchange-flow-slack"] — or [[]] when the
+    combination is acceptable. *)
 
 val fresh_id : unit -> int
 (** Allocate an exchange instance key.  All consumers of one logical
@@ -116,18 +140,20 @@ val iterator :
   ?parent_scope:Scope.t ->
   ?scope:Scope.t ->
   ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
+  ?sched:Volcano_sched.Sched.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
   Iterator.t
 (** The exchange iterator for the calling process (one member of the
     consuming group).  On [open_], the group master creates the port and
-    forks the producer group; each producer evaluates [input] — in its own
-    domain, with its own group context — and drives it, pushing packets.
-    [next] returns records as they arrive; [close] on the master permits
-    producers to shut down and joins them (closing before end-of-stream
-    cancels the producers).  Other group members attach to the master's
-    port and close locally.
+    forks the producer group as tasks on [sched] (default
+    {!Volcano_sched.Sched.default}); each producer evaluates [input] —
+    in its own task, with its own group context — and drives it, pushing
+    packets.  [next] returns records as they arrive; [close] on the master
+    permits producers to shut down and joins them (closing before
+    end-of-stream cancels the producers).  Other group members attach to
+    the master's port and close locally.
 
     [obs] (a sink and this exchange's plan node) turns on deep
     instrumentation: the port is created timed (flow-control stalls are
@@ -140,6 +166,7 @@ val producer_streams :
   ?parent_scope:Scope.t ->
   ?scope:Scope.t ->
   ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
+  ?sched:Volcano_sched.Sched.t ->
   config ->
   group:Group.t ->
   input:(Group.t -> Iterator.t) ->
@@ -167,18 +194,22 @@ val interchange :
     and flow control is unnecessary: "a process runs a producer only if it
     does not have input for the consumer". *)
 
-(** {2 Instrumentation} *)
+(** {2 Instrumentation}
+
+    The counters keep their historical names but count producer {e tasks}
+    submitted to the scheduler — under {!Volcano_sched.Sched.dedicated}
+    these are still one domain each. *)
 
 val domains_spawned : unit -> int
-(** Total producer domains forked so far (tests, spawn ablation). *)
+(** Total producer tasks forked so far (tests, spawn ablation). *)
 
 val domains_joined : unit -> int
-(** Total producer domains joined so far.  Equal to {!domains_spawned}
+(** Total producer tasks joined so far.  Equal to {!domains_spawned}
     whenever no query is running — the chaos harness asserts the
     difference is zero after every run, failed or not. *)
 
 val live_domains : unit -> int
-(** Producer domains whose body is still executing. *)
+(** Producer tasks whose body is still executing. *)
 
 val unjoined_domains : unit -> int
 (** [domains_spawned () - domains_joined ()]. *)

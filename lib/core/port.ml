@@ -1,6 +1,7 @@
 module Clock = Volcano_util.Clock
 module Spsc = Volcano_util.Spsc
 module Injector = Volcano_fault.Injector
+module Sched = Volcano_sched.Sched
 
 (* Every (producer, consumer) pair owns a dedicated lane, so each lane
    has exactly one writing domain and one reading domain — single
@@ -24,7 +25,15 @@ module Injector = Volcano_fault.Injector
    signal it only when the flag is up, so the uncontended receive path
    takes no lock either.  The flag is set before the final empty
    re-check and read after the push (both seq_cst), the classic Dekker
-   handshake that makes a lost wakeup impossible. *)
+   handshake that makes a lost wakeup impossible.
+
+   Scheduler integration: a blocked side running inside a pool fiber
+   (Sched.on_pool) must not park its worker domain — it suspends the
+   fiber instead, leaving an idempotent waker in the lane's or sink's
+   parked slot.  Every path that would broadcast the corresponding
+   condition also drains that slot, and registration follows the same
+   flag-up-then-recheck handshake as the condition path, so the two
+   parking disciplines share one lost-wakeup argument. *)
 
 type lane = {
   ring : Packet.t Spsc.t option; (* Some = bounded (flow-controlled) *)
@@ -33,6 +42,7 @@ type lane = {
   q_count : int Atomic.t; (* occupancy of [items], for lock-free polls *)
   nonfull : Condition.t; (* ring producer parks here when full *)
   producer_waiting : bool Atomic.t;
+  mutable parked_producer : (unit -> unit) option; (* under [q_lock] *)
   pool : Packet.Pool.t; (* recycled packets, consumer back to producer *)
   peak : int Atomic.t; (* producer-side high-water occupancy *)
 }
@@ -41,6 +51,7 @@ type sink = {
   s_lock : Mutex.t;
   arrived : Condition.t;
   consumer_waiting : bool Atomic.t;
+  mutable parked_consumer : (unit -> unit) option; (* under [s_lock] *)
   mutable rr : int; (* next producer lane to poll; consumer-local *)
 }
 
@@ -93,6 +104,7 @@ let make_lane flow_slack =
     q_count = Atomic.make 0;
     nonfull = Condition.create ();
     producer_waiting = Atomic.make false;
+    parked_producer = None;
     pool =
       Packet.Pool.create
         ~slots:(match flow_slack with Some slack -> slack + 2 | None -> 8);
@@ -104,6 +116,7 @@ let make_sink () =
     s_lock = Mutex.create ();
     arrived = Condition.create ();
     consumer_waiting = Atomic.make false;
+    parked_consumer = None;
     rr = 0;
   }
 
@@ -149,9 +162,21 @@ let wake_consumer t ~consumer =
   if Atomic.get sink.consumer_waiting then begin
     Atomic.set sink.consumer_waiting false;
     Mutex.lock sink.s_lock;
+    let parked = sink.parked_consumer in
+    sink.parked_consumer <- None;
     Condition.broadcast sink.arrived;
-    Mutex.unlock sink.s_lock
+    Mutex.unlock sink.s_lock;
+    match parked with Some wake -> wake () | None -> ()
   end
+
+(* Non-mutating occupancy checks, used as the post-registration re-check
+   of the suspension paths (the polls themselves mutate: they pop). *)
+let lane_occupied lane =
+  match lane.ring with
+  | Some ring -> not (Spsc.is_empty ring)
+  | None -> Atomic.get lane.q_count > 0
+
+let ring_has_space ring = Spsc.length ring < Spsc.capacity ring
 
 (* Full ring: spin briefly, then park on the lane condition.  The waiting
    flag is re-published before every wait and re-checked against the ring
@@ -163,11 +188,39 @@ let push_parking t lane ring packet =
   let rec spin budget =
     if Spsc.try_push ring packet then true
     else if Atomic.get t.shut then false
-    else if budget = 0 then park ()
+    else if budget = 0 then
+      if Sched.on_pool () then park_pooled () else park ()
     else begin
       Domain.cpu_relax ();
       spin (budget - 1)
     end
+  (* Pool fiber: yield the worker instead of parking it.  Same handshake
+     as [park] below — waiting flag up, then re-check ring and shutdown —
+     except the "sleep" is a suspension whose waker sits in
+     [parked_producer] for [take_lane]/[shutdown] to drain. *)
+  and park_pooled () =
+    Injector.hit t.faults Volcano_fault.Sched_park;
+    let rec wait () =
+      if Spsc.try_push ring packet then true
+      else if Atomic.get t.shut then false
+      else begin
+        Sched.suspend (fun wake ->
+            Mutex.lock lane.q_lock;
+            lane.parked_producer <- Some wake;
+            Atomic.set lane.producer_waiting true;
+            let blocked =
+              (not (ring_has_space ring)) && not (Atomic.get t.shut)
+            in
+            if not blocked then begin
+              lane.parked_producer <- None;
+              Atomic.set lane.producer_waiting false
+            end;
+            Mutex.unlock lane.q_lock;
+            blocked);
+        wait ()
+      end
+    in
+    wait ()
   and park () =
     Mutex.lock lane.q_lock;
     let rec wait () =
@@ -261,8 +314,11 @@ let take_lane lane =
           then begin
             Atomic.set lane.producer_waiting false;
             Mutex.lock lane.q_lock;
+            let parked = lane.parked_producer in
+            lane.parked_producer <- None;
             Condition.broadcast lane.nonfull;
-            Mutex.unlock lane.q_lock
+            Mutex.unlock lane.q_lock;
+            match parked with Some wake -> wake () | None -> ()
           end;
           packet
       | None -> None)
@@ -298,8 +354,9 @@ let poll_any t ~consumer =
 (* Blocking receive around an arbitrary non-blocking [poll]: spin, then
    park on the consumer's sink.  Shutdown is checked only after a failed
    poll, so packets already queued survive a shutdown (drain-then-None
-   semantics). *)
-let receive_with t ~consumer poll =
+   semantics).  [ready] is the non-mutating counterpart of [poll], used
+   to re-check for arrivals after a suspension waker is registered. *)
+let receive_with t ~consumer ~ready poll =
   Injector.hit t.faults Volcano_fault.Port_receive;
   match poll () with
   | Some _ as packet ->
@@ -312,11 +369,37 @@ let receive_with t ~consumer poll =
         | Some _ as packet -> packet
         | None ->
             if Atomic.get t.shut then None
-            else if budget = 0 then park ()
+            else if budget = 0 then
+              if Sched.on_pool () then park_pooled () else park ()
             else begin
               Domain.cpu_relax ();
               spin (budget - 1)
             end
+      (* Pool fiber: suspend instead of blocking the worker, waker in
+         [parked_consumer].  Flag-up-then-recheck as in [park]. *)
+      and park_pooled () =
+        Injector.hit t.faults Volcano_fault.Sched_park;
+        let rec wait () =
+          match poll () with
+          | Some _ as packet -> packet
+          | None ->
+              if Atomic.get t.shut then None
+              else begin
+                Sched.suspend (fun wake ->
+                    Mutex.lock sink.s_lock;
+                    sink.parked_consumer <- Some wake;
+                    Atomic.set sink.consumer_waiting true;
+                    let blocked = not (ready () || Atomic.get t.shut) in
+                    if not blocked then begin
+                      sink.parked_consumer <- None;
+                      Atomic.set sink.consumer_waiting false
+                    end;
+                    Mutex.unlock sink.s_lock;
+                    blocked);
+                wait ()
+              end
+        in
+        wait ()
       and park () =
         Mutex.lock sink.s_lock;
         let rec wait () =
@@ -354,14 +437,26 @@ let receive_with t ~consumer poll =
       (match packet with Some _ -> Atomic.incr t.received | None -> ());
       packet
 
+let any_lane_occupied t ~consumer =
+  let n = t.n_producers in
+  let rec go producer =
+    producer < n
+    && (lane_occupied (lane_of t ~producer ~consumer) || go (producer + 1))
+  in
+  go 0
+
 let receive t ~consumer =
   if t.separate then
     invalid_arg "Port.receive: keep-separate port requires receive_from";
-  receive_with t ~consumer (fun () -> poll_any t ~consumer)
+  receive_with t ~consumer
+    ~ready:(fun () -> any_lane_occupied t ~consumer)
+    (fun () -> poll_any t ~consumer)
 
 let receive_from t ~producer ~consumer =
   let lane = lane_of t ~producer ~consumer in
-  receive_with t ~consumer (fun () -> take_lane lane)
+  receive_with t ~consumer
+    ~ready:(fun () -> lane_occupied lane)
+    (fun () -> take_lane lane)
 
 let try_receive t ~consumer =
   if t.separate then
@@ -405,14 +500,20 @@ let shutdown t =
   Array.iter
     (fun sink ->
       Mutex.lock sink.s_lock;
+      let parked = sink.parked_consumer in
+      sink.parked_consumer <- None;
       Condition.broadcast sink.arrived;
-      Mutex.unlock sink.s_lock)
+      Mutex.unlock sink.s_lock;
+      match parked with Some wake -> wake () | None -> ())
     t.sinks;
   Array.iter
     (fun lane ->
       Mutex.lock lane.q_lock;
+      let parked = lane.parked_producer in
+      lane.parked_producer <- None;
       Condition.broadcast lane.nonfull;
-      Mutex.unlock lane.q_lock)
+      Mutex.unlock lane.q_lock;
+      match parked with Some wake -> wake () | None -> ())
     t.lanes;
   (* Chain the cancellation downwards exactly once: ports created below
      this exchange must also wake their blocked producers and consumers,

@@ -8,6 +8,8 @@ type site =
   | Port_receive
   | Producer of int
   | Operator
+  | Sched_task
+  | Sched_park
 
 let site_name = function
   | Device_read -> "device-read"
@@ -17,6 +19,8 @@ let site_name = function
   | Port_receive -> "port-receive"
   | Producer rank -> Printf.sprintf "producer-%d" rank
   | Operator -> "operator"
+  | Sched_task -> "sched-task"
+  | Sched_park -> "sched-park"
 
 type action = Fail | Delay of float
 type trigger = At_hit of int | With_prob of float
@@ -66,13 +70,15 @@ let decide ~seed ~rule_index ~hit p =
 let random_plan ~seed =
   let rng = Rng.create seed in
   let site () =
-    match Rng.int rng 8 with
+    match Rng.int rng 10 with
     | 0 -> Device_read
     | 1 -> Device_write
     | 2 -> Bufpool_fix
     | 3 -> Port_send
     | 4 -> Port_receive
     | 5 | 6 -> Producer (Rng.int rng 3)
+    | 7 -> Sched_task
+    | 8 -> Sched_park
     | _ -> Operator
   in
   let rule () =

@@ -21,6 +21,9 @@ type site =
   | Producer of int
       (** in the exchange producer of this rank, once per record *)
   | Operator  (** once per [next] call of every compiled operator *)
+  | Sched_task  (** at the start of a scheduled producer task *)
+  | Sched_park
+      (** before a blocked port wait yields its pool worker (or parks) *)
 
 val site_name : site -> string
 

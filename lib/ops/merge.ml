@@ -62,10 +62,10 @@ let of_iterators ~cmp inputs =
       heap := None;
       match !first with Some exn -> raise exn | None -> ())
 
-let exchange_merge ?id ?faults ?parent_scope ?scope ?obs cfg ~cmp ~group
-    ~input =
+let exchange_merge ?id ?faults ?parent_scope ?scope ?obs ?sched cfg ~cmp
+    ~group ~input =
   let streams =
     Volcano.Exchange.producer_streams ?id ?faults ?parent_scope ?scope ?obs
-      cfg ~group ~input
+      ?sched cfg ~group ~input
   in
   of_iterators ~cmp streams

@@ -16,6 +16,7 @@ val exchange_merge :
   ?parent_scope:Volcano.Exchange.Scope.t ->
   ?scope:Volcano.Exchange.Scope.t ->
   ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
+  ?sched:Volcano_sched.Sched.t ->
   Volcano.Exchange.config ->
   cmp:Volcano_tuple.Support.comparator ->
   group:Volcano.Group.t ->

@@ -247,7 +247,7 @@ and compile_node env ids obs group scope plan =
   | Plan.Exchange { cfg; input } ->
       let child = Exchange.Scope.create () in
       Exchange.iterator ~id:(ids plan) ~faults ?parent_scope:scope ~scope:child
-        ?obs:(exchange_obs obs plan) cfg ~group
+        ?obs:(exchange_obs obs plan) ~sched:(Env.sched env) cfg ~group
         ~input:(fun producer_group ->
           compile_in env ids obs producer_group (Some child) input)
   | Plan.Exchange_merge { cfg; key; input } ->
@@ -255,7 +255,7 @@ and compile_node env ids obs group scope plan =
       Ops.Merge.exchange_merge ~id:(ids plan) ~faults ?parent_scope:scope
         ~scope:child
         ?obs:(exchange_obs obs plan)
-        cfg ~cmp:(sort_cmp key) ~group
+        ~sched:(Env.sched env) cfg ~cmp:(sort_cmp key) ~group
         ~input:(fun producer_group ->
           compile_in env ids obs producer_group (Some child) input)
   | Plan.Interchange { cfg; input } ->
@@ -283,12 +283,31 @@ let analyze env plan =
   in
   Volcano_analysis.Analyze.analyze ~frames (Lower.ir env plan)
 
-let compile ?(check = true) ?obs env plan =
+(* The root-level cancellation check: consult the flag once per record so
+   a query cancelled from outside (Session/Runtime) stops pulling even
+   when no exchange sits on the path to the root. *)
+let cancel_guard flag inner =
+  let check () =
+    match Atomic.get flag with
+    | Some exn -> raise (Exchange.as_query_failed ~fallback:"session" exn)
+    | None -> ()
+  in
+  Iterator.make
+    ~open_:(fun () ->
+      check ();
+      Iterator.open_ inner)
+    ~next:(fun () ->
+      check ();
+      Iterator.next inner)
+    ~close:(fun () -> Iterator.close inner)
+
+let compile ?(check = true) ?obs ?scope ?cancel env plan =
   (if check then
      match Volcano_analysis.Diag.errors (analyze env plan) with
      | [] -> ()
      | errors -> raise (Rejected errors));
-  compile_in env (assign_ids plan) obs (Group.solo ()) None plan
+  let iter = compile_in env (assign_ids plan) obs (Group.solo ()) scope plan in
+  match cancel with None -> iter | Some flag -> cancel_guard flag iter
 
 let run ?check env plan = Iterator.to_list (compile ?check env plan)
 let run_count ?check env plan = Iterator.consume (compile ?check env plan)

@@ -37,12 +37,26 @@ val analyze : Env.t -> Plan.t -> Volcano_analysis.Diag.t list
     leaves against the environment's catalog and sizing the resource pass
     from its buffer pool.  Warnings do not block compilation. *)
 
-val compile : ?check:bool -> ?obs:obs -> Env.t -> Plan.t -> Volcano.Iterator.t
+val compile :
+  ?check:bool ->
+  ?obs:obs ->
+  ?scope:Volcano.Exchange.Scope.t ->
+  ?cancel:exn option Atomic.t ->
+  Env.t ->
+  Plan.t ->
+  Volcano.Iterator.t
 (** Compile for the query root process (a fresh solo group).  [check]
     defaults to [true]: the plan is analyzed first and {!Rejected} is
     raised if any [Error]-severity diagnostic is found.  Pass
     [~check:false] to compile a plan the analyzer would reject — it then
     fails (or silently misbehaves) at runtime, as before.
+
+    [scope] becomes the parent cancellation scope of the plan's top-level
+    exchanges: {!Volcano.Exchange.Scope.poison} on it tears the whole
+    running query down.  [cancel] is checked once per record at the root;
+    when set to [Some exn] the next pull raises it as
+    {!Volcano.Exchange.Query_failed} — together they let a Session cancel
+    a query both at its leaves and at its root.
 
     With [~obs] (from {!observe}), every compiled node is wrapped in
     {!Volcano.Iterator.instrumented} against its assigned obs node, and
@@ -51,6 +65,8 @@ val compile : ?check:bool -> ?obs:obs -> Env.t -> Plan.t -> Volcano.Iterator.t
     obs node: counters aggregate across the whole process group. *)
 
 val run : ?check:bool -> Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
-(** Compile, open, drain, close. *)
+(** Compile, open, drain, close.  Thin shim kept for one PR: new code
+    should go through {!Session.exec}, which adds the worker pool,
+    cancellation scope, and runtime admission around the same path. *)
 
 val run_count : ?check:bool -> Env.t -> Plan.t -> int

@@ -3,6 +3,7 @@ module Device = Volcano_storage.Device
 module Heap_file = Volcano_storage.Heap_file
 module Schema = Volcano_tuple.Schema
 module Injector = Volcano_fault.Injector
+module Sched = Volcano_sched.Sched
 
 type t = {
   buffer : Bufpool.t;
@@ -12,9 +13,13 @@ type t = {
   lock : Mutex.t;
   mutable run_capacity : int;
   mutable faults : Injector.t;
+  sched : Sched.t Lazy.t;
+      (* Lazy: an env created just for catalog work should not start the
+         process-global worker pool. *)
 }
 
-let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536) () =
+let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
+    ?sched () =
   {
     buffer = Bufpool.create ~frames ~page_size ();
     workspace =
@@ -25,10 +30,15 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536) () 
     lock = Mutex.create ();
     run_capacity = 65536;
     faults = Injector.none;
+    sched =
+      (match sched with
+      | Some s -> Lazy.from_val s
+      | None -> lazy (Sched.default ()));
   }
 
 let buffer t = t.buffer
 let workspace t = t.workspace
+let sched t = Lazy.force t.sched
 
 let spill t =
   { Volcano_ops.Sort.device = t.workspace; buffer = t.buffer }

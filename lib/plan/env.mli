@@ -6,12 +6,23 @@
 type t
 
 val create :
-  ?frames:int -> ?page_size:int -> ?workspace_capacity:int -> unit -> t
-(** Defaults: 256 frames of 4096 bytes, a 65536-page virtual workspace. *)
+  ?frames:int ->
+  ?page_size:int ->
+  ?workspace_capacity:int ->
+  ?sched:Volcano_sched.Sched.t ->
+  unit ->
+  t
+(** Defaults: 256 frames of 4096 bytes, a 65536-page virtual workspace,
+    and the process-wide {!Volcano_sched.Sched.default} scheduler (forced
+    lazily, on first use — pass [~sched] to pin a specific scheduler). *)
 
 val buffer : t -> Volcano_storage.Bufpool.t
 val workspace : t -> Volcano_storage.Device.t
 val spill : t -> Volcano_ops.Sort.spill
+
+val sched : t -> Volcano_sched.Sched.t
+(** The scheduler onto which plans compiled from this environment submit
+    their exchange producer tasks. *)
 
 val register_table :
   t ->

@@ -4,6 +4,7 @@ module Bufpool = Volcano_storage.Bufpool
 module Device = Volcano_storage.Device
 module Iterator = Volcano.Iterator
 module Exchange = Volcano.Exchange
+module Sched = Volcano_sched.Sched
 
 type report = {
   sink : Obs.t;
@@ -14,8 +15,20 @@ type report = {
   buffer : Bufpool.stats;  (** delta over the run *)
   device_reads : int;  (** workspace device, delta *)
   device_writes : int;
-  domains : int;  (** domains spawned during the run *)
+  domains : int;  (** producer tasks spawned during the run *)
+  sched : Sched.stats;  (** counters are deltas over the run *)
 }
+
+let delta_stats (s0 : Sched.stats) (s1 : Sched.stats) =
+  {
+    Sched.pool_workers = s1.pool_workers;
+    submitted = s1.submitted - s0.submitted;
+    completed = s1.completed - s0.completed;
+    stolen = s1.stolen - s0.stolen;
+    suspensions = s1.suspensions - s0.suspensions;
+    resumptions = s1.resumptions - s0.resumptions;
+    peak_queue_depth = s1.peak_queue_depth;
+  }
 
 let run ?check env plan =
   let sink = Obs.create () in
@@ -23,12 +36,21 @@ let run ?check env plan =
   let iterator = Compile.compile ?check ~obs env plan in
   let pool = Env.buffer env in
   let workspace = Env.workspace env in
+  let sched = Env.sched env in
   let b0 = Bufpool.stats pool in
   let r0 = Device.reads workspace and w0 = Device.writes workspace in
   let d0 = Exchange.domains_spawned () in
+  let s0 = Sched.stats sched in
+  (* Attach before the run so task latencies stream into the sink's
+     histogram; the [~since] delta is zero at this point. *)
+  Sched.register_obs ~since:s0 sched sink;
   let t0 = Obs.now () in
   let rows = Iterator.consume iterator in
   let elapsed_s = Obs.now () -. t0 in
+  (* Push the run's counter deltas (the attach call added zero), then
+     detach the latency histogram from this throwaway sink. *)
+  Sched.register_obs ~since:s0 sched sink;
+  Sched.register_obs sched Obs.null;
   let b1 = Bufpool.stats pool in
   {
     sink;
@@ -47,6 +69,7 @@ let run ?check env plan =
     device_reads = Device.reads workspace - r0;
     device_writes = Device.writes workspace - w0;
     domains = Exchange.domains_spawned () - d0;
+    sched = delta_stats s0 (Sched.stats sched);
   }
 
 let fmt_s s =
@@ -57,8 +80,12 @@ let fmt_s s =
 let render r =
   let lines = ref [] in
   let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
-  add "%d rows in %s  (%d domains spawned)" r.rows (fmt_s r.elapsed_s)
+  add "%d rows in %s  (%d producer tasks)" r.rows (fmt_s r.elapsed_s)
     r.domains;
+  if r.sched.Sched.pool_workers > 0 then
+    add "sched: %d workers, %d tasks (%d stolen), %d suspensions"
+      r.sched.Sched.pool_workers r.sched.Sched.submitted r.sched.Sched.stolen
+      r.sched.Sched.suspensions;
   add "buffer: %d hits, %d misses, %d evictions, %d writebacks, %d restarts"
     r.buffer.Bufpool.hits r.buffer.Bufpool.misses r.buffer.Bufpool.evictions
     r.buffer.Bufpool.writebacks r.buffer.Bufpool.restarts;
@@ -124,6 +151,15 @@ let to_json r =
           [
             ("reads", Jsonx.Int r.device_reads);
             ("writes", Jsonx.Int r.device_writes);
+          ] );
+      ( "sched",
+        Jsonx.Obj
+          [
+            ("workers", Jsonx.Int r.sched.Sched.pool_workers);
+            ("tasks", Jsonx.Int r.sched.Sched.submitted);
+            ("stolen", Jsonx.Int r.sched.Sched.stolen);
+            ("suspensions", Jsonx.Int r.sched.Sched.suspensions);
+            ("peak_queue_depth", Jsonx.Int r.sched.Sched.peak_queue_depth);
           ] );
       ("obs", Obs.report_json r.sink);
     ]

@@ -16,12 +16,17 @@ type report = {
   buffer : Volcano_storage.Bufpool.stats;  (** delta over the run *)
   device_reads : int;  (** workspace device, delta *)
   device_writes : int;
-  domains : int;  (** producer domains spawned during the run *)
+  domains : int;  (** producer tasks spawned during the run *)
+  sched : Volcano_sched.Sched.stats;
+      (** scheduler activity: counters are deltas over the run;
+          [pool_workers] and [peak_queue_depth] are absolute *)
 }
 
 val run : ?check:bool -> Env.t -> Plan.t -> report
 (** Compile with {!Compile.observe} instrumentation and drain the query.
-    [check] as in {!Compile.compile}; {!Compile.Rejected} propagates. *)
+    [check] as in {!Compile.compile}; {!Compile.Rejected} propagates.
+    Prefer {!Session.profile}, which calls this on the session's
+    environment. *)
 
 val render : report -> string
 (** The annotated plan tree: a header (rows, time, buffer/device deltas)

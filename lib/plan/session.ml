@@ -1,0 +1,82 @@
+module Sched = Volcano_sched.Sched
+module Runtime = Volcano_sched.Runtime
+module Exchange = Volcano.Exchange
+module Iterator = Volcano.Iterator
+
+type t = {
+  env : Env.t;
+  sched_ : Sched.t;
+  runtime : Runtime.t;
+  owns_sched : bool; (* created here, so shut down here *)
+}
+
+let create ?frames ?page_size ?workspace_capacity ?sched ?workers
+    ?max_concurrent () =
+  let sched_, owns_sched =
+    match (sched, workers) with
+    | Some _, Some _ ->
+        invalid_arg "Session.create: pass either ~sched or ~workers, not both"
+    | Some s, None -> (s, false)
+    | None, Some w -> (Sched.create ~workers:w (), true)
+    | None, None -> (Sched.default (), false)
+  in
+  let env =
+    Env.create ?frames ?page_size ?workspace_capacity ~sched:sched_ ()
+  in
+  { env; sched_; runtime = Runtime.create ?max_concurrent sched_; owns_sched }
+
+let env t = t.env
+let sched t = t.sched_
+let runtime t = t.runtime
+let set_faults t faults = Env.set_faults t.env faults
+let clear_faults t = Env.clear_faults t.env
+
+type 'a job = 'a Runtime.job
+
+(* Each query gets a root cancellation scope (the parent of its top-level
+   exchanges) and a cancel flag checked at the root iterator: cancelling
+   poisons the plan at its leaves and stops the drain at its root, so the
+   job fails promptly whether or not an exchange is currently active. *)
+let submit_with t ?check ?deadline_s ?label collect plan =
+  let scope = Exchange.Scope.create () in
+  let flag = Atomic.make None in
+  Runtime.submit t.runtime ?deadline_s ?label
+    ~on_cancel:(fun exn ->
+      Atomic.set flag (Some exn);
+      Exchange.Scope.poison scope exn)
+    (fun () ->
+      let iter = Compile.compile ?check ~scope ~cancel:flag t.env plan in
+      collect iter)
+
+let submit ?check ?deadline_s ?label t plan =
+  submit_with t ?check ?deadline_s ?label Iterator.to_list plan
+
+let submit_count ?check ?deadline_s ?label t plan =
+  submit_with t ?check ?deadline_s ?label Iterator.consume plan
+
+let await = Runtime.await
+let cancel = Runtime.cancel
+let status = Runtime.status
+
+let block_on job =
+  match Runtime.await job with Ok v -> v | Error exn -> raise exn
+
+let exec ?check ?deadline_s t plan = block_on (submit ?check ?deadline_s t plan)
+
+let exec_count ?check ?deadline_s t plan =
+  block_on (submit_count ?check ?deadline_s t plan)
+
+let profile ?check t plan = Profile.run ?check t.env plan
+let analyze t plan = Compile.analyze t.env plan
+
+let close t =
+  Runtime.close t.runtime;
+  if t.owns_sched then Sched.shutdown t.sched_
+
+let with_session ?frames ?page_size ?workspace_capacity ?sched ?workers
+    ?max_concurrent f =
+  let t =
+    create ?frames ?page_size ?workspace_capacity ?sched ?workers
+      ?max_concurrent ()
+  in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

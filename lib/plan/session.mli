@@ -1,0 +1,112 @@
+(** The session facade — the one entry point a client needs.
+
+    A session owns an execution environment ({!Env}), a scheduler handle
+    ({!Volcano_sched.Sched}), and a multi-query runtime
+    ({!Volcano_sched.Runtime}) whose admission gate bounds the number of
+    plans executing concurrently.  Queries go through the runtime whether
+    submitted asynchronously ({!submit} / {!await}) or run synchronously
+    ({!exec}), so a burst of queries from many domains degrades to an
+    orderly queue instead of oversubscribing the worker pool.
+
+    {[
+      Session.with_session (fun s ->
+          let rows = Session.exec s plan in
+          ...)
+    ]}
+
+    Cancellation and deadlines plug into the exchange poison chain: a
+    cancelled query's root scope is poisoned, which shuts every port in
+    the running plan, and its root iterator stops pulling — the awaiter
+    gets [Error (Query_failed ...)] carrying the cancellation reason
+    ({!Volcano_sched.Runtime.Cancelled} or
+    {!Volcano_sched.Runtime.Deadline_exceeded}). *)
+
+type t
+
+val create :
+  ?frames:int ->
+  ?page_size:int ->
+  ?workspace_capacity:int ->
+  ?sched:Volcano_sched.Sched.t ->
+  ?workers:int ->
+  ?max_concurrent:int ->
+  unit ->
+  t
+(** [frames]/[page_size]/[workspace_capacity] size the environment as in
+    {!Env.create}.  Scheduling: [~sched] adopts an existing scheduler,
+    [~workers:n] creates a private [n]-worker pool owned (and shut down)
+    by this session; default is the shared process-wide
+    {!Volcano_sched.Sched.default}.  [max_concurrent] bounds plans in
+    flight as in {!Volcano_sched.Runtime.create}.
+    @raise Invalid_argument when both [~sched] and [~workers] are given. *)
+
+val with_session :
+  ?frames:int ->
+  ?page_size:int ->
+  ?workspace_capacity:int ->
+  ?sched:Volcano_sched.Sched.t ->
+  ?workers:int ->
+  ?max_concurrent:int ->
+  (t -> 'a) ->
+  'a
+(** [create], apply, then {!close} — also on exceptions. *)
+
+val env : t -> Env.t
+(** The session's environment: catalog registration, faults, tuning knobs
+    all live here. *)
+
+val sched : t -> Volcano_sched.Sched.t
+val runtime : t -> Volcano_sched.Runtime.t
+
+val set_faults : t -> Volcano_fault.Injector.t -> unit
+(** Shorthand for {!Env.set_faults} on the session's environment. *)
+
+val clear_faults : t -> unit
+
+(** {2 Running queries} *)
+
+val exec :
+  ?check:bool -> ?deadline_s:float -> t -> Plan.t -> Volcano_tuple.Tuple.t list
+(** Compile and drain the plan through the runtime (waiting for an
+    admission slot if the session is at [max_concurrent]); returns the
+    result rows.  [check] as in {!Compile.compile}; a [deadline_s] that
+    expires poisons the query and raises
+    {!Volcano.Exchange.Query_failed}. *)
+
+val exec_count : ?check:bool -> ?deadline_s:float -> t -> Plan.t -> int
+(** {!exec}, but count rows instead of materializing them. *)
+
+type 'a job = 'a Volcano_sched.Runtime.job
+
+val submit :
+  ?check:bool ->
+  ?deadline_s:float ->
+  ?label:string ->
+  t ->
+  Plan.t ->
+  Volcano_tuple.Tuple.t list job
+(** Asynchronous {!exec}: enqueue the query and return at once.  The plan
+    is compiled inside the job (after admission), so {!Compile.Rejected}
+    surfaces in the job result, not here. *)
+
+val submit_count :
+  ?check:bool -> ?deadline_s:float -> ?label:string -> t -> Plan.t -> int job
+
+val await : 'a job -> ('a, exn) result
+val cancel : 'a job -> unit
+
+val status : 'a job -> Volcano_sched.Runtime.status
+
+(** {2 Inspection} *)
+
+val profile : ?check:bool -> t -> Plan.t -> Profile.report
+(** EXPLAIN ANALYZE via {!Profile.run}, including the session scheduler's
+    task counters.  Runs outside the admission gate. *)
+
+val analyze : t -> Plan.t -> Volcano_analysis.Diag.t list
+(** Static analysis via {!Compile.analyze}. *)
+
+val close : t -> unit
+(** Drain the runtime (running and queued jobs finish; new submits are
+    rejected) and, if this session created its own worker pool, shut it
+    down. *)

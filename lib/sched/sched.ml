@@ -1,0 +1,536 @@
+module Clock = Volcano_util.Clock
+module Statx = Volcano_util.Stats
+module Obs = Volcano_obs.Obs
+
+(* A task is a closure; a worker is a domain looping over jobs.  A job is
+   either "start this task's fiber" or "resume this suspended fiber" —
+   both are plain [unit -> unit] thunks by the time they reach a queue.
+
+   Fibers run under a deep effect handler.  Performing [Suspend] unwinds
+   the fiber off its worker; the handler hands an idempotent wake thunk to
+   the suspender's [register] callback, which parks it wherever the
+   awaited event will fire (a lane's waker slot, a port sink, a group's
+   publish list, an event's waker list).  Waking re-enqueues the
+   continuation as an ordinary job, so the fiber resumes on whichever
+   worker is free — the deep handler travels with the continuation, so
+   later suspensions of the same fiber are handled identically. *)
+
+type job = unit -> unit
+
+type pool = {
+  p_size : int;
+  queues : job Queue.t array; (* one FIFO run queue per worker *)
+  locks : Mutex.t array;
+  idle_lock : Mutex.t;
+  idle : Condition.t; (* workers with nothing to run park here *)
+  mutable idlers : int;
+  mutable stopping : bool;
+  pending : int Atomic.t; (* jobs enqueued and not yet dequeued *)
+  rr : int Atomic.t; (* queue choice for off-pool submitters *)
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  stolen : int Atomic.t;
+  suspensions : int Atomic.t;
+  resumptions : int Atomic.t;
+  peak_queue : int Atomic.t;
+  lat_lock : Mutex.t;
+  lat : Statx.t; (* fork-to-start latency reservoir *)
+  mutable lat_sink : Obs.Histogram.t option; (* under [lat_lock] *)
+  mutable domains : unit Domain.t array;
+}
+
+type ded = { d_submitted : int Atomic.t; d_completed : int Atomic.t }
+type t = Pool of pool | Dedicated of ded
+
+type 'a task = {
+  t_lock : Mutex.t;
+  t_done : Condition.t;
+  mutable t_result : ('a, exn) result option;
+  mutable t_wakers : (unit -> unit) list;
+  mutable t_domain : unit Domain.t option; (* dedicated mode only *)
+}
+
+type _ Effect.t += Suspend : ((unit -> unit) -> bool) -> unit Effect.t
+
+(* Which pool (and which of its workers) the calling domain belongs to. *)
+let dls_key : (pool * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let on_pool () = Option.is_some (Domain.DLS.get dls_key)
+
+let suspend register =
+  if on_pool () then Effect.perform (Suspend register)
+  else invalid_arg "Sched.suspend: not inside a pool fiber"
+
+(* ------------------------------------------------------------------ *)
+(* Run queues                                                          *)
+
+let bump_peak pool depth =
+  let rec go () =
+    let cur = Atomic.get pool.peak_queue in
+    if depth > cur && not (Atomic.compare_and_set pool.peak_queue cur depth)
+    then go ()
+  in
+  go ()
+
+(* A worker enqueues to its own queue (locality: a resumed fiber's state
+   is warm where its waker ran); everyone else round-robins. *)
+let enqueue pool job =
+  let i =
+    match Domain.DLS.get dls_key with
+    | Some (p, me) when p == pool -> me
+    | _ -> Atomic.fetch_and_add pool.rr 1 mod pool.p_size
+  in
+  Atomic.incr pool.pending;
+  Mutex.lock pool.locks.(i);
+  Queue.push job pool.queues.(i);
+  let depth = Queue.length pool.queues.(i) in
+  Mutex.unlock pool.locks.(i);
+  bump_peak pool depth;
+  Mutex.lock pool.idle_lock;
+  if pool.idlers > 0 then Condition.signal pool.idle;
+  Mutex.unlock pool.idle_lock
+
+let take pool i =
+  Mutex.lock pool.locks.(i);
+  let job = Queue.take_opt pool.queues.(i) in
+  Mutex.unlock pool.locks.(i);
+  if Option.is_some job then Atomic.decr pool.pending;
+  job
+
+(* ------------------------------------------------------------------ *)
+(* Fibers                                                              *)
+
+let exec_fiber pool (body : unit -> unit) =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Atomic.incr pool.suspensions;
+                  let resumed = Atomic.make false in
+                  let wake () =
+                    (* Idempotent: the first caller wins, so a waker may
+                       sit in several wake lists (and race shutdown
+                       broadcasts) without double-resuming the fiber. *)
+                    if not (Atomic.exchange resumed true) then begin
+                      Atomic.incr pool.resumptions;
+                      enqueue pool (fun () -> continue k ())
+                    end
+                  in
+                  if not (register wake) then wake ())
+          | _ -> None);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+
+let run_job job =
+  try job ()
+  with exn ->
+    (* Task bodies catch their own exceptions into the task result;
+       anything reaching here is a scheduler bug or a raising waker.
+       Log rather than kill the worker. *)
+    prerr_endline ("volcano_sched: worker caught " ^ Printexc.to_string exn)
+
+let worker pool me () =
+  Domain.DLS.set dls_key (Some (pool, me));
+  let steal () =
+    let rec go k =
+      if k >= pool.p_size then None
+      else
+        let i = (me + k) mod pool.p_size in
+        match take pool i with
+        | Some _ as job ->
+            Atomic.incr pool.stolen;
+            job
+        | None -> go (k + 1)
+    in
+    go 1
+  in
+  let try_dequeue () =
+    match take pool me with Some _ as job -> job | None -> steal ()
+  in
+  let rec loop () =
+    match try_dequeue () with
+    | Some job ->
+        run_job job;
+        loop ()
+    | None ->
+        Mutex.lock pool.idle_lock;
+        if pool.stopping then Mutex.unlock pool.idle_lock
+        else if Atomic.get pool.pending > 0 then begin
+          (* A job landed between our scan and the lock: rescan instead
+             of sleeping — [pending] is bumped before the signal, so this
+             check under the lock cannot miss a wakeup. *)
+          Mutex.unlock pool.idle_lock;
+          loop ()
+        end
+        else begin
+          pool.idlers <- pool.idlers + 1;
+          Condition.wait pool.idle pool.idle_lock;
+          pool.idlers <- pool.idlers - 1;
+          Mutex.unlock pool.idle_lock;
+          loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let default_workers () =
+  match Sys.getenv_opt "VOLCANO_WORKERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg "VOLCANO_WORKERS must be a positive integer")
+  | None ->
+      (* Floor of 4: waits that are not task-shaped (page I/O, buffer
+         frame waits) hold their worker, and a 1-core host would
+         otherwise run a 1-worker pool that such a wait can starve. *)
+      max 4 (Domain.recommended_domain_count ())
+
+let create ?workers () =
+  let size = match workers with Some w -> w | None -> default_workers () in
+  if size < 1 then invalid_arg "Sched.create: workers must be positive";
+  let pool =
+    {
+      p_size = size;
+      queues = Array.init size (fun _ -> Queue.create ());
+      locks = Array.init size (fun _ -> Mutex.create ());
+      idle_lock = Mutex.create ();
+      idle = Condition.create ();
+      idlers = 0;
+      stopping = false;
+      pending = Atomic.make 0;
+      rr = Atomic.make 0;
+      submitted = Atomic.make 0;
+      completed = Atomic.make 0;
+      stolen = Atomic.make 0;
+      suspensions = Atomic.make 0;
+      resumptions = Atomic.make 0;
+      peak_queue = Atomic.make 0;
+      lat_lock = Mutex.create ();
+      lat = Statx.create ();
+      lat_sink = None;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init size (fun i -> Domain.spawn (worker pool i));
+  Pool pool
+
+let dedicated () =
+  Dedicated { d_submitted = Atomic.make 0; d_completed = Atomic.make 0 }
+
+let default_lock = Mutex.create ()
+let default_sched : t option ref = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let t =
+    match !default_sched with
+    | Some t -> t
+    | None ->
+        let t =
+          match Sys.getenv_opt "VOLCANO_SCHED" with
+          | Some "dedicated" -> dedicated ()
+          | _ -> create ()
+        in
+        default_sched := Some t;
+        t
+  in
+  Mutex.unlock default_lock;
+  t
+
+let is_pool = function Pool _ -> true | Dedicated _ -> false
+let workers = function Pool p -> p.p_size | Dedicated _ -> 0
+
+let shutdown = function
+  | Dedicated _ -> ()
+  | Pool pool ->
+      Mutex.lock pool.idle_lock;
+      let already = pool.stopping in
+      pool.stopping <- true;
+      Condition.broadcast pool.idle;
+      Mutex.unlock pool.idle_lock;
+      if not already then Array.iter Domain.join pool.domains
+
+(* ------------------------------------------------------------------ *)
+(* Tasks                                                               *)
+
+let make_task () =
+  {
+    t_lock = Mutex.create ();
+    t_done = Condition.create ();
+    t_result = None;
+    t_wakers = [];
+    t_domain = None;
+  }
+
+let complete task r =
+  Mutex.lock task.t_lock;
+  task.t_result <- Some r;
+  let wakers = task.t_wakers in
+  task.t_wakers <- [];
+  Condition.broadcast task.t_done;
+  Mutex.unlock task.t_lock;
+  List.iter (fun wake -> wake ()) wakers
+
+let record_latency pool dt =
+  Mutex.lock pool.lat_lock;
+  Statx.add pool.lat dt;
+  (match pool.lat_sink with
+  | Some hist -> Obs.Histogram.observe hist dt
+  | None -> ());
+  Mutex.unlock pool.lat_lock
+
+let fork t f =
+  let task = make_task () in
+  (match t with
+  | Dedicated d ->
+      Atomic.incr d.d_submitted;
+      let dom =
+        Domain.spawn (fun () ->
+            let r = try Ok (f ()) with exn -> Error exn in
+            Atomic.incr d.d_completed;
+            complete task r)
+      in
+      task.t_domain <- Some dom
+  | Pool pool ->
+      Atomic.incr pool.submitted;
+      let forked_at = Clock.now () in
+      let fiber () =
+        record_latency pool (Clock.now () -. forked_at);
+        let r = try Ok (f ()) with exn -> Error exn in
+        (* Completion order matters for [assert_quiescent]: the counter
+           must read as completed before any awaiter can observe the
+           result and tear the world down. *)
+        Atomic.incr pool.completed;
+        complete task r
+      in
+      enqueue pool (fun () -> exec_fiber pool fiber));
+  task
+
+let peek task =
+  Mutex.lock task.t_lock;
+  let r = task.t_result in
+  Mutex.unlock task.t_lock;
+  r
+
+(* Dedicated mode: reap the domain once its result is recorded.  Guarded
+   swap so concurrent awaiters join at most once. *)
+let join_domain task =
+  Mutex.lock task.t_lock;
+  let d = task.t_domain in
+  task.t_domain <- None;
+  Mutex.unlock task.t_lock;
+  match d with Some dom -> Domain.join dom | None -> ()
+
+let await task =
+  let result =
+    match peek task with
+    | Some r -> r
+    | None ->
+        if on_pool () then begin
+          let rec loop () =
+            match peek task with
+            | Some r -> r
+            | None ->
+                suspend (fun wake ->
+                    Mutex.lock task.t_lock;
+                    let still_pending = Option.is_none task.t_result in
+                    if still_pending then
+                      task.t_wakers <- wake :: task.t_wakers;
+                    Mutex.unlock task.t_lock;
+                    still_pending);
+                loop ()
+          in
+          loop ()
+        end
+        else begin
+          Mutex.lock task.t_lock;
+          while Option.is_none task.t_result do
+            Condition.wait task.t_done task.t_lock
+          done;
+          let r = Option.get task.t_result in
+          Mutex.unlock task.t_lock;
+          r
+        end
+  in
+  join_domain task;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+module Event = struct
+  type t = {
+    e_fired : bool Atomic.t;
+    e_lock : Mutex.t;
+    e_cond : Condition.t;
+    mutable e_wakers : (unit -> unit) list;
+  }
+
+  let create () =
+    {
+      e_fired = Atomic.make false;
+      e_lock = Mutex.create ();
+      e_cond = Condition.create ();
+      e_wakers = [];
+    }
+
+  let fired e = Atomic.get e.e_fired
+
+  let fire e =
+    if not (Atomic.exchange e.e_fired true) then begin
+      Mutex.lock e.e_lock;
+      let wakers = e.e_wakers in
+      e.e_wakers <- [];
+      Condition.broadcast e.e_cond;
+      Mutex.unlock e.e_lock;
+      List.iter (fun wake -> wake ()) wakers
+    end
+
+  let wait e =
+    if not (fired e) then
+      if on_pool () then begin
+        let rec loop () =
+          if not (fired e) then begin
+            suspend (fun wake ->
+                Mutex.lock e.e_lock;
+                let pending = not (Atomic.get e.e_fired) in
+                if pending then e.e_wakers <- wake :: e.e_wakers;
+                Mutex.unlock e.e_lock;
+                pending);
+            loop ()
+          end
+        in
+        loop ()
+      end
+      else begin
+        Mutex.lock e.e_lock;
+        while not (Atomic.get e.e_fired) do
+          Condition.wait e.e_cond e.e_lock
+        done;
+        Mutex.unlock e.e_lock
+      end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+type stats = {
+  pool_workers : int;
+  submitted : int;
+  completed : int;
+  stolen : int;
+  suspensions : int;
+  resumptions : int;
+  peak_queue_depth : int;
+}
+
+let stats = function
+  | Pool p ->
+      {
+        pool_workers = p.p_size;
+        submitted = Atomic.get p.submitted;
+        completed = Atomic.get p.completed;
+        stolen = Atomic.get p.stolen;
+        suspensions = Atomic.get p.suspensions;
+        resumptions = Atomic.get p.resumptions;
+        peak_queue_depth = Atomic.get p.peak_queue;
+      }
+  | Dedicated d ->
+      {
+        pool_workers = 0;
+        submitted = Atomic.get d.d_submitted;
+        completed = Atomic.get d.d_completed;
+        stolen = 0;
+        suspensions = 0;
+        resumptions = 0;
+        peak_queue_depth = 0;
+      }
+
+let live_tasks t =
+  let s = stats t in
+  s.submitted - s.completed
+
+let suspended_tasks t =
+  let s = stats t in
+  s.suspensions - s.resumptions
+
+let task_latency_percentile t p =
+  match t with
+  | Dedicated _ -> 0.0
+  | Pool pool ->
+      Mutex.lock pool.lat_lock;
+      let v = Statx.percentile pool.lat p in
+      Mutex.unlock pool.lat_lock;
+      v
+
+let register_obs ?since t obs =
+  match t with
+  | Pool pool when not (Obs.enabled obs) ->
+      (* Detach: a previous sink stops accumulating task latencies. *)
+      Mutex.lock pool.lat_lock;
+      pool.lat_sink <- None;
+      Mutex.unlock pool.lat_lock
+  | _ when not (Obs.enabled obs) -> ()
+  | t' ->
+      let s = stats t' in
+      let delta field =
+        match since with Some s0 -> field s - field s0 | None -> field s
+      in
+      Obs.Counter.add (Obs.counter obs "sched.tasks")
+        (delta (fun s -> s.submitted));
+      Obs.Counter.add (Obs.counter obs "sched.steals")
+        (delta (fun s -> s.stolen));
+      Obs.Counter.add
+        (Obs.counter obs "sched.suspensions")
+        (delta (fun s -> s.suspensions));
+      Obs.Gauge.set (Obs.gauge obs "sched.workers")
+        (float_of_int s.pool_workers);
+      Obs.Gauge.set
+        (Obs.gauge obs "sched.peak_queue_depth")
+        (float_of_int s.peak_queue_depth);
+      (match t' with
+      | Pool pool ->
+          Mutex.lock pool.lat_lock;
+          pool.lat_sink <- Some (Obs.histogram obs "sched.task_latency_s");
+          Mutex.unlock pool.lat_lock;
+          Obs.Gauge.set
+            (Obs.gauge obs "sched.task_latency_p50_s")
+            (task_latency_percentile t' 0.5);
+          Obs.Gauge.set
+            (Obs.gauge obs "sched.task_latency_p95_s")
+            (task_latency_percentile t' 0.95)
+      | Dedicated _ -> ())
+
+(* An awaiter can observe a task's result a moment before the worker
+   running it bumps [completed] (the result is published first, so the
+   waker fires first).  Quiescence is therefore an eventually-stable
+   property: give in-flight bookkeeping a bounded grace period before
+   declaring a leak. *)
+let assert_quiescent ?(what = "sched") t =
+  let deadline = Unix.gettimeofday () +. 0.5 in
+  let rec wait () =
+    let live = live_tasks t in
+    let susp = suspended_tasks t in
+    if live = 0 && susp = 0 then ()
+    else if Unix.gettimeofday () < deadline then (
+      Unix.sleepf 0.001;
+      wait ())
+    else
+      failwith
+        (Printf.sprintf
+           "%s: scheduler not quiescent: %d live tasks, %d suspended fibers"
+           what live susp)
+  in
+  wait ()

@@ -1,0 +1,145 @@
+(** The pooled domain scheduler.
+
+    The paper forks a fresh process per producer (section 4.1); the first
+    port of that idea spawned an OCaml domain per producer, which caps out
+    quickly — domains are an OS-level resource whose creation cost
+    dominates short queries.  This module replaces spawn-per-producer with
+    a fixed pool of worker domains (sized to the host, overridable) running
+    tasks from per-worker FIFO run queues with work stealing.
+
+    {2 Task model}
+
+    A task is a closure.  [fork] enqueues it and returns a handle; [await]
+    blocks until it completes and returns its result (or the exception it
+    died with).  Tasks run as {e fibers} under an effect handler: a task
+    that must wait for another task's progress — a full flow-control ring,
+    an unpublished port, an unfired event — performs {!suspend} and gives
+    its worker back to the pool instead of occupying a domain.  The waker
+    it registers is resumed on whatever worker is free, so a pool of [W]
+    workers executes arbitrarily deep producer trees without deadlock:
+    blocking edges between tasks are suspension points, never parked
+    domains.
+
+    Waits that are not task-shaped (page I/O, buffer-pool frame waits)
+    still block the worker; the default pool size keeps a floor of 4
+    workers so such waits cannot starve the pool on small hosts.
+
+    {2 Modes}
+
+    A scheduler handle is either a pool or the {e dedicated} scheduler,
+    which runs every task on a freshly spawned domain — the paper's
+    original fork-per-producer behavior, kept as the measured baseline for
+    the concurrent-query bench and for A/B experiments
+    ([VOLCANO_SCHED=dedicated]). *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** A new pool of [workers] domains (default: see {!default_workers}).
+    Raises [Invalid_argument] if [workers < 1]. *)
+
+val dedicated : unit -> t
+(** The spawn-a-domain-per-task scheduler (baseline; no pool). *)
+
+val default : unit -> t
+(** The process-wide scheduler, created on first use: a pool of
+    {!default_workers} domains, or the dedicated scheduler when
+    [VOLCANO_SCHED=dedicated]. *)
+
+val default_workers : unit -> int
+(** [VOLCANO_WORKERS] if set, else
+    [max 4 (Domain.recommended_domain_count ())].  The floor of 4 keeps
+    non-suspending waits (I/O, buffer-pool) from starving single-core
+    hosts. *)
+
+val is_pool : t -> bool
+val workers : t -> int
+(** Pool size; 0 for the dedicated scheduler. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's workers.  Call only when quiescent (no live
+    or queued tasks); the process-wide {!default} pool is normally left
+    running.  No-op on the dedicated scheduler and on a pool already shut
+    down. *)
+
+(** {2 Tasks} *)
+
+type 'a task
+
+val fork : t -> (unit -> 'a) -> 'a task
+(** Submit a closure; returns immediately. *)
+
+val await : 'a task -> ('a, exn) result
+(** Wait for the task: suspends when called from a pool fiber, parks the
+    calling domain otherwise.  On the dedicated scheduler the task's
+    domain is also joined.  May be called more than once. *)
+
+(** {2 Suspension} *)
+
+val on_pool : unit -> bool
+(** Whether the calling code runs inside a pool fiber (and may therefore
+    {!suspend}).  False on plain domains and on dedicated-mode tasks. *)
+
+val suspend : ((unit -> unit) -> bool) -> unit
+(** [suspend register] yields the current fiber.  The handler calls
+    [register wake] with a thunk that re-enqueues the fiber; [register]
+    must store [wake] where the awaited event's signaling path will find
+    it and return [true], or return [false] if the event already happened
+    (the fiber is then resumed immediately).  [wake] is idempotent — at
+    most one resumption happens no matter how many paths invoke it — so
+    registrations may be left behind in wake lists; spurious wakes are
+    harmless provided the caller re-checks its condition in a loop.
+    Raises [Invalid_argument] when called outside a pool fiber. *)
+
+(** One-shot broadcast gate: [wait] returns once [fire] has been called.
+    Waiting from a pool fiber suspends; from anywhere else it parks the
+    domain.  Replaces the close-permission semaphore of the exchange
+    teardown protocol. *)
+module Event : sig
+  type t
+
+  val create : unit -> t
+  val fired : t -> bool
+  val fire : t -> unit
+  val wait : t -> unit
+end
+
+(** {2 Introspection} *)
+
+type stats = {
+  pool_workers : int;
+  submitted : int;  (** tasks forked *)
+  completed : int;  (** tasks whose fiber ran to completion *)
+  stolen : int;  (** tasks taken from another worker's queue *)
+  suspensions : int;  (** times a fiber yielded its worker *)
+  resumptions : int;  (** suspended fibers re-enqueued *)
+  peak_queue_depth : int;  (** deepest any single run queue has been *)
+}
+
+val stats : t -> stats
+
+val live_tasks : t -> int
+(** [submitted - completed]: forked tasks not yet run to completion. *)
+
+val suspended_tasks : t -> int
+(** [suspensions - resumptions]: fibers currently parked off-worker. *)
+
+val task_latency_percentile : t -> float -> float
+(** Percentile (p in [0, 1]) of fork-to-start task latencies, seconds,
+    over a bounded reservoir of all tasks so far.  0 on the dedicated
+    scheduler. *)
+
+val register_obs : ?since:stats -> t -> Volcano_obs.Obs.t -> unit
+(** Publish scheduler metrics into an observability sink: counters
+    [sched.tasks]/[sched.steals]/[sched.suspensions], gauges
+    [sched.workers]/[sched.peak_queue_depth], and the task-latency
+    histogram [sched.task_latency_s] (p50/p95 of the latency reservoir).
+    With [since] (an earlier {!stats} snapshot), counters report the
+    delta, scoping the report to one run on a long-lived pool.
+    Registering a disabled sink detaches the previous histogram. *)
+
+val assert_quiescent : ?what:string -> t -> unit
+(** Raise [Failure] unless every forked task has completed and no fiber
+    is suspended — the scheduler analogue of the exchange domain-counter
+    teardown assertion.  Allows a short grace period for in-flight
+    completion bookkeeping to settle.  Call from test teardowns. *)

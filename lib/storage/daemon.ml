@@ -1,12 +1,20 @@
+module Sched = Volcano_sched.Sched
+
 type request =
   | Flush of Device.t * int
   | Read_ahead of Device.t * int
 
 type job = Work of request | Quit
 
+(* Two serving modes: dedicated daemon domains looping over the queue (the
+   paper's forked daemon processes), or fire-and-forget tasks on a shared
+   scheduler pool — one task per request, so idle daemons cost nothing. *)
+type mode = Domains | Pooled of Sched.t
+
 type t = {
   buffer : Bufpool.t;
-  queue : job Queue.t;
+  mode : mode;
+  queue : job Queue.t; (* Domains mode only *)
   lock : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
@@ -16,6 +24,20 @@ type t = {
   flushes : int Atomic.t;
   reads : int Atomic.t;
 }
+
+let perform t request =
+  match request with
+  | Flush (dev, page) ->
+      if Bufpool.flush_page t.buffer dev page then Atomic.incr t.flushes
+  | Read_ahead (dev, page) ->
+      Bufpool.prefetch t.buffer dev page;
+      Atomic.incr t.reads
+
+let retire t =
+  Mutex.lock t.lock;
+  t.busy <- t.busy - 1;
+  if t.busy = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
 
 let serve t () =
   let rec loop () =
@@ -29,25 +51,23 @@ let serve t () =
     match job with
     | Quit -> ()
     | Work request ->
-        (match request with
-        | Flush (dev, page) ->
-            if Bufpool.flush_page t.buffer dev page then Atomic.incr t.flushes
-        | Read_ahead (dev, page) ->
-            Bufpool.prefetch t.buffer dev page;
-            Atomic.incr t.reads);
-        Mutex.lock t.lock;
-        t.busy <- t.busy - 1;
-        if t.busy = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle;
-        Mutex.unlock t.lock;
+        perform t request;
+        retire t;
         loop ()
   in
   loop ()
 
-let start ~buffer ~workers =
+let start ?sched ~buffer ~workers () =
   assert (workers > 0);
+  let mode =
+    match sched with
+    | Some s when Sched.is_pool s -> Pooled s
+    | Some _ | None -> Domains
+  in
   let t =
     {
       buffer;
+      mode;
       queue = Queue.create ();
       lock = Mutex.create ();
       nonempty = Condition.create ();
@@ -59,7 +79,9 @@ let start ~buffer ~workers =
       reads = Atomic.make 0;
     }
   in
-  t.workers <- List.init workers (fun _ -> Domain.spawn (serve t));
+  (match mode with
+  | Domains -> t.workers <- List.init workers (fun _ -> Domain.spawn (serve t))
+  | Pooled _ -> ());
   t
 
 let submit t request =
@@ -68,9 +90,20 @@ let submit t request =
     Mutex.unlock t.lock;
     invalid_arg "Daemon.submit: daemon stopped"
   end;
-  Queue.push (Work request) t.queue;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.lock
+  match t.mode with
+  | Domains ->
+      Queue.push (Work request) t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.lock
+  | Pooled sched ->
+      t.busy <- t.busy + 1;
+      Mutex.unlock t.lock;
+      ignore
+        (Sched.fork sched (fun () ->
+             Fun.protect
+               ~finally:(fun () -> retire t)
+               (fun () -> perform t request))
+          : unit Sched.task)
 
 let pending t =
   Mutex.lock t.lock;
@@ -89,10 +122,17 @@ let stop t =
   Mutex.lock t.lock;
   if not t.stopped then begin
     t.stopped <- true;
-    List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.lock;
-    List.iter Domain.join t.workers
+    match t.mode with
+    | Domains ->
+        List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+        Condition.broadcast t.nonempty;
+        Mutex.unlock t.lock;
+        List.iter Domain.join t.workers
+    | Pooled _ ->
+        (* In-flight tasks belong to the pool; wait them out so stopped
+           means quiescent, matching the joined-domains guarantee. *)
+        Mutex.unlock t.lock;
+        drain t
   end
   else Mutex.unlock t.lock
 

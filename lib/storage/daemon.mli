@@ -11,8 +11,13 @@ type request =
 
 type t
 
-val start : buffer:Bufpool.t -> workers:int -> t
-(** Fork [workers] daemon domains serving a shared request queue. *)
+val start :
+  ?sched:Volcano_sched.Sched.t -> buffer:Bufpool.t -> workers:int -> unit -> t
+(** Fork [workers] daemon domains serving a shared request queue.  With
+    [~sched] naming a pool scheduler, no domains are forked: each request
+    runs as a fire-and-forget task on the pool ([workers] is ignored), so
+    an idle daemon holds no domain.  A dedicated scheduler falls back to
+    daemon domains. *)
 
 val submit : t -> request -> unit
 (** Enqueue a request; returns immediately.

@@ -18,6 +18,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("plan-extra", Test_plan_extra.suite);
       ("random-plans", Test_random_plans.suite);
+      ("sched", Test_sched.suite);
       ("chaos", Test_chaos.suite);
       ("sim", Test_sim.suite);
       ("wisconsin", Test_wisconsin.suite);

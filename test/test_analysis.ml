@@ -132,17 +132,42 @@ let test_schema_partition_column () =
 (* --- pass 2: exchange configuration --------------------------------- *)
 
 let test_exchange_config_literals () =
-  (* Record literals bypass the smart constructor; the analyzer still
-     catches them. *)
-  let base = Exchange.config () in
-  assert_rejected "packet size zero" "exchange-packet-size"
-    (Plan.Exchange { cfg = { base with packet_size = 0 }; input = gen 10 });
-  assert_rejected "packet size over one byte" "exchange-packet-size"
-    (Plan.Exchange { cfg = { base with packet_size = 1000 }; input = gen 10 });
-  assert_rejected "degree zero" "exchange-degree"
-    (Plan.Exchange { cfg = { base with degree = 0 }; input = gen 10 });
-  assert_rejected "non-positive flow slack" "exchange-flow-slack"
-    (Plan.Exchange { cfg = { base with flow_slack = Some 0 }; input = gen 10 })
+  (* [Exchange.config] is private now, so a malformed scalar field can no
+     longer ride into a compiled plan — but the analyzer still diagnoses
+     hand-built IR (plans that never went through the constructor),
+     through the same [Exchange.validate] the constructor calls. *)
+  let module Ir = Volcano_analysis.Ir in
+  let leaf =
+    Ir.Leaf { label = "gen"; arity = 3; rows = Some 10; bad_rows = 0 }
+  in
+  let base =
+    {
+      Ir.degree = 1;
+      packet_size = 83;
+      flow_slack = Some 4;
+      partition = Ir.Round_robin;
+    }
+  in
+  let assert_ir name code node =
+    let diags = Volcano_analysis.Analyze.analyze ~frames:64 node in
+    if not (has ~severity:Diag.Error code diags) then
+      Alcotest.failf "%s: expected error %s among [%s]" name code (codes diags)
+  in
+  assert_ir "packet size zero" "exchange-packet-size"
+    (Ir.Exchange { cfg = { base with packet_size = 0 }; input = leaf });
+  assert_ir "packet size over one byte" "exchange-packet-size"
+    (Ir.Exchange { cfg = { base with packet_size = 1000 }; input = leaf });
+  assert_ir "degree zero" "exchange-degree"
+    (Ir.Exchange { cfg = { base with degree = 0 }; input = leaf });
+  assert_ir "non-positive flow slack" "exchange-flow-slack"
+    (Ir.Exchange { cfg = { base with flow_slack = Some 0 }; input = leaf });
+  (* And the shared validator reports all problems at once, in order. *)
+  check
+    Alcotest.(list string)
+    "validate codes"
+    [ "exchange-degree"; "exchange-packet-size"; "exchange-flow-slack" ]
+    (List.map fst
+       (Exchange.validate ~degree:0 ~packet_size:0 ~flow_slack:(Some 0)))
 
 let test_exchange_config_constructor () =
   List.iter

@@ -28,6 +28,7 @@ module Rng = Volcano_util.Rng
 module Fault = Volcano_fault
 module Injector = Volcano_fault.Injector
 module Obs = Volcano_obs.Obs
+module Sched = Volcano_sched.Sched
 
 let default_cases = 100
 
@@ -126,7 +127,9 @@ let run_case ~plan_seed ~fault_seed =
     failf "leaked %d unjoined domain(s)"
       (Exchange.unjoined_domains () - unjoined0);
   if Exchange.live_domains () <> live0 then
-    failf "leaked %d live domain(s)" (Exchange.live_domains () - live0)
+    failf "leaked %d live domain(s)" (Exchange.live_domains () - live0);
+  try Sched.assert_quiescent ~what:"chaos case" (Sched.default ())
+  with Failure msg -> failf "%s" msg
 
 let test_matrix () =
   (* CHAOS_REPRO=<plan_seed>:<fault_seed> replays a single failing pair
@@ -196,7 +199,8 @@ let test_delays_preserve_results () =
     | Timeout ->
         Alcotest.failf "delay-only run hung (plan_seed=%Ld)" plan_seed);
     Env.clear_faults env;
-    Bufpool.assert_quiescent ~what:"delay case" (Env.buffer env)
+    Bufpool.assert_quiescent ~what:"delay case" (Env.buffer env);
+    Sched.assert_quiescent ~what:"delay case" (Sched.default ())
   done
 
 (* Satellite: early close under injected delays.  Open a decorated plan
@@ -241,7 +245,9 @@ let test_early_close_under_delays () =
     Alcotest.(check int)
       "no unjoined domains" unjoined0
       (Exchange.unjoined_domains ());
-    Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ())
+    Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ());
+    Sched.assert_quiescent ~what:"early close under delays"
+      (Sched.default ())
   done
 
 (* Satellite: a slice of the chaos matrix with observability on.  The
@@ -311,7 +317,8 @@ let test_obs_matrix () =
       Alcotest.(check int)
         "no unjoined domains" unjoined0
         (Exchange.unjoined_domains ());
-      Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ())
+      Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ());
+      Sched.assert_quiescent ~what:"obs chaos case" (Sched.default ())
     end
   done
 

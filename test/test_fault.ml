@@ -15,18 +15,20 @@ module Plan = Volcano_plan.Plan
 module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
 module Tuple = Volcano_tuple.Tuple
+module Sched = Volcano_sched.Sched
 
 let check = Alcotest.check
 
-(* Every test asserts the domain books balance afterwards: a failed query
-   must leave no producer domain running or unjoined. *)
+(* Every test asserts the books balance afterwards: a failed query must
+   leave no producer task running or unjoined, and no fiber suspended. *)
 let with_domain_accounting f =
   let unjoined0 = Exchange.unjoined_domains () in
   let live0 = Exchange.live_domains () in
   f ();
-  check Alcotest.int "no unjoined domains" unjoined0
+  check Alcotest.int "no unjoined tasks" unjoined0
     (Exchange.unjoined_domains ());
-  check Alcotest.int "no live domains" live0 (Exchange.live_domains ())
+  check Alcotest.int "no live tasks" live0 (Exchange.live_domains ());
+  Sched.assert_quiescent ~what:"fault case" (Sched.default ())
 
 (* --- injector ------------------------------------------------------- *)
 

@@ -9,6 +9,7 @@ module Plan = Volcano_plan.Plan
 module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
 module Exchange = Volcano.Exchange
+module Sched = Volcano_sched.Sched
 module Bufpool = Volcano_storage.Bufpool
 module Tuple = Volcano_tuple.Tuple
 module Expr = Volcano_tuple.Expr
@@ -303,6 +304,7 @@ let prop_exchange_invariance =
           [ 1; 2 ]
       in
       Bufpool.assert_quiescent ~what:"exchange invariance" (Env.buffer env);
+      Sched.assert_quiescent ~what:"exchange invariance" (Sched.default ());
       ok)
 
 (* Differential lock on the exchange hot path: the decorated (parallel)
@@ -311,7 +313,9 @@ let prop_exchange_invariance =
    independently built serial original; this one floods the ring/pool/
    wait machinery with many small parallel plans, where the packet counts
    are low enough that end-of-stream, shutdown, and pool-recycling edges
-   dominate. *)
+   dominate.  Since the default scheduler is the shared worker pool, this
+   is also the serial-vs-pooled differential: every parallel run here
+   executes its producers as pool fibers. *)
 let prop_serial_parallel_differential =
   QCheck.Test.make ~name:"stripped serial twin matches across 1000 seeds"
     ~count:1000
@@ -324,6 +328,8 @@ let prop_serial_parallel_differential =
       let ok = sorted_run env parallel = sorted_run env serial in
       Bufpool.assert_quiescent ~what:"serial/parallel differential"
         (Env.buffer env);
+      Sched.assert_quiescent ~what:"serial/parallel differential"
+        (Sched.default ());
       ok)
 
 (* --- the converse: rejected plans really are broken ------------------- *)
@@ -344,9 +350,11 @@ let mutate rng arity plan =
           input = plan;
         }
   | 2 ->
-      (* record literal: bypasses the Exchange.config validation *)
-      Plan.Exchange
-        { cfg = { (Exchange.config ()) with packet_size = 0 }; input = plan }
+      (* An unresolved leaf: the catalog pass flags it
+         (schema-unknown-source) and compilation raises [Not_found].
+         (A malformed config literal is no longer constructible — the
+         record is private behind the validating constructor.) *)
+      Plan.Cross { left = plan; right = Plan.Scan_table "__missing__" }
   | _ ->
       Plan.Exchange
         {

@@ -1,0 +1,366 @@
+(* The worker-pool scheduler and the multi-query runtime on top of it:
+   fork/await/steal mechanics, fiber suspension (events, blocked ports),
+   pool exhaustion (more producers than workers must not deadlock),
+   admission gating, queued-task cancellation, deadlines, and the Session
+   facade tying them together. *)
+
+module Sched = Volcano_sched.Sched
+module Runtime = Volcano_sched.Runtime
+module Exchange = Volcano.Exchange
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Session = Volcano_plan.Session
+module Bufpool = Volcano_storage.Bufpool
+module Device = Volcano_storage.Device
+module Daemon = Volcano_storage.Daemon
+module Tuple = Volcano_tuple.Tuple
+
+let check = Alcotest.check
+
+let with_pool ?(workers = 2) f =
+  let sched = Sched.create ~workers () in
+  Fun.protect
+    ~finally:(fun () -> Sched.shutdown sched)
+    (fun () ->
+      let r = f sched in
+      Sched.assert_quiescent ~what:"test pool" sched;
+      r)
+
+(* --- pool basics ----------------------------------------------------- *)
+
+let test_fork_await () =
+  with_pool ~workers:2 (fun sched ->
+      let tasks = List.init 50 (fun i -> Sched.fork sched (fun () -> i * i)) in
+      List.iteri
+        (fun i task ->
+          match Sched.await task with
+          | Ok v -> check Alcotest.int "task result" (i * i) v
+          | Error exn -> Alcotest.failf "task %d: %s" i (Printexc.to_string exn))
+        tasks;
+      let s = Sched.stats sched in
+      check Alcotest.int "workers" 2 s.Sched.pool_workers;
+      check Alcotest.int "submitted" 50 s.Sched.submitted;
+      check Alcotest.int "completed" 50 s.Sched.completed)
+
+let test_fork_await_dedicated () =
+  let sched = Sched.dedicated () in
+  let tasks = List.init 8 (fun i -> Sched.fork sched (fun () -> i + 1)) in
+  List.iteri
+    (fun i task ->
+      match Sched.await task with
+      | Ok v -> check Alcotest.int "task result" (i + 1) v
+      | Error exn -> Alcotest.failf "task %d: %s" i (Printexc.to_string exn))
+    tasks;
+  check Alcotest.int "no pool workers" 0 (Sched.workers sched);
+  Sched.assert_quiescent ~what:"dedicated" sched
+
+let test_task_failure () =
+  with_pool (fun sched ->
+      let task = Sched.fork sched (fun () -> failwith "boom") in
+      match Sched.await task with
+      | Ok _ -> Alcotest.fail "expected Error"
+      | Error (Failure msg) -> check Alcotest.string "message" "boom" msg
+      | Error exn -> Alcotest.failf "wrong exn: %s" (Printexc.to_string exn))
+
+let test_event () =
+  with_pool (fun sched ->
+      let gate = Sched.Event.create () in
+      check Alcotest.bool "not fired" false (Sched.Event.fired gate);
+      (* Waiters both on-pool (fiber suspends) and off-pool (condition
+         wait) must wake on one fire. *)
+      let waiter = Sched.fork sched (fun () -> Sched.Event.wait gate; 7) in
+      let firer =
+        Sched.fork sched (fun () ->
+            Unix.sleepf 0.005;
+            Sched.Event.fire gate)
+      in
+      check Alcotest.(result int reject) "pool waiter" (Ok 7)
+        (match Sched.await waiter with Ok v -> Ok v | Error _ -> Ok (-1));
+      Sched.Event.wait gate;
+      ignore (Sched.await firer : (unit, exn) result);
+      Sched.Event.fire gate (* idempotent *))
+
+let test_suspend_off_pool_rejected () =
+  Alcotest.check_raises "suspend off pool"
+    (Invalid_argument "Sched.suspend: not inside a pool fiber") (fun () ->
+      Sched.suspend (fun _ -> false))
+
+(* --- pool exhaustion -------------------------------------------------- *)
+
+(* More producer tasks than workers, with blocking dependencies between
+   them (inner producers block on flow control; outer producers block on
+   the inner port lookup and receives).  On a 2-worker pool this deadlocks
+   unless every one of those waits suspends its fiber instead of holding
+   the worker. *)
+let test_pool_exhaustion_no_deadlock () =
+  let slice n =
+    Plan.Generate_slice
+      { arity = 2; count = n; gen = (fun i -> Tuple.of_ints [ i; i mod 7 ]) }
+  in
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:4 ~packet_size:3 ~flow_slack:(Some 2) ();
+        input =
+          Plan.Exchange
+            {
+              cfg =
+                Exchange.config ~degree:3 ~packet_size:3 ~flow_slack:(Some 2)
+                  ();
+              input = slice 600;
+            };
+      }
+  in
+  Session.with_session ~workers:2 ~frames:64 ~page_size:512 (fun s ->
+      for _ = 1 to 3 do
+        check Alcotest.int "rows survive 7 tasks on 2 workers" 600
+          (Session.exec_count s plan)
+      done;
+      Sched.assert_quiescent ~what:"exhaustion" (Session.sched s))
+
+(* --- runtime: admission, cancellation, deadlines ---------------------- *)
+
+let test_admission_gate () =
+  with_pool ~workers:4 (fun sched ->
+      let rt = Runtime.create ~max_concurrent:2 sched in
+      let gate = Sched.Event.create () in
+      let a = Runtime.submit rt (fun () -> Sched.Event.wait gate; "a") in
+      let b = Runtime.submit rt (fun () -> Sched.Event.wait gate; "b") in
+      let c = Runtime.submit rt (fun () -> "c") in
+      (* a and b hold both slots; c must stay queued. *)
+      let rec wait_running n =
+        if Runtime.running rt < n then (Unix.sleepf 0.002; wait_running n)
+      in
+      wait_running 2;
+      check Alcotest.int "queued behind the gate" 1 (Runtime.queued rt);
+      check Alcotest.bool "c not started" true (Runtime.status c = Runtime.Queued);
+      Sched.Event.fire gate;
+      check Alcotest.(result string reject) "c runs after release" (Ok "c")
+        (match Runtime.await c with Ok v -> Ok v | Error _ -> Ok "?");
+      ignore (Runtime.await a : (string, exn) result);
+      ignore (Runtime.await b : (string, exn) result);
+      Runtime.close rt)
+
+let test_queued_cancel_never_runs () =
+  with_pool ~workers:2 (fun sched ->
+      let rt = Runtime.create ~max_concurrent:1 sched in
+      let gate = Sched.Event.create () in
+      let ran = Atomic.make false in
+      let a = Runtime.submit rt (fun () -> Sched.Event.wait gate) in
+      let b = Runtime.submit rt (fun () -> Atomic.set ran true) in
+      check Alcotest.bool "b queued" true (Runtime.status b = Runtime.Queued);
+      Runtime.cancel b;
+      Sched.Event.fire gate;
+      (match Runtime.await b with
+      | Error Runtime.Cancelled -> ()
+      | Error exn -> Alcotest.failf "wrong exn: %s" (Printexc.to_string exn)
+      | Ok () -> Alcotest.fail "cancelled job returned Ok");
+      check Alcotest.bool "b aborted" true (Runtime.status b = Runtime.Aborted);
+      ignore (Runtime.await a : (unit, exn) result);
+      Runtime.close rt;
+      check Alcotest.bool "cancelled-while-queued body never ran" false
+        (Atomic.get ran))
+
+let test_close_drains_queue () =
+  with_pool ~workers:2 (fun sched ->
+      let rt = Runtime.create ~max_concurrent:1 sched in
+      let jobs = List.init 5 (fun i -> Runtime.submit rt (fun () -> i)) in
+      Runtime.close rt;
+      List.iteri
+        (fun i j ->
+          check Alcotest.bool "finished" true (Runtime.status j = Runtime.Finished);
+          match Runtime.await j with
+          | Ok v -> check Alcotest.int "drained result" i v
+          | Error exn -> Alcotest.failf "job %d: %s" i (Printexc.to_string exn))
+        jobs;
+      Alcotest.check_raises "submit after close"
+        (Invalid_argument "Runtime.submit: runtime is closed") (fun () ->
+          ignore (Runtime.submit rt (fun () -> ()) : unit Runtime.job)))
+
+(* The paper-shaped cancellation path: a deadline (or explicit cancel)
+   poisons the query's root scope, the poison chains through every port,
+   and the job fails with the reason as the [Query_failed] origin. *)
+let big_exchange_plan =
+  Plan.Exchange
+    {
+      cfg = Exchange.config ~degree:2 ~packet_size:8 ~flow_slack:(Some 4) ();
+      input =
+        Plan.Generate_slice
+          { arity = 1; count = 40_000_000; gen = (fun i -> Tuple.of_ints [ i ]) };
+    }
+
+let test_session_deadline () =
+  Session.with_session ~workers:3 ~frames:64 ~page_size:512 (fun s ->
+      match Session.exec_count ~deadline_s:0.03 s big_exchange_plan with
+      | n -> Alcotest.failf "40M-row query beat a 30ms deadline (%d rows)" n
+      | exception Exchange.Query_failed { origin = Runtime.Deadline_exceeded; _ }
+        ->
+          Sched.assert_quiescent ~what:"deadline" (Session.sched s)
+      | exception exn ->
+          Alcotest.failf "wrong failure: %s" (Printexc.to_string exn))
+
+let test_session_cancel_running () =
+  Session.with_session ~workers:3 ~frames:64 ~page_size:512 (fun s ->
+      let job = Session.submit_count ~label:"big" s big_exchange_plan in
+      let rec wait_running () =
+        match Session.status job with
+        | Runtime.Queued -> Unix.sleepf 0.002; wait_running ()
+        | _ -> ()
+      in
+      wait_running ();
+      Session.cancel job;
+      (match Session.await job with
+      | Error (Exchange.Query_failed { origin = Runtime.Cancelled; _ }) -> ()
+      | Error exn -> Alcotest.failf "wrong exn: %s" (Printexc.to_string exn)
+      | Ok n -> Alcotest.failf "cancelled query completed with %d rows" n);
+      check Alcotest.bool "aborted" true (Session.status job = Runtime.Aborted);
+      Sched.assert_quiescent ~what:"cancel" (Session.sched s))
+
+(* --- session basics --------------------------------------------------- *)
+
+let test_session_exec_matches_serial () =
+  let mk () =
+    Plan.Aggregate
+      {
+        algo = Plan.Hash_based;
+        group_by = [ 1 ];
+        aggs = [];
+        input =
+          Plan.Exchange
+            {
+              cfg =
+                Exchange.config ~degree:3
+                  ~partition:(Exchange.Hash_on [ 1 ])
+                  ();
+              input =
+                Plan.Generate_slice
+                  {
+                    arity = 2;
+                    count = 5_000;
+                    gen = (fun i -> Tuple.of_ints [ i; i mod 97 ]);
+                  };
+            };
+      }
+  in
+  let serial_env =
+    Env.create ~frames:64 ~page_size:512 ~sched:(Sched.dedicated ()) ()
+  in
+  let expected = List.sort Tuple.compare (Compile.run serial_env (mk ())) in
+  Session.with_session ~workers:2 ~frames:64 ~page_size:512 (fun s ->
+      let rows = List.sort Tuple.compare (Session.exec s (mk ())) in
+      check Alcotest.bool "pooled session = dedicated run" true
+        (rows = expected))
+
+let test_session_concurrent_submits () =
+  Session.with_session ~workers:3 ~max_concurrent:2 ~frames:128 ~page_size:512
+    (fun s ->
+      let plan n =
+        Plan.Exchange
+          {
+            cfg = Exchange.config ~degree:2 ~packet_size:5 ();
+            input =
+              Plan.Generate_slice
+                { arity = 1; count = n; gen = (fun i -> Tuple.of_ints [ i ]) };
+          }
+      in
+      let jobs =
+        List.init 8 (fun i ->
+            (400 + (i * 13), Session.submit_count s (plan (400 + (i * 13)))))
+      in
+      List.iter
+        (fun (expect, job) ->
+          match Session.await job with
+          | Ok n -> check Alcotest.int "concurrent query rows" expect n
+          | Error exn -> Alcotest.failf "job failed: %s" (Printexc.to_string exn))
+        jobs;
+      Sched.assert_quiescent ~what:"concurrent submits" (Session.sched s))
+
+(* --- pooled-vs-dedicated differential --------------------------------- *)
+
+(* The same randomly decorated plans, one env on the shared pool, one on
+   a dedicated (domain-per-producer) scheduler: results must agree.  The
+   1000-seed differential in [Test_random_plans] covers pooled-vs-serial;
+   this closes the remaining edge. *)
+let test_pooled_vs_dedicated_differential () =
+  with_pool ~workers:3 (fun pool ->
+      for case = 0 to 14 do
+        let seed = Int64.of_int ((104729 * case) + 7) in
+        let rng = Volcano_util.Rng.create seed in
+        let depth = 1 + Volcano_util.Rng.int rng 2 in
+        let plan =
+          Test_random_plans.decorate rng (Test_random_plans.random_plan rng depth)
+        in
+        let run sched =
+          let env = Env.create ~frames:128 ~page_size:512 ~sched () in
+          if Test_random_plans.accepted env plan then
+            Some (Test_random_plans.sorted_run env plan)
+          else None
+        in
+        match (run pool, run (Sched.dedicated ())) with
+        | Some pooled, Some dedicated ->
+            if pooled <> dedicated then
+              Alcotest.failf "pooled/dedicated divergence (seed=%Ld)" seed
+        | None, None -> ()
+        | _ -> Alcotest.failf "acceptance divergence (seed=%Ld)" seed
+      done)
+
+(* --- storage daemon on the pool --------------------------------------- *)
+
+let test_pooled_daemon () =
+  with_pool ~workers:2 (fun sched ->
+      let pool = Bufpool.create ~frames:8 ~page_size:128 () in
+      let dev = Device.create_virtual ~page_size:128 ~capacity:64 () in
+      let pages = Array.init 6 (fun _ -> Device.allocate dev) in
+      Array.iter
+        (fun p ->
+          let f = Bufpool.fix_new pool dev p in
+          Bufpool.mark_dirty f;
+          Bufpool.unfix pool f)
+        pages;
+      let daemon = Daemon.start ~sched ~buffer:pool ~workers:1 () in
+      Array.iter (fun p -> Daemon.submit daemon (Daemon.Flush (dev, p))) pages;
+      Daemon.drain daemon;
+      check Alcotest.int "flushed on pool tasks" 6 (Daemon.flushes_done daemon);
+      Bufpool.purge_device pool dev;
+      Array.iter
+        (fun p -> Daemon.submit daemon (Daemon.Read_ahead (dev, p)))
+        pages;
+      Daemon.drain daemon;
+      check Alcotest.int "read ahead on pool tasks" 6 (Daemon.reads_done daemon);
+      Array.iter
+        (fun p ->
+          check Alcotest.bool "resident" true (Bufpool.contains pool dev p))
+        pages;
+      Daemon.stop daemon;
+      Alcotest.check_raises "submit after stop"
+        (Invalid_argument "Daemon.submit: daemon stopped") (fun () ->
+          Daemon.submit daemon (Daemon.Flush (dev, pages.(0))));
+      Bufpool.assert_quiescent ~what:"pooled daemon" pool)
+
+let suite =
+  [
+    Alcotest.test_case "fork and await on the pool" `Quick test_fork_await;
+    Alcotest.test_case "dedicated mode" `Quick test_fork_await_dedicated;
+    Alcotest.test_case "task failure is a result" `Quick test_task_failure;
+    Alcotest.test_case "events" `Quick test_event;
+    Alcotest.test_case "suspend off pool rejected" `Quick
+      test_suspend_off_pool_rejected;
+    Alcotest.test_case "pool exhaustion does not deadlock" `Quick
+      test_pool_exhaustion_no_deadlock;
+    Alcotest.test_case "admission gate" `Quick test_admission_gate;
+    Alcotest.test_case "queued cancel never runs" `Quick
+      test_queued_cancel_never_runs;
+    Alcotest.test_case "close drains the queue" `Quick test_close_drains_queue;
+    Alcotest.test_case "deadline poisons the query" `Quick test_session_deadline;
+    Alcotest.test_case "cancel a running query" `Quick
+      test_session_cancel_running;
+    Alcotest.test_case "session exec matches dedicated" `Quick
+      test_session_exec_matches_serial;
+    Alcotest.test_case "concurrent submits" `Quick
+      test_session_concurrent_submits;
+    Alcotest.test_case "pooled vs dedicated differential" `Quick
+      test_pooled_vs_dedicated_differential;
+    Alcotest.test_case "daemon requests as pool tasks" `Quick
+      test_pooled_daemon;
+  ]
