@@ -244,7 +244,7 @@ let explain_cmd name rows degree =
 
 let with_sess workers f = Session.with_session ?workers ~frames:2048 f
 
-let analyze_cmd name rows degree =
+let analyze_cmd name rows degree strict workers flow_budget =
   match find_query name with
   | Error e ->
       prerr_endline e;
@@ -253,9 +253,11 @@ let analyze_cmd name rows degree =
       let env = Env.create ~frames:2048 () in
       let plan = q.build ~rows ~degree in
       print_string (Plan.explain env plan);
-      let diags = Compile.analyze env plan in
+      let diags = Compile.analyze ?workers ?flow_budget env plan in
       Format.printf "%a" Volcano_analysis.Diag.pp_report diags;
-      if List.exists Volcano_analysis.Diag.is_error diags then 1 else 0
+      if List.exists Volcano_analysis.Diag.is_error diags then 1
+      else if strict && diags <> [] then 1
+      else 0
 
 let run_cmd name rows degree limit workers =
   match find_query name with
@@ -351,7 +353,38 @@ let list_term = Term.(const list_cmd $ const ())
 
 let explain_term = Term.(const explain_cmd $ name_arg $ rows_arg $ degree_arg)
 
-let analyze_term = Term.(const analyze_cmd $ name_arg $ rows_arg $ degree_arg)
+let analyze_term =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit non-zero when $(i,any) diagnostic is emitted, warnings \
+             included (the default exits non-zero only on errors).  For \
+             lint gates in CI.")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Assume a worker pool of this size for the scheduler-placement \
+             advisory (VL501); 0 disables it.  Default: the pool this \
+             process would run the query on.")
+  in
+  let flow_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flow-budget" ] ~docv:"RECORDS"
+          ~doc:
+            "Budget, in records, for the flow-control memory bound (VL502). \
+             Default 1048576.")
+  in
+  Term.(
+    const analyze_cmd $ name_arg $ rows_arg $ degree_arg $ strict $ workers
+    $ flow_budget)
 
 let run_term =
   Term.(
@@ -393,7 +426,8 @@ let cmds =
       (Cmd.info "analyze"
          ~doc:
            "Static analysis: print the analyzer's diagnostics for a query's \
-            plan (exit 1 if it would be rejected).")
+            plan (exit 1 if it would be rejected; with --strict, exit 1 on \
+            any diagnostic at all).")
       analyze_term;
     Cmd.v (Cmd.info "run" ~doc:"Execute a demo query.") run_term;
     Cmd.v

@@ -1,0 +1,34 @@
+(* conclint CLI: lint OCaml sources for concurrency hazards.
+
+   Usage: volcano_lint PATH...        (directories are scanned for .ml)
+
+   Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on
+   usage errors.  Codes are stable (CL001 suspend-under-lock, CL002
+   lock-order-cycle, CL003 blocking-in-fiber) so CI can grep them. *)
+
+let () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.filter (fun a -> a <> "") rest
+    | [] -> []
+  in
+  if paths = [] then begin
+    prerr_endline "usage: volcano_lint PATH...";
+    exit 2
+  end;
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "volcano_lint: no such path: %s\n" p;
+        exit 2
+      end)
+    paths;
+  let diags = Volcano_lint.Lint.run_paths paths in
+  List.iter (fun d -> print_endline (Volcano_lint.Cldiag.to_string d)) diags;
+  match diags with
+  | [] ->
+      print_endline "conclint: clean";
+      exit 0
+  | _ ->
+      Printf.printf "conclint: %d diagnostic(s)\n" (List.length diags);
+      exit 1

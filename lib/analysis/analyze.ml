@@ -474,7 +474,94 @@ let resource_pass ?(max_domains = 512) ?frames root =
   | None -> ());
   List.rev !diags
 
-let analyze ?max_domains ?frames root =
+(* ------------------------------------------------------------------ *)
+(* Pass 5: scheduler placement (degree of parallelism)                 *)
+
+(* Every exchange producer is one scheduler task alive for the whole
+   query.  On the pooled scheduler those tasks share [workers] domains;
+   a modest oversubscription is healthy (producers block on flow control
+   and I/O), but past it consumers wait whole scheduling rounds between
+   packets and the fork-per-group latency the pool was built to hide
+   comes back as queueing delay. *)
+let sched_pass ?(oversub = 4) ~workers root =
+  if workers <= 0 then [] (* dedicated scheduler: one domain per task *)
+  else
+    let tasks = domains root in
+    let limit = oversub * workers in
+    if tasks > limit then
+      [
+        Diag.warning ~code:"sched-dop" ~path:"root"
+          (Printf.sprintf
+             "plan schedules %d concurrent producer tasks onto a pool of %d \
+              worker(s) — over the %dx oversubscription advisory of %d; \
+              consumers will wait whole scheduling rounds between packets; \
+              lower the exchange degrees, use the no-fork interchange, or \
+              size the pool up"
+             tasks workers oversub limit);
+      ]
+    else []
+
+(* ------------------------------------------------------------------ *)
+(* Pass 6: flow-control memory bound                                   *)
+
+(* A flow-controlled exchange bounds its buffering: each producer may be
+   [flow_slack] packets ahead of each consumer, so the edge pins at most
+   [degree x consumers x slack] packets of [packet_size] records at
+   once.  Summed over the plan, that worst case is the query's packet
+   memory high-water mark; compare it against a budget so a "bounded"
+   plan whose bound is absurd is flagged before it runs.  Edges without
+   flow control are unbounded by construction and are not counted — the
+   paper's position is that their buffering is limited by operator
+   demand, not by the exchange.  The no-fork interchange hands packets
+   over synchronously and buffers nothing. *)
+let memory_pass ?(flow_budget = 1 lsl 20) root =
+  let worst = ref 0 in
+  let edge (cfg : Ir.cfg) consumers =
+    match cfg.flow_slack with
+    | Some slack -> worst := !worst + (cfg.degree * consumers * slack * cfg.packet_size)
+    | None -> ()
+  in
+  let rec walk consumers = function
+    | Ir.Leaf _ | Ir.Unresolved _ -> ()
+    | Ir.Filter { input; _ }
+    | Ir.Project_cols { input; _ }
+    | Ir.Project_exprs { input; _ }
+    | Ir.Sort { input; _ }
+    | Ir.Aggregate { input; _ }
+    | Ir.Distinct { input; _ }
+    | Ir.Limit { input; _ }
+    | Ir.Interchange { input; _ } ->
+        walk consumers input
+    | Ir.Match { left; right; _ }
+    | Ir.Cross { left; right }
+    | Ir.Theta_join { left; right; _ } ->
+        walk consumers left;
+        walk consumers right
+    | Ir.Division { dividend; divisor; _ } ->
+        walk consumers dividend;
+        walk consumers divisor
+    | Ir.Choose { alternatives } -> List.iter (walk consumers) alternatives
+    | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
+        edge cfg consumers;
+        walk cfg.degree input
+  in
+  walk 1 root;
+  if !worst > flow_budget then
+    [
+      Diag.warning ~code:"mem-flow-slack" ~path:"root"
+        (Printf.sprintf
+           "flow-control slack admits up to %d buffered records across the \
+            plan's exchange edges, over the budget of %d; shrink flow_slack, \
+            packet_size, or the degrees (worst case = sum over \
+            flow-controlled edges of degree x consumers x slack x \
+            packet_size)"
+           !worst flow_budget);
+    ]
+  else []
+
+let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget root =
   Diag.sort
     (schema_pass root @ exchange_pass root @ deadlock_pass root
-    @ resource_pass ?max_domains ?frames root)
+    @ resource_pass ?max_domains ?frames root
+    @ sched_pass ?oversub ~workers root
+    @ memory_pass ?flow_budget root)

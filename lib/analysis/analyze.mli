@@ -27,7 +27,19 @@
       races, so they are reported as [Warning]s: the plan is hazardous,
       not provably wrong.
     - {!resource_pass}: estimates forked domains and concurrently fixed
-      buffer pages against pool capacity and reports over-commit. *)
+      buffer pages against pool capacity and reports over-commit.
+
+    Two scheduler-aware passes ride along when their inputs are known:
+
+    - {!sched_pass}: degree-of-parallelism advisory ([sched-dop]) — the
+      plan's total producer-task count against the worker pool size times
+      an oversubscription factor.
+    - {!memory_pass}: flow-control memory bound ([mem-flow-slack]) — the
+      worst-case buffered-record count admitted by the plan's flow-slack
+      settings against a configurable budget.
+
+    Every code the passes emit is registered in {!Diag.registry} with a
+    stable [VLnnn] number. *)
 
 val schema_pass : Ir.t -> Diag.t list
 
@@ -40,5 +52,25 @@ val resource_pass : ?max_domains:int -> ?frames:int -> Ir.t -> Diag.t list
     (default 512).  [frames] is the buffer pool size; when given, the
     estimated concurrently-fixed page count is checked against it. *)
 
-val analyze : ?max_domains:int -> ?frames:int -> Ir.t -> Diag.t list
-(** All four passes, sorted errors-first (see {!Diag.sort}). *)
+val sched_pass : ?oversub:int -> workers:int -> Ir.t -> Diag.t list
+(** Warns ([sched-dop]) when the plan's concurrent producer-task count
+    exceeds [oversub] (default 4) times [workers].  [workers] is the
+    pool size; pass 0 for the dedicated (domain-per-task) scheduler,
+    where the advisory does not apply and the pass is empty. *)
+
+val memory_pass : ?flow_budget:int -> Ir.t -> Diag.t list
+(** Warns ([mem-flow-slack]) when the worst-case record count buffered
+    under flow control — summed over flow-controlled exchange edges,
+    [degree x consumers x flow_slack x packet_size] each — exceeds
+    [flow_budget] (default [2^20] records). *)
+
+val analyze :
+  ?max_domains:int ->
+  ?frames:int ->
+  ?workers:int ->
+  ?oversub:int ->
+  ?flow_budget:int ->
+  Ir.t ->
+  Diag.t list
+(** All passes, sorted errors-first (see {!Diag.sort}).  [workers]
+    (default 0, meaning unknown/dedicated) enables {!sched_pass}. *)

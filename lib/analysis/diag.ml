@@ -9,6 +9,41 @@ type t = {
 
 let error ~code ~path message = { severity = Error; code; path; message }
 let warning ~code ~path message = { severity = Warning; code; path; message }
+
+(* The stable code registry: every defect class the passes can emit, with
+   its machine-readable VL number.  Hundreds digit = pass (1 schema,
+   2 exchange, 3 deadlock, 4 resource, 5 scheduler/memory); numbers are
+   append-only — retired slugs keep their number reserved so external
+   tooling keyed on [VLnnn] never sees a meaning change. *)
+let registry =
+  [
+    ("schema-col", "VL101");
+    ("schema-row-width", "VL102");
+    ("schema-unknown-source", "VL103");
+    ("schema-match-keys", "VL104");
+    ("schema-union-arity", "VL105");
+    ("schema-division-keys", "VL106");
+    ("schema-limit", "VL107");
+    ("schema-choose-empty", "VL108");
+    ("schema-choose-arity", "VL109");
+    ("schema-hash-empty", "VL110");
+    ("exchange-degree", "VL201");
+    ("exchange-packet-size", "VL202");
+    ("exchange-flow-slack", "VL203");
+    ("exchange-range-bounds", "VL204");
+    ("merge-unsorted", "VL205");
+    ("interchange-broadcast", "VL206");
+    ("interchange-solo", "VL207");
+    ("interchange-degree", "VL208");
+    ("deadlock-broadcast-flow", "VL301");
+    ("deadlock-merge-flow", "VL302");
+    ("resource-domains", "VL401");
+    ("resource-bufpool", "VL402");
+    ("sched-dop", "VL501");
+    ("mem-flow-slack", "VL502");
+  ]
+
+let vl_code d = List.assoc_opt d.code registry
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
 
@@ -27,9 +62,14 @@ let sort ds =
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
 let to_string d =
+  let code =
+    match vl_code d with
+    | Some vl -> vl ^ " " ^ d.code
+    | None -> d.code (* ad-hoc code: slug only *)
+  in
   Printf.sprintf "%s[%s] at %s: %s"
     (severity_to_string d.severity)
-    d.code d.path d.message
+    code d.path d.message
 
 let pp ppf d = Format.pp_print_string ppf (to_string d)
 

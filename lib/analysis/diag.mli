@@ -20,6 +20,18 @@ type t = {
 val error : code:string -> path:string -> string -> t
 val warning : code:string -> path:string -> string -> t
 
+val registry : (string * string) list
+(** Every registered defect-class slug paired with its stable numeric
+    code ([("schema-col", "VL101")], ...).  The hundreds digit names the
+    pass: 1 schema, 2 exchange configuration, 3 deadlock hazards,
+    4 resource estimation, 5 scheduler placement and memory bounds.
+    Append-only: a number is never reassigned. *)
+
+val vl_code : t -> string option
+(** The [VLnnn] number for a diagnostic's code, if registered.  Passes
+    only emit registered codes; [None] can occur for ad-hoc diagnostics
+    built by external callers. *)
+
 val is_error : t -> bool
 
 val errors : t list -> t list
@@ -30,7 +42,9 @@ val sort : t list -> t list
     order. *)
 
 val to_string : t -> string
-(** One line: ["error[schema-col] at root/project: ..."]. *)
+(** One line: ["error[VL101 schema-col] at root/project: ..."] — the
+    stable number first, then the slug (slug alone for unregistered
+    codes). *)
 
 val pp : Format.formatter -> t -> unit
 

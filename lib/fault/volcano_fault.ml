@@ -140,6 +140,9 @@ module Injector = struct
               in
               if fires then
                 match c.rule.action with
+                (* conclint: allow CL003 -- the injector's whole job is
+                   to simulate slow I/O wherever the fault site lives,
+                   fibers included; chaos tests opt into the stall. *)
                 | Delay d -> Unix.sleepf d
                 | Fail ->
                     Atomic.incr t.n_fired;

@@ -1,0 +1,66 @@
+(* conclint driver: load sources, run the rules, apply allowlist
+   markers.
+
+   A marker comment [(* conclint: allow CL001 -- reason *)] on the
+   offending line or up to three lines above it (so the reason can be
+   spelled out across a comment block) suppresses that code at that
+   site.  Markers are scanned from the raw text so they work even
+   inside code the parser normalizes. *)
+
+let marker_re = Str.regexp ".*conclint: *allow +\\(CL[0-9]+\\)"
+
+type allow = { a_file : string; a_line : int; a_code : string }
+
+let scan_allows path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref [] in
+      let line = ref 0 in
+      (try
+         while true do
+           let l = input_line ic in
+           incr line;
+           if Str.string_match marker_re l 0 then
+             acc :=
+               { a_file = path; a_line = !line; a_code = Str.matched_group 1 l }
+               :: !acc
+         done
+       with End_of_file -> ());
+      !acc)
+
+let allowed allows (d : Cldiag.t) =
+  List.exists
+    (fun a ->
+      a.a_file = d.pos.file && a.a_code = d.code
+      && a.a_line <= d.pos.line
+      && a.a_line >= d.pos.line - 3)
+    allows
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry -> ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let run_files files : Cldiag.t list =
+  let nodes, parse_errors =
+    List.fold_left
+      (fun (nodes, errs) file ->
+        try (nodes @ Shape.of_file file, errs)
+        with Shape.Parse_error (pos, msg) ->
+          ( nodes,
+            Cldiag.v ~code:"CL000" ~slug:"parse-error" ~pos msg :: errs ))
+      ([], []) files
+  in
+  let table = Effects.build nodes in
+  let diags = Rules.run table @ parse_errors in
+  let allows = List.concat_map scan_allows files in
+  diags
+  |> List.filter (fun d -> not (allowed allows d))
+  |> List.sort_uniq Cldiag.compare
+
+let run_paths paths : Cldiag.t list =
+  run_files (List.concat_map ml_files paths)

@@ -277,11 +277,15 @@ let () =
               (List.map Volcano_analysis.Diag.to_string diags))
     | _ -> None)
 
-let analyze env plan =
+let analyze ?workers ?flow_budget env plan =
   let frames =
     Volcano_storage.Bufpool.frames_total (Env.buffer env)
   in
-  Volcano_analysis.Analyze.analyze ~frames (Lower.ir env plan)
+  let workers =
+    match workers with Some w -> w | None -> Env.sched_workers env
+  in
+  Volcano_analysis.Analyze.analyze ~frames ~workers ?flow_budget
+    (Lower.ir env plan)
 
 (* The root-level cancellation check: consult the flag once per record so
    a query cancelled from outside (Session/Runtime) stops pulling even

@@ -32,10 +32,19 @@ val observe : Volcano_obs.Obs.t -> Plan.t -> obs
     [compile ?obs] adds no wrappers — the disabled path stays on the
     uninstrumented code. *)
 
-val analyze : Env.t -> Plan.t -> Volcano_analysis.Diag.t list
+val analyze :
+  ?workers:int ->
+  ?flow_budget:int ->
+  Env.t ->
+  Plan.t ->
+  Volcano_analysis.Diag.t list
 (** Run all analyzer passes on the plan (sorted errors-first), resolving
-    leaves against the environment's catalog and sizing the resource pass
-    from its buffer pool.  Warnings do not block compilation. *)
+    leaves against the environment's catalog, sizing the resource pass
+    from its buffer pool, and the scheduler-placement pass from its
+    worker pool ({!Env.sched_workers}; override with [workers] — 0
+    disables the advisory).  [flow_budget] bounds the flow-control
+    memory pass ({!Volcano_analysis.Analyze.memory_pass}).  Warnings do
+    not block compilation. *)
 
 val compile :
   ?check:bool ->

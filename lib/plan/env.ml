@@ -40,6 +40,18 @@ let buffer t = t.buffer
 let workspace t = t.workspace
 let sched t = Lazy.force t.sched
 
+(* Worker count for the analyzer's placement advisory, WITHOUT forcing
+   the lazy scheduler — analysis of a catalog-only env must not start
+   the process-global pool.  When the scheduler has not materialized we
+   predict what [Sched.default] would build (mirroring its VOLCANO_SCHED
+   check); 0 means dedicated/domain-per-task. *)
+let sched_workers t =
+  if Lazy.is_val t.sched then Sched.workers (Lazy.force t.sched)
+  else
+    match Sys.getenv_opt "VOLCANO_SCHED" with
+    | Some "dedicated" -> 0
+    | _ -> Sched.default_workers ()
+
 let spill t =
   { Volcano_ops.Sort.device = t.workspace; buffer = t.buffer }
 

@@ -24,6 +24,13 @@ val sched : t -> Volcano_sched.Sched.t
 (** The scheduler onto which plans compiled from this environment submit
     their exchange producer tasks. *)
 
+val sched_workers : t -> int
+(** The worker-pool size this environment's queries will run on, for the
+    analyzer's placement advisory; 0 for the dedicated (domain-per-task)
+    scheduler.  Unlike {!sched} this never forces the lazy default
+    scheduler: for an env that has not run anything yet it predicts the
+    pool {!Volcano_sched.Sched.default} would build. *)
+
 val register_table :
   t ->
   name:string ->

@@ -67,7 +67,8 @@ let exec_count ?check ?deadline_s t plan =
   block_on (submit_count ?check ?deadline_s t plan)
 
 let profile ?check t plan = Profile.run ?check t.env plan
-let analyze t plan = Compile.analyze t.env plan
+let analyze ?workers ?flow_budget t plan =
+  Compile.analyze ?workers ?flow_budget t.env plan
 
 let close t =
   Runtime.close t.runtime;

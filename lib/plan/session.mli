@@ -103,8 +103,15 @@ val profile : ?check:bool -> t -> Plan.t -> Profile.report
 (** EXPLAIN ANALYZE via {!Profile.run}, including the session scheduler's
     task counters.  Runs outside the admission gate. *)
 
-val analyze : t -> Plan.t -> Volcano_analysis.Diag.t list
-(** Static analysis via {!Compile.analyze}. *)
+val analyze :
+  ?workers:int ->
+  ?flow_budget:int ->
+  t ->
+  Plan.t ->
+  Volcano_analysis.Diag.t list
+(** Static analysis via {!Compile.analyze}.  The scheduler-placement
+    advisory sizes itself from this session's pool unless [workers]
+    overrides it. *)
 
 val close : t -> unit
 (** Drain the runtime (running and queued jobs finish; new submits are

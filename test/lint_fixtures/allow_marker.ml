@@ -1,0 +1,14 @@
+(* conclint-fixture expect: none *)
+(* The allowlist marker suppresses an audited exception at its site
+   (and only that code at that site). *)
+
+type t = { lock : Mutex.t; group : int; mutable port : int option }
+
+let audited t =
+  Mutex.lock t.lock;
+  (* conclint: allow CL001 -- fixture: pretend this site was audited;
+     the group is always pre-published here so the lookup never
+     actually suspends. *)
+  let port = Group.lookup_port t.group ~key:0 in
+  t.port <- Some port;
+  Mutex.unlock t.lock

@@ -1,0 +1,9 @@
+(* conclint-fixture expect: CL003 *)
+(* A fiber that sleeps stalls its pool worker: the scheduler sees a
+   running task, not an idle thread, so no stealing helps. *)
+
+let backoff_poll sched device =
+  Sched.fork sched (fun () ->
+      while not (Device.ready device) do
+        Unix.sleepf 0.01
+      done)

@@ -1,0 +1,34 @@
+(* conclint-fixture expect: none *)
+(* The classic monitor idiom is not a violation: Condition.wait under
+   the very mutex it releases, including through a nested helper
+   defined after the lock is taken (the Group.lookup_port shape). *)
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable ready : bool;
+  mutable value : int;
+}
+
+let await_direct t =
+  Mutex.lock t.lock;
+  while not t.ready do
+    Condition.wait t.cond t.lock
+  done;
+  let v = t.value in
+  Mutex.unlock t.lock;
+  v
+
+let await_nested t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    if t.ready then begin
+      Mutex.unlock t.lock;
+      t.value
+    end
+    else begin
+      Condition.wait t.cond t.lock;
+      wait ()
+    end
+  in
+  wait ()

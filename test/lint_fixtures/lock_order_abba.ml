@@ -1,0 +1,19 @@
+(* conclint-fixture expect: CL002 *)
+(* Inconsistent acquisition order across two mutexes: one path takes
+   a then b, the other b then a — a potential ABBA deadlock. *)
+
+type account = { alock : Mutex.t; block : Mutex.t; mutable balance : int }
+
+let credit t n =
+  Mutex.lock t.alock;
+  Mutex.lock t.block;
+  t.balance <- t.balance + n;
+  Mutex.unlock t.block;
+  Mutex.unlock t.alock
+
+let debit t n =
+  Mutex.lock t.block;
+  Mutex.lock t.alock;
+  t.balance <- t.balance - n;
+  Mutex.unlock t.alock;
+  Mutex.unlock t.block

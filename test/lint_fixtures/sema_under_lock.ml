@@ -1,0 +1,12 @@
+(* conclint-fixture expect: CL001 *)
+(* Sema.acquire parks the calling thread on the semaphore's own
+   condition variable; doing so while holding an unrelated mutex keeps
+   that mutex pinned for the whole wait. *)
+
+type t = { lock : Mutex.t; frames : Sema.t; mutable pinned : int }
+
+let pin t =
+  Mutex.lock t.lock;
+  Sema.acquire t.frames;
+  t.pinned <- t.pinned + 1;
+  Mutex.unlock t.lock

@@ -1,0 +1,29 @@
+(* conclint-fixture expect: CL001 *)
+(* Distilled reproduction of the PR-5 [producer_streams] deadlock.
+
+   Before the first-opener-election fix, every consumer opening a
+   shared producer stream built its consumer-side state while still
+   holding the stream's refcount mutex.  [Group.lookup_port] suspends
+   the calling fiber until the master task publishes the port — so the
+   mutex stayed owned by a parked fiber, the worker thread moved on to
+   another fiber, and every sibling opener (and eventually the master
+   itself) deadlocked on [Mutex.lock].  conclint proves the rule that
+   PR 5 fixed by hand: never suspend under a lock. *)
+
+type stream = {
+  lock : Mutex.t;
+  mutable opened : int;
+  mutable port : int option;
+  group : int;
+}
+
+let setup_consumer s =
+  (* Suspends until the master publishes the port for this consumer. *)
+  let port = Group.lookup_port s.group ~key:0 in
+  s.port <- Some port
+
+let ensure_open s =
+  Mutex.lock s.lock;
+  s.opened <- s.opened + 1;
+  if s.port = None then setup_consumer s;
+  Mutex.unlock s.lock

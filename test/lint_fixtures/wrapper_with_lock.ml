@@ -1,0 +1,17 @@
+(* conclint-fixture expect: CL001 *)
+(* A local with_lock wrapper is a lock region too: the closure passed
+   to it runs under the wrapper's mutex, so suspending inside the
+   closure is the same bug as suspending between lock and unlock. *)
+
+type t = { lock : Mutex.t; mutable refs : int; group : int }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
+let open_stream t =
+  with_lock t (fun () ->
+      t.refs <- t.refs + 1;
+      Group.lookup_port t.group ~key:1)

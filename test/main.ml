@@ -16,6 +16,7 @@ let () =
       ("ops-extra", Test_ops_extra.suite);
       ("plan", Test_plan.suite);
       ("analysis", Test_analysis.suite);
+      ("lint", Test_lint.suite);
       ("plan-extra", Test_plan_extra.suite);
       ("random-plans", Test_random_plans.suite);
       ("sched", Test_sched.suite);

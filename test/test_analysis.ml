@@ -324,6 +324,57 @@ let test_resource_bufpool () =
   if not (has ~severity:Diag.Warning "resource-bufpool" diags) then
     Alcotest.failf "expected resource-bufpool among [%s]" (codes diags)
 
+(* --- passes 5/6: scheduler placement, flow-control memory ------------ *)
+
+let test_sched_dop () =
+  (* 12 concurrent producer tasks in total (8 + 4). *)
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:8 ();
+        input =
+          Plan.Exchange { cfg = Exchange.config ~degree:4 (); input = gen 10 };
+      }
+  in
+  let dop workers = Compile.analyze ~workers (env ()) plan in
+  (* Two workers admit 8 tasks at the 4x advisory: 12 is over. *)
+  if not (has ~severity:Diag.Warning "sched-dop" (dop 2)) then
+    Alcotest.failf "expected sched-dop on 2 workers, got [%s]" (codes (dop 2));
+  (* Three workers admit exactly 12: the advisory is a strict bound. *)
+  if has "sched-dop" (dop 3) then
+    Alcotest.fail "12 tasks on 3 workers is within 4x oversubscription";
+  (* The dedicated scheduler forks a domain per task: no pool to
+     oversubscribe, the advisory is off. *)
+  if has "sched-dop" (dop 0) then
+    Alcotest.fail "sched-dop must be disabled for the dedicated scheduler"
+
+let test_mem_flow_slack () =
+  let edge = Exchange.config ~degree:2 ~packet_size:100 ~flow_slack:(Some 5) () in
+  let plan =
+    Plan.Exchange
+      { cfg = edge; input = Plan.Exchange { cfg = edge; input = gen 10 } }
+  in
+  (* Outer edge: 2 producers x 1 consumer x 5 packets x 100 records =
+     1000; inner edge feeds the outer group's 2 consumers: 2x2x5x100 =
+     2000.  Worst case 3000 records. *)
+  let mem flow_budget = Compile.analyze ~flow_budget (env ()) plan in
+  if not (has ~severity:Diag.Warning "mem-flow-slack" (mem 2999)) then
+    Alcotest.failf "expected mem-flow-slack over a 2999-record budget, got [%s]"
+      (codes (mem 2999));
+  if has "mem-flow-slack" (mem 3000) then
+    Alcotest.fail "3000 buffered records fit a 3000-record budget exactly";
+  (* Edges without flow control are bounded by operator demand, not by
+     the exchange: not counted. *)
+  let unmetered =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ~packet_size:100 ~flow_slack:None ();
+        input = gen 10;
+      }
+  in
+  if has "mem-flow-slack" (Compile.analyze ~flow_budget:1 (env ()) unmetered)
+  then Alcotest.fail "flow control off: nothing to bound"
+
 (* --- wiring ----------------------------------------------------------- *)
 
 let test_warnings_do_not_reject () =
@@ -364,8 +415,21 @@ let test_report_rendering () =
   let d =
     Diag.error ~code:"schema-col" ~path:"exchange/project" "column 9 of 3"
   in
-  check Alcotest.string "to_string" "error[schema-col] at exchange/project: column 9 of 3"
+  check Alcotest.string "to_string"
+    "error[VL101 schema-col] at exchange/project: column 9 of 3"
     (Diag.to_string d);
+  (* Unregistered (ad-hoc) codes render slug-only. *)
+  check Alcotest.string "ad-hoc code"
+    "warning[custom] at root: hello"
+    (Diag.to_string (Diag.warning ~code:"custom" ~path:"root" "hello"));
+  (* Every code the passes emit has a stable number, the numbers are
+     unique, and the hundreds digit matches the pass family. *)
+  let nums = List.map snd Diag.registry in
+  check Alcotest.int "registry numbers unique"
+    (List.length nums)
+    (List.length (List.sort_uniq String.compare nums));
+  check (Alcotest.option Alcotest.string) "sched-dop number" (Some "VL501")
+    (Diag.vl_code (Diag.warning ~code:"sched-dop" ~path:"root" "x"));
   let report =
     Format.asprintf "%a" Diag.pp_report
       [ Diag.warning ~code:"w" ~path:"root" "warn"; d ]
@@ -396,6 +460,9 @@ let suite =
       test_deadlock_broadcast_flow;
     Alcotest.test_case "resource: domains" `Quick test_resource_domains;
     Alcotest.test_case "resource: buffer pool" `Quick test_resource_bufpool;
+    Alcotest.test_case "scheduler: degree-of-parallelism advisory" `Quick
+      test_sched_dop;
+    Alcotest.test_case "memory: flow-slack bound" `Quick test_mem_flow_slack;
     Alcotest.test_case "warnings do not reject" `Quick
       test_warnings_do_not_reject;
     Alcotest.test_case "diagnostic rendering" `Quick test_report_rendering;

@@ -1,0 +1,145 @@
+(* conclint over its vendored fixture corpus: each fixture file declares
+   the diagnostic codes it must (or must not) draw in a header comment
+
+     (* conclint-fixture expect: CL001 *)
+     (* conclint-fixture expect: none *)
+
+   and the suite asserts the analyzer reports exactly that set.  The
+   corpus pins both directions: the distilled PR-5 producer-streams
+   deadlock (and friends) must keep firing, and the sound idioms the
+   engine actually uses — the CV wait loop, election-then-setup outside
+   the lock, allowlist markers — must stay silent. *)
+
+module Lint = Volcano_lint.Lint
+module Cldiag = Volcano_lint.Cldiag
+
+let fixtures_dir = "lint_fixtures"
+
+let expect_re = Str.regexp ".*conclint-fixture expect: *\\([A-Za-z0-9, ]+\\)"
+
+let expected_codes path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = input_line ic in
+      if not (Str.string_match expect_re header 0) then
+        Alcotest.failf "%s: missing conclint-fixture expect header" path;
+      match String.trim (Str.matched_group 1 header) with
+      | "none" -> []
+      | spec ->
+          String.split_on_char ',' spec
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.sort_uniq String.compare)
+
+let fixture_files () =
+  match Sys.readdir fixtures_dir with
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".ml")
+      |> List.sort String.compare
+      |> List.map (Filename.concat fixtures_dir)
+  | exception Sys_error _ ->
+      Alcotest.failf "fixture corpus %s not found (cwd %s)" fixtures_dir
+        (Sys.getcwd ())
+
+(* Each fixture analyzes alone: they are self-contained programs, and
+   isolation keeps one fixture's helper names out of another's call
+   graph. *)
+let reported path =
+  Lint.run_files [ path ]
+  |> List.map (fun (d : Cldiag.t) -> d.code)
+  |> List.sort_uniq String.compare
+
+let test_corpus () =
+  let files = fixture_files () in
+  if List.length files < 8 then
+    Alcotest.failf "fixture corpus suspiciously small: %d file(s)"
+      (List.length files);
+  List.iter
+    (fun path ->
+      let expected = expected_codes path in
+      let got = reported path in
+      if got <> expected then
+        Alcotest.failf "%s: expected [%s], analyzer reported [%s]"
+          (Filename.basename path)
+          (String.concat ", " expected)
+          (String.concat ", " got))
+    files
+
+(* The acceptance-criterion case by itself: the PR-5 deadlock shape must
+   be a CL001 whose rendered chain walks lock site -> helper ->
+   may-suspend root, so the report is actionable without re-reading the
+   analyzer. *)
+let test_pr5_chain () =
+  let path = Filename.concat fixtures_dir "suspend_under_lock.ml" in
+  match Lint.run_files [ path ] with
+  | [ d ] ->
+      Alcotest.(check string) "code" "CL001" d.Cldiag.code;
+      let chain = String.concat "\n" d.Cldiag.chain in
+      let mentions s =
+        match Str.search_forward (Str.regexp_string s) chain 0 with
+        | (_ : int) -> true
+        | exception Not_found -> false
+      in
+      if not (mentions "setup_consumer") then
+        Alcotest.failf "chain misses the intermediate call:\n%s"
+          (Cldiag.to_string d);
+      if not (mentions "Group.lookup_port") then
+        Alcotest.failf "chain misses the suspension root:\n%s"
+          (Cldiag.to_string d)
+  | ds ->
+      Alcotest.failf "expected exactly one diagnostic, got %d:\n%s"
+        (List.length ds)
+        (String.concat "\n" (List.map Cldiag.to_string ds))
+
+(* The allowlist is per-code and per-site: a CL001 marker must not eat a
+   CL003 at the same spot, and the marker window is bounded. *)
+let test_allow_is_code_specific () =
+  let path = Filename.concat fixtures_dir "allow_marker.ml" in
+  Alcotest.(check (list string)) "marker suppresses its code" [] (reported path);
+  (* Same source with the marker pointing at the wrong code: fires. *)
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let patched =
+    Str.global_replace (Str.regexp_string "allow CL001") "allow CL002" src
+  in
+  let tmp = Filename.temp_file "conclint_fixture" ".ml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          Out_channel.output_string oc patched);
+      match
+        Lint.run_files [ tmp ]
+        |> List.map (fun (d : Cldiag.t) -> d.Cldiag.code)
+      with
+      | [ "CL001" ] -> ()
+      | got ->
+          Alcotest.failf "wrong-code marker must not suppress; got [%s]"
+            (String.concat ", " got))
+
+(* The shipped engine sources lint clean — the same invariant the @lint
+   alias enforces at build time, kept in-suite so `dune runtest` alone
+   catches a regression.  The tree layout differs under dune's sandbox,
+   so this runs only when ../lib is visible (it is, in-repo). *)
+let test_shipped_tree_clean () =
+  (* cwd is _build/default/test; the staged library sources sit beside it. *)
+  let lib = Filename.concat ".." "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then
+    match Lint.run_paths [ lib ] with
+    | [] -> ()
+    | ds ->
+        Alcotest.failf "shipped lib/ must lint clean, got %d finding(s):\n%s"
+          (List.length ds)
+          (String.concat "\n" (List.map Cldiag.to_string ds))
+
+let suite =
+  [
+    Alcotest.test_case "fixture corpus expectations" `Quick test_corpus;
+    Alcotest.test_case "PR-5 deadlock chain is complete" `Quick test_pr5_chain;
+    Alcotest.test_case "allowlist is code-specific" `Quick
+      test_allow_is_code_specific;
+    Alcotest.test_case "shipped tree lints clean" `Quick
+      test_shipped_tree_clean;
+  ]

@@ -332,6 +332,38 @@ let prop_serial_parallel_differential =
         (Sched.default ());
       ok)
 
+(* Planlint soundness differential: a plan the analyzer accepts must run
+   identically on the pooled scheduler and on the dedicated
+   (domain-per-task) baseline.  This is the check behind planlint's
+   claim that its scheduler-aware passes are advisory — acceptance never
+   depends on which scheduler the plan lands on, and the schedulers
+   agree on the result.  (Plans the analyzer rejects are covered by
+   [prop_rejected_plans_misbehave] below.) *)
+let prop_pooled_dedicated_differential =
+  QCheck.Test.make ~name:"accepted plans agree pooled vs dedicated"
+    ~count:40
+    QCheck.(pair int64 (int_range 1 2))
+    (fun (seed, depth) ->
+      let pooled = Env.create ~frames:128 ~page_size:512 () in
+      let dedicated =
+        Env.create ~frames:128 ~page_size:512 ~sched:(Sched.dedicated ()) ()
+      in
+      let rng = Rng.create seed in
+      let plan = decorate rng (random_plan rng depth) in
+      (* Acceptance must not be scheduler-dependent. *)
+      let ap = accepted pooled plan and ad = accepted dedicated plan in
+      let ok =
+        ap = ad
+        && ((not ap) || sorted_run pooled plan = sorted_run dedicated plan)
+      in
+      Bufpool.assert_quiescent ~what:"pooled/dedicated differential"
+        (Env.buffer pooled);
+      Bufpool.assert_quiescent ~what:"pooled/dedicated differential"
+        (Env.buffer dedicated);
+      Sched.assert_quiescent ~what:"pooled/dedicated differential"
+        (Sched.default ());
+      ok)
+
 (* --- the converse: rejected plans really are broken ------------------- *)
 
 (* Plant one deterministic defect in an otherwise-sound plan.  Each
@@ -390,5 +422,6 @@ let suite =
   [
     QCheck_alcotest.to_alcotest ~long:false prop_exchange_invariance;
     QCheck_alcotest.to_alcotest ~long:false prop_serial_parallel_differential;
+    QCheck_alcotest.to_alcotest ~long:false prop_pooled_dedicated_differential;
     QCheck_alcotest.to_alcotest ~long:false prop_rejected_plans_misbehave;
   ]
