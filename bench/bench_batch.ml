@@ -1,0 +1,245 @@
+(* Batch-size sweep: throughput of a fused scan→filter→project→aggregate
+   chain as a function of the vectorization batch size, against the
+   record-at-a-time execution of the identical plan (batch size 0).
+
+   The fig2 analogy is deliberate: the paper's packet-size sweep shows the
+   per-PACKET cost of crossing a process boundary being amortized; this
+   sweep shows the per-RECORD cost of crossing an operator boundary
+   (a virtual call per next) being amortized by the fused loop, entirely
+   inside one process group.  The curve rises steeply over small sizes
+   and flattens once per-record work dominates the per-batch overhead.
+
+   The regression gate (--check-batch) additionally enforces the floor
+   this PR is built around: the best batched point must clear 2x the
+   record-at-a-time throughput. *)
+
+open Bench_common
+module Expr = Volcano_tuple.Expr
+module Value = Volcano_tuple.Value
+module Aggregate = Volcano_ops.Aggregate
+
+let batch_sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 255 ]
+
+(* The scan leaf reads records materialized once, outside the timed
+   region — a [Generate] leaf would spend ~half of either path's time
+   constructing the very same tuples per run, diluting the ratio the
+   sweep exists to show.  Memoized so the gate's repeated sweeps share
+   one table. *)
+let scan_tuples : (int, Plan.t) Hashtbl.t = Hashtbl.create 4
+
+let scan n =
+  match Hashtbl.find_opt scan_tuples n with
+  | Some plan -> plan
+  | None ->
+      let plan =
+        Plan.Scan_list { arity = 4; tuples = List.init n four_int_tuple }
+      in
+      Hashtbl.add scan_tuples n plan;
+      plan
+
+(* Fused end to end: the chain compiles to one tight loop per batch and
+   the hash aggregate consumes the chain's emit path directly.
+   Selectivity ~50%, 64 groups — enough per-record work to be honest,
+   little enough that the iterator protocol is the measurable cost. *)
+let batch_plan n =
+  Plan.Aggregate
+    {
+      algo = Plan.Hash_based;
+      group_by = [ 0 ];
+      aggs = [ Aggregate.Count; Aggregate.Sum (Expr.Col 1) ];
+      input =
+        Plan.Project_exprs
+          {
+            exprs =
+              [
+                Expr.Mod (Expr.Col 0, Expr.Const (Value.Int 64));
+                Expr.Add (Expr.Col 0, Expr.Col 1);
+              ];
+            input =
+              Plan.Filter
+                {
+                  pred =
+                    Expr.Cmp
+                      ( Expr.Lt,
+                        Expr.Mod (Expr.Col 0, Expr.Const (Value.Int 10)),
+                        Expr.Const (Value.Int 5) );
+                  mode = `Compiled;
+                  input = scan n;
+                };
+          };
+    }
+
+let measure_real n batch_size =
+  min_of_reps (fun () ->
+      let env = Env.create ~frames:256 ~page_size:4096 ~batch_size () in
+      let groups, elapsed = time_count env (batch_plan n) in
+      assert (groups = 64);
+      elapsed)
+
+(* Largest size first, ascending presentation — same reasoning as the
+   fig2 sweep: the small-batch points generate the most short-lived
+   garbage, and measuring them last keeps their marking debt from taxing
+   the points the gate cares about. *)
+let measure_sweep n sizes =
+  List.rev_map (fun batch_size -> (batch_size, measure_real n batch_size))
+    (List.rev sizes)
+
+let records_per_s n elapsed = float_of_int n /. elapsed
+
+let sweep () =
+  let n = records in
+  let baseline = measure_real n 0 in
+  let data = measure_sweep n batch_sizes in
+  (n, baseline, data)
+
+let report (n, baseline, data) =
+  header
+    (Printf.sprintf
+       "Batch-size sweep: fused scan-filter-project-aggregate, %d records \
+        (batch 0 = record-at-a-time)"
+       n);
+  row "%8s %12s %16s %12s\n" "batch" "real (s)" "records/s" "vs batch 0";
+  hline 52;
+  let line batch real =
+    row "%8d %12.4f %16.0f %11.2fx\n" batch real (records_per_s n real)
+      (baseline /. real)
+  in
+  line 0 baseline;
+  List.iter (fun (batch_size, real) -> line batch_size real) data;
+  let best_size, best =
+    List.fold_left
+      (fun (bs, bt) (s, t) -> if t < bt then (s, t) else (bs, bt))
+      (List.hd data) (List.tl data)
+  in
+  row "\nbest: batch %d at %.2fx the record-at-a-time throughput\n" best_size
+    (baseline /. best);
+  (best_size, best)
+
+let json_of (n, baseline, data) (best_size, best) =
+  Jsonx.Obj
+    [
+      ("records", Jsonx.Int n);
+      ("reps", Jsonx.Int bench_reps);
+      ("record_at_a_time_s", Jsonx.Float baseline);
+      ( "series",
+        Jsonx.List
+          (List.map
+             (fun (batch_size, real) ->
+               Jsonx.Obj
+                 [
+                   ("batch_size", Jsonx.Int batch_size);
+                   ("real_s", Jsonx.Float real);
+                   ("records_per_s", Jsonx.Float (records_per_s n real));
+                   ("speedup", Jsonx.Float (baseline /. real));
+                 ])
+             data) );
+      ("best_batch_size", Jsonx.Int best_size);
+      ("best_speedup", Jsonx.Float (baseline /. best));
+    ]
+
+let run () =
+  let ((_, _, _) as r) = sweep () in
+  let best = report r in
+  json_add "batch" (json_of r best)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: --check-batch BASELINE [--tolerance T]             *)
+
+(* Two obligations: no per-point wall-time regression beyond the
+   tolerance (plus an absolute noise floor — the fast points are
+   single-digit milliseconds on this host), and the structural floor
+   that vectorization exists to provide: best batched throughput at
+   least [required_speedup] times the record-at-a-time run, measured
+   fresh on this host rather than read from the file. *)
+let noise_floor_s = 0.003
+let required_speedup = 2.0
+
+let check ~baseline ~tolerance =
+  let doc =
+    try Jsonx.read_file baseline
+    with
+    | Sys_error msg ->
+        Printf.eprintf "cannot read baseline: %s\n" msg;
+        exit 2
+    | Jsonx.Parse_error msg ->
+        Printf.eprintf "cannot parse baseline %s: %s\n" baseline msg;
+        exit 2
+  in
+  let ( let* ) o f =
+    match o with
+    | Some v -> f v
+    | None ->
+        Printf.eprintf "baseline %s has no batch series\n" baseline;
+        exit 2
+  in
+  let* batch_doc =
+    Option.bind (Jsonx.member "experiments" doc) (Jsonx.member "batch")
+  in
+  let* base_n = Option.bind (Jsonx.member "records" batch_doc) Jsonx.to_int_opt in
+  if base_n <> records then begin
+    Printf.eprintf
+      "baseline used %d records but this run uses %d; set VOLCANO_RECORDS=%d \
+       to compare\n"
+      base_n records base_n;
+    exit 2
+  end;
+  let* series =
+    Option.bind (Jsonx.member "series" batch_doc) Jsonx.to_list_opt
+  in
+  let targets =
+    List.map
+      (fun entry ->
+        let* batch_size =
+          Option.bind (Jsonx.member "batch_size" entry) Jsonx.to_int_opt
+        in
+        let* base =
+          Option.bind (Jsonx.member "real_s" entry) Jsonx.to_float_opt
+        in
+        (batch_size, base))
+      series
+  in
+  header
+    (Printf.sprintf
+       "Batch regression check vs %s (min of %d runs, tolerance %+.0f%% + %.0f \
+        ms, floor %.1fx)"
+       baseline bench_reps (tolerance *. 100.0) (noise_floor_s *. 1e3)
+       required_speedup);
+  let now_baseline = measure_real records 0 in
+  let now_by_size = measure_sweep records (List.map fst targets) in
+  row "%8s %14s %14s %9s  %s\n" "batch" "baseline (s)" "now (s)" "ratio"
+    "verdict";
+  hline 58;
+  let regressions =
+    List.filter_map
+      (fun (batch_size, base) ->
+        let now = List.assoc batch_size now_by_size in
+        let ratio = now /. base in
+        let regressed = now > (base *. (1.0 +. tolerance)) +. noise_floor_s in
+        row "%8d %14.4f %14.4f %9.2f  %s\n" batch_size base now ratio
+          (if regressed then "REGRESSED"
+           else if ratio < 1.0 then "improved"
+           else "ok");
+        if regressed then Some batch_size else None)
+      targets
+  in
+  let best_size, best =
+    List.fold_left
+      (fun (bs, bt) (s, t) -> if t < bt then (s, t) else (bs, bt))
+      (List.hd now_by_size) (List.tl now_by_size)
+  in
+  let speedup = now_baseline /. best in
+  row
+    "\nrecord-at-a-time %.4fs; best batched (size %d) %.4fs — %.2fx (floor \
+     %.1fx)\n"
+    now_baseline best_size best speedup required_speedup;
+  let floor_ok = speedup >= required_speedup in
+  if not floor_ok then
+    row "FAILED: vectorization no longer clears its %.1fx throughput floor\n"
+      required_speedup;
+  (match regressions with
+  | [] -> row "no regressions: all %d points within tolerance\n"
+            (List.length targets)
+  | r ->
+      row "%d of %d points regressed beyond %+.0f%%\n" (List.length r)
+        (List.length targets) (tolerance *. 100.0));
+  floor_ok && regressions = []

@@ -4,15 +4,19 @@
    Usage:  dune exec bench/main.exe [-- experiment ...] [--json FILE]
            dune exec bench/main.exe -- --check BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-mq BASELINE [--tolerance T]
-   Experiments: t1 fig2 mq a1 a2 a3 a4 a5 a6 a7 a8 micro all (default: all)
+           dune exec bench/main.exe -- --check-batch BASELINE [--tolerance T]
+   Experiments: t1 fig2 mq batch a1 a2 a3 a4 a5 a6 a7 a8 micro all
+   (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
    --check re-measures the fig2 sweep against a committed baseline JSON
    and exits nonzero when any packet size regresses beyond the tolerance
    (default 0.15); --check-mq does the same for the concurrent-query
    bench against BENCH_mq.json and additionally enforces the pooled
-   scheduler's 2x-over-dedicated throughput floor; `dune build
-   @bench-smoke` runs both.
+   scheduler's 2x-over-dedicated throughput floor; --check-batch does
+   the same for the batch-size sweep against BENCH_batch.json and
+   enforces the 2x best-batch-over-record-at-a-time floor; `dune build
+   @bench-smoke` runs all three.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000),
                 VOLCANO_BENCH_REPS (default 6; gated timings are
@@ -23,6 +27,7 @@ let experiments =
     ("t1", Bench_t1.run);
     ("fig2", Bench_fig2.run);
     ("mq", Bench_mq.run);
+    ("batch", Bench_batch.run);
     ("a1", Bench_ablations.a1_flow_slack);
     ("a2", Bench_ablations.a2_fork_scheme);
     ("a3", Bench_ablations.a3_partition_balance);
@@ -39,6 +44,7 @@ type opts = {
   json : string option;
   check : string option;
   check_mq : string option;
+  check_batch : string option;
   tolerance : float;
 }
 
@@ -57,6 +63,11 @@ let rec split_args opts = function
   | "--check-mq" :: [] ->
       prerr_endline "--check-mq requires a BASELINE argument";
       exit 2
+  | "--check-batch" :: path :: rest ->
+      split_args { opts with check_batch = Some path } rest
+  | "--check-batch" :: [] ->
+      prerr_endline "--check-batch requires a BASELINE argument";
+      exit 2
   | "--tolerance" :: t :: rest -> (
       match float_of_string_opt t with
       | Some tolerance when tolerance >= 0.0 ->
@@ -72,7 +83,14 @@ let rec split_args opts = function
 let () =
   let opts =
     split_args
-      { names = []; json = None; check = None; check_mq = None; tolerance = 0.15 }
+      {
+        names = [];
+        json = None;
+        check = None;
+        check_mq = None;
+        check_batch = None;
+        tolerance = 0.15;
+      }
       (List.tl (Array.to_list Sys.argv))
   in
   (match opts.check with
@@ -82,6 +100,11 @@ let () =
   (match opts.check_mq with
   | Some baseline ->
       exit (if Bench_mq.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
+  | None -> ());
+  (match opts.check_batch with
+  | Some baseline ->
+      exit
+        (if Bench_batch.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
   | None -> ());
   let names, json_path = (opts.names, opts.json) in
   let requested =

@@ -242,9 +242,10 @@ let explain_cmd name rows degree =
       print_string (Plan.explain env (q.build ~rows ~degree));
       0
 
-let with_sess workers f = Session.with_session ?workers ~frames:2048 f
+let with_sess workers batch_size f =
+  Session.with_session ?workers ?batch_size ~frames:2048 f
 
-let analyze_cmd name rows degree strict workers flow_budget =
+let analyze_cmd name rows degree strict workers flow_budget batch_size =
   match find_query name with
   | Error e ->
       prerr_endline e;
@@ -253,19 +254,19 @@ let analyze_cmd name rows degree strict workers flow_budget =
       let env = Env.create ~frames:2048 () in
       let plan = q.build ~rows ~degree in
       print_string (Plan.explain env plan);
-      let diags = Compile.analyze ?workers ?flow_budget env plan in
+      let diags = Compile.analyze ?workers ?flow_budget ?batch_size env plan in
       Format.printf "%a" Volcano_analysis.Diag.pp_report diags;
       if List.exists Volcano_analysis.Diag.is_error diags then 1
       else if strict && diags <> [] then 1
       else 0
 
-let run_cmd name rows degree limit workers =
+let run_cmd name rows degree limit workers batch_size =
   match find_query name with
   | Error e ->
       prerr_endline e;
       2
   | Ok q -> (
-      with_sess workers @@ fun s ->
+      with_sess workers batch_size @@ fun s ->
       let plan = q.build ~rows ~degree in
       match Clock.time (fun () -> Session.exec s plan) with
       | exception Compile.Rejected errors ->
@@ -284,13 +285,13 @@ let run_cmd name rows degree limit workers =
               (List.length result - limit);
           0)
 
-let profile_cmd name rows degree trace json workers =
+let profile_cmd name rows degree trace json workers batch_size =
   match find_query name with
   | Error e ->
       prerr_endline e;
       2
   | Ok q -> (
-      with_sess workers @@ fun s ->
+      with_sess workers batch_size @@ fun s ->
       let plan = q.build ~rows ~degree in
       match Session.profile s plan with
       | exception Compile.Rejected errors ->
@@ -346,6 +347,17 @@ let workers_arg =
           "Size of the session's private worker pool (default: the shared \
            process-wide pool, sized to the machine).")
 
+let batch_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "batch-size" ] ~docv:"B"
+        ~doc:
+          "Records per fused batch on the vectorized execution path: fusible \
+           scan chains compile to one tight loop yielding batches of this \
+           many records.  0 compiles everything record-at-a-time.  Default: \
+           \\$(b,VOLCANO_BATCH_SIZE) when set, else 64.")
+
 let name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
 
@@ -384,11 +396,12 @@ let analyze_term =
   in
   Term.(
     const analyze_cmd $ name_arg $ rows_arg $ degree_arg $ strict $ workers
-    $ flow_budget)
+    $ flow_budget $ batch_size_arg)
 
 let run_term =
   Term.(
-    const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg $ workers_arg)
+    const run_cmd $ name_arg $ rows_arg $ degree_arg $ limit_arg $ workers_arg
+    $ batch_size_arg)
 
 let profile_term =
   let trace =
@@ -407,7 +420,7 @@ let profile_term =
   in
   Term.(
     const profile_cmd $ name_arg $ rows_arg $ degree_arg $ trace $ json
-    $ workers_arg)
+    $ workers_arg $ batch_size_arg)
 
 let sim_term =
   let packet =

@@ -559,9 +559,77 @@ let memory_pass ?(flow_budget = 1 lsl 20) root =
     ]
   else []
 
-let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget root =
+(* ------------------------------------------------------------------ *)
+(* Pass 7: batch-size legality                                         *)
+
+(* The vectorized path's knob shares the runtime's validation
+   ([Volcano.Batch.validate], exactly as the exchange cfg checks share
+   [Exchange.validate]), so planlint can never drift from what
+   [Batch.fused] accepts.  Every exchange edge is then checked against
+   the knob: batches never cross an exchange edge unpacketized — the
+   producer re-packetizes rows onto the port's pooled shells — so a
+   port packet smaller than the batch size splits every batch at the
+   boundary and gives back the per-record overhead batching amortized. *)
+let batch_pass ?(batch_size = Volcano.Batch.default_size) root =
+  let diags = ref [] in
+  List.iter
+    (fun (code, msg) -> diags := Diag.error ~code ~path:"root" msg :: !diags)
+    (Volcano.Batch.validate ~batch_size);
+  if !diags = [] && batch_size > 0 then begin
+    let check_edge path (cfg : Ir.cfg) =
+      (* Malformed packet sizes are the exchange pass's to report. *)
+      if cfg.packet_size >= 1 && cfg.packet_size < batch_size then
+        diags :=
+          Diag.warning ~code:"batch-packet-mismatch" ~path
+            (Printf.sprintf
+               "port packet size %d is smaller than the batch size %d; \
+                every batch re-packetizes into %d+ port packets at this \
+                edge, giving back the per-record overhead batching \
+                amortized — raise packet_size to at least the batch size \
+                or lower the batch size"
+               cfg.packet_size batch_size
+               ((batch_size + cfg.packet_size - 1) / cfg.packet_size))
+          :: !diags
+    in
+    let rec walk prefix node =
+      let path = child_path prefix (Ir.label node) in
+      match node with
+      | Ir.Leaf _ | Ir.Unresolved _ -> ()
+      | Ir.Filter { input; _ }
+      | Ir.Project_cols { input; _ }
+      | Ir.Project_exprs { input; _ }
+      | Ir.Sort { input; _ }
+      | Ir.Aggregate { input; _ }
+      | Ir.Distinct { input; _ }
+      | Ir.Limit { input; _ } ->
+          walk path input
+      | Ir.Match { left; right; _ }
+      | Ir.Cross { left; right }
+      | Ir.Theta_join { left; right; _ } ->
+          walk (child_path path "left") left;
+          walk (child_path path "right") right
+      | Ir.Division { dividend; divisor; _ } ->
+          walk (child_path path "dividend") dividend;
+          walk (child_path path "divisor") divisor
+      | Ir.Choose { alternatives } ->
+          List.iteri
+            (fun i alt -> walk (child_path path (Printf.sprintf "alt%d" i)) alt)
+            alternatives
+      | Ir.Exchange { cfg; input }
+      | Ir.Exchange_merge { cfg; input; _ }
+      | Ir.Interchange { cfg; input } ->
+          check_edge path cfg;
+          walk path input
+    in
+    walk "" root
+  end;
+  List.rev !diags
+
+let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget
+    ?batch_size root =
   Diag.sort
     (schema_pass root @ exchange_pass root @ deadlock_pass root
     @ resource_pass ?max_domains ?frames root
     @ sched_pass ?oversub ~workers root
-    @ memory_pass ?flow_budget root)
+    @ memory_pass ?flow_budget root
+    @ batch_pass ?batch_size root)

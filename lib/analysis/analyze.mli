@@ -64,13 +64,27 @@ val memory_pass : ?flow_budget:int -> Ir.t -> Diag.t list
     [degree x consumers x flow_slack x packet_size] each — exceeds
     [flow_budget] (default [2^20] records). *)
 
+val batch_pass : ?batch_size:int -> Ir.t -> Diag.t list
+(** Batch-size legality for the vectorized path.  Errors ([batch-size])
+    when the knob fails {!Volcano.Batch.validate} — the same validation
+    the runtime's [Batch.fused] applies, so planlint cannot drift from
+    it.  Warns ([batch-packet-mismatch]) at each exchange edge whose
+    port [packet_size] is smaller than the batch size: batches never
+    cross an exchange edge unpacketized, so such an edge splits every
+    batch on re-packetization.  [batch_size] defaults to
+    {!Volcano.Batch.default_size}; 0 (batching disabled) checks
+    nothing. *)
+
 val analyze :
   ?max_domains:int ->
   ?frames:int ->
   ?workers:int ->
   ?oversub:int ->
   ?flow_budget:int ->
+  ?batch_size:int ->
   Ir.t ->
   Diag.t list
 (** All passes, sorted errors-first (see {!Diag.sort}).  [workers]
-    (default 0, meaning unknown/dedicated) enables {!sched_pass}. *)
+    (default 0, meaning unknown/dedicated) enables {!sched_pass};
+    [batch_size] (default {!Volcano.Batch.default_size}) parameterizes
+    {!batch_pass}. *)

@@ -24,8 +24,8 @@ val registry : (string * string) list
 (** Every registered defect-class slug paired with its stable numeric
     code ([("schema-col", "VL101")], ...).  The hundreds digit names the
     pass: 1 schema, 2 exchange configuration, 3 deadlock hazards,
-    4 resource estimation, 5 scheduler placement and memory bounds.
-    Append-only: a number is never reassigned. *)
+    4 resource estimation, 5 scheduler placement and memory bounds,
+    6 batch-size legality.  Append-only: a number is never reassigned. *)
 
 val vl_code : t -> string option
 (** The [VLnnn] number for a diagnostic's code, if registered.  Passes

@@ -1,0 +1,94 @@
+(** Batch iterators: the vectorized in-process counterpart of {!Iterator}.
+
+    Inside a process group the per-record iterator protocol — one closure
+    call per [next], one boxed option per row — dominates once exchange's
+    hot path is cheap.  A batch iterator amortizes it: [next] yields a
+    whole {!Packet} of records built on the same shells (capacity 1..255)
+    the exchange ports circulate, so an exchange producer fed by a batch
+    pipeline copies rows straight from batch to port packet with no
+    per-record closure hop in between.
+
+    Ownership contract: the packet returned by [next] belongs to the
+    batch iterator and is valid only until the following [next] or
+    [close] call — implementations reuse one shell.  End of stream is
+    [None] (a yielded packet never carries the end-of-stream tag, and is
+    never empty).  Exchange remains the only place batches cross a
+    domain boundary, and there they are re-packetized onto the port's
+    pooled packets — batches themselves never travel between domains.
+
+    The open–next–close protocol and its rules are exactly
+    {!Iterator}'s. *)
+
+type t
+
+val make :
+  open_:(unit -> unit) ->
+  next:(unit -> Packet.t option) ->
+  close:(unit -> unit) ->
+  t
+
+val open_ : t -> unit
+val next : t -> Packet.t option
+val close : t -> unit
+
+val default_size : int
+(** 64 — the default [batch_size] knob setting. *)
+
+val validate : batch_size:int -> (string * string) list
+(** The single validation path for the [batch_size] knob, shared by
+    {!Volcano_plan.Env} and planlint's batch pass (like
+    {!Exchange.validate}).  0 means the batch path is disabled and is
+    valid; otherwise the size must fit a packet shell, 1..255.  Returns
+    [(code, message)] diagnoses — code ["batch-size"] — or [[]]. *)
+
+(** {2 Fused pipelines}
+
+    A fused chain is one tight loop: a {!cursor} steps the source,
+    pushing each record through a composed {!Volcano_tuple.Support.Stage}
+    emit function that lands survivors in the output shell.  No
+    per-record option, no per-operator [next]. *)
+
+type cursor = {
+  reset : unit -> unit;  (** (re)position at the first record *)
+  step : emit:(Volcano_tuple.Tuple.t -> unit) -> max:int -> int;
+      (** Drive up to [max] source records through [emit]; returns the
+          number of source records consumed — 0 means exhausted.  [emit]
+          adds at most one output record per source record. *)
+  stop : unit -> unit;  (** release source resources *)
+}
+
+val fused : batch_size:int -> ?stage:Volcano_tuple.Support.Stage.t -> cursor -> t
+(** The fused pipeline: per [next], reset the reused shell and loop the
+    cursor until the shell fills or the source is exhausted.  [stage]
+    (default identity) must emit at most one record per input record —
+    the fill loop bounds each step by the shell's remaining room.
+    @raise Invalid_argument unless [1 <= batch_size <= 255]. *)
+
+val generator_cursor : count:int -> f:(int -> Volcano_tuple.Tuple.t) -> cursor
+val array_cursor : Volcano_tuple.Tuple.t array -> cursor
+
+val iterator_cursor : Iterator.t -> cursor
+(** Wrap any record iterator as a batch source ([reset] opens it, [stop]
+    closes it). *)
+
+(** {2 Record-at-a-time bridges}
+
+    The adapter contract: operators not yet vectorized (sort, hash
+    match, merge, ...) consume a fused subtree through {!to_iterator}
+    unchanged, and a record subtree feeds a batch consumer through
+    {!of_iterator}.  Both preserve record order exactly, so the batch
+    and record paths are bit-identical. *)
+
+val of_iterator : batch_size:int -> Iterator.t -> t
+(** [fused] over {!iterator_cursor}. *)
+
+val to_iterator : t -> Iterator.t
+(** The record view of a batch stream: [next] serves rows out of the
+    current batch and pulls the next one on exhaustion. *)
+
+val iter : (Volcano_tuple.Tuple.t -> unit) -> t -> unit
+(** Open, drive every batch (applying [f] per record), close — also on
+    exceptions.  The bulk consumer for batch-aware blocking operators. *)
+
+val consume : t -> int
+(** Open, count records, close. *)

@@ -161,15 +161,20 @@ let instantiate_partition spec ~consumers =
 (* ------------------------------------------------------------------ *)
 (* Producer side                                                       *)
 
+(* What a producer drives: the subtree below the exchange, compiled either
+   to a record iterator or — when the whole subtree fused into a batch
+   pipeline — to a batch iterator whose packets the producer drains into
+   port packets in a tight loop, with no per-record closure hop. *)
+type producer_source = Record_source of Iterator.t | Batch_source of Batch.t
+
 (* The producer half of exchange: "the driver for the query tree below the
-   exchange operator" (section 4.1).  Runs in a forked domain.  [iter_slot]
-   exposes the subtree to the failure handler so it can be closed (and its
-   buffer fixes released) when the producer dies mid-stream. *)
-let run_producer_inner cfg faults port close_allowed group iter_slot input =
+   exchange operator" (section 4.1).  Runs in a forked domain.
+   [closer_slot] exposes the subtree to the failure handler so it can be
+   closed (and its buffer fixes released) when the producer dies
+   mid-stream. *)
+let run_producer_inner cfg faults port close_allowed group closer_slot input =
   let rank = Group.rank group in
-  let iter = input group in
-  iter_slot := Some iter;
-  Iterator.open_ iter;
+  let source = input group in
   let consumers = Port.consumers port in
   (* Packets come from the lane pool: in steady state each refill reuses
      an array the consumer drained and recycled moments ago. *)
@@ -196,27 +201,67 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
   (* Hoisted: the injector does nothing without rules, and this check
      runs once per record. *)
   let faults_live = not (Injector.is_none faults) in
-  let rec drive () =
-    if Port.is_shut_down port then ()
-    else
-      match Iterator.next iter with
-      | None -> ()
-      | Some tuple ->
-          if faults_live then
-            Injector.hit faults (Volcano_fault.Producer rank);
-          (match cfg.partition with
-          | Broadcast ->
-              (* Replicate to all consumers.  Tuples are immutable and
-                 shared by reference — the analogue of pinning the record
-                 once per consumer rather than copying it (section 4.4). *)
-              for consumer = 0 to consumers - 1 do
-                deliver consumer tuple
-              done
-          | Round_robin | Hash_on _ | Range_on _ | Custom _ ->
-              deliver (partition tuple) tuple);
-          drive ()
-  in
-  drive ();
+  (match source with
+  | Record_source iter ->
+      closer_slot := Some (fun () -> Iterator.close iter);
+      Iterator.open_ iter;
+      let rec drive () =
+        if Port.is_shut_down port then ()
+        else
+          match Iterator.next iter with
+          | None -> ()
+          | Some tuple ->
+              if faults_live then
+                Injector.hit faults (Volcano_fault.Producer rank);
+              (match cfg.partition with
+              | Broadcast ->
+                  (* Replicate to all consumers.  Tuples are immutable and
+                     shared by reference — the analogue of pinning the
+                     record once per consumer rather than copying it
+                     (section 4.4). *)
+                  for consumer = 0 to consumers - 1 do
+                    deliver consumer tuple
+                  done
+              | Round_robin | Hash_on _ | Range_on _ | Custom _ ->
+                  deliver (partition tuple) tuple);
+              drive ()
+      in
+      drive ()
+  | Batch_source batches ->
+      closer_slot := Some (fun () -> Batch.close batches);
+      Batch.open_ batches;
+      (* The batch drive loop: one [Batch.next] per packet of records,
+         then a tight for-loop routing records into port packets — the
+         per-record [Iterator.next] closure hop is gone.  The shutdown
+         check runs per batch (at most one batch of records is routed
+         into dropped sends after a shutdown). *)
+      let rec drive () =
+        if Port.is_shut_down port then ()
+        else
+          match Batch.next batches with
+          | None -> ()
+          | Some batch ->
+              let n = Packet.length batch in
+              (match cfg.partition with
+              | Broadcast ->
+                  for i = 0 to n - 1 do
+                    if faults_live then
+                      Injector.hit faults (Volcano_fault.Producer rank);
+                    let tuple = Packet.get batch i in
+                    for consumer = 0 to consumers - 1 do
+                      deliver consumer tuple
+                    done
+                  done
+              | Round_robin | Hash_on _ | Range_on _ | Custom _ ->
+                  for i = 0 to n - 1 do
+                    if faults_live then
+                      Injector.hit faults (Volcano_fault.Producer rank);
+                    let tuple = Packet.get batch i in
+                    deliver (partition tuple) tuple
+                  done);
+              drive ()
+      in
+      drive ());
   (* Flag the last packet to every consumer with the end-of-stream tag. *)
   if not (Port.is_shut_down port) then
     for consumer = 0 to consumers - 1 do
@@ -227,8 +272,10 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
      a broadcast event: waiting suspends a pooled producer instead of
      occupying its worker domain. *)
   Sched.Event.wait close_allowed;
-  iter_slot := None;
-  Iterator.close iter
+  closer_slot := None;
+  match source with
+  | Record_source iter -> Iterator.close iter
+  | Batch_source batches -> Batch.close batches
 
 (* A producer that dies must not hang or silently truncate the query:
    poison the port — recording the cause, waking blocked consumers
@@ -236,12 +283,12 @@ let run_producer_inner cfg faults port close_allowed group iter_slot input =
    the shutdown chain — then close the subtree to release its resources.
    The consumer re-raises the cause from its [next] as [Query_failed]. *)
 let run_producer cfg faults port close_allowed group input =
-  let iter_slot = ref None in
+  let closer_slot = ref None in
   try
     (* Fires at the very start of the scheduled task, before the subtree
        even opens — a failure here must still poison the port. *)
     Injector.hit faults Volcano_fault.Sched_task;
-    run_producer_inner cfg faults port close_allowed group iter_slot input
+    run_producer_inner cfg faults port close_allowed group closer_slot input
   with exn ->
     Port.poison port exn;
     (* Siblings may be blocked in [Group.lookup_port] for a nested port
@@ -249,8 +296,8 @@ let run_producer cfg faults port close_allowed group input =
        would ever wake them.  Poison first so the consumer reports the
        original failure, not the siblings' [Group.Cancelled]. *)
     Group.cancel group;
-    (match !iter_slot with
-    | Some iter -> ( try Iterator.close iter with _ -> ())
+    (match !closer_slot with
+    | Some close_subtree -> ( try close_subtree () with _ -> ())
     | None -> ());
     raise exn
 
@@ -421,8 +468,8 @@ let consume_packets state =
   in
   step ()
 
-let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs ?sched
-    cfg ~group ~input =
+let source_iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
+    ?sched cfg ~group ~input =
   let id = match id with Some i -> i | None -> fresh_id () in
   let sched = match sched with Some s -> s | None -> Sched.default () in
   let state = ref None in
@@ -471,6 +518,10 @@ let iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs ?sched
           teardown_consumer ~group s;
           state := None)
 
+let iterator ?id ?faults ?parent_scope ?scope ?obs ?sched cfg ~group ~input =
+  source_iterator ?id ?faults ?parent_scope ?scope ?obs ?sched cfg ~group
+    ~input:(fun producer_group -> Record_source (input producer_group))
+
 (* Keep-separate variant: one stream per producer, so that "the merge
    iterator [can] distinguish the input records by their producer"
    (section 4.4).  The streams share setup and teardown via refcounts. *)
@@ -505,7 +556,9 @@ let producer_streams ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
           shared :=
             Some
               (setup_consumer ~keep_separate:true ~faults ?parent_scope ?scope
-                 ?obs ~sched cfg ~id ~group ~input))
+                 ?obs ~sched cfg ~id ~group
+                 ~input:(fun producer_group ->
+                   Record_source (input producer_group))))
     else begin
       Sched.Event.wait ready;
       if !shared = None then

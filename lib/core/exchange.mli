@@ -134,6 +134,29 @@ val fresh_id : unit -> int
     exchange (one per member of the consuming group) must share the key so
     that non-master members find the master's port. *)
 
+type producer_source = Record_source of Iterator.t | Batch_source of Batch.t
+(** What a producer task drives: the compiled subtree as a record
+    iterator, or — when the subtree fused into a batch pipeline — as a
+    {!Batch.t} whose packets the producer drains into port packets in a
+    tight per-batch loop, with no per-record closure hop.  Either way
+    records cross the domain boundary only inside port packets: batches
+    are re-packetized here, never handed across domains. *)
+
+val source_iterator :
+  ?id:int ->
+  ?faults:Volcano_fault.Injector.t ->
+  ?parent_scope:Scope.t ->
+  ?scope:Scope.t ->
+  ?obs:Volcano_obs.Obs.t * Volcano_obs.Obs.Node.t ->
+  ?sched:Volcano_sched.Sched.t ->
+  config ->
+  group:Group.t ->
+  input:(Group.t -> producer_source) ->
+  Iterator.t
+(** {!iterator} generalized over the producer source: each producer task
+    evaluates [input] and drives whichever side of {!producer_source} it
+    returns.  The consumer side is identical. *)
+
 val iterator :
   ?id:int ->
   ?faults:Volcano_fault.Injector.t ->

@@ -33,8 +33,9 @@ val end_of_stream : t -> bool
 
 val reset : t -> unit
 (** Empty the packet and clear its end-of-stream tag, keeping the record
-    array for reuse.  Only the pool calls this, on packets the consumer
-    has explicitly released. *)
+    array for reuse.  Called only by an owner refilling a shell it
+    exclusively holds: the pool (on packets the consumer has explicitly
+    released) and {!Batch} pipelines (on their private shells). *)
 
 (** A per-lane packet recycler: the consumer returns drained packets
     through a bounded SPSC free ring and the producer's next allocation

@@ -78,6 +78,16 @@ module Node = struct
 
   let on_close t ~elapsed = add_ns t.busy_ns elapsed
 
+  (* The batch path delivers rows in bulk: one next call moved [rows]
+     records through this node. *)
+  let on_batch t ~rows ~elapsed =
+    Atomic.incr t.next_calls;
+    if rows > 0 then begin
+      let (_ : int) = Atomic.fetch_and_add t.rows rows in
+      ()
+    end;
+    add_ns t.busy_ns elapsed
+
   let on_span t ~start ~stop ~rows =
     match t.spans with
     | None -> ()

@@ -56,6 +56,12 @@ module Node : sig
   val on_next : t -> produced:bool -> elapsed:float -> unit
   val on_close : t -> elapsed:float -> unit
 
+  val on_batch : t -> rows:int -> elapsed:float -> unit
+  (** The batch-path analogue of {!on_next}: one batch-level next call
+      moved [rows] records through this node.  Counts one next call,
+      adds [rows] to the row total, and books [elapsed] as busy time —
+      so per-node row counts stay exact under batching. *)
+
   val on_span : t -> start:float -> stop:float -> rows:int -> unit
   (** One open-to-close lifetime of one rank's iterator instance; becomes
       a Chrome trace event. *)

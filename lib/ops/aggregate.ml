@@ -69,8 +69,11 @@ module Key_table = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let hash_iterator ~group_by ~aggs input =
-  let key_of = Support.key_on group_by in
+(* The shared hash-build machinery: [drain] consumes the whole input —
+   record iterator or batch pipeline — through the [build] feeder on
+   open, then the grouped results stream out of a queue in first-seen
+   order (deterministic output). *)
+let hash_build ~key_of ~aggs ~drain =
   let results = Queue.create () in
   let opened = ref false in
   Iterator.make
@@ -78,8 +81,7 @@ let hash_iterator ~group_by ~aggs input =
       let table = Key_table.create 1024 in
       (* Preserve first-seen group order for deterministic output. *)
       let order = ref [] in
-      Iterator.iter
-        (fun tuple ->
+      drain (fun tuple ->
           let key = key_of tuple in
           let accs =
             match Key_table.find_opt table key with
@@ -90,8 +92,7 @@ let hash_iterator ~group_by ~aggs input =
                 order := key :: !order;
                 accs
           in
-          List.iter (fun acc -> feed acc tuple) accs)
-        input;
+          List.iter (fun acc -> feed acc tuple) accs);
       List.iter
         (fun key ->
           let accs = Key_table.find table key in
@@ -102,6 +103,285 @@ let hash_iterator ~group_by ~aggs input =
       if not !opened then invalid_arg "Aggregate.hash: not open";
       Queue.take_opt results)
     ~close:(fun () -> opened := false)
+
+let hash_iterator ~group_by ~aggs input =
+  hash_build ~key_of:(Support.key_on group_by) ~aggs ~drain:(fun feed_tuple ->
+      Iterator.iter feed_tuple input)
+
+(* ------------------------------------------------------------------ *)
+(* The specialized batch build.
+
+   For the common batched shape — every aggregate [Count] or [Sum] of an
+   integer-only expression — the build loop runs almost allocation-free
+   per record: group keys are hashed and compared straight out of a
+   scratch buffer (the key tuple is materialized once per GROUP, not per
+   record), and accumulators are native ints.  A record that defeats an
+   int kernel (a non-int field, division by zero) demotes its group to
+   the generic accumulators, at most once per group, so results are
+   identical to [hash_build]'s.  This is where batching pays beyond
+   saved [next] calls: the record-at-a-time operator cannot justify a
+   second code path per plan shape, the batch operator amortizes the
+   choice over every packet.
+
+   Keys are expressions, not column positions: the compiler pushes
+   projections under an aggregate into the aggregate itself
+   ([Expr.subst]), so the fused loop evaluates keys and accumulator
+   inputs straight off the scan tuple.  A plain column list is the
+   special case [keys = List.map Expr.col group_by]. *)
+
+type group = {
+  gkey : Tuple.t;
+  ghash : int;
+  fast : int array; (* one slot per aggregate: count, or running sum *)
+  seen : bool array; (* Sum slots: fed at least once while fast *)
+  mutable generic : acc list; (* non-empty once the group is demoted *)
+}
+
+(* [None] per slot = Count; [Some kernel] = Sum of an int expression.
+   The whole plan is [None] when any aggregate needs the generic build. *)
+let fast_agg_plan aggs =
+  let rec go = function
+    | [] -> Some []
+    | Count :: rest -> Option.map (fun l -> None :: l) (go rest)
+    | Sum e :: rest -> (
+        match Expr.Compiled.num_int e with
+        | Some kernel -> Option.map (fun l -> Some kernel :: l) (go rest)
+        | None -> None)
+    | (Min _ | Max _ | Avg _) :: _ -> None
+  in
+  Option.map Array.of_list (go aggs)
+
+(* The table below is private to one build: any hash will do as long as
+   equal keys agree on it, and output order is first-seen, never hash
+   order.  So ints — the overwhelmingly common group key — get a
+   one-multiply mix instead of [Value.hash]'s byte-serial FNV, which
+   costs more than the rest of the probe put together. *)
+let slot_hash = function
+  | Value.Int x -> x * 0x2545F4914F6CDD1D land max_int
+  | v -> Value.hash v
+
+let slot_equal a b =
+  match (a, b) with
+  | Value.Int x, Value.Int y -> x = y
+  | _ -> Value.equal a b
+
+let key_hash key =
+  let h = ref 17 in
+  for i = 0 to Array.length key - 1 do
+    h := (!h * 31) + slot_hash (Array.unsafe_get key i)
+  done;
+  !h
+
+let key_matches gkey key =
+  let rec go i =
+    i >= Array.length key
+    || slot_equal (Array.unsafe_get gkey i) (Array.unsafe_get key i)
+       && go (i + 1)
+  in
+  go 0
+
+let demote aggs g =
+  g.generic <-
+    List.mapi
+      (fun i agg ->
+        match agg with
+        | Count -> Acc_count (ref g.fast.(i))
+        | Sum e ->
+            Acc_sum
+              ( ref (if g.seen.(i) then Value.Int g.fast.(i) else Value.Null),
+                Expr.Compiled.num e )
+        | Min _ | Max _ | Avg _ -> assert false)
+      aggs
+
+let fast_output aggs g =
+  match g.generic with
+  | _ :: _ as accs -> output_tuple g.gkey accs
+  | [] ->
+      Tuple.concat g.gkey
+        (Array.of_list
+           (List.mapi
+              (fun i agg ->
+                match agg with
+                | Count -> Value.Int g.fast.(i)
+                | Sum _ ->
+                    if g.seen.(i) then Value.Int g.fast.(i) else Value.Null
+                | Min _ | Max _ | Avg _ -> assert false)
+              aggs))
+
+let fast_hash_build ~key_evals ~key_kernels ~aggs ~kernels ~drain =
+  let naggs = Array.length kernels in
+  let nkeys = Array.length key_evals in
+  let results = Queue.create () in
+  let opened = ref false in
+  Iterator.make
+    ~open_:(fun () ->
+      let buckets = ref (Array.make 1024 []) in
+      let size = ref 0 in
+      let order = ref [] in
+      let tmp = Array.make (max 1 naggs) 0 in
+      (* Scratch for the current record's key values; a group that the
+         probe misses copies it into a fresh [gkey]. *)
+      let kbuf = Array.make nkeys Value.Null in
+      let ibuf = Array.make nkeys 0 in
+      let rehash () =
+        let old = !buckets in
+        let grown = Array.make (2 * Array.length old) [] in
+        let mask = Array.length grown - 1 in
+        Array.iter
+          (fun bucket ->
+            List.iter
+              (fun g ->
+                let i = g.ghash land mask in
+                grown.(i) <- g :: grown.(i))
+              bucket)
+          old;
+        buckets := grown
+      in
+      let add_group gkey h =
+        let g =
+          {
+            gkey;
+            ghash = h;
+            fast = Array.make (max 1 naggs) 0;
+            seen = Array.make (max 1 naggs) false;
+            generic = [];
+          }
+        in
+        let bs = !buckets in
+        let idx = h land (Array.length bs - 1) in
+        bs.(idx) <- g :: bs.(idx);
+        order := g :: !order;
+        incr size;
+        if !size > 2 * Array.length bs then rehash ();
+        g
+      in
+      let find_boxed tuple =
+        for i = 0 to nkeys - 1 do
+          Array.unsafe_set kbuf i ((Array.unsafe_get key_evals i) tuple)
+        done;
+        let h = key_hash kbuf in
+        let bs = !buckets in
+        let rec scan = function
+          | [] -> add_group (Array.copy kbuf) h
+          | g :: rest ->
+              if g.ghash = h && key_matches g.gkey kbuf then g else scan rest
+        in
+        scan bs.(h land (Array.length bs - 1))
+      in
+      (* When every key has an int kernel, keys hash and compare as
+         native ints with no [Value] boxing at all.  The first record
+         whose keys defeat the kernels turns the probe off for the rest
+         of the build (a non-int-keyed plan fails on record one); both
+         probes share the table, and [slot_hash]/[slot_equal] agree with
+         the int path on [Int] values, so mixing them is sound. *)
+      let find_or_add =
+        match key_kernels with
+        | None -> find_boxed
+        | Some kk ->
+            let int_keys = ref true in
+            let matches_ints gkey =
+              let rec go i =
+                i >= nkeys
+                || (match Array.unsafe_get gkey i with
+                   | Value.Int y -> y = Array.unsafe_get ibuf i && go (i + 1)
+                   | _ -> false)
+              in
+              go 0
+            in
+            fun tuple ->
+              if not !int_keys then find_boxed tuple
+              else if
+                try
+                  for i = 0 to nkeys - 1 do
+                    Array.unsafe_set ibuf i ((Array.unsafe_get kk i) tuple)
+                  done;
+                  false
+                with Expr.Compiled.Fallback -> true
+              then begin
+                int_keys := false;
+                find_boxed tuple
+              end
+              else begin
+                let h = ref 17 in
+                for i = 0 to nkeys - 1 do
+                  h :=
+                    (!h * 31)
+                    + (Array.unsafe_get ibuf i * 0x2545F4914F6CDD1D land max_int)
+                done;
+                let h = !h in
+                let bs = !buckets in
+                let rec scan = function
+                  | [] ->
+                      add_group
+                        (Array.init nkeys (fun i -> Value.Int ibuf.(i)))
+                        h
+                  | g :: rest ->
+                      if g.ghash = h && matches_ints g.gkey then g
+                      else scan rest
+                in
+                scan bs.(h land (Array.length bs - 1))
+              end
+      in
+      let feed_group g tuple =
+        match g.generic with
+        | _ :: _ as accs -> List.iter (fun acc -> feed acc tuple) accs
+        | [] -> (
+            try
+              (* Evaluate every kernel before touching the state, so a
+                 fallback mid-record leaves the group consistent. *)
+              for i = 0 to naggs - 1 do
+                match Array.unsafe_get kernels i with
+                | None -> ()
+                | Some kernel -> Array.unsafe_set tmp i (kernel tuple)
+              done;
+              for i = 0 to naggs - 1 do
+                match Array.unsafe_get kernels i with
+                | None -> g.fast.(i) <- g.fast.(i) + 1
+                | Some _ ->
+                    g.fast.(i) <- g.fast.(i) + Array.unsafe_get tmp i;
+                    g.seen.(i) <- true
+              done
+            with Expr.Compiled.Fallback ->
+              demote aggs g;
+              List.iter (fun acc -> feed acc tuple) g.generic)
+      in
+      drain (fun tuple -> feed_group (find_or_add tuple) tuple);
+      List.iter
+        (fun g -> Queue.push (fast_output aggs g) results)
+        (List.rev !order);
+      opened := true)
+    ~next:(fun () ->
+      if not !opened then invalid_arg "Aggregate.hash: not open";
+      Queue.take_opt results)
+    ~close:(fun () -> opened := false)
+
+(* Batched entry points.  [hash_feed_exprs] lets the compiler hand the
+   build a drain of its own making — in particular the fused-sink drain,
+   where the scan chain's emit path calls [feed] directly with no packet
+   shell in between — and key expressions carrying pushed-down
+   projections.  [hash_feed] is the plain column-keyed form and
+   [hash_batches] the packet-consuming special case. *)
+let hash_feed_exprs ~keys ~aggs ~drain =
+  let key_evals = Array.of_list (List.map Expr.Compiled.num keys) in
+  match fast_agg_plan aggs with
+  | Some kernels ->
+      let key_kernels =
+        let ks = List.map Expr.Compiled.num_int keys in
+        if List.for_all Option.is_some ks then
+          Some (Array.of_list (List.map Option.get ks))
+        else None
+      in
+      fast_hash_build ~key_evals ~key_kernels ~aggs ~kernels ~drain
+  | None ->
+      let key_of tuple = Array.map (fun f -> f tuple) key_evals in
+      hash_build ~key_of ~aggs ~drain
+
+let hash_feed ~group_by ~aggs ~drain =
+  hash_feed_exprs ~keys:(List.map Expr.col group_by) ~aggs ~drain
+
+let hash_batches ~group_by ~aggs input =
+  hash_feed ~group_by ~aggs ~drain:(fun feed_tuple ->
+      Volcano.Batch.iter feed_tuple input)
 
 let sorted_iterator ~group_by ~aggs input =
   let key_of = Support.key_on group_by in
@@ -142,6 +422,19 @@ let sorted_iterator ~group_by ~aggs input =
             gather ();
             Some (output_tuple key accs))
     ~close:(fun () -> Iterator.close input)
+
+(* A fresh stateful duplicate predicate for the fused batch path: true on
+   the first tuple of each key group.  One instance per open. *)
+let distinct_filter ~on () =
+  let key_of = Support.key_on on in
+  let seen = Key_table.create 1024 in
+  fun tuple ->
+    let key = key_of tuple in
+    if Key_table.mem seen key then false
+    else begin
+      Key_table.add seen key ();
+      true
+    end
 
 (* Duplicate elimination keeps the whole first tuple of each group rather
    than just the key columns. *)

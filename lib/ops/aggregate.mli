@@ -17,6 +17,43 @@ val hash_iterator :
 (** Hash aggregation: consumes the whole input on [open_], emits one tuple
     per group. *)
 
+val hash_feed_exprs :
+  keys:Volcano_tuple.Expr.num list ->
+  aggs:agg list ->
+  drain:((Volcano_tuple.Tuple.t -> unit) -> unit) ->
+  Volcano.Iterator.t
+(** {!hash_feed} generalized to expression-valued group keys: the output
+    key columns are the [keys] evaluated on each input tuple, in order.
+    This is how the compiler pushes a projection directly under an
+    aggregate into the aggregate itself ([Expr.subst] on keys and
+    aggregate arguments) — the fused loop then never materializes the
+    projected tuple at all. *)
+
+val hash_feed :
+  group_by:int list ->
+  aggs:agg list ->
+  drain:((Volcano_tuple.Tuple.t -> unit) -> unit) ->
+  Volcano.Iterator.t
+(** {!hash_iterator} fed by an arbitrary drive loop: [open_] calls
+    [drain feed] once and expects it to push every input tuple.  This is
+    the sink-fusion entry point — the compiler passes the fused chain's
+    emit path as the drain, so scan, filter, project and the hash build
+    run as one loop with no packet shell in between.  Same algorithm,
+    same first-seen group order, bit-identical output.  When every
+    aggregate is [Count] or [Sum] of an integer-only expression, the
+    build runs allocation-free per record (see the implementation). *)
+
+val hash_batches :
+  group_by:int list -> aggs:agg list -> Volcano.Batch.t -> Volcano.Iterator.t
+(** {!hash_feed} over a batch pipeline: the build loop feeds straight
+    out of each batch's packet, so a fused chain aggregates without the
+    record-at-a-time bridge. *)
+
+val distinct_filter : on:int list -> unit -> Volcano_tuple.Tuple.t -> bool
+(** A fresh stateful duplicate predicate for the fused batch path: true
+    exactly on the first tuple of each key group.  Instantiate one per
+    open (it remembers every key it has seen). *)
+
 val sorted_iterator :
   group_by:int list -> aggs:agg list -> Volcano.Iterator.t -> Volcano.Iterator.t
 (** Streaming aggregation over an input already sorted (or at least

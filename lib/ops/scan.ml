@@ -27,6 +27,38 @@ let heap_filtered ~pred file =
 
 let heap file = heap_filtered ~pred:(fun _ -> true) file
 
+(* The batch source for fused scan chains: the per-record decode stays
+   (records are variable-length on the page), but the iterator protocol
+   above it is gone — one [step] call refills a whole batch. *)
+let heap_cursor file =
+  let cursor = ref None in
+  {
+    Volcano.Batch.reset = (fun () -> cursor := Some (Heap_file.scan file));
+    step =
+      (fun ~emit ~max ->
+        match !cursor with
+        | None -> invalid_arg "Scan.heap_cursor: not open"
+        | Some c ->
+            let n = ref 0 in
+            (try
+               while !n < max do
+                 match Heap_file.next c with
+                 | None -> raise Exit
+                 | Some (_rid, record) ->
+                     emit (Serial.decode_bytes (Bytes.of_string record));
+                     incr n
+               done
+             with Exit -> ());
+            !n);
+    stop =
+      (fun () ->
+        match !cursor with
+        | None -> ()
+        | Some c ->
+            Heap_file.close_cursor c;
+            cursor := None);
+  }
+
 let heap_prefetched ~daemon file =
   let inner = heap file in
   Iterator.make

@@ -5,6 +5,10 @@
 val heap : Volcano_storage.Heap_file.t -> Volcano.Iterator.t
 (** Full file scan in page order. *)
 
+val heap_cursor : Volcano_storage.Heap_file.t -> Volcano.Batch.cursor
+(** The batch source behind fused scan chains: a {!Volcano.Batch.cursor}
+    over the file in page order, for {!Volcano.Batch.fused}. *)
+
 val heap_prefetched :
   daemon:Volcano_storage.Daemon.t ->
   Volcano_storage.Heap_file.t ->

@@ -1,6 +1,7 @@
 module Iterator = Volcano.Iterator
 module Exchange = Volcano.Exchange
 module Group = Volcano.Group
+module Expr = Volcano_tuple.Expr
 module Support = Volcano_tuple.Support
 module Ops = Volcano_ops
 module Injector = Volcano_fault.Injector
@@ -140,20 +141,320 @@ let guard faults inner =
         Iterator.next inner)
       ~close:(fun () -> Iterator.close inner)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized (batch) execution                                        *)
+
+module Batch = Volcano.Batch
+
+(* A compiled subtree is either a record iterator or — when the whole
+   subtree is a fusible scan chain and the env's [batch_size] knob is on
+   — a batch pipeline.  Batch-aware consumers (exchange producers, hash
+   aggregation) take the [Batches] side directly; every other parent
+   bridges through the record-at-a-time adapter [Batch.to_iterator]. *)
+type stream = Rows of Iterator.t | Batches of Batch.t
+
+(* Obs bookkeeping for one node of a fused chain: a tap stage counts the
+   node's output rows into [fn_rows], flushed once per batch by
+   [instrumented_chain]. *)
+type fused_node = {
+  fn_node : Obs.Node.t;
+  fn_rows : int ref;  (* rows since the last flush *)
+  fn_total : int ref;  (* rows this open-to-close span *)
+}
+
+(* The batch-level analogue of [Iterator.instrumented] for a whole fused
+   chain: opens, closes, and spans are booked once per lifetime on every
+   chain node, and each node's tap-counted rows are flushed per batch
+   with [Obs.Node.on_batch] — per-node row totals stay exact under
+   batching while next-call counts become per-batch. *)
+let instrumented_chain nodes pipeline =
+  match nodes with
+  | [] -> pipeline
+  | _ ->
+      let span_start = ref nan in
+      let flush elapsed =
+        List.iter
+          (fun fn ->
+            Obs.Node.on_batch fn.fn_node ~rows:!(fn.fn_rows) ~elapsed;
+            fn.fn_total := !(fn.fn_total) + !(fn.fn_rows);
+            fn.fn_rows := 0)
+          nodes
+      in
+      Batch.make
+        ~open_:(fun () ->
+          List.iter
+            (fun fn ->
+              Obs.Node.count_open fn.fn_node;
+              fn.fn_rows := 0;
+              fn.fn_total := 0)
+            nodes;
+          let t0 = Obs.now () in
+          span_start := t0;
+          Batch.open_ pipeline;
+          let dt = Obs.now () -. t0 in
+          List.iter (fun fn -> Obs.Node.on_open fn.fn_node ~elapsed:dt) nodes)
+        ~next:(fun () ->
+          let t0 = Obs.now () in
+          match Batch.next pipeline with
+          | result ->
+              flush (Obs.now () -. t0);
+              result
+          | exception exn ->
+              flush (Obs.now () -. t0);
+              raise exn)
+        ~close:(fun () ->
+          List.iter (fun fn -> Obs.Node.count_close fn.fn_node) nodes;
+          let t0 = Obs.now () in
+          Batch.close pipeline;
+          let stop = Obs.now () in
+          List.iter
+            (fun fn -> Obs.Node.on_close fn.fn_node ~elapsed:(stop -. t0))
+            nodes;
+          if not (Float.is_nan !span_start) then begin
+            List.iter
+              (fun fn ->
+                Obs.Node.on_span fn.fn_node ~start:!span_start ~stop
+                  ~rows:!(fn.fn_total))
+              nodes;
+            span_start := nan
+          end)
+
+(* Try to compile [plan] as one fused batch pipeline: a batch-source
+   leaf (generate, list, table scan, and their slices) under any number
+   of fusible chain operators (filter, projections, hash distinct).
+   Everything else — blocking operators, joins, index scans, limits,
+   choose, and every exchange — refuses, and the subtree compiles
+   record-at-a-time.  Exchange edges can therefore never end up inside
+   a chain: batches stay strictly within one process group, and records
+   cross domains only inside port packets (planlint's batch pass checks
+   the knob against each edge's packet size).
+
+   The per-record decoration the record path applies per node — the
+   generic [Operator] fault site and the obs row count — becomes a tap
+   stage per node, so faults fire and rows count inside the fused loop
+   exactly as they would in the nested-closure tree.  Stateful pieces
+   (the slice counter, distinct's seen table) hang their
+   re-initialization on [cursor.reset], so reopening the pipeline
+   replays from scratch like any iterator. *)
+type fused_chain = {
+  fc_cursor : Batch.cursor;
+  fc_stage : Support.Stage.t;
+  fc_nodes : fused_node list;
+}
+
+let fuse_chain env obs group plan =
+  let batch_size = Env.batch_size env in
+  if batch_size = 0 then None
+  else begin
+    let faults = Env.faults env in
+    let faults_live = not (Injector.is_none faults) in
+    let chain_nodes = ref [] in
+    let resets = ref [] in
+    let on_reset f = resets := f :: !resets in
+    let node_stages plan op_stages =
+      let stages =
+        if faults_live then
+          op_stages
+          @ [
+              Support.Stage.tap (fun _ ->
+                  Injector.hit faults Volcano_fault.Operator);
+            ]
+        else op_stages
+      in
+      match Option.bind obs (fun o -> o.node_of plan) with
+      | None -> stages
+      | Some node ->
+          let fn = { fn_node = node; fn_rows = ref 0; fn_total = ref 0 } in
+          chain_nodes := fn :: !chain_nodes;
+          stages @ [ Support.Stage.tap (fun _ -> incr fn.fn_rows) ]
+    in
+    let leaf plan cursor = Some (cursor, node_stages plan []) in
+    let rec chain plan =
+      match plan with
+      | Plan.Generate { count; gen; _ } ->
+          leaf plan (Batch.generator_cursor ~count ~f:gen)
+      | Plan.Generate_slice { count; gen; _ } ->
+          let rank = Group.rank group and size = Group.size group in
+          let mine = (count - rank + size - 1) / size in
+          leaf plan
+            (Batch.generator_cursor ~count:mine ~f:(fun i ->
+                 gen ((i * size) + rank)))
+      | Plan.Scan_list { tuples; _ } ->
+          leaf plan (Batch.array_cursor (Array.of_list tuples))
+      | Plan.Scan_table name ->
+          leaf plan (Ops.Scan.heap_cursor (fst (Env.table env name)))
+      | Plan.Scan_table_slice name -> (
+          let rank = Group.rank group and size = Group.size group in
+          let partition_name = Printf.sprintf "%s#%d" name rank in
+          match Env.table env partition_name with
+          | file, _ -> leaf plan (Ops.Scan.heap_cursor file)
+          | exception Not_found ->
+              let cursor = Ops.Scan.heap_cursor (fst (Env.table env name)) in
+              if size = 1 then leaf plan cursor
+              else begin
+                let index = ref 0 in
+                on_reset (fun () -> index := 0);
+                let slice k tuple =
+                  let i = !index in
+                  incr index;
+                  if i mod size = rank then k tuple
+                in
+                Some (cursor, node_stages plan [ slice ])
+              end)
+      | Plan.Filter { pred; mode; input } ->
+          let pred =
+            match mode with
+            | `Compiled -> Support.of_pred pred
+            | `Interpreted -> Support.of_pred_interpreted pred
+          in
+          Option.map
+            (fun (cursor, stages) ->
+              (cursor, stages @ node_stages plan [ Support.Stage.filter pred ]))
+            (chain input)
+      | Plan.Project_cols { cols; input } ->
+          Option.map
+            (fun (cursor, stages) ->
+              ( cursor,
+                stages @ node_stages plan [ Support.Stage.project_cols cols ] ))
+            (chain input)
+      | Plan.Project_exprs { exprs; input } ->
+          Option.map
+            (fun (cursor, stages) ->
+              ( cursor,
+                stages @ node_stages plan [ Support.Stage.project_exprs exprs ]
+              ))
+            (chain input)
+      | Plan.Distinct { algo = Plan.Hash_based; on; input } ->
+          Option.map
+            (fun (cursor, stages) ->
+              let pred = ref (fun _ -> true) in
+              on_reset (fun () ->
+                  pred := Ops.Aggregate.distinct_filter ~on ());
+              let distinct k tuple = if !pred tuple then k tuple in
+              (cursor, stages @ node_stages plan [ distinct ]))
+            (chain input)
+      | _ -> None
+    in
+    match chain plan with
+    | None -> None
+    | Some (cursor, stages) ->
+        let cursor =
+          match !resets with
+          | [] -> cursor
+          | fs ->
+              {
+                cursor with
+                Batch.reset =
+                  (fun () ->
+                    List.iter (fun f -> f ()) fs;
+                    cursor.Batch.reset ());
+              }
+        in
+        Some
+          {
+            fc_cursor = cursor;
+            fc_stage = Support.Stage.compose stages;
+            fc_nodes = !chain_nodes;
+          }
+  end
+
+let fuse env obs group plan =
+  match fuse_chain env obs group plan with
+  | None -> None
+  | Some fc ->
+      let pipeline =
+        Batch.fused ~batch_size:(Env.batch_size env) ~stage:fc.fc_stage
+          fc.fc_cursor
+      in
+      Some (instrumented_chain fc.fc_nodes pipeline)
+
+(* Sink fusion: when the consumer of a fusible chain is itself batch
+   aware and blocking (hash aggregation), there is no reason to
+   materialize even a packet shell between the tight loop and the
+   consumer — the chain's emit path can call the consumer's feed
+   function directly.  [fused_drain] compiles the subtree into such a
+   drive loop: the consumer calls it once with its feed, and the whole
+   scan-filter-project-consume plan runs as one loop.  Obs bookkeeping
+   mirrors [instrumented_chain] — opens, closes, and spans once per
+   lifetime, tap-counted rows flushed once per step — and the fault taps
+   sit in the stage chain exactly as in the packet pipeline. *)
+let fused_drain env obs group plan =
+  match fuse_chain env obs group plan with
+  | None -> None
+  | Some fc ->
+      let batch_size = Env.batch_size env in
+      let nodes = fc.fc_nodes in
+      Some
+        (fun feed ->
+          let emit = fc.fc_stage feed in
+          let step () = fc.fc_cursor.Batch.step ~emit ~max:batch_size in
+          match nodes with
+          | [] ->
+              (* No obs: the drive loop is just the cursor and the
+                 composed stages — nothing else per record or per step. *)
+              fc.fc_cursor.Batch.reset ();
+              Fun.protect
+                ~finally:(fun () -> fc.fc_cursor.Batch.stop ())
+                (fun () -> while step () <> 0 do () done)
+          | _ ->
+              List.iter
+                (fun fn ->
+                  Obs.Node.count_open fn.fn_node;
+                  fn.fn_rows := 0;
+                  fn.fn_total := 0)
+                nodes;
+              let span_start = Obs.now () in
+              fc.fc_cursor.Batch.reset ();
+              let dt = Obs.now () -. span_start in
+              List.iter (fun fn -> Obs.Node.on_open fn.fn_node ~elapsed:dt) nodes;
+              Fun.protect
+                ~finally:(fun () ->
+                  List.iter (fun fn -> Obs.Node.count_close fn.fn_node) nodes;
+                  let t0 = Obs.now () in
+                  fc.fc_cursor.Batch.stop ();
+                  let stop = Obs.now () in
+                  List.iter
+                    (fun fn ->
+                      Obs.Node.on_close fn.fn_node ~elapsed:(stop -. t0);
+                      Obs.Node.on_span fn.fn_node ~start:span_start ~stop
+                        ~rows:!(fn.fn_total))
+                    nodes)
+                (fun () ->
+                  let continue = ref true in
+                  while !continue do
+                    let t0 = Obs.now () in
+                    let n = step () in
+                    let dt = Obs.now () -. t0 in
+                    List.iter
+                      (fun fn ->
+                        Obs.Node.on_batch fn.fn_node ~rows:!(fn.fn_rows)
+                          ~elapsed:dt;
+                        fn.fn_total := !(fn.fn_total) + !(fn.fn_rows);
+                        fn.fn_rows := 0)
+                      nodes;
+                    if n = 0 then continue := false
+                  done))
+
 (* [scope] is the cancellation scope enclosing this node: exchange nodes
    register their port in it and open a child scope over their producer
    subtrees, so that shutting any exchange cancels everything below it.
-   The producer thunk re-enters [compile_in], so nested exchanges get a
-   fresh subtree (and fresh inner scopes) per producer, per open. *)
-let rec compile_in env ids obs group scope plan =
-  let faults = Env.faults env in
-  let inner = guard faults (compile_node env ids obs group scope plan) in
-  match obs with
-  | None -> inner
-  | Some o -> (
-      match o.node_of plan with
-      | None -> inner
-      | Some node -> Iterator.instrumented ~node inner)
+   The producer thunk re-enters [compile_stream], so nested exchanges get
+   a fresh subtree (and fresh inner scopes) per producer, per open. *)
+let rec compile_stream env ids obs group scope plan =
+  match fuse env obs group plan with
+  | Some pipeline -> Batches pipeline
+  | None ->
+      let faults = Env.faults env in
+      let inner = guard faults (compile_node env ids obs group scope plan) in
+      Rows
+        (match Option.bind obs (fun o -> o.node_of plan) with
+        | None -> inner
+        | Some node -> Iterator.instrumented ~node inner)
+
+and compile_in env ids obs group scope plan =
+  match compile_stream env ids obs group scope plan with
+  | Rows iter -> iter
+  | Batches pipeline -> Batch.to_iterator pipeline
 
 and compile_node env ids obs group scope plan =
   let faults = Env.faults env in
@@ -217,7 +518,57 @@ and compile_node env ids obs group scope plan =
         ~right:(recur right)
   | Plan.Aggregate { algo; group_by; aggs; input } -> (
       match algo with
-      | Plan.Hash_based -> Ops.Aggregate.hash_iterator ~group_by ~aggs (recur input)
+      | Plan.Hash_based -> (
+          (* Batch-aware consumer.  Best case: the whole input chain
+             sink-fuses into the hash build's drive loop — not even a
+             packet shell between the scan and the accumulators.
+             Projections sitting directly under the aggregate are folded
+             into the aggregate's own key and argument expressions
+             ([Expr.subst] — exact, since expression evaluation is
+             total), so the fused loop never materializes the projected
+             tuple.  Folding drops those nodes from the compiled tree,
+             so it is gated off whenever per-node observability or fault
+             injection needs every operator materialized.  Otherwise, a
+             batch pipeline feeds the build straight out of packets,
+             skipping the record bridge. *)
+          let plain = Option.is_none obs && Injector.is_none faults in
+          let subst_agg bind agg =
+            match agg with
+            | Ops.Aggregate.Count -> agg
+            | Ops.Aggregate.Sum e -> Ops.Aggregate.Sum (Expr.subst bind e)
+            | Ops.Aggregate.Min e -> Ops.Aggregate.Min (Expr.subst bind e)
+            | Ops.Aggregate.Max e -> Ops.Aggregate.Max (Expr.subst bind e)
+            | Ops.Aggregate.Avg e -> Ops.Aggregate.Avg (Expr.subst bind e)
+          in
+          let rec peel keys aggs input =
+            let through bind inner =
+              peel
+                (List.map (Expr.subst bind) keys)
+                (List.map (subst_agg bind) aggs)
+                inner
+            in
+            match input with
+            | Plan.Project_cols { cols; input } ->
+                let arr = Array.of_list cols in
+                through (fun i -> Expr.Col arr.(i)) input
+            | Plan.Project_exprs { exprs; input } ->
+                let arr = Array.of_list exprs in
+                through (fun i -> arr.(i)) input
+            | _ -> (keys, aggs, input)
+          in
+          let keys0 = List.map Expr.col group_by in
+          let keys, aggs', input' =
+            if plain then peel keys0 aggs input else (keys0, aggs, input)
+          in
+          match fused_drain env obs group input' with
+          | Some drain -> Ops.Aggregate.hash_feed_exprs ~keys ~aggs:aggs' ~drain
+          | None -> (
+              (* The peeled chain did not fuse: compile the original
+                 subtree, projections and all. *)
+              match compile_stream env ids obs group scope input with
+              | Batches pipeline ->
+                  Ops.Aggregate.hash_batches ~group_by ~aggs pipeline
+              | Rows iter -> Ops.Aggregate.hash_iterator ~group_by ~aggs iter))
       | Plan.Sort_based ->
           Ops.Aggregate.sorted_iterator ~group_by ~aggs
             (sorted ~cmp:(cols_cmp group_by) (recur input)))
@@ -246,10 +597,20 @@ and compile_node env ids obs group scope plan =
         ~alternatives:(Array.of_list (List.map recur alternatives))
   | Plan.Exchange { cfg; input } ->
       let child = Exchange.Scope.create () in
-      Exchange.iterator ~id:(ids plan) ~faults ?parent_scope:scope ~scope:child
-        ?obs:(exchange_obs obs plan) ~sched:(Env.sched env) cfg ~group
+      (* Batch-aware producers: a fused subtree hands the producer task a
+         batch pipeline whose packets it drains into port packets with no
+         per-record closure hop — exchange stays the sole place records
+         cross a domain boundary. *)
+      Exchange.source_iterator ~id:(ids plan) ~faults ?parent_scope:scope
+        ~scope:child
+        ?obs:(exchange_obs obs plan)
+        ~sched:(Env.sched env) cfg ~group
         ~input:(fun producer_group ->
-          compile_in env ids obs producer_group (Some child) input)
+          match
+            compile_stream env ids obs producer_group (Some child) input
+          with
+          | Rows iter -> Exchange.Record_source iter
+          | Batches pipeline -> Exchange.Batch_source pipeline)
   | Plan.Exchange_merge { cfg; key; input } ->
       let child = Exchange.Scope.create () in
       Ops.Merge.exchange_merge ~id:(ids plan) ~faults ?parent_scope:scope
@@ -277,14 +638,17 @@ let () =
               (List.map Volcano_analysis.Diag.to_string diags))
     | _ -> None)
 
-let analyze ?workers ?flow_budget env plan =
+let analyze ?workers ?flow_budget ?batch_size env plan =
   let frames =
     Volcano_storage.Bufpool.frames_total (Env.buffer env)
   in
   let workers =
     match workers with Some w -> w | None -> Env.sched_workers env
   in
-  Volcano_analysis.Analyze.analyze ~frames ~workers ?flow_budget
+  let batch_size =
+    match batch_size with Some b -> b | None -> Env.batch_size env
+  in
+  Volcano_analysis.Analyze.analyze ~frames ~workers ?flow_budget ~batch_size
     (Lower.ir env plan)
 
 (* The root-level cancellation check: consult the flag once per record so

@@ -35,16 +35,19 @@ val observe : Volcano_obs.Obs.t -> Plan.t -> obs
 val analyze :
   ?workers:int ->
   ?flow_budget:int ->
+  ?batch_size:int ->
   Env.t ->
   Plan.t ->
   Volcano_analysis.Diag.t list
 (** Run all analyzer passes on the plan (sorted errors-first), resolving
     leaves against the environment's catalog, sizing the resource pass
-    from its buffer pool, and the scheduler-placement pass from its
+    from its buffer pool, the scheduler-placement pass from its
     worker pool ({!Env.sched_workers}; override with [workers] — 0
-    disables the advisory).  [flow_budget] bounds the flow-control
-    memory pass ({!Volcano_analysis.Analyze.memory_pass}).  Warnings do
-    not block compilation. *)
+    disables the advisory), and the batch pass from its vectorization
+    knob ({!Env.batch_size}; override with [batch_size]).
+    [flow_budget] bounds the flow-control memory pass
+    ({!Volcano_analysis.Analyze.memory_pass}).  Warnings do not block
+    compilation. *)
 
 val compile :
   ?check:bool ->

@@ -12,14 +12,31 @@ type t = {
   indexes : (string, Volcano_btree.Btree.t * Heap_file.t * int list) Hashtbl.t;
   lock : Mutex.t;
   mutable run_capacity : int;
+  mutable batch_size : int; (* records per fused batch; 0 disables *)
   mutable faults : Injector.t;
   sched : Sched.t Lazy.t;
       (* Lazy: an env created just for catalog work should not start the
          process-global worker pool. *)
 }
 
+let check_batch_size ~what n =
+  match Volcano.Batch.validate ~batch_size:n with
+  | [] -> n
+  | (_, msg) :: _ -> invalid_arg (what ^ ": " ^ msg)
+
+(* The default batch size: the VOLCANO_BATCH_SIZE environment variable
+   when set to a valid value (0 disables the batch path), else
+   [Batch.default_size]. *)
+let default_batch_size () =
+  match Sys.getenv_opt "VOLCANO_BATCH_SIZE" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when Volcano.Batch.validate ~batch_size:n = [] -> n
+      | Some _ | None -> Volcano.Batch.default_size)
+  | None -> Volcano.Batch.default_size
+
 let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
-    ?sched () =
+    ?batch_size ?sched () =
   {
     buffer = Bufpool.create ~frames ~page_size ();
     workspace =
@@ -29,6 +46,10 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
     indexes = Hashtbl.create 16;
     lock = Mutex.create ();
     run_capacity = 65536;
+    batch_size =
+      (match batch_size with
+      | Some n -> check_batch_size ~what:"Env.create" n
+      | None -> default_batch_size ());
     faults = Injector.none;
     sched =
       (match sched with
@@ -123,6 +144,10 @@ let index t name =
 
 let sort_run_capacity t = t.run_capacity
 let set_sort_run_capacity t n = t.run_capacity <- n
+let batch_size t = t.batch_size
+
+let set_batch_size t n =
+  t.batch_size <- check_batch_size ~what:"Env.set_batch_size" n
 let faults t = t.faults
 
 let set_faults t faults =

@@ -9,12 +9,18 @@ val create :
   ?frames:int ->
   ?page_size:int ->
   ?workspace_capacity:int ->
+  ?batch_size:int ->
   ?sched:Volcano_sched.Sched.t ->
   unit ->
   t
 (** Defaults: 256 frames of 4096 bytes, a 65536-page virtual workspace,
     and the process-wide {!Volcano_sched.Sched.default} scheduler (forced
-    lazily, on first use — pass [~sched] to pin a specific scheduler). *)
+    lazily, on first use — pass [~sched] to pin a specific scheduler).
+    [batch_size] is the vectorized-execution knob (see {!batch_size});
+    its default is the [VOLCANO_BATCH_SIZE] environment variable when set
+    to a valid value, else {!Volcano.Batch.default_size}.
+    @raise Invalid_argument when an explicit [batch_size] fails
+    {!Volcano.Batch.validate}. *)
 
 val buffer : t -> Volcano_storage.Bufpool.t
 val workspace : t -> Volcano_storage.Device.t
@@ -61,6 +67,18 @@ val table_names : t -> string list
 val sort_run_capacity : t -> int
 val set_sort_run_capacity : t -> int -> unit
 (** Tuples per in-memory sort run (spill threshold); default 65536. *)
+
+val batch_size : t -> int
+(** Records per fused batch on the vectorized execution path — fusible
+    scan chains compile to one tight loop yielding packets of this many
+    records.  0 disables batching (every node compiles
+    record-at-a-time); otherwise 1..255, a packet shell's capacity
+    range. *)
+
+val set_batch_size : t -> int -> unit
+(** Queries compiled afterwards use the new size.
+    @raise Invalid_argument when the size fails
+    {!Volcano.Batch.validate}. *)
 
 val faults : t -> Volcano_fault.Injector.t
 (** The installed fault injector ({!Volcano_fault.Injector.none} by

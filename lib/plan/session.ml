@@ -10,7 +10,7 @@ type t = {
   owns_sched : bool; (* created here, so shut down here *)
 }
 
-let create ?frames ?page_size ?workspace_capacity ?sched ?workers
+let create ?frames ?page_size ?workspace_capacity ?batch_size ?sched ?workers
     ?max_concurrent () =
   let sched_, owns_sched =
     match (sched, workers) with
@@ -21,7 +21,8 @@ let create ?frames ?page_size ?workspace_capacity ?sched ?workers
     | None, None -> (Sched.default (), false)
   in
   let env =
-    Env.create ?frames ?page_size ?workspace_capacity ~sched:sched_ ()
+    Env.create ?frames ?page_size ?workspace_capacity ?batch_size ~sched:sched_
+      ()
   in
   { env; sched_; runtime = Runtime.create ?max_concurrent sched_; owns_sched }
 
@@ -67,17 +68,18 @@ let exec_count ?check ?deadline_s t plan =
   block_on (submit_count ?check ?deadline_s t plan)
 
 let profile ?check t plan = Profile.run ?check t.env plan
-let analyze ?workers ?flow_budget t plan =
-  Compile.analyze ?workers ?flow_budget t.env plan
+
+let analyze ?workers ?flow_budget ?batch_size t plan =
+  Compile.analyze ?workers ?flow_budget ?batch_size t.env plan
 
 let close t =
   Runtime.close t.runtime;
   if t.owns_sched then Sched.shutdown t.sched_
 
-let with_session ?frames ?page_size ?workspace_capacity ?sched ?workers
-    ?max_concurrent f =
+let with_session ?frames ?page_size ?workspace_capacity ?batch_size ?sched
+    ?workers ?max_concurrent f =
   let t =
-    create ?frames ?page_size ?workspace_capacity ?sched ?workers
+    create ?frames ?page_size ?workspace_capacity ?batch_size ?sched ?workers
       ?max_concurrent ()
   in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -27,15 +27,19 @@ val create :
   ?frames:int ->
   ?page_size:int ->
   ?workspace_capacity:int ->
+  ?batch_size:int ->
   ?sched:Volcano_sched.Sched.t ->
   ?workers:int ->
   ?max_concurrent:int ->
   unit ->
   t
-(** [frames]/[page_size]/[workspace_capacity] size the environment as in
-    {!Env.create}.  Scheduling: [~sched] adopts an existing scheduler,
-    [~workers:n] creates a private [n]-worker pool owned (and shut down)
-    by this session; default is the shared process-wide
+(** [frames]/[page_size]/[workspace_capacity]/[batch_size] size the
+    environment as in {!Env.create} ([batch_size] is the vectorized
+    execution knob: 0 disables batching, default
+    {!Volcano.Batch.default_size} or the [VOLCANO_BATCH_SIZE]
+    environment variable).  Scheduling: [~sched] adopts an existing
+    scheduler, [~workers:n] creates a private [n]-worker pool owned (and
+    shut down) by this session; default is the shared process-wide
     {!Volcano_sched.Sched.default}.  [max_concurrent] bounds plans in
     flight as in {!Volcano_sched.Runtime.create}.
     @raise Invalid_argument when both [~sched] and [~workers] are given. *)
@@ -44,6 +48,7 @@ val with_session :
   ?frames:int ->
   ?page_size:int ->
   ?workspace_capacity:int ->
+  ?batch_size:int ->
   ?sched:Volcano_sched.Sched.t ->
   ?workers:int ->
   ?max_concurrent:int ->
@@ -106,12 +111,14 @@ val profile : ?check:bool -> t -> Plan.t -> Profile.report
 val analyze :
   ?workers:int ->
   ?flow_budget:int ->
+  ?batch_size:int ->
   t ->
   Plan.t ->
   Volcano_analysis.Diag.t list
 (** Static analysis via {!Compile.analyze}.  The scheduler-placement
-    advisory sizes itself from this session's pool unless [workers]
-    overrides it. *)
+    advisory sizes itself from this session's pool, and the batch pass
+    from its environment's knob, unless [workers] / [batch_size]
+    override them. *)
 
 val close : t -> unit
 (** Drain the runtime (running and queued jobs finish; new submits are

@@ -113,57 +113,216 @@ end
 
 module Compiled = struct
   (* Translate the AST into closures once; the result never revisits it. *)
-  let rec num e =
+  let rec num_gen e =
     match e with
     | Col i -> fun tuple -> tuple.(i)
     | Const v -> fun _ -> v
     | Add (a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> add (fa tuple) (fb tuple)
     | Sub (a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> sub (fa tuple) (fb tuple)
     | Mul (a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> mul (fa tuple) (fb tuple)
     | Div (a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> div (fa tuple) (fb tuple)
     | Mod (a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> rem (fa tuple) (fb tuple)
     | Neg a ->
-        let fa = num a in
+        let fa = num_gen a in
         fun tuple -> neg (fa tuple)
 
-  let rec pred p =
+  let rec pred_gen p =
     match p with
     | True -> fun _ -> true
     | False -> fun _ -> false
     | Cmp (op, a, b) ->
-        let fa = num a and fb = num b in
+        let fa = num_gen a and fb = num_gen b in
         fun tuple -> cmp_holds op (fa tuple) (fb tuple)
     | And (a, b) ->
-        let fa = pred a and fb = pred b in
+        let fa = pred_gen a and fb = pred_gen b in
         fun tuple -> fa tuple && fb tuple
     | Or (a, b) ->
-        let fa = pred a and fb = pred b in
+        let fa = pred_gen a and fb = pred_gen b in
         fun tuple -> fa tuple || fb tuple
     | Not a ->
-        let fa = pred a in
+        let fa = pred_gen a in
         fun tuple -> not (fa tuple)
     | Is_null a ->
-        let fa = num a in
+        let fa = num_gen a in
         fun tuple -> (match fa tuple with Value.Null -> true | _ -> false)
     | Str_prefix (prefix, a) ->
-        let fa = num a in
+        let fa = num_gen a in
         let plen = String.length prefix in
         fun tuple ->
           (match fa tuple with
           | Value.Str s ->
               String.length s >= plen && String.equal (String.sub s 0 plen) prefix
           | _ -> false)
+
+  (* Unboxed integer fast path.  An integer-only expression compiles to a
+     closure computing in native ints — no intermediate [Value] boxes, no
+     generic compare.  The closure raises [Fallback] for the odd record
+     needing the generic semantics (a non-int field, division by zero →
+     Null, Null propagation); callers pair it with the generic closure.
+     Compilation returns [None] when the expression is statically not
+     integer-only (a float/string constant, a string predicate). *)
+  exception Fallback
+
+  (* The int in column [i], or the generic path. *)
+  let ix tuple i =
+    match tuple.(i) with Value.Int x -> x | _ -> raise Fallback
+
+  (* The ubiquitous operand shapes — [col op col], [col op const] — are
+     flattened into a single closure; constants fold at compile time
+     (including a divisor's zero check).  A scan-heavy plan evaluates
+     these once per record, so every saved closure hop shows up
+     directly in throughput. *)
+  let rec num_int e =
+    let bin a b op =
+      match (num_int a, num_int b) with
+      | Some fa, Some fb -> Some (fun tuple -> op (fa tuple) (fb tuple))
+      | _ -> None
+    in
+    match e with
+    | Col i -> Some (fun tuple -> ix tuple i)
+    | Const (Value.Int x) -> Some (fun _ -> x)
+    | Const _ -> None
+    | Add (Col i, Col j) -> Some (fun t -> Stdlib.( + ) (ix t i) (ix t j))
+    | Add (Col i, Const (Value.Int k)) -> Some (fun t -> Stdlib.( + ) (ix t i) k)
+    | Add (Const (Value.Int k), Col j) -> Some (fun t -> Stdlib.( + ) k (ix t j))
+    | Add (a, Const (Value.Int k)) ->
+        Option.map (fun fa t -> Stdlib.( + ) (fa t) k) (num_int a)
+    | Add (Const (Value.Int k), b) ->
+        Option.map (fun fb t -> Stdlib.( + ) k (fb t)) (num_int b)
+    | Add (a, b) -> bin a b Stdlib.( + )
+    | Sub (Col i, Col j) -> Some (fun t -> Stdlib.( - ) (ix t i) (ix t j))
+    | Sub (Col i, Const (Value.Int k)) -> Some (fun t -> Stdlib.( - ) (ix t i) k)
+    | Sub (Const (Value.Int k), Col j) -> Some (fun t -> Stdlib.( - ) k (ix t j))
+    | Sub (a, Const (Value.Int k)) ->
+        Option.map (fun fa t -> Stdlib.( - ) (fa t) k) (num_int a)
+    | Sub (Const (Value.Int k), b) ->
+        Option.map (fun fb t -> Stdlib.( - ) k (fb t)) (num_int b)
+    | Sub (a, b) -> bin a b Stdlib.( - )
+    | Mul (Col i, Col j) -> Some (fun t -> Stdlib.( * ) (ix t i) (ix t j))
+    | Mul (Col i, Const (Value.Int k)) -> Some (fun t -> Stdlib.( * ) (ix t i) k)
+    | Mul (Const (Value.Int k), Col j) -> Some (fun t -> Stdlib.( * ) k (ix t j))
+    | Mul (a, Const (Value.Int k)) ->
+        Option.map (fun fa t -> Stdlib.( * ) (fa t) k) (num_int a)
+    | Mul (Const (Value.Int k), b) ->
+        Option.map (fun fb t -> Stdlib.( * ) k (fb t)) (num_int b)
+    | Mul (a, b) -> bin a b Stdlib.( * )
+    | Div (a, Const (Value.Int k)) ->
+        if Stdlib.( = ) k 0 then Some (fun _ -> raise Fallback)
+        else (
+          match a with
+          | Col i -> Some (fun t -> ix t i / k)
+          | _ -> Option.map (fun fa t -> fa t / k) (num_int a))
+    | Div (a, b) ->
+        bin a b (fun x y -> if Stdlib.( = ) y 0 then raise Fallback else x / y)
+    | Mod (a, Const (Value.Int k)) ->
+        if Stdlib.( = ) k 0 then Some (fun _ -> raise Fallback)
+        else (
+          match a with
+          | Col i -> Some (fun t -> Stdlib.( mod ) (ix t i) k)
+          | _ -> Option.map (fun fa t -> Stdlib.( mod ) (fa t) k) (num_int a))
+    | Mod (a, b) ->
+        bin a b (fun x y ->
+            if Stdlib.( = ) y 0 then raise Fallback else Stdlib.( mod ) x y)
+    | Neg a -> (
+        match num_int a with
+        | Some fa -> Some (fun tuple -> Stdlib.( - ) 0 (fa tuple))
+        | None -> None)
+
+  let rec pred_int p =
+    let both a b op =
+      match (pred_int a, pred_int b) with
+      | Some fa, Some fb -> Some (op fa fb)
+      | _ -> None
+    in
+    match p with
+    | True -> Some (fun _ -> true)
+    | False -> Some (fun _ -> false)
+    | Cmp (op, a, b) -> (
+        match num_int a with
+        | None -> None
+        | Some fa -> (
+            (* Comparison against a constant — the dominant filter shape
+               — inlines the int compare into one closure. *)
+            match b with
+            | Const (Value.Int k) ->
+                Some
+                  (match op with
+                  | Eq -> fun t -> Stdlib.( = ) (fa t) k
+                  | Ne -> fun t -> Stdlib.( <> ) (fa t) k
+                  | Lt -> fun t -> Stdlib.( < ) (fa t) k
+                  | Le -> fun t -> Stdlib.( <= ) (fa t) k
+                  | Gt -> fun t -> Stdlib.( > ) (fa t) k
+                  | Ge -> fun t -> Stdlib.( >= ) (fa t) k)
+            | _ -> (
+                match num_int b with
+                | None -> None
+                | Some fb ->
+                    Some
+                      (match op with
+                      | Eq -> fun t -> Stdlib.( = ) (fa t) (fb t)
+                      | Ne -> fun t -> Stdlib.( <> ) (fa t) (fb t)
+                      | Lt -> fun t -> Stdlib.( < ) (fa t) (fb t)
+                      | Le -> fun t -> Stdlib.( <= ) (fa t) (fb t)
+                      | Gt -> fun t -> Stdlib.( > ) (fa t) (fb t)
+                      | Ge -> fun t -> Stdlib.( >= ) (fa t) (fb t)))))
+    | And (a, b) -> both a b (fun fa fb tuple -> fa tuple && fb tuple)
+    | Or (a, b) -> both a b (fun fa fb tuple -> fa tuple || fb tuple)
+    | Not a -> (
+        match pred_int a with
+        | Some fa -> Some (fun tuple -> not (fa tuple))
+        | None -> None)
+    | Is_null _ | Str_prefix _ -> None
+
+  (* The public entry points splice the fast path in front of the generic
+     closure.  [try] setup is a couple of nanoseconds; the records that
+     take the handler pay the generic evaluation they would have paid
+     anyway. *)
+  let num e =
+    let generic = num_gen e in
+    match e with
+    | Col _ | Const _ -> generic (* already a single load *)
+    | _ -> (
+        match num_int e with
+        | Some fast ->
+            fun tuple ->
+              (try Value.Int (fast tuple) with Fallback -> generic tuple)
+        | None -> generic)
+
+  let pred p =
+    let generic = pred_gen p in
+    match p with
+    | True | False -> generic
+    | _ -> (
+        match pred_int p with
+        | Some fast ->
+            fun tuple -> (try fast tuple with Fallback -> generic tuple)
+        | None -> generic)
 end
+
+(* Composition through a projection: replace every column reference by
+   what the projection computes there.  Evaluation is total (division by
+   zero yields Null, never an exception), so substitution is exact:
+   eval (subst bind e) t = eval e (projected t) for every tuple. *)
+let rec subst bind e =
+  match e with
+  | Col i -> bind i
+  | Const _ -> e
+  | Add (a, b) -> Add (subst bind a, subst bind b)
+  | Sub (a, b) -> Sub (subst bind a, subst bind b)
+  | Mul (a, b) -> Mul (subst bind a, subst bind b)
+  | Div (a, b) -> Div (subst bind a, subst bind b)
+  | Mod (a, b) -> Mod (subst bind a, subst bind b)
+  | Neg a -> Neg (subst bind a)
 
 let cmp_op_to_string = function
   | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="

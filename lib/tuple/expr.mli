@@ -60,10 +60,28 @@ end
 module Compiled : sig
   val num : num -> Tuple.t -> Value.t
   (** [num e] performs the translation when partially applied; the returned
-      closure does no AST traversal. *)
+      closure does no AST traversal.  Integer-only expressions get an
+      unboxed fast path spliced in front of the generic closure. *)
 
   val pred : pred -> Tuple.t -> bool
+
+  exception Fallback
+  (** Raised by a {!num_int} closure for a record that needs the generic
+      semantics: a non-int field, or division by zero (Null in the
+      generic evaluator). *)
+
+  val num_int : num -> (Tuple.t -> int) option
+  (** The unboxed kernel for an integer-only expression: computes in
+      native ints with no allocation, raising {!Fallback} on the records
+      it cannot handle.  [None] when the expression is statically not
+      integer-only.  Callers must pair it with {!num} for the fallback. *)
 end
+
+val subst : (int -> num) -> num -> num
+(** [subst bind e] replaces every [Col i] by [bind i] — composition of
+    [e] through a projection.  Expression evaluation is total, so the
+    substituted expression evaluates on the projection's input exactly
+    as [e] evaluates on its output. *)
 
 val pp_num : Format.formatter -> num -> unit
 val pp_pred : Format.formatter -> pred -> unit

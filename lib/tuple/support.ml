@@ -32,6 +32,29 @@ let key_on cols tuple = Tuple.project tuple cols
 let of_pred p = Expr.Compiled.pred p
 let of_pred_interpreted p tuple = Expr.Interp.pred p tuple
 
+(* Emit-style batch stages: a stage takes the downstream emit function and
+   returns its own.  Composing a chain yields ONE function applied per
+   record inside a batch fill loop — no per-stage iterator protocol, no
+   option allocation per hop. *)
+module Stage = struct
+  type emit = Tuple.t -> unit
+  type t = emit -> emit
+
+  let filter pred k tuple = if pred tuple then k tuple
+  let map f k tuple = k (f tuple)
+  let project_cols cols = map (fun tuple -> Tuple.project tuple cols)
+
+  let project_exprs es =
+    let compiled = Array.of_list (List.map Expr.Compiled.num es) in
+    map (fun tuple -> Array.map (fun f -> f tuple) compiled)
+
+  let tap f k tuple =
+    f tuple;
+    k tuple
+
+  let compose stages emit = List.fold_right (fun stage k -> stage k) stages emit
+end
+
 module Partition = struct
   type t = unit -> Tuple.t -> int
 

@@ -30,6 +30,31 @@ val of_pred : Expr.pred -> predicate
 val of_pred_interpreted : Expr.pred -> predicate
 (** Interpreted-mode predicate (AST walked per tuple). *)
 
+(** Batch accessors: emit-style record stages for the vectorized path.  A
+    stage takes the downstream emit function and returns its own, so a
+    fused chain composes to a single function applied per record inside a
+    batch fill loop — one closure call per stage, no option allocation,
+    no per-stage iterator protocol.  Every stage emits at most one record
+    per input record (the batch fill loop relies on this to bound packet
+    growth). *)
+module Stage : sig
+  type emit = Tuple.t -> unit
+  type t = emit -> emit
+
+  val filter : predicate -> t
+  val map : (Tuple.t -> Tuple.t) -> t
+  val project_cols : int list -> t
+  val project_exprs : Expr.num list -> t
+
+  val tap : (Tuple.t -> unit) -> t
+  (** Pass records through unchanged, calling [f] on each — row counting
+      and fault injection for the fused path. *)
+
+  val compose : t list -> t
+  (** Stages listed source-to-sink; the first stage sees input records
+      first. *)
+end
+
 (** Partitioning support functions for the exchange operator (section 4.2:
     "round-robin-, key-range-, or hash-partitioning"). *)
 module Partition : sig

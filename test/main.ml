@@ -19,6 +19,7 @@ let () =
       ("lint", Test_lint.suite);
       ("plan-extra", Test_plan_extra.suite);
       ("random-plans", Test_random_plans.suite);
+      ("batch", Test_batch.suite);
       ("sched", Test_sched.suite);
       ("chaos", Test_chaos.suite);
       ("sim", Test_sim.suite);

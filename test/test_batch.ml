@@ -1,0 +1,379 @@
+(* The vectorized batch path, locked in differentially: every plan must
+   produce bit-identical results whether its fusible chains compile to
+   batch pipelines (the default) or to record-at-a-time iterator trees
+   ([batch_size = 0]).  The batch path is an optimization of the
+   iterator protocol, not a semantic variant — exactly as exchange is an
+   optimization of placement, checked by the suite next door. *)
+
+module Batch = Volcano.Batch
+module Iterator = Volcano.Iterator
+module Packet = Volcano.Packet
+module Exchange = Volcano.Exchange
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Sched = Volcano_sched.Sched
+module Bufpool = Volcano_storage.Bufpool
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Expr = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+module Diag = Volcano_analysis.Diag
+module Rng = Volcano_util.Rng
+module Aggregate = Volcano_ops.Aggregate
+
+let check = Alcotest.check
+
+let env ?batch_size () = Env.create ~frames:128 ~page_size:512 ?batch_size ()
+
+let check_rows name expected actual =
+  check Alcotest.int (name ^ ": cardinality") (List.length expected)
+    (List.length actual);
+  List.iter2
+    (fun x y -> check Alcotest.bool (name ^ ": tuple") true (Tuple.equal x y))
+    expected actual
+
+let gen_tuple i = Tuple.of_ints [ i; i mod 10; i mod 7 ]
+
+(* A chain exercising every fusible operator class over one leaf:
+   filter, both projections, and hash distinct. *)
+let fused_chain n =
+  Plan.Distinct
+    {
+      algo = Plan.Hash_based;
+      on = [ 0; 1 ];
+      input =
+        Plan.Project_exprs
+          {
+            exprs = [ Expr.Col 1; Expr.Infix.( + ) (Expr.Col 0) (Expr.Col 2) ];
+            input =
+              Plan.Project_cols
+                {
+                  cols = [ 2; 0; 1 ];
+                  input =
+                    Plan.Filter
+                      {
+                        pred =
+                          Expr.Cmp
+                            ( Expr.Ne,
+                              Expr.Mod (Expr.Col 0, Expr.int 3),
+                              Expr.int 0 );
+                        mode = `Compiled;
+                        input =
+                          Plan.Generate { arity = 3; count = n; gen = gen_tuple };
+                      };
+                };
+          };
+    }
+
+(* --- the adapter bridges -------------------------------------------- *)
+
+let test_bridge_roundtrip () =
+  List.iter
+    (fun (batch_size, count) ->
+      let name = Printf.sprintf "size %d count %d" batch_size count in
+      let expected = List.init count gen_tuple in
+      let bridged =
+        Iterator.to_list
+          (Batch.to_iterator
+             (Batch.of_iterator ~batch_size
+                (Iterator.generate ~count ~f:gen_tuple)))
+      in
+      check_rows name expected bridged)
+    [ (1, 0); (1, 7); (3, 1); (7, 7); (7, 20); (64, 5); (255, 1000) ]
+
+let test_batch_shapes () =
+  (* A yielded packet is never empty, never end-of-stream-tagged, and
+     full except for the non-divisible tail. *)
+  let batch_size = 7 and count = 23 in
+  let b = Batch.of_iterator ~batch_size (Iterator.generate ~count ~f:gen_tuple) in
+  Batch.open_ b;
+  let lengths = ref [] in
+  let rec drain () =
+    match Batch.next b with
+    | None -> ()
+    | Some p ->
+        check Alcotest.bool "not empty" false (Packet.is_empty p);
+        check Alcotest.bool "no eos tag" false (Packet.end_of_stream p);
+        check Alcotest.int "capacity is the batch size" batch_size
+          (Packet.capacity p);
+        lengths := Packet.length p :: !lengths;
+        drain ()
+  in
+  drain ();
+  Batch.close b;
+  check
+    Alcotest.(list int)
+    "full batches, then the tail" [ 7; 7; 7; 2 ]
+    (List.rev !lengths)
+
+let test_validate () =
+  check Alcotest.bool "0 disables, valid" true (Batch.validate ~batch_size:0 = []);
+  check Alcotest.bool "1 valid" true (Batch.validate ~batch_size:1 = []);
+  check Alcotest.bool "255 valid" true (Batch.validate ~batch_size:255 = []);
+  check Alcotest.bool "256 invalid" false
+    (Batch.validate ~batch_size:256 = []);
+  check Alcotest.bool "-1 invalid" false (Batch.validate ~batch_size:(-1) = []);
+  check Alcotest.int "default size" 64 Batch.default_size;
+  (match Env.create ~batch_size:256 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Env.create must reject batch_size 256");
+  let e = env () in
+  check Alcotest.int "env default" Batch.default_size (Env.batch_size e);
+  Env.set_batch_size e 0;
+  check Alcotest.int "knob set" 0 (Env.batch_size e);
+  match Env.set_batch_size e 999 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "Env.set_batch_size must reject 999"
+
+(* --- edge cases through the compiler -------------------------------- *)
+
+(* Empty input, batch_size 1, batch_size > input, non-divisible tails:
+   for every (size, count) pair the batch path must reproduce the record
+   path's output exactly, order included — fused chains are
+   order-preserving, so this is the strongest possible comparison. *)
+let test_edge_sizes () =
+  List.iter
+    (fun count ->
+      let plan = fused_chain count in
+      let expected = Compile.run (env ~batch_size:0 ()) plan in
+      List.iter
+        (fun batch_size ->
+          let actual = Compile.run (env ~batch_size ()) plan in
+          check_rows
+            (Printf.sprintf "size %d count %d" batch_size count)
+            expected actual)
+        [ 1; 2; 64; 255 ])
+    [ 0; 1; 2; 63; 64; 65; 129 ]
+
+(* Reopening a compiled batch pipeline must replay it from scratch —
+   in particular distinct's seen table must reset, or the second pass
+   returns nothing. *)
+let test_reopen_resets_state () =
+  let e = env () in
+  let iter = Compile.compile e (fused_chain 50) in
+  let first = Iterator.to_list iter in
+  let second = Iterator.to_list iter in
+  check Alcotest.bool "first pass nonempty" true (first <> []);
+  check_rows "reopen" first second
+
+(* Early close mid-batch: drain a few records of a fused chain feeding
+   an exchange, close at the root, and reconcile — the scheduler joins
+   every producer and the packet pools leak nothing (quiescence is the
+   pool-ledger check: a leaked in-flight packet leaves a producer
+   unjoined or a lane undrained). *)
+let test_early_close_mid_batch () =
+  let e = env () in
+  let plan =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ~packet_size:5 ();
+        input =
+          Plan.Filter
+            {
+              pred = Expr.Cmp (Expr.Ge, Expr.Col 0, Expr.int 0);
+              mode = `Compiled;
+              input =
+                Plan.Generate_slice { arity = 3; count = 5000; gen = gen_tuple };
+            };
+      }
+  in
+  let iter = Compile.compile e plan in
+  Iterator.open_ iter;
+  for _ = 1 to 3 do
+    match Iterator.next iter with
+    | Some _ -> ()
+    | None -> Alcotest.fail "expected a record before early close"
+  done;
+  Iterator.close iter;
+  Bufpool.assert_quiescent ~what:"early close" (Env.buffer e);
+  Sched.assert_quiescent ~what:"early close" (Sched.default ());
+  (* The same pipeline closed mid-batch directly, then reopened. *)
+  let b =
+    Batch.of_iterator ~batch_size:8 (Iterator.generate ~count:100 ~f:gen_tuple)
+  in
+  Batch.open_ b;
+  (match Batch.next b with
+  | Some p -> check Alcotest.int "first batch full" 8 (Packet.length p)
+  | None -> Alcotest.fail "expected a batch");
+  Batch.close b;
+  check Alcotest.int "reopen after early close" 100 (Batch.consume b)
+
+(* --- the differential lock ------------------------------------------ *)
+
+let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
+
+(* 1000 seeds of the random-plan corpus, decorated with random exchange
+   placements, through both paths.  Comparison is the sorted multiset
+   (parallel arrival order is nondeterministic); the serial property
+   below pins exact order. *)
+let prop_batch_iterator_differential =
+  QCheck.Test.make ~name:"batch and record paths agree across 1000 seeds"
+    ~count:1000
+    QCheck.(pair int64 (int_range 1 2))
+    (fun (seed, depth) ->
+      let batched = env () in
+      let record = env ~batch_size:0 () in
+      let rng = Rng.create seed in
+      let plan =
+        Test_random_plans.decorate rng (Test_random_plans.random_plan rng depth)
+      in
+      let ok = sorted_run batched plan = sorted_run record plan in
+      Bufpool.assert_quiescent ~what:"batch/iterator differential"
+        (Env.buffer batched);
+      Sched.assert_quiescent ~what:"batch/iterator differential"
+        (Sched.default ());
+      ok)
+
+(* Undecorated (serial) random plans are deterministic, so here the two
+   paths must agree record for record, in order — bit-identical. *)
+let prop_batch_iterator_serial_identical =
+  QCheck.Test.make ~name:"serial plans bit-identical batch vs record"
+    ~count:300
+    QCheck.(pair int64 (int_range 1 3))
+    (fun (seed, depth) ->
+      let rng = Rng.create seed in
+      let plan = Test_random_plans.random_plan rng depth in
+      (* Random batch size across the full legal range, so tails and
+         size-1 batches are swept too. *)
+      let batch_size = 1 + Rng.int rng 255 in
+      Compile.run (env ~batch_size ()) plan
+      = Compile.run (env ~batch_size:0 ()) plan)
+
+(* Scheduler independence with batching on: the pooled scheduler and the
+   dedicated (domain-per-task) baseline agree on batched plans just as
+   they do on record plans. *)
+let prop_batch_pooled_dedicated =
+  QCheck.Test.make ~name:"batched plans agree pooled vs dedicated" ~count:60
+    QCheck.(pair int64 (int_range 1 2))
+    (fun (seed, depth) ->
+      let pooled = env () in
+      let dedicated =
+        Env.create ~frames:128 ~page_size:512 ~sched:(Sched.dedicated ()) ()
+      in
+      let rng = Rng.create seed in
+      let plan =
+        Test_random_plans.decorate rng (Test_random_plans.random_plan rng depth)
+      in
+      let ok = sorted_run pooled plan = sorted_run dedicated plan in
+      Bufpool.assert_quiescent ~what:"batch pooled/dedicated"
+        (Env.buffer pooled);
+      Bufpool.assert_quiescent ~what:"batch pooled/dedicated"
+        (Env.buffer dedicated);
+      Sched.assert_quiescent ~what:"batch pooled/dedicated"
+        (Sched.default ());
+      ok)
+
+(* The projection-pushdown rewrite — an aggregate directly over
+   projections folds the projections into its own key and argument
+   expressions — runs only on the batch path, so it needs its own
+   differential, and over data nastier than the random-plan corpus's
+   all-int tuples: zero divisors make Null keys and Null sums, stray
+   floats and strings defeat the int kernels mid-build (demoting groups
+   and the unboxed key probe), and generic aggregates (Avg, Min) drive
+   the expression-keyed generic build. *)
+let test_pushdown_differential () =
+  let rng = Rng.create 0xBADDECAFL in
+  let mixed i =
+    let v k =
+      match Rng.int rng 10 with
+      | 0 -> Value.Null
+      | 1 -> Value.Float (float_of_int k /. 2.0)
+      | 2 -> Value.Str (string_of_int (k mod 5))
+      | _ -> Value.Int (k mod 17)
+    in
+    [| v i; v (i * 3); v (i * 7); Value.Int (i mod 4) |]
+  in
+  for case = 0 to 49 do
+    let n = 50 + Rng.int rng 200 in
+    let tuples = List.init n mixed in
+    let aggs =
+      if case mod 2 = 0 then
+        [ Aggregate.Count; Aggregate.Sum (Expr.Div (Expr.Col 1, Expr.Col 2)) ]
+      else
+        (* Avg reads the Mod projection (always Int or Null): Avg over a
+           string raises in every path, which is not what this test is
+           about.  Min takes anything. *)
+        [ Aggregate.Avg (Expr.Col 0); Aggregate.Min (Expr.Col 1) ]
+    in
+    let plan =
+      Plan.Aggregate
+        {
+          algo = Plan.Hash_based;
+          group_by = [ 0; 1 ];
+          aggs;
+          input =
+            Plan.Project_exprs
+              {
+                exprs =
+                  [
+                    Expr.Mod (Expr.Col 0, Expr.Col 3);
+                    Expr.Col 2;
+                    Expr.Div (Expr.Col 1, Expr.Col 3);
+                  ];
+                input =
+                  Plan.Project_cols
+                    {
+                      cols = [ 2; 0; 1; 3 ];
+                      input = Plan.Scan_list { arity = 4; tuples };
+                    };
+              };
+        }
+    in
+    let batched = Compile.run (env ()) plan in
+    let record = Compile.run (env ~batch_size:0 ()) plan in
+    check_rows (Printf.sprintf "pushdown case %d" case) record batched
+  done
+
+(* --- planlint -------------------------------------------------------- *)
+
+let has_code diags code =
+  List.exists (fun (d : Diag.t) -> String.equal d.code code) diags
+
+let test_planlint_batch () =
+  let e = env () in
+  let plan = fused_chain 10 in
+  (* An illegal knob is an error (VL601), sharing Batch.validate. *)
+  let diags = Compile.analyze ~batch_size:300 e plan in
+  check Alcotest.bool "batch-size error" true
+    (has_code (Diag.errors diags) "batch-size");
+  check Alcotest.(option string) "VL601" (Some "VL601")
+    (Diag.vl_code (Diag.error ~code:"batch-size" ~path:"root" "x"));
+  (* A port packet smaller than the batch splits every batch: VL602. *)
+  let small_edge =
+    Plan.Exchange
+      {
+        cfg = Exchange.config ~degree:2 ~packet_size:4 ();
+        input = Plan.Generate_slice { arity = 3; count = 10; gen = gen_tuple };
+      }
+  in
+  let diags = Compile.analyze ~batch_size:64 e small_edge in
+  check Alcotest.bool "mismatch warning" true
+    (has_code diags "batch-packet-mismatch");
+  check Alcotest.bool "mismatch is not an error" false
+    (has_code (Diag.errors diags) "batch-packet-mismatch");
+  check Alcotest.(option string) "VL602" (Some "VL602")
+    (Diag.vl_code (Diag.warning ~code:"batch-packet-mismatch" ~path:"root" "x"));
+  (* The default port packet (83) comfortably holds the default batch
+     (64): clean.  Batching off checks nothing. *)
+  check Alcotest.bool "default sizes clean" false
+    (has_code (Compile.analyze e small_edge |> Diag.errors) "batch-size");
+  check Alcotest.bool "disabled checks nothing" false
+    (has_code (Compile.analyze ~batch_size:0 e small_edge)
+       "batch-packet-mismatch")
+
+let suite =
+  [
+    Alcotest.test_case "bridge roundtrip" `Quick test_bridge_roundtrip;
+    Alcotest.test_case "batch shapes" `Quick test_batch_shapes;
+    Alcotest.test_case "knob validation" `Quick test_validate;
+    Alcotest.test_case "edge sizes" `Quick test_edge_sizes;
+    Alcotest.test_case "reopen resets state" `Quick test_reopen_resets_state;
+    Alcotest.test_case "early close mid-batch" `Quick test_early_close_mid_batch;
+    QCheck_alcotest.to_alcotest prop_batch_iterator_differential;
+    QCheck_alcotest.to_alcotest prop_batch_iterator_serial_identical;
+    QCheck_alcotest.to_alcotest prop_batch_pooled_dedicated;
+    Alcotest.test_case "projection pushdown differential" `Quick
+      test_pushdown_differential;
+    Alcotest.test_case "planlint batch pass" `Quick test_planlint_batch;
+  ]

@@ -78,10 +78,10 @@ let rec acceptable_failure = function
   | Fun.Finally_raised e -> acceptable_failure e
   | _ -> false
 
-let run_case ~plan_seed ~fault_seed =
+let run_case ?batch_size ~plan_seed ~fault_seed () =
   let rng = Rng.create plan_seed in
   let depth = 1 + Rng.int rng 3 in
-  let env = Env.create ~frames:128 ~page_size:512 () in
+  let env = Env.create ~frames:128 ~page_size:512 ?batch_size () in
   (* Small runs force external sorts to spill, exercising the storage
      injection sites (device read/write, buffer fix) under parallelism. *)
   Env.set_sort_run_capacity env (8 + Rng.int rng 56);
@@ -139,7 +139,7 @@ let test_matrix () =
       match String.split_on_char ':' (String.trim spec) with
       | [ p; f ] ->
           run_case ~plan_seed:(Int64.of_string p)
-            ~fault_seed:(Int64.of_string f)
+            ~fault_seed:(Int64.of_string f) ()
       | _ -> Alcotest.fail "CHAOS_REPRO must be <plan_seed>:<fault_seed>")
   | None ->
       let n = cases () in
@@ -147,7 +147,109 @@ let test_matrix () =
         run_case
           ~plan_seed:(Int64.of_int ((1000003 * i) + 17))
           ~fault_seed:(Int64.of_int ((7919 * i) + 23))
+          ()
       done
+
+(* Batching is on by default, so the matrix above exercises fused loops
+   and batch-fed producers throughout.  This slice re-runs a quarter of
+   it with the vectorized path off, so the record-at-a-time protocol
+   keeps its own chaos coverage too. *)
+let test_matrix_record_path () =
+  let n = max 1 (cases () / 4) in
+  for i = 0 to n - 1 do
+    run_case ~batch_size:0
+      ~plan_seed:(Int64.of_int ((1000003 * i) + 17))
+      ~fault_seed:(Int64.of_int ((7919 * i) + 23))
+      ()
+  done
+
+(* Satellite: faults fire INSIDE fused loops.  A fused
+   scan→filter→project chain feeding an exchange consults the generic
+   [Operator] site per record from a tap stage in the tight loop, the
+   [Producer] site per record in the batch drive loop, and the storage
+   sites from the heap cursor's page steps; a counted [Fail] at any of
+   them must surface at the consumer as exactly one well-typed
+   [Query_failed], and leak nothing. *)
+let test_faults_inside_fused_loops () =
+  List.iter
+    (fun (site, hit) ->
+      (* A pool far smaller than the table: the fused scan cannot run
+         from cache, so its page steps really consult the device sites. *)
+      let env = Env.create ~frames:8 ~page_size:512 () in
+      let file =
+        Env.create_table env ~name:"chaos_t"
+          ~schema:
+            (Volcano_tuple.Schema.of_names
+               [
+                 ("a", Volcano_tuple.Value.Tint);
+                 ("b", Volcano_tuple.Value.Tint);
+               ])
+      in
+      for i = 0 to 999 do
+        ignore
+          (Volcano_storage.Heap_file.insert file
+             (Bytes.to_string
+                (Volcano_tuple.Serial.encode (Tuple.of_ints [ i; i mod 9 ]))))
+      done;
+      let plan =
+        Plan.Exchange
+          {
+            cfg = Exchange.config ~degree:2 ~packet_size:7 ();
+            input =
+              Plan.Project_cols
+                {
+                  cols = [ 1; 0 ];
+                  input =
+                    Plan.Filter
+                      {
+                        pred =
+                          Volcano_tuple.Expr.Cmp
+                            ( Volcano_tuple.Expr.Ne,
+                              Volcano_tuple.Expr.Col 1,
+                              Volcano_tuple.Expr.Const
+                                (Volcano_tuple.Value.Int 4) );
+                        mode = `Compiled;
+                        input = Plan.Scan_table "chaos_t";
+                      };
+                };
+          }
+      in
+      let unjoined0 = Exchange.unjoined_domains () in
+      let live0 = Exchange.live_domains () in
+      Env.set_faults env
+        (Injector.make
+           {
+             Fault.seed = 7L;
+             rules =
+               [ { Fault.site; trigger = Fault.At_hit hit; action = Fault.Fail } ];
+           });
+      (match
+         run_with_timeout ~seconds:timeout_seconds (fun () ->
+             Compile.run env plan)
+       with
+      | Rows _ ->
+          Alcotest.failf "fault at %s never fired in the fused pipeline"
+            (Fault.site_name site)
+      | Raised (Exchange.Query_failed _) -> ()
+      | Raised exn ->
+          Alcotest.failf "fault at %s surfaced as %s, not Query_failed"
+            (Fault.site_name site) (Printexc.to_string exn)
+      | Timeout ->
+          Alcotest.failf "fault at %s hung the query" (Fault.site_name site));
+      Env.clear_faults env;
+      Bufpool.assert_quiescent ~what:"fused-loop fault" (Env.buffer env);
+      Alcotest.(check int)
+        "no unjoined domains" unjoined0
+        (Exchange.unjoined_domains ());
+      Alcotest.(check int) "no live domains" live0 (Exchange.live_domains ());
+      Sched.assert_quiescent ~what:"fused-loop fault" (Sched.default ()))
+    [
+      (Fault.Operator, 137);
+      (Fault.Producer 0, 137);
+      (Fault.Device_read, 5);
+      (Fault.Bufpool_fix, 5);
+      (Fault.Port_send, 3);
+    ]
 
 (* Satellite: analyzer-accepted plans under pure-delay chaos never hang
    AND never lose a record — delays perturb every interleaving the flow
@@ -325,6 +427,10 @@ let test_obs_matrix () =
 let suite =
   [
     Alcotest.test_case "seeded (plan, fault-plan) matrix" `Slow test_matrix;
+    Alcotest.test_case "matrix slice with batching off" `Slow
+      test_matrix_record_path;
+    Alcotest.test_case "faults fire inside fused loops" `Slow
+      test_faults_inside_fused_loops;
     Alcotest.test_case "chaos matrix with observability on" `Slow
       test_obs_matrix;
     Alcotest.test_case "delay-only chaos preserves results" `Slow

@@ -215,6 +215,104 @@ let test_disabled_identical_ring_paths () =
       ("unbounded exchange", false, unbounded_plan);
     ]
 
+(* Batched execution: a fused scan→filter→project chain flushes node
+   counters once per batch instead of once per record.  Per-node row
+   counts must stay exact, every open must get its close (and a span),
+   and the per-batch [next_calls] must be far below the row count —
+   the visible footprint of vectorization. *)
+let test_fused_chain_counters () =
+  let n = 1000 in
+  let scan =
+    Plan.Generate
+      { arity = 2; count = n; gen = (fun i -> Tuple.of_ints [ i; i mod 10 ]) }
+  in
+  let filter =
+    Plan.Filter
+      {
+        pred =
+          Volcano_tuple.Expr.Cmp
+            ( Volcano_tuple.Expr.Lt,
+              Volcano_tuple.Expr.Col 1,
+              Volcano_tuple.Expr.Const (Volcano_tuple.Value.Int 5) );
+        mode = `Compiled;
+        input = scan;
+      }
+  in
+  let plan = Plan.Project_cols { cols = [ 0 ]; input = filter } in
+  let env = Env.create () in
+  check Alcotest.bool "batching on by default" true (Env.batch_size env > 0);
+  let sink = Obs.create () in
+  let obs = Compile.observe sink plan in
+  let rows = Iterator.consume (Compile.compile ~obs env plan) in
+  check Alcotest.int "output rows" (n / 2) rows;
+  let node_for p =
+    match obs.Compile.node_of p with
+    | Some node -> node
+    | None -> Alcotest.fail "plan node not observed"
+  in
+  List.iter
+    (fun (what, p, expect) ->
+      let node = node_for p in
+      check Alcotest.int (what ^ " rows exact") expect (Obs.Node.rows node);
+      check Alcotest.int (what ^ " opens") 1 (Obs.Node.opens node);
+      check Alcotest.int (what ^ " closes") 1 (Obs.Node.closes node);
+      (* One flush per batch (plus the final empty next): with the
+         default batch size this is ~n/64, nowhere near n. *)
+      check Alcotest.bool
+        (what ^ " next_calls counts batches")
+        true
+        (Obs.Node.next_calls node > 0 && Obs.Node.next_calls node <= (n / 32) + 2))
+    [ ("scan", scan, n); ("filter", filter, n / 2); ("root project", plan, n / 2) ];
+  check Alcotest.int "one span per fused node" 3 (List.length (Obs.spans sink));
+  List.iter
+    (fun span ->
+      check Alcotest.bool "span ordered" true (span.Obs.stop >= span.Obs.start))
+    (Obs.spans sink)
+
+(* The parallel invariants above (packet conservation, spans balanced,
+   obs on/off identical) run with batching on by default.  Pin down that
+   the batched and record-at-a-time executions also agree with each other
+   under observation — same rows, same exact per-node row counters. *)
+let test_batching_counters_match_record_path () =
+  let n = 1200 in
+  let run batch_size =
+    let env = Env.create ~batch_size () in
+    let plan = parallel_plan n in
+    let sink = Obs.create () in
+    let obs = Compile.observe sink plan in
+    let rows =
+      List.sort Tuple.compare (Iterator.to_list (Compile.compile ~obs env plan))
+    in
+    let counters =
+      List.map
+        (fun node -> (Obs.Node.label node, Obs.Node.rows node))
+        (List.sort
+           (fun a b -> compare (Obs.Node.label a) (Obs.Node.label b))
+           (Obs.nodes sink))
+    in
+    (rows, counters)
+  in
+  let batched_rows, batched_counters = run 64 in
+  let record_rows, record_counters = run 0 in
+  check Alcotest.bool "rows identical" true
+    (List.equal Tuple.equal batched_rows record_rows);
+  check
+    Alcotest.(list (pair string int))
+    "per-node row counters identical" record_counters batched_counters
+
+let test_profile_batched_smoke () =
+  let env = Env.create () in
+  let report = Profile.run env (parallel_plan 500) in
+  check Alcotest.int "batched profile rows" 500 report.Profile.rows;
+  List.iter
+    (fun node ->
+      check Alcotest.int
+        (Obs.Node.label node ^ ": opens = closes")
+        (Obs.Node.opens node) (Obs.Node.closes node))
+    (Obs.nodes report.Profile.sink);
+  let rendered = Profile.render report in
+  check Alcotest.bool "render shows rows" true (contains rendered "rows=")
+
 let test_null_observe_adds_nothing () =
   let plan = parallel_plan 10 in
   let o = Compile.observe Obs.null plan in
@@ -258,6 +356,11 @@ let suite =
       test_disabled_identical;
     Alcotest.test_case "obs-disabled identical on ring paths" `Quick
       test_disabled_identical_ring_paths;
+    Alcotest.test_case "fused chain node counters" `Quick
+      test_fused_chain_counters;
+    Alcotest.test_case "batched counters match record path" `Quick
+      test_batching_counters_match_record_path;
+    Alcotest.test_case "batched profile smoke" `Quick test_profile_batched_smoke;
     Alcotest.test_case "null observe adds nothing" `Quick
       test_null_observe_adds_nothing;
     Alcotest.test_case "exporters well-formed" `Quick test_exporters;
