@@ -5,7 +5,8 @@
            dune exec bench/main.exe -- --check BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-mq BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-batch BASELINE [--tolerance T]
-   Experiments: t1 fig2 mq batch a1 a2 a3 a4 a5 a6 a7 a8 micro all
+           dune exec bench/main.exe -- --check-serve BASELINE [--tolerance T]
+   Experiments: t1 fig2 mq batch serve a1 a2 a3 a4 a5 a6 a7 a8 micro all
    (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
@@ -15,12 +16,16 @@
    bench against BENCH_mq.json and additionally enforces the pooled
    scheduler's 2x-over-dedicated throughput floor; --check-batch does
    the same for the batch-size sweep against BENCH_batch.json and
-   enforces the 2x best-batch-over-record-at-a-time floor; `dune build
-   @bench-smoke` runs all three.
+   enforces the 2x best-batch-over-record-at-a-time floor; --check-serve
+   re-drives the concurrent-client serving burst against BENCH_serve.json
+   with a zero-dropped-requests floor; `dune build @bench-smoke` runs all
+   four.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000),
                 VOLCANO_BENCH_REPS (default 6; gated timings are
-                min-of-reps). *)
+                min-of-reps),
+                VOLCANO_SERVE_CLIENTS / VOLCANO_SERVE_REQUESTS /
+                VOLCANO_SERVE_ROWS (default 500 / 4 / 64). *)
 
 let experiments =
   [
@@ -28,6 +33,7 @@ let experiments =
     ("fig2", Bench_fig2.run);
     ("mq", Bench_mq.run);
     ("batch", Bench_batch.run);
+    ("serve", Bench_serve.run);
     ("a1", Bench_ablations.a1_flow_slack);
     ("a2", Bench_ablations.a2_fork_scheme);
     ("a3", Bench_ablations.a3_partition_balance);
@@ -45,6 +51,7 @@ type opts = {
   check : string option;
   check_mq : string option;
   check_batch : string option;
+  check_serve : string option;
   tolerance : float;
 }
 
@@ -68,6 +75,11 @@ let rec split_args opts = function
   | "--check-batch" :: [] ->
       prerr_endline "--check-batch requires a BASELINE argument";
       exit 2
+  | "--check-serve" :: path :: rest ->
+      split_args { opts with check_serve = Some path } rest
+  | "--check-serve" :: [] ->
+      prerr_endline "--check-serve requires a BASELINE argument";
+      exit 2
   | "--tolerance" :: t :: rest -> (
       match float_of_string_opt t with
       | Some tolerance when tolerance >= 0.0 ->
@@ -89,6 +101,7 @@ let () =
         check = None;
         check_mq = None;
         check_batch = None;
+        check_serve = None;
         tolerance = 0.15;
       }
       (List.tl (Array.to_list Sys.argv))
@@ -105,6 +118,11 @@ let () =
   | Some baseline ->
       exit
         (if Bench_batch.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
+  | None -> ());
+  (match opts.check_serve with
+  | Some baseline ->
+      exit
+        (if Bench_serve.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
   | None -> ());
   let names, json_path = (opts.names, opts.json) in
   let requested =

@@ -18,12 +18,15 @@ module Env = Volcano_plan.Env
 module Compile = Volcano_plan.Compile
 module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
+module Remote = Volcano_plan.Remote
 module Exchange = Volcano.Exchange
 module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
 module Support = Volcano_tuple.Support
 module W = Volcano_wisconsin.Wisconsin
 module Clock = Volcano_util.Clock
+module Serve = Volcano_net.Serve
+module Obs = Volcano_obs.Obs
 
 type query = {
   name : string;
@@ -214,6 +217,43 @@ let queries =
           let b = Plan.Project_cols { cols = [ col "unique1"; col "four" ]; input = c } in
           Plan.Exchange { cfg = Exchange.config ~degree:3 (); input = b });
     };
+    {
+      name = "remote-scan";
+      describe = "Wisconsin scan sharded across worker processes (remote exchange)";
+      build =
+        (fun ~rows ~degree ->
+          Plan.Remote
+            {
+              cfg = Exchange.config ~degree ~flow_slack:(Some 4) ();
+              workers = degree;
+              task = Printf.sprintf "wisconsin:%d" rows;
+              input = W.plan_slice ~n:rows ();
+            });
+    };
+    {
+      name = "remote-aggregate";
+      describe = "group by ten over a network-distributed scan";
+      build =
+        (fun ~rows ~degree ->
+          Plan.Aggregate
+            {
+              algo = Plan.Hash_based;
+              group_by = [ col "ten" ];
+              aggs =
+                [
+                  Volcano_ops.Aggregate.Count;
+                  Volcano_ops.Aggregate.Sum (Expr.col (col "unique1"));
+                ];
+              input =
+                Plan.Remote
+                  {
+                    cfg = Exchange.config ~degree ~flow_slack:(Some 4) ();
+                    workers = degree;
+                    task = Printf.sprintf "wisconsin:%d" rows;
+                    input = W.plan_slice ~n:rows ();
+                  };
+            });
+    };
   ]
 
 let find_query name =
@@ -223,6 +263,52 @@ let find_query name =
       Error
         (Printf.sprintf "unknown query %S; try: %s" name
            (String.concat ", " (List.map (fun q -> q.name) queries)))
+
+(* --- the shared task vocabulary -------------------------------------- *)
+
+(* Tasks name plans by value, so one binary plays all three roles with
+   one vocabulary: the serve daemon executes them, remote exchange
+   workers rebuild and shard them, and clients (or [Plan.Remote] nodes)
+   mint them.
+
+     wisconsin:<rows>[:<seed>]       the sliceable Wisconsin relation
+     demo:<name>:<rows>:<degree>     any demo query from `list` *)
+let parse_task task =
+  let int what s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "task %S: bad %s %S" task what s)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' task with
+  | [ "wisconsin"; rows ] ->
+      let* n = int "row count" rows in
+      Ok (W.plan_slice ~n ())
+  | [ "wisconsin"; rows; seed ] ->
+      let* n = int "row count" rows in
+      let* seed = int "seed" seed in
+      Ok (W.plan_slice ~seed:(Int64.of_int seed) ~n ())
+  | [ "demo"; name; rows; degree ] ->
+      let* q = find_query name in
+      let* rows = int "row count" rows in
+      let* degree = int "degree" degree in
+      Ok (q.build ~rows ~degree)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unresolvable task %S (expected wisconsin:<rows>[:<seed>] or \
+            demo:<name>:<rows>:<degree>)"
+           task)
+
+(* Every session this binary opens can compile [Plan.Remote]: the
+   launcher re-invokes this same executable in net-worker mode, so
+   parent and workers share the task vocabulary above. *)
+let register_launcher env =
+  Env.set_remote_launcher env (fun ~faults ~workers ~task ~packet_size ->
+      (Volcano_net.Launcher.launch ~faults
+         ~command:(fun ~socket -> [| Sys.executable_name; "net-worker"; socket |])
+         ~workers ~task ~packet_size ())
+        .sources)
 
 (* --- commands --- *)
 
@@ -243,7 +329,9 @@ let explain_cmd name rows degree =
       0
 
 let with_sess workers batch_size f =
-  Session.with_session ?workers ?batch_size ~frames:2048 f
+  Session.with_session ?workers ?batch_size ~frames:2048 (fun s ->
+      register_launcher (Session.env s);
+      f s)
 
 let analyze_cmd name rows degree strict workers flow_budget batch_size =
   match find_query name with
@@ -324,6 +412,165 @@ let sim_cmd packet_size records =
     records packet_size r.Volcano_sim.Sim.elapsed
     r.Volcano_sim.Sim.packets_total r.Volcano_sim.Sim.max_queue_depth;
   0
+
+(* --- the network plane: worker mode, serve daemon, client ----------- *)
+
+(* Worker-process main for remote exchange: spawned by the launcher
+   registered above, never by a user.  [Worker.run] owns the protocol
+   and never raises; a bad task surfaces as an [Err] frame. *)
+let net_worker_cmd socket =
+  Volcano_net.Worker.run ~socket ~resolve:(fun ~task ~shard ~shards ->
+      match parse_task task with
+      | Error e -> failwith e
+      | Ok plan ->
+          let env = Env.create ~frames:2048 () in
+          register_launcher env;
+          Remote.shard_pull env ~shard ~shards plan);
+  0
+
+let serve_cmd socket workers batch_size max_concurrent =
+  Session.with_session ?workers ?batch_size ?max_concurrent ~frames:2048
+  @@ fun s ->
+  register_launcher (Session.env s);
+  let handle task =
+    match parse_task task with
+    | Error e -> Error ("task", e)
+    | Ok plan -> (
+        match Session.exec s plan with
+        | rows -> Ok rows
+        | exception Exchange.Query_failed { site; origin } ->
+            Error (site, Printexc.to_string origin)
+        | exception Compile.Rejected errors ->
+            Error
+              ( "planlint",
+                String.concat "; "
+                  (List.map Volcano_analysis.Diag.to_string errors) ))
+  in
+  let obs = Obs.create () in
+  let server = Serve.Server.start ~obs ~socket ~handle () in
+  Printf.printf "serving on %s (shut down with `volcano shutdown`)\n%!" socket;
+  Serve.Server.wait server;
+  Printf.printf "served %d request(s), %d error(s)\n"
+    (Serve.Server.requests server)
+    (Serve.Server.errors server);
+  0
+
+let with_client socket f =
+  let c = Serve.Client.connect ~socket in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let query_cmd socket task limit =
+  with_client socket @@ fun c ->
+  match Serve.Client.query c task with
+  | Ok rows ->
+      (* SIGPIPE is ignored for the socket's sake, so `query ... | head`
+         surfaces as Sys_error on stdout — the consumer closed; done. *)
+      (try
+         Printf.printf "%d rows\n" (List.length rows);
+         List.iteri
+           (fun i t -> if i < limit then print_endline (Tuple.to_string t))
+           rows;
+         if List.length rows > limit then
+           Printf.printf "... (%d more rows; use --limit)\n"
+             (List.length rows - limit)
+       with Sys_error _ -> (
+         (* Point the dirty stdout buffer at /dev/null so the at_exit
+            flush cannot raise a second time. *)
+         try
+           let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+           Unix.dup2 null Unix.stdout;
+           Unix.close null;
+           flush stdout
+         with _ -> ()));
+      0
+  | Error (site, message) ->
+      Printf.eprintf "query failed at %s: %s\n" site message;
+      1
+
+let shutdown_cmd socket =
+  with_client socket @@ fun c ->
+  Serve.Client.shutdown_server c;
+  0
+
+(* End-to-end smoke for the serving plane: spawn the daemon as a real
+   child process, drive it with concurrent clients, verify the row
+   counts, shut it down, and insist on a clean exit.  Wired into the
+   @serve-smoke alias. *)
+let serve_smoke_cmd clients requests rows =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "volcano-smoke-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with _ -> ());
+  let argv = [| Sys.executable_name; "serve"; "--socket"; socket |] in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  let finally () =
+    (try Unix.kill pid Sys.sigkill with _ -> ());
+    (try ignore (Unix.waitpid [] pid) with _ -> ());
+    try Unix.unlink socket with _ -> ()
+  in
+  let rec await_socket tries =
+    if tries = 0 then failwith "serve daemon never bound its socket"
+    else if not (Sys.file_exists socket) then begin
+      Unix.sleepf 0.05;
+      await_socket (tries - 1)
+    end
+  in
+  match
+    await_socket 200;
+    let failures = Atomic.make 0 in
+    let client i =
+      with_client socket @@ fun c ->
+      for r = 0 to requests - 1 do
+        let n = rows + ((i + r) mod 7) in
+        match Serve.Client.query c (Printf.sprintf "wisconsin:%d" n) with
+        | Ok result when List.length result = n -> ()
+        | Ok result ->
+            Printf.eprintf "client %d: got %d rows, wanted %d\n" i
+              (List.length result) n;
+            Atomic.incr failures
+        | Error (site, message) ->
+            Printf.eprintf "client %d: failed at %s: %s\n" i site message;
+            Atomic.incr failures
+      done
+    in
+    let threads =
+      List.init clients (fun i -> Thread.create (fun () -> client i) ())
+    in
+    List.iter Thread.join threads;
+    (* One deliberately bad task must come back as an error, not a hang
+       or a dropped connection. *)
+    (with_client socket @@ fun c ->
+     match Serve.Client.query c "no-such-task" with
+     | Error _ -> ()
+     | Ok _ ->
+         prerr_endline "bad task unexpectedly succeeded";
+         Atomic.incr failures);
+    (with_client socket @@ fun c -> Serve.Client.shutdown_server c);
+    let _, status = Unix.waitpid [] pid in
+    (Atomic.get failures, status)
+  with
+  | exception exn ->
+      finally ();
+      prerr_endline ("serve smoke failed: " ^ Printexc.to_string exn);
+      1
+  | 0, Unix.WEXITED 0 ->
+      (try Unix.unlink socket with _ -> ());
+      Printf.printf "serve smoke: %d clients x %d requests ok, clean \
+                     shutdown\n"
+        clients requests;
+      0
+  | failures, status ->
+      finally ();
+      Printf.eprintf "serve smoke: %d failed request(s), daemon %s\n" failures
+        (match status with
+        | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+        | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+        | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s);
+      1
 
 (* --- cmdliner plumbing --- *)
 
@@ -431,6 +678,59 @@ let sim_term =
   in
   Term.(const sim_cmd $ packet $ records)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/volcano.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the serving daemon.")
+
+let net_worker_term =
+  let socket =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SOCKET")
+  in
+  Term.(const net_worker_cmd $ socket)
+
+let serve_term =
+  let max_concurrent =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-concurrent" ] ~docv:"Q"
+          ~doc:
+            "Admission bound: plans executing concurrently; further \
+             requests queue.  Default: the runtime's own.")
+  in
+  Term.(
+    const serve_cmd $ socket_arg $ workers_arg $ batch_size_arg
+    $ max_concurrent)
+
+let query_term =
+  let task =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TASK")
+  in
+  Term.(const query_cmd $ socket_arg $ task $ limit_arg)
+
+let shutdown_term = Term.(const shutdown_cmd $ socket_arg)
+
+let serve_smoke_term =
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"C" ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"R" ~doc:"Queries per client.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 200
+      & info [ "rows" ] ~docv:"N" ~doc:"Base relation size per query.")
+  in
+  Term.(const serve_smoke_cmd $ clients $ requests $ rows)
+
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List the demo queries.") list_term;
@@ -453,6 +753,36 @@ let cmds =
     Cmd.v
       (Cmd.info "sim" ~doc:"Run the Figure-2a topology on the simulated Sequent.")
       sim_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Start the query-serving daemon: a Session wrapped behind a \
+            framed request/response protocol on a Unix-domain socket.  \
+            Runs until a client sends shutdown.")
+      serve_term;
+    Cmd.v
+      (Cmd.info "query"
+         ~doc:
+           "Send one task to a running serve daemon and print the result \
+            rows.  Tasks: wisconsin:<rows>[:<seed>], or \
+            demo:<name>:<rows>:<degree> for any query from `list`.")
+      query_term;
+    Cmd.v
+      (Cmd.info "shutdown" ~doc:"Stop a running serve daemon.")
+      shutdown_term;
+    Cmd.v
+      (Cmd.info "serve-smoke"
+         ~doc:
+           "End-to-end smoke test of the serving plane: spawn a daemon, \
+            drive it with concurrent clients, verify results, shut it \
+            down cleanly.")
+      serve_smoke_term;
+    Cmd.v
+      (Cmd.info "net-worker"
+         ~doc:
+           "Worker-process mode for remote exchange (spawned by the \
+            launcher; not for interactive use).")
+      net_worker_term;
   ]
 
 let () =

@@ -164,6 +164,11 @@ let schema_pass root =
         | Ir.Range_on (c, _) -> check_cols path "range partition" a [ c ]
         | _ -> ());
         a
+    | Ir.Remote { input; _ } ->
+        (* Workers rebuild the same subtree, so its schema holds across
+           the wire; the partition spec is not re-applied on the wire edge
+           (workers arrive pre-sharded), so its columns are not checked. *)
+        infer path input
   in
   ignore (infer "" root);
   List.rev !diags
@@ -281,6 +286,16 @@ let exchange_pass root =
                 group size %d governs"
                cfg.degree consumers);
         walk path consumers input
+    | Ir.Remote { cfg; input; _ } ->
+        (* Only the scalar config fields govern the wire edge: the
+           partition spec is not re-applied (workers arrive pre-sharded
+           and the edge merges), so the range-bounds check is skipped.
+           Each worker compiles the subtree in a solo group. *)
+        List.iter
+          (fun (code, msg) -> err path code msg)
+          (Volcano.Exchange.validate ~degree:cfg.degree
+             ~packet_size:cfg.packet_size ~flow_slack:cfg.flow_slack);
+        walk path 1 input
   in
   walk "" 1 root;
   List.rev !diags
@@ -293,7 +308,9 @@ let exchange_pass root =
    interchange stays inside the process, so the search continues below
    it. *)
 let rec frontier acc = function
-  | Ir.Exchange { cfg; _ } | Ir.Exchange_merge { cfg; _ } -> cfg :: acc
+  | Ir.Exchange { cfg; _ } | Ir.Exchange_merge { cfg; _ } | Ir.Remote { cfg; _ }
+    ->
+      cfg :: acc
   | Ir.Interchange { input; _ } -> frontier acc input
   | Ir.Leaf _ | Ir.Unresolved _ -> acc
   | Ir.Filter { input; _ }
@@ -385,6 +402,10 @@ let deadlock_pass root =
                cfg.degree consumers);
         walk path cfg.degree input
     | Ir.Interchange { input; _ } -> walk path consumers input
+    | Ir.Remote { input; _ } ->
+        (* Each worker evaluates the subtree in its own solo-group
+           process; local wait cycles cannot reach across the socket. *)
+        walk path 1 input
   in
   walk "" 1 root;
   List.rev !diags
@@ -412,6 +433,10 @@ let rec domains = function
       List.fold_left (fun acc alt -> max acc (domains alt)) 0 alternatives
   | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
       cfg.degree + domains input
+  | Ir.Remote { cfg; _ } ->
+      (* One local feeder domain per worker socket; the subtree's own
+         domains live in the worker processes, not this one. *)
+      cfg.degree
 
 (* Concurrently fixed buffer pages, coarsely: a heap scan pins one page at
    a time, an index scan a root-to-leaf path (~3), an external sort or
@@ -451,6 +476,7 @@ let rec pages members = function
       List.fold_left (fun acc alt -> max acc (pages members alt)) 0 alternatives
   | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
       pages cfg.degree input
+  | Ir.Remote _ -> 0 (* the subtree pins pages in the workers' pools *)
 
 let resource_pass ?(max_domains = 512) ?frames root =
   let diags = ref [] in
@@ -544,6 +570,13 @@ let memory_pass ?(flow_budget = 1 lsl 20) root =
     | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
         edge cfg consumers;
         walk cfg.degree input
+    | Ir.Remote { cfg; input; _ } ->
+        (* The local port behind the wire edge buffers like any exchange
+           edge.  The subtree compiles solo in each of [degree] worker
+           processes, so its edges recur [degree] times — the same
+           multiplier the walk applies. *)
+        edge cfg consumers;
+        walk cfg.degree input
   in
   walk 1 root;
   if !worst > flow_budget then
@@ -617,12 +650,99 @@ let batch_pass ?(batch_size = Volcano.Batch.default_size) root =
             alternatives
       | Ir.Exchange { cfg; input }
       | Ir.Exchange_merge { cfg; input; _ }
-      | Ir.Interchange { cfg; input } ->
+      | Ir.Interchange { cfg; input }
+      | Ir.Remote { cfg; input; _ } ->
           check_edge path cfg;
           walk path input
     in
     walk "" root
   end;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 8: remote (network-distributed) exchange configuration         *)
+
+(* A remote exchange ships packets over sockets from worker processes
+   that arrive pre-sharded; the wire edge is a merge fed by one local
+   feeder per worker.  Its legality conditions are its own:
+
+   - the worker count IS the shard count — [Remote.slice] rewrites the
+     subtree so worker [r] of [workers] produces what local producer
+     rank [r] of a [workers]-wide group would, and the feeder array is
+     sized by [cfg.degree]; the two must agree ([remote-workers]);
+   - without flow slack the local port ring is unbounded, so
+     backpressure never reaches the kernel socket buffer and a fast
+     worker can run the consumer out of memory ([remote-flow-slack]);
+   - the wire unit is the packetized batch — with the vectorized batch
+     path disabled ([batch_size = 0]) every record is materialized
+     individually before serialization ([remote-wire-batch]). *)
+let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
+  let diags = ref [] in
+  let err path code msg = diags := Diag.error ~code ~path msg :: !diags in
+  let warn path code msg = diags := Diag.warning ~code ~path msg :: !diags in
+  let check path (cfg : Ir.cfg) workers task =
+    if workers < 1 then
+      err path "remote-workers"
+        (Printf.sprintf
+           "a remote exchange needs at least one worker process, got %d"
+           workers)
+    else if cfg.degree <> workers then
+      err path "remote-workers"
+        (Printf.sprintf
+           "config degree %d disagrees with the worker count %d: workers \
+            shard by their count while the local port forks one feeder per \
+            config degree, so records would be lost or feeders starve"
+           cfg.degree workers);
+    if task = "" then
+      err path "remote-workers"
+        "the task string is empty; workers cannot resolve the shipped \
+         subtree";
+    (match cfg.flow_slack with
+    | None ->
+        warn path "remote-flow-slack"
+          "wire edge without flow slack: the local port buffers every frame \
+           the feeders pull, so backpressure never reaches the kernel \
+           socket buffer and a fast worker can run the consumer out of \
+           memory; set flow_slack to bound the edge"
+    | Some _ -> ());
+    if batch_size = 0 then
+      warn path "remote-wire-batch"
+        "the vectorized batch path is disabled (batch_size = 0) while this \
+         plan ships batches over sockets; workers materialize every record \
+         individually before serialization — set a positive batch size"
+  in
+  let rec walk prefix node =
+    let path = child_path prefix (Ir.label node) in
+    match node with
+    | Ir.Leaf _ | Ir.Unresolved _ -> ()
+    | Ir.Filter { input; _ }
+    | Ir.Project_cols { input; _ }
+    | Ir.Project_exprs { input; _ }
+    | Ir.Sort { input; _ }
+    | Ir.Aggregate { input; _ }
+    | Ir.Distinct { input; _ }
+    | Ir.Limit { input; _ }
+    | Ir.Exchange { input; _ }
+    | Ir.Exchange_merge { input; _ }
+    | Ir.Interchange { input; _ } ->
+        walk path input
+    | Ir.Match { left; right; _ }
+    | Ir.Cross { left; right }
+    | Ir.Theta_join { left; right; _ } ->
+        walk (child_path path "left") left;
+        walk (child_path path "right") right
+    | Ir.Division { dividend; divisor; _ } ->
+        walk (child_path path "dividend") dividend;
+        walk (child_path path "divisor") divisor
+    | Ir.Choose { alternatives } ->
+        List.iteri
+          (fun i alt -> walk (child_path path (Printf.sprintf "alt%d" i)) alt)
+          alternatives
+    | Ir.Remote { cfg; workers; task; input } ->
+        check path cfg workers task;
+        walk path input
+  in
+  walk "" root;
   List.rev !diags
 
 let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget
@@ -632,4 +752,5 @@ let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget
     @ resource_pass ?max_domains ?frames root
     @ sched_pass ?oversub ~workers root
     @ memory_pass ?flow_budget root
-    @ batch_pass ?batch_size root)
+    @ batch_pass ?batch_size root
+    @ remote_pass ?batch_size root)

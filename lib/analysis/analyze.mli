@@ -75,6 +75,17 @@ val batch_pass : ?batch_size:int -> Ir.t -> Diag.t list
     {!Volcano.Batch.default_size}; 0 (batching disabled) checks
     nothing. *)
 
+val remote_pass : ?batch_size:int -> Ir.t -> Diag.t list
+(** Remote (network-distributed) exchange configuration.  Errors
+    ([remote-workers]) when a [Remote] node's worker count is below one,
+    disagrees with its config degree (the worker count is the shard
+    count; the local port forks one feeder per degree), or ships an
+    empty task string.  Warns ([remote-flow-slack]) on wire edges
+    without flow slack — the local port ring is then unbounded and
+    backpressure never reaches the kernel socket buffer — and
+    ([remote-wire-batch]) when [batch_size] is 0 while the plan has wire
+    edges, since the wire unit is the packetized batch. *)
+
 val analyze :
   ?max_domains:int ->
   ?frames:int ->

@@ -12,8 +12,8 @@ let warning ~code ~path message = { severity = Warning; code; path; message }
 
 (* The stable code registry: every defect class the passes can emit, with
    its machine-readable VL number.  Hundreds digit = pass (1 schema,
-   2 exchange, 3 deadlock, 4 resource, 5 scheduler/memory, 6 batch);
-   numbers are
+   2 exchange, 3 deadlock, 4 resource, 5 scheduler/memory, 6 batch,
+   7 remote); numbers are
    append-only — retired slugs keep their number reserved so external
    tooling keyed on [VLnnn] never sees a meaning change. *)
 let registry =
@@ -44,6 +44,9 @@ let registry =
     ("mem-flow-slack", "VL502");
     ("batch-size", "VL601");
     ("batch-packet-mismatch", "VL602");
+    ("remote-workers", "VL701");
+    ("remote-flow-slack", "VL702");
+    ("remote-wire-batch", "VL703");
   ]
 
 let vl_code d = List.assoc_opt d.code registry

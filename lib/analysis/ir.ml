@@ -57,6 +57,7 @@ type t =
   | Exchange of { cfg : cfg; input : t }
   | Exchange_merge of { cfg : cfg; key : sort_key; input : t }
   | Interchange of { cfg : cfg; input : t }
+  | Remote of { cfg : cfg; workers : int; task : string; input : t }
 
 let label = function
   | Leaf { label; _ } | Unresolved { label; _ } -> label
@@ -74,6 +75,7 @@ let label = function
   | Exchange _ -> "exchange"
   | Exchange_merge _ -> "exchange-merge"
   | Interchange _ -> "interchange"
+  | Remote _ -> "remote-exchange"
 
 let rec num_cols acc = function
   | Expr.Col c -> c :: acc

@@ -77,6 +77,12 @@ type t =
   | Exchange of { cfg : cfg; input : t }
   | Exchange_merge of { cfg : cfg; key : sort_key; input : t }
   | Interchange of { cfg : cfg; input : t }
+  | Remote of { cfg : cfg; workers : int; task : string; input : t }
+      (** network-distributed exchange: [workers] processes rebuild
+          [input] from the opaque [task] string and stream packets back
+          over sockets.  [input] is the shipped subtree — never compiled
+          by the consumer process — kept here so schema inference can
+          still see through the wire edge. *)
 
 val label : t -> string
 (** Short node name used in diagnostic paths ([filter], [match],

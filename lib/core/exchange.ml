@@ -20,6 +20,11 @@ let as_query_failed ~fallback origin =
   | Query_failed _ -> origin
   | Volcano_fault.Injected { site; _ } ->
       Query_failed { site = Volcano_fault.site_name site; origin }
+  | Port.Transport.Remote_failure { site; _ } ->
+      (* A worker-process failure that crossed the wire: the frame carries
+         the original site name, so the consumer reports the same site a
+         local producer's death would. *)
+      Query_failed { site; origin }
   | origin -> Query_failed { site = fallback; origin }
 
 (* ------------------------------------------------------------------ *)
@@ -145,6 +150,21 @@ let spawn_task sched body =
    would abort teardown half-way and leak the remaining tasks. *)
 let join_quiet task =
   ignore (Sched.await task : (unit, exn) result);
+  Atomic.incr join_counter
+
+(* Remote-exchange feeders are dedicated raw domains, not scheduler
+   tasks: each spends its life blocked in transport pulls (socket reads),
+   which must never occupy a pool worker.  They are counted in the same
+   spawn/join ledger as producer tasks so the chaos harness's zero-diff
+   teardown assertion covers them too. *)
+let spawn_domain body =
+  Atomic.incr spawn_counter;
+  Atomic.incr live_counter;
+  Domain.spawn (fun () ->
+      Fun.protect ~finally:(fun () -> Atomic.decr live_counter) body)
+
+let join_domain_quiet domain =
+  (try Domain.join domain with _ -> ());
   Atomic.incr join_counter
 
 let instantiate_partition spec ~consumers =
@@ -521,6 +541,177 @@ let source_iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs
 let iterator ?id ?faults ?parent_scope ?scope ?obs ?sched cfg ~group ~input =
   source_iterator ?id ?faults ?parent_scope ?scope ?obs ?sched cfg ~group
     ~input:(fun producer_group -> Record_source (input producer_group))
+
+(* ------------------------------------------------------------------ *)
+(* Remote exchange: producers behind transport sources                  *)
+
+(* The consumer half of exchange when the producer group lives behind
+   {!Port.Transport.source}s — worker processes on the far side of a
+   socket, or any other carrier.  The local port stays the flow-control
+   and failure rendezvous: one feeder domain per source pumps pulled
+   packets into it, so [next], EOS counting, poisoning, and the shutdown
+   chain are exactly the shared-memory code paths.  Backpressure is
+   end-to-end for free: a full lane ring blocks the feeder's send, the
+   feeder stops pulling, and the kernel socket buffer pushes back on the
+   worker's writes. *)
+let remote_iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
+    ~group ~connect =
+  let id = match id with Some i -> i | None -> fresh_id () in
+  let state = ref None in
+  Iterator.make
+    ~open_:(fun () ->
+      let port, close_allowed, joiner =
+        if Group.is_master group then begin
+          let sources =
+            (* A refused connection is the same single error a producer
+               dying at fork time is. *)
+            try (connect () : Port.Transport.source array)
+            with exn -> raise (as_query_failed ~fallback:"net-connect" exn)
+          in
+          let producers = Array.length sources in
+          if producers = 0 then
+            invalid_arg "Exchange.remote_iterator: connect returned no sources";
+          let consumers = Group.size group in
+          let cancel_sources () =
+            Array.iter
+              (fun (s : Port.Transport.source) -> try s.cancel () with _ -> ())
+              sources
+          in
+          let on_shutdown () =
+            (* Cancellation chaining across the machine boundary: shutting
+               this port must stop the remote producers (best-effort cancel
+               frames + closed sockets) exactly as it cancels local
+               descendant ports. *)
+            cancel_sources ();
+            match scope with Some s -> Scope.cancel s | None -> ()
+          in
+          let port =
+            Port.create ~producers ~consumers ?flow_slack:cfg.flow_slack
+              ~faults ~on_shutdown ~timed:(Option.is_some obs) ()
+          in
+          (match parent_scope with Some s -> Scope.register s port | None -> ());
+          let spawn_t0 = if Option.is_some obs then Obs.now () else 0.0 in
+          let feeders =
+            Array.to_list
+              (Array.mapi
+                 (fun rank (src : Port.Transport.source) ->
+                   spawn_domain (fun () ->
+                       (* Whole packets round-robin across consumers: the
+                          workers already sharded the data, so the wire
+                          edge is a merge and any consumer may take any
+                          packet. *)
+                       let next_consumer = ref 0 in
+                       let alloc ~capacity =
+                         Port.alloc port ~producer:rank
+                           ~consumer:!next_consumer ~capacity
+                       in
+                       let rec pump () =
+                         if not (Port.is_shut_down port) then
+                           match src.pull ~alloc with
+                           | Port.Transport.Data packet ->
+                               let consumer = !next_consumer in
+                               next_consumer := (consumer + 1) mod consumers;
+                               Port.send port ~producer:rank ~consumer packet;
+                               pump ()
+                           | Port.Transport.Eos ->
+                               (* Every consumer counts one EOS tag per
+                                  producer, as in the local exchange. *)
+                               for consumer = 0 to consumers - 1 do
+                                 let packet =
+                                   Port.alloc port ~producer:rank ~consumer
+                                     ~capacity:1
+                                 in
+                                 Packet.tag_end_of_stream packet;
+                                 Port.send port ~producer:rank ~consumer packet
+                               done
+                           | Port.Transport.Failed origin ->
+                               raise
+                                 (as_query_failed
+                                    ~fallback:
+                                      (Printf.sprintf "net-worker-%d" rank)
+                                    origin)
+                       in
+                       try pump ()
+                       with exn ->
+                         (* First failure wins; a dropped connection or a
+                            shipped worker failure surfaces at the
+                            consumer's next as one [Query_failed]. *)
+                         Port.poison port exn;
+                         try src.cancel () with _ -> ()))
+                 sources)
+          in
+          let joiner () =
+            List.iter join_domain_quiet feeders;
+            Array.iter
+              (fun (s : Port.Transport.source) -> try s.join () with _ -> ())
+              sources
+          in
+          let joiner =
+            match obs with
+            | None -> joiner
+            | Some (sink, node) ->
+                let spawn_s = Obs.now () -. spawn_t0 in
+                let join_s = ref 0.0 in
+                Obs.register_exchange sink ~node ~sample:(fun () ->
+                    {
+                      Obs.packets_sent = Port.packets_sent port;
+                      packets_received = Port.packets_received port;
+                      records = Port.records_sent port;
+                      max_queue_depth = Port.max_depth port;
+                      flow_waits = Port.flow_stalls port;
+                      flow_wait_s = Port.flow_stall_s port;
+                      per_producer = Port.packets_sent_by port;
+                      pool_allocated = Port.pool_allocated port;
+                      pool_reused = Port.pool_reused port;
+                      pool_recycled = Port.pool_recycled port;
+                      spawn_s;
+                      join_s = !join_s;
+                      domains = producers;
+                    });
+                fun () ->
+                  let t0 = Obs.now () in
+                  joiner ();
+                  join_s := !join_s +. (Obs.now () -. t0)
+          in
+          Group.publish_port group ~key:id port;
+          (port, Sched.Event.create (), Some joiner)
+        end
+        else
+          let port = Group.lookup_port group ~key:id in
+          (port, Sched.Event.create (), None)
+      in
+      let consumer = Group.rank group in
+      state :=
+        Some
+          {
+            port;
+            close_allowed;
+            joiner;
+            recv = (fun () -> Port.receive port ~consumer);
+            recy = Port.recycle port ~consumer;
+            current = None;
+            pos = 0;
+            eos_tags = 0;
+            finished = false;
+          })
+    ~next:(fun () ->
+      let s =
+        match !state with
+        | Some s -> s
+        | None -> invalid_arg "Exchange.remote_iterator: not open"
+      in
+      match consume_packets s with
+      | result -> result
+      | exception exn ->
+          s.finished <- true;
+          Port.poison s.port exn;
+          raise (as_query_failed ~fallback:"consumer" exn))
+    ~close:(fun () ->
+      match !state with
+      | None -> ()
+      | Some s ->
+          teardown_consumer ~group s;
+          state := None)
 
 (* Keep-separate variant: one stream per producer, so that "the merge
    iterator [can] distinguish the input records by their producer"

@@ -538,3 +538,42 @@ let max_depth t =
 let packets_sent_by t = Array.map Atomic.get t.sent_by
 let flow_stalls t = Atomic.get t.stalls
 let flow_stall_s t = float_of_int (Atomic.get t.stall_ns) *. 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Transport abstraction                                               *)
+
+module Transport = struct
+  exception Remote_failure of { site : string; message : string }
+
+  let () =
+    Printexc.register_printer (function
+      | Remote_failure { site; message } ->
+          Some
+            (Printf.sprintf "Port.Transport.Remote_failure(site %s: %s)" site
+               message)
+      | _ -> None)
+
+  type event = Data of Packet.t | Eos | Failed of exn
+
+  type source = {
+    pull : alloc:(capacity:int -> Packet.t) -> event;
+    cancel : unit -> unit;
+    join : unit -> unit;
+  }
+
+  (* The in-memory SPSC lane as one transport among others: a pull is a
+     blocking [receive_from]; the lane's own buffers carry the packets, so
+     [alloc] is unused.  A drained shut-down lane distinguishes poison
+     (the producer's failure) from a clean end of stream. *)
+  let of_port t ~producer ~consumer =
+    {
+      pull =
+        (fun ~alloc:_ ->
+          match receive_from t ~producer ~consumer with
+          | Some packet -> Data packet
+          | None -> (
+              match failure t with Some exn -> Failed exn | None -> Eos));
+      cancel = (fun () -> shutdown t);
+      join = (fun () -> ());
+    }
+end

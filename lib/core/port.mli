@@ -134,3 +134,41 @@ val pool_reused : t -> int
 
 val pool_recycled : t -> int
 (** Packets accepted back into a lane pool by {!recycle}. *)
+
+(** {2 Transport abstraction}
+
+    A {e transport source} is one producer's packet stream viewed from the
+    consumer side, independent of what carries it: the in-memory SPSC lane
+    ({!Transport.of_port}) and the socket lane of [Volcano_net] are the two
+    implementations.  Remote exchange consumes sources only, so EOS,
+    failure, and cancellation flow identically whether the producer shares
+    the address space or a machine boundary. *)
+module Transport : sig
+  exception Remote_failure of { site : string; message : string }
+  (** A producer-side failure that crossed a serialization boundary: the
+      original exception cannot be shipped, so the wire carries its fault
+      [site] and rendered [message].  [Exchange.as_query_failed] maps this
+      to the same [Query_failed] a local producer's death produces. *)
+
+  type event =
+    | Data of Packet.t  (** a packet; ownership passes to the consumer *)
+    | Eos  (** clean end of this producer's stream *)
+    | Failed of exn  (** the producer died; the stream is truncated *)
+
+  type source = {
+    pull : alloc:(capacity:int -> Packet.t) -> event;
+        (** Block until the next event.  [alloc] lets the transport fill a
+            recycled packet shell instead of allocating (wire transports
+            deserialize into it; the in-memory lane ignores it).  After
+            [Eos] or [Failed], further pulls return the same event. *)
+    cancel : unit -> unit;
+        (** Consumer-initiated early termination (idempotent, non-blocking
+            best effort): stop the producer and release its resources. *)
+    join : unit -> unit;
+        (** Wait for the transport's resources (worker process, socket) to
+            be fully released.  Call after [cancel] or a terminal event. *)
+  }
+
+  val of_port : t -> producer:int -> consumer:int -> source
+  (** One lane of an in-memory port as a transport source. *)
+end

@@ -10,6 +10,10 @@ type site =
   | Operator
   | Sched_task
   | Sched_park
+  | Net_connect
+  | Net_read
+  | Net_write
+  | Net_frame
 
 let site_name = function
   | Device_read -> "device-read"
@@ -21,6 +25,10 @@ let site_name = function
   | Operator -> "operator"
   | Sched_task -> "sched-task"
   | Sched_park -> "sched-park"
+  | Net_connect -> "net-connect"
+  | Net_read -> "net-read"
+  | Net_write -> "net-write"
+  | Net_frame -> "net-frame"
 
 type action = Fail | Delay of float
 type trigger = At_hit of int | With_prob of float
@@ -70,7 +78,7 @@ let decide ~seed ~rule_index ~hit p =
 let random_plan ~seed =
   let rng = Rng.create seed in
   let site () =
-    match Rng.int rng 10 with
+    match Rng.int rng 14 with
     | 0 -> Device_read
     | 1 -> Device_write
     | 2 -> Bufpool_fix
@@ -79,6 +87,10 @@ let random_plan ~seed =
     | 5 | 6 -> Producer (Rng.int rng 3)
     | 7 -> Sched_task
     | 8 -> Sched_park
+    | 9 -> Net_connect
+    | 10 -> Net_read
+    | 11 -> Net_write
+    | 12 -> Net_frame
     | _ -> Operator
   in
   let rule () =

@@ -24,6 +24,10 @@ type site =
   | Sched_task  (** at the start of a scheduled producer task *)
   | Sched_park
       (** before a blocked port wait yields its pool worker (or parks) *)
+  | Net_connect  (** before a transport connection is established *)
+  | Net_read  (** before a frame read transfers from the socket *)
+  | Net_write  (** before a frame write transfers to the socket *)
+  | Net_frame  (** after a frame header is read (truncates the payload) *)
 
 val site_name : site -> string
 

@@ -31,9 +31,24 @@ let hard_roots =
       "Domain.join";
     ]
 
+(* Socket and file-descriptor calls joined the set with the network
+   subsystem: a fiber that blocks in [Unix.read] on a socket stalls its
+   pool worker exactly as a sleep does.  Dedicated transport domains
+   (net feeders, serve handler threads) are [Domain_ctx] and exempt;
+   sites that block deliberately carry [(* conclint: allow CL003 *)]. *)
 let blocking_roots =
   SS.of_list
-    [ "Unix.sleep"; "Unix.sleepf"; "Unix.select"; "Thread.delay"; "Domain.join" ]
+    [
+      "Unix.sleep";
+      "Unix.sleepf";
+      "Unix.select";
+      "Thread.delay";
+      "Domain.join";
+      "Unix.read";
+      "Unix.write";
+      "Unix.connect";
+      "Unix.accept";
+    ]
 
 type spawn_ctx = Fiber | Domain_ctx
 

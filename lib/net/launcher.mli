@@ -1,0 +1,33 @@
+(** Worker-process launcher for remote exchange.
+
+    [launch] spawns a group of worker processes, listens on a private
+    (anonymous, unlinked after setup) Unix-domain socket for them to
+    connect back, assigns shards in accept order via [Hello] frames, and
+    wraps each connection as a {!Volcano.Port.Transport.source} —
+    the [connect] argument of [Exchange.remote_iterator].
+
+    [command ~socket] must render an argv that starts a worker which
+    connects to [socket] and speaks the {!Worker} protocol (typically the
+    current executable with a worker-mode argument, so parent and workers
+    share one binary and therefore one task vocabulary). *)
+
+type launched = {
+  sources : Volcano.Port.Transport.source array;
+  pids : int array;  (** worker process ids (spawn order, not shard order) *)
+}
+
+val launch :
+  ?faults:Volcano_fault.Injector.t ->
+  command:(socket:string -> string array) ->
+  workers:int ->
+  task:string ->
+  packet_size:int ->
+  unit ->
+  launched
+(** Spawns [workers] processes and blocks until all have connected (30s
+    accept timeout per worker).  On any setup failure — a worker that
+    never connects, an injected [Net_connect] fault — every spawned
+    process is killed and reaped, and the exception propagates (surfacing
+    as [Query_failed] at site ["net-connect"] from the exchange).
+    [faults] is threaded into every frame read/write of the returned
+    sources. *)

@@ -1,0 +1,51 @@
+(** The query-serving plane: a framed request/response protocol over a
+    Unix-domain socket, a thread-per-connection server, and a client.
+
+    The server is transport and policy only — [handle] owns query
+    execution (the CLI wires it to a [Session] so admission control,
+    deadlines, and cancellation are the runtime's).  Connections are
+    persistent: each [Request] frame (an opaque task string) is answered
+    by exactly one [Resp_ok] (rows) or [Resp_err] (site + message). *)
+
+type handler = string -> (Volcano_tuple.Tuple.t list, string * string) result
+
+module Server : sig
+  type t
+
+  val start :
+    ?obs:Volcano_obs.Obs.t -> socket:string -> handle:handler -> unit -> t
+  (** Bind [socket] (an owned path; any stale file is replaced), start
+      the acceptor thread, and return.  Each connection gets a handler
+      thread.  With [obs], per-request latency lands in the ["serve.latency_s"]
+      histogram and counts in ["serve.requests"] / ["serve.errors"]. *)
+
+  val stop : t -> unit
+  (** Stop accepting, tear down live connections, and join every thread.
+      Also triggered remotely by a [Shutdown] frame — [stop] then merely
+      joins.  Idempotent. *)
+
+  val wait : t -> unit
+  (** Block until the server is stopped — by a client's [Shutdown] frame
+      or a concurrent {!stop} — and finish the teardown.  The daemon's
+      main loop. *)
+
+  val requests : t -> int
+  val errors : t -> int
+end
+
+module Client : sig
+  type t
+
+  val connect : socket:string -> t
+
+  val query :
+    t -> string -> (Volcano_tuple.Tuple.t list, string * string) result
+  (** One request/response round trip.  [Error (site, message)] is the
+      server-side query failure, site verbatim from [Query_failed].
+      @raise End_of_file if the server went away. *)
+
+  val shutdown_server : t -> unit
+  (** Ask the server to stop serving (all connections included). *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,171 @@
+module Injector = Volcano_fault.Injector
+
+(* The framing layer shared by the remote-exchange data plane and the
+   serve control plane: every message is one length-prefixed frame,
+
+       u32 LE payload length | u8 kind | payload
+
+   so a reader always knows how many bytes the current message still
+   needs, and a connection dropped mid-frame is detected as a short read
+   rather than a silent truncation.  The payload of a [Data] frame is a
+   whole packet of records (see {!Codec}): the wire unit is the batch,
+   never the single record. *)
+
+type kind =
+  | Hello
+  | Data
+  | Eos
+  | Err
+  | Cancel
+  | Request
+  | Resp_ok
+  | Resp_err
+  | Shutdown
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Wire.Corrupt(%s)" msg)
+    | _ -> None)
+
+(* Any process that frames over sockets must see a torn peer as EPIPE
+   from the write, not die of SIGPIPE before the exception can be
+   raised.  Called by every endpoint (worker, launcher, server, client)
+   before its first write. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let kind_code = function
+  | Hello -> 1
+  | Data -> 2
+  | Eos -> 3
+  | Err -> 4
+  | Cancel -> 5
+  | Request -> 6
+  | Resp_ok -> 7
+  | Resp_err -> 8
+  | Shutdown -> 9
+
+let kind_of_code = function
+  | 1 -> Hello
+  | 2 -> Data
+  | 3 -> Eos
+  | 4 -> Err
+  | 5 -> Cancel
+  | 6 -> Request
+  | 7 -> Resp_ok
+  | 8 -> Resp_err
+  | 9 -> Shutdown
+  | code -> raise (Corrupt (Printf.sprintf "unknown frame kind %d" code))
+
+(* A frame larger than this is corruption, not data: the largest legal
+   payload is one packet of 255 maximal tuples, far below 16 MiB. *)
+let max_frame = 1 lsl 24
+
+let rec write_exact fd buf pos len =
+  if len > 0 then begin
+    (* conclint: allow CL003 -- socket writes run on dedicated transport
+       domains (workers, feeders, serve handler threads), never on a pool
+       worker. *)
+    let n = Unix.write fd buf pos len in
+    write_exact fd buf (pos + n) (len - n)
+  end
+
+let rec read_exact fd buf pos len =
+  if len > 0 then begin
+    (* conclint: allow CL003 -- socket reads run on dedicated transport
+       domains (workers, feeders, serve handler threads), never on a pool
+       worker. *)
+    let n = Unix.read fd buf pos len in
+    if n = 0 then raise End_of_file;
+    read_exact fd buf (pos + n) (len - n)
+  end
+
+let write_frame ?(faults = Injector.none) fd kind payload =
+  Injector.hit faults Volcano_fault.Net_write;
+  let len = Bytes.length payload in
+  if len > max_frame then raise (Corrupt "frame too large");
+  let header = Bytes.create 5 in
+  Bytes.set_int32_le header 0 (Int32.of_int len);
+  Bytes.set_uint8 header 4 (kind_code kind);
+  write_exact fd header 0 5;
+  write_exact fd payload 0 len
+
+let read_frame ?(faults = Injector.none) fd =
+  Injector.hit faults Volcano_fault.Net_read;
+  let header = Bytes.create 5 in
+  read_exact fd header 0 5;
+  let len = Int32.to_int (Bytes.get_int32_le header 0) in
+  if len < 0 || len > max_frame then
+    raise (Corrupt (Printf.sprintf "bad frame length %d" len));
+  let kind = kind_of_code (Bytes.get_uint8 header 4) in
+  (* The frame-truncation site fires between header and payload — the
+     reader has committed to a length it will never receive, exercising
+     the same teardown a connection dropped mid-frame takes. *)
+  Injector.hit faults Volcano_fault.Net_frame;
+  let payload = Bytes.create len in
+  read_exact fd payload 0 len;
+  (kind, payload)
+
+let frame_ready fd =
+  (* conclint: allow CL003 -- zero-timeout poll on a transport thread. *)
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [], _, _ -> false
+  | _ :: _, _, _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Payload constructors and parsers                                    *)
+
+let check_room what buf pos need =
+  if pos + need > Bytes.length buf then
+    raise (Corrupt (Printf.sprintf "%s: truncated payload" what))
+
+let get_str what buf pos =
+  check_room what buf !pos 2;
+  let len = Bytes.get_uint16_le buf !pos in
+  check_room what buf (!pos + 2) len;
+  let s = Bytes.sub_string buf (!pos + 2) len in
+  pos := !pos + 2 + len;
+  s
+
+let add_str b s =
+  if String.length s > 0xffff then raise (Corrupt "string field too long");
+  Buffer.add_uint16_le b (String.length s);
+  Buffer.add_string b s
+
+type hello = { task : string; shard : int; shards : int; packet_size : int }
+
+let hello ~task ~shard ~shards ~packet_size =
+  let b = Buffer.create (8 + String.length task) in
+  Buffer.add_uint16_le b shard;
+  Buffer.add_uint16_le b shards;
+  Buffer.add_uint16_le b packet_size;
+  add_str b task;
+  Buffer.to_bytes b
+
+let parse_hello buf =
+  check_room "hello" buf 0 6;
+  let shard = Bytes.get_uint16_le buf 0 in
+  let shards = Bytes.get_uint16_le buf 2 in
+  let packet_size = Bytes.get_uint16_le buf 4 in
+  let pos = ref 6 in
+  let task = get_str "hello" buf pos in
+  { task; shard; shards; packet_size }
+
+let err ~site ~message =
+  let b = Buffer.create (4 + String.length site + String.length message) in
+  add_str b site;
+  (* Rendered messages can exceed a u16; truncate rather than refuse to
+     report the failure at all. *)
+  add_str b
+    (if String.length message > 0xffff then String.sub message 0 0xffff
+     else message);
+  Buffer.to_bytes b
+
+let parse_err buf =
+  let pos = ref 0 in
+  let site = get_str "err" buf pos in
+  let message = get_str "err" buf pos in
+  (site, message)

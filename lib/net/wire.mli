@@ -1,0 +1,61 @@
+(** Length-prefixed framing for the network lanes.
+
+    Every message on a socket — data-plane packets between worker and
+    consumer, control-plane requests between client and server — is one
+    frame: a 4-byte little-endian payload length, a 1-byte kind, then the
+    payload.  A dropped connection mid-frame surfaces as [End_of_file]
+    from the short read; a malformed header raises {!Corrupt}. *)
+
+type kind =
+  | Hello  (** parent → worker: task assignment (see {!hello}) *)
+  | Data  (** worker → parent: one packet of records ({!Codec}) *)
+  | Eos  (** worker → parent: clean end of the worker's stream *)
+  | Err  (** worker → parent: the worker's failure, site + message *)
+  | Cancel  (** parent → worker: stop early (best effort) *)
+  | Request  (** client → server: a task string to run *)
+  | Resp_ok  (** server → client: result rows *)
+  | Resp_err  (** server → client: query failure, site + message *)
+  | Shutdown  (** client → server: stop serving *)
+
+exception Corrupt of string
+(** A frame that cannot be parsed (bad kind, absurd length, truncated
+    payload structure) — distinct from [End_of_file], which is a
+    connection dropped between or inside frames. *)
+
+val max_frame : int
+
+val ignore_sigpipe : unit -> unit
+(** Set this process to see a torn peer as [EPIPE] from the write rather
+    than dying of SIGPIPE.  Idempotent; every endpoint (worker, launcher,
+    server, client) calls it before its first write. *)
+
+val write_frame :
+  ?faults:Volcano_fault.Injector.t -> Unix.file_descr -> kind -> bytes -> unit
+(** Write one frame; blocks until fully written.  [faults] is consulted
+    at the [Net_write] site. *)
+
+val read_frame :
+  ?faults:Volcano_fault.Injector.t -> Unix.file_descr -> kind * bytes
+(** Read one frame; blocks until fully read.  [faults] is consulted at
+    [Net_read] (before the header) and [Net_frame] (between header and
+    payload — the truncated-frame site).
+    @raise End_of_file on a dropped connection
+    @raise Corrupt on an unparseable header *)
+
+val frame_ready : Unix.file_descr -> bool
+(** Non-blocking: is at least one byte readable right now?  Workers poll
+    this between packet writes to notice a [Cancel] frame. *)
+
+(** {2 Payloads} *)
+
+type hello = { task : string; shard : int; shards : int; packet_size : int }
+
+val hello : task:string -> shard:int -> shards:int -> packet_size:int -> bytes
+val parse_hello : bytes -> hello
+
+val err : site:string -> message:string -> bytes
+(** [site] is a failure-site name exactly as {!Volcano.Exchange.Query_failed}
+    carries it; it crosses the wire verbatim. *)
+
+val parse_err : bytes -> string * string
+(** [(site, message)]. *)

@@ -1,0 +1,93 @@
+module Packet = Volcano.Packet
+module Exchange = Volcano.Exchange
+
+(* The worker half of remote exchange: connect back to the parent,
+   receive a shard assignment, resolve it to a record stream, and pump
+   serialized packets until end of stream, cancellation, or failure.
+
+   The worker is intentionally dumb about plans: [resolve] maps the
+   opaque task string (plus this worker's shard) to a pull function, so
+   the vocabulary of tasks lives with whoever owns both sides of the
+   socket (the CLI, the test harness), and no closures ever cross the
+   process boundary. *)
+
+type pull = unit -> Volcano_tuple.Tuple.t option
+
+let failure_site = function
+  | Exchange.Query_failed { site; origin } ->
+      (site, Printexc.to_string origin)
+  | Volcano_fault.Injected { site; _ } as exn ->
+      (Volcano_fault.site_name site, Printexc.to_string exn)
+  | exn -> ("net-worker", Printexc.to_string exn)
+
+let cancelled fd =
+  Wire.frame_ready fd
+  &&
+  match Wire.read_frame fd with
+  | Wire.Cancel, _ -> true
+  | _ -> false
+  | exception _ -> true
+
+let run ~socket ~resolve =
+  (* A parent that cancelled us closes its end; a write must then raise
+     EPIPE (caught below as a clean exit), not kill the process with
+     SIGPIPE before the handler can reason about it. *)
+  Wire.ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* conclint: allow CL003 -- the worker process's main thread is a
+     dedicated transport context; there is no pool here at all. *)
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let finish () = try Unix.close fd with _ -> () in
+  match Wire.read_frame fd with
+  | exception _ -> finish ()
+  | Wire.Hello, payload -> (
+      let { Wire.task; shard; shards; packet_size } =
+        Wire.parse_hello payload
+      in
+      let report_failure exn =
+        let site, message = failure_site exn in
+        try Wire.write_frame fd Wire.Err (Wire.err ~site ~message)
+        with _ -> ()
+      in
+      match resolve ~task ~shard ~shards with
+      | exception exn ->
+          report_failure exn;
+          finish ()
+      | next -> (
+          let shell = Packet.create ~capacity:packet_size ~producer:shard in
+          let flush () =
+            if not (Packet.is_empty shell) then begin
+              Wire.write_frame fd Wire.Data (Codec.encode shell);
+              Packet.reset shell
+            end
+          in
+          match
+            let rec pump () =
+              match next () with
+              | None -> flush ()
+              | Some tuple ->
+                  Packet.add shell tuple;
+                  if Packet.is_full shell then begin
+                    (* Between packets is the cancellation point: a
+                       Cancel frame (or a torn-down connection) stops the
+                       stream without waiting for the shard to drain. *)
+                    if cancelled fd then raise Exit;
+                    flush ()
+                  end;
+                  pump ()
+            in
+            pump ()
+          with
+          | () -> (
+              match Wire.write_frame fd Wire.Eos Bytes.empty with
+              | () -> finish ()
+              | exception _ -> finish ())
+          | exception Exit -> finish ()
+          | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+              (* The parent went away mid-stream: that is a cancellation
+                 from our perspective, not a failure to report. *)
+              finish ()
+          | exception exn ->
+              report_failure exn;
+              finish ()))
+  | _ -> finish ()

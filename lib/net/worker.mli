@@ -1,0 +1,23 @@
+(** The worker-process side of remote exchange.
+
+    A worker is spawned by {!Launcher.launch}, connects back over the
+    Unix-domain socket it was given, receives a [Hello] frame naming its
+    task and shard, resolves the task to a record stream, and streams
+    [Data] frames (one packet of {!Volcano_tuple.Serial}-encoded records
+    each) followed by [Eos] — or an [Err] frame carrying the failure's
+    site and message, which the consumer re-raises as the selfsame
+    [Query_failed].  A [Cancel] frame (checked between packets) or a torn
+    connection ends the worker cleanly. *)
+
+type pull = unit -> Volcano_tuple.Tuple.t option
+
+val run :
+  socket:string ->
+  resolve:(task:string -> shard:int -> shards:int -> pull) ->
+  unit
+(** Worker-process main.  [resolve] maps the opaque task string to this
+    shard's record stream — typically: rebuild the plan the task names,
+    slice its leaves to [shard] of [shards] ([Remote.slice]), compile,
+    and drain.  An exception from [resolve] or from the stream is
+    reported as an [Err] frame; this function never raises and returns
+    once the socket is closed. *)

@@ -18,12 +18,18 @@ let assign_ids plan =
   in
   let rec walk plan =
     (match plan with
-    | Plan.Exchange _ | Plan.Exchange_merge _ | Plan.Interchange _ -> note plan
+    | Plan.Exchange _ | Plan.Exchange_merge _ | Plan.Interchange _
+    | Plan.Remote _ ->
+        note plan
     | _ -> ());
     match plan with
     | Plan.Scan_table _ | Plan.Scan_table_slice _ | Plan.Scan_index _
     | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _ ->
         ()
+    (* The Remote subtree is never compiled locally: the workers rebuild
+       it from the task string, so its nested exchanges take their ids in
+       the worker process. *)
+    | Plan.Remote _ -> ()
     | Plan.Filter { input; _ }
     | Plan.Project_cols { input; _ }
     | Plan.Project_exprs { input; _ }
@@ -626,6 +632,27 @@ and compile_node env ids obs group scope plan =
         ?obs:(exchange_obs obs plan)
         cfg ~group
         ~input:(compile_in env ids obs group (Some child) input)
+  | Plan.Remote { cfg; workers; task; input = _ } ->
+      (* The subtree never compiles here: worker processes rebuild it
+         from [task], shard it, and stream packets back through the
+         launcher's transport sources.  The launcher itself is injected
+         through the environment so this library stays independent of the
+         networking subsystem. *)
+      let launch =
+        match Env.remote_launcher env with
+        | Some launch -> launch
+        | None ->
+            invalid_arg
+              "Compile: Plan.Remote needs Env.set_remote_launcher (wire \
+               Volcano_net.Launcher in)"
+      in
+      let child = Exchange.Scope.create () in
+      Exchange.remote_iterator ~id:(ids plan) ~faults ?parent_scope:scope
+        ~scope:child
+        ?obs:(exchange_obs obs plan)
+        cfg ~group
+        ~connect:(fun () ->
+          launch ~faults ~workers ~task ~packet_size:cfg.packet_size)
 
 exception Rejected of Volcano_analysis.Diag.t list
 

@@ -5,6 +5,13 @@ module Schema = Volcano_tuple.Schema
 module Injector = Volcano_fault.Injector
 module Sched = Volcano_sched.Sched
 
+type remote_launcher =
+  faults:Injector.t ->
+  workers:int ->
+  task:string ->
+  packet_size:int ->
+  Volcano.Port.Transport.source array
+
 type t = {
   buffer : Bufpool.t;
   workspace : Device.t;
@@ -14,6 +21,10 @@ type t = {
   mutable run_capacity : int;
   mutable batch_size : int; (* records per fused batch; 0 disables *)
   mutable faults : Injector.t;
+  mutable remote : remote_launcher option;
+      (* Injected by whoever wires Volcano_net in (the CLI, the test
+         harness): keeps this library independent of the networking
+         subsystem while letting compiled Remote nodes launch workers. *)
   sched : Sched.t Lazy.t;
       (* Lazy: an env created just for catalog work should not start the
          process-global worker pool. *)
@@ -51,6 +62,7 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
       | Some n -> check_batch_size ~what:"Env.create" n
       | None -> default_batch_size ());
     faults = Injector.none;
+    remote = None;
     sched =
       (match sched with
       | Some s -> Lazy.from_val s
@@ -156,3 +168,5 @@ let set_faults t faults =
   Device.set_faults t.workspace faults
 
 let clear_faults t = set_faults t Injector.none
+let set_remote_launcher t launcher = t.remote <- Some launcher
+let remote_launcher t = t.remote

@@ -91,3 +91,23 @@ val set_faults : t -> Volcano_fault.Injector.t -> unit
     workspace device.  Queries compiled afterwards run under it. *)
 
 val clear_faults : t -> unit
+
+type remote_launcher =
+  faults:Volcano_fault.Injector.t ->
+  workers:int ->
+  task:string ->
+  packet_size:int ->
+  Volcano.Port.Transport.source array
+(** Launch a remote producer group for a [Plan.Remote] node: spawn
+    [workers] processes that each resolve [task] to their shard and
+    stream packets back, returned as one transport source per worker.
+    [Volcano_net.Launcher.launch] is the implementation; this library
+    only knows the shape, so it stays independent of the networking
+    subsystem. *)
+
+val set_remote_launcher : t -> remote_launcher -> unit
+(** Install the launcher (the CLI and the test harness do this at
+    startup, closing over their worker-mode command line).  Compiling a
+    [Plan.Remote] node without one raises [Invalid_argument] at open. *)
+
+val remote_launcher : t -> remote_launcher option

@@ -123,3 +123,5 @@ let rec ir env plan =
       Ir.Exchange_merge { cfg = cfg c; key = key k; input = ir env input }
   | Plan.Interchange { cfg = c; input } ->
       Ir.Interchange { cfg = cfg c; input = ir env input }
+  | Plan.Remote { cfg = c; workers; task; input } ->
+      Ir.Remote { cfg = cfg c; workers; task; input = ir env input }

@@ -63,6 +63,12 @@ type t =
       input : t;
     }
   | Interchange of { cfg : Exchange.config; input : t }
+  | Remote of {
+      cfg : Exchange.config;
+      workers : int;
+      task : string;
+      input : t;
+    }
 
 let rec arity env plan =
   match plan with
@@ -109,6 +115,7 @@ let rec arity env plan =
   | Exchange { input; _ } | Exchange_merge { input; _ } | Interchange { input; _ }
     ->
       arity env input
+  | Remote { input; _ } -> arity env input
 
 let algo_to_string = function Sort_based -> "sort" | Hash_based -> "hash"
 
@@ -187,6 +194,9 @@ let label plan =
         (cfg_to_string cfg)
   | Interchange { cfg; _ } ->
       Printf.sprintf "interchange (%s)" (cfg_to_string cfg)
+  | Remote { cfg; workers; task; _ } ->
+      Printf.sprintf "remote-exchange workers=%d task=%S (%s)" workers task
+        (cfg_to_string cfg)
 
 let children = function
   | Scan_table _ | Scan_table_slice _ | Scan_index _ | Scan_list _ | Generate _
@@ -201,7 +211,8 @@ let children = function
   | Limit { input; _ }
   | Exchange { input; _ }
   | Exchange_merge { input; _ }
-  | Interchange { input; _ } ->
+  | Interchange { input; _ }
+  | Remote { input; _ } ->
       [ input ]
   | Match { left; right; _ } | Cross { left; right } | Theta_join { left; right; _ }
     ->

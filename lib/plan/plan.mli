@@ -79,6 +79,21 @@ type t =
           sorted streams) *)
   | Interchange of { cfg : Volcano.Exchange.config; input : t }
       (** the no-fork variant inside an already-parallel group *)
+  | Remote of {
+      cfg : Volcano.Exchange.config;
+      workers : int;
+      task : string;
+      input : t;
+    }
+      (** network-distributed exchange: the producer group runs in
+          [workers] worker {e processes} which rebuild [input]'s subtree
+          from the opaque [task] string (see {!Remote.slice} for the
+          shard convention), stream serialized packets back over
+          sockets, and merge at the consumer.  [input] documents the
+          shipped subtree — the consumer never compiles it; the task
+          string must rebuild it in the worker.  [cfg.degree] must equal
+          [workers] (planlint VL701) and [cfg.partition] is not
+          re-applied on the wire edge. *)
 
 val arity : Env.t -> t -> int
 (** Output tuple width. *)

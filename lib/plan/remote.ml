@@ -1,0 +1,103 @@
+(* Shard rewriting for worker processes.
+
+   A remote exchange's worker must produce exactly what local producer
+   rank [shard] of a [shards]-wide group would produce, but it compiles
+   the subtree in a solo group (rank 0, size 1): the group-rank-governed
+   leaves must therefore be rewritten to their shard explicitly.  The
+   rewrite mirrors Compile's group semantics:
+
+   - [Generate_slice] is the rank-sliced leaf: member r generates indices
+     r, r+N, ... — rewritten to a plain [Generate] enumerating exactly
+     those indices;
+   - leaves that local producers duplicate ([Generate], [Scan_table],
+     [Scan_list], [Scan_index]) are duplicated by workers too, unchanged;
+   - recursion stops at nested [Exchange] / [Exchange_merge] / [Remote]
+     boundaries — their own producer groups govern the leaves below, in
+     the worker exactly as locally — and continues through [Interchange],
+     which compiles in the same group. *)
+
+let rec slice ~shard ~shards plan =
+  if shards < 1 || shard < 0 || shard >= shards then
+    invalid_arg "Remote.slice: shard out of range";
+  let continue_ input = slice ~shard ~shards input in
+  match plan with
+  | Plan.Generate_slice { arity; count; gen } ->
+      let local = max 0 ((count - shard + shards - 1) / shards) in
+      Plan.Generate
+        { arity; count = local; gen = (fun i -> gen (shard + (i * shards))) }
+  | Plan.Scan_table_slice _ ->
+      (* Partition files are keyed by group rank ("name#r"), which a solo
+         worker group cannot resolve; sharding stored tables across
+         worker processes is the storage side of distribution (ROADMAP
+         item 3) and not expressible yet. *)
+      invalid_arg
+        "Remote.slice: Scan_table_slice needs multi-node storage sharding"
+  | Plan.Scan_table _ | Plan.Scan_index _ | Plan.Scan_list _ | Plan.Generate _
+    ->
+      plan
+  | Plan.Exchange _ | Plan.Exchange_merge _ | Plan.Remote _ -> plan
+  | Plan.Interchange { cfg; input } ->
+      Plan.Interchange { cfg; input = continue_ input }
+  | Plan.Filter { pred; mode; input } ->
+      Plan.Filter { pred; mode; input = continue_ input }
+  | Plan.Project_cols { cols; input } ->
+      Plan.Project_cols { cols; input = continue_ input }
+  | Plan.Project_exprs { exprs; input } ->
+      Plan.Project_exprs { exprs; input = continue_ input }
+  | Plan.Sort { key; input } -> Plan.Sort { key; input = continue_ input }
+  | Plan.Match { algo; kind; left_key; right_key; left; right } ->
+      Plan.Match
+        {
+          algo;
+          kind;
+          left_key;
+          right_key;
+          left = continue_ left;
+          right = continue_ right;
+        }
+  | Plan.Cross { left; right } ->
+      Plan.Cross { left = continue_ left; right = continue_ right }
+  | Plan.Theta_join { pred; left; right } ->
+      Plan.Theta_join
+        { pred; left = continue_ left; right = continue_ right }
+  | Plan.Aggregate { algo; group_by; aggs; input } ->
+      Plan.Aggregate { algo; group_by; aggs; input = continue_ input }
+  | Plan.Distinct { algo; on; input } ->
+      Plan.Distinct { algo; on; input = continue_ input }
+  | Plan.Division { algo; quotient; divisor_attrs; divisor_key; dividend; divisor }
+    ->
+      Plan.Division
+        {
+          algo;
+          quotient;
+          divisor_attrs;
+          divisor_key;
+          dividend = continue_ dividend;
+          divisor = continue_ divisor;
+        }
+  | Plan.Limit { count; input } ->
+      Plan.Limit { count; input = continue_ input }
+  | Plan.Choose { decide; alternatives } ->
+      Plan.Choose { decide; alternatives = List.map continue_ alternatives }
+
+(* Drain a compiled shard: the worker-side pull for [Worker.run]'s
+   resolve — compile [input] sliced to this shard in a fresh solo group
+   and hand back its record stream. *)
+let shard_pull env ~shard ~shards plan =
+  let sliced = slice ~shard ~shards plan in
+  let iter = Compile.compile env sliced in
+  Volcano.Iterator.open_ iter;
+  let closed = ref false in
+  fun () ->
+    if !closed then None
+    else
+      match Volcano.Iterator.next iter with
+      | Some _ as tuple -> tuple
+      | None ->
+          closed := true;
+          Volcano.Iterator.close iter;
+          None
+      | exception exn ->
+          closed := true;
+          (try Volcano.Iterator.close iter with _ -> ());
+          raise exn

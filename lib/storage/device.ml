@@ -70,6 +70,9 @@ let writes t = Atomic.get t.writes
 let read_exact fd buf =
   let rec step pos =
     if pos < Bytes.length buf then begin
+      (* conclint: allow CL003 -- page-sized read from a regular file:
+         disk I/O is the device's whole job, and the prefetch daemon
+         fiber exists precisely to absorb this stall off the scan path. *)
       let n = Unix.read fd buf pos (Bytes.length buf - pos) in
       if n = 0 then
         (* Short read past EOF: the page was never written. *)
@@ -82,6 +85,8 @@ let read_exact fd buf =
 let write_exact fd buf =
   let rec step pos =
     if pos < Bytes.length buf then
+      (* conclint: allow CL003 -- page-sized write to a regular file;
+         the write-back daemon fiber absorbs the stall by design. *)
       let n = Unix.write fd buf pos (Bytes.length buf - pos) in
       step (pos + n)
   in

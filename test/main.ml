@@ -1,5 +1,10 @@
+(* The net suite re-executes this binary as its worker processes;
+   dispatch before Alcotest ever parses argv. *)
 let () =
-  Alcotest.run "volcano"
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "net-worker" then
+    Test_net.worker_main ~socket:Sys.argv.(2)
+  else
+    Alcotest.run "volcano"
     [
       ("util", Test_util.suite);
       ("spsc", Test_spsc.suite);
@@ -25,4 +30,5 @@ let () =
       ("sim", Test_sim.suite);
       ("wisconsin", Test_wisconsin.suite);
       ("edges", Test_extra_edges.suite);
+      ("net", Test_net.suite);
     ]

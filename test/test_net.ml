@@ -1,0 +1,516 @@
+(* The network plane: tuple/packet codec properties, a golden wire
+   fixture, the remote exchange against real worker processes (the
+   differential behind the encapsulation claim crossing a socket), its
+   failure semantics (killed worker, injected faults at every net site),
+   and the serving plane.
+
+   The worker side of these tests is this very test binary re-executed
+   in net-worker mode ([worker_main], dispatched from [main.ml] before
+   Alcotest sees argv), so parent and workers share one task
+   vocabulary — exactly the arrangement the CLI uses. *)
+
+module Plan = Volcano_plan.Plan
+module Env = Volcano_plan.Env
+module Compile = Volcano_plan.Compile
+module Remote = Volcano_plan.Remote
+module Exchange = Volcano.Exchange
+module Packet = Volcano.Packet
+module Tuple = Volcano_tuple.Tuple
+module Value = Volcano_tuple.Value
+module Rng = Volcano_util.Rng
+module Fault = Volcano_fault
+module Injector = Volcano_fault.Injector
+module Wire = Volcano_net.Wire
+module Codec = Volcano_net.Codec
+module Launcher = Volcano_net.Launcher
+module Serve = Volcano_net.Serve
+module Sched = Volcano_sched.Sched
+module Bufpool = Volcano_storage.Bufpool
+
+(* --- the test task vocabulary ---------------------------------------- *)
+
+let gen_plan n =
+  Plan.Generate_slice
+    { arity = 2; count = n; gen = (fun i -> Tuple.of_ints [ i; i * i mod 97 ]) }
+
+(* A stream that is deliberately slow to produce, so a query over it is
+   reliably mid-stream when a test kills a worker or walks away. *)
+let slow_plan n ms =
+  Plan.Generate_slice
+    {
+      arity = 2;
+      count = n;
+      gen =
+        (fun i ->
+          if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.);
+          Tuple.of_ints [ i; i * 2 ]);
+    }
+
+let parse_task task =
+  match String.split_on_char ':' task with
+  | [ "corpus"; seed; depth ] ->
+      Test_random_plans.random_plan
+        (Rng.create (Int64.of_string seed))
+        (int_of_string depth)
+  | [ "gen"; n ] -> gen_plan (int_of_string n)
+  | [ "slow"; n; ms ] -> slow_plan (int_of_string n) (int_of_string ms)
+  | _ -> failwith ("unknown test task " ^ task)
+
+(* Worker-process main: [main.ml] dispatches here when argv says
+   net-worker, before Alcotest parses anything. *)
+let worker_main ~socket =
+  Volcano_net.Worker.run ~socket ~resolve:(fun ~task ~shard ~shards ->
+      match String.split_on_char ':' task with
+      | [ "fail"; msg ] -> failwith msg
+      | _ ->
+          let env = Env.create ~frames:128 ~page_size:512 () in
+          Remote.shard_pull env ~shard ~shards (parse_task task))
+
+let worker_command ~socket = [| Sys.executable_name; "net-worker"; socket |]
+
+let register ?pids env =
+  Env.set_remote_launcher env (fun ~faults ~workers ~task ~packet_size ->
+      let launched =
+        Launcher.launch ~faults ~command:worker_command ~workers ~task
+          ~packet_size ()
+      in
+      Option.iter (fun r -> r := Array.to_list launched.Launcher.pids) pids;
+      launched.Launcher.sources)
+
+let remote ?(workers = 2) ?(packet_size = 7) ?(flow_slack = Some 4) ~task input
+    =
+  Plan.Remote
+    {
+      cfg = Exchange.config ~degree:workers ~packet_size ~flow_slack ();
+      workers;
+      task;
+      input;
+    }
+
+let sorted run = List.sort Tuple.compare run
+
+(* Same harness as the chaos suite: a hang is a failure, not a stuck CI. *)
+type outcome = Rows of Tuple.t list | Raised of exn | Timeout
+
+let run_with_timeout ?(seconds = 30.0) f =
+  let slot = Atomic.make None in
+  let worker =
+    Domain.spawn (fun () ->
+        let r = try Rows (f ()) with exn -> Raised exn in
+        Atomic.set slot (Some r))
+  in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec wait () =
+    match Atomic.get slot with
+    | Some r ->
+        Domain.join worker;
+        r
+    | None ->
+        if Unix.gettimeofday () > deadline then Timeout
+        else begin
+          Unix.sleepf 0.001;
+          wait ()
+        end
+  in
+  wait ()
+
+let check_quiescent ~what env ~unjoined0 ~live0 =
+  Bufpool.assert_quiescent ~what (Env.buffer env);
+  Alcotest.(check int)
+    (what ^ ": no unjoined domains")
+    unjoined0
+    (Exchange.unjoined_domains ());
+  Alcotest.(check int)
+    (what ^ ": no live domains")
+    live0 (Exchange.live_domains ());
+  Sched.assert_quiescent ~what (Sched.default ())
+
+(* --- codec properties ------------------------------------------------- *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun i -> Value.Int i) int;
+        (* NaN is excluded only because the test compares structurally;
+           the codec itself round-trips any bit pattern (int64 bits). *)
+        map
+          (fun f -> Value.Float (if Float.is_nan f then 0.0 else f))
+          float;
+        map (fun s -> Value.Str s) (string_size (int_bound 40));
+      ])
+
+let tuple_arb =
+  QCheck.make
+    ~print:(fun t -> Tuple.to_string t)
+    QCheck.Gen.(map Tuple.make (list_size (int_bound 8) value_gen))
+
+let prop_rows_roundtrip =
+  QCheck.Test.make ~name:"rows codec round-trips all column types" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_bound 12) tuple_arb)
+    (fun rows -> Codec.decode_rows (Codec.encode_rows rows) = rows)
+
+let prop_packet_roundtrip =
+  QCheck.Test.make ~name:"packet codec round-trips through a shell"
+    ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_bound 12) tuple_arb)
+    (fun rows ->
+      let capacity = max 1 (List.length rows) in
+      let src = Packet.create ~capacity ~producer:0 in
+      List.iter (Packet.add src) rows;
+      let dst = Packet.create ~capacity ~producer:1 in
+      Codec.decode_into (Codec.encode src) dst;
+      List.init (Packet.length dst) (Packet.get dst) = rows)
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"every strict prefix of an encoding is rejected"
+    ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_bound 4) tuple_arb)
+    (fun rows ->
+      let buf = Codec.encode_rows rows in
+      let rejected len =
+        match Codec.decode_rows (Bytes.sub buf 0 len) with
+        | _ -> false
+        | exception Wire.Corrupt _ -> true
+      in
+      List.for_all rejected (List.init (Bytes.length buf) Fun.id))
+
+let test_wire_hello_err_roundtrip () =
+  let h = Wire.parse_hello (Wire.hello ~task:"corpus:7:2" ~shard:3 ~shards:5 ~packet_size:83) in
+  Alcotest.(check string) "task" "corpus:7:2" h.Wire.task;
+  Alcotest.(check int) "shard" 3 h.Wire.shard;
+  Alcotest.(check int) "shards" 5 h.Wire.shards;
+  Alcotest.(check int) "packet size" 83 h.Wire.packet_size;
+  let site, message = Wire.parse_err (Wire.err ~site:"net-worker-1" ~message:"boom") in
+  Alcotest.(check string) "site" "net-worker-1" site;
+  Alcotest.(check string) "message" "boom" message
+
+(* The golden fixture: the exact bytes of a known row-list encoding,
+   asserted in both directions.  A codec change that breaks
+   cross-process (or cross-version) compatibility must show up here as
+   a changed constant, not as a silent re-encode. *)
+let golden_rows =
+  [
+    Tuple.make
+      [ Value.Int 42; Value.Null; Value.Float 1.5; Value.Str "volcano" ];
+    Tuple.make [ Value.Int (-1) ];
+  ]
+
+let golden_hex =
+  "02000000" (* u32 LE row count *)
+  ^ "0400" (* u16 LE field count *)
+  ^ "012a00000000000000" (* Int 42 *)
+  ^ "00" (* Null *)
+  ^ "02000000000000f83f" (* Float 1.5 (IEEE bits LE) *)
+  ^ "030700766f6c63616e6f" (* Str "volcano" *)
+  ^ "0100" (* u16 LE field count *)
+  ^ "01ffffffffffffffff" (* Int -1 *)
+
+let hex_of bytes =
+  String.concat ""
+    (List.init (Bytes.length bytes) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get bytes i))))
+
+let bytes_of_hex s =
+  Bytes.init
+    (String.length s / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let test_golden_frame () =
+  Alcotest.(check string)
+    "encode matches the golden bytes" golden_hex
+    (hex_of (Codec.encode_rows golden_rows));
+  Alcotest.(check bool)
+    "golden bytes decode to the rows" true
+    (Codec.decode_rows (bytes_of_hex golden_hex) = golden_rows)
+
+(* --- remote exchange against real worker processes -------------------- *)
+
+(* The encapsulation claim across the wire: [Plan.Remote] over N worker
+   processes must be bit-identical (as a multiset) to the same subtree
+   under a local exchange of the same degree — workers rebuild the
+   corpus plan from its seed and shard it exactly as local producer
+   ranks would. *)
+let test_remote_local_differential () =
+  for i = 0 to 7 do
+    let seed = Int64.of_int ((104729 * i) + 3) in
+    let depth = 1 + (i mod 2) in
+    let workers = 2 + (i mod 2) in
+    let serial = Test_random_plans.random_plan (Rng.create seed) depth in
+    let env = Env.create ~frames:128 ~page_size:512 () in
+    register env;
+    let unjoined0 = Exchange.unjoined_domains () in
+    let live0 = Exchange.live_domains () in
+    let local =
+      sorted
+        (Compile.run env
+           (Plan.Exchange
+              {
+                cfg = Exchange.config ~degree:workers ~packet_size:7 ();
+                input = serial;
+              }))
+    in
+    let task = Printf.sprintf "corpus:%Ld:%d" seed depth in
+    let outcome =
+      run_with_timeout (fun () ->
+          Compile.run env (remote ~workers ~task serial))
+    in
+    (match outcome with
+    | Rows rows ->
+        if sorted rows <> local then
+          Alcotest.failf "remote diverges from local (seed=%Ld depth=%d)" seed
+            depth
+    | Raised exn ->
+        Alcotest.failf "remote run failed (seed=%Ld): %s" seed
+          (Printexc.to_string exn)
+    | Timeout -> Alcotest.failf "remote run hung (seed=%Ld)" seed);
+    check_quiescent ~what:"remote differential" env ~unjoined0 ~live0
+  done
+
+(* A worker process killed mid-stream must surface as exactly one
+   [Query_failed] at the consumer — no hang, no partial result. *)
+let test_killed_worker () =
+  let env = Env.create ~frames:128 ~page_size:512 () in
+  let pids = ref [] in
+  register ~pids env;
+  let unjoined0 = Exchange.unjoined_domains () in
+  let live0 = Exchange.live_domains () in
+  let killer =
+    Thread.create
+      (fun () ->
+        let rec await n =
+          if !pids = [] && n > 0 then begin
+            Unix.sleepf 0.01;
+            await (n - 1)
+          end
+        in
+        await 1000;
+        Unix.sleepf 0.05;
+        match !pids with
+        | pid :: _ -> ( try Unix.kill pid Sys.sigkill with _ -> ())
+        | [] -> ())
+      ()
+  in
+  (match
+     run_with_timeout (fun () ->
+         Compile.run env (remote ~task:"slow:100000:1" (slow_plan 100000 1)))
+   with
+  | Raised (Exchange.Query_failed { site; _ }) ->
+      if not (String.length site >= 10 && String.sub site 0 10 = "net-worker")
+      then Alcotest.failf "killed worker surfaced at site %S" site
+  | Raised exn ->
+      Alcotest.failf "killed worker surfaced as %s, not Query_failed"
+        (Printexc.to_string exn)
+  | Rows _ -> Alcotest.fail "query succeeded despite a killed worker"
+  | Timeout -> Alcotest.fail "killed worker hung the query");
+  Thread.join killer;
+  check_quiescent ~what:"killed worker" env ~unjoined0 ~live0
+
+(* A worker whose task resolution fails reports an [Err] frame; the
+   consumer re-raises it as the selfsame single [Query_failed]. *)
+let test_worker_task_failure () =
+  let env = Env.create ~frames:128 ~page_size:512 () in
+  register env;
+  let unjoined0 = Exchange.unjoined_domains () in
+  let live0 = Exchange.live_domains () in
+  (match
+     run_with_timeout (fun () ->
+         Compile.run env (remote ~task:"fail:planted" (gen_plan 10)))
+   with
+  | Raised (Exchange.Query_failed _) -> ()
+  | Raised exn ->
+      Alcotest.failf "worker failure surfaced as %s" (Printexc.to_string exn)
+  | Rows _ -> Alcotest.fail "query succeeded despite a failing worker"
+  | Timeout -> Alcotest.fail "worker failure hung the query");
+  check_quiescent ~what:"worker task failure" env ~unjoined0 ~live0
+
+(* Early close cancels across the socket: walking away from a remote
+   stream that would take minutes to drain must tear down promptly —
+   cancel frames / socket shutdown reach the workers, feeders join,
+   processes are reaped. *)
+let test_remote_early_close () =
+  let env = Env.create ~frames:128 ~page_size:512 () in
+  register env;
+  let unjoined0 = Exchange.unjoined_domains () in
+  let live0 = Exchange.live_domains () in
+  (match
+     run_with_timeout (fun () ->
+         Compile.run env
+           (Plan.Limit
+              {
+                count = 5;
+                input = remote ~task:"slow:100000:1" (slow_plan 100000 1);
+              }))
+   with
+  | Rows rows -> Alcotest.(check int) "limit rows" 5 (List.length rows)
+  | Raised exn ->
+      Alcotest.failf "early close failed: %s" (Printexc.to_string exn)
+  | Timeout -> Alcotest.fail "early close hung (cancel never crossed)");
+  check_quiescent ~what:"remote early close" env ~unjoined0 ~live0
+
+(* Chaos at the network sites: a counted [Fail] at each site in turn
+   must surface as one well-typed [Query_failed] carrying that site's
+   name — connection refusal at launch, a dropped read, a failed write,
+   a truncated frame — with nothing leaked.  (These same sites are also
+   drawn by [Fault.random_plan] in the main chaos matrix.) *)
+let test_net_fault_sites () =
+  List.iter
+    (fun (site, hit) ->
+      let env = Env.create ~frames:128 ~page_size:512 () in
+      register env;
+      let unjoined0 = Exchange.unjoined_domains () in
+      let live0 = Exchange.live_domains () in
+      Env.set_faults env
+        (Injector.make
+           {
+             Fault.seed = 11L;
+             rules =
+               [ { Fault.site; trigger = Fault.At_hit hit; action = Fault.Fail } ];
+           });
+      (match
+         run_with_timeout (fun () ->
+             Compile.run env (remote ~task:"gen:3000" (gen_plan 3000)))
+       with
+      | Raised (Exchange.Query_failed { site = s; _ }) ->
+          Alcotest.(check string)
+            (Fault.site_name site ^ " site crosses intact")
+            (Fault.site_name site) s
+      | Raised exn ->
+          Alcotest.failf "fault at %s surfaced as %s" (Fault.site_name site)
+            (Printexc.to_string exn)
+      | Rows _ ->
+          Alcotest.failf "fault at %s never fired" (Fault.site_name site)
+      | Timeout ->
+          Alcotest.failf "fault at %s hung the query" (Fault.site_name site));
+      Env.clear_faults env;
+      check_quiescent
+        ~what:("net fault " ^ Fault.site_name site)
+        env ~unjoined0 ~live0)
+    [
+      (Fault.Net_connect, 1);
+      (Fault.Net_read, 3);
+      (Fault.Net_write, 1);
+      (Fault.Net_frame, 2);
+    ]
+
+(* --- planlint: the VL7xx remote pass ---------------------------------- *)
+
+let vl_codes env ?batch_size plan =
+  List.filter_map Volcano_analysis.Diag.vl_code
+    (Compile.analyze ?batch_size env plan)
+
+let test_planlint_remote () =
+  let env = Env.create () in
+  (* degree/worker disagreement is an error *)
+  let mismatched =
+    Plan.Remote
+      {
+        cfg = Exchange.config ~degree:2 ~flow_slack:(Some 4) ();
+        workers = 3;
+        task = "gen:10";
+        input = gen_plan 10;
+      }
+  in
+  Alcotest.(check bool)
+    "VL701 on degree/worker mismatch" true
+    (List.mem "VL701" (vl_codes env mismatched));
+  (* an empty task is an error *)
+  Alcotest.(check bool)
+    "VL701 on empty task" true
+    (List.mem "VL701" (vl_codes env (remote ~task:"" (gen_plan 10))));
+  (* no flow slack on the wire edge is a warning *)
+  Alcotest.(check bool)
+    "VL702 without flow slack" true
+    (List.mem "VL702"
+       (vl_codes env (remote ~flow_slack:None ~task:"gen:10" (gen_plan 10))));
+  (* batching off while shipping batches is a warning *)
+  Alcotest.(check bool)
+    "VL703 with batch_size 0" true
+    (List.mem "VL703"
+       (vl_codes env ~batch_size:0 (remote ~task:"gen:10" (gen_plan 10))));
+  (* a well-configured remote edge draws none of them *)
+  let clean =
+    vl_codes env (remote ~packet_size:83 ~task:"gen:10" (gen_plan 10))
+  in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (code ^ " absent on a clean remote plan")
+        false (List.mem code clean))
+    [ "VL701"; "VL702"; "VL703" ];
+  (* and the schema pass still sees through the wire *)
+  Alcotest.(check bool)
+    "schema errors surface through Remote" true
+    (List.mem "VL101"
+       (vl_codes env
+          (Plan.Project_cols
+             { cols = [ 9 ]; input = remote ~task:"gen:10" (gen_plan 10) })))
+
+(* --- the serving plane ------------------------------------------------ *)
+
+let test_serve_concurrent_clients () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "volcano-test-serve-%d.sock" (Unix.getpid ()))
+  in
+  let handle task =
+    match int_of_string_opt task with
+    | Some n -> Ok (List.init n (fun i -> Tuple.of_ints [ i; i * 3 ]))
+    | None -> Error ("serve-test", "bad task " ^ task)
+  in
+  let server = Serve.Server.start ~socket ~handle () in
+  let failures = Atomic.make 0 in
+  let client i =
+    let c = Serve.Client.connect ~socket in
+    Fun.protect
+      ~finally:(fun () -> Serve.Client.close c)
+      (fun () ->
+        for r = 0 to 9 do
+          let n = ((i * 10) + r) mod 23 in
+          match Serve.Client.query c (string_of_int n) with
+          | Ok rows
+            when rows = List.init n (fun j -> Tuple.of_ints [ j; j * 3 ]) ->
+              ()
+          | Ok _ | Error _ -> Atomic.incr failures
+        done;
+        match Serve.Client.query c "nope" with
+        | Error ("serve-test", _) -> ()
+        | Ok _ | Error _ -> Atomic.incr failures)
+  in
+  let threads = List.init 8 (fun i -> Thread.create (fun () -> client i) ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no failed requests" 0 (Atomic.get failures);
+  Alcotest.(check int) "request count" 88 (Serve.Server.requests server);
+  Alcotest.(check int) "error count" 8 (Serve.Server.errors server);
+  (* remote shutdown, then stop merely joins (and is idempotent) *)
+  let c = Serve.Client.connect ~socket in
+  Serve.Client.shutdown_server c;
+  Serve.Client.close c;
+  Serve.Server.stop server;
+  Serve.Server.stop server;
+  try Sys.remove socket with _ -> ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_rows_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+    QCheck_alcotest.to_alcotest prop_truncation_rejected;
+    Alcotest.test_case "hello/err frames round-trip" `Quick
+      test_wire_hello_err_roundtrip;
+    Alcotest.test_case "golden wire fixture" `Quick test_golden_frame;
+    Alcotest.test_case "remote matches local over the corpus" `Slow
+      test_remote_local_differential;
+    Alcotest.test_case "killed worker yields one Query_failed" `Slow
+      test_killed_worker;
+    Alcotest.test_case "worker task failure crosses as Query_failed" `Slow
+      test_worker_task_failure;
+    Alcotest.test_case "early close cancels across the socket" `Slow
+      test_remote_early_close;
+    Alcotest.test_case "faults at every net site" `Slow test_net_fault_sites;
+    Alcotest.test_case "planlint VL7xx remote pass" `Quick
+      test_planlint_remote;
+    Alcotest.test_case "serve: concurrent clients" `Quick
+      test_serve_concurrent_clients;
+  ]

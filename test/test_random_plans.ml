@@ -271,7 +271,8 @@ let rec strip = function
       Plan.Choose { c with alternatives = List.map strip c.alternatives }
   | Plan.Exchange { input; _ }
   | Plan.Exchange_merge { input; _ }
-  | Plan.Interchange { input; _ } ->
+  | Plan.Interchange { input; _ }
+  | Plan.Remote { input; _ } ->
       strip input
 
 (* --- the property ---------------------------------------------------- *)
