@@ -6,8 +6,9 @@
            dune exec bench/main.exe -- --check-mq BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-batch BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-serve BASELINE [--tolerance T]
-   Experiments: t1 fig2 mq batch serve a1 a2 a3 a4 a5 a6 a7 a8 micro all
-   (default: all)
+           dune exec bench/main.exe -- --check-shard BASELINE [--tolerance T]
+   Experiments: t1 fig2 mq batch serve shard a1 a2 a3 a4 a5 a6 a7 a8
+   micro all (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
    --check re-measures the fig2 sweep against a committed baseline JSON
@@ -18,14 +19,25 @@
    the same for the batch-size sweep against BENCH_batch.json and
    enforces the 2x best-batch-over-record-at-a-time floor; --check-serve
    re-drives the concurrent-client serving burst against BENCH_serve.json
-   with a zero-dropped-requests floor; `dune build @bench-smoke` runs all
-   four.
+   with a zero-dropped-requests floor; --check-shard re-runs the sharded
+   stored-table aggregate against BENCH_shard.json with equal-results and
+   fewer-bytes-over-the-wire floors; `dune build @bench-smoke` runs all
+   five.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000),
                 VOLCANO_BENCH_REPS (default 6; gated timings are
                 min-of-reps),
                 VOLCANO_SERVE_CLIENTS / VOLCANO_SERVE_REQUESTS /
-                VOLCANO_SERVE_ROWS (default 500 / 4 / 64). *)
+                VOLCANO_SERVE_ROWS (default 500 / 4 / 64),
+                VOLCANO_SHARD_ROWS (default 40000). *)
+
+(* The shard bench re-executes this binary as its worker processes;
+   dispatch before argument parsing ever sees the argv. *)
+let () =
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "shard-worker" then begin
+    Bench_shard.worker_main ~socket:Sys.argv.(2);
+    exit 0
+  end
 
 let experiments =
   [
@@ -34,6 +46,7 @@ let experiments =
     ("mq", Bench_mq.run);
     ("batch", Bench_batch.run);
     ("serve", Bench_serve.run);
+    ("shard", Bench_shard.run);
     ("a1", Bench_ablations.a1_flow_slack);
     ("a2", Bench_ablations.a2_fork_scheme);
     ("a3", Bench_ablations.a3_partition_balance);
@@ -52,6 +65,7 @@ type opts = {
   check_mq : string option;
   check_batch : string option;
   check_serve : string option;
+  check_shard : string option;
   tolerance : float;
 }
 
@@ -80,6 +94,11 @@ let rec split_args opts = function
   | "--check-serve" :: [] ->
       prerr_endline "--check-serve requires a BASELINE argument";
       exit 2
+  | "--check-shard" :: path :: rest ->
+      split_args { opts with check_shard = Some path } rest
+  | "--check-shard" :: [] ->
+      prerr_endline "--check-shard requires a BASELINE argument";
+      exit 2
   | "--tolerance" :: t :: rest -> (
       match float_of_string_opt t with
       | Some tolerance when tolerance >= 0.0 ->
@@ -102,6 +121,7 @@ let () =
         check_mq = None;
         check_batch = None;
         check_serve = None;
+        check_shard = None;
         tolerance = 0.15;
       }
       (List.tl (Array.to_list Sys.argv))
@@ -123,6 +143,11 @@ let () =
   | Some baseline ->
       exit
         (if Bench_serve.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
+  | None -> ());
+  (match opts.check_shard with
+  | Some baseline ->
+      exit
+        (if Bench_shard.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
   | None -> ());
   let names, json_path = (opts.names, opts.json) in
   let requested =

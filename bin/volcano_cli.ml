@@ -19,6 +19,11 @@ module Compile = Volcano_plan.Compile
 module Session = Volcano_plan.Session
 module Parallel = Volcano_plan.Parallel
 module Remote = Volcano_plan.Remote
+module Partition = Volcano_plan.Partition
+module Shard = Volcano_storage.Shard
+module Heap_file = Volcano_storage.Heap_file
+module Serial = Volcano_tuple.Serial
+module Value = Volcano_tuple.Value
 module Exchange = Volcano.Exchange
 module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
@@ -300,12 +305,63 @@ let parse_task task =
             demo:<name>:<rows>:<degree>)"
            task)
 
+(* --- partitioned stored tables: the [stored:] task vocabulary ------- *)
+
+(* [create-table] partitions a generated Wisconsin relation and (with
+   --remote-scan) reads it back through one worker process per site;
+   the task string [stored:<rows>:<parts>:<kind>:<column>] lets each
+   worker rebuild exactly the partitions its site owns from the same
+   deterministic generator, identity placement (partition k at site k). *)
+
+let stored_table = "wisc"
+
+let stored_spec ~rows ~parts ~kind ~column =
+  match W.column column with
+  | exception Not_found ->
+      Error (Printf.sprintf "unknown Wisconsin column %S" column)
+  | c -> (
+      match kind with
+      | "hash" -> Ok (Partition.hash_spec [ c ])
+      | "range" ->
+          (* even split of the dense [0, rows) key space — meaningful on
+             a permutation column like unique1/unique2 *)
+          Ok
+            (Partition.range_spec ~col:c
+               ~bounds:
+                 (Array.init (parts - 1) (fun k ->
+                      Value.Int (((k + 1) * rows / parts) - 1))))
+      | _ ->
+          Error
+            (Printf.sprintf "unknown partition kind %S (hash or range)" kind))
+
+let parse_stored_task task =
+  match String.split_on_char ':' task with
+  | [ "stored"; rows; parts; kind; column ] -> (
+      match (int_of_string_opt rows, int_of_string_opt parts) with
+      | Some rows, Some parts when rows > 0 && parts > 0 ->
+          Result.map
+            (fun spec -> (rows, parts, spec))
+            (stored_spec ~rows ~parts ~kind ~column)
+      | _ -> Error (Printf.sprintf "task %S: bad counts" task))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unresolvable stored task %S (expected \
+            stored:<rows>:<parts>:<hash|range>:<column>)"
+           task)
+
 (* Every session this binary opens can compile [Plan.Remote]: the
    launcher re-invokes this same executable in net-worker mode, so
    parent and workers share the task vocabulary above. *)
-let register_launcher env =
-  Env.set_remote_launcher env (fun ~faults ~workers ~task ~packet_size ->
-      (Volcano_net.Launcher.launch ~faults
+let register_launcher ?lane ?obs env =
+  Env.set_remote_launcher env (fun ~faults ~repartition ~workers ~task
+                                   ~packet_size ->
+      (Volcano_net.Launcher.launch ~faults ?lane ?obs
+         ?repartition:
+           (Option.map
+              (fun (spec, dests) ->
+                Volcano_net.Repart.of_partition_spec spec ~dests)
+              repartition)
          ~command:(fun ~socket -> [| Sys.executable_name; "net-worker"; socket |])
          ~workers ~task ~packet_size ())
         .sources)
@@ -420,13 +476,104 @@ let sim_cmd packet_size records =
    and never raises; a bad task surfaces as an [Err] frame. *)
 let net_worker_cmd socket =
   Volcano_net.Worker.run ~socket ~resolve:(fun ~task ~shard ~shards ->
-      match parse_task task with
-      | Error e -> failwith e
-      | Ok plan ->
-          let env = Env.create ~frames:2048 () in
-          register_launcher env;
-          Remote.shard_pull env ~shard ~shards plan);
+      if String.length task >= 7 && String.sub task 0 7 = "stored:" then (
+        (* partitioned stored table: this worker plays site [shard] —
+           materialize the partitions that site owns, then pull the
+           sliced scan against the site-local catalog *)
+        match parse_stored_task task with
+        | Error e -> failwith e
+        | Ok (rows, parts, spec) ->
+            if parts <> shards then
+              failwith
+                (Printf.sprintf
+                   "task has %d partitions but the edge runs %d shards" parts
+                   shards);
+            let env = Env.create ~frames:2048 () in
+            ignore
+              (Partition.load_site env ~table:stored_table ~schema:W.schema
+                 ~spec ~parts ~site:shard ~count:rows
+                 ~gen:(W.generator ~n:rows ()) ());
+            Remote.shard_pull env ~shard ~shards
+              (Plan.Scan_table_slice stored_table))
+      else
+        match parse_task task with
+        | Error e -> failwith e
+        | Ok plan ->
+            let env = Env.create ~frames:2048 () in
+            register_launcher env;
+            Remote.shard_pull env ~shard ~shards plan);
   0
+
+(* Partition a generated relation into per-site heap files, print the
+   placement the catalog recorded, and optionally read the table back
+   through one real worker process per site. *)
+let create_table_cmd rows parts by remote_scan tcp =
+  let kind, column =
+    match String.index_opt by ':' with
+    | Some i ->
+        ( String.sub by 0 i,
+          String.sub by (i + 1) (String.length by - i - 1) )
+    | None -> (by, "unique1")
+  in
+  match stored_spec ~rows ~parts ~kind ~column with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok spec -> (
+      let env = Env.create ~frames:2048 () in
+      let file = Env.create_table env ~name:stored_table ~schema:W.schema in
+      let gen = W.generator ~n:rows () in
+      for i = 0 to rows - 1 do
+        ignore (Heap_file.insert file (Bytes.to_string (Serial.encode (gen i))))
+      done;
+      let counts = Partition.split env ~table:stored_table ~spec ~parts () in
+      Printf.printf "table %s: %d rows in %d partitions by %s:%s\n"
+        stored_table rows parts kind column;
+      Array.iteri
+        (fun part n ->
+          Printf.printf "  %-12s site %d  %6d rows\n"
+            (Shard.partition_name ~table:stored_table ~part)
+            (Option.value ~default:(-1)
+               (Shard.site_of (Env.catalog env) ~table:stored_table ~part))
+            n)
+        counts;
+      if not remote_scan then 0
+      else
+        let obs = Obs.create () in
+        register_launcher ?lane:(if tcp then Some `Tcp else None) ~obs env;
+        let task =
+          Printf.sprintf "stored:%d:%d:%s:%s" rows parts kind column
+        in
+        let plan =
+          Plan.Remote
+            {
+              cfg = Exchange.config ~degree:parts ();
+              workers = parts;
+              task;
+              input = Plan.Scan_table_slice stored_table;
+            }
+        in
+        match Clock.time (fun () -> Compile.run env plan) with
+        | exception Exchange.Query_failed { site; origin } ->
+            Printf.eprintf "remote scan failed at %s: %s\n" site
+              (Printexc.to_string origin);
+            1
+        | result, elapsed ->
+            Printf.printf
+              "remote scan over %d %s site(s): %d rows in %.3f s\n" parts
+              (if tcp then "TCP" else "Unix-socket")
+              (List.length result) elapsed;
+            for site = 0 to parts - 1 do
+              Printf.printf "  site %d shipped %6d rows, %8d bytes\n" site
+                (Obs.Counter.value
+                   (Obs.counter obs (Printf.sprintf "net.site%d.rows" site)))
+                (Obs.Counter.value
+                   (Obs.counter obs (Printf.sprintf "net.site%d.bytes" site)))
+            done;
+            if List.length result = rows then 0
+            else (
+              Printf.eprintf "row count mismatch: expected %d\n" rows;
+              1))
 
 let serve_cmd socket workers batch_size max_concurrent =
   Session.with_session ?workers ?batch_size ?max_concurrent ~frames:2048
@@ -691,6 +838,45 @@ let net_worker_term =
   in
   Term.(const net_worker_cmd $ socket)
 
+let create_table_term =
+  let partitions =
+    Arg.(
+      value & opt int 3
+      & info [ "partitions"; "p" ] ~docv:"P"
+          ~doc:"Partition count — one worker site per partition.")
+  in
+  let by =
+    Arg.(
+      value
+      & opt string "hash:unique1"
+      & info [ "by" ] ~docv:"KIND:COLUMN"
+          ~doc:
+            "Partition function: $(b,hash:<column>) or $(b,range:<column>).  \
+             Range bounds split the dense [0, N) key space evenly, so range \
+             partitioning is meaningful on a permutation column \
+             (unique1, unique2).")
+  in
+  let remote_scan =
+    Arg.(
+      value & flag
+      & info [ "remote-scan" ]
+          ~doc:
+            "After partitioning, scan the table back through one worker \
+             process per site (each site rebuilds only the partitions it \
+             owns), verify the row count, and print per-site wire \
+             statistics.")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "Use the TCP lane (127.0.0.1, ephemeral port) instead of a \
+             Unix-domain socket for $(b,--remote-scan).")
+  in
+  Term.(
+    const create_table_cmd $ rows_arg $ partitions $ by $ remote_scan $ tcp)
+
 let serve_term =
   let max_concurrent =
     Arg.(
@@ -777,6 +963,14 @@ let cmds =
             drive it with concurrent clients, verify results, shut it \
             down cleanly.")
       serve_smoke_term;
+    Cmd.v
+      (Cmd.info "create-table"
+         ~doc:
+           "Partition a generated Wisconsin relation into per-site heap \
+            files (table#0, table#1, ...) with a catalog entry recording \
+            the placement; with --remote-scan, read it back through one \
+            worker process per site over the chosen transport lane.")
+      create_table_term;
     Cmd.v
       (Cmd.info "net-worker"
          ~doc:

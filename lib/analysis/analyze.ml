@@ -675,11 +675,102 @@ let batch_pass ?(batch_size = Volcano.Batch.default_size) root =
      worker can run the consumer out of memory ([remote-flow-slack]);
    - the wire unit is the packetized batch — with the vectorized batch
      path disabled ([batch_size = 0]) every record is materialized
-     individually before serialization ([remote-wire-batch]). *)
+     individually before serialization ([remote-wire-batch]);
+   - a partitioning spec on a remote edge repartitions at the exchange
+     boundary: workers route rows to the [consumers] ranks of the
+     enclosing group, so the spec must be expressible on the wire and
+     sized to that group ([remote-partition-placement]), and a hash spec
+     that cannot spread keys is a skew trap ([remote-repartition-skew]);
+   - a sliced stored-table scan below a remote edge reads partition
+     files by shard: the catalog's partition count must equal the worker
+     count or shards read missing/foreign partitions
+     ([remote-partition-placement]). *)
 let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
   let diags = ref [] in
   let err path code msg = diags := Diag.error ~code ~path msg :: !diags in
   let warn path code msg = diags := Diag.warning ~code ~path msg :: !diags in
+  (* The catalog check walks a Remote's subtree exactly as [Remote.slice]
+     rewrites it: through one-input operators and Interchange, stopping
+     at nested exchange boundaries whose own groups govern what is
+     below. *)
+  let rec check_slices path workers node =
+    match node with
+    | Ir.Leaf { label; parts = Some parts; _ }
+      when String.length label >= 11 && String.sub label 0 11 = "scan-slice:"
+           && parts <> workers ->
+        err
+          (child_path path (Ir.label node))
+          "remote-partition-placement"
+          (Printf.sprintf
+             "%s is partitioned %d ways but the remote edge runs %d \
+              workers: shard k scans partition file k, so counts must \
+              agree or shards read missing or foreign partitions"
+             (String.sub label 11 (String.length label - 11))
+             parts workers)
+    | Ir.Leaf _ | Ir.Unresolved _ -> ()
+    | Ir.Exchange _ | Ir.Exchange_merge _ | Ir.Remote _ -> ()
+    | Ir.Filter { input; _ }
+    | Ir.Project_cols { input; _ }
+    | Ir.Project_exprs { input; _ }
+    | Ir.Sort { input; _ }
+    | Ir.Aggregate { input; _ }
+    | Ir.Distinct { input; _ }
+    | Ir.Limit { input; _ }
+    | Ir.Interchange { input; _ } ->
+        check_slices (child_path path (Ir.label node)) workers input
+    | Ir.Match { left; right; _ }
+    | Ir.Cross { left; right }
+    | Ir.Theta_join { left; right; _ } ->
+        let path = child_path path (Ir.label node) in
+        check_slices (child_path path "left") workers left;
+        check_slices (child_path path "right") workers right
+    | Ir.Division { dividend; divisor; _ } ->
+        let path = child_path path (Ir.label node) in
+        check_slices (child_path path "dividend") workers dividend;
+        check_slices (child_path path "divisor") workers divisor
+    | Ir.Choose { alternatives } ->
+        let path = child_path path (Ir.label node) in
+        List.iteri
+          (fun i alt ->
+            check_slices (child_path path (Printf.sprintf "alt%d" i)) workers
+              alt)
+          alternatives
+  in
+  let check_repartition path (cfg : Ir.cfg) ~consumers =
+    match cfg.partition with
+    | Ir.Round_robin -> ()
+    | _ when consumers <= 1 ->
+        (* One consumer: every spec degenerates to a merge; nothing
+           crosses the wire beyond what round-robin would send. *)
+        ()
+    | Ir.Custom ->
+        err path "remote-partition-placement"
+          "a custom partition closure cannot cross the process boundary \
+           of a repartitioning remote edge; use hash or range \
+           partitioning, which ship as data"
+    | Ir.Broadcast ->
+        err path "remote-partition-placement"
+          "broadcast is not expressible on a remote edge: routed frames \
+           carry one destination per packet; replicate below the edge or \
+           use a local exchange"
+    | Ir.Range_on (_, bounds) ->
+        if bounds + 1 <> consumers then
+          err path "remote-partition-placement"
+            (Printf.sprintf
+               "range repartitioning with %d bounds splits into %d \
+                partitions but the edge feeds %d consumers; bounds must \
+                number consumers - 1"
+               bounds (bounds + 1) consumers)
+    | Ir.Hash_on [] ->
+        warn path "remote-repartition-skew"
+          "hash repartitioning on no columns routes every row to one \
+           consumer — the rest of the group idles; name the key columns"
+    | Ir.Hash_on cols ->
+        if List.length (List.sort_uniq compare cols) <> List.length cols then
+          warn path "remote-repartition-skew"
+            "hash repartitioning lists a column more than once: the \
+             duplicate adds no spread and usually means a typo in the key"
+  in
   let check path (cfg : Ir.cfg) workers task =
     if workers < 1 then
       err path "remote-workers"
@@ -711,7 +802,11 @@ let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
          plan ships batches over sockets; workers materialize every record \
          individually before serialization — set a positive batch size"
   in
-  let rec walk prefix node =
+  (* [group] is the size of the process group a node executes in — the
+     consumer count a Remote at that position feeds.  The root runs solo;
+     an exchange's producer subtree runs [cfg.degree] wide; Interchange
+     stays in the same group. *)
+  let rec walk prefix ~group node =
     let path = child_path prefix (Ir.label node) in
     match node with
     | Ir.Leaf _ | Ir.Unresolved _ -> ()
@@ -722,27 +817,32 @@ let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
     | Ir.Aggregate { input; _ }
     | Ir.Distinct { input; _ }
     | Ir.Limit { input; _ }
-    | Ir.Exchange { input; _ }
-    | Ir.Exchange_merge { input; _ }
     | Ir.Interchange { input; _ } ->
-        walk path input
+        walk path ~group input
+    | Ir.Exchange { cfg; input } | Ir.Exchange_merge { cfg; input; _ } ->
+        walk path ~group:cfg.degree input
     | Ir.Match { left; right; _ }
     | Ir.Cross { left; right }
     | Ir.Theta_join { left; right; _ } ->
-        walk (child_path path "left") left;
-        walk (child_path path "right") right
+        walk (child_path path "left") ~group left;
+        walk (child_path path "right") ~group right
     | Ir.Division { dividend; divisor; _ } ->
-        walk (child_path path "dividend") dividend;
-        walk (child_path path "divisor") divisor
+        walk (child_path path "dividend") ~group dividend;
+        walk (child_path path "divisor") ~group divisor
     | Ir.Choose { alternatives } ->
         List.iteri
-          (fun i alt -> walk (child_path path (Printf.sprintf "alt%d" i)) alt)
+          (fun i alt ->
+            walk (child_path path (Printf.sprintf "alt%d" i)) ~group alt)
           alternatives
     | Ir.Remote { cfg; workers; task; input } ->
         check path cfg workers task;
-        walk path input
+        check_repartition path cfg ~consumers:group;
+        check_slices path workers input;
+        (* The subtree still walks in full: a nested Remote below an
+           exchange boundary is checked against its own group. *)
+        walk path ~group:1 input
   in
-  walk "" root;
+  walk "" ~group:1 root;
   List.rev !diags
 
 let analyze ?max_domains ?frames ?(workers = 0) ?oversub ?flow_budget

@@ -47,6 +47,8 @@ let registry =
     ("remote-workers", "VL701");
     ("remote-flow-slack", "VL702");
     ("remote-wire-batch", "VL703");
+    ("remote-partition-placement", "VL704");
+    ("remote-repartition-skew", "VL705");
   ]
 
 let vl_code d = List.assoc_opt d.code registry

@@ -21,7 +21,16 @@ type sort_key = (int * direction) list
 type algo = Sort_based | Hash_based
 
 type t =
-  | Leaf of { label : string; arity : int; rows : int option; bad_rows : int }
+  | Leaf of {
+      label : string;
+      arity : int;
+      rows : int option;
+      bad_rows : int;
+      parts : int option;
+          (* for a partitioned stored-table leaf (scan-slice), the
+             partition count from the catalog — the remote-placement pass
+             checks it against the worker count *)
+    }
   | Unresolved of { label : string }
   | Filter of { cols : int list; input : t }
   | Project_cols of { cols : int list; input : t }

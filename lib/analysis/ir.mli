@@ -39,6 +39,10 @@ type t =
       arity : int;
       rows : int option;  (** row count when statically known *)
       bad_rows : int;  (** literal tuples whose width contradicts [arity] *)
+      parts : int option;
+          (** for a partitioned stored-table leaf (scan-slice), the
+              catalog's partition count — checked against the worker
+              count by the remote-placement pass (VL704) *)
     }
   | Unresolved of { label : string }
       (** a scan of a table or index missing from the catalog *)

@@ -613,6 +613,14 @@ let remote_iterator ?id ?(faults = Injector.none) ?parent_scope ?scope ?obs cfg
                                next_consumer := (consumer + 1) mod consumers;
                                Port.send port ~producer:rank ~consumer packet;
                                pump ()
+                           | Port.Transport.Routed (dest, packet) ->
+                               (* A repartitioning edge: the worker already
+                                  applied the partition function, so the
+                                  packet is pinned to its destination
+                                  consumer instead of merged round-robin. *)
+                               Port.send port ~producer:rank
+                                 ~consumer:(dest mod consumers) packet;
+                               pump ()
                            | Port.Transport.Eos ->
                                (* Every consumer counts one EOS tag per
                                   producer, as in the local exchange. *)

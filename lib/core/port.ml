@@ -553,7 +553,15 @@ module Transport = struct
                message)
       | _ -> None)
 
-  type event = Data of Packet.t | Eos | Failed of exn
+  (* [Routed] is the repartitioning event: the remote producer already
+     applied the partition function, and the packet must reach consumer
+     [dest] specifically — a merge edge ([Data]) lets the feeder pick any
+     consumer. *)
+  type event =
+    | Data of Packet.t
+    | Routed of int * Packet.t
+    | Eos
+    | Failed of exn
 
   type source = {
     pull : alloc:(capacity:int -> Packet.t) -> event;

@@ -152,6 +152,9 @@ module Transport : sig
 
   type event =
     | Data of Packet.t  (** a packet; ownership passes to the consumer *)
+    | Routed of int * Packet.t
+        (** a packet pinned to consumer [dest] by a repartitioning remote
+            producer; a merge edge never emits this *)
     | Eos  (** clean end of this producer's stream *)
     | Failed of exn  (** the producer died; the stream is truncated *)
 

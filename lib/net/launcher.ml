@@ -1,9 +1,10 @@
 module Injector = Volcano_fault.Injector
 module Transport = Volcano.Port.Transport
+module Obs = Volcano_obs.Obs
 
 (* Launch a remote producer group: spawn [workers] worker processes, hand
-   each a shard of the task over a private Unix-domain socket, and expose
-   each connection as a {!Volcano.Port.Transport.source} for
+   each a shard of the task over a private socket, and expose each
+   connection as a {!Volcano.Port.Transport.source} for
    [Exchange.remote_iterator] to consume.
 
    The parent is the listener (workers connect back to it), so a worker
@@ -11,11 +12,24 @@ module Transport = Volcano.Port.Transport
    hang.  Shards are assigned in accept order: the Hello frame tells each
    worker which shard of which task it owns, so the worker binary needs no
    per-shard command line and one [command] template spawns the whole
-   group. *)
+   group.
+
+   Two lanes carry the same framing: [`Unix] (a temp-path Unix-domain
+   socket, the default) and [`Tcp] (loopback, port chosen by the kernel —
+   bind port 0 and read it back, so concurrent launchers never race for a
+   fixed port). *)
+
+type site_stats = { rows : int Atomic.t; bytes : int Atomic.t }
 
 type launched = {
   sources : Transport.source array;
   pids : int array;  (** worker process ids, in shard order *)
+  address : string;
+      (** the address workers dialed: a Unix-domain path, or
+          ["tcp:127.0.0.1:PORT"] on the TCP lane *)
+  stats : site_stats array;
+      (** per-site arrival totals (records and payload bytes), indexed by
+          shard; mirrored into the sink as [net.site<k>.rows/bytes] *)
 }
 
 let accept_timeout_s = 30.0
@@ -26,9 +40,16 @@ let rec waitpid_quiet pid =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_quiet pid
   | exception _ -> ()
 
-let source_of ~faults ~packet_size ~rank fd pid =
+let source_of ~faults ~packet_size ~rank ~stats ~rows_c ~bytes_c fd pid =
   let terminal : Transport.event option ref = ref None in
   let joined = Atomic.make false in
+  let arrived packet ~payload_bytes =
+    let rows = Volcano.Packet.length packet in
+    Atomic.fetch_and_add stats.rows rows |> ignore;
+    Atomic.fetch_and_add stats.bytes payload_bytes |> ignore;
+    Obs.Counter.add rows_c rows;
+    Obs.Counter.add bytes_c payload_bytes
+  in
   let pull ~alloc =
     match !terminal with
     | Some event -> event
@@ -41,7 +62,24 @@ let source_of ~faults ~packet_size ~rank fd pid =
         | Wire.Data, payload ->
             let packet = alloc ~capacity:packet_size in
             Codec.decode_into payload packet;
+            arrived packet ~payload_bytes:(Bytes.length payload);
             Transport.Data packet
+        | Wire.Repartition, payload ->
+            (* A routed packet from a repartitioning worker:
+               [u16 dest | packet bytes]. *)
+            if Bytes.length payload < 2 then
+              finish
+                (Transport.Failed
+                   (Wire.Corrupt
+                      (Printf.sprintf "worker %d: short routed frame" rank)))
+            else begin
+              let dest = Bytes.get_uint16_le payload 0 in
+              let body = Bytes.sub payload 2 (Bytes.length payload - 2) in
+              let packet = alloc ~capacity:packet_size in
+              Codec.decode_into body packet;
+              arrived packet ~payload_bytes:(Bytes.length payload);
+              Transport.Routed (dest, packet)
+            end
         | Wire.Eos, _ -> finish Transport.Eos
         | Wire.Err, payload ->
             let site, message = Wire.parse_err payload in
@@ -74,11 +112,45 @@ let source_of ~faults ~packet_size ~rank fd pid =
   in
   { Transport.pull; cancel; join }
 
-let launch ?(faults = Injector.none) ~command ~workers ~task ~packet_size () =
+(* Bind the listener for the requested lane; returns it with the address
+   string workers must dial and the path to unlink on teardown (if any).
+   Binds retry once on EADDRINUSE: temp-path and kernel-chosen-port
+   collisions are already vanishingly rare, and one retry turns "rare"
+   into "a genuine environment fault worth surfacing". *)
+let bind_listener lane =
+  let attempt () =
+    match lane with
+    | `Unix ->
+        let path = Filename.temp_file "volcano_net_" ".sock" in
+        Unix.unlink path;
+        let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.bind listener (Unix.ADDR_UNIX path)
+         with exn ->
+           (try Unix.close listener with _ -> ());
+           raise exn);
+        (listener, path, Some path)
+    | `Tcp ->
+        let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt listener Unix.SO_REUSEADDR true;
+           Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+         with exn ->
+           (try Unix.close listener with _ -> ());
+           raise exn);
+        let port =
+          match Unix.getsockname listener with
+          | Unix.ADDR_INET (_, port) -> port
+          | _ -> assert false
+        in
+        (listener, Printf.sprintf "tcp:127.0.0.1:%d" port, None)
+  in
+  try attempt ()
+  with Unix.Unix_error (Unix.EADDRINUSE, _, _) -> attempt ()
+
+let launch ?(faults = Injector.none) ?(lane = `Unix) ?repartition
+    ?(obs = Obs.null) ~command ~workers ~task ~packet_size () =
   if workers < 1 then invalid_arg "Launcher.launch: workers must be positive";
-  let socket = Filename.temp_file "volcano_net_" ".sock" in
-  Unix.unlink socket;
-  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let listener, address, unlink_path = bind_listener lane in
   let pids = ref [] in
   let fds = ref [] in
   let cleanup () =
@@ -89,15 +161,16 @@ let launch ?(faults = Injector.none) ~command ~workers ~task ~packet_size () =
         waitpid_quiet pid)
       !pids;
     (try Unix.close listener with _ -> ());
-    try Unix.unlink socket with _ -> ()
+    match unlink_path with
+    | None -> ()
+    | Some path -> ( try Unix.unlink path with _ -> ())
   in
   (* A worker killed mid-stream must surface as EPIPE from the cancel
      write (swallowed by [cancel]), not as SIGPIPE killing the consumer. *)
   Wire.ignore_sigpipe ();
   try
-    Unix.bind listener (Unix.ADDR_UNIX socket);
     Unix.listen listener workers;
-    let argv = command ~socket in
+    let argv = command ~socket:address in
     pids :=
       List.init workers (fun _ ->
           Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr);
@@ -116,25 +189,46 @@ let launch ?(faults = Injector.none) ~command ~workers ~task ~packet_size () =
              listener makes this accept immediate. *)
           let fd, _ = Unix.accept listener in
           fds := fd :: !fds;
+          (match lane with
+          | `Tcp -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ())
+          | `Unix -> ());
           Wire.write_frame ~faults fd Wire.Hello
-            (Wire.hello ~task ~shard ~shards:workers ~packet_size);
+            (Wire.hello
+               ~repartition:(repartition <> None)
+               ~task ~shard ~shards:workers ~packet_size ());
+          (match repartition with
+          | None -> ()
+          | Some r -> Wire.write_frame ~faults fd Wire.Repartition (Wire.repartition r));
           fd
     in
     let fds_in_order = Array.init workers accept_one in
     (try Unix.close listener with _ -> ());
-    (try Unix.unlink socket with _ -> ());
+    (match unlink_path with
+    | None -> ()
+    | Some path -> ( try Unix.unlink path with _ -> ()));
     (* Shards are assigned in accept order, so source [rank] is not
        necessarily fed by process [pids.(rank)] — workers race to
        connect.  It does not matter which source reaps which pid: the
        ranks jointly cover every spawned process exactly once. *)
     let pids_arr = Array.of_list !pids in
+    let stats =
+      Array.init workers (fun _ ->
+          { rows = Atomic.make 0; bytes = Atomic.make 0 })
+    in
     {
       sources =
         Array.mapi
           (fun rank fd ->
-            source_of ~faults ~packet_size ~rank fd pids_arr.(rank))
+            let rows_c = Obs.counter obs (Printf.sprintf "net.site%d.rows" rank)
+            and bytes_c =
+              Obs.counter obs (Printf.sprintf "net.site%d.bytes" rank)
+            in
+            source_of ~faults ~packet_size ~rank ~stats:stats.(rank) ~rows_c
+              ~bytes_c fd pids_arr.(rank))
           fds_in_order;
       pids = pids_arr;
+      address;
+      stats;
     }
   with exn ->
     cleanup ();

@@ -21,6 +21,12 @@ type kind =
   | Resp_ok
   | Resp_err
   | Shutdown
+  | Repartition
+      (* Both halves of exchange-boundary repartitioning share this kind:
+         parent -> worker, the frame after a flagged Hello carries the
+         partition function ({!repartition} payload); worker -> parent,
+         each data frame is a routed packet ([u16 dest | packet bytes])
+         instead of a mergeable [Data] frame. *)
 
 exception Corrupt of string
 
@@ -47,6 +53,7 @@ let kind_code = function
   | Resp_ok -> 7
   | Resp_err -> 8
   | Shutdown -> 9
+  | Repartition -> 10
 
 let kind_of_code = function
   | 1 -> Hello
@@ -58,6 +65,7 @@ let kind_of_code = function
   | 7 -> Resp_ok
   | 8 -> Resp_err
   | 9 -> Shutdown
+  | 10 -> Repartition
   | code -> raise (Corrupt (Printf.sprintf "unknown frame kind %d" code))
 
 (* A frame larger than this is corruption, not data: the largest legal
@@ -135,24 +143,42 @@ let add_str b s =
   Buffer.add_uint16_le b (String.length s);
   Buffer.add_string b s
 
-type hello = { task : string; shard : int; shards : int; packet_size : int }
+type hello = {
+  task : string;
+  shard : int;
+  shards : int;
+  packet_size : int;
+  repartition : bool;
+      (* a Repartition frame carrying the partition function follows the
+         Hello, and the worker must answer with routed packets *)
+}
 
-let hello ~task ~shard ~shards ~packet_size =
-  let b = Buffer.create (8 + String.length task) in
+let flag_repartition = 1
+
+let hello ?(repartition = false) ~task ~shard ~shards ~packet_size () =
+  let b = Buffer.create (9 + String.length task) in
   Buffer.add_uint16_le b shard;
   Buffer.add_uint16_le b shards;
   Buffer.add_uint16_le b packet_size;
+  Buffer.add_uint8 b (if repartition then flag_repartition else 0);
   add_str b task;
   Buffer.to_bytes b
 
 let parse_hello buf =
-  check_room "hello" buf 0 6;
+  check_room "hello" buf 0 7;
   let shard = Bytes.get_uint16_le buf 0 in
   let shards = Bytes.get_uint16_le buf 2 in
   let packet_size = Bytes.get_uint16_le buf 4 in
-  let pos = ref 6 in
+  let flags = Bytes.get_uint8 buf 6 in
+  let pos = ref 7 in
   let task = get_str "hello" buf pos in
-  { task; shard; shards; packet_size }
+  {
+    task;
+    shard;
+    shards;
+    packet_size;
+    repartition = flags land flag_repartition <> 0;
+  }
 
 let err ~site ~message =
   let b = Buffer.create (4 + String.length site + String.length message) in
@@ -169,3 +195,50 @@ let parse_err buf =
   let site = get_str "err" buf pos in
   let message = get_str "err" buf pos in
   (site, message)
+
+(* The partition function a repartitioning edge ships to its workers:
+   destination count plus the catalog's wire-safe spec (columns, or a
+   column with Serial-encoded bounds).  Custom partition closures cannot
+   cross the process boundary — planlint VL704 rejects them before a
+   launcher would ever be asked to encode one. *)
+type repartition = { dests : int; spec : Volcano_storage.Shard.spec }
+
+let repartition { dests; spec } =
+  let b = Buffer.create 16 in
+  Buffer.add_uint16_le b dests;
+  (match spec with
+  | Volcano_storage.Shard.Hash cols ->
+      Buffer.add_uint8 b 1;
+      Buffer.add_uint16_le b (List.length cols);
+      List.iter (Buffer.add_uint16_le b) cols
+  | Volcano_storage.Shard.Range (col, bounds) ->
+      Buffer.add_uint8 b 2;
+      Buffer.add_uint16_le b col;
+      Buffer.add_uint16_le b (Array.length bounds);
+      Array.iter (fun bound -> add_str b bound) bounds);
+  Buffer.to_bytes b
+
+let parse_repartition buf =
+  check_room "repartition" buf 0 3;
+  let dests = Bytes.get_uint16_le buf 0 in
+  if dests < 1 then raise (Corrupt "repartition: no destinations");
+  let pos = ref 3 in
+  let u16 () =
+    check_room "repartition" buf !pos 2;
+    let v = Bytes.get_uint16_le buf !pos in
+    pos := !pos + 2;
+    v
+  in
+  let spec =
+    match Bytes.get_uint8 buf 2 with
+    | 1 ->
+        let n = u16 () in
+        Volcano_storage.Shard.Hash (List.init n (fun _ -> u16 ()))
+    | 2 ->
+        let col = u16 () in
+        let n = u16 () in
+        Volcano_storage.Shard.Range
+          (col, Array.init n (fun _ -> get_str "repartition" buf pos))
+    | tag -> raise (Corrupt (Printf.sprintf "repartition: unknown spec %d" tag))
+  in
+  { dests; spec }

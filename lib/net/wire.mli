@@ -16,6 +16,10 @@ type kind =
   | Resp_ok  (** server → client: result rows *)
   | Resp_err  (** server → client: query failure, site + message *)
   | Shutdown  (** client → server: stop serving *)
+  | Repartition
+      (** parent → worker: the partition function for a repartitioning
+          edge (the frame after a flagged {!hello}); worker → parent: one
+          routed packet, [u16 dest | packet bytes] *)
 
 exception Corrupt of string
 (** A frame that cannot be parsed (bad kind, absurd length, truncated
@@ -48,9 +52,25 @@ val frame_ready : Unix.file_descr -> bool
 
 (** {2 Payloads} *)
 
-type hello = { task : string; shard : int; shards : int; packet_size : int }
+type hello = {
+  task : string;
+  shard : int;
+  shards : int;
+  packet_size : int;
+  repartition : bool;
+      (** a {!type-repartition} frame follows the Hello, and the worker
+          must answer with routed packets instead of mergeable [Data] *)
+}
 
-val hello : task:string -> shard:int -> shards:int -> packet_size:int -> bytes
+val hello :
+  ?repartition:bool ->
+  task:string ->
+  shard:int ->
+  shards:int ->
+  packet_size:int ->
+  unit ->
+  bytes
+
 val parse_hello : bytes -> hello
 
 val err : site:string -> message:string -> bytes
@@ -59,3 +79,16 @@ val err : site:string -> message:string -> bytes
 
 val parse_err : bytes -> string * string
 (** [(site, message)]. *)
+
+type repartition = { dests : int; spec : Volcano_storage.Shard.spec }
+(** The partition function a repartitioning edge ships to its workers:
+    downstream consumer count plus the catalog's wire-safe spec (hash
+    columns, or a range column with Serial-encoded bounds).  Custom
+    partition closures cannot cross the process boundary — planlint VL704
+    rejects such plans before a launcher is asked to encode one. *)
+
+val repartition : repartition -> bytes
+
+val parse_repartition : bytes -> repartition
+(** @raise Corrupt on a zero destination count, unknown spec tag, or
+    truncation *)

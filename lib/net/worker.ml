@@ -9,7 +9,13 @@ module Exchange = Volcano.Exchange
    opaque task string (plus this worker's shard) to a pull function, so
    the vocabulary of tasks lives with whoever owns both sides of the
    socket (the CLI, the test harness), and no closures ever cross the
-   process boundary. *)
+   process boundary.
+
+   Two stream modes, chosen by the parent's Hello: a merge edge sends
+   [Data] frames (any consumer may take any packet), while a
+   repartitioning edge applies the partition function the parent shipped
+   in a [Repartition] frame and sends routed packets — one open shell per
+   destination, each flushed as [u16 dest | packet bytes]. *)
 
 type pull = unit -> Volcano_tuple.Tuple.t option
 
@@ -28,20 +34,124 @@ let cancelled fd =
   | _ -> false
   | exception _ -> true
 
+(* The worker address vocabulary, shared with {!Launcher}: a plain
+   string is a Unix-domain socket path; "tcp:HOST:PORT" dials the TCP
+   lane (with Nagle off — the stream is already batched into frames, so
+   delaying a flushed packet buys nothing). *)
+let tcp_prefix = "tcp:"
+
+let is_tcp address =
+  String.length address > String.length tcp_prefix
+  && String.sub address 0 (String.length tcp_prefix) = tcp_prefix
+
+let connect address =
+  if is_tcp address then begin
+    let rest =
+      String.sub address (String.length tcp_prefix)
+        (String.length address - String.length tcp_prefix)
+    in
+    match String.rindex_opt rest ':' with
+    | None -> invalid_arg ("Worker.connect: bad tcp address " ^ address)
+    | Some i ->
+        let host = String.sub rest 0 i in
+        let port =
+          match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+          | Some p when p > 0 && p < 65536 -> p
+          | Some _ | None ->
+              invalid_arg ("Worker.connect: bad tcp port in " ^ address)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (* conclint: allow CL003 -- the worker process's main thread is a
+           dedicated transport context; there is no pool here at all. *)
+        (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+         with exn ->
+           (try Unix.close fd with _ -> ());
+           raise exn);
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+        fd
+  end
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* conclint: allow CL003 -- the worker process's main thread is a
+       dedicated transport context; there is no pool here at all. *)
+    (try Unix.connect fd (Unix.ADDR_UNIX address)
+     with exn ->
+       (try Unix.close fd with _ -> ());
+       raise exn);
+    fd
+  end
+
+(* Merge mode: one shell, flushed as mergeable [Data] frames. *)
+let pump_merge fd ~packet_size ~shard next =
+  let shell = Packet.create ~capacity:packet_size ~producer:shard in
+  let flush () =
+    if not (Packet.is_empty shell) then begin
+      Wire.write_frame fd Wire.Data (Codec.encode shell);
+      Packet.reset shell
+    end
+  in
+  let rec pump () =
+    match next () with
+    | None -> flush ()
+    | Some tuple ->
+        Packet.add shell tuple;
+        if Packet.is_full shell then begin
+          (* Between packets is the cancellation point: a Cancel frame
+             (or a torn-down connection) stops the stream without
+             waiting for the shard to drain. *)
+          if cancelled fd then raise Exit;
+          flush ()
+        end;
+        pump ()
+  in
+  pump ()
+
+(* Repartition mode: one shell per destination; a full (or final) shell
+   flushes as a routed frame.  Tail flushes walk every destination so a
+   key that hashed to a lone row still arrives. *)
+let pump_repartition fd ~packet_size ~shard ~repartition next =
+  let { Wire.dests; spec } = repartition in
+  let route = Repart.route spec ~dests in
+  let shells =
+    Array.init dests (fun _ -> Packet.create ~capacity:packet_size ~producer:shard)
+  in
+  let flush dest =
+    let shell = shells.(dest) in
+    if not (Packet.is_empty shell) then begin
+      let body = Codec.encode shell in
+      let payload = Bytes.create (2 + Bytes.length body) in
+      Bytes.set_uint16_le payload 0 dest;
+      Bytes.blit body 0 payload 2 (Bytes.length body);
+      Wire.write_frame fd Wire.Repartition payload;
+      Packet.reset shell
+    end
+  in
+  let rec pump () =
+    match next () with
+    | None -> Array.iteri (fun dest _ -> flush dest) shells
+    | Some tuple ->
+        let dest = ((route tuple mod dests) + dests) mod dests in
+        let shell = shells.(dest) in
+        Packet.add shell tuple;
+        if Packet.is_full shell then begin
+          if cancelled fd then raise Exit;
+          flush dest
+        end;
+        pump ()
+  in
+  pump ()
+
 let run ~socket ~resolve =
   (* A parent that cancelled us closes its end; a write must then raise
      EPIPE (caught below as a clean exit), not kill the process with
      SIGPIPE before the handler can reason about it. *)
   Wire.ignore_sigpipe ();
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (* conclint: allow CL003 -- the worker process's main thread is a
-     dedicated transport context; there is no pool here at all. *)
-  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let fd = connect socket in
   let finish () = try Unix.close fd with _ -> () in
   match Wire.read_frame fd with
   | exception _ -> finish ()
   | Wire.Hello, payload -> (
-      let { Wire.task; shard; shards; packet_size } =
+      let { Wire.task; shard; shards; packet_size; repartition } =
         Wire.parse_hello payload
       in
       let report_failure exn =
@@ -49,34 +159,26 @@ let run ~socket ~resolve =
         try Wire.write_frame fd Wire.Err (Wire.err ~site ~message)
         with _ -> ()
       in
-      match resolve ~task ~shard ~shards with
+      match
+        let repartition =
+          if not repartition then None
+          else
+            match Wire.read_frame fd with
+            | Wire.Repartition, payload ->
+                Some (Wire.parse_repartition payload)
+            | _ -> raise (Wire.Corrupt "expected a Repartition frame")
+        in
+        (repartition, resolve ~task ~shard ~shards)
+      with
       | exception exn ->
           report_failure exn;
           finish ()
-      | next -> (
-          let shell = Packet.create ~capacity:packet_size ~producer:shard in
-          let flush () =
-            if not (Packet.is_empty shell) then begin
-              Wire.write_frame fd Wire.Data (Codec.encode shell);
-              Packet.reset shell
-            end
-          in
+      | repartition, next -> (
           match
-            let rec pump () =
-              match next () with
-              | None -> flush ()
-              | Some tuple ->
-                  Packet.add shell tuple;
-                  if Packet.is_full shell then begin
-                    (* Between packets is the cancellation point: a
-                       Cancel frame (or a torn-down connection) stops the
-                       stream without waiting for the shard to drain. *)
-                    if cancelled fd then raise Exit;
-                    flush ()
-                  end;
-                  pump ()
-            in
-            pump ()
+            match repartition with
+            | None -> pump_merge fd ~packet_size ~shard next
+            | Some repartition ->
+                pump_repartition fd ~packet_size ~shard ~repartition next
           with
           | () -> (
               match Wire.write_frame fd Wire.Eos Bytes.empty with

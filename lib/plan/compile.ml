@@ -647,12 +647,25 @@ and compile_node env ids obs group scope plan =
                Volcano_net.Launcher in)"
       in
       let child = Exchange.Scope.create () in
+      (* A partitioning spec on a remote edge means exchange-boundary
+         repartitioning: the launcher ships the partition function to the
+         workers, and rows come back routed to the [consumers] ranks of
+         this (consuming) group instead of merge-order.  With one
+         consumer, routing degenerates to merging — skip the frames. *)
+      let consumers = Group.size group in
+      let repartition =
+        match cfg.Exchange.partition with
+        | Exchange.Round_robin -> None
+        | spec when consumers > 1 -> Some (spec, consumers)
+        | _ -> None
+      in
       Exchange.remote_iterator ~id:(ids plan) ~faults ?parent_scope:scope
         ~scope:child
         ?obs:(exchange_obs obs plan)
         cfg ~group
         ~connect:(fun () ->
-          launch ~faults ~workers ~task ~packet_size:cfg.packet_size)
+          launch ~faults ~repartition ~workers ~task
+            ~packet_size:cfg.packet_size)
 
 exception Rejected of Volcano_analysis.Diag.t list
 

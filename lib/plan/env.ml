@@ -7,6 +7,7 @@ module Sched = Volcano_sched.Sched
 
 type remote_launcher =
   faults:Injector.t ->
+  repartition:(Volcano.Exchange.partition_spec * int) option ->
   workers:int ->
   task:string ->
   packet_size:int ->
@@ -16,6 +17,10 @@ type t = {
   buffer : Bufpool.t;
   workspace : Device.t;
   tables : (string, Heap_file.t * Schema.t) Hashtbl.t;
+  catalog : Volcano_storage.Shard.t;
+      (* which tables are partitioned, how, and which worker site owns
+         each partition — consulted when lowering [Scan_table_slice] and
+         by the analyzer's placement checks *)
   indexes : (string, Volcano_btree.Btree.t * Heap_file.t * int list) Hashtbl.t;
   lock : Mutex.t;
   mutable run_capacity : int;
@@ -54,6 +59,7 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
       Device.create_virtual ~name:"<workspace>" ~page_size
         ~capacity:workspace_capacity ();
     tables = Hashtbl.create 16;
+    catalog = Volcano_storage.Shard.create ();
     indexes = Hashtbl.create 16;
     lock = Mutex.create ();
     run_capacity = 65536;
@@ -71,6 +77,7 @@ let create ?(frames = 256) ?(page_size = 4096) ?(workspace_capacity = 65536)
 
 let buffer t = t.buffer
 let workspace t = t.workspace
+let catalog t = t.catalog
 let sched t = Lazy.force t.sched
 
 (* Worker count for the analyzer's placement advisory, WITHOUT forcing

@@ -24,6 +24,13 @@ val create :
 
 val buffer : t -> Volcano_storage.Bufpool.t
 val workspace : t -> Volcano_storage.Device.t
+
+(** The partition catalog: which tables are sharded, how their rows were
+    partitioned, and which worker site owns each partition.  Populated by
+    [Partition.split] / [Partition.load_site]; consulted when lowering
+    [Scan_table_slice] for analysis and by the remote-placement planlint
+    pass (VL704). *)
+val catalog : t -> Volcano_storage.Shard.t
 val spill : t -> Volcano_ops.Sort.spill
 
 val sched : t -> Volcano_sched.Sched.t
@@ -94,6 +101,7 @@ val clear_faults : t -> unit
 
 type remote_launcher =
   faults:Volcano_fault.Injector.t ->
+  repartition:(Volcano.Exchange.partition_spec * int) option ->
   workers:int ->
   task:string ->
   packet_size:int ->
@@ -101,9 +109,12 @@ type remote_launcher =
 (** Launch a remote producer group for a [Plan.Remote] node: spawn
     [workers] processes that each resolve [task] to their shard and
     stream packets back, returned as one transport source per worker.
-    [Volcano_net.Launcher.launch] is the implementation; this library
-    only knows the shape, so it stays independent of the networking
-    subsystem. *)
+    [repartition] is [Some (spec, consumers)] when the enclosing exchange
+    partitions (rather than merges) across [consumers] downstream ranks:
+    the launcher must ship the partition function to the workers so rows
+    come back routed.  [Volcano_net.Launcher.launch] is the
+    implementation; this library only knows the shape, so it stays
+    independent of the networking subsystem. *)
 
 val set_remote_launcher : t -> remote_launcher -> unit
 (** Install the launcher (the CLI and the test harness do this at

@@ -37,15 +37,24 @@ let agg_cols aggs =
 
 (* Leaves resolve against the catalog; a missing table or index becomes
    [Unresolved] and the analyzer reports it in place. *)
-let leaf env plan label =
+let leaf ?parts env plan label =
   match Plan.arity env plan with
-  | arity -> Ir.Leaf { label; arity; rows = None; bad_rows = 0 }
+  | arity -> Ir.Leaf { label; arity; rows = None; bad_rows = 0; parts }
   | exception (Not_found | Invalid_argument _) -> Ir.Unresolved { label }
 
 let rec ir env plan =
   match plan with
   | Plan.Scan_table name -> leaf env plan ("scan:" ^ name)
-  | Plan.Scan_table_slice name -> leaf env plan ("scan-slice:" ^ name)
+  | Plan.Scan_table_slice name ->
+      (* A sliced scan of a partitioned table carries the catalog's
+         partition count into the IR, so the remote-placement pass can
+         check parts against workers without a dependency on the env. *)
+      let parts =
+        match Volcano_storage.Shard.find (Env.catalog env) name with
+        | Some entry -> Some entry.Volcano_storage.Shard.parts
+        | None -> None
+      in
+      leaf ?parts env plan ("scan-slice:" ^ name)
   | Plan.Scan_index { index; _ } -> leaf env plan ("index:" ^ index)
   | Plan.Scan_list { arity; tuples } ->
       Ir.Leaf
@@ -56,12 +65,16 @@ let rec ir env plan =
           bad_rows =
             List.length
               (List.filter (fun t -> Array.length t <> arity) tuples);
+          parts = None;
         }
   | Plan.Generate { arity; count; _ } ->
-      Ir.Leaf { label = "generate"; arity; rows = Some count; bad_rows = 0 }
+      Ir.Leaf
+        { label = "generate"; arity; rows = Some count; bad_rows = 0;
+          parts = None }
   | Plan.Generate_slice { arity; count; _ } ->
       Ir.Leaf
-        { label = "generate-slice"; arity; rows = Some count; bad_rows = 0 }
+        { label = "generate-slice"; arity; rows = Some count; bad_rows = 0;
+          parts = None }
   | Plan.Filter { pred; input; _ } ->
       Ir.Filter { cols = Ir.cols_of_pred pred; input = ir env input }
   | Plan.Project_cols { cols; input } ->

@@ -1,0 +1,107 @@
+module Shard = Volcano_storage.Shard
+module Heap_file = Volcano_storage.Heap_file
+module Serial = Volcano_tuple.Serial
+module Support = Volcano_tuple.Support
+
+(* Partitioned stored tables: split a heap file into per-partition files
+   named by {!Shard.partition_name} ("table#k", the same convention
+   [Scan_table_slice] resolves at compile time) and record the placement
+   in the environment's catalog.
+
+   The catalog's [spec] is pure placement metadata — storage cannot
+   depend on the tuple library, so range bounds live there as opaque
+   Serial-encoded single-column tuples.  This module is where a spec
+   becomes a row router again; [Volcano_net.Repart] does the identical
+   interpretation on the worker side of a repartitioning edge, and the
+   distributed differential suite pins the two to the same answers. *)
+
+let encode_bound v = Bytes.to_string (Serial.encode [| v |])
+let decode_bound encoded = (Serial.decode_bytes (Bytes.of_string encoded)).(0)
+let hash_spec cols = Shard.Hash cols
+
+let range_spec ~col ~bounds =
+  Shard.Range (col, Array.map encode_bound bounds)
+
+(* Instantiate a spec as a router over [parts] partitions — the same
+   [Support.Partition] functions a local exchange uses, so a stored hash
+   partition and a hash repartitioning edge send a key the same way. *)
+let route spec ~parts =
+  match spec with
+  | Shard.Hash cols -> Support.Partition.hash ~consumers:parts ~on:cols ()
+  | Shard.Range (col, bounds) ->
+      Support.Partition.range ~consumers:parts ~on:col
+        ~bounds:(Array.map decode_bound bounds) ()
+
+let default_sites parts = Array.init parts Fun.id
+
+let check_spec ~what ~parts spec =
+  if parts < 1 then invalid_arg (what ^ ": parts must be positive");
+  match spec with
+  | Shard.Hash [] -> invalid_arg (what ^ ": hash spec needs columns")
+  | Shard.Hash cols ->
+      if List.exists (fun c -> c < 0) cols then
+        invalid_arg (what ^ ": negative hash column")
+  | Shard.Range (col, bounds) ->
+      if col < 0 then invalid_arg (what ^ ": negative range column");
+      if Array.length bounds <> parts - 1 then
+        invalid_arg
+          (Printf.sprintf "%s: range spec has %d bounds for %d parts" what
+             (Array.length bounds) parts)
+
+(* Split a registered table into [parts] partition files, register each
+   under its partition name, and record the placement in the catalog.
+   Returns per-partition row counts.  [sites] defaults to the identity
+   placement (partition [k] at site [k]). *)
+let split env ~table ~spec ~parts ?sites () =
+  check_spec ~what:"Partition.split" ~parts spec;
+  let sites = match sites with Some s -> s | None -> default_sites parts in
+  let file, schema = Env.table env table in
+  let targets =
+    Array.init parts (fun part ->
+        Env.create_table env
+          ~name:(Shard.partition_name ~table ~part)
+          ~schema)
+  in
+  let counts = Array.make parts 0 in
+  let router = route spec ~parts in
+  Heap_file.iter file (fun _rid record ->
+      let tuple = Serial.decode_bytes (Bytes.of_string record) in
+      let part = ((router tuple mod parts) + parts) mod parts in
+      ignore (Heap_file.insert targets.(part) record);
+      counts.(part) <- counts.(part) + 1);
+  Shard.add (Env.catalog env) { Shard.table; parts; spec; sites };
+  counts
+
+(* The worker-site mirror of {!split}: materialize only the partitions
+   that [site] owns, from a deterministic generator, without ever holding
+   the full table.  Every site running [load_site] over the same
+   [gen]/[count]/[spec] reconstructs exactly the placement the parent's
+   catalog describes, so a worker resolves [Scan_table_slice] locally. *)
+let load_site env ~table ~schema ~spec ~parts ?sites ~site ~count ~gen () =
+  check_spec ~what:"Partition.load_site" ~parts spec;
+  let sites = match sites with Some s -> s | None -> default_sites parts in
+  if Array.length sites <> parts then
+    invalid_arg "Partition.load_site: sites length must equal parts";
+  let owned = Array.init parts (fun part -> sites.(part) = site) in
+  let targets =
+    Array.init parts (fun part ->
+        if owned.(part) then
+          Some
+            (Env.create_table env
+               ~name:(Shard.partition_name ~table ~part)
+               ~schema)
+        else None)
+  in
+  let counts = Array.make parts 0 in
+  let router = route spec ~parts in
+  for i = 0 to count - 1 do
+    let tuple = gen i in
+    let part = ((router tuple mod parts) + parts) mod parts in
+    match targets.(part) with
+    | None -> ()
+    | Some file ->
+        ignore (Heap_file.insert file (Bytes.to_string (Serial.encode tuple)));
+        counts.(part) <- counts.(part) + 1
+  done;
+  Shard.add (Env.catalog env) { Shard.table; parts; spec; sites };
+  counts

@@ -25,13 +25,15 @@ let rec slice ~shard ~shards plan =
       let local = max 0 ((count - shard + shards - 1) / shards) in
       Plan.Generate
         { arity; count = local; gen = (fun i -> gen (shard + (i * shards))) }
-  | Plan.Scan_table_slice _ ->
-      (* Partition files are keyed by group rank ("name#r"), which a solo
-         worker group cannot resolve; sharding stored tables across
-         worker processes is the storage side of distribution (ROADMAP
-         item 3) and not expressible yet. *)
-      invalid_arg
-        "Remote.slice: Scan_table_slice needs multi-node storage sharding"
+  | Plan.Scan_table_slice name ->
+      (* Partition files are keyed by group rank ("name#r"): worker
+         [shard] owns partition [shard], so the sliced scan resolves to
+         that one partition file in the worker's site-local environment.
+         A worker whose environment does not hold the partition fails
+         loudly at compile (Not_found -> an Err frame), which is exactly
+         what a misrouted shard should do. *)
+      Plan.Scan_table
+        (Volcano_storage.Shard.partition_name ~table:name ~part:shard)
   | Plan.Scan_table _ | Plan.Scan_index _ | Plan.Scan_list _ | Plan.Generate _
     ->
       plan

@@ -9,13 +9,15 @@
 
 val slice : shard:int -> shards:int -> Plan.t -> Plan.t
 (** Rewrite [Generate_slice] leaves to this shard's slice (a plain
-    [Generate] over indices [shard, shard+shards, ...]); leave
+    [Generate] over indices [shard, shard+shards, ...]) and
+    [Scan_table_slice] leaves to a scan of partition file
+    ["table#shard"] ({!Volcano_storage.Shard.partition_name} — the
+    worker's site must hold that partition, or compilation fails its
+    catalog lookup and the failure crosses as an [Err] frame); leave
     duplicated leaves and nested exchange boundaries untouched; recurse
     through everything else (including [Interchange], which compiles in
     the same group).
-    @raise Invalid_argument on [Scan_table_slice] (stored-table sharding
-    across processes needs the multi-node storage work of ROADMAP item 3)
-    or a shard outside [0, shards). *)
+    @raise Invalid_argument on a shard outside [0, shards). *)
 
 val shard_pull :
   Env.t ->

@@ -1,0 +1,214 @@
+(* The partition catalog: which partitions a stored table is split into,
+   by what function, and which site owns each one.
+
+   This is the storage half of sharding a table across worker sites: the
+   catalog is pure placement metadata — partition files themselves are
+   ordinary heap files named [partition_name ~table ~part] in whatever
+   device holds them, and the row-level partition function is interpreted
+   above the storage layer (tuples do not exist down here; range bounds
+   are carried as opaque Serial-encoded bytes).  Like the VTOC, the
+   catalog serializes to a length-prefixed byte image so placement
+   survives a process boundary: the golden fixture in the test suite pins
+   the exact bytes.
+
+   Format (all integers little-endian):
+
+       u16 entry count
+       per entry (sorted by table name, so the image is deterministic):
+         u16 name length | name bytes
+         u16 parts
+         u8  spec tag: 1 = hash, 2 = range
+           hash:  u16 column count | count x u16 column
+           range: u16 column | u16 bound count
+                  | count x (u16 length | Serial bound bytes)
+         parts x u16 owning site *)
+
+type spec =
+  | Hash of int list  (** hash of the listed columns, mod parts *)
+  | Range of int * string array
+      (** column, inclusive upper bounds (Serial-encoded single-column
+          tuples); [parts - 1] bounds split the domain into [parts] *)
+
+type entry = {
+  table : string;
+  parts : int;
+  spec : spec;
+  sites : int array;  (** partition [k] lives at site [sites.(k)] *)
+}
+
+type t = { lock : Mutex.t; entries : (string, entry) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); entries = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let partition_name ~table ~part = Printf.sprintf "%s#%d" table part
+
+let validate e =
+  if e.parts < 1 then
+    invalid_arg (Printf.sprintf "Shard: table %s needs parts >= 1" e.table);
+  if Array.length e.sites <> e.parts then
+    invalid_arg
+      (Printf.sprintf "Shard: table %s has %d parts but %d site entries"
+         e.table e.parts (Array.length e.sites));
+  Array.iter
+    (fun s ->
+      if s < 0 then
+        invalid_arg
+          (Printf.sprintf "Shard: table %s places a partition at site %d"
+             e.table s))
+    e.sites;
+  match e.spec with
+  | Hash cols ->
+      List.iter
+        (fun c ->
+          if c < 0 then
+            invalid_arg
+              (Printf.sprintf "Shard: table %s hashes on column %d" e.table c))
+        cols
+  | Range (col, bounds) ->
+      if col < 0 then
+        invalid_arg
+          (Printf.sprintf "Shard: table %s ranges on column %d" e.table col);
+      if Array.length bounds <> e.parts - 1 then
+        invalid_arg
+          (Printf.sprintf
+             "Shard: table %s has %d parts but %d range bounds (need parts - \
+              1)"
+             e.table e.parts (Array.length bounds))
+
+let add t entry =
+  validate entry;
+  locked t (fun () ->
+      if Hashtbl.mem t.entries entry.table then
+        invalid_arg ("Shard.add: duplicate table " ^ entry.table);
+      Hashtbl.add t.entries entry.table entry)
+
+let find t table = locked t (fun () -> Hashtbl.find_opt t.entries table)
+
+let remove t table =
+  locked t (fun () ->
+      let existed = Hashtbl.mem t.entries table in
+      Hashtbl.remove t.entries table;
+      existed)
+
+let tables t =
+  locked t (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []))
+
+let entry_count t = locked t (fun () -> Hashtbl.length t.entries)
+
+(* Which site serves shard [part] of [table] — the routing question the
+   remote slicer asks. *)
+let site_of t ~table ~part =
+  match find t table with
+  | None -> None
+  | Some e ->
+      if part < 0 || part >= e.parts then None else Some e.sites.(part)
+
+(* Every partition [site] owns, in partition order — what a site-local
+   environment must load to serve its shards. *)
+let partitions_of_site e ~site =
+  List.filter
+    (fun p -> e.sites.(p) = site)
+    (List.init e.parts Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Byte image                                                          *)
+
+let tag_hash = 1
+let tag_range = 2
+
+let encode t =
+  locked t (fun () ->
+      let ordered =
+        List.sort
+          (fun a b -> compare a.table b.table)
+          (Hashtbl.fold (fun _ e acc -> e :: acc) t.entries [])
+      in
+      let b = Buffer.create 256 in
+      Buffer.add_uint16_le b (List.length ordered);
+      List.iter
+        (fun e ->
+          Buffer.add_uint16_le b (String.length e.table);
+          Buffer.add_string b e.table;
+          Buffer.add_uint16_le b e.parts;
+          (match e.spec with
+          | Hash cols ->
+              Buffer.add_uint8 b tag_hash;
+              Buffer.add_uint16_le b (List.length cols);
+              List.iter (Buffer.add_uint16_le b) cols
+          | Range (col, bounds) ->
+              Buffer.add_uint8 b tag_range;
+              Buffer.add_uint16_le b col;
+              Buffer.add_uint16_le b (Array.length bounds);
+              Array.iter
+                (fun bound ->
+                  Buffer.add_uint16_le b (String.length bound);
+                  Buffer.add_string b bound)
+                bounds);
+          Array.iter (Buffer.add_uint16_le b) e.sites)
+        ordered;
+      Buffer.to_bytes b)
+
+exception Corrupt_catalog of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_catalog msg -> Some (Printf.sprintf "Shard.Corrupt_catalog(%s)" msg)
+    | _ -> None)
+
+let decode buf ~pos =
+  let cursor = ref pos in
+  let need n what =
+    if !cursor + n > Bytes.length buf then
+      raise (Corrupt_catalog (what ^ ": truncated image"))
+  in
+  let u16 what =
+    need 2 what;
+    let v = Bytes.get_uint16_le buf !cursor in
+    cursor := !cursor + 2;
+    v
+  in
+  let u8 what =
+    need 1 what;
+    let v = Bytes.get_uint8 buf !cursor in
+    cursor := !cursor + 1;
+    v
+  in
+  let str what =
+    let len = u16 what in
+    need len what;
+    let s = Bytes.sub_string buf !cursor len in
+    cursor := !cursor + len;
+    s
+  in
+  let t = create () in
+  let count = u16 "catalog" in
+  for _ = 1 to count do
+    let table = str "table name" in
+    let parts = u16 "parts" in
+    let spec =
+      match u8 "spec tag" with
+      | tag when tag = tag_hash ->
+          let n = u16 "hash columns" in
+          Hash (List.init n (fun _ -> u16 "hash column"))
+      | tag when tag = tag_range ->
+          let col = u16 "range column" in
+          let n = u16 "range bounds" in
+          Range (col, Array.init n (fun _ -> str "range bound"))
+      | tag ->
+          raise
+            (Corrupt_catalog (Printf.sprintf "unknown spec tag %d" tag))
+    in
+    let sites = Array.init parts (fun _ -> u16 "site") in
+    let entry = { table; parts; spec; sites } in
+    (match validate entry with
+    | () -> ()
+    | exception Invalid_argument msg -> raise (Corrupt_catalog msg));
+    add t entry
+  done;
+  (t, !cursor - pos)

@@ -1,0 +1,52 @@
+(** The partition catalog: how a stored table is split into partition
+    files and which site owns each partition.  Pure placement metadata —
+    the row-level partition function is interpreted above the storage
+    layer (range bounds are opaque Serial-encoded bytes down here), and
+    the byte image pins the format a catalog crosses process boundaries
+    in. *)
+
+type spec =
+  | Hash of int list  (** hash of the listed columns, mod parts *)
+  | Range of int * string array
+      (** column, inclusive upper bounds (Serial-encoded single-column
+          tuples); [parts - 1] bounds split the domain into [parts] *)
+
+type entry = {
+  table : string;
+  parts : int;
+  spec : spec;
+  sites : int array;  (** partition [k] lives at site [sites.(k)] *)
+}
+
+type t
+
+exception Corrupt_catalog of string
+
+val create : unit -> t
+
+val partition_name : table:string -> part:int -> string
+(** The heap-file naming convention partition files live under
+    (["table#part"]), shared with the compiler's group-rank lookup. *)
+
+val add : t -> entry -> unit
+(** Raises [Invalid_argument] on a duplicate table or an inconsistent
+    entry (parts/sites/bounds disagreement). *)
+
+val find : t -> string -> entry option
+val remove : t -> string -> bool
+val tables : t -> string list
+val entry_count : t -> int
+
+val site_of : t -> table:string -> part:int -> int option
+(** Which site serves shard [part] of [table]; [None] when the table is
+    uncataloged or the partition out of range. *)
+
+val partitions_of_site : entry -> site:int -> int list
+(** Every partition the site owns, in partition order. *)
+
+val encode : t -> bytes
+
+val decode : bytes -> pos:int -> t * int
+(** Decode an image produced by [encode]; returns the catalog and the
+    number of bytes consumed.  Raises [Corrupt_catalog] on a truncated
+    or inconsistent image. *)

@@ -3,6 +3,8 @@
 let () =
   if Array.length Sys.argv >= 3 && Sys.argv.(1) = "net-worker" then
     Test_net.worker_main ~socket:Sys.argv.(2)
+  else if Array.length Sys.argv >= 3 && Sys.argv.(1) = "shard-worker" then
+    Test_shard.worker_main ~socket:Sys.argv.(2)
   else
     Alcotest.run "volcano"
     [
@@ -31,4 +33,5 @@ let () =
       ("wisconsin", Test_wisconsin.suite);
       ("edges", Test_extra_edges.suite);
       ("net", Test_net.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -138,7 +138,8 @@ let test_exchange_config_literals () =
      through the same [Exchange.validate] the constructor calls. *)
   let module Ir = Volcano_analysis.Ir in
   let leaf =
-    Ir.Leaf { label = "gen"; arity = 3; rows = Some 10; bad_rows = 0 }
+    Ir.Leaf
+      { label = "gen"; arity = 3; rows = Some 10; bad_rows = 0; parts = None }
   in
   let base =
     {

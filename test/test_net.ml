@@ -23,6 +23,7 @@ module Injector = Volcano_fault.Injector
 module Wire = Volcano_net.Wire
 module Codec = Volcano_net.Codec
 module Launcher = Volcano_net.Launcher
+module Repart = Volcano_net.Repart
 module Serve = Volcano_net.Serve
 module Sched = Volcano_sched.Sched
 module Bufpool = Volcano_storage.Bufpool
@@ -69,10 +70,15 @@ let worker_main ~socket =
 let worker_command ~socket = [| Sys.executable_name; "net-worker"; socket |]
 
 let register ?pids env =
-  Env.set_remote_launcher env (fun ~faults ~workers ~task ~packet_size ->
+  Env.set_remote_launcher env (fun ~faults ~repartition ~workers ~task
+                                   ~packet_size ->
       let launched =
-        Launcher.launch ~faults ~command:worker_command ~workers ~task
-          ~packet_size ()
+        Launcher.launch ~faults
+          ?repartition:
+            (Option.map
+               (fun (spec, dests) -> Repart.of_partition_spec spec ~dests)
+               repartition)
+          ~command:worker_command ~workers ~task ~packet_size ()
       in
       Option.iter (fun r -> r := Array.to_list launched.Launcher.pids) pids;
       launched.Launcher.sources)
@@ -177,11 +183,21 @@ let prop_truncation_rejected =
       List.for_all rejected (List.init (Bytes.length buf) Fun.id))
 
 let test_wire_hello_err_roundtrip () =
-  let h = Wire.parse_hello (Wire.hello ~task:"corpus:7:2" ~shard:3 ~shards:5 ~packet_size:83) in
+  let h =
+    Wire.parse_hello
+      (Wire.hello ~task:"corpus:7:2" ~shard:3 ~shards:5 ~packet_size:83 ())
+  in
   Alcotest.(check string) "task" "corpus:7:2" h.Wire.task;
   Alcotest.(check int) "shard" 3 h.Wire.shard;
   Alcotest.(check int) "shards" 5 h.Wire.shards;
   Alcotest.(check int) "packet size" 83 h.Wire.packet_size;
+  Alcotest.(check bool) "merge hello" false h.Wire.repartition;
+  let h' =
+    Wire.parse_hello
+      (Wire.hello ~repartition:true ~task:"t" ~shard:0 ~shards:1
+         ~packet_size:7 ())
+  in
+  Alcotest.(check bool) "repartition flag" true h'.Wire.repartition;
   let site, message = Wire.parse_err (Wire.err ~site:"net-worker-1" ~message:"boom") in
   Alcotest.(check string) "site" "net-worker-1" site;
   Alcotest.(check string) "message" "boom" message
@@ -450,11 +466,11 @@ let test_planlint_remote () =
 (* --- the serving plane ------------------------------------------------ *)
 
 let test_serve_concurrent_clients () =
-  let socket =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "volcano-test-serve-%d.sock" (Unix.getpid ()))
-  in
+  (* An atomically created temp name, not a pid-derived one: pid reuse
+     after a crashed run could leave a stale socket file exactly where a
+     pid-named path would bind next. *)
+  let socket = Filename.temp_file "volcano-test-serve-" ".sock" in
+  Unix.unlink socket;
   let handle task =
     match int_of_string_opt task with
     | Some n -> Ok (List.init n (fun i -> Tuple.of_ints [ i; i * 3 ]))
