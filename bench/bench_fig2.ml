@@ -138,7 +138,7 @@ let json_of_series data =
 let profile_packet83 () =
   let env = fresh_env () in
   let report =
-    Volcano_plan.Profile.run env (sweep_plan sweep_records 83)
+    Volcano_plan.Profile.execute env (sweep_plan sweep_records 83)
   in
   Volcano_plan.Profile.to_json report
 

@@ -39,7 +39,7 @@ let burst session =
         let jobs =
           List.init plans (fun i ->
               Session.submit_count ~label:(Printf.sprintf "mq-%d" i) session
-                (query ()))
+                (`Plan (query ())))
         in
         List.iter
           (fun job ->

@@ -56,7 +56,7 @@ let measure () =
         match int_of_string_opt task with
         | None -> Error ("serve", "bad task " ^ task)
         | Some n -> (
-            match Session.exec session (generate_slice n) with
+            match Session.exec session (`Plan (generate_slice n)) with
             | rows -> Ok rows
             | exception exn -> Error ("serve", Printexc.to_string exn))
       in

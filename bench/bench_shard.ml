@@ -139,11 +139,11 @@ let measure () =
   in
   (* one counted run for rows and wire traffic, then timed reps (the
      counters keep accumulating during reps; read before) *)
-  let dist_rows = Compile.run dist_env dist_plan in
+  let dist_rows = run_plan dist_env dist_plan in
   let dist_bytes = wire_bytes dist_obs ~sites:parts in
   let dist_s =
     min_of_reps (fun () ->
-        snd (Clock.time (fun () -> ignore (Compile.run dist_env dist_plan))))
+        snd (Clock.time (fun () -> ignore (run_plan dist_env dist_plan))))
   in
   (* scan-and-ship: one site ships the raw relation, parent aggregates *)
   let ship_obs = Obs.create () in
@@ -155,11 +155,11 @@ let measure () =
          ~task:(Printf.sprintf "ship:%d" shard_rows)
          (Plan.Scan_table_slice table))
   in
-  let ship_rows = Compile.run ship_env ship_plan in
+  let ship_rows = run_plan ship_env ship_plan in
   let ship_bytes = wire_bytes ship_obs ~sites:1 in
   let ship_s =
     min_of_reps (fun () ->
-        snd (Clock.time (fun () -> ignore (Compile.run ship_env ship_plan))))
+        snd (Clock.time (fun () -> ignore (run_plan ship_env ship_plan))))
   in
   {
     dist_s;

@@ -1,0 +1,225 @@
+(* SQL optimizer acceptance: the one-SQL-string Wisconsin-shaped query
+   (equi-join + group-by over a hash-sharded stored table) against the
+   plan a careful author would build by hand with explicit exchange
+   placement.
+
+   Four floors, wired into `--check-sql` / @bench-smoke:
+     - the chosen plan passes planlint with zero diagnostics;
+     - it places at least one non-round-robin (keyed) exchange on its
+       own — the shard-aligned join and grouped aggregation both force
+       data movement the optimizer must discover, not be handed;
+     - it computes exactly the hand plan's (and the serial plan's) rows;
+     - its wall clock is within 1.3x of the hand-built parallel plan
+       (min-of-reps on both sides, so scheduler noise cancels). *)
+
+open Bench_common
+module Parallel = Volcano_plan.Parallel
+module Partition = Volcano_plan.Partition
+module Exchange = Volcano.Exchange
+module Agg = Volcano_ops.Aggregate
+module Expr = Volcano_tuple.Expr
+module W = Volcano_wisconsin.Wisconsin
+module Sql = Volcano_sql.Sql
+
+let sql_rows =
+  match Sys.getenv_opt "VOLCANO_SQL_ROWS" with
+  | Some s -> int_of_string s
+  | None -> 40_000
+
+let parts = 3
+let ratio_floor = 1.3
+
+(* emp is a plain stored table; hemp is the same relation hash-sharded
+   on the join key, partition k placed at site k. *)
+let make_env () =
+  let env = Env.create ~frames:2048 () in
+  W.load ~env ~name:"emp" ~n:sql_rows ();
+  W.load ~env ~name:"hemp" ~n:sql_rows ();
+  ignore
+    (Partition.split env ~table:"hemp"
+       ~spec:(Partition.hash_spec [ W.column "unique1" ])
+       ~parts ());
+  env
+
+let query =
+  "SELECT h.ten, COUNT(*), SUM(e.unique1) FROM hemp AS h JOIN emp AS e ON \
+   (h.unique1 = e.unique1) GROUP BY h.ten"
+
+(* What a careful plan author writes today: scan hemp's partition files
+   at the shard width (already co-located on the join key), repartition
+   emp to match, join per member, pre-aggregate locally, repartition the
+   partials on the group key, combine, gather.  COUNT combines as a sum
+   of partial counts. *)
+let hand_plan () =
+  let ukey = W.column "unique1" in
+  let ten = W.column "ten" in
+  let keyed cols =
+    Exchange.config ~degree:parts ~partition:(Exchange.Hash_on cols) ()
+  in
+  let join =
+    Plan.Match
+      {
+        algo = Plan.Hash_based;
+        kind = Volcano_ops.Match_op.Join;
+        left_key = [ ukey ];
+        right_key = [ ukey ];
+        left = Plan.Scan_table_slice "hemp";
+        right =
+          Plan.Exchange
+            { cfg = keyed [ ukey ]; input = Plan.Scan_table_slice "emp" };
+      }
+  in
+  let local =
+    Plan.Aggregate
+      {
+        algo = Plan.Hash_based;
+        group_by = [ ten ];
+        aggs = [ Agg.Count; Agg.Sum (Expr.Col (16 + ukey)) ];
+        input = join;
+      }
+  in
+  let combine =
+    Plan.Aggregate
+      {
+        algo = Plan.Hash_based;
+        group_by = [ 0 ];
+        aggs = [ Agg.Sum (Expr.Col 1); Agg.Sum (Expr.Col 2) ];
+        input = Plan.Exchange { cfg = keyed [ 0 ]; input = local };
+      }
+  in
+  Plan.Exchange { cfg = Exchange.config ~degree:parts (); input = combine }
+
+(* The serial reference answer, for the equal-results floor. *)
+let serial_plan () =
+  Plan.Aggregate
+    {
+      algo = Plan.Hash_based;
+      group_by = [ W.column "ten" ];
+      aggs =
+        [ Agg.Count; Agg.Sum (Expr.Col (16 + W.column "unique1")) ];
+      input =
+        Plan.Match
+          {
+            algo = Plan.Hash_based;
+            kind = Volcano_ops.Match_op.Join;
+            left_key = [ W.column "unique1" ];
+            right_key = [ W.column "unique1" ];
+            left = Plan.Scan_table "hemp";
+            right = Plan.Scan_table "emp";
+          };
+    }
+
+let rec plan_nodes p = p :: List.concat_map plan_nodes (Plan.children p)
+
+let keyed_exchanges p =
+  List.filter
+    (function
+      | Plan.Exchange { cfg; _ } | Plan.Exchange_merge { cfg; _ } -> (
+          match cfg.Exchange.partition with
+          | Exchange.Hash_on _ | Exchange.Range_on _ -> true
+          | _ -> false)
+      | _ -> false)
+    (plan_nodes p)
+
+type measured = {
+  sql_s : float;
+  hand_s : float;
+  serial_s : float;
+  groups : int;
+  diags : int;
+  keyed : int;
+  results_equal : bool;
+}
+
+let measure () =
+  let env = make_env () in
+  let choice = Sql.plan ~workers:parts env query in
+  let sql_plan = choice.Volcano_sql.Optimizer.plan in
+  let hand = hand_plan () in
+  let serial = serial_plan () in
+  let diags = List.length (Compile.analyze ~workers:parts env sql_plan) in
+  let keyed = List.length (keyed_exchanges sql_plan) in
+  let sorted rows = List.sort Tuple.compare rows in
+  let sql_rows_out = run_plan env sql_plan in
+  let hand_rows = run_plan env hand in
+  let serial_rows = run_plan env serial in
+  let results_equal =
+    sorted sql_rows_out = sorted hand_rows
+    && sorted sql_rows_out = sorted serial_rows
+  in
+  let time plan =
+    min_of_reps (fun () ->
+        snd (Clock.time (fun () -> ignore (run_plan env plan))))
+  in
+  let sql_s = time sql_plan in
+  let hand_s = time hand in
+  let serial_s = time serial in
+  {
+    sql_s;
+    hand_s;
+    serial_s;
+    groups = List.length sql_rows_out;
+    diags;
+    keyed;
+    results_equal;
+  }
+
+let print_measured m =
+  row "%-28s %10s\n" "" "elapsed(s)";
+  hline 40;
+  row "%-28s %10.3f\n" "SQL (optimizer)" m.sql_s;
+  row "%-28s %10.3f\n" "hand-built parallel" m.hand_s;
+  row "%-28s %10.3f\n" "hand-built serial" m.serial_s;
+  row
+    "\nratio vs hand %.3fx, %d keyed exchange(s), %d diagnostic(s), %d \
+     groups%s\n"
+    (m.sql_s /. m.hand_s)
+    m.keyed m.diags m.groups
+    (if m.results_equal then "" else "  RESULTS DIVERGE")
+
+let run () =
+  header
+    (Printf.sprintf
+       "SQL front door: optimizer vs hand-built plan, %d rows, %d shards"
+       sql_rows parts);
+  Printf.printf "%s\n\n" query;
+  let m = measure () in
+  print_measured m;
+  json_add "sql"
+    (Jsonx.Obj
+       [
+         ("rows", Jsonx.Int sql_rows);
+         ("parts", Jsonx.Int parts);
+         ("sql_s", Jsonx.Float m.sql_s);
+         ("hand_s", Jsonx.Float m.hand_s);
+         ("serial_s", Jsonx.Float m.serial_s);
+         ("keyed_exchanges", Jsonx.Int m.keyed);
+         ("diagnostics", Jsonx.Int m.diags);
+         ("groups", Jsonx.Int m.groups);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance gate: --check-sql.  No baseline file: every floor is
+   relative to plans built in the same process, so the gate is
+   host-speed independent. *)
+
+let check () =
+  header
+    (Printf.sprintf "SQL check: optimizer vs hand plan, %d rows (floor %.1fx)"
+       sql_rows ratio_floor);
+  Printf.printf "%s\n\n" query;
+  let m = measure () in
+  print_measured m;
+  let lint_ok = m.diags = 0 in
+  let keyed_ok = m.keyed > 0 in
+  let ratio = m.sql_s /. m.hand_s in
+  let speed_ok = ratio <= ratio_floor in
+  row "\nplanlint: %s\n"
+    (if lint_ok then "clean" else Printf.sprintf "%d DIAGNOSTIC(S)" m.diags);
+  row "keyed exchanges: %d  %s\n" m.keyed
+    (if keyed_ok then "ok" else "NONE PLACED");
+  row "results: %s\n" (if m.results_equal then "equal" else "DIVERGED");
+  row "elapsed vs hand plan: %.3f / %.3f = %.2fx (floor %.1fx)  %s\n" m.sql_s
+    m.hand_s ratio ratio_floor
+    (if speed_ok then "ok" else "TOO SLOW");
+  lint_ok && keyed_ok && m.results_equal && speed_ok

@@ -48,7 +48,7 @@ let run () =
   header (Printf.sprintf "T1: exchange overhead (%d records, 4 ints each)" n);
 
   let _, t_a = Volcano_util.Clock.time (fun () ->
-      ignore (Compile.run_count env (generate n))) in
+      ignore (run_count_plan env (generate n))) in
   let count_b, t_b =
     Volcano_util.Clock.time (fun () ->
         Iterator.consume (interchange_chain n 3))

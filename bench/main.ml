@@ -7,7 +7,8 @@
            dune exec bench/main.exe -- --check-batch BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-serve BASELINE [--tolerance T]
            dune exec bench/main.exe -- --check-shard BASELINE [--tolerance T]
-   Experiments: t1 fig2 mq batch serve shard a1 a2 a3 a4 a5 a6 a7 a8
+           dune exec bench/main.exe -- --check-sql
+   Experiments: t1 fig2 mq batch serve shard sql a1 a2 a3 a4 a5 a6 a7 a8
    micro all (default: all)
    --json FILE writes the machine-readable results the experiments
    accumulated (see Bench_common.json_add), e.g. BENCH_fig2.json.
@@ -21,8 +22,12 @@
    re-drives the concurrent-client serving burst against BENCH_serve.json
    with a zero-dropped-requests floor; --check-shard re-runs the sharded
    stored-table aggregate against BENCH_shard.json with equal-results and
-   fewer-bytes-over-the-wire floors; `dune build @bench-smoke` runs all
-   five.
+   fewer-bytes-over-the-wire floors; --check-sql re-plans the SQL
+   acceptance query (join + group-by over a sharded table) with
+   baseline-free floors: planlint-clean, at least one keyed exchange,
+   rows equal to the hand-built plans, and wall clock within 1.3x of
+   the hand-built parallel plan; `dune build @bench-smoke` runs all
+   six.
    Environment: VOLCANO_RECORDS (default 100000),
                 VOLCANO_SWEEP_RECORDS (default 30000),
                 VOLCANO_BENCH_REPS (default 6; gated timings are
@@ -47,6 +52,7 @@ let experiments =
     ("batch", Bench_batch.run);
     ("serve", Bench_serve.run);
     ("shard", Bench_shard.run);
+    ("sql", Bench_sql.run);
     ("a1", Bench_ablations.a1_flow_slack);
     ("a2", Bench_ablations.a2_fork_scheme);
     ("a3", Bench_ablations.a3_partition_balance);
@@ -66,6 +72,7 @@ type opts = {
   check_batch : string option;
   check_serve : string option;
   check_shard : string option;
+  check_sql : bool;
   tolerance : float;
 }
 
@@ -99,6 +106,7 @@ let rec split_args opts = function
   | "--check-shard" :: [] ->
       prerr_endline "--check-shard requires a BASELINE argument";
       exit 2
+  | "--check-sql" :: rest -> split_args { opts with check_sql = true } rest
   | "--tolerance" :: t :: rest -> (
       match float_of_string_opt t with
       | Some tolerance when tolerance >= 0.0 ->
@@ -122,6 +130,7 @@ let () =
         check_batch = None;
         check_serve = None;
         check_shard = None;
+        check_sql = false;
         tolerance = 0.15;
       }
       (List.tl (Array.to_list Sys.argv))
@@ -149,6 +158,7 @@ let () =
       exit
         (if Bench_shard.check ~baseline ~tolerance:opts.tolerance then 0 else 1)
   | None -> ());
+  if opts.check_sql then exit (if Bench_sql.check () then 0 else 1);
   let names, json_path = (opts.names, opts.json) in
   let requested =
     match names with

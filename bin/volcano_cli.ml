@@ -29,6 +29,7 @@ module Expr = Volcano_tuple.Expr
 module Tuple = Volcano_tuple.Tuple
 module Support = Volcano_tuple.Support
 module W = Volcano_wisconsin.Wisconsin
+module Sql = Volcano_sql.Sql
 module Clock = Volcano_util.Clock
 module Serve = Volcano_net.Serve
 module Obs = Volcano_obs.Obs
@@ -305,6 +306,72 @@ let parse_task task =
             demo:<name>:<rows>:<degree>)"
            task)
 
+(* --- SQL: the canonical request shape -------------------------------- *)
+
+(* The SQL frontend is the one canonical request shape: `query` and the
+   serve daemon both accept a statement as text and hand it to the
+   optimizer.  Task strings above stay accepted everywhere — the
+   net-worker slicing protocol depends on them — but every task that can
+   be said in SQL is a thin alias: [sql_of_task] surfaces the equivalent
+   statement, which is what actually runs. *)
+let () = Sql.install ()
+
+let looks_like_sql text =
+  let t = String.trim text in
+  String.length t > 6
+  && String.lowercase_ascii (String.sub t 0 6) = "select"
+  && (* word boundary: don't mistake the demo named "selection" *)
+  (match t.[6] with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> false
+  | _ -> true)
+
+let sql_of_task task =
+  let spf = Printf.sprintf in
+  match String.split_on_char ':' task with
+  | [ "wisconsin"; rows ] ->
+      Option.map (spf "SELECT * FROM wisconsin(%d)") (int_of_string_opt rows)
+  | [ "wisconsin"; rows; seed ] -> (
+      match (int_of_string_opt rows, int_of_string_opt seed) with
+      | Some n, Some s -> Some (spf "SELECT * FROM wisconsin(%d, %d)" n s)
+      | _ -> None)
+  | [ "demo"; name; rows; _degree ] -> (
+      match int_of_string_opt rows with
+      | None -> None
+      | Some n -> (
+          (* The degree is absent on purpose: the optimizer owns the
+             parallelism decision for SQL requests. *)
+          match name with
+          | "selection" ->
+              Some (spf "SELECT * FROM wisconsin(%d) WHERE two = 0" n)
+          | "aggregate" | "parallel-aggregate" ->
+              Some
+                (spf
+                   "SELECT ten, COUNT(*), SUM(unique1) FROM wisconsin(%d) \
+                    GROUP BY ten"
+                   n)
+          | "two-phase-aggregate" ->
+              Some
+                (spf
+                   "SELECT ten, COUNT(*), AVG(unique1) FROM wisconsin(%d) \
+                    GROUP BY ten"
+                   n)
+          | "join" | "parallel-join" ->
+              Some
+                (spf
+                   "SELECT * FROM wisconsin(%d, 1) AS a JOIN wisconsin(%d, \
+                    2) AS b ON a.unique1 = b.unique1"
+                   n (n / 4))
+          | "sort" | "parallel-sort" ->
+              Some (spf "SELECT * FROM wisconsin(%d) ORDER BY unique1" n)
+          | "pipeline" ->
+              Some
+                (spf
+                   "SELECT unique1, four FROM wisconsin(%d) WHERE \
+                    ten_percent = 0"
+                   n)
+          | _ -> None))
+  | _ -> None
+
 (* --- partitioned stored tables: the [stored:] task vocabulary ------- *)
 
 (* [create-table] partitions a generated Wisconsin relation and (with
@@ -374,15 +441,37 @@ let list_cmd () =
 
 (* Catalog-only commands need no scheduler; the lazy [Env] never spins
    up the pool when all we do is pretty-print the plan. *)
-let explain_cmd name rows degree =
-  match find_query name with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok q ->
-      let env = Env.create () in
-      print_string (Plan.explain env (q.build ~rows ~degree));
-      0
+let strict_gate strict env ?workers ?batch_size plan =
+  if not strict then 0
+  else
+    let diags = Compile.analyze ?workers ?batch_size env plan in
+    Format.printf "%a" Volcano_analysis.Diag.pp_report diags;
+    if diags <> [] then 1 else 0
+
+let explain_cmd name rows degree strict workers batch_size =
+  if looks_like_sql name then (
+    let env = Env.create ~frames:2048 ?batch_size () in
+    match Sql.plan ?workers env name with
+    | exception Sql.Error m ->
+        prerr_endline m;
+        2
+    | choice ->
+        print_string (Volcano_sql.Optimizer.render env choice);
+        (* The optimizer only emits analyzer-clean plans, so --strict
+           re-checking is a tautology here by design; it still runs so
+           the gate means the same thing for SQL and demo plans. *)
+        strict_gate strict env ?workers ?batch_size
+          choice.Volcano_sql.Optimizer.plan)
+  else
+    match find_query name with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok q ->
+        let env = Env.create ~frames:2048 () in
+        let plan = q.build ~rows ~degree in
+        print_string (Plan.explain env plan);
+        strict_gate strict env ?workers ?batch_size plan
 
 let with_sess workers batch_size f =
   Session.with_session ?workers ?batch_size ~frames:2048 (fun s ->
@@ -412,7 +501,7 @@ let run_cmd name rows degree limit workers batch_size =
   | Ok q -> (
       with_sess workers batch_size @@ fun s ->
       let plan = q.build ~rows ~degree in
-      match Clock.time (fun () -> Session.exec s plan) with
+      match Clock.time (fun () -> Session.exec s (`Plan plan)) with
       | exception Compile.Rejected errors ->
           prerr_endline "plan rejected by the static analyzer:";
           List.iter
@@ -437,7 +526,7 @@ let profile_cmd name rows degree trace json workers batch_size =
   | Ok q -> (
       with_sess workers batch_size @@ fun s ->
       let plan = q.build ~rows ~degree in
-      match Session.profile s plan with
+      match Session.profile s (`Plan plan) with
       | exception Compile.Rejected errors ->
           prerr_endline "plan rejected by the static analyzer:";
           List.iter
@@ -553,7 +642,10 @@ let create_table_cmd rows parts by remote_scan tcp =
               input = Plan.Scan_table_slice stored_table;
             }
         in
-        match Clock.time (fun () -> Compile.run env plan) with
+        match
+          Clock.time (fun () ->
+              Volcano.Iterator.to_list (Compile.compile env plan))
+        with
         | exception Exchange.Query_failed { site; origin } ->
             Printf.eprintf "remote scan failed at %s: %s\n" site
               (Printexc.to_string origin);
@@ -579,12 +671,24 @@ let serve_cmd socket workers batch_size max_concurrent =
   Session.with_session ?workers ?batch_size ?max_concurrent ~frames:2048
   @@ fun s ->
   register_launcher (Session.env s);
+  (* A request is SQL text, a task with a SQL spelling (translated, and
+     the canonical spelling logged), or a plan-only task. *)
   let handle task =
-    match parse_task task with
+    let input =
+      if looks_like_sql task then Ok (`Sql task)
+      else
+        match sql_of_task task with
+        | Some sql ->
+            Printf.printf "task %s == %s\n%!" task sql;
+            Ok (`Sql sql)
+        | None -> Result.map (fun p -> `Plan p) (parse_task task)
+    in
+    match input with
     | Error e -> Error ("task", e)
-    | Ok plan -> (
-        match Session.exec s plan with
+    | Ok input -> (
+        match Session.exec s input with
         | rows -> Ok rows
+        | exception Sql.Error m -> Error ("sql", m)
         | exception Exchange.Query_failed { site; origin } ->
             Error (site, Printexc.to_string origin)
         | exception Compile.Rejected errors ->
@@ -606,33 +710,86 @@ let with_client socket f =
   let c = Serve.Client.connect ~socket in
   Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
 
-let query_cmd socket task limit =
-  with_client socket @@ fun c ->
-  match Serve.Client.query c task with
-  | Ok rows ->
-      (* SIGPIPE is ignored for the socket's sake, so `query ... | head`
-         surfaces as Sys_error on stdout — the consumer closed; done. *)
-      (try
-         Printf.printf "%d rows\n" (List.length rows);
-         List.iteri
-           (fun i t -> if i < limit then print_endline (Tuple.to_string t))
-           rows;
-         if List.length rows > limit then
-           Printf.printf "... (%d more rows; use --limit)\n"
-             (List.length rows - limit)
-       with Sys_error _ -> (
-         (* Point the dirty stdout buffer at /dev/null so the at_exit
-            flush cannot raise a second time. *)
-         try
-           let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
-           Unix.dup2 null Unix.stdout;
-           Unix.close null;
-           flush stdout
-         with _ -> ()));
-      0
-  | Error (site, message) ->
-      Printf.eprintf "query failed at %s: %s\n" site message;
-      1
+(* SIGPIPE is ignored for the socket's sake, so `query ... | head`
+   surfaces as Sys_error on stdout — the consumer closed; done. *)
+let print_rows ?elapsed rows limit =
+  try
+    (match elapsed with
+    | Some t -> Printf.printf "%d rows in %.3f s\n" (List.length rows) t
+    | None -> Printf.printf "%d rows\n" (List.length rows));
+    List.iteri
+      (fun i t -> if i < limit then print_endline (Tuple.to_string t))
+      rows;
+    if List.length rows > limit then
+      Printf.printf "... (%d more rows; use --limit)\n"
+        (List.length rows - limit)
+  with Sys_error _ -> (
+    (* Point the dirty stdout buffer at /dev/null so the at_exit
+       flush cannot raise a second time. *)
+    try
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 null Unix.stdout;
+      Unix.close null;
+      flush stdout
+    with _ -> ())
+
+(* One request shape, two transports: by default the statement runs
+   in-process through the Session front door; --socket hands the same
+   text to a serve daemon.  Task strings that have a SQL spelling are
+   translated first (and the spelling printed), so the SQL text is what
+   actually executes. *)
+let query_cmd socket request limit workers batch_size =
+  let translated =
+    if looks_like_sql request then Some request
+    else
+      match sql_of_task request with
+      | Some sql ->
+          Printf.printf "-- %s is shorthand for:\n--   %s\n" request sql;
+          Some sql
+      | None -> None
+  in
+  match socket with
+  | Some socket -> (
+      (* The daemon performs the same task-to-SQL translation, so send
+         the request verbatim. *)
+      with_client socket @@ fun c ->
+      match Serve.Client.query c request with
+      | Ok rows ->
+          print_rows rows limit;
+          0
+      | Error (site, message) ->
+          Printf.eprintf "query failed at %s: %s\n" site message;
+          1)
+  | None -> (
+      let input =
+        match translated with
+        | Some sql -> Ok (`Sql sql)
+        | None -> Result.map (fun p -> `Plan p) (parse_task request)
+      in
+      match input with
+      | Error e ->
+          prerr_endline e;
+          2
+      | Ok input -> (
+          with_sess workers batch_size @@ fun s ->
+          match Clock.time (fun () -> Session.exec s input) with
+          | exception Sql.Error m ->
+              prerr_endline m;
+              2
+          | exception Compile.Rejected errors ->
+              prerr_endline "plan rejected by the static analyzer:";
+              List.iter
+                (fun d ->
+                  prerr_endline ("  " ^ Volcano_analysis.Diag.to_string d))
+                errors;
+              1
+          | exception Exchange.Query_failed { site; origin } ->
+              Printf.eprintf "query failed at %s: %s\n" site
+                (Printexc.to_string origin);
+              1
+          | rows, elapsed ->
+              print_rows ~elapsed rows limit;
+              0))
 
 let shutdown_cmd socket =
   with_client socket @@ fun c ->
@@ -757,7 +914,19 @@ let name_arg =
 
 let list_term = Term.(const list_cmd $ const ())
 
-let explain_term = Term.(const explain_cmd $ name_arg $ rows_arg $ degree_arg)
+let explain_term =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "After printing the plan, run the static analyzer and exit \
+             non-zero when $(i,any) diagnostic is emitted, warnings \
+             included.  For lint gates in CI.")
+  in
+  Term.(
+    const explain_cmd $ name_arg $ rows_arg $ degree_arg $ strict
+    $ workers_arg $ batch_size_arg)
 
 let analyze_term =
   let strict =
@@ -892,10 +1061,21 @@ let serve_term =
     $ max_concurrent)
 
 let query_term =
-  let task =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"TASK")
+  let request =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL|TASK")
   in
-  Term.(const query_cmd $ socket_arg $ task $ limit_arg)
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Send the request to a running serve daemon at this socket \
+             instead of executing it in-process.")
+  in
+  Term.(
+    const query_cmd $ socket $ request $ limit_arg $ workers_arg
+    $ batch_size_arg)
 
 let shutdown_term = Term.(const shutdown_cmd $ socket_arg)
 
@@ -920,7 +1100,14 @@ let serve_smoke_term =
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List the demo queries.") list_term;
-    Cmd.v (Cmd.info "explain" ~doc:"Print a query's operator tree.") explain_term;
+    Cmd.v
+      (Cmd.info "explain"
+         ~doc:
+           "Print a query's operator tree.  Takes a SQL statement (the \
+            optimizer's chosen plan plus its candidate notes) or a demo \
+            name from `list`; --strict additionally runs the static \
+            analyzer and exits non-zero on any diagnostic.")
+      explain_term;
     Cmd.v
       (Cmd.info "analyze"
          ~doc:
@@ -949,9 +1136,12 @@ let cmds =
     Cmd.v
       (Cmd.info "query"
          ~doc:
-           "Send one task to a running serve daemon and print the result \
-            rows.  Tasks: wisconsin:<rows>[:<seed>], or \
-            demo:<name>:<rows>:<degree> for any query from `list`.")
+           "Execute one request and print the result rows.  The request \
+            is a SQL statement (planned by the optimizer) or a task — \
+            wisconsin:<rows>[:<seed>], or demo:<name>:<rows>:<degree> \
+            for any query from `list`; tasks with a SQL spelling print \
+            it and run as SQL.  Default is in-process; --socket routes \
+            the same request to a running serve daemon.")
       query_term;
     Cmd.v
       (Cmd.info "shutdown" ~doc:"Stop a running serve daemon.")

@@ -56,7 +56,7 @@ let () =
   in
   print_string "-- the eight-process plan --\n";
   print_string (Plan.explain env a);
-  let rows, time = Clock.time (fun () -> Session.exec s a) in
+  let rows, time = Clock.time (fun () -> Session.exec s (`Plan a)) in
   Printf.printf "\n%d records flowed D -> C -> B -> A across 8 processes in %.3f s\n\n"
     (n / 10) time;
   List.iter

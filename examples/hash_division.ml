@@ -55,7 +55,7 @@ let division ~dividend ~divisor algo =
     { algo; quotient = [ 0 ]; divisor_attrs = [ 1 ]; divisor_key = [ 0 ];
       dividend; divisor }
 
-let run_sorted s plan = List.sort Tuple.compare (Session.exec s plan)
+let run_sorted s plan = List.sort Tuple.compare (Session.exec s (`Plan plan))
 
 let () =
   Session.with_session ~frames:1024 @@ fun s ->

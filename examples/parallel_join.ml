@@ -42,7 +42,7 @@ let () =
   print_string "-- serial hash join --\n";
   print_string (Plan.explain env serial);
   let serial_count, serial_time =
-    Clock.time (fun () -> Session.exec_count s serial)
+    Clock.time (fun () -> Session.exec_count s (`Plan serial))
   in
   Printf.printf "result: %d rows in %.3f s\n\n" serial_count serial_time;
 
@@ -50,7 +50,7 @@ let () =
   print_string (Plan.explain env (parallel 4));
   List.iter
     (fun degree ->
-      let count, time = Clock.time (fun () -> Session.exec_count s (parallel degree)) in
+      let count, time = Clock.time (fun () -> Session.exec_count s (`Plan (parallel degree))) in
       assert (count = serial_count);
       Printf.printf "degree %d: %d rows in %.3f s\n" degree count time)
     [ 1; 2; 4 ];

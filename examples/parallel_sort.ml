@@ -38,7 +38,7 @@ let () =
   Env.set_sort_run_capacity env 8_192 (* force external runs *);
 
   let serial = Plan.Sort { key; input = W.plan ~n () } in
-  let rows, time = Clock.time (fun () -> Session.exec s serial) in
+  let rows, time = Clock.time (fun () -> Session.exec s (`Plan serial)) in
   assert (is_sorted rows);
   Printf.printf "serial external sort:        %d rows in %.3f s\n%!"
     (List.length rows) time;
@@ -49,7 +49,7 @@ let () =
   in
   print_string "\n-- merge network (degree 3) --\n";
   print_string (Plan.explain env (merge_network 3));
-  let rows2, time2 = Clock.time (fun () -> Session.exec s (merge_network 3)) in
+  let rows2, time2 = Clock.time (fun () -> Session.exec s (`Plan (merge_network 3))) in
   assert (is_sorted rows2);
   assert (List.length rows2 = n);
   Printf.printf "merge network sort:           %d rows in %.3f s\n%!"
@@ -85,7 +85,7 @@ let () =
   in
   print_string "\n-- range-partitioned sort, no-fork interchange --\n";
   print_string (Plan.explain env range_partitioned);
-  let rows3, time3 = Clock.time (fun () -> Session.exec s range_partitioned) in
+  let rows3, time3 = Clock.time (fun () -> Session.exec s (`Plan range_partitioned)) in
   assert (is_sorted rows3);
   assert (List.length rows3 = n);
   Printf.printf "range-partitioned sort:       %d rows in %.3f s\n"

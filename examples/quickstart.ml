@@ -46,7 +46,7 @@ let () =
   in
   print_string "\n-- serial plan --\n";
   print_string (Plan.explain env query);
-  let rows = Session.exec s query in
+  let rows = Session.exec s (`Plan query) in
   List.iter
     (fun t ->
       Printf.printf "ten=%d  count=%d  sum=%d\n" (Tuple.int_exn t 0)
@@ -58,7 +58,7 @@ let () =
   let parallel_query = Parallel.pipeline query in
   print_string "\n-- with one exchange on top --\n";
   print_string (Plan.explain env parallel_query);
-  let rows_parallel = Session.exec s parallel_query in
+  let rows_parallel = Session.exec s (`Plan parallel_query) in
   assert (
     List.sort Tuple.compare rows = List.sort Tuple.compare rows_parallel);
   Printf.printf "parallel run returned the same %d groups\n"

@@ -123,6 +123,19 @@ let schema_pass root =
           err path "schema-limit"
             (Printf.sprintf "limit count %d is negative" count);
         infer path input
+    | Ir.Union_all { left; right } -> (
+        let la = infer (child_path path "left") left in
+        let ra = infer (child_path path "right") right in
+        match (la, ra) with
+        | Some l, Some r when l <> r ->
+            err path "schema-union-arity"
+              (Printf.sprintf
+                 "union-all requires union-compatible inputs; left has %d \
+                  column(s), right has %d"
+                 l r);
+            Some l
+        | Some l, _ -> Some l
+        | None, ra -> ra)
     | Ir.Choose { alternatives } -> (
         match alternatives with
         | [] ->
@@ -235,7 +248,7 @@ let exchange_pass root =
     | Ir.Limit { input; _ } ->
         walk path consumers input
     | Ir.Match { left; right; _ } | Ir.Cross { left; right }
-    | Ir.Theta_join { left; right; _ } ->
+    | Ir.Theta_join { left; right; _ } | Ir.Union_all { left; right } ->
         walk (child_path path "left") consumers left;
         walk (child_path path "right") consumers right
     | Ir.Division { dividend; divisor; _ } ->
@@ -323,7 +336,8 @@ let rec frontier acc = function
       frontier acc input
   | Ir.Match { left; right; _ }
   | Ir.Cross { left; right }
-  | Ir.Theta_join { left; right; _ } ->
+  | Ir.Theta_join { left; right; _ }
+  | Ir.Union_all { left; right } ->
       frontier (frontier acc left) right
   | Ir.Division { dividend; divisor; _ } ->
       frontier (frontier acc dividend) divisor
@@ -380,6 +394,11 @@ let deadlock_pass root =
         interleaved_binary path consumers left right;
         walk (child_path path "left") consumers left;
         walk (child_path path "right") consumers right
+    (* Union-all drains left to exhaustion before pulling right: the
+       fixed order cannot close a wait cycle, exactly like hash match. *)
+    | Ir.Union_all { left; right } ->
+        walk (child_path path "left") consumers left;
+        walk (child_path path "right") consumers right
     | Ir.Division { algo; dividend; divisor; _ } ->
         if algo = `Sort then interleaved_binary path consumers dividend divisor;
         walk (child_path path "dividend") consumers dividend;
@@ -426,7 +445,8 @@ let rec domains = function
       domains input
   | Ir.Match { left; right; _ }
   | Ir.Cross { left; right }
-  | Ir.Theta_join { left; right; _ } ->
+  | Ir.Theta_join { left; right; _ }
+  | Ir.Union_all { left; right } ->
       domains left + domains right
   | Ir.Division { dividend; divisor; _ } -> domains dividend + domains divisor
   | Ir.Choose { alternatives } ->
@@ -467,7 +487,8 @@ let rec pages members = function
       | Ir.Sort_based -> 16 * members (* sorts both inputs itself *)
       | Ir.Hash_based -> 8 * members (* spill partitions *))
       + pages members left + pages members right
-  | Ir.Cross { left; right } | Ir.Theta_join { left; right; _ } ->
+  | Ir.Cross { left; right } | Ir.Theta_join { left; right; _ }
+  | Ir.Union_all { left; right } ->
       pages members left + pages members right
   | Ir.Division { algo; dividend; divisor; _ } ->
       (match algo with `Sort -> 16 * members | `Hash | `Count -> 0)
@@ -560,7 +581,8 @@ let memory_pass ?(flow_budget = 1 lsl 20) root =
         walk consumers input
     | Ir.Match { left; right; _ }
     | Ir.Cross { left; right }
-    | Ir.Theta_join { left; right; _ } ->
+    | Ir.Theta_join { left; right; _ }
+    | Ir.Union_all { left; right } ->
         walk consumers left;
         walk consumers right
     | Ir.Division { dividend; divisor; _ } ->
@@ -638,7 +660,8 @@ let batch_pass ?(batch_size = Volcano.Batch.default_size) root =
           walk path input
       | Ir.Match { left; right; _ }
       | Ir.Cross { left; right }
-      | Ir.Theta_join { left; right; _ } ->
+      | Ir.Theta_join { left; right; _ }
+      | Ir.Union_all { left; right } ->
           walk (child_path path "left") left;
           walk (child_path path "right") right
       | Ir.Division { dividend; divisor; _ } ->
@@ -720,7 +743,8 @@ let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
         check_slices (child_path path (Ir.label node)) workers input
     | Ir.Match { left; right; _ }
     | Ir.Cross { left; right }
-    | Ir.Theta_join { left; right; _ } ->
+    | Ir.Theta_join { left; right; _ }
+    | Ir.Union_all { left; right } ->
         let path = child_path path (Ir.label node) in
         check_slices (child_path path "left") workers left;
         check_slices (child_path path "right") workers right
@@ -823,7 +847,8 @@ let remote_pass ?(batch_size = Volcano.Batch.default_size) root =
         walk path ~group:cfg.degree input
     | Ir.Match { left; right; _ }
     | Ir.Cross { left; right }
-    | Ir.Theta_join { left; right; _ } ->
+    | Ir.Theta_join { left; right; _ }
+    | Ir.Union_all { left; right } ->
         walk (child_path path "left") ~group left;
         walk (child_path path "right") ~group right
     | Ir.Division { dividend; divisor; _ } ->

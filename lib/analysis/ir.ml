@@ -62,6 +62,7 @@ type t =
       divisor : t;
     }
   | Limit of { count : int; input : t }
+  | Union_all of { left : t; right : t }
   | Choose of { alternatives : t list }
   | Exchange of { cfg : cfg; input : t }
   | Exchange_merge of { cfg : cfg; key : sort_key; input : t }
@@ -80,6 +81,7 @@ let label = function
   | Distinct _ -> "distinct"
   | Division _ -> "division"
   | Limit _ -> "limit"
+  | Union_all _ -> "union-all"
   | Choose _ -> "choose"
   | Exchange _ -> "exchange"
   | Exchange_merge _ -> "exchange-merge"

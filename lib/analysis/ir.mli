@@ -77,6 +77,9 @@ type t =
       divisor : t;
     }
   | Limit of { count : int; input : t }
+  | Union_all of { left : t; right : t }
+      (** bag concatenation: drains [left] to exhaustion, then [right];
+          the fixed order means it can never close a §4.4 wait cycle *)
   | Choose of { alternatives : t list }
   | Exchange of { cfg : cfg; input : t }
   | Exchange_merge of { cfg : cfg; key : sort_key; input : t }

@@ -24,7 +24,8 @@ let assign_ids plan =
     | _ -> ());
     match plan with
     | Plan.Scan_table _ | Plan.Scan_table_slice _ | Plan.Scan_index _
-    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _ ->
+    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _
+    | Plan.Generate_range _ ->
         ()
     (* The Remote subtree is never compiled locally: the workers rebuild
        it from the task string, so its nested exchanges take their ids in
@@ -43,7 +44,8 @@ let assign_ids plan =
         walk input
     | Plan.Match { left; right; _ }
     | Plan.Cross { left; right }
-    | Plan.Theta_join { left; right; _ } ->
+    | Plan.Theta_join { left; right; _ }
+    | Plan.Union_all { left; right } ->
         walk left;
         walk right
     | Plan.Choose { alternatives; _ } -> List.iter walk alternatives
@@ -285,6 +287,12 @@ let fuse_chain env obs group plan =
           leaf plan
             (Batch.generator_cursor ~count:mine ~f:(fun i ->
                  gen ((i * size) + rank)))
+      | Plan.Generate_range { start; count } ->
+          let rank = Group.rank group and size = Group.size group in
+          let mine = (count - rank + size - 1) / size in
+          leaf plan
+            (Batch.generator_cursor ~count:mine ~f:(fun i ->
+                 [| Volcano_tuple.Value.Int (start + (i * size) + rank) |]))
       | Plan.Scan_list { tuples; _ } ->
           leaf plan (Batch.array_cursor (Array.of_list tuples))
       | Plan.Scan_table name ->
@@ -493,6 +501,11 @@ and compile_node env ids obs group scope plan =
       let rank = Group.rank group and size = Group.size group in
       let mine = (count - rank + size - 1) / size in
       Iterator.generate ~count:mine ~f:(fun i -> gen ((i * size) + rank))
+  | Plan.Generate_range { start; count } ->
+      let rank = Group.rank group and size = Group.size group in
+      let mine = (count - rank + size - 1) / size in
+      Iterator.generate ~count:mine ~f:(fun i ->
+          [| Volcano_tuple.Value.Int (start + (i * size) + rank) |])
   | Plan.Filter { pred; mode; input } ->
       let pred =
         match mode with
@@ -598,6 +611,28 @@ and compile_node env ids obs group scope plan =
             ~dividend:(sorted ~cmp:(cols_cmp dividend_key) (recur dividend))
             ~divisor:(sorted ~cmp:(cols_cmp divisor_key) (recur divisor)))
   | Plan.Limit { count; input } -> limit_iterator count (recur input)
+  | Plan.Union_all { left; right } ->
+      (* Bag concatenation: drain the left input to exhaustion, then the
+         right.  Both open eagerly (like any binary operator) so nested
+         exchanges fork their groups at open time. *)
+      let l = recur left and r = recur right in
+      let on_left = ref true in
+      Iterator.make
+        ~open_:(fun () ->
+          on_left := true;
+          Iterator.open_ l;
+          Iterator.open_ r)
+        ~next:(fun () ->
+          if !on_left then
+            match Iterator.next l with
+            | Some _ as tuple -> tuple
+            | None ->
+                on_left := false;
+                Iterator.next r
+          else Iterator.next r)
+        ~close:(fun () ->
+          Iterator.close l;
+          Iterator.close r)
   | Plan.Choose { decide; alternatives } ->
       Ops.Choose_plan.iterator ~decide
         ~alternatives:(Array.of_list (List.map recur alternatives))

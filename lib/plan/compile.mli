@@ -77,8 +77,10 @@ val compile :
     obs node: counters aggregate across the whole process group. *)
 
 val run : ?check:bool -> Env.t -> Plan.t -> Volcano_tuple.Tuple.t list
-(** Compile, open, drain, close.  Thin shim kept for one PR: new code
-    should go through {!Session.exec}, which adds the worker pool,
-    cancellation scope, and runtime admission around the same path. *)
+[@@deprecated "use Session.exec — the Session is the one entry point"]
+(** Compile, open, drain, close.  Deprecated shim: go through
+    {!Session.exec}, which adds the worker pool, cancellation scope, and
+    runtime admission around the same path. *)
 
 val run_count : ?check:bool -> Env.t -> Plan.t -> int
+[@@deprecated "use Session.exec_count — the Session is the one entry point"]

@@ -75,6 +75,10 @@ let rec ir env plan =
       Ir.Leaf
         { label = "generate-slice"; arity; rows = Some count; bad_rows = 0;
           parts = None }
+  | Plan.Generate_range { count; _ } ->
+      Ir.Leaf
+        { label = "generate-range"; arity = 1; rows = Some count; bad_rows = 0;
+          parts = None }
   | Plan.Filter { pred; input; _ } ->
       Ir.Filter { cols = Ir.cols_of_pred pred; input = ir env input }
   | Plan.Project_cols { cols; input } ->
@@ -128,6 +132,8 @@ let rec ir env plan =
           divisor = ir env divisor;
         }
   | Plan.Limit { count; input } -> Ir.Limit { count; input = ir env input }
+  | Plan.Union_all { left; right } ->
+      Ir.Union_all { left = ir env left; right = ir env right }
   | Plan.Choose { alternatives; _ } ->
       Ir.Choose { alternatives = List.map (ir env) alternatives }
   | Plan.Exchange { cfg = c; input } ->

@@ -57,6 +57,20 @@ val partitioned_aggregate_two_phase :
     less data crosses the exchange than with {!partitioned_aggregate} when
     groups are few. *)
 
+val two_phase_decomposition :
+  group_by:int list ->
+  aggs:Volcano_ops.Aggregate.agg list ->
+  Volcano_ops.Aggregate.agg list
+  * Volcano_ops.Aggregate.agg list
+  * Volcano_tuple.Expr.num list option
+(** The aggregate split behind {!partitioned_aggregate_two_phase},
+    exposed for planners that compose the phases themselves: the local
+    (per-slice) aggregate list with Avg expanded to Sum + Count, the
+    global combining list over the local output layout (group columns
+    first, then one column per local aggregate), and the final
+    projection mapping combined partials back to the requested
+    aggregates ([None] when it would be the identity). *)
+
 val parallel_sort :
   degree:int ->
   ?packet_size:int ->

@@ -21,6 +21,7 @@ type t =
       count : int;
       gen : int -> Volcano_tuple.Tuple.t;
     }
+  | Generate_range of { start : int; count : int }
   | Filter of {
       pred : Expr.pred;
       mode : [ `Compiled | `Interpreted ];
@@ -55,6 +56,7 @@ type t =
       divisor : t;
     }
   | Limit of { count : int; input : t }
+  | Union_all of { left : t; right : t }
   | Choose of { decide : unit -> int; alternatives : t list }
   | Exchange of { cfg : Exchange.config; input : t }
   | Exchange_merge of {
@@ -95,6 +97,7 @@ let rec arity env plan =
       width (Env.table_names env)
   | Scan_list { arity; _ } -> arity
   | Generate { arity; _ } | Generate_slice { arity; _ } -> arity
+  | Generate_range _ -> 1
   | Filter { input; _ } -> arity env input
   | Project_cols { cols; _ } -> List.length cols
   | Project_exprs { exprs; _ } -> List.length exprs
@@ -108,6 +111,7 @@ let rec arity env plan =
   | Distinct { input; _ } -> arity env input
   | Division { quotient; _ } -> List.length quotient
   | Limit { input; _ } -> arity env input
+  | Union_all { left; _ } -> arity env left
   | Choose { alternatives; _ } -> (
       match alternatives with
       | [] -> invalid_arg "Plan.arity: Choose with no alternatives"
@@ -159,6 +163,8 @@ let label plan =
   | Generate { count; _ } -> Printf.sprintf "generate (%d tuples)" count
   | Generate_slice { count; _ } ->
       Printf.sprintf "generate-slice (%d tuples)" count
+  | Generate_range { start; count } ->
+      Printf.sprintf "generate-range [%d, %d)" start (start + count)
   | Filter { pred; mode; _ } ->
       Format.asprintf "filter (%s) %a"
         (match mode with `Compiled -> "compiled" | `Interpreted -> "interpreted")
@@ -186,6 +192,7 @@ let label plan =
         (cols_to_string quotient)
         (cols_to_string divisor_attrs)
   | Limit { count; _ } -> Printf.sprintf "limit %d" count
+  | Union_all _ -> "union-all"
   | Choose { alternatives; _ } ->
       Printf.sprintf "choose-plan (%d alternatives)" (List.length alternatives)
   | Exchange { cfg; _ } -> Printf.sprintf "exchange (%s)" (cfg_to_string cfg)
@@ -200,7 +207,7 @@ let label plan =
 
 let children = function
   | Scan_table _ | Scan_table_slice _ | Scan_index _ | Scan_list _ | Generate _
-  | Generate_slice _ ->
+  | Generate_slice _ | Generate_range _ ->
       []
   | Filter { input; _ }
   | Project_cols { input; _ }
@@ -214,8 +221,10 @@ let children = function
   | Interchange { input; _ }
   | Remote { input; _ } ->
       [ input ]
-  | Match { left; right; _ } | Cross { left; right } | Theta_join { left; right; _ }
-    ->
+  | Match { left; right; _ }
+  | Cross { left; right }
+  | Theta_join { left; right; _ }
+  | Union_all { left; right } ->
       [ left; right ]
   | Division { dividend; divisor; _ } -> [ dividend; divisor ]
   | Choose { alternatives; _ } -> alternatives

@@ -31,6 +31,13 @@ type t =
       count : int;
       gen : int -> Volcano_tuple.Tuple.t;
     }  (** group member r generates indices r, r+N, ... of [0, count) *)
+  | Generate_range of { start : int; count : int }
+      (** closure-free integer range: one [Tint] column holding
+          [start .. start+count-1].  Slice-aware like {!Generate_slice}
+          (group member r produces the indices congruent to r), so the
+          optimizer can parallelize it; carrying no closure, it survives
+          IR lowering and any future plan serialization intact — which is
+          why the SQL front end lowers [generate(n)] to this leaf *)
   | Filter of {
       pred : Volcano_tuple.Expr.pred;
       mode : [ `Compiled | `Interpreted ];
@@ -65,6 +72,10 @@ type t =
       divisor : t;
     }
   | Limit of { count : int; input : t }
+  | Union_all of { left : t; right : t }
+      (** bag concatenation (SQL [UNION ALL]): drains [left] to
+          exhaustion, then [right] — both inputs must have the same
+          arity.  The fixed drain order cannot close a §4.4 wait cycle. *)
   | Choose of { decide : unit -> int; alternatives : t list }
       (** dynamic query evaluation plans (Graefe & Ward 1989): at open time
           the decision support function picks one alternative; all

@@ -30,7 +30,7 @@ let delta_stats (s0 : Sched.stats) (s1 : Sched.stats) =
     peak_queue_depth = s1.peak_queue_depth;
   }
 
-let run ?check env plan =
+let execute ?check env plan =
   let sink = Obs.create () in
   let obs = Compile.observe sink plan in
   let iterator = Compile.compile ?check ~obs env plan in
@@ -166,3 +166,5 @@ let to_json r =
 
 let write_json r ~path = Jsonx.write_file path (to_json r)
 let write_trace r ~path = Obs.write_trace r.sink ~path
+
+let run = execute

@@ -22,11 +22,15 @@ type report = {
           [pool_workers] and [peak_queue_depth] are absolute *)
 }
 
-val run : ?check:bool -> Env.t -> Plan.t -> report
+val execute : ?check:bool -> Env.t -> Plan.t -> report
 (** Compile with {!Compile.observe} instrumentation and drain the query.
     [check] as in {!Compile.compile}; {!Compile.Rejected} propagates.
     Prefer {!Session.profile}, which calls this on the session's
     environment. *)
+
+val run : ?check:bool -> Env.t -> Plan.t -> report
+[@@deprecated "use Session.profile (or Profile.execute on a bare Env)"]
+(** Former name of {!execute}. *)
 
 val render : report -> string
 (** The annotated plan tree: a header (rows, time, buffer/device deltas)

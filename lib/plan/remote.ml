@@ -25,6 +25,19 @@ let rec slice ~shard ~shards plan =
       let local = max 0 ((count - shard + shards - 1) / shards) in
       Plan.Generate
         { arity; count = local; gen = (fun i -> gen (shard + (i * shards))) }
+  | Plan.Generate_range { start; count } ->
+      (* Rank-sliced like Generate_slice: worker [shard] produces the
+         range indices congruent to it.  The worker-side rewrite may use
+         a closure — only the shipped plan must stay closure-free. *)
+      let local = max 0 ((count - shard + shards - 1) / shards) in
+      Plan.Generate
+        {
+          arity = 1;
+          count = local;
+          gen =
+            (fun i ->
+              [| Volcano_tuple.Value.Int (start + shard + (i * shards)) |]);
+        }
   | Plan.Scan_table_slice name ->
       (* Partition files are keyed by group rank ("name#r"): worker
          [shard] owns partition [shard], so the sliced scan resolves to
@@ -59,6 +72,8 @@ let rec slice ~shard ~shards plan =
         }
   | Plan.Cross { left; right } ->
       Plan.Cross { left = continue_ left; right = continue_ right }
+  | Plan.Union_all { left; right } ->
+      Plan.Union_all { left = continue_ left; right = continue_ right }
   | Plan.Theta_join { pred; left; right } ->
       Plan.Theta_join
         { pred; left = continue_ left; right = continue_ right }

@@ -32,13 +32,45 @@ let runtime t = t.runtime
 let set_faults t faults = Env.set_faults t.env faults
 let clear_faults t = Env.clear_faults t.env
 
+(* --- the SQL front door ------------------------------------------------ *)
+
+type input = [ `Sql of string | `Plan of Plan.t ]
+
+exception No_frontend
+
+type compiled_query = { cq_plan : Plan.t; cq_explain : string }
+
+(* The plan layer cannot depend on the SQL layer, so the front end is a
+   process-wide hook the SQL library installs explicitly
+   ([Volcano_sql.install ()]) — explicit because OCaml never links (or
+   initializes) a library no one references. *)
+let frontend :
+    (?workers:int -> Env.t -> string -> compiled_query) option Atomic.t =
+  Atomic.make None
+
+let set_frontend f = Atomic.set frontend (Some f)
+
+let compile_sql ?workers t sql =
+  match Atomic.get frontend with
+  | None -> raise No_frontend
+  | Some f -> f ?workers t.env sql
+
+let resolve t = function
+  | `Plan p -> p
+  | `Sql sql -> (compile_sql t sql).cq_plan
+
+let query_label = function
+  | `Plan _ -> None
+  | `Sql sql -> Some (if String.length sql <= 60 then sql
+                      else String.sub sql 0 57 ^ "...")
+
 type 'a job = 'a Runtime.job
 
 (* Each query gets a root cancellation scope (the parent of its top-level
    exchanges) and a cancel flag checked at the root iterator: cancelling
    poisons the plan at its leaves and stops the drain at its root, so the
    job fails promptly whether or not an exchange is currently active. *)
-let submit_with t ?check ?deadline_s ?label collect plan =
+let submit_plan t ?check ?deadline_s ?label collect plan =
   let scope = Exchange.Scope.create () in
   let flag = Atomic.make None in
   Runtime.submit t.runtime ?deadline_s ?label
@@ -49,11 +81,15 @@ let submit_with t ?check ?deadline_s ?label collect plan =
       let iter = Compile.compile ?check ~scope ~cancel:flag t.env plan in
       collect iter)
 
-let submit ?check ?deadline_s ?label t plan =
-  submit_with t ?check ?deadline_s ?label Iterator.to_list plan
+let submit_with t ?check ?deadline_s ?label collect input =
+  let label = match label with Some _ -> label | None -> query_label input in
+  submit_plan t ?check ?deadline_s ?label collect (resolve t input)
 
-let submit_count ?check ?deadline_s ?label t plan =
-  submit_with t ?check ?deadline_s ?label Iterator.consume plan
+let submit ?check ?deadline_s ?label t input =
+  submit_with t ?check ?deadline_s ?label Iterator.to_list input
+
+let submit_count ?check ?deadline_s ?label t input =
+  submit_with t ?check ?deadline_s ?label Iterator.consume input
 
 let await = Runtime.await
 let cancel = Runtime.cancel
@@ -62,15 +98,18 @@ let status = Runtime.status
 let block_on job =
   match Runtime.await job with Ok v -> v | Error exn -> raise exn
 
-let exec ?check ?deadline_s t plan = block_on (submit ?check ?deadline_s t plan)
+let exec ?check ?deadline_s t input =
+  block_on (submit ?check ?deadline_s t input)
 
-let exec_count ?check ?deadline_s t plan =
-  block_on (submit_count ?check ?deadline_s t plan)
+let exec_count ?check ?deadline_s t input =
+  block_on (submit_count ?check ?deadline_s t input)
 
-let profile ?check t plan = Profile.run ?check t.env plan
+let query t sql = exec t (`Sql sql)
+let explain ?workers t sql = (compile_sql ?workers t sql).cq_explain
+let profile ?check t input = Profile.execute ?check t.env (resolve t input)
 
-let analyze ?workers ?flow_budget ?batch_size t plan =
-  Compile.analyze ?workers ?flow_budget ?batch_size t.env plan
+let analyze ?workers ?flow_budget ?batch_size t input =
+  Compile.analyze ?workers ?flow_budget ?batch_size t.env (resolve t input)
 
 let close t =
   Runtime.close t.runtime;

@@ -1,0 +1,179 @@
+module E = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+
+type agg_fn = A_count | A_sum | A_min | A_max | A_avg
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Col of string option * string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Cmp of E.cmp_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of { neg : bool; arg : expr }
+  | Agg of agg_fn * expr option
+
+type table_ref =
+  | Table of { name : string; alias : string option }
+  | Range of { count : int; alias : string option }
+  | Wisconsin of { rows : int; seed : int option; alias : string option }
+
+type sel_item = Star | Sel of { expr : expr; alias : string option }
+
+type join = { table : table_ref; on : expr }
+
+type select = {
+  distinct : bool;
+  items : sel_item list;
+  from : table_ref;
+  joins : join list;
+  where : expr option;
+  group_by : expr list;
+  order_by : (expr * Support.direction) list;
+  limit : int option;
+}
+
+type query = Select of select | Union_all of query * query
+
+let keywords =
+  [
+    "select"; "distinct"; "from"; "where"; "join"; "inner"; "on"; "group";
+    "by"; "order"; "limit"; "union"; "all"; "and"; "or"; "not"; "is";
+    "null"; "as"; "asc"; "desc"; "count"; "sum"; "min"; "max"; "avg";
+  ]
+
+(* --- canonical printing ---------------------------------------------- *)
+
+let plain_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+  && not (List.mem s keywords)
+
+let ident s = if plain_ident s then s else "\"" ^ s ^ "\""
+
+let string_lit s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '\'';
+  Buffer.contents b
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let cmp_str = function
+  | E.Eq -> "="
+  | E.Ne -> "<>"
+  | E.Lt -> "<"
+  | E.Le -> "<="
+  | E.Gt -> ">"
+  | E.Ge -> ">="
+
+let agg_str = function
+  | A_count -> "COUNT"
+  | A_sum -> "SUM"
+  | A_min -> "MIN"
+  | A_max -> "MAX"
+  | A_avg -> "AVG"
+
+(* %.12g keeps the printed float lexable (plain decimal or exponent, both
+   of which the lexer accepts) and short enough to stay readable. *)
+let float_str f = Printf.sprintf "%.12g" f
+
+let rec expr_to_string = function
+  | Col (None, n) -> ident n
+  | Col (Some q, n) -> ident q ^ "." ^ ident n
+  | Int n -> string_of_int n
+  | Float f -> float_str f
+  | Str s -> string_lit s
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op)
+        (expr_to_string b)
+  | Neg a -> Printf.sprintf "(- %s)" (expr_to_string a)
+  | Cmp (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (cmp_str op)
+        (expr_to_string b)
+  | And (a, b) ->
+      Printf.sprintf "(%s AND %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) ->
+      Printf.sprintf "(%s OR %s)" (expr_to_string a) (expr_to_string b)
+  | Not a -> Printf.sprintf "(NOT %s)" (expr_to_string a)
+  | Is_null { neg; arg } ->
+      Printf.sprintf "(%s IS %sNULL)" (expr_to_string arg)
+        (if neg then "NOT " else "")
+  | Agg (A_count, None) -> "COUNT(*)"
+  | Agg (fn, None) -> agg_str fn ^ "(*)"
+  | Agg (fn, Some e) -> Printf.sprintf "%s(%s)" (agg_str fn) (expr_to_string e)
+
+let alias_str = function None -> "" | Some a -> " AS " ^ ident a
+
+let table_ref_to_string = function
+  | Table { name; alias } -> ident name ^ alias_str alias
+  | Range { count; alias } ->
+      Printf.sprintf "generate(%d)%s" count (alias_str alias)
+  | Wisconsin { rows; seed = None; alias } ->
+      Printf.sprintf "wisconsin(%d)%s" rows (alias_str alias)
+  | Wisconsin { rows; seed = Some s; alias } ->
+      Printf.sprintf "wisconsin(%d, %d)%s" rows s (alias_str alias)
+
+let sel_item_to_string = function
+  | Star -> "*"
+  | Sel { expr; alias } -> expr_to_string expr ^ alias_str alias
+
+let select_to_string s =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "SELECT ";
+  if s.distinct then Buffer.add_string b "DISTINCT ";
+  Buffer.add_string b
+    (String.concat ", " (List.map sel_item_to_string s.items));
+  Buffer.add_string b (" FROM " ^ table_ref_to_string s.from);
+  List.iter
+    (fun j ->
+      Buffer.add_string b
+        (Printf.sprintf " JOIN %s ON %s"
+           (table_ref_to_string j.table)
+           (expr_to_string j.on)))
+    s.joins;
+  Option.iter
+    (fun w -> Buffer.add_string b (" WHERE " ^ expr_to_string w))
+    s.where;
+  (match s.group_by with
+  | [] -> ()
+  | keys ->
+      Buffer.add_string b
+        (" GROUP BY " ^ String.concat ", " (List.map expr_to_string keys)));
+  (match s.order_by with
+  | [] -> ()
+  | items ->
+      Buffer.add_string b
+        (" ORDER BY "
+        ^ String.concat ", "
+            (List.map
+               (fun (e, dir) ->
+                 expr_to_string e
+                 ^ match dir with Support.Asc -> " ASC" | Support.Desc -> " DESC")
+               items)));
+  Option.iter
+    (fun n -> Buffer.add_string b (Printf.sprintf " LIMIT %d" n))
+    s.limit;
+  Buffer.contents b
+
+let rec to_string = function
+  | Select s -> select_to_string s
+  | Union_all (a, b) -> to_string a ^ " UNION ALL " ^ to_string b

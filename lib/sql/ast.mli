@@ -1,0 +1,66 @@
+(** Abstract syntax for the SQL subset, plus its canonical rendering.
+
+    The grammar is deliberately pragmatic: single-block SELECT with
+    projection expressions, WHERE, inner JOIN .. ON, GROUP BY with
+    aggregates, DISTINCT, ORDER BY, LIMIT, and UNION ALL between blocks.
+    Table references are catalog tables, [generate(n)] (a one-column
+    integer range) and [wisconsin(n [, seed])] (the benchmark relation).
+
+    {!to_string} prints the canonical form: uppercase keywords, fully
+    parenthesized expressions, explicit ASC/DESC.  Parsing a canonical
+    string and reprinting it is the identity — the round-trip fixpoint
+    the test suite checks. *)
+
+type agg_fn = A_count | A_sum | A_min | A_max | A_avg
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Col of string option * string  (** optional qualifier, column name *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Cmp of Volcano_tuple.Expr.cmp_op * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Is_null of { neg : bool; arg : expr }  (** [neg]: IS NOT NULL *)
+  | Agg of agg_fn * expr option  (** [None] only for ["COUNT(*)"] *)
+
+type table_ref =
+  | Table of { name : string; alias : string option }
+  | Range of { count : int; alias : string option }  (** [generate(n)] *)
+  | Wisconsin of { rows : int; seed : int option; alias : string option }
+
+type sel_item = Star | Sel of { expr : expr; alias : string option }
+
+type join = { table : table_ref; on : expr }
+
+type select = {
+  distinct : bool;
+  items : sel_item list;
+  from : table_ref;
+  joins : join list;
+  where : expr option;
+  group_by : expr list;
+  order_by : (expr * Volcano_tuple.Support.direction) list;
+  limit : int option;
+}
+
+type query = Select of select | Union_all of query * query
+
+val keywords : string list
+(** Every reserved word, lowercase — shared with the lexer, and used by
+    the printer to decide which identifiers need quoting. *)
+
+val agg_str : agg_fn -> string
+(** Uppercase function name ([COUNT], [SUM], ...). *)
+
+val expr_to_string : expr -> string
+(** Canonical (fully parenthesized) rendering of one expression. *)
+
+val to_string : query -> string
+(** Canonical rendering of a whole query; [to_string] after a parse of a
+    canonical string is the identity. *)

@@ -1,0 +1,79 @@
+(** Name resolution and typechecking: {!Ast.query} against the
+    environment's catalog, into a typed logical form the optimizer
+    consumes.
+
+    Columns get {e global} identifiers: source [i]'s column [j] is
+    [sources.(i).offset + j], numbering the concatenation of all FROM
+    sources in syntactic order.  Predicates are split into a flat
+    conjunct pool (WHERE and every JOIN .. ON together — inner joins
+    only, so the pools are equivalent); each conjunct records which
+    sources it touches and whether it is a two-source equality the
+    optimizer can turn into a join key.
+
+    Pragmatic restrictions (each one a reported error, not silent
+    misbehaviour): GROUP BY takes bare columns only; a non-aggregated
+    select item in a grouped query must be one of the group columns;
+    ["COUNT(expr)"] is rejected (use ["COUNT(*)"]); aggregates cannot nest
+    and cannot appear in WHERE or ON; [AVG] is decomposed here into
+    [SUM]/["COUNT(*)"] plus a division in [post] — so every plan the
+    optimizer emits computes AVG the same way, serial or parallel
+    (integer division for integer arguments). *)
+
+module Expr = Volcano_tuple.Expr
+module Value = Volcano_tuple.Value
+module Agg = Volcano_ops.Aggregate
+module Support = Volcano_tuple.Support
+module Shard = Volcano_storage.Shard
+
+exception Error of string
+
+type kind =
+  | K_table of string
+  | K_range of int  (** [generate(n)]: one column [i : Tint] *)
+  | K_wisconsin of { rows : int; seed : int64 option }
+
+type source = {
+  alias : string;
+  kind : kind;
+  schema : (string * Value.ty) array;
+  rows : int;  (** catalog cardinality (exact for every source kind) *)
+  offset : int;  (** global id of this source's column 0 *)
+  parts : (Shard.spec * int) option;
+      (** partitioned storage: spec and partition count, when the
+          catalog says the table is sharded *)
+}
+
+type conjunct = {
+  pred : Expr.pred;  (** over global column ids *)
+  refs : int list;  (** sorted source indexes the predicate touches *)
+  equi : (int * int) option;
+      (** [Some (a, b)] when the predicate is exactly an equality
+          between single columns of two different sources *)
+  sel : float;  (** selectivity estimate in [0, 1] *)
+}
+
+type shape =
+  | Flat of Expr.num list  (** output expressions over global ids *)
+  | Grouped of {
+      keys : int list;  (** group-by columns, global ids *)
+      aggs : Agg.agg list;  (** deduplicated, over global ids; never Avg *)
+      post : Expr.num list;
+          (** output expressions over the aggregate's [keys @ aggs]
+              output layout *)
+    }
+
+type select = {
+  sources : source array;
+  conjuncts : conjunct list;
+  shape : shape;
+  distinct : bool;
+  order_by : (int * Support.direction) list;  (** output positions *)
+  limit : int option;
+  out_names : string list;
+  out_tys : Value.ty list;
+}
+
+type query = Q_select of select | Q_union of query * query
+
+val bind : Volcano_plan.Env.t -> Ast.query -> query
+(** @raise Error on any resolution or typing failure. *)

@@ -1,0 +1,126 @@
+exception Error of string
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw of string
+  | Sym of string
+  | Eof
+
+let token_to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Kw k -> "keyword " ^ String.uppercase_ascii k
+  | Sym s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"
+
+let fail pos fmt =
+  Printf.ksprintf (fun m -> raise (Error (Printf.sprintf "%s at %d" m pos))) fmt
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok pos = out := (tok, pos) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = src.[start] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.lowercase_ascii (String.sub src start (!i - start)) in
+      if List.mem word Ast.keywords then emit (Kw word) start
+      else emit (Ident word) start
+    end
+    else if is_digit c then begin
+      while !i < n && is_digit src.[!i] do incr i done;
+      let is_float = ref false in
+      if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        is_float := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        let j = if !i + 1 < n && (src.[!i + 1] = '+' || src.[!i + 1] = '-')
+                then !i + 2 else !i + 1 in
+        if j < n && is_digit src.[j] then begin
+          is_float := true;
+          i := j;
+          while !i < n && is_digit src.[!i] do incr i done
+        end
+      end;
+      let text = String.sub src start (!i - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> emit (Float_lit f) start
+        | None -> fail start "bad numeric literal %S" text
+      else
+        match int_of_string_opt text with
+        | Some v -> emit (Int_lit v) start
+        | None -> fail start "integer literal %S out of range" text
+    end
+    else if c = '\'' then begin
+      (* string literal; '' is an escaped quote *)
+      let b = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail start "unterminated string literal"
+        else if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char b '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char b src.[!i];
+          incr i
+        end
+      done;
+      emit (Str_lit (Buffer.contents b)) start
+    end
+    else if c = '"' then begin
+      (* quoted identifier: case-preserving, never a keyword *)
+      incr i;
+      let s = !i in
+      while !i < n && src.[!i] <> '"' do incr i done;
+      if !i >= n then fail start "unterminated quoted identifier";
+      let name = String.sub src s (!i - s) in
+      incr i;
+      if name = "" then fail start "empty quoted identifier";
+      emit (Ident name) start
+    end
+    else begin
+      let two =
+        if start + 1 < n then String.sub src start 2 else ""
+      in
+      match two with
+      | "<>" | "<=" | ">=" ->
+          emit (Sym two) start;
+          i := start + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '%' | '=' | '<'
+          | '>' | ';' ->
+              emit (Sym (String.make 1 c)) start;
+              incr i
+          | _ -> fail start "unexpected character %C" c)
+    end
+  done;
+  emit Eof n;
+  Array.of_list (List.rev !out)

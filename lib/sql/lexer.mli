@@ -1,0 +1,27 @@
+(** Hand-written SQL lexer.
+
+    Keywords are case-insensitive; bare identifiers fold to lowercase
+    and double-quoted identifiers preserve case (and are never
+    keywords).  String literals use single quotes with [''] escaping.
+    Numbers are decimal integers or floats (optional fraction and
+    exponent). *)
+
+exception Error of string
+(** Lexical error, with a character position in the message. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Kw of string  (** canonical lowercase keyword, from {!Ast.keywords} *)
+  | Sym of string  (** one of ( ) , . * + - / % = <> < <= > >= *)
+  | Eof
+
+val token_to_string : token -> string
+(** For error messages: ["keyword FROM"], ["identifier \"x\""], ... *)
+
+val tokens : string -> (token * int) array
+(** Tokenize a whole query; the [int] is the byte offset of the token.
+    The final element is always [(Eof, _)].  @raise Error on a character
+    or literal the lexer cannot interpret. *)

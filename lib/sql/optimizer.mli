@@ -1,0 +1,45 @@
+(** Cost-based physical optimizer: {!Binder.query} to {!Plan.t}, with
+    {!Compile.analyze} as the legality oracle.
+
+    The optimizer makes every decision today's plan layer leaves to the
+    plan author: left-deep join order and per-join algorithm (hash vs
+    sort) from cardinality estimates; for each parallel candidate, the
+    per-edge exchange vector — degree, partitioning function
+    (round-robin gather, [Hash_on] repartition, or a shard-aligned
+    [Range_on]/no-op when the storage partitioning already co-locates
+    the keys), packet size and flow slack within planlint's budgets,
+    and pipeline-vs-merge gathering for ORDER BY.
+
+    Candidate degrees come from the scheduler's worker pool and the
+    partition counts of sharded tables the query scans; a table with
+    partition files {e must} be scanned at exactly its partition count
+    (the compiler's group-rank lookup maps member [r] to partition file
+    [r]), so conflicting shard widths simply rule parallel candidates
+    out.  Candidates are ranked by estimated cost and each is submitted
+    to the analyzer; the first one with {e zero} diagnostics — warnings
+    included — wins.  Candidates that trip any diagnostic are pruned,
+    never patched, and the pruning is recorded in the choice's notes.
+    The serial plan is always a candidate, so a legal plan always
+    exists. *)
+
+exception Error of string
+
+type choice = {
+  plan : Volcano_plan.Plan.t;  (** passes planlint with zero diagnostics *)
+  notes : string list;
+      (** one line per candidate, cost order: chosen / pruned (with
+          diagnostic codes) / not chosen *)
+}
+
+val optimize :
+  ?workers:int -> Volcano_plan.Env.t -> Binder.query -> choice
+(** [workers] overrides {!Volcano_plan.Env.sched_workers} for both the
+    candidate degrees and the analyzer's placement advisory.
+    @raise Error if even the serial plan trips the analyzer (a binder or
+    catalog inconsistency — not an expected outcome). *)
+
+val render : Volcano_plan.Env.t -> choice -> string
+(** The choice's operator tree plus the optimizer's notes. *)
+
+val explain : ?workers:int -> Volcano_plan.Env.t -> Binder.query -> string
+(** [render] of [optimize]. *)

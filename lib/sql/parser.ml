@@ -1,0 +1,296 @@
+module E = Volcano_tuple.Expr
+module Support = Volcano_tuple.Support
+
+exception Error of string
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let pos_of st = snd st.toks.(st.pos)
+
+let fail st fmt =
+  Printf.ksprintf
+    (fun m ->
+      raise
+        (Error
+           (Printf.sprintf "%s (found %s at %d)" m
+              (Lexer.token_to_string (peek st))
+              (pos_of st))))
+    fmt
+
+let advance st = st.pos <- st.pos + 1
+
+let eat_kw st kw =
+  match peek st with
+  | Lexer.Kw k when k = kw -> advance st
+  | _ -> fail st "expected %s" (String.uppercase_ascii kw)
+
+let eat_sym st sym =
+  match peek st with
+  | Lexer.Sym s when s = sym -> advance st
+  | _ -> fail st "expected %S" sym
+
+let try_kw st kw =
+  match peek st with
+  | Lexer.Kw k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let try_sym st sym =
+  match peek st with
+  | Lexer.Sym s when s = sym ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Lexer.Ident name ->
+      advance st;
+      name
+  | _ -> fail st "expected an identifier"
+
+let int_lit st =
+  match peek st with
+  | Lexer.Int_lit n ->
+      advance st;
+      n
+  | _ -> fail st "expected an integer"
+
+(* --- expressions ------------------------------------------------------ *)
+
+let agg_of_kw = function
+  | "count" -> Some Ast.A_count
+  | "sum" -> Some Ast.A_sum
+  | "min" -> Some Ast.A_min
+  | "max" -> Some Ast.A_max
+  | "avg" -> Some Ast.A_avg
+  | _ -> None
+
+let rec parse_or st =
+  let a = parse_and st in
+  if try_kw st "or" then Ast.Or (a, parse_or st) else a
+
+and parse_and st =
+  let a = parse_not st in
+  if try_kw st "and" then Ast.And (a, parse_and st) else a
+
+and parse_not st =
+  if try_kw st "not" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let a = parse_add st in
+  match peek st with
+  | Lexer.Sym "=" ->
+      advance st;
+      Ast.Cmp (E.Eq, a, parse_add st)
+  | Lexer.Sym "<>" ->
+      advance st;
+      Ast.Cmp (E.Ne, a, parse_add st)
+  | Lexer.Sym "<" ->
+      advance st;
+      Ast.Cmp (E.Lt, a, parse_add st)
+  | Lexer.Sym "<=" ->
+      advance st;
+      Ast.Cmp (E.Le, a, parse_add st)
+  | Lexer.Sym ">" ->
+      advance st;
+      Ast.Cmp (E.Gt, a, parse_add st)
+  | Lexer.Sym ">=" ->
+      advance st;
+      Ast.Cmp (E.Ge, a, parse_add st)
+  | Lexer.Kw "is" ->
+      advance st;
+      let neg = try_kw st "not" in
+      eat_kw st "null";
+      Ast.Is_null { neg; arg = a }
+  | _ -> a
+
+and parse_add st =
+  let rec loop a =
+    if try_sym st "+" then loop (Ast.Bin (Ast.Add, a, parse_mul st))
+    else if try_sym st "-" then loop (Ast.Bin (Ast.Sub, a, parse_mul st))
+    else a
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop a =
+    if try_sym st "*" then loop (Ast.Bin (Ast.Mul, a, parse_unary st))
+    else if try_sym st "/" then loop (Ast.Bin (Ast.Div, a, parse_unary st))
+    else if try_sym st "%" then loop (Ast.Bin (Ast.Mod, a, parse_unary st))
+    else a
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if try_sym st "-" then Ast.Neg (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int_lit n ->
+      advance st;
+      Ast.Int n
+  | Lexer.Float_lit f ->
+      advance st;
+      Ast.Float f
+  | Lexer.Str_lit s ->
+      advance st;
+      Ast.Str s
+  | Lexer.Sym "(" ->
+      advance st;
+      let e = parse_or st in
+      eat_sym st ")";
+      e
+  | Lexer.Kw kw when agg_of_kw kw <> None ->
+      advance st;
+      let fn = Option.get (agg_of_kw kw) in
+      eat_sym st "(";
+      let arg =
+        if try_sym st "*" then None else Some (parse_or st)
+      in
+      eat_sym st ")";
+      Ast.Agg (fn, arg)
+  | Lexer.Ident name ->
+      advance st;
+      if try_sym st "." then Ast.Col (Some name, ident st)
+      else Ast.Col (None, name)
+  | _ -> fail st "expected an expression"
+
+(* --- clauses ---------------------------------------------------------- *)
+
+let parse_alias st =
+  if try_kw st "as" then Some (ident st)
+  else
+    match peek st with
+    | Lexer.Ident name ->
+        advance st;
+        Some name
+    | _ -> None
+
+let parse_table_ref st =
+  let name = ident st in
+  if try_sym st "(" then begin
+    let args =
+      let first = int_lit st in
+      if try_sym st "," then [ first; int_lit st ] else [ first ]
+    in
+    eat_sym st ")";
+    let alias = parse_alias st in
+    match (name, args) with
+    | "generate", [ count ] -> Ast.Range { count; alias }
+    | "wisconsin", [ rows ] -> Ast.Wisconsin { rows; seed = None; alias }
+    | "wisconsin", [ rows; seed ] ->
+        Ast.Wisconsin { rows; seed = Some seed; alias }
+    | _ ->
+        raise
+          (Error
+             (Printf.sprintf
+                "unknown table function %s/%d (generate(n) or \
+                 wisconsin(n[, seed]))"
+                name (List.length args)))
+  end
+  else Ast.Table { name; alias = parse_alias st }
+
+let parse_sel_items st =
+  if try_sym st "*" then [ Ast.Star ]
+  else
+    let item () =
+      let expr = parse_or st in
+      Ast.Sel { expr; alias = parse_alias st }
+    in
+    let rec loop acc = if try_sym st "," then loop (item () :: acc) else acc in
+    List.rev (loop [ item () ])
+
+let parse_order_item st =
+  let e = parse_or st in
+  let dir =
+    if try_kw st "desc" then Support.Desc
+    else begin
+      ignore (try_kw st "asc");
+      Support.Asc
+    end
+  in
+  (e, dir)
+
+let rec comma_list st f =
+  let first = f st in
+  if try_sym st "," then first :: comma_list st f else [ first ]
+
+let parse_select st =
+  eat_kw st "select";
+  let distinct = try_kw st "distinct" in
+  let items = parse_sel_items st in
+  eat_kw st "from";
+  let from = parse_table_ref st in
+  let joins = ref [] in
+  let rec joins_loop () =
+    let j =
+      if try_kw st "inner" then begin
+        eat_kw st "join";
+        true
+      end
+      else try_kw st "join"
+    in
+    if j then begin
+      let table = parse_table_ref st in
+      eat_kw st "on";
+      let on = parse_or st in
+      joins := { Ast.table; on } :: !joins;
+      joins_loop ()
+    end
+  in
+  joins_loop ();
+  let where = if try_kw st "where" then Some (parse_or st) else None in
+  let group_by =
+    if try_kw st "group" then begin
+      eat_kw st "by";
+      comma_list st parse_or
+    end
+    else []
+  in
+  let order_by =
+    if try_kw st "order" then begin
+      eat_kw st "by";
+      comma_list st parse_order_item
+    end
+    else []
+  in
+  let limit =
+    if try_kw st "limit" then begin
+      let n = int_lit st in
+      if n < 0 then fail st "LIMIT must be non-negative";
+      Some n
+    end
+    else None
+  in
+  Ast.Select
+    {
+      distinct;
+      items;
+      from;
+      joins = List.rev !joins;
+      where;
+      group_by;
+      order_by;
+      limit;
+    }
+
+let parse src =
+  let st = { toks = Lexer.tokens src; pos = 0 } in
+  let rec unions acc =
+    if try_kw st "union" then begin
+      eat_kw st "all";
+      unions (Ast.Union_all (acc, parse_select st))
+    end
+    else acc
+  in
+  let q = unions (parse_select st) in
+  (match peek st with
+  | Lexer.Sym ";" -> advance st
+  | _ -> ());
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> fail st "trailing input after query");
+  q

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the SQL subset (grammar in {!Ast}).
+
+    Operator precedence, loosest first: [OR] < [AND] < [NOT] <
+    comparison / [IS NULL] < [+ -] < [* / %] < unary minus. *)
+
+exception Error of string
+
+val parse : string -> Ast.query
+(** Parse a complete query (trailing [;] tolerated).
+    @raise Error on a syntax error (also re-raised for lexical errors),
+    with a character position in the message. *)

@@ -1,0 +1,28 @@
+module Session = Volcano_plan.Session
+
+exception Error of string
+
+let wrap f =
+  try f () with
+  | Lexer.Error m -> raise (Error ("lex error: " ^ m))
+  | Parser.Error m -> raise (Error ("parse error: " ^ m))
+  | Binder.Error m -> raise (Error ("bind error: " ^ m))
+  | Optimizer.Error m -> raise (Error ("plan error: " ^ m))
+
+let parse text = wrap (fun () -> Parser.parse text)
+let print = Ast.to_string
+let bind env ast = wrap (fun () -> Binder.bind env ast)
+
+let plan ?workers env text =
+  wrap (fun () -> Optimizer.optimize ?workers env (Binder.bind env (Parser.parse text)))
+
+let explain ?workers env text =
+  wrap (fun () -> Optimizer.explain ?workers env (Binder.bind env (Parser.parse text)))
+
+let install () =
+  Session.set_frontend (fun ?workers env text ->
+      let choice = plan ?workers env text in
+      {
+        Session.cq_plan = choice.Optimizer.plan;
+        cq_explain = Optimizer.render env choice;
+      })

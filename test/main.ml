@@ -32,6 +32,7 @@ let () =
       ("sim", Test_sim.suite);
       ("wisconsin", Test_wisconsin.suite);
       ("edges", Test_extra_edges.suite);
+      ("sql", Test_sql.suite);
       ("net", Test_net.suite);
       ("shard", Test_shard.suite);
     ]

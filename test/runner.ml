@@ -1,0 +1,10 @@
+(* The tests' compile-and-drain path.  Product code goes through
+   {!Volcano_plan.Session}; tests that build their own [Env] (registered
+   tables, fault injectors, tuned knobs) drain plans directly so the
+   environment under test is exactly the one they configured. *)
+
+let run ?check env plan =
+  Volcano.Iterator.to_list (Volcano_plan.Compile.compile ?check env plan)
+
+let count ?check env plan =
+  Volcano.Iterator.consume (Volcano_plan.Compile.compile ?check env plan)

@@ -124,7 +124,7 @@ let test_schema_partition_column () =
   in
   assert_rejected "partition column out of range" "schema-col" plan;
   (* Unchecked, the same plan still fails — but only at runtime. *)
-  match Compile.run ~check:false (env ()) plan with
+  match Runner.run ~check:false (env ()) plan with
   | _ -> Alcotest.fail "expected a runtime failure with ~check:false"
   | exception Compile.Rejected _ -> Alcotest.fail "~check:false must not analyze"
   | exception _ -> ()
@@ -410,7 +410,7 @@ let test_warnings_do_not_reject () =
   check Alcotest.bool "has the hazard warning" true
     (has ~severity:Diag.Warning "deadlock-merge-flow" diags);
   check Alcotest.bool "but no errors" true (Diag.errors diags = []);
-  check Alcotest.int "still runs" 40 (Compile.run_count (env ()) plan)
+  check Alcotest.int "still runs" 40 (Runner.count (env ()) plan)
 
 let test_report_rendering () =
   let d =

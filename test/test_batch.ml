@@ -136,10 +136,10 @@ let test_edge_sizes () =
   List.iter
     (fun count ->
       let plan = fused_chain count in
-      let expected = Compile.run (env ~batch_size:0 ()) plan in
+      let expected = Runner.run (env ~batch_size:0 ()) plan in
       List.iter
         (fun batch_size ->
-          let actual = Compile.run (env ~batch_size ()) plan in
+          let actual = Runner.run (env ~batch_size ()) plan in
           check_rows
             (Printf.sprintf "size %d count %d" batch_size count)
             expected actual)
@@ -201,7 +201,7 @@ let test_early_close_mid_batch () =
 
 (* --- the differential lock ------------------------------------------ *)
 
-let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
+let sorted_run env plan = List.sort Tuple.compare (Runner.run env plan)
 
 (* 1000 seeds of the random-plan corpus, decorated with random exchange
    placements, through both paths.  Comparison is the sorted multiset
@@ -237,8 +237,8 @@ let prop_batch_iterator_serial_identical =
       (* Random batch size across the full legal range, so tails and
          size-1 batches are swept too. *)
       let batch_size = 1 + Rng.int rng 255 in
-      Compile.run (env ~batch_size ()) plan
-      = Compile.run (env ~batch_size:0 ()) plan)
+      Runner.run (env ~batch_size ()) plan
+      = Runner.run (env ~batch_size:0 ()) plan)
 
 (* Scheduler independence with batching on: the pooled scheduler and the
    dedicated (domain-per-task) baseline agree on batched plans just as
@@ -320,8 +320,8 @@ let test_pushdown_differential () =
               };
         }
     in
-    let batched = Compile.run (env ()) plan in
-    let record = Compile.run (env ~batch_size:0 ()) plan in
+    let batched = Runner.run (env ()) plan in
+    let record = Runner.run (env ~batch_size:0 ()) plan in
     check_rows (Printf.sprintf "pushdown case %d" case) record batched
   done
 

@@ -110,7 +110,7 @@ let run_case ?batch_size ~plan_seed ~fault_seed () =
   Env.set_faults env (Injector.make fault_plan);
   let outcome =
     run_with_timeout ~seconds:timeout_seconds (fun () ->
-        List.sort Tuple.compare (Compile.run env decorated))
+        List.sort Tuple.compare (Runner.run env decorated))
   in
   (match outcome with
   | Rows rows ->
@@ -225,7 +225,7 @@ let test_faults_inside_fused_loops () =
            });
       (match
          run_with_timeout ~seconds:timeout_seconds (fun () ->
-             Compile.run env plan)
+             Runner.run env plan)
        with
       | Rows _ ->
           Alcotest.failf "fault at %s never fired in the fused pipeline"
@@ -290,7 +290,7 @@ let test_delays_preserve_results () =
     Env.set_faults env (Injector.make (delay_plan plan_seed));
     (match
        run_with_timeout ~seconds:timeout_seconds (fun () ->
-           List.sort Tuple.compare (Compile.run env decorated))
+           List.sort Tuple.compare (Runner.run env decorated))
      with
     | Rows rows ->
         if rows <> oracle then

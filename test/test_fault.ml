@@ -288,14 +288,14 @@ let test_bufpool_fix_denial_during_spill () =
                  };
                ];
            });
-      (match Compile.run env (sort_plan ()) with
+      (match Runner.run env (sort_plan ()) with
       | _ -> Alcotest.fail "expected an injected failure"
       | exception Fault.Injected { site = Fault.Bufpool_fix; _ } -> ()
       | exception Exchange.Query_failed _ -> ());
       Env.clear_faults env;
       Bufpool.assert_quiescent ~what:"fix denial" (Env.buffer env);
       (* The environment still works after the failure. *)
-      let rows = Compile.run env (sort_plan ()) in
+      let rows = Runner.run env (sort_plan ()) in
       check Alcotest.int "reusable after failure" 400 (List.length rows))
 
 (* A device write error while spilling, inside an exchange producer, must
@@ -321,7 +321,7 @@ let test_device_fault_during_parallel_spill () =
         Plan.Exchange
           { cfg = Exchange.config ~degree:1 (); input = sort_plan () }
       in
-      (match Compile.run env plan with
+      (match Runner.run env plan with
       | _ -> Alcotest.fail "expected Query_failed"
       | exception
           Exchange.Query_failed
@@ -358,7 +358,7 @@ let test_producer_site_via_plan () =
                 { arity = 1; count = 500; gen = (fun i -> Tuple.of_ints [ i ]) };
           }
       in
-      (match Compile.run env plan with
+      (match Runner.run env plan with
       | _ -> Alcotest.fail "expected Query_failed"
       | exception Exchange.Query_failed { site; _ } ->
           check Alcotest.string "site" "producer-1" site);

@@ -260,7 +260,7 @@ let test_remote_local_differential () =
     let live0 = Exchange.live_domains () in
     let local =
       sorted
-        (Compile.run env
+        (Runner.run env
            (Plan.Exchange
               {
                 cfg = Exchange.config ~degree:workers ~packet_size:7 ();
@@ -270,7 +270,7 @@ let test_remote_local_differential () =
     let task = Printf.sprintf "corpus:%Ld:%d" seed depth in
     let outcome =
       run_with_timeout (fun () ->
-          Compile.run env (remote ~workers ~task serial))
+          Runner.run env (remote ~workers ~task serial))
     in
     (match outcome with
     | Rows rows ->
@@ -310,7 +310,7 @@ let test_killed_worker () =
   in
   (match
      run_with_timeout (fun () ->
-         Compile.run env (remote ~task:"slow:100000:1" (slow_plan 100000 1)))
+         Runner.run env (remote ~task:"slow:100000:1" (slow_plan 100000 1)))
    with
   | Raised (Exchange.Query_failed { site; _ }) ->
       if not (String.length site >= 10 && String.sub site 0 10 = "net-worker")
@@ -332,7 +332,7 @@ let test_worker_task_failure () =
   let live0 = Exchange.live_domains () in
   (match
      run_with_timeout (fun () ->
-         Compile.run env (remote ~task:"fail:planted" (gen_plan 10)))
+         Runner.run env (remote ~task:"fail:planted" (gen_plan 10)))
    with
   | Raised (Exchange.Query_failed _) -> ()
   | Raised exn ->
@@ -352,7 +352,7 @@ let test_remote_early_close () =
   let live0 = Exchange.live_domains () in
   (match
      run_with_timeout (fun () ->
-         Compile.run env
+         Runner.run env
            (Plan.Limit
               {
                 count = 5;
@@ -386,7 +386,7 @@ let test_net_fault_sites () =
            });
       (match
          run_with_timeout (fun () ->
-             Compile.run env (remote ~task:"gen:3000" (gen_plan 3000)))
+             Runner.run env (remote ~task:"gen:3000" (gen_plan 3000)))
        with
       | Raised (Exchange.Query_failed { site = s; _ }) ->
           Alcotest.(check string)

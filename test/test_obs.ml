@@ -302,7 +302,7 @@ let test_batching_counters_match_record_path () =
 
 let test_profile_batched_smoke () =
   let env = Env.create () in
-  let report = Profile.run env (parallel_plan 500) in
+  let report = Profile.execute env (parallel_plan 500) in
   check Alcotest.int "batched profile rows" 500 report.Profile.rows;
   List.iter
     (fun node ->
@@ -321,7 +321,7 @@ let test_null_observe_adds_nothing () =
 
 let test_exporters () =
   let env = Env.create () in
-  let report = Profile.run env (parallel_plan 300) in
+  let report = Profile.execute env (parallel_plan 300) in
   check Alcotest.int "report rows" 300 report.Profile.rows;
   let balanced s =
     let depth = ref 0 in

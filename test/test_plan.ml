@@ -16,7 +16,7 @@ let check = Alcotest.check
 
 let env () = Env.create ~frames:128 ~page_size:512 ()
 
-let sorted_result env plan = List.sort Tuple.compare (Compile.run env plan)
+let sorted_result env plan = List.sort Tuple.compare (Runner.run env plan)
 
 let check_same_result name env serial parallelized =
   let a = sorted_result env serial and b = sorted_result env parallelized in
@@ -40,7 +40,7 @@ let test_scan_table () =
       (Volcano_storage.Heap_file.insert file
          (Bytes.to_string (Volcano_tuple.Serial.encode (Tuple.of_ints [ i ]))))
   done;
-  check Alcotest.int "scan" 20 (Compile.run_count e (Plan.Scan_table "t"));
+  check Alcotest.int "scan" 20 (Runner.count e (Plan.Scan_table "t"));
   check Alcotest.int "arity" 1 (Plan.arity e (Plan.Scan_table "t"))
 
 let test_filter_modes_agree () =
@@ -54,14 +54,14 @@ let test_filter_modes_agree () =
     Plan.Filter { pred; mode = `Interpreted; input = base 1000 }
   in
   check_same_result "compiled = interpreted" e compiled interpreted;
-  check Alcotest.int "selectivity" 100 (Compile.run_count e compiled)
+  check Alcotest.int "selectivity" 100 (Runner.count e compiled)
 
 let test_sort_plan () =
   let e = env () in
   let plan =
     Plan.Sort { key = [ (0, Support.Desc) ]; input = base 100 }
   in
-  let result = Compile.run e plan in
+  let result = Runner.run e plan in
   check Alcotest.int "first is max" 99 (Tuple.int_exn (List.hd result) 0)
 
 let test_limit_early_close () =
@@ -76,7 +76,7 @@ let test_limit_early_close () =
             { cfg = Exchange.config ~degree:2 (); input = base_slice 1_000_000 };
       }
   in
-  check Alcotest.int "limit" 5 (Compile.run_count e plan)
+  check Alcotest.int "limit" 5 (Runner.count e plan)
 
 (* The encapsulation property, exercised over a zoo of plans. *)
 let test_exchange_transparency () =
@@ -154,7 +154,7 @@ let test_parallel_sort_plan () =
   let serial = Plan.Sort { key; input = base 500 } in
   let parallel = Parallel.parallel_sort ~degree:3 ~key (base_slice 500) in
   (* Parallel sort must preserve global order, not just the multiset. *)
-  let a = Compile.run e serial and b = Compile.run e parallel in
+  let a = Runner.run e serial and b = Runner.run e parallel in
   check Alcotest.int "cardinality" (List.length a) (List.length b);
   List.iter2
     (fun x y -> check Alcotest.bool "ordered equal" true (Tuple.equal x y))
@@ -270,7 +270,7 @@ let test_deep_pipeline () =
     if n = 0 then plan else chain (n - 1) (Parallel.pipeline plan)
   in
   let plan = chain 5 (base 500) in
-  check Alcotest.int "deep pipeline" 500 (Compile.run_count e plan)
+  check Alcotest.int "deep pipeline" 500 (Runner.count e plan)
 
 let suite =
   [

@@ -16,7 +16,7 @@ module W = Volcano_wisconsin.Wisconsin
 
 let check = Alcotest.check
 
-let sorted env plan = List.sort Tuple.compare (Compile.run env plan)
+let sorted env plan = List.sort Tuple.compare (Runner.run env plan)
 
 let check_same name env a b =
   let ra = sorted env a and rb = sorted env b in
@@ -127,7 +127,7 @@ let test_scan_index_plan () =
   check Alcotest.int "arity through index" 16
     (Plan.arity env (range 0 10));
   (* Index output arrives in key order. *)
-  let rows = Compile.run env (range 100 150) in
+  let rows = Runner.run env (range 100 150) in
   let keys = List.map (fun t -> Tuple.int_exn t (W.column "unique1")) rows in
   check (Alcotest.list Alcotest.int) "ordered" (List.init 50 (fun i -> 100 + i)) keys
 
@@ -162,8 +162,8 @@ let test_index_with_choose_plan () =
           ];
       }
   in
-  check Alcotest.int "narrow via index" 50 (Compile.run_count env (access 0 50));
-  check Alcotest.int "wide via scan" 1500 (Compile.run_count env (access 0 1500));
+  check Alcotest.int "narrow via index" 50 (Runner.count env (access 0 50));
+  check Alcotest.int "wide via scan" 1500 (Runner.count env (access 0 1500));
   check (Alcotest.list Alcotest.bool) "decisions" [ false; true ]
     !queries_decided
 
@@ -222,7 +222,7 @@ let test_end_to_end_query () =
                ());
       }
   in
-  let a = Compile.run env serial and b = Compile.run env parallel in
+  let a = Runner.run env serial and b = Runner.run env parallel in
   check Alcotest.int "cardinality" (List.length a) (List.length b);
   List.iter2 (fun x y -> check Alcotest.bool "row" true (Tuple.equal x y)) a b
 
@@ -238,7 +238,7 @@ let test_limit_over_merge_network () =
             (base_slice 100_000);
       }
   in
-  let rows = Compile.run env plan in
+  let rows = Runner.run env plan in
   check Alcotest.int "limited" 25 (List.length rows);
   (* Top-25 of the sorted stream = 0..24. *)
   check (Alcotest.list Alcotest.int) "smallest first" (List.init 25 Fun.id)

@@ -249,7 +249,8 @@ let rec decorate rng plan =
    order-insensitive). *)
 let rec strip = function
   | ( Plan.Scan_table _ | Plan.Scan_table_slice _ | Plan.Scan_index _
-    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _ ) as leaf ->
+    | Plan.Scan_list _ | Plan.Generate _ | Plan.Generate_slice _
+    | Plan.Generate_range _ ) as leaf ->
       leaf
   | Plan.Filter f -> Plan.Filter { f with input = strip f.input }
   | Plan.Project_cols p -> Plan.Project_cols { p with input = strip p.input }
@@ -267,6 +268,8 @@ let rec strip = function
       Plan.Division
         { d with dividend = strip d.dividend; divisor = strip d.divisor }
   | Plan.Limit l -> Plan.Limit { l with input = strip l.input }
+  | Plan.Union_all { left; right } ->
+      Plan.Union_all { left = strip left; right = strip right }
   | Plan.Choose c ->
       Plan.Choose { c with alternatives = List.map strip c.alternatives }
   | Plan.Exchange { input; _ }
@@ -277,7 +280,7 @@ let rec strip = function
 
 (* --- the property ---------------------------------------------------- *)
 
-let sorted_run env plan = List.sort Tuple.compare (Compile.run env plan)
+let sorted_run env plan = List.sort Tuple.compare (Runner.run env plan)
 
 let accepted env plan =
   Volcano_analysis.Diag.errors (Compile.analyze env plan) = []
@@ -409,7 +412,7 @@ let prop_rejected_plans_misbehave =
       let bad = mutate rng (plan_arity serial) serial in
       let rejected = not (accepted env bad) in
       let misbehaves =
-        match Compile.run ~check:false env bad with
+        match Runner.run ~check:false env bad with
         | exception _ -> true
         | rows ->
             (* The column-reference mutations only dereference the bad

@@ -115,7 +115,7 @@ let test_pool_exhaustion_no_deadlock () =
   Session.with_session ~workers:2 ~frames:64 ~page_size:512 (fun s ->
       for _ = 1 to 3 do
         check Alcotest.int "rows survive 7 tasks on 2 workers" 600
-          (Session.exec_count s plan)
+          (Session.exec_count s (`Plan plan))
       done;
       Sched.assert_quiescent ~what:"exhaustion" (Session.sched s))
 
@@ -192,7 +192,7 @@ let big_exchange_plan =
 
 let test_session_deadline () =
   Session.with_session ~workers:3 ~frames:64 ~page_size:512 (fun s ->
-      match Session.exec_count ~deadline_s:0.03 s big_exchange_plan with
+      match Session.exec_count ~deadline_s:0.03 s (`Plan big_exchange_plan) with
       | n -> Alcotest.failf "40M-row query beat a 30ms deadline (%d rows)" n
       | exception Exchange.Query_failed { origin = Runtime.Deadline_exceeded; _ }
         ->
@@ -202,7 +202,7 @@ let test_session_deadline () =
 
 let test_session_cancel_running () =
   Session.with_session ~workers:3 ~frames:64 ~page_size:512 (fun s ->
-      let job = Session.submit_count ~label:"big" s big_exchange_plan in
+      let job = Session.submit_count ~label:"big" s (`Plan big_exchange_plan) in
       let rec wait_running () =
         match Session.status job with
         | Runtime.Queued -> Unix.sleepf 0.002; wait_running ()
@@ -246,9 +246,9 @@ let test_session_exec_matches_serial () =
   let serial_env =
     Env.create ~frames:64 ~page_size:512 ~sched:(Sched.dedicated ()) ()
   in
-  let expected = List.sort Tuple.compare (Compile.run serial_env (mk ())) in
+  let expected = List.sort Tuple.compare (Runner.run serial_env (mk ())) in
   Session.with_session ~workers:2 ~frames:64 ~page_size:512 (fun s ->
-      let rows = List.sort Tuple.compare (Session.exec s (mk ())) in
+      let rows = List.sort Tuple.compare (Session.exec s (`Plan (mk ()))) in
       check Alcotest.bool "pooled session = dedicated run" true
         (rows = expected))
 
@@ -266,7 +266,7 @@ let test_session_concurrent_submits () =
       in
       let jobs =
         List.init 8 (fun i ->
-            (400 + (i * 13), Session.submit_count s (plan (400 + (i * 13)))))
+            (400 + (i * 13), Session.submit_count s (`Plan (plan (400 + (i * 13))))))
       in
       List.iter
         (fun (expect, job) ->

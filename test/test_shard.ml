@@ -196,11 +196,11 @@ let test_partition_properties () =
         rows
         (Array.fold_left ( + ) 0 counts);
       (* the union of per-partition scans IS the table *)
-      let whole = sorted (Compile.run env (Plan.Scan_table table)) in
+      let whole = sorted (Runner.run env (Plan.Scan_table table)) in
       let union =
         List.concat_map
           (fun part ->
-            Compile.run env
+            Runner.run env
               (Plan.Scan_table (Shard.partition_name ~table ~part)))
           (List.init parts Fun.id)
       in
@@ -370,7 +370,7 @@ let differential ?lane ~rows ~parts ~spec ~placement ~shape () =
   let plan = shape_plan shape in
   let local =
     sorted
-      (Compile.run env
+      (Runner.run env
          (Plan.Exchange
             {
               cfg = Exchange.config ~degree:parts ~packet_size:7 ();
@@ -380,7 +380,7 @@ let differential ?lane ~rows ~parts ~spec ~placement ~shape () =
   let task = task_of ~rows ~parts ~spec ~placement ~shape in
   (match
      Test_net.run_with_timeout (fun () ->
-         Compile.run env (remote ~workers:parts ~task plan))
+         Runner.run env (remote ~workers:parts ~task plan))
    with
   | Test_net.Rows rows ->
       if sorted rows <> local then
@@ -416,7 +416,7 @@ let test_tcp_lane_differential () =
   let plan = shape_plan "scan" in
   let local =
     sorted
-      (Compile.run env
+      (Runner.run env
          (Plan.Exchange
             {
               cfg = Exchange.config ~degree:3 ~packet_size:7 ();
@@ -428,7 +428,7 @@ let test_tcp_lane_differential () =
   in
   (match
      Test_net.run_with_timeout (fun () ->
-         Compile.run env (remote ~workers:3 ~task plan))
+         Runner.run env (remote ~workers:3 ~task plan))
    with
   | Test_net.Rows rows ->
       Alcotest.(check bool) "tcp differential holds" true (sorted rows = local)
@@ -458,7 +458,7 @@ let test_repartition_differential () =
   let ten = W.column "ten" in
   let serial =
     sorted
-      (Compile.run env
+      (Runner.run env
          (Plan.Distinct
             {
               algo = Plan.Hash_based;
@@ -493,7 +493,7 @@ let test_repartition_differential () =
             };
       }
   in
-  (match Test_net.run_with_timeout (fun () -> Compile.run env repartitioned) with
+  (match Test_net.run_with_timeout (fun () -> Runner.run env repartitioned) with
   | Test_net.Rows rows ->
       Alcotest.(check bool)
         "per-consumer distinct over routed rows equals global distinct" true
@@ -542,7 +542,7 @@ let test_killed_site_mid_scan () =
   in
   (match
      Test_net.run_with_timeout (fun () ->
-         Compile.run env
+         Runner.run env
            (remote ~workers:parts ~task (Plan.Scan_table_slice table)))
    with
   | Test_net.Raised (Exchange.Query_failed { site; _ }) ->
@@ -579,7 +579,7 @@ let test_tcp_frame_corruption () =
   in
   (match
      Test_net.run_with_timeout (fun () ->
-         Compile.run env
+         Runner.run env
            (remote ~workers:2 ~task (Plan.Scan_table_slice table)))
    with
   | Test_net.Raised (Exchange.Query_failed { site; _ }) ->
@@ -605,7 +605,7 @@ let test_repartition_early_close () =
   in
   (match
      Test_net.run_with_timeout (fun () ->
-         Compile.run env
+         Runner.run env
            (Plan.Limit
               {
                 count = 5;

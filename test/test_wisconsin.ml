@@ -49,24 +49,24 @@ let test_selectivity () =
     Volcano_tuple.Expr.col (W.column "two") = Volcano_tuple.Expr.int 0
   in
   let plan = Plan.Filter { pred; mode = `Compiled; input = W.plan ~n:2000 () } in
-  check Alcotest.int "50% selectivity" 1000 (Compile.run_count e plan)
+  check Alcotest.int "50% selectivity" 1000 (Runner.count e plan)
 
 let test_load_and_partitions () =
   let e = Env.create ~frames:512 () in
   W.load ~env:e ~name:"wisc" ~n:300 ~partitions:3 ();
-  check Alcotest.int "full table" 300 (Compile.run_count e (Plan.Scan_table "wisc"));
+  check Alcotest.int "full table" 300 (Runner.count e (Plan.Scan_table "wisc"));
   List.iter
     (fun p ->
       check Alcotest.int
         (Printf.sprintf "partition %d" p)
         100
-        (Compile.run_count e (Plan.Scan_table (Printf.sprintf "wisc#%d" p))))
+        (Runner.count e (Plan.Scan_table (Printf.sprintf "wisc#%d" p))))
     [ 0; 1; 2 ];
   (* A partitioned parallel scan sees every record exactly once. *)
   let parallel =
     Volcano_plan.Parallel.partitioned_scan ~degree:3 ~table:"wisc" ()
   in
-  check Alcotest.int "partitioned scan" 300 (Compile.run_count e parallel)
+  check Alcotest.int "partitioned scan" 300 (Runner.count e parallel)
 
 (* One realistic query run both ways: a selection and grouped aggregate
    over the Wisconsin relation, parallelized GAMMA-style (partitioned
@@ -95,7 +95,7 @@ let test_serial_parallel_differential () =
       filtered
   in
   let serial = Test_random_plans.strip parallel in
-  let sorted plan = List.sort Tuple.compare (Compile.run e plan) in
+  let sorted plan = List.sort Tuple.compare (Runner.run e plan) in
   let serial_rows = sorted serial in
   (* "two = 0" keeps even unique1 values; they hit only the even "ten"
      groups. *)
